@@ -1,0 +1,66 @@
+// Ablation for the paper's §9/§10 open question: "although it is clear
+// that none of the models exhibit self-similarity, the effect of this
+// absence has not yet been determined, and this needs to be done as well."
+//
+// We determine it: two workloads with IDENTICAL marginal distributions
+// (same parameterized-model medians, intervals and load target) are
+// generated, one i.i.d. (H = 0.5, what the 1990s models produce) and one
+// long-range dependent (H = 0.8, what the production logs exhibit). Each
+// is pushed through the FCFS, EASY and conservative schedulers. Burstiness
+// at every time scale should make queueing markedly worse at the same
+// offered load — quantifying how much scheduler evaluations based on the
+// non-self-similar models flatter the scheduler.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cpw/archive/parameterized.hpp"
+#include "cpw/sched/scheduler.hpp"
+
+int main() {
+  using namespace cpw;
+
+  std::printf(
+      "=== Ablation: effect of self-similarity on scheduler metrics ===\n\n");
+
+  archive::ParameterizedModel::Parameters params;
+  params.parallelism_median = 8;
+  params.interarrival_median = 120;
+  params.cpu_work_median = 2000;
+  params.machine_processors = 288;
+  params.runtime_load = 0.5;
+
+  const std::size_t jobs = 16384;
+  const std::uint64_t seed = 1999;
+
+  for (const double hurst : {0.5, 0.65, 0.8}) {
+    params.hurst = hurst;
+    const archive::ParameterizedModel model(params);
+    const auto log = model.generate(jobs, seed);
+
+    std::printf("--- workload Hurst target %.2f ---\n", hurst);
+    TextTable table;
+    table.set_header({"Scheduler", "mean wait (s)", "median wait", "p95 wait",
+                      "mean bounded slowdown", "utilization"});
+    for (const auto& scheduler : sched::all_schedulers()) {
+      const auto metrics =
+          scheduler->run(log, params.machine_processors)
+              .metrics(params.machine_processors);
+      table.add_row({scheduler->name(), TextTable::num(metrics.mean_wait, 0),
+                     TextTable::num(metrics.median_wait, 0),
+                     TextTable::num(metrics.p95_wait, 0),
+                     TextTable::num(metrics.mean_bounded_slowdown, 1),
+                     TextTable::num(metrics.utilization, 3)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: marginals (and thus the offered load) are identical across\n"
+      "the three workloads; only the dependence structure changes. The\n"
+      "growth of waits and slowdowns with H is the cost of long-range\n"
+      "dependence that evaluations on i.i.d. models (Table 3's Downey,\n"
+      "Jann, Lublin) never see.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: the user/session-based generator (the paper's §10 "user or
+// multi-class modeling attributes" future-work item, implemented as
+// models::UserSessionModel).
+//
+// Two questions are answered against the paper's evidence:
+//  1. Where does the model land on the Figure-4 map relative to the five
+//     1990s models? (It is built from user behaviour, not fitted to any
+//     log, so a central-but-not-extreme position is the success criterion.)
+//  2. Does self-similarity EMERGE from the on/off user superposition?
+//     Table 3 showed every 1990s model near H = 0.5; a session model with
+//     heavy-tailed off-periods should be the exception.
+//
+// Also studies EASY backfilling's sensitivity to user runtime-estimate
+// quality on this workload (estimates enter through req_time).
+
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/models/user_session.hpp"
+#include "cpw/sched/estimates.hpp"
+#include "cpw/sched/scheduler.hpp"
+#include "cpw/selfsim/hurst.hpp"
+
+int main() {
+  using namespace cpw;
+
+  std::printf("=== Ablation: the user/session workload model (§10) ===\n\n");
+  const auto options = bench::standard_options(32768);
+
+  const models::UserSessionModel session_model(128);
+  const auto session_log = session_model.generate(options.jobs, options.seed);
+
+  // --- 1. position on the Figure-4 map ------------------------------------
+  auto logs = archive::production_logs(options);
+  for (const auto& model : models::all_models(128)) {
+    logs.push_back(model->generate(options.jobs, options.seed));
+  }
+  logs.push_back(session_log);
+
+  const auto stats = bench::characterize_all(logs);
+  const auto dataset = workload::make_dataset(
+      stats, {"Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    cx += result.embedding.x[i];
+    cy += result.embedding.y[i];
+  }
+  cx /= 10.0;
+  cy /= 10.0;
+  std::printf("distance from the production centre of gravity:\n");
+  for (std::size_t i = 10; i < result.embedding.size(); ++i) {
+    std::printf("  %-12s %.2f\n", dataset.observation_names[i].c_str(),
+                std::hypot(result.embedding.x[i] - cx,
+                           result.embedding.y[i] - cy));
+  }
+
+  // --- 2. emergent self-similarity ----------------------------------------
+  std::printf("\nHurst estimates of the session model's series (Table 3\n"
+              "style; the 1990s models sit near 0.5 everywhere):\n");
+  TextTable table;
+  table.set_header({"Series", "R/S", "V-T", "Periodogram", "Local Whittle"});
+  for (const auto attribute : workload::all_attributes()) {
+    const auto series = workload::attribute_series(session_log, attribute);
+    const auto report = selfsim::hurst_all(series);
+    const auto whittle = selfsim::hurst_local_whittle(series);
+    table.add_row({workload::attribute_name(attribute),
+                   TextTable::num(report.rs.hurst, 2),
+                   TextTable::num(report.variance_time.hurst, 2),
+                   TextTable::num(report.periodogram.hurst, 2),
+                   TextTable::num(whittle.hurst, 2)});
+  }
+  table.print(std::cout);
+
+  // --- 3. backfilling vs estimate quality ---------------------------------
+  std::printf("\nEASY backfilling vs user estimate quality (factor f:\n"
+              "estimates are runtime x U(1, f)):\n");
+  TextTable easy;
+  easy.set_header({"estimate factor", "mean wait (s)", "mean bounded slowdown"});
+  for (const double factor : {1.0, 2.0, 5.0, 10.0}) {
+    const auto estimated =
+        sched::with_overestimates(session_log, factor, options.seed);
+    const auto metrics =
+        sched::make_easy_backfilling()->run(estimated, 128).metrics(128);
+    easy.add_row({TextTable::num(factor, 0),
+                  TextTable::num(metrics.mean_wait, 0),
+                  TextTable::num(metrics.mean_bounded_slowdown, 1)});
+  }
+  easy.print(std::cout);
+  std::printf(
+      "\n(looser estimates shrink the backfill window before the head's\n"
+      "reservation, degrading EASY toward FCFS behaviour)\n");
+  return 0;
+}

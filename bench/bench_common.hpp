@@ -1,0 +1,107 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper and prints the
+// published values next to the measured ones (see EXPERIMENTS.md for the
+// recorded comparison).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/archive/simulator.hpp"
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/table.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::bench {
+
+/// Standard options used by all benches: enough jobs for stable order
+/// statistics and Hurst estimates, fixed master seed.
+inline archive::SimulationOptions standard_options(std::size_t jobs = 32768) {
+  archive::SimulationOptions options;
+  options.jobs = jobs;
+  options.seed = 1999;
+  return options;
+}
+
+inline std::vector<workload::WorkloadStats> characterize_all(
+    const std::vector<swf::Log>& logs) {
+  std::vector<workload::WorkloadStats> stats;
+  stats.reserve(logs.size());
+  for (const auto& log : logs) stats.push_back(workload::characterize(log));
+  return stats;
+}
+
+/// Prints a paper-vs-measured table: one row per variable code, one column
+/// pair per workload.
+inline void print_paper_vs_measured(
+    std::span<const archive::PaperWorkloadRow> rows,
+    std::span<const workload::WorkloadStats> measured,
+    const std::vector<std::string>& codes) {
+  TextTable table;
+  std::vector<std::string> header{"Variable"};
+  for (const auto& row : rows) {
+    header.push_back(std::string(row.name) + " paper");
+    header.push_back("measured");
+  }
+  table.set_header(header);
+  for (const auto& code : codes) {
+    std::vector<std::string> line{code};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double paper = rows[i].get(code);
+      const double ours = measured[i].get(code);
+      const int precision = std::abs(paper) < 10 ? 3 : 1;
+      line.push_back(TextTable::num(paper, precision));
+      line.push_back(TextTable::num(ours, precision));
+    }
+    table.add_row(std::move(line));
+  }
+  table.print(std::cout);
+}
+
+/// Summary line of a Co-plot result, in the paper's reporting style.
+inline void print_fit_summary(const coplot::Result& result) {
+  std::printf(
+      "coefficient of alienation: %.3f   (paper considers < 0.15 good)\n"
+      "variable correlations:     mean %.3f, min %.3f\n\n",
+      result.alienation, result.mean_correlation, result.min_correlation);
+}
+
+/// Prints each arrow with its angle and correlation, then the angular
+/// clusters (the paper reads variable clusters off arrow directions).
+inline void print_arrows_and_clusters(const coplot::Result& result,
+                                      double gap_degrees = 40.0) {
+  TextTable table;
+  table.set_header({"Arrow", "angle(deg)", "correlation"});
+  for (const auto& arrow : result.arrows) {
+    table.add_row({arrow.name, TextTable::num(arrow.angle * 180.0 / 3.14159265, 1),
+                   TextTable::num(arrow.correlation, 3)});
+  }
+  table.print(std::cout);
+
+  const auto clusters = coplot::cluster_arrows(result.arrows, gap_degrees);
+  std::cout << "\nvariable clusters (by arrow direction):\n";
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    std::cout << "  cluster " << c + 1 << ": ";
+    for (std::size_t index : clusters[c]) {
+      std::cout << result.arrows[index].name << ' ';
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+}
+
+/// Prints the 2-D map as ASCII art and saves the SVG next to the binary.
+inline void print_map(const coplot::Result& result, const std::string& name,
+                      const std::string& title) {
+  std::cout << coplot::render_ascii(result) << '\n';
+  const std::string path = name + ".svg";
+  coplot::save_svg(result, path, title);
+  std::cout << "(SVG written to " << path << ")\n\n";
+}
+
+}  // namespace cpw::bench

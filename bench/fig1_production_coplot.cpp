@@ -1,0 +1,53 @@
+// Reproduces Figure 1 of the paper: the Co-plot map of all ten production
+// workloads over the retained variables (runtime load, runtime, normalized
+// parallelism, CPU work and inter-arrival medians/intervals). The paper's
+// map achieved coefficient of alienation 0.07 with mean arrow correlation
+// 0.88 and exhibited four variable clusters.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cpw;
+
+  std::printf("=== Figure 1: Co-plot of all production workloads ===\n\n");
+
+  const auto logs = archive::production_logs(bench::standard_options(16384));
+  const auto stats = bench::characterize_all(logs);
+
+  // The variables the paper retained for Figure 1 (low-correlation ones —
+  // MP, SF, U, E, C — removed; CL and AL removed but discussed).
+  const auto dataset = workload::make_dataset(
+      stats, {"RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+
+  bench::print_fit_summary(result);
+  std::printf("paper reference: alienation 0.07, mean correlation 0.88\n\n");
+  bench::print_arrows_and_clusters(result);
+  std::printf(
+      "paper reference clusters: {Nm Ni} {Im Ci RL} {Cm Ii} {Rm Ri}\n"
+      "(the paper notes the third cluster is unstable and may merge into\n"
+      "the second and fourth)\n\n");
+  bench::print_map(result, "fig1", "Figure 1: production workloads");
+
+  // §4's correlation-between-clusters findings.
+  auto arrow = [&](const char* name) {
+    for (const auto& a : result.arrows) {
+      if (a.name == name) return a;
+    }
+    throw Error("missing arrow");
+  };
+  std::printf("implied correlations (cos of arrow angles):\n");
+  std::printf("  Rm~Ri (runtime median vs interval):        %+.2f (paper: high +)\n",
+              coplot::implied_correlation(arrow("Rm"), arrow("Ri")));
+  std::printf("  Nm~Ni (parallelism median vs interval):    %+.2f (paper: high +)\n",
+              coplot::implied_correlation(arrow("Nm"), arrow("Ni")));
+  std::printf("  Rm~Nm (runtime vs parallelism):            %+.2f (paper: strong -)\n",
+              coplot::implied_correlation(arrow("Rm"), arrow("Nm")));
+  std::printf("  Im~Ii (inter-arrival median vs interval):  %+.2f (paper: +, not full)\n",
+              coplot::implied_correlation(arrow("Im"), arrow("Ii")));
+  std::printf("  RL~Im (load vs inter-arrival median):      %+.2f (paper: +)\n",
+              coplot::implied_correlation(arrow("RL"), arrow("Im")));
+  return 0;
+}

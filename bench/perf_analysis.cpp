@@ -1,0 +1,141 @@
+// google-benchmark performance suite for the analysis kernels: SSA/MDS,
+// the coefficient of alienation, arrow fitting, Hurst estimators and the
+// FFT/fGn machinery. Run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace {
+
+using namespace cpw;
+
+Matrix random_data(std::size_t n, std::size_t p, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, p);
+  for (auto& v : data.flat()) v = rng.normal();
+  return data;
+}
+
+void BM_Dissimilarity(benchmark::State& state) {
+  const auto data = random_data(static_cast<std::size_t>(state.range(0)), 12, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mds::dissimilarity_matrix(data, mds::Measure::kCityBlock));
+  }
+}
+BENCHMARK(BM_Dissimilarity)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_SsaEmbedding(benchmark::State& state) {
+  const auto data = random_data(static_cast<std::size_t>(state.range(0)), 10, 2);
+  const auto diss = mds::dissimilarity_matrix(data, mds::Measure::kCityBlock);
+  mds::SsaOptions options;
+  options.random_restarts = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mds::ssa(diss, options));
+  }
+}
+BENCHMARK(BM_SsaEmbedding)->Arg(10)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_CoefficientOfAlienation(benchmark::State& state) {
+  const std::size_t pairs = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> s(pairs), d(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    s[i] = rng.uniform();
+    d[i] = s[i] + 0.1 * rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mds::coefficient_of_alienation(s, d));
+  }
+}
+BENCHMARK(BM_CoefficientOfAlienation)->Arg(45)->Arg(190)->Arg(1000);
+
+void BM_CoplotFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  coplot::Dataset dataset;
+  const auto data = random_data(n, 9, 4);
+  dataset.values = data;
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset.observation_names.push_back("o" + std::to_string(i));
+  }
+  for (std::size_t j = 0; j < 9; ++j) {
+    dataset.variable_names.push_back("v" + std::to_string(j));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coplot::analyze(dataset));
+  }
+}
+BENCHMARK(BM_CoplotFull)->Arg(10)->Arg(18)->Unit(benchmark::kMillisecond);
+
+void BM_FftRadix2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    selfsim::fft_radix2(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Complexity();
+
+void BM_FgnDaviesHarte(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::fgn_davies_harte(0.8, n, ++seed));
+  }
+}
+BENCHMARK(BM_FgnDaviesHarte)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FgnHosking(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::fgn_hosking(0.8, n, ++seed));
+  }
+}
+BENCHMARK(BM_FgnHosking)->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+void BM_HurstRs(benchmark::State& state) {
+  const auto series =
+      selfsim::fgn_davies_harte(0.75, static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::hurst_rs(series));
+  }
+}
+BENCHMARK(BM_HurstRs)->Arg(1 << 12)->Arg(1 << 15)->Unit(benchmark::kMillisecond);
+
+void BM_HurstVarianceTime(benchmark::State& state) {
+  const auto series =
+      selfsim::fgn_davies_harte(0.75, static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::hurst_variance_time(series));
+  }
+}
+BENCHMARK(BM_HurstVarianceTime)->Arg(1 << 12)->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HurstPeriodogram(benchmark::State& state) {
+  const auto series =
+      selfsim::fgn_davies_harte(0.75, static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::hurst_periodogram(series));
+  }
+}
+BENCHMARK(BM_HurstPeriodogram)->Arg(1 << 12)->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// google-benchmark performance suite for workload generation: the five
+// synthetic models and the archive production-log simulator, measured in
+// jobs per second.
+
+#include <benchmark/benchmark.h>
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/archive/simulator.hpp"
+#include "cpw/models/downey.hpp"
+#include "cpw/models/feitelson.hpp"
+#include "cpw/models/jann.hpp"
+#include "cpw/models/lublin.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace {
+
+using namespace cpw;
+
+template <typename Model>
+void run_model(benchmark::State& state, const Model& model) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.generate(jobs, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+
+void BM_Feitelson96(benchmark::State& state) {
+  run_model(state, models::FeitelsonModel(models::FeitelsonModel::Version::k1996));
+}
+BENCHMARK(BM_Feitelson96)->Arg(10000);
+
+void BM_Feitelson97(benchmark::State& state) {
+  run_model(state, models::FeitelsonModel(models::FeitelsonModel::Version::k1997));
+}
+BENCHMARK(BM_Feitelson97)->Arg(10000);
+
+void BM_Downey(benchmark::State& state) {
+  run_model(state, models::DowneyModel(128));
+}
+BENCHMARK(BM_Downey)->Arg(10000);
+
+void BM_Jann(benchmark::State& state) { run_model(state, models::JannModel(512)); }
+BENCHMARK(BM_Jann)->Arg(10000);
+
+void BM_Lublin(benchmark::State& state) {
+  run_model(state, models::LublinModel(128));
+}
+BENCHMARK(BM_Lublin)->Arg(10000);
+
+void BM_ArchiveSimulator(benchmark::State& state) {
+  const auto* row = archive::find_row("CTC");
+  archive::SimulationOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ++options.seed;
+    benchmark::DoNotOptimize(
+        archive::simulate_observation(*row, archive::find_hurst_row("CTC"),
+                                      options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ArchiveSimulator)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Characterize(benchmark::State& state) {
+  const auto* row = archive::find_row("CTC");
+  archive::SimulationOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  const auto log = archive::simulate_observation(
+      *row, archive::find_hurst_row("CTC"), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::characterize(log));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Characterize)->Arg(32768)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// google-benchmark performance suite for the scheduling substrate:
+// simulation throughput (jobs/second) per scheduler, and the estimate
+// transform.
+
+#include <benchmark/benchmark.h>
+
+#include "cpw/models/lublin.hpp"
+#include "cpw/sched/estimates.hpp"
+#include "cpw/sched/scheduler.hpp"
+
+namespace {
+
+using namespace cpw;
+
+const swf::Log& workload(std::size_t jobs) {
+  static const std::size_t cached_jobs = jobs;
+  static const swf::Log log = models::LublinModel(128).generate(jobs, 77);
+  (void)cached_jobs;
+  return log;
+}
+
+void BM_Fcfs(benchmark::State& state) {
+  const auto& log = workload(static_cast<std::size_t>(state.range(0)));
+  const auto scheduler = sched::make_fcfs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->run(log, 128));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fcfs)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_EasyBackfilling(benchmark::State& state) {
+  const auto& log = workload(static_cast<std::size_t>(state.range(0)));
+  const auto scheduler = sched::make_easy_backfilling();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->run(log, 128));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EasyBackfilling)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ConservativeBackfilling(benchmark::State& state) {
+  const auto& log = workload(static_cast<std::size_t>(state.range(0)));
+  const auto scheduler = sched::make_conservative_backfilling();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->run(log, 128));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ConservativeBackfilling)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_WithOverestimates(benchmark::State& state) {
+  const auto& log = workload(10000);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::with_overestimates(log, 5.0, ++seed));
+  }
+}
+BENCHMARK(BM_WithOverestimates)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

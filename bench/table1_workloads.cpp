@@ -1,0 +1,59 @@
+// Reproduces Table 1 of the paper: the 18 characterization variables of the
+// ten production workloads. The workloads are simulated by cpw::archive
+// (DESIGN.md §2); the harness prints the published value next to the value
+// measured on the simulated log, plus the calibration knobs the simulator
+// chose per observation.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+int main() {
+  using namespace cpw;
+
+  std::printf("=== Table 1: data of production workloads ===\n\n");
+
+  const auto options = bench::standard_options();
+  const auto rows = archive::table1();
+
+  std::vector<swf::Log> logs(rows.size());
+  std::vector<archive::SimulationReport> reports(rows.size());
+  parallel_for(rows.size(), [&](std::size_t i) {
+    logs[i] = archive::simulate_observation_report(
+        rows[i], archive::find_hurst_row(rows[i].name), options, reports[i]);
+  });
+
+  const auto measured = bench::characterize_all(logs);
+  bench::print_paper_vs_measured(rows, measured,
+                                 workload::WorkloadStats::all_codes());
+
+  std::printf("\n--- simulator calibration per observation ---\n");
+  TextTable calib;
+  calib.set_header({"Workload", "runtime tail alpha", "work tail alpha",
+                    "size-corr rho", "expected RL"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    calib.add_row({rows[i].name, TextTable::num(reports[i].runtime_tail_alpha, 2),
+                   TextTable::num(reports[i].work_tail_alpha, 2),
+                   TextTable::num(reports[i].size_correlation, 2),
+                   TextTable::num(reports[i].expected_runtime_load, 3)});
+  }
+  calib.print(std::cout);
+
+  // Aggregate fidelity: median relative error over the order-statistic
+  // variables (the quantities the simulator pins).
+  const std::vector<std::string> pinned = {"Rm", "Ri", "Pm", "Pi",
+                                           "Cm", "Ci", "Im", "Ii"};
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& code : pinned) {
+      const double paper = rows[i].get(code);
+      const double ours = measured[i].get(code);
+      if (paper > 0) errors.push_back(std::abs(ours - paper) / paper);
+    }
+  }
+  std::printf("\nmedian relative error over pinned order statistics: %.1f%%\n",
+              100.0 * stats::median(errors));
+  return 0;
+}

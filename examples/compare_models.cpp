@@ -1,0 +1,79 @@
+// Compares synthetic workload models against (simulated) production logs,
+// the paper's §7 methodology as a reusable tool:
+//
+//   compare_models [jobs] [seed]
+//
+// Generates all five models, characterizes them together with the ten
+// production workloads, runs Co-plot over the variables every model covers,
+// and reports which production environment each model represents best.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include <cmath>
+
+#include "cpw/archive/simulator.hpp"
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/workload/characterize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpw;
+
+  const std::size_t jobs =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 16384;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1999;
+
+  archive::SimulationOptions options;
+  options.jobs = jobs;
+  options.seed = seed;
+
+  std::printf("generating %zu jobs per workload (seed %llu)...\n", jobs,
+              static_cast<unsigned long long>(seed));
+  auto logs = archive::production_logs(options);
+  const std::size_t production_count = logs.size();
+  for (const auto& model : models::all_models(128)) {
+    logs.push_back(model->generate(jobs, seed));
+  }
+
+  std::vector<workload::WorkloadStats> stats;
+  for (const auto& log : logs) stats.push_back(workload::characterize(log));
+
+  // Print the key statistics side by side.
+  std::printf("\n%-12s %10s %10s %8s %8s %10s\n", "workload", "Rm", "Ri", "Pm",
+              "Im", "Cm");
+  for (const auto& s : stats) {
+    std::printf("%-12s %10.0f %10.0f %8.0f %8.0f %10.0f\n", s.name.c_str(),
+                s.runtime_median, s.runtime_interval, s.procs_median,
+                s.interarrival_median, s.work_median);
+  }
+
+  // Co-plot over the variables all models produce.
+  const auto dataset = workload::make_dataset(
+      stats, {"Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+  std::printf("\nmap fit: alienation %.3f, mean correlation %.2f\n\n",
+              result.alienation, result.mean_correlation);
+  std::cout << coplot::render_ascii(result) << '\n';
+
+  // Which production log does each model represent best?
+  std::printf("model -> closest production workload (map distance):\n");
+  for (std::size_t m = production_count; m < logs.size(); ++m) {
+    double best = 1e300;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < production_count; ++i) {
+      const double d = std::hypot(result.embedding.x[m] - result.embedding.x[i],
+                                  result.embedding.y[m] - result.embedding.y[i]);
+      if (d < best) {
+        best = d;
+        best_index = i;
+      }
+    }
+    std::printf("  %-12s -> %-8s (%.3f)\n",
+                dataset.observation_names[m].c_str(),
+                dataset.observation_names[best_index].c_str(), best);
+  }
+  return 0;
+}

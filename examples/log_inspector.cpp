@@ -1,0 +1,108 @@
+// SWF log inspector and homogeneity tester — the paper's §6 methodology
+// ("Co-Plot could be used in this manner to test any new log, by dividing
+// it into several parts and mapping it with all the other workloads"):
+//
+//   log_inspector [swf-file] [periods]
+//
+// Without arguments, demonstrates on a simulated SDSC log with 4 periods.
+// The tool validates the log, prints its Table-1-style characterization,
+// splits it into equal periods, maps the periods together with the ten
+// reference workloads, and reports whether any period is an outlier.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include <cmath>
+
+#include "cpw/archive/simulator.hpp"
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/workload/characterize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpw;
+
+  archive::SimulationOptions options;
+  options.jobs = 16384;
+
+  swf::Log log;
+  if (argc > 1) {
+    log = swf::load_swf(argv[1]);
+  } else {
+    std::printf("no SWF file given; simulating the SDSC Paragon log...\n");
+    log = archive::simulate_observation(*archive::find_row("SDSC"),
+                                        archive::find_hurst_row("SDSC"),
+                                        options);
+  }
+  const std::size_t periods =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4;
+
+  // ---- validation ---------------------------------------------------------
+  const auto report = swf::validate(log);
+  std::printf("\n'%s': %zu jobs; validation %s\n", log.name().c_str(),
+              report.total_jobs, report.clean() ? "CLEAN" : "ISSUES FOUND");
+  if (!report.clean()) {
+    std::printf(
+        "  negative runtimes: %zu, zero processors: %zu,\n"
+        "  over machine size: %zu, unsorted submits: %zu\n",
+        report.negative_runtime, report.zero_processors,
+        report.over_machine_size, report.non_monotone_submit);
+    log = swf::cleaned(log);
+    std::printf("  continuing with the %zu clean jobs\n", log.size());
+  }
+
+  // ---- characterization ---------------------------------------------------
+  const auto stats = workload::characterize(log);
+  std::printf("\ncharacterization (Table 1 variables):\n");
+  for (const auto& code : workload::WorkloadStats::all_codes()) {
+    std::printf("  %-3s %12.4g\n", code.c_str(), stats.get(code));
+  }
+
+  // ---- §6 homogeneity test ------------------------------------------------
+  std::printf("\nsplitting into %zu periods and mapping with the reference\n"
+              "workloads...\n\n", periods);
+  auto logs = archive::production_logs(options);
+  const std::size_t reference_count = logs.size();
+  for (auto& part : log.split_periods(periods)) logs.push_back(std::move(part));
+
+  std::vector<workload::WorkloadStats> all;
+  for (const auto& l : logs) {
+    all.push_back(workload::characterize(l, static_cast<double>(
+                                                log.max_processors())));
+  }
+  const auto dataset = workload::make_dataset(
+      all, {"Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+  std::cout << coplot::render_ascii(result) << '\n';
+
+  // Period spread relative to the reference map scale.
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = reference_count; i < logs.size(); ++i) {
+    cx += result.embedding.x[i];
+    cy += result.embedding.y[i];
+  }
+  const auto period_count = static_cast<double>(logs.size() - reference_count);
+  cx /= period_count;
+  cy /= period_count;
+
+  const auto dist = result.embedding.pair_distances();
+  double map_scale = 0.0;
+  for (double d : dist) map_scale = std::max(map_scale, d);
+
+  std::printf("period spread (distance from the periods' centroid, as %% of\n"
+              "the map diameter):\n");
+  bool homogeneous = true;
+  for (std::size_t i = reference_count; i < logs.size(); ++i) {
+    const double d = std::hypot(result.embedding.x[i] - cx,
+                                result.embedding.y[i] - cy);
+    const double pct = 100.0 * d / map_scale;
+    std::printf("  %-10s %5.1f%%%s\n", dataset.observation_names[i].c_str(),
+                pct, pct > 25.0 ? "  <-- possible regime change" : "");
+    homogeneous = homogeneous && pct <= 25.0;
+  }
+  std::printf("\nverdict: the log looks %s\n",
+              homogeneous ? "homogeneous over time"
+                          : "NON-homogeneous — inspect the flagged periods");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the Co-plot method in ~60 lines.
+//
+// Builds a small dataset of 8 fictional parallel machines described by 5
+// workload variables, runs the four-stage Co-plot pipeline (normalize ->
+// city-block dissimilarity -> SSA embedding -> variable arrows) and prints
+// the annotated map. This is the minimal end-to-end use of the library;
+// see compare_models.cpp and selfsim_analysis.cpp for the full pipelines.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cpw/coplot/coplot.hpp"
+
+int main() {
+  using namespace cpw;
+
+  coplot::Dataset dataset;
+  dataset.observation_names = {"Alpha", "Beta",  "Gamma", "Delta",
+                               "Eps",   "Zeta",  "Eta",   "Theta"};
+  dataset.variable_names = {"load", "runtime", "parallelism", "arrivals",
+                            "users"};
+  // Rows: one observation (machine) per row, one variable per column.
+  dataset.values = Matrix{
+      {0.70, 900, 4, 60, 50},    // big batch machine: long jobs, loaded
+      {0.65, 800, 6, 80, 45},    // its smaller sibling
+      {0.02, 15, 2, 10, 120},    // interactive front-end
+      {0.05, 30, 2, 15, 110},    // another interactive system
+      {0.60, 100, 64, 170, 25},  // massively parallel, short jobs
+      {0.55, 120, 48, 150, 30},  // same family
+      {0.45, 300, 16, 90, 60},   // middle of the road
+      {0.50, 350, 12, 100, 55},  // middle of the road
+  };
+
+  // Stage 1-4 in one call. Elimination is off by default; set
+  // options.elimination_threshold to drop badly-fitting variables.
+  const coplot::Result result = coplot::analyze(dataset);
+
+  std::printf("coefficient of alienation: %.3f (< 0.15 is a good map)\n",
+              result.alienation);
+  for (const auto& arrow : result.arrows) {
+    std::printf("variable %-12s correlation %.2f\n", arrow.name.c_str(),
+                arrow.correlation);
+  }
+
+  // Observations close on the map have similar workloads; arrows show the
+  // gradient of each variable. Machines on an arrow's side are above
+  // average in that variable.
+  std::cout << '\n' << coplot::render_ascii(result) << '\n';
+
+  // Variables whose arrows point the same way are correlated across
+  // machines:
+  const auto clusters = coplot::cluster_arrows(result.arrows);
+  std::printf("found %zu variable clusters\n", clusters.size());
+
+  // And the map distance structure groups similar machines:
+  const auto ids = coplot::cluster_observations(result.embedding, 0.3);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::printf("%-6s -> cluster %d\n",
+                dataset.observation_names[i].c_str(), ids[i]);
+  }
+  return 0;
+}

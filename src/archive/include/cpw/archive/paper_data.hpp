@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace cpw::archive {
+
+/// One column of the paper's Table 1 / Table 2: the 18 characterization
+/// variables of a workload. NaN encodes the paper's N/A entries.
+struct PaperWorkloadRow {
+  const char* name;
+  double MP, SF, AL;           ///< machine procs, scheduler flex, alloc flex
+  double RL, CL;               ///< runtime load, CPU load
+  double E, U, C;              ///< norm. executables, norm. users, % completed
+  double Rm, Ri;               ///< runtime median / 90% interval
+  double Pm, Pi;               ///< processors median / interval
+  double Nm, Ni;               ///< normalized processors median / interval
+  double Cm, Ci;               ///< CPU-work median / interval
+  double Im, Ii;               ///< inter-arrival median / interval
+
+  /// Value by short code (same codes as workload::WorkloadStats::get).
+  [[nodiscard]] double get(std::string_view code) const;
+};
+
+/// The ten production workloads of Table 1, in the paper's column order:
+/// CTC, KTH, LANL, LANLi, LANLb, LLNL, NASA, SDSC, SDSCi, SDSCb.
+std::span<const PaperWorkloadRow> table1();
+
+/// The eight six-month slices of Table 2: L1..L4 (LANL), S1..S4 (SDSC).
+std::span<const PaperWorkloadRow> table2();
+
+/// Looks a row up by name across tables 1 and 2; nullptr when absent.
+const PaperWorkloadRow* find_row(std::string_view name);
+
+/// One row of the paper's Table 3: Hurst-parameter estimates by the three
+/// estimators (R/S, variance-time, periodogram) for the four attribute
+/// series (used processors, runtime, total CPU time, inter-arrival time).
+struct PaperHurstRow {
+  const char* name;
+  double rp, vp, pp;  ///< processors: R/S, variance-time, periodogram
+  double rr, vr, pr;  ///< runtime
+  double rc, vc, pc;  ///< total CPU time
+  double ri, vi, pi;  ///< inter-arrival time
+  bool production;    ///< true for logs, false for synthetic models
+
+  /// Per-attribute target H for the simulator: mean of the three estimators.
+  [[nodiscard]] double target_processors() const { return (rp + vp + pp) / 3.0; }
+  [[nodiscard]] double target_runtime() const { return (rr + vr + pr) / 3.0; }
+  [[nodiscard]] double target_work() const { return (rc + vc + pc) / 3.0; }
+  [[nodiscard]] double target_interarrival() const { return (ri + vi + pi) / 3.0; }
+};
+
+/// All 15 rows of Table 3 (10 production + 5 models), in the paper's order.
+std::span<const PaperHurstRow> table3();
+
+/// Row lookup by workload name; nullptr when absent.
+const PaperHurstRow* find_hurst_row(std::string_view name);
+
+}  // namespace cpw::archive

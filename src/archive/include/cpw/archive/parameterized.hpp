@@ -1,0 +1,80 @@
+#pragma once
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/stats/regression.hpp"
+
+namespace cpw::archive {
+
+/// The parameterized workload model the paper proposes in §8 (and lists as
+/// the main future-work item in §10): a generator driven by the three
+/// variables Co-plot identified as the best cluster representatives —
+/// the medians of the degree of parallelism, the inter-arrival time and
+/// the total CPU work (the paper notes the CPU-work median can stand in
+/// for the processor-allocation flexibility).
+///
+/// Every other distribution parameter is derived from the *highly positive
+/// correlations with other variables* that the Co-plot maps exposed: at
+/// construction the model fits log-log regressions across the paper's ten
+/// Table 1 workloads —
+///
+///   log Pi ~ log Pm      (parallelism interval from its median; Fig. 1
+///   log Ii ~ log Im       cluster 1 / cluster 2-3 correlations)
+///   log Ci ~ log Cm
+///   log Rm ~ log(Cm/Pm)  (runtime from per-processor work)
+///   log Ri ~ log Rm      (the near-full median/interval correlation the
+///                         paper's modeling statement 1 demands)
+///
+/// and generates jobs through the same quantile-pinned marginals the
+/// archive simulator uses.
+///
+/// Setting `hurst` above 0.5 additionally drives all attributes with
+/// fractional Gaussian noise — the self-similar synthetic model the paper
+/// calls "a near future requirement" (§10).
+class ParameterizedModel final : public models::WorkloadModel {
+ public:
+  struct Parameters {
+    double parallelism_median = 4.0;     ///< Pm — parameter 1
+    double interarrival_median = 120.0;  ///< Im — parameter 2
+    double cpu_work_median = 500.0;      ///< Cm — parameter 3
+    std::int64_t machine_processors = 128;
+    double allocation_flexibility = 3.0; ///< paper variable 3 (grid choice)
+    double runtime_load = 0.6;           ///< target utilization
+    double hurst = 0.5;                  ///< > 0.5 enables self-similarity
+  };
+
+  explicit ParameterizedModel(Parameters params);
+
+  /// Convenience: parameters read off one of the paper's Table 1/2 rows —
+  /// used to evaluate how well three numbers recover a whole workload.
+  static ParameterizedModel from_row(const PaperWorkloadRow& row,
+                                     double hurst = 0.5);
+
+  [[nodiscard]] std::string name() const override { return "Parameterized"; }
+  [[nodiscard]] swf::Log generate(std::size_t jobs,
+                                  std::uint64_t seed) const override;
+  [[nodiscard]] std::int64_t processors() const override {
+    return params_.machine_processors;
+  }
+
+  /// The statistics the regressions predicted from the three parameters.
+  struct Derived {
+    double parallelism_interval = 0.0;  ///< Pi
+    double interarrival_interval = 0.0; ///< Ii
+    double work_interval = 0.0;         ///< Ci
+    double runtime_median = 0.0;        ///< Rm
+    double runtime_interval = 0.0;      ///< Ri
+  };
+  [[nodiscard]] const Derived& derived() const noexcept { return derived_; }
+
+  /// One fitted cross-variable relation (exposed for tests): predicts
+  /// log10(target) from log10(source) over the Table 1 workloads.
+  static stats::LinearFit fit_relation(const char* source_code,
+                                       const char* target_code);
+
+ private:
+  Parameters params_;
+  Derived derived_;
+};
+
+}  // namespace cpw::archive

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::archive {
+
+/// Rank-uniformization: maps a driver series onto the exact uniform grid
+/// ((rank - 0.5) / n), preserving its rank-dependence structure. With this,
+/// an attribute generated through a quantile function hits the target
+/// marginal *exactly* as an order statistic — sample medians and 90%
+/// intervals do not drift even under strong long-range dependence (where
+/// plain Φ-transformed sample quantiles converge only at rate n^{H-1}).
+std::vector<double> rank_uniforms(std::span<const double> driver);
+
+/// Gaussian driver series with the given Hurst exponent (fractional
+/// Gaussian noise via Davies–Harte); H = 0.5 short-circuits to white noise.
+std::vector<double> gaussian_driver(double hurst, std::size_t n,
+                                    std::uint64_t seed);
+
+/// Rounds a continuous processor draw onto a machine's allocation grid.
+/// `alloc_rank` follows the paper's variable 3: rank 1 snaps to powers of
+/// two (static power-of-two partitions), ranks 2-3 use the integer grid.
+std::int64_t round_to_grid(double value, double alloc_rank,
+                           std::int64_t max_procs);
+
+/// Numeric mean of the grid-rounded processor marginal (rounding changes
+/// the expectation, so the composed map is integrated on a u-grid).
+double rounded_procs_mean(const stats::QuantileMarginal& marginal,
+                          double alloc_rank, std::int64_t max_procs);
+
+}  // namespace cpw::archive

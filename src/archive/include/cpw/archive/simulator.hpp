@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/swf/log.hpp"
+
+namespace cpw::archive {
+
+/// Options for the production-log simulator.
+struct SimulationOptions {
+  std::size_t jobs = 16384;     ///< jobs per generated observation
+  std::uint64_t seed = 1999;    ///< master seed (IPPS'99 vintage)
+  double interarrival_tail_alpha = 2.5;  ///< fixed Pareto index for gaps
+  double procs_tail_alpha = 3.0;
+  double calibration_min_alpha = 1.02;   ///< tail-index bisection range
+  double calibration_max_alpha = 64.0;
+
+  /// Tail-index floor for the runtime marginal. Below ~2 the marginal has
+  /// (near-)infinite variance, which drowns the variance-time Hurst signal
+  /// the simulator is supposed to carry (Table 3); load shortfall relative
+  /// to the independent-marginals product is recovered through a calibrated
+  /// job-level runtime/size copula correlation instead.
+  double runtime_min_alpha = 2.05;
+
+  /// Tail-index floor for the CPU-work marginal. The work variable has no
+  /// secondary load knob, so it is allowed a heavier tail; the resulting
+  /// variance-time damping on the work series is a documented deviation.
+  double work_min_alpha = 1.35;
+
+  /// Upper bound on the job-level runtime/size Gaussian-copula correlation.
+  double max_size_correlation = 0.95;
+};
+
+/// Simulates one production workload observation.
+///
+/// The real accounting logs behind the paper are not redistributable, so
+/// the simulator synthesizes a job stream that reproduces the published
+/// evidence instead (DESIGN.md §2):
+///
+///  * runtime, total CPU work, inter-arrival time: quantile-pinned
+///    marginals hitting the row's median and 90% interval exactly, with
+///    Pareto tail indexes calibrated in closed form so the runtime load and
+///    CPU load match the row;
+///  * processor counts: the same marginal rounded onto the machine's
+///    allocation grid (powers of two for rank-1 allocators, a half
+///    power-of-two-biased grid for rank 2, free integers for rank 3);
+///  * long-range dependence: each attribute is driven through a Gaussian
+///    copula by fractional Gaussian noise with the per-attribute Hurst
+///    target from Table 3 (monotone quantile transforms preserve H);
+///  * users / executables / completion status reproduce the U, E and C
+///    columns.
+///
+/// When `hurst` is null all attributes are driven by white noise (H = 0.5).
+swf::Log simulate_observation(const PaperWorkloadRow& row,
+                              const PaperHurstRow* hurst,
+                              const SimulationOptions& options = {});
+
+/// The ten production observations of Table 1, simulated: CTC, KTH, LANL,
+/// LANLi, LANLb, LLNL, NASA, SDSC, SDSCi, SDSCb. Generation is
+/// deterministic in `options.seed` and parallelized across observations.
+std::vector<swf::Log> production_logs(const SimulationOptions& options = {});
+
+/// The eight six-month observations of Table 2 (L1..L4, S1..S4), using the
+/// parent machine's Table 3 Hurst row as the dependence target.
+std::vector<swf::Log> period_logs(const SimulationOptions& options = {});
+
+/// Closed-form tail-index calibration: bisects the QuantileMarginal tail
+/// alpha so the marginal mean meets `target_mean`, clamping to the options'
+/// alpha range when the target is unreachable. Exposed for tests.
+double calibrate_tail_alpha(double median, double interval90, double target_mean,
+                            const SimulationOptions& options = {});
+
+/// Diagnostics of one simulation, returned by `simulate_observation_report`:
+/// the calibrated knobs, for tests and for the EXPERIMENTS.md record.
+struct SimulationReport {
+  double runtime_tail_alpha = 0.0;
+  double work_tail_alpha = 0.0;
+  double size_correlation = 0.0;  ///< job-level runtime/size copula rho
+  double expected_runtime_load = 0.0;
+};
+
+/// As `simulate_observation`, additionally filling `report`.
+swf::Log simulate_observation_report(const PaperWorkloadRow& row,
+                                     const PaperHurstRow* hurst,
+                                     const SimulationOptions& options,
+                                     SimulationReport& report);
+
+}  // namespace cpw::archive

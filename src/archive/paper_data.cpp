@@ -1,0 +1,107 @@
+#include "cpw/archive/paper_data.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::archive {
+
+namespace {
+constexpr double kNA = std::numeric_limits<double>::quiet_NaN();
+
+// Paper Table 1: "Data of production workloads".
+constexpr std::array<PaperWorkloadRow, 10> kTable1 = {{
+    //    name     MP   SF AL   RL    CL     E       U      C     Rm     Ri    Pm   Pi    Nm     Ni     Cm       Ci     Im    Ii
+    {"CTC",   512, 2, 3, 0.56, 0.47, kNA,    0.0086, 0.79, 960,  57216, 2,  37,  0.76,  14.10, 2181,  326057,  64,  1472},
+    {"KTH",   100, 2, 3, 0.69, 0.69, kNA,    0.0075, 0.72, 848,  47875, 3,  31,  3.84,  39.68, 2880,  355140,  192, 3806},
+    {"LANL",  1024,3, 1, 0.66, 0.42, 0.0008, 0.0019, 0.91, 68,   9064,  64, 224, 8.00,  28.00, 256,   559104,  162, 1968},
+    {"LANLi", 1024,3, 1, 0.02, 0.00, 0.0019, 0.0049, 0.99, 57,   267,   32, 96,  4.00,  12.00, 128,   2560,    16,  276},
+    {"LANLb", 1024,3, 1, 0.65, 0.42, 0.0012, 0.0032, 0.85, 376,  11136, 64, 480, 8.00,  60.00, 2944,  1582080, 169, 2064},
+    {"LLNL",  256, 3, 2, 0.62, kNA,  0.0329, 0.0072, kNA,  36,   9143,  8,  62,  4.00,  31.00, 384,   455582,  119, 1660},
+    {"NASA",  128, 1, 1, kNA,  0.47, 0.0352, 0.0016, kNA,  19,   1168,  1,  31,  1.00,  31.00, 19,    19774,   56,  443},
+    {"SDSC",  416, 1, 2, 0.70, 0.68, kNA,    0.0012, 0.99, 45,   28498, 5,  63,  1.54,  19.38, 209,   918544,  170, 4265},
+    {"SDSCi", 416, 1, 2, 0.01, 0.01, kNA,    0.0021, 1.00, 12,   484,   4,  31,  1.23,  9.54,  86,    3960,    68,  2076},
+    {"SDSCb", 416, 1, 2, 0.69, 0.67, kNA,    0.0029, 0.97, 1812, 39290, 8,  63,  2.46,  19.38, 9472,  1754212, 208, 5884},
+}};
+
+// Paper Table 2: "Data of production workloads divided to six months".
+constexpr std::array<PaperWorkloadRow, 8> kTable2 = {{
+    {"L1", 1024, 3, 1, 0.76, 0.43, 0.0016, 0.0038, 0.93, 62,  7003,  64,  224, 8.00,  28.00, 128,  300320,  159, 1948},
+    {"L2", 1024, 3, 1, 0.83, 0.52, 0.0014, 0.0038, 0.93, 65,  7383,  32,  224, 4.00,  28.00, 256,  394112,  167, 1765},
+    {"L3", 1024, 3, 1, 0.24, 0.16, 0.0034, 0.0076, 0.82, 643, 11039, 64,  480, 8.00,  60.00, 7648, 1976832, 239, 2448},
+    {"L4", 1024, 3, 1, 0.73, 0.48, 0.0016, 0.0042, 0.90, 79,  11085, 128, 480, 16.00, 60.00, 384,  1417216, 89,  1834},
+    {"S1", 416,  1, 2, 0.66, 0.65, kNA,    0.0021, 0.99, 31,  29067, 4,   63,  1.23,  19.38, 169,  504254,  180, 2422},
+    {"S2", 416,  1, 2, 0.67, 0.66, kNA,    0.0019, 0.99, 21,  20270, 4,   63,  1.23,  19.38, 119,  612183,  39,  5836},
+    {"S3", 416,  1, 2, 0.76, 0.72, kNA,    0.0023, 0.98, 73,  30955, 4,   63,  1.23,  19.38, 295,  1235174, 92,  4516},
+    {"S4", 416,  1, 2, 0.65, 0.63, kNA,    0.0023, 0.97, 527, 25656, 8,   63,  2.46,  19.38, 1645, 1141531, 206, 5040},
+}};
+
+// Paper Table 3: "Estimations of Self-Similarity".
+constexpr std::array<PaperHurstRow, 15> kTable3 = {{
+    //    name        rp    vp    pp    rr    vr    pr    rc    vc    pc    ri    vi    pi    production
+    {"CTC",        0.71, 0.71, 0.68, 0.55, 0.75, 0.76, 0.29, 0.65, 0.56, 0.42, 0.63, 0.68, true},
+    {"KTH",        0.74, 0.87, 0.67, 0.68, 0.58, 0.79, 0.61, 0.67, 0.56, 0.48, 0.69, 0.71, true},
+    {"LANL",       0.60, 0.90, 0.82, 0.74, 0.90, 0.77, 0.65, 0.88, 0.76, 0.67, 0.91, 0.68, true},
+    {"LANLi",      0.96, 0.81, 0.91, 0.80, 0.80, 0.84, 0.71, 0.79, 0.70, 0.86, 0.59, 0.84, true},
+    {"LANLb",      0.52, 0.78, 0.78, 0.66, 0.81, 0.71, 0.68, 0.80, 0.71, 0.71, 0.79, 0.66, true},
+    {"LLNL",       0.84, 0.74, 0.84, 0.88, 0.74, 0.69, 0.77, 0.69, 0.72, 0.56, 0.43, 0.71, true},
+    {"NASA",       0.61, 0.68, 0.84, 0.53, 0.66, 0.56, 0.43, 0.60, 0.55, 0.60, 0.35, 0.51, true},
+    {"SDSC",       0.50, 0.77, 0.68, 0.54, 0.85, 0.70, 0.53, 0.83, 0.60, 0.66, 0.96, 0.67, true},
+    {"SDSCi",      0.61, 0.59, 0.94, 0.83, 0.61, 0.58, 0.62, 0.59, 0.56, 0.80, 0.74, 0.64, true},
+    {"SDSCb",      0.68, 0.83, 0.72, 0.84, 0.76, 0.68, 0.83, 0.79, 0.58, 0.82, 0.84, 0.56, true},
+    {"Lublin",     0.47, 0.47, 0.48, 0.55, 0.80, 0.67, 0.55, 0.80, 0.67, 0.45, 0.49, 0.47, false},
+    {"Feitelson97",0.64, 0.62, 0.80, 0.72, 0.62, 0.72, 0.67, 0.58, 0.70, 0.49, 0.49, 0.54, false},
+    {"Feitelson96",0.72, 0.57, 0.65, 0.26, 0.61, 0.69, 0.26, 0.60, 0.68, 0.55, 0.48, 0.50, false},
+    {"Downey",     0.46, 0.49, 0.50, 0.54, 0.48, 0.49, 0.60, 0.47, 0.49, 0.55, 0.46, 0.49, false},
+    {"Jann",       0.69, 0.57, 0.59, 0.49, 0.49, 0.49, 0.64, 0.51, 0.51, 0.61, 0.50, 0.54, false},
+}};
+
+}  // namespace
+
+double PaperWorkloadRow::get(std::string_view code) const {
+  if (code == "MP") return MP;
+  if (code == "SF") return SF;
+  if (code == "AL") return AL;
+  if (code == "RL") return RL;
+  if (code == "CL") return CL;
+  if (code == "E") return E;
+  if (code == "U") return U;
+  if (code == "C") return C;
+  if (code == "Rm") return Rm;
+  if (code == "Ri") return Ri;
+  if (code == "Pm") return Pm;
+  if (code == "Pi") return Pi;
+  if (code == "Nm") return Nm;
+  if (code == "Ni") return Ni;
+  if (code == "Cm") return Cm;
+  if (code == "Ci") return Ci;
+  if (code == "Im") return Im;
+  if (code == "Ii") return Ii;
+  throw Error("unknown paper variable code: " + std::string(code));
+}
+
+std::span<const PaperWorkloadRow> table1() { return kTable1; }
+std::span<const PaperWorkloadRow> table2() { return kTable2; }
+
+const PaperWorkloadRow* find_row(std::string_view name) {
+  for (const auto& row : kTable1) {
+    if (name == row.name) return &row;
+  }
+  for (const auto& row : kTable2) {
+    if (name == row.name) return &row;
+  }
+  return nullptr;
+}
+
+std::span<const PaperHurstRow> table3() { return kTable3; }
+
+const PaperHurstRow* find_hurst_row(std::string_view name) {
+  for (const auto& row : kTable3) {
+    if (name == row.name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace cpw::archive

@@ -1,0 +1,149 @@
+#include "cpw/archive/parameterized.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+
+#include "cpw/archive/sampling.hpp"
+#include "cpw/archive/simulator.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::archive {
+
+namespace {
+
+/// log10 of a paper value, NaN-propagating.
+double log_value(const PaperWorkloadRow& row, const char* code) {
+  const double v = row.get(code);
+  return v > 0.0 ? std::log10(v) : std::numeric_limits<double>::quiet_NaN();
+}
+
+double predict(const stats::LinearFit& fit, double source) {
+  return std::pow(10.0, fit.intercept + fit.slope * std::log10(source));
+}
+
+}  // namespace
+
+stats::LinearFit ParameterizedModel::fit_relation(const char* source_code,
+                                                  const char* target_code) {
+  std::vector<double> xs, ys;
+  for (const PaperWorkloadRow& row : table1()) {
+    double x;
+    if (std::string_view(source_code) == "Cm/Pm") {
+      // Runtime is predicted from the per-processor work.
+      const double cm = row.get("Cm");
+      const double pm = row.get("Pm");
+      x = (cm > 0 && pm > 0) ? std::log10(cm / pm)
+                             : std::numeric_limits<double>::quiet_NaN();
+    } else {
+      x = log_value(row, source_code);
+    }
+    const double y = log_value(row, target_code);
+    if (std::isnan(x) || std::isnan(y)) continue;
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  CPW_REQUIRE(xs.size() >= 3, "too few observations for relation fit");
+  return stats::ols(xs, ys);
+}
+
+ParameterizedModel::ParameterizedModel(Parameters params)
+    : params_(params) {
+  CPW_REQUIRE(params.parallelism_median >= 1.0, "Pm must be >= 1");
+  CPW_REQUIRE(params.interarrival_median > 0.0, "Im must be positive");
+  CPW_REQUIRE(params.cpu_work_median > 0.0, "Cm must be positive");
+  CPW_REQUIRE(params.machine_processors >= 1, "machine size must be >= 1");
+  CPW_REQUIRE(params.hurst > 0.0 && params.hurst < 1.0, "hurst in (0,1)");
+
+  // Cross-variable relations learned once from the published Table 1.
+  static const stats::LinearFit pi_from_pm = fit_relation("Pm", "Pi");
+  static const stats::LinearFit ii_from_im = fit_relation("Im", "Ii");
+  static const stats::LinearFit ci_from_cm = fit_relation("Cm", "Ci");
+  static const stats::LinearFit rm_from_work = fit_relation("Cm/Pm", "Rm");
+  static const stats::LinearFit ri_from_rm = fit_relation("Rm", "Ri");
+
+  derived_.parallelism_interval = predict(pi_from_pm, params.parallelism_median);
+  derived_.interarrival_interval =
+      predict(ii_from_im, params.interarrival_median);
+  derived_.work_interval = predict(ci_from_cm, params.cpu_work_median);
+  derived_.runtime_median =
+      predict(rm_from_work, params.cpu_work_median / params.parallelism_median);
+  derived_.runtime_interval = predict(ri_from_rm, derived_.runtime_median);
+}
+
+ParameterizedModel ParameterizedModel::from_row(const PaperWorkloadRow& row,
+                                                double hurst) {
+  Parameters params;
+  params.parallelism_median = row.Pm;
+  params.interarrival_median = row.Im;
+  params.cpu_work_median = row.Cm;
+  params.machine_processors = static_cast<std::int64_t>(row.MP);
+  params.allocation_flexibility = row.AL;
+  const double load = std::isnan(row.RL) ? row.CL : row.RL;
+  params.runtime_load = std::isnan(load) ? 0.6 : std::max(load, 0.005);
+  params.hurst = hurst;
+  return ParameterizedModel(params);
+}
+
+swf::Log ParameterizedModel::generate(std::size_t jobs,
+                                      std::uint64_t seed) const {
+  CPW_REQUIRE(jobs >= 2, "ParameterizedModel needs >= 2 jobs");
+
+  const stats::QuantileMarginal interarrival(params_.interarrival_median,
+                                             derived_.interarrival_interval,
+                                             2.5);
+  const stats::QuantileMarginal procs_cont(params_.parallelism_median,
+                                           derived_.parallelism_interval, 3.0);
+  const stats::QuantileMarginal work(params_.cpu_work_median,
+                                     derived_.work_interval, 2.0);
+
+  // Runtime tail calibrated so the generated load meets the target (same
+  // closed form as the archive simulator, independence assumed).
+  const double mean_gap = interarrival.mean();
+  const double mean_procs = rounded_procs_mean(
+      procs_cont, params_.allocation_flexibility, params_.machine_processors);
+  SimulationOptions calibration;
+  calibration.calibration_min_alpha = 1.35;
+  const double runtime_alpha = calibrate_tail_alpha(
+      derived_.runtime_median, derived_.runtime_interval,
+      params_.runtime_load * static_cast<double>(params_.machine_processors) *
+          mean_gap / mean_procs,
+      calibration);
+  const stats::QuantileMarginal runtime(derived_.runtime_median,
+                                        derived_.runtime_interval,
+                                        runtime_alpha);
+
+  const auto u_procs =
+      rank_uniforms(gaussian_driver(params_.hurst, jobs, derive_seed(seed, 1)));
+  const auto u_runtime =
+      rank_uniforms(gaussian_driver(params_.hurst, jobs, derive_seed(seed, 2)));
+  const auto u_work =
+      rank_uniforms(gaussian_driver(params_.hurst, jobs, derive_seed(seed, 3)));
+  const auto u_gap =
+      rank_uniforms(gaussian_driver(params_.hurst, jobs, derive_seed(seed, 4)));
+
+  swf::JobList list;
+  list.reserve(jobs);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    if (i > 0) clock += interarrival.quantile(u_gap[i]);
+    swf::Job job;
+    job.submit_time = clock;
+    job.run_time = runtime.quantile(u_runtime[i]);
+    job.processors =
+        round_to_grid(procs_cont.quantile(u_procs[i]),
+                      params_.allocation_flexibility,
+                      params_.machine_processors);
+    job.cpu_time_avg =
+        work.quantile(u_work[i]) / static_cast<double>(job.processors);
+    job.user = static_cast<std::int64_t>(i % 47);
+    job.status = 1;
+    job.queue = swf::kQueueBatch;
+    list.push_back(job);
+  }
+  return models::finish_log(name(), std::move(list),
+                            params_.machine_processors);
+}
+
+}  // namespace cpw::archive

@@ -1,0 +1,60 @@
+#include "cpw/archive/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::archive {
+
+std::vector<double> rank_uniforms(std::span<const double> driver) {
+  const std::vector<double> r = stats::ranks(driver);
+  const double n = static_cast<double>(driver.size());
+  std::vector<double> u(driver.size());
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = (r[i] - 0.5) / n;
+  return u;
+}
+
+std::vector<double> gaussian_driver(double hurst, std::size_t n,
+                                    std::uint64_t seed) {
+  if (std::abs(hurst - 0.5) < 1e-6) {
+    Rng rng(seed);
+    std::vector<double> g(n);
+    for (double& v : g) v = rng.normal();
+    return g;
+  }
+  return selfsim::fgn_davies_harte(hurst, n, seed);
+}
+
+std::int64_t round_to_grid(double value, double alloc_rank,
+                           std::int64_t max_procs) {
+  const std::int64_t nearest = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::llround(value)), 1, max_procs);
+  if (alloc_rank > 1.5) return nearest;  // limited/unlimited: integer grid
+
+  // Rank 1: partitions are powers of two (the LANL CM-5 case the paper
+  // highlights in §5).
+  std::int64_t pow2 = 1;
+  while (pow2 * 2 <= max_procs &&
+         std::abs(static_cast<double>(pow2 * 2) - value) <
+             std::abs(static_cast<double>(pow2) - value)) {
+    pow2 *= 2;
+  }
+  return pow2;
+}
+
+double rounded_procs_mean(const stats::QuantileMarginal& marginal,
+                          double alloc_rank, std::int64_t max_procs) {
+  constexpr std::size_t kGrid = 4096;
+  double total = 0.0;
+  for (std::size_t i = 0; i < kGrid; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) / kGrid;
+    total += static_cast<double>(
+        round_to_grid(marginal.quantile(u), alloc_rank, max_procs));
+  }
+  return total / kGrid;
+}
+
+}  // namespace cpw::archive

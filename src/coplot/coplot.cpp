@@ -1,0 +1,389 @@
+#include "cpw/coplot/coplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <numeric>
+
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/ascii_plot.hpp"
+#include "cpw/util/svg.hpp"
+
+namespace cpw::coplot {
+
+// -------------------------------------------------------------------- Dataset
+
+void Dataset::remove_variable(std::size_t index) {
+  CPW_REQUIRE(index < variables(), "variable index out of range");
+  values.erase_col(index);
+  variable_names.erase(variable_names.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+}
+
+void Dataset::remove_observation(std::size_t index) {
+  CPW_REQUIRE(index < observations(), "observation index out of range");
+  values.erase_row(index);
+  observation_names.erase(observation_names.begin() +
+                          static_cast<std::ptrdiff_t>(index));
+}
+
+std::size_t Dataset::variable_index(const std::string& name) const {
+  const auto it =
+      std::find(variable_names.begin(), variable_names.end(), name);
+  CPW_REQUIRE(it != variable_names.end(), "unknown variable: " + name);
+  return static_cast<std::size_t>(it - variable_names.begin());
+}
+
+Dataset Dataset::select_variables(const std::vector<std::string>& names) const {
+  Dataset out;
+  out.observation_names = observation_names;
+  out.variable_names = names;
+  out.values = Matrix(observations(), names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    const std::size_t src = variable_index(names[j]);
+    for (std::size_t i = 0; i < observations(); ++i) {
+      out.values(i, j) = values(i, src);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::drop_observations(const std::vector<std::string>& names) const {
+  Dataset out = *this;
+  for (const std::string& name : names) {
+    const auto it = std::find(out.observation_names.begin(),
+                              out.observation_names.end(), name);
+    CPW_REQUIRE(it != out.observation_names.end(),
+                "unknown observation: " + name);
+    out.remove_observation(
+        static_cast<std::size_t>(it - out.observation_names.begin()));
+  }
+  return out;
+}
+
+void Dataset::check() const {
+  CPW_REQUIRE(observation_names.size() == values.rows(),
+              "observation names do not match matrix rows");
+  CPW_REQUIRE(variable_names.size() == values.cols(),
+              "variable names do not match matrix columns");
+}
+
+// -------------------------------------------------------- stages 1 and 2
+
+Matrix normalize_columns(const Matrix& values) {
+  const std::size_t n = values.rows();
+  const std::size_t p = values.cols();
+  Matrix out(n, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = values(i, j);
+      if (std::isnan(v)) continue;
+      sum += v;
+      sum2 += v * v;
+      ++count;
+    }
+    const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    const double var =
+        count > 0 ? std::max(sum2 / static_cast<double>(count) - mean * mean, 0.0)
+                  : 0.0;
+    const double sd = std::sqrt(var);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = values(i, j);
+      if (std::isnan(v)) {
+        out(i, j) = v;
+      } else {
+        out(i, j) = sd > 0.0 ? (v - mean) / sd : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix city_block_with_missing(const Matrix& normalized) {
+  const std::size_t n = normalized.rows();
+  const std::size_t p = normalized.cols();
+  Matrix out(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k) {
+      double d = 0.0;
+      std::size_t shared = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        const double a = normalized(i, j);
+        const double b = normalized(k, j);
+        if (std::isnan(a) || std::isnan(b)) continue;
+        d += std::abs(a - b);
+        ++shared;
+      }
+      CPW_REQUIRE(shared > 0, "observation pair shares no variables");
+      d *= static_cast<double>(p) / static_cast<double>(shared);
+      out(i, k) = d;
+      out(k, i) = d;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ stage 4
+
+Arrow fit_arrow(const mds::Embedding& embedding, std::span<const double> z,
+                std::string name) {
+  CPW_REQUIRE(z.size() == embedding.size(), "arrow variable length mismatch");
+
+  // Pairwise-complete moments (z may hold NaNs).
+  double sz = 0.0, sx = 0.0, sy = 0.0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (std::isnan(z[i])) continue;
+    sz += z[i];
+    sx += embedding.x[i];
+    sy += embedding.y[i];
+    ++m;
+  }
+  Arrow arrow;
+  arrow.name = std::move(name);
+  if (m < 3) return arrow;  // not enough data: zero arrow
+
+  const double mz = sz / static_cast<double>(m);
+  const double mx = sx / static_cast<double>(m);
+  const double my = sy / static_cast<double>(m);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0, cx = 0.0, cy = 0.0, szz = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (std::isnan(z[i])) continue;
+    const double dx = embedding.x[i] - mx;
+    const double dy = embedding.y[i] - my;
+    const double dz = z[i] - mz;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+    cx += dx * dz;
+    cy += dy * dz;
+    szz += dz * dz;
+  }
+  if (szz <= 0.0) return arrow;  // constant variable
+
+  // Direction maximizing corr(z, cosθ·x + sinθ·y): w ∝ Σ⁻¹ c.
+  double w[2];
+  try {
+    const double rhs[2] = {cx, cy};
+    solve_sym2(sxx, sxy, syy, rhs, w);
+  } catch (const NumericError&) {
+    // Degenerate (collinear) configuration: project on the dominant axis.
+    w[0] = sxx >= syy ? 1.0 : 0.0;
+    w[1] = sxx >= syy ? 0.0 : 1.0;
+  }
+  const double norm = std::hypot(w[0], w[1]);
+  if (norm == 0.0) return arrow;
+  arrow.dx = w[0] / norm;
+  arrow.dy = w[1] / norm;
+
+  // Orient toward increasing variable values. The Σ⁻¹c solution already
+  // points that way, but the degenerate (collinear-map) fallback may not.
+  if (arrow.dx * cx + arrow.dy * cy < 0.0) {
+    arrow.dx = -arrow.dx;
+    arrow.dy = -arrow.dy;
+  }
+  arrow.angle = std::atan2(arrow.dy, arrow.dx);
+
+  // Attained correlation = corr(z, projection on the fitted direction).
+  const double proj_var = arrow.dx * arrow.dx * sxx +
+                          2.0 * arrow.dx * arrow.dy * sxy +
+                          arrow.dy * arrow.dy * syy;
+  const double proj_cov = arrow.dx * cx + arrow.dy * cy;
+  arrow.correlation =
+      proj_var > 0.0 ? proj_cov / std::sqrt(proj_var * szz) : 0.0;
+  return arrow;
+}
+
+std::vector<double> Result::projections(const Arrow& arrow) const {
+  std::vector<double> out(embedding.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = arrow.dx * embedding.x[i] + arrow.dy * embedding.y[i];
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ pipeline
+
+namespace {
+
+Result analyze_once(Dataset dataset, const Options& options) {
+  dataset.check();
+  CPW_REQUIRE(dataset.observations() >= 3, "Co-plot needs >= 3 observations");
+  CPW_REQUIRE(dataset.variables() >= 2, "Co-plot needs >= 2 variables");
+
+  const Matrix normalized = normalize_columns(dataset.values);
+  const Matrix diss = city_block_with_missing(normalized);
+
+  Result result;
+  result.embedding = mds::ssa(diss, options.ssa);
+  result.embedding.center();
+  result.alienation = result.embedding.alienation;
+
+  result.arrows.reserve(dataset.variables());
+  double sum = 0.0;
+  double min_corr = 1.0;
+  for (std::size_t j = 0; j < dataset.variables(); ++j) {
+    const std::vector<double> column = dataset.values.col(j);
+    Arrow arrow = fit_arrow(result.embedding, column, dataset.variable_names[j]);
+    sum += arrow.correlation;
+    min_corr = std::min(min_corr, arrow.correlation);
+    result.arrows.push_back(std::move(arrow));
+  }
+  result.mean_correlation = sum / static_cast<double>(dataset.variables());
+  result.min_correlation = min_corr;
+  result.dataset = std::move(dataset);
+  return result;
+}
+
+}  // namespace
+
+Result analyze(const Dataset& dataset, const Options& options) {
+  Result result = analyze_once(dataset, options);
+  if (options.elimination_threshold <= 0.0) return result;
+
+  std::vector<std::string> removed;
+  while (result.min_correlation < options.elimination_threshold &&
+         result.dataset.variables() > options.min_variables) {
+    // Drop the worst-fitting variable and refit the whole map.
+    const auto worst = std::min_element(
+        result.arrows.begin(), result.arrows.end(),
+        [](const Arrow& a, const Arrow& b) {
+          return a.correlation < b.correlation;
+        });
+    const auto index =
+        static_cast<std::size_t>(worst - result.arrows.begin());
+    removed.push_back(result.dataset.variable_names[index]);
+
+    Dataset reduced = result.dataset;
+    reduced.remove_variable(index);
+    result = analyze_once(std::move(reduced), options);
+  }
+  result.removed_variables = std::move(removed);
+  return result;
+}
+
+// ---------------------------------------------------------------- clustering
+
+std::vector<std::vector<std::size_t>> cluster_arrows(
+    std::span<const Arrow> arrows, double max_gap_degrees) {
+  const std::size_t p = arrows.size();
+  std::vector<std::vector<std::size_t>> clusters;
+  if (p == 0) return clusters;
+
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return arrows[a].angle < arrows[b].angle;
+  });
+
+  // Gap after each sorted arrow (wrapping at 2π).
+  const double max_gap = max_gap_degrees * std::numbers::pi / 180.0;
+  std::vector<double> gap(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double a = arrows[order[i]].angle;
+    const double b = arrows[order[(i + 1) % p]].angle;
+    gap[i] = i + 1 == p ? (b + 2.0 * std::numbers::pi) - a : b - a;
+  }
+
+  // Start a new cluster after every gap exceeding the threshold; begin the
+  // scan right after the largest gap so clusters never wrap.
+  const std::size_t start =
+      static_cast<std::size_t>(std::max_element(gap.begin(), gap.end()) -
+                               gap.begin()) +
+      1;
+
+  std::vector<std::size_t> current;
+  for (std::size_t step = 0; step < p; ++step) {
+    const std::size_t i = (start + step) % p;
+    current.push_back(order[i]);
+    if (gap[i] > max_gap || step + 1 == p) {
+      clusters.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  return clusters;
+}
+
+std::vector<int> cluster_observations(const mds::Embedding& embedding,
+                                      double fraction) {
+  const std::size_t n = embedding.size();
+  std::vector<int> cluster(n);
+  std::iota(cluster.begin(), cluster.end(), 0);
+  if (n < 2) return cluster;
+
+  const std::vector<double> dist = embedding.pair_distances();
+  const double cutoff =
+      fraction * *std::max_element(dist.begin(), dist.end());
+
+  // Union-find over pairs below the cutoff (single linkage).
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      v = parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    }
+    return v;
+  };
+
+  std::size_t pair = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k, ++pair) {
+      if (dist[pair] <= cutoff) {
+        parent[static_cast<std::size_t>(find(static_cast<int>(i)))] =
+            find(static_cast<int>(k));
+      }
+    }
+  }
+
+  // Dense ids ordered by first appearance.
+  std::vector<int> remap(n, -1);
+  int next_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int root = find(static_cast<int>(i));
+    if (remap[static_cast<std::size_t>(root)] < 0) {
+      remap[static_cast<std::size_t>(root)] = next_id++;
+    }
+    cluster[i] = remap[static_cast<std::size_t>(root)];
+  }
+  return cluster;
+}
+
+double implied_correlation(const Arrow& a, const Arrow& b) {
+  return a.dx * b.dx + a.dy * b.dy;
+}
+
+// ----------------------------------------------------------------- rendering
+
+std::string render_ascii(const Result& result, int width, int height) {
+  AsciiPlot plot(width, height);
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    plot.add_point(result.embedding.x[i], result.embedding.y[i],
+                   result.dataset.observation_names[i]);
+  }
+  for (const Arrow& arrow : result.arrows) {
+    plot.add_arrow(arrow.dx, arrow.dy, arrow.name);
+  }
+  return plot.render();
+}
+
+void save_svg(const Result& result, const std::string& path,
+              const std::string& title) {
+  SvgPlot plot;
+  plot.set_title(title);
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    plot.add_point(result.embedding.x[i], result.embedding.y[i],
+                   result.dataset.observation_names[i]);
+  }
+  for (const Arrow& arrow : result.arrows) {
+    plot.add_arrow(arrow.dx, arrow.dy, arrow.name);
+  }
+  plot.save(path);
+}
+
+}  // namespace cpw::coplot

@@ -1,0 +1,139 @@
+#include "cpw/coplot/csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::coplot {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, std::size_t lineno) {
+  if (line.find('"') != std::string::npos) {
+    throw ParseError("quoted CSV fields are not supported", lineno);
+  }
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto first = cell.find_first_not_of(" \t\r");
+    const auto last = cell.find_last_not_of(" \t\r");
+    cells.push_back(first == std::string::npos
+                        ? ""
+                        : cell.substr(first, last - first + 1));
+  }
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double parse_cell(const std::string& cell, std::size_t lineno) {
+  if (cell.empty() || cell == "NA" || cell == "N/A" || cell == "NaN" ||
+      cell == "nan") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(cell, &used);
+    if (used != cell.size()) throw std::invalid_argument(cell);
+    return value;
+  } catch (...) {
+    throw ParseError("bad numeric cell '" + cell + "'", lineno);
+  }
+}
+
+}  // namespace
+
+Dataset read_csv(std::istream& in) {
+  Dataset dataset;
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto header = split_line(line, lineno);
+    if (header.size() < 2) {
+      throw ParseError("CSV header needs at least one variable", lineno);
+    }
+    dataset.variable_names.assign(header.begin() + 1, header.end());
+    break;
+  }
+  CPW_REQUIRE(!dataset.variable_names.empty(), "empty CSV input");
+
+  std::vector<std::vector<double>> rows;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto cells = split_line(line, lineno);
+    if (cells.size() != dataset.variable_names.size() + 1) {
+      throw ParseError("expected " +
+                           std::to_string(dataset.variable_names.size() + 1) +
+                           " cells, got " + std::to_string(cells.size()),
+                       lineno);
+    }
+    dataset.observation_names.push_back(cells[0]);
+    std::vector<double> row;
+    for (std::size_t j = 1; j < cells.size(); ++j) {
+      row.push_back(parse_cell(cells[j], lineno));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  dataset.values = Matrix(rows.size(), dataset.variable_names.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      dataset.values(i, j) = rows[i][j];
+    }
+  }
+  dataset.check();
+  return dataset;
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open CSV file: " + path);
+  return read_csv(file);
+}
+
+void write_csv(std::ostream& out, const Dataset& dataset) {
+  out << "name";
+  for (const auto& name : dataset.variable_names) out << ',' << name;
+  out << '\n';
+  out.precision(15);
+  for (std::size_t i = 0; i < dataset.observations(); ++i) {
+    out << dataset.observation_names[i];
+    for (std::size_t j = 0; j < dataset.variables(); ++j) {
+      out << ',';
+      const double v = dataset.values(i, j);
+      if (std::isnan(v)) {
+        out << "N/A";
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_result_csv(std::ostream& out, const Result& result) {
+  out.precision(10);
+  out << "# coefficient_of_alienation," << result.alienation << '\n';
+  out << "# mean_correlation," << result.mean_correlation << '\n';
+  out << "kind,name,x,y,correlation\n";
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    out << "observation," << result.dataset.observation_names[i] << ','
+        << result.embedding.x[i] << ',' << result.embedding.y[i] << ",\n";
+  }
+  for (const auto& arrow : result.arrows) {
+    out << "arrow," << arrow.name << ',' << arrow.dx << ',' << arrow.dy << ','
+        << arrow.correlation << '\n';
+  }
+}
+
+}  // namespace cpw::coplot

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpw/mds/embedding.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::coplot {
+
+/// Input to a Co-plot analysis: n named observations by p named variables.
+/// Missing values are NaN; the pipeline handles them by normalizing over the
+/// available entries and rescaling pairwise city-block distances by the
+/// fraction of shared variables (the paper instead imputed — §3 — but a
+/// library should not guess silently).
+struct Dataset {
+  std::vector<std::string> observation_names;
+  std::vector<std::string> variable_names;
+  Matrix values;  ///< observations x variables
+
+  [[nodiscard]] std::size_t observations() const { return values.rows(); }
+  [[nodiscard]] std::size_t variables() const { return values.cols(); }
+
+  /// Removes one variable column by index.
+  void remove_variable(std::size_t index);
+
+  /// Removes one observation row by index.
+  void remove_observation(std::size_t index);
+
+  /// Index of a variable by name; throws if absent.
+  [[nodiscard]] std::size_t variable_index(const std::string& name) const;
+
+  /// Returns a copy restricted to the named variables, in the given order.
+  [[nodiscard]] Dataset select_variables(
+      const std::vector<std::string>& names) const;
+
+  /// Returns a copy without the named observations.
+  [[nodiscard]] Dataset drop_observations(
+      const std::vector<std::string>& names) const;
+
+  /// Validates shape consistency; throws cpw::Error when names and matrix
+  /// dimensions disagree.
+  void check() const;
+};
+
+/// One variable arrow of the Co-plot output (paper §2 stage 4): the unit
+/// direction in the map along which the observations' projections correlate
+/// maximally with the variable's values, plus that maximal correlation.
+struct Arrow {
+  std::string name;
+  double dx = 0.0;
+  double dy = 0.0;
+  double angle = 0.0;        ///< radians, atan2(dy, dx)
+  double correlation = 0.0;  ///< the attained maximal correlation (>= 0)
+};
+
+/// Options controlling the pipeline.
+struct Options {
+  mds::SsaOptions ssa;
+
+  /// When > 0, variables whose maximal correlation falls below this value
+  /// are eliminated one at a time (worst first) and the map is refit — the
+  /// paper's variable-removal procedure (§2, end).
+  double elimination_threshold = 0.0;
+
+  /// Elimination never reduces the dataset below this many variables.
+  std::size_t min_variables = 4;
+};
+
+/// Complete Co-plot output.
+struct Result {
+  Dataset dataset;            ///< after any variable elimination
+  mds::Embedding embedding;   ///< stage-3 map (centered)
+  std::vector<Arrow> arrows;  ///< stage-4 arrows, one per kept variable
+  double alienation = 1.0;    ///< coefficient of alienation of the map
+  double mean_correlation = 0.0;
+  double min_correlation = 0.0;
+  std::vector<std::string> removed_variables;  ///< in removal order
+
+  /// Projection of every observation on the given arrow (for
+  /// characterization statements like "above average in variable X").
+  [[nodiscard]] std::vector<double> projections(const Arrow& arrow) const;
+};
+
+/// Normalizes each column to z-scores, skipping NaNs (paper eq. 1).
+/// Missing entries stay NaN.
+Matrix normalize_columns(const Matrix& values);
+
+/// City-block dissimilarity between rows of a (possibly NaN-holding)
+/// normalized matrix; distances over partially shared variables are scaled
+/// up by p/shared, and a pair sharing no variable is an error.
+Matrix city_block_with_missing(const Matrix& normalized);
+
+/// Fits the maximal-correlation arrow for one variable against a centered
+/// configuration. Closed form: with Σ the 2x2 coordinate covariance and
+/// c = (cov(z,x), cov(z,y)), the optimal direction is Σ⁻¹c and the attained
+/// correlation is sqrt(cᵀΣ⁻¹c / var z). NaNs in z are skipped pairwise.
+Arrow fit_arrow(const mds::Embedding& embedding, std::span<const double> z,
+                std::string name);
+
+/// Runs the full four-stage Co-plot pipeline.
+Result analyze(const Dataset& dataset, const Options& options = {});
+
+/// Groups arrows whose directions are close on the circle: sorts by angle
+/// and cuts at angular gaps larger than `max_gap_degrees`. Returns arrow
+/// indexes per cluster, ordered clockwise from the largest gap — this is how
+/// the paper reads "clusters of variables" off the map.
+std::vector<std::vector<std::size_t>> cluster_arrows(
+    std::span<const Arrow> arrows, double max_gap_degrees = 40.0);
+
+/// Single-linkage observation clustering: merges points closer than
+/// `fraction` of the maximum pairwise map distance; returns a cluster id per
+/// observation (ids are dense, ordered by first member).
+std::vector<int> cluster_observations(const mds::Embedding& embedding,
+                                      double fraction = 0.25);
+
+/// Approximate correlation between two variables implied by the map:
+/// cos of the angle between their arrows (paper §2).
+double implied_correlation(const Arrow& a, const Arrow& b);
+
+/// Renders the map + arrows as ASCII art.
+std::string render_ascii(const Result& result, int width = 76, int height = 30);
+
+/// Writes the map + arrows as an SVG document.
+void save_svg(const Result& result, const std::string& path,
+              const std::string& title);
+
+}  // namespace cpw::coplot

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cpw/coplot/coplot.hpp"
+
+namespace cpw::coplot {
+
+/// Reads a Co-plot dataset from CSV:
+///
+///   name,var1,var2,...     <- header: first cell ignored, rest = variables
+///   obsA,1.0,2.5,...       <- one observation per row
+///   obsB,3.0,,N/A          <- empty cells and NA/N/A/NaN are missing
+///
+/// Separators: comma. Quoted fields are not supported (workload statistics
+/// tables do not need them); a quote character raises cpw::ParseError.
+Dataset read_csv(std::istream& in);
+
+/// Loads a CSV dataset from a file; throws cpw::Error on I/O failure.
+Dataset load_csv(const std::string& path);
+
+/// Writes the dataset back as CSV (round-trips through read_csv).
+void write_csv(std::ostream& out, const Dataset& dataset);
+
+/// Writes a Co-plot result as CSV: one block of observation coordinates,
+/// one block of arrows (direction + correlation), prefixed by a comment
+/// line with the goodness of fit. Meant for downstream plotting tools.
+void write_result_csv(std::ostream& out, const Result& result);
+
+}  // namespace cpw::coplot

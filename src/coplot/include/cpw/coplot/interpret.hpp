@@ -1,0 +1,44 @@
+#pragma once
+
+#include "cpw/coplot/coplot.hpp"
+
+namespace cpw::coplot {
+
+/// One variable's reading for one observation (paper §5: "the projection of
+/// a point on a variable's arrow should be proportional to its distance
+/// from the variable's average, above average in the direction of the
+/// arrow").
+struct VariableReading {
+  std::string variable;
+  double score = 0.0;        ///< projection in units of the map's RMS radius
+  double correlation = 0.0;  ///< how trustworthy the arrow is
+};
+
+/// Full §5-style characterization of one observation: its projection on
+/// every arrow, ordered from most-above-average to most-below-average.
+struct ObservationProfile {
+  std::string observation;
+  std::vector<VariableReading> readings;  ///< sorted by score, descending
+
+  /// Variables on which this observation is clearly above average
+  /// (score > +threshold) / below (score < -threshold).
+  [[nodiscard]] std::vector<std::string> above_average(
+      double threshold = 0.5) const;
+  [[nodiscard]] std::vector<std::string> below_average(
+      double threshold = 0.5) const;
+};
+
+/// Characterizes observation `index` of a Co-plot result.
+ObservationProfile describe_observation(const Result& result,
+                                        std::size_t index);
+
+/// Characterizes an observation by name.
+ObservationProfile describe_observation(const Result& result,
+                                        const std::string& name);
+
+/// Renders a profile as a short text report ("CTC: above average in Rm,
+/// Ri; below average in Nm, Ni"), the way the paper narrates its maps.
+std::string render_profile(const ObservationProfile& profile,
+                           double threshold = 0.5);
+
+}  // namespace cpw::coplot

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "cpw/coplot/coplot.hpp"
+
+namespace cpw::coplot {
+
+/// Leave-one-out stability analysis of a Co-plot map.
+///
+/// The paper repeatedly qualifies its readings by stability across reruns
+/// ("it should be noted that in some of the other runs the third cluster
+/// disappears", §4; "only stable findings are reported"). This routine
+/// makes that qualitative practice quantitative: the analysis is re-run
+/// with each observation left out in turn, every reduced map is
+/// Procrustes-aligned onto the full map (restricted to the shared
+/// observations), and per-variable / per-observation displacement
+/// statistics are aggregated.
+struct StabilityReport {
+  /// For each variable: the circular standard deviation (radians) of its
+  /// arrow direction across the leave-one-out replicates. Small values mean
+  /// the arrow — and any cluster built from it — is trustworthy.
+  std::vector<double> arrow_angle_spread;
+
+  /// For each variable: minimum correlation attained across replicates.
+  std::vector<double> arrow_min_correlation;
+
+  /// For each observation: mean displacement (after alignment, in units of
+  /// the full map's RMS point radius) across the replicates that contain
+  /// it. Observations that move a lot are unreliable landmarks.
+  std::vector<double> observation_drift;
+
+  /// Mean alienation across replicates (should stay near the full map's).
+  double mean_alienation = 0.0;
+
+  /// Variable names, aligned with the per-variable vectors.
+  std::vector<std::string> variable_names;
+  std::vector<std::string> observation_names;
+};
+
+/// Runs the leave-one-out analysis. `options` applies to every refit.
+/// Requires at least 5 observations (each replicate must still be a valid
+/// Co-plot input).
+StabilityReport stability_analysis(const Dataset& dataset,
+                                   const Options& options = {});
+
+}  // namespace cpw::coplot

@@ -1,0 +1,99 @@
+#include "cpw/coplot/interpret.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cpw::coplot {
+
+namespace {
+
+/// RMS point radius of a centered embedding — the natural unit for
+/// projection scores (so thresholds are configuration-scale-free).
+double rms_radius(const mds::Embedding& embedding) {
+  if (embedding.size() == 0) return 1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    total += embedding.x[i] * embedding.x[i] + embedding.y[i] * embedding.y[i];
+  }
+  const double rms = std::sqrt(total / static_cast<double>(embedding.size()));
+  return rms > 0.0 ? rms : 1.0;
+}
+
+}  // namespace
+
+ObservationProfile describe_observation(const Result& result,
+                                        std::size_t index) {
+  CPW_REQUIRE(index < result.embedding.size(), "observation index out of range");
+
+  ObservationProfile profile;
+  profile.observation = result.dataset.observation_names[index];
+  const double unit = rms_radius(result.embedding);
+
+  for (const Arrow& arrow : result.arrows) {
+    VariableReading reading;
+    reading.variable = arrow.name;
+    // The map is centered, so the projection is directly the signed
+    // distance from the (map image of the) average along the arrow.
+    reading.score = (arrow.dx * result.embedding.x[index] +
+                     arrow.dy * result.embedding.y[index]) /
+                    unit;
+    reading.correlation = arrow.correlation;
+    profile.readings.push_back(reading);
+  }
+  std::sort(profile.readings.begin(), profile.readings.end(),
+            [](const VariableReading& a, const VariableReading& b) {
+              return a.score > b.score;
+            });
+  return profile;
+}
+
+ObservationProfile describe_observation(const Result& result,
+                                        const std::string& name) {
+  const auto& names = result.dataset.observation_names;
+  const auto it = std::find(names.begin(), names.end(), name);
+  CPW_REQUIRE(it != names.end(), "unknown observation: " + name);
+  return describe_observation(result,
+                              static_cast<std::size_t>(it - names.begin()));
+}
+
+std::vector<std::string> ObservationProfile::above_average(
+    double threshold) const {
+  std::vector<std::string> out;
+  for (const VariableReading& reading : readings) {
+    if (reading.score > threshold) out.push_back(reading.variable);
+  }
+  return out;
+}
+
+std::vector<std::string> ObservationProfile::below_average(
+    double threshold) const {
+  std::vector<std::string> out;
+  for (auto it = readings.rbegin(); it != readings.rend(); ++it) {
+    if (it->score < -threshold) out.push_back(it->variable);
+  }
+  return out;
+}
+
+std::string render_profile(const ObservationProfile& profile,
+                           double threshold) {
+  std::ostringstream out;
+  out << profile.observation << ':';
+  const auto above = profile.above_average(threshold);
+  const auto below = profile.below_average(threshold);
+  if (above.empty() && below.empty()) {
+    out << " near average on all variables";
+    return out.str();
+  }
+  if (!above.empty()) {
+    out << " above average in";
+    for (const auto& name : above) out << ' ' << name;
+  }
+  if (!below.empty()) {
+    out << (above.empty() ? " " : "; ") << "below average in";
+    for (const auto& name : below) out << ' ' << name;
+  }
+  return out.str();
+}
+
+}  // namespace cpw::coplot

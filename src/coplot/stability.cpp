@@ -1,0 +1,129 @@
+#include "cpw/coplot/stability.hpp"
+
+#include <cmath>
+
+#include "cpw/util/rng.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw::coplot {
+
+namespace {
+
+/// Circular standard deviation of a set of angles (radians): based on the
+/// mean resultant length R, sd = sqrt(-2 ln R).
+double circular_sd(const std::vector<double>& angles) {
+  if (angles.size() < 2) return 0.0;
+  double sum_cos = 0.0, sum_sin = 0.0;
+  for (double a : angles) {
+    sum_cos += std::cos(a);
+    sum_sin += std::sin(a);
+  }
+  const double n = static_cast<double>(angles.size());
+  const double resultant =
+      std::min(std::hypot(sum_cos, sum_sin) / n, 1.0 - 1e-15);
+  return std::sqrt(-2.0 * std::log(resultant));
+}
+
+}  // namespace
+
+StabilityReport stability_analysis(const Dataset& dataset,
+                                   const Options& options) {
+  dataset.check();
+  const std::size_t n = dataset.observations();
+  const std::size_t p = dataset.variables();
+  CPW_REQUIRE(n >= 5, "stability_analysis needs >= 5 observations");
+
+  const Result full = analyze(dataset, options);
+
+  // RMS radius of the full (centered) map: the displacement unit.
+  double rms = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rms += full.embedding.x[i] * full.embedding.x[i] +
+           full.embedding.y[i] * full.embedding.y[i];
+  }
+  rms = std::sqrt(rms / static_cast<double>(n));
+  if (rms <= 0.0) rms = 1.0;
+
+  // One replicate per left-out observation, in parallel.
+  std::vector<Result> replicates(n);
+  parallel_for(n, [&](std::size_t leave_out) {
+    Dataset reduced = dataset;
+    reduced.remove_observation(leave_out);
+    Options replicate_options = options;
+    replicate_options.ssa.seed = derive_seed(options.ssa.seed, leave_out + 1);
+    replicates[leave_out] = analyze(reduced, replicate_options);
+  });
+
+  StabilityReport report;
+  report.variable_names = dataset.variable_names;
+  report.observation_names = dataset.observation_names;
+  report.arrow_angle_spread.assign(p, 0.0);
+  report.arrow_min_correlation.assign(p, 1.0);
+  report.observation_drift.assign(n, 0.0);
+  std::vector<std::size_t> drift_samples(n, 0);
+
+  std::vector<std::vector<double>> angles(p);
+  double alienation_sum = 0.0;
+
+  for (std::size_t leave_out = 0; leave_out < n; ++leave_out) {
+    const Result& replicate = replicates[leave_out];
+    alienation_sum += replicate.alienation;
+
+    // Align the replicate onto the full map over the shared observations.
+    mds::Embedding target;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == leave_out) continue;
+      target.x.push_back(full.embedding.x[i]);
+      target.y.push_back(full.embedding.y[i]);
+    }
+    // Center the target subset: procrustes_align aligns the mobile onto the
+    // *centered* target, so displacements must be measured there too.
+    target.center();
+    mds::Embedding mobile = replicate.embedding;
+    procrustes_align(target, mobile);
+
+    // Arrow directions must rotate with the alignment; recompute them
+    // against the aligned configuration (fit_arrow is cheap).
+    std::size_t row = 0;
+    std::vector<std::size_t> kept;  // replicate row -> original index
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != leave_out) kept.push_back(i);
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      std::vector<double> column(kept.size());
+      for (std::size_t r = 0; r < kept.size(); ++r) {
+        column[r] = dataset.values(kept[r], j);
+      }
+      const Arrow aligned =
+          fit_arrow(mobile, column, dataset.variable_names[j]);
+      angles[j].push_back(aligned.angle);
+      report.arrow_min_correlation[j] =
+          std::min(report.arrow_min_correlation[j], aligned.correlation);
+    }
+
+    // Per-observation displacement.
+    row = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == leave_out) continue;
+      // `target` row order matches `kept` order == mobile order.
+      const double dx = mobile.x[row] - target.x[row];
+      const double dy = mobile.y[row] - target.y[row];
+      report.observation_drift[i] += std::hypot(dx, dy) / rms;
+      ++drift_samples[i];
+      ++row;
+    }
+  }
+
+  for (std::size_t j = 0; j < p; ++j) {
+    report.arrow_angle_spread[j] = circular_sd(angles[j]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (drift_samples[i] > 0) {
+      report.observation_drift[i] /= static_cast<double>(drift_samples[i]);
+    }
+  }
+  report.mean_alienation = alienation_sum / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace cpw::coplot

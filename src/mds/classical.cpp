@@ -1,0 +1,53 @@
+#include "cpw/mds/classical.hpp"
+
+#include <cmath>
+
+#include "cpw/mds/dissimilarity.hpp"
+
+namespace cpw::mds {
+
+Embedding classical_mds(const Matrix& dissimilarity) {
+  const std::size_t n = dissimilarity.rows();
+  CPW_REQUIRE(n == dissimilarity.cols(), "dissimilarity must be square");
+  CPW_REQUIRE(n >= 2, "classical_mds needs at least two observations");
+
+  // B = -1/2 J D² J with J the centering matrix.
+  Matrix b(n, n);
+  std::vector<double> row_mean(n, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double d2 = dissimilarity(i, k) * dissimilarity(i, k);
+      b(i, k) = d2;
+      row_mean[i] += d2;
+      grand += d2;
+    }
+    row_mean[i] /= static_cast<double>(n);
+  }
+  grand /= static_cast<double>(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      b(i, k) = -0.5 * (b(i, k) - row_mean[i] - row_mean[k] + grand);
+    }
+  }
+
+  const SymmetricEigen eig = symmetric_eigen(b);
+
+  Embedding out;
+  out.x.resize(n);
+  out.y.resize(n);
+  const double l1 = std::max(eig.values[0], 0.0);
+  const double l2 = n >= 2 ? std::max(eig.values[1], 0.0) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = eig.vectors(i, 0) * std::sqrt(l1);
+    out.y[i] = eig.vectors(i, 1) * std::sqrt(l2);
+  }
+
+  const auto diss = upper_triangle(dissimilarity);
+  const auto dist = out.pair_distances();
+  out.alienation = coefficient_of_alienation(diss, dist);
+  out.stress1 = stress1(dist, diss);
+  return out;
+}
+
+}  // namespace cpw::mds

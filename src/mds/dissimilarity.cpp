@@ -1,0 +1,43 @@
+#include "cpw/mds/dissimilarity.hpp"
+
+#include <cmath>
+
+namespace cpw::mds {
+
+Matrix dissimilarity_matrix(const Matrix& data, Measure measure) {
+  const std::size_t n = data.rows();
+  const std::size_t p = data.cols();
+  Matrix out(n, n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row_i = data.row(i);
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const auto row_k = data.row(k);
+      double d = 0.0;
+      if (measure == Measure::kCityBlock) {
+        for (std::size_t j = 0; j < p; ++j) d += std::abs(row_i[j] - row_k[j]);
+      } else {
+        for (std::size_t j = 0; j < p; ++j) {
+          const double diff = row_i[j] - row_k[j];
+          d += diff * diff;
+        }
+        d = std::sqrt(d);
+      }
+      out(i, k) = d;
+      out(k, i) = d;
+    }
+  }
+  return out;
+}
+
+std::vector<double> upper_triangle(const Matrix& sym) {
+  const std::size_t n = sym.rows();
+  std::vector<double> out;
+  out.reserve(pair_count(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k) out.push_back(sym(i, k));
+  }
+  return out;
+}
+
+}  // namespace cpw::mds

@@ -1,0 +1,156 @@
+#include "cpw/mds/embedding.hpp"
+
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::mds {
+
+std::vector<double> Embedding::pair_distances() const {
+  const std::size_t n = size();
+  std::vector<double> out;
+  out.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const double dx = x[i] - x[k];
+      const double dy = y[i] - y[k];
+      out.push_back(std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  return out;
+}
+
+void Embedding::center() {
+  const std::size_t n = size();
+  if (n == 0) return;
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cx += x[i];
+    cy += y[i];
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] -= cx;
+    y[i] -= cy;
+  }
+}
+
+void Embedding::rotate(double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double nx = c * x[i] - s * y[i];
+    const double ny = s * x[i] + c * y[i];
+    x[i] = nx;
+    y[i] = ny;
+  }
+}
+
+double monotonicity_mu(std::span<const double> dissimilarities,
+                       std::span<const double> distances) {
+  CPW_REQUIRE(dissimilarities.size() == distances.size(),
+              "mu needs matching pair lists");
+  const std::size_t p = dissimilarities.size();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a + 1; b < p; ++b) {
+      const double ds = dissimilarities[a] - dissimilarities[b];
+      const double dd = distances[a] - distances[b];
+      numerator += ds * dd;
+      denominator += std::abs(ds) * std::abs(dd);
+    }
+  }
+  if (denominator == 0.0) return 1.0;  // degenerate: everything tied
+  return numerator / denominator;
+}
+
+double coefficient_of_alienation(std::span<const double> dissimilarities,
+                                 std::span<const double> distances) {
+  const double mu = monotonicity_mu(dissimilarities, distances);
+  const double clamped = std::min(1.0, std::max(-1.0, mu));
+  return std::sqrt(1.0 - clamped * clamped);
+}
+
+double stress1(std::span<const double> distances,
+               std::span<const double> disparities) {
+  CPW_REQUIRE(distances.size() == disparities.size(),
+              "stress1 needs matching pair lists");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const double diff = distances[i] - disparities[i];
+    num += diff * diff;
+    den += distances[i] * distances[i];
+  }
+  if (den == 0.0) return 0.0;
+  return std::sqrt(num / den);
+}
+
+double procrustes_align(const Embedding& target, Embedding& mobile,
+                        bool allow_reflection, bool allow_scaling) {
+  CPW_REQUIRE(target.size() == mobile.size(),
+              "procrustes needs equal-size configurations");
+  const std::size_t n = target.size();
+  CPW_REQUIRE(n >= 2, "procrustes needs at least two points");
+
+  Embedding t = target;
+  t.center();
+  mobile.center();
+
+  // Cross-covariance M = T^T M_mobile (2x2) and mobile norm.
+  double sxx = 0.0, sxy = 0.0, syx = 0.0, syy = 0.0, norm_m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += t.x[i] * mobile.x[i];
+    sxy += t.x[i] * mobile.y[i];
+    syx += t.y[i] * mobile.x[i];
+    syy += t.y[i] * mobile.y[i];
+    norm_m += mobile.x[i] * mobile.x[i] + mobile.y[i] * mobile.y[i];
+  }
+
+  // Best pure rotation: angle maximizing trace; with optional reflection we
+  // also test the mirrored configuration and keep the better alignment.
+  auto apply = [&](bool reflect) {
+    const double a = reflect ? sxx - syy : sxx + syy;   // cos coefficient
+    const double b = reflect ? sxy + syx : syx - sxy;   // sin coefficient
+    const double angle = std::atan2(b, a);
+    const double gain = std::sqrt(a * a + b * b);
+    return std::pair<double, double>{angle, gain};
+  };
+
+  const auto [angle_plain, gain_plain] = apply(false);
+  double angle = angle_plain;
+  double gain = gain_plain;
+  bool reflect = false;
+  if (allow_reflection) {
+    const auto [angle_ref, gain_ref] = apply(true);
+    if (gain_ref > gain) {
+      angle = angle_ref;
+      gain = gain_ref;
+      reflect = true;
+    }
+  }
+
+  if (reflect) {
+    for (std::size_t i = 0; i < n; ++i) mobile.y[i] = -mobile.y[i];
+  }
+  mobile.rotate(angle);
+
+  if (allow_scaling && norm_m > 0.0) {
+    const double scale = gain / norm_m;
+    for (std::size_t i = 0; i < n; ++i) {
+      mobile.x[i] *= scale;
+      mobile.y[i] *= scale;
+    }
+  }
+
+  double rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = t.x[i] - mobile.x[i];
+    const double dy = t.y[i] - mobile.y[i];
+    rss += dx * dx + dy * dy;
+  }
+  return std::sqrt(rss / static_cast<double>(n));
+}
+
+}  // namespace cpw::mds

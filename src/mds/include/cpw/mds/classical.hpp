@@ -1,0 +1,15 @@
+#pragma once
+
+#include "cpw/mds/embedding.hpp"
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::mds {
+
+/// Classical (Torgerson) metric scaling to two dimensions.
+///
+/// Double-centers -D²/2 and takes the top two eigenpairs of the resulting
+/// Gram matrix. Exact when the dissimilarities are Euclidean distances of a
+/// 2-D configuration; otherwise a good starting point for SSA iteration.
+Embedding classical_mds(const Matrix& dissimilarity);
+
+}  // namespace cpw::mds

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::mds {
+
+/// Dissimilarity measure between observation rows (paper §2, stage 2).
+enum class Measure {
+  kCityBlock,  ///< sum of absolute deviations (the paper's choice, eq. 2)
+  kEuclidean,  ///< L2 distance
+};
+
+/// Builds the symmetric n×n dissimilarity matrix between the rows of `data`
+/// (observations × variables). The diagonal is zero.
+Matrix dissimilarity_matrix(const Matrix& data, Measure measure);
+
+/// Flattens the strict upper triangle of a symmetric matrix in (i < k) row
+/// order. Non-metric MDS and the alienation coefficient work on this pair
+/// list, so the order must be identical everywhere.
+std::vector<double> upper_triangle(const Matrix& sym);
+
+/// Number of (i < k) pairs for n observations.
+constexpr std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }
+
+}  // namespace cpw::mds

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::mds {
+
+/// A 2-D configuration of n observation points plus its goodness-of-fit.
+struct Embedding {
+  std::vector<double> x;
+  std::vector<double> y;
+  double alienation = 1.0;  ///< Guttman's coefficient of alienation (eq. 4)
+  double stress1 = 1.0;     ///< Kruskal stress-1 of the final iteration
+  int iterations = 0;       ///< SMACOF iterations actually run
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+
+  /// Pairwise Euclidean map distances, upper-triangle (i < k) order.
+  [[nodiscard]] std::vector<double> pair_distances() const;
+
+  /// Translates the centroid to the origin.
+  void center();
+
+  /// Rotates by `angle` radians about the origin (in place).
+  void rotate(double angle);
+};
+
+/// Guttman's monotonicity coefficient μ (paper eq. 3) between dissimilarities
+/// and map distances, computed exactly over all pairs of pairs — O(P²) in the
+/// number P of observation pairs.
+double monotonicity_mu(std::span<const double> dissimilarities,
+                       std::span<const double> distances);
+
+/// Coefficient of alienation Θ = sqrt(1 - μ²) (paper eq. 4). Values below
+/// 0.15 are considered a good fit.
+double coefficient_of_alienation(std::span<const double> dissimilarities,
+                                 std::span<const double> distances);
+
+/// Kruskal stress-1 between distances and disparities.
+double stress1(std::span<const double> distances,
+               std::span<const double> disparities);
+
+/// Least-squares Procrustes alignment of `mobile` onto `target`:
+/// translation + rotation (+ optional reflection and uniform scale). Returns
+/// the residual root-mean-square distance after alignment. Used to compare
+/// configurations across runs (map coordinates are only defined up to a
+/// similarity transform).
+double procrustes_align(const Embedding& target, Embedding& mobile,
+                        bool allow_reflection = true, bool allow_scaling = true);
+
+}  // namespace cpw::mds

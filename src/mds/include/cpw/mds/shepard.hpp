@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "cpw/mds/embedding.hpp"
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::mds {
+
+/// One pair's entry in a Shepard diagram: the classic MDS diagnostic plot
+/// of map distance against input dissimilarity, with the monotone
+/// (disparity) fit overlaid. A good non-metric embedding shows a tight,
+/// monotone point cloud.
+struct ShepardPoint {
+  std::size_t i = 0;           ///< first observation of the pair
+  std::size_t k = 0;           ///< second observation (i < k)
+  double dissimilarity = 0.0;  ///< input S_ik
+  double distance = 0.0;       ///< map distance d_ik
+  double disparity = 0.0;      ///< isotonic fit of d on the order of S
+};
+
+/// Full Shepard diagram data plus summary diagnostics.
+struct ShepardDiagram {
+  std::vector<ShepardPoint> points;  ///< sorted by dissimilarity
+  double alienation = 1.0;           ///< paper eq. 3-4 on these pairs
+  double stress1 = 1.0;              ///< Kruskal stress-1 of the fit
+  double rank_correlation = 0.0;     ///< Spearman of distance vs dissimilarity
+};
+
+/// Computes the Shepard diagram of an embedding against its dissimilarity
+/// matrix. Useful to inspect *which* pairs an imperfect map distorts, not
+/// just how much in aggregate.
+ShepardDiagram shepard_diagram(const Matrix& dissimilarity,
+                               const Embedding& embedding);
+
+/// Renders the diagram as a compact text scatter (distance vs
+/// dissimilarity), for logs and examples.
+std::string render_shepard(const ShepardDiagram& diagram, int width = 60,
+                           int height = 20);
+
+}  // namespace cpw::mds

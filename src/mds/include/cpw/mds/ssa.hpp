@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cpw/mds/embedding.hpp"
+#include "cpw/util/matrix.hpp"
+
+namespace cpw::mds {
+
+/// Options for the Smallest Space Analysis solver.
+struct SsaOptions {
+  int max_iterations = 500;       ///< SMACOF iterations per start
+  double tolerance = 1e-9;        ///< stop when stress improves less than this
+  int random_restarts = 8;        ///< extra random starts beside classical init
+  std::uint64_t seed = 0x5EEDu;   ///< master seed for the random starts
+  bool parallel_restarts = true;  ///< run restarts on the global thread pool
+};
+
+/// Guttman's Smallest Space Analysis (non-metric MDS to two dimensions).
+///
+/// Realized as SMACOF majorization alternating with monotone (rank)
+/// regression: each iteration computes map distances, replaces them by their
+/// isotonic fit with respect to the dissimilarity order (PAVA, the modern
+/// equivalent of Guttman's rank images), and applies the Guttman transform.
+/// Each start runs to convergence; the configuration with the smallest
+/// coefficient of alienation (paper eq. 3–4) wins. Restarts run in parallel
+/// and deterministically for a fixed seed.
+Embedding ssa(const Matrix& dissimilarity, const SsaOptions& options = {});
+
+}  // namespace cpw::mds

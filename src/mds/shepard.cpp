@@ -1,0 +1,60 @@
+#include "cpw/mds/shepard.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/ascii_plot.hpp"
+
+namespace cpw::mds {
+
+ShepardDiagram shepard_diagram(const Matrix& dissimilarity,
+                               const Embedding& embedding) {
+  CPW_REQUIRE(dissimilarity.rows() == embedding.size(),
+              "embedding size does not match dissimilarity matrix");
+  const std::size_t n = embedding.size();
+
+  ShepardDiagram diagram;
+  const std::vector<double> s = upper_triangle(dissimilarity);
+  const std::vector<double> d = embedding.pair_distances();
+
+  // Assemble pairs and sort by dissimilarity.
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k, ++p) {
+      diagram.points.push_back({i, k, s[p], d[p], 0.0});
+    }
+  }
+  std::sort(diagram.points.begin(), diagram.points.end(),
+            [](const ShepardPoint& a, const ShepardPoint& b) {
+              return a.dissimilarity < b.dissimilarity;
+            });
+
+  // Disparities: isotonic fit of the distances in dissimilarity order.
+  std::vector<double> sorted_d(diagram.points.size());
+  for (std::size_t q = 0; q < diagram.points.size(); ++q) {
+    sorted_d[q] = diagram.points[q].distance;
+  }
+  const std::vector<double> fitted = stats::pava_isotonic(sorted_d);
+  for (std::size_t q = 0; q < diagram.points.size(); ++q) {
+    diagram.points[q].disparity = fitted[q];
+  }
+
+  diagram.alienation = coefficient_of_alienation(s, d);
+  diagram.stress1 = stress1(sorted_d, fitted);
+  diagram.rank_correlation = stats::spearman(s, d);
+  return diagram;
+}
+
+std::string render_shepard(const ShepardDiagram& diagram, int width,
+                           int height) {
+  AsciiPlot plot(width, height);
+  for (const ShepardPoint& point : diagram.points) {
+    plot.add_point(point.dissimilarity, point.distance, "");
+  }
+  return plot.render();
+}
+
+}  // namespace cpw::mds

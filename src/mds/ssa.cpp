@@ -1,0 +1,149 @@
+#include "cpw/mds/ssa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "cpw/mds/classical.hpp"
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw::mds {
+
+namespace {
+
+/// One SMACOF + monotone-regression descent from a given start.
+Embedding descend(const Matrix& diss, Embedding start, const SsaOptions& opt) {
+  const std::size_t n = diss.rows();
+  const std::size_t pairs = pair_count(n);
+
+  const std::vector<double> s = upper_triangle(diss);
+
+  // Pairs sorted by dissimilarity — the order monotone regression works in.
+  std::vector<std::size_t> order(pairs);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+
+  Embedding config = std::move(start);
+  config.center();
+
+  std::vector<double> dist(pairs);
+  std::vector<double> sorted_dist(pairs);
+  std::vector<double> disparity(pairs);
+  double previous_stress = std::numeric_limits<double>::infinity();
+  int iteration = 0;
+
+  for (; iteration < opt.max_iterations; ++iteration) {
+    // Current map distances.
+    {
+      std::size_t p = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = i + 1; k < n; ++k, ++p) {
+          const double dx = config.x[i] - config.x[k];
+          const double dy = config.y[i] - config.y[k];
+          dist[p] = std::sqrt(dx * dx + dy * dy);
+        }
+      }
+    }
+
+    // Monotone regression of distances on the dissimilarity order.
+    for (std::size_t p = 0; p < pairs; ++p) sorted_dist[p] = dist[order[p]];
+    const std::vector<double> fitted = stats::pava_isotonic(sorted_dist);
+    for (std::size_t p = 0; p < pairs; ++p) disparity[order[p]] = fitted[p];
+
+    // Normalize disparities so the configuration cannot collapse:
+    // scale them to the same sum of squares as the distances.
+    double ss_dist = 0.0, ss_disp = 0.0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      ss_dist += dist[p] * dist[p];
+      ss_disp += disparity[p] * disparity[p];
+    }
+    if (ss_disp > 0.0) {
+      const double scale = std::sqrt(ss_dist / ss_disp);
+      for (double& d : disparity) d *= scale;
+    }
+
+    const double stress = stress1(dist, disparity);
+    if (previous_stress - stress < opt.tolerance) {
+      break;
+    }
+    previous_stress = stress;
+
+    // Guttman transform: X' = (1/n) B X with b_ik = -disparity/dist off-diag.
+    std::vector<double> nx(n, 0.0), ny(n, 0.0);
+    {
+      std::size_t p = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = i + 1; k < n; ++k, ++p) {
+          const double ratio = dist[p] > 1e-12 ? disparity[p] / dist[p] : 0.0;
+          // Off-diagonal contribution -ratio, diagonal accumulates +ratio.
+          nx[i] += ratio * (config.x[i] - config.x[k]);
+          ny[i] += ratio * (config.y[i] - config.y[k]);
+          nx[k] += ratio * (config.x[k] - config.x[i]);
+          ny[k] += ratio * (config.y[k] - config.y[i]);
+        }
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      config.x[i] = nx[i] * inv_n;
+      config.y[i] = ny[i] * inv_n;
+    }
+    config.center();
+  }
+
+  // Final goodness of fit.
+  const auto final_dist = config.pair_distances();
+  config.alienation = coefficient_of_alienation(s, final_dist);
+  config.stress1 = previous_stress;
+  config.iterations = iteration;
+  return config;
+}
+
+Embedding random_start(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Embedding e;
+  e.x.resize(n);
+  e.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    e.x[i] = rng.normal();
+    e.y[i] = rng.normal();
+  }
+  return e;
+}
+
+}  // namespace
+
+Embedding ssa(const Matrix& diss, const SsaOptions& options) {
+  const std::size_t n = diss.rows();
+  CPW_REQUIRE(n == diss.cols(), "dissimilarity must be square");
+  CPW_REQUIRE(n >= 3, "ssa needs at least three observations");
+
+  const int starts = 1 + std::max(0, options.random_restarts);
+  std::vector<Embedding> results(static_cast<std::size_t>(starts));
+
+  auto run_one = [&](std::size_t index) {
+    Embedding start = index == 0
+                          ? classical_mds(diss)
+                          : random_start(n, derive_seed(options.seed, index));
+    results[index] = descend(diss, std::move(start), options);
+  };
+
+  if (options.parallel_restarts) {
+    parallel_for(static_cast<std::size_t>(starts), run_one);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(starts); ++i) run_one(i);
+  }
+
+  const auto best = std::min_element(
+      results.begin(), results.end(), [](const Embedding& a, const Embedding& b) {
+        return a.alienation < b.alienation;
+      });
+  return *best;
+}
+
+}  // namespace cpw::mds

@@ -1,0 +1,49 @@
+#include "cpw/models/downey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::models {
+
+DowneyModel::DowneyModel(std::int64_t processors)
+    : DowneyModel(processors, Parameters{}) {}
+
+DowneyModel::DowneyModel(std::int64_t processors, Parameters params)
+    : processors_(processors), params_(params) {
+  CPW_REQUIRE(processors >= 1, "DowneyModel needs >= 1 processor");
+  CPW_REQUIRE(params.service_lo > 0.0 && params.service_hi > params.service_lo,
+              "DowneyModel service-time bounds invalid");
+}
+
+swf::Log DowneyModel::generate(std::size_t jobs, std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, 0xD0));
+  const stats::LogUniform service(params_.service_lo, params_.service_hi);
+  const stats::LogUniform parallelism(params_.parallelism_lo,
+                                      static_cast<double>(processors_));
+
+  swf::JobList list;
+  list.reserve(jobs);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    clock += rng.exponential(1.0 / params_.arrival_gap_mean);
+    const double total_service = service.sample(rng);
+    const double average_parallelism = parallelism.sample(rng);
+
+    swf::Job job;
+    job.submit_time = clock;
+    job.processors = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::lround(average_parallelism)), 1,
+        processors_);
+    job.run_time = total_service / static_cast<double>(job.processors);
+    job.cpu_time_avg = job.run_time;
+    job.user = static_cast<std::int64_t>(i % 53);
+    job.status = 1;
+    job.queue = swf::kQueueBatch;
+    list.push_back(job);
+  }
+  return finish_log(name(), std::move(list), processors_);
+}
+
+}  // namespace cpw::models

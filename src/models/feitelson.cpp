@@ -1,0 +1,103 @@
+#include "cpw/models/feitelson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::models {
+
+namespace {
+bool is_power_of_two(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+double FeitelsonModel::size_weight(std::int64_t n) {
+  // Harmonic-like emphasis of small jobs, with a strong boost for powers of
+  // two — the two features the paper names for this model's size
+  // distribution.
+  double w = std::pow(static_cast<double>(n), -1.5);
+  if (is_power_of_two(n)) w *= 10.0;
+  return w;
+}
+
+FeitelsonModel::FeitelsonModel(Version version, std::int64_t processors)
+    : version_(version),
+      processors_(processors),
+      repetitions_(version == Version::k1996 ? 64u : 192u,
+                   version == Version::k1996 ? 2.5 : 1.9),
+      arrival_gap_mean_(version == Version::k1996 ? 450.0 : 420.0) {
+  CPW_REQUIRE(processors >= 1, "FeitelsonModel needs >= 1 processor");
+  size_cdf_.resize(static_cast<std::size_t>(processors));
+  double total = 0.0;
+  for (std::int64_t n = 1; n <= processors; ++n) {
+    total += size_weight(n);
+    size_cdf_[static_cast<std::size_t>(n - 1)] = total;
+  }
+  for (double& c : size_cdf_) c /= total;
+}
+
+std::int64_t FeitelsonModel::sample_size(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(size_cdf_.begin(), size_cdf_.end(), u);
+  return static_cast<std::int64_t>(it - size_cdf_.begin()) + 1;
+}
+
+double FeitelsonModel::sample_runtime(std::int64_t size, Rng& rng) const {
+  // Scale grows with log2(size): bigger jobs run longer on average — the
+  // size/runtime correlation both model versions include.
+  const double scale =
+      12.0 * (1.0 + std::log2(static_cast<double>(size) + 1.0));
+  if (version_ == Version::k1996) {
+    // Two-stage hyper-exponential: mostly short, occasionally 20x longer.
+    const stats::HyperExponential h(0.85, 1.0, 1.0 / 20.0);
+    return scale * h.sample(rng);
+  }
+  // 1997 revision: three stages with a longer extreme tail.
+  const stats::HyperExponential h(
+      std::vector<stats::HyperExponential::Branch>{{0.70, 1.0},
+                                                   {0.25, 1.0 / 15.0},
+                                                   {0.05, 1.0 / 120.0}});
+  return scale * h.sample(rng);
+}
+
+std::string FeitelsonModel::name() const {
+  return version_ == Version::k1996 ? "Feitelson96" : "Feitelson97";
+}
+
+swf::Log FeitelsonModel::generate(std::size_t jobs, std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, 0x0F96 + (version_ == Version::k1997 ? 1 : 0)));
+  swf::JobList list;
+  list.reserve(jobs);
+
+  double clock = 0.0;
+  std::int64_t application_id = 0;
+  while (list.size() < jobs) {
+    // One application: fixed size, fresh runtime per execution, repeated
+    // r times back-to-back (rerun submitted when the previous ends).
+    ++application_id;
+    const std::int64_t size = sample_size(rng);
+    const unsigned reps = repetitions_.sample_int(rng);
+
+    clock += rng.exponential(1.0 / arrival_gap_mean_);
+    double submit = clock;
+    for (unsigned r = 0; r < reps && list.size() < jobs; ++r) {
+      const double runtime = sample_runtime(size, rng);
+      swf::Job job;
+      job.submit_time = submit;
+      job.run_time = runtime;
+      job.processors = size;
+      job.cpu_time_avg = runtime;  // pure model: jobs compute continuously
+      job.executable = application_id;
+      job.user = application_id % 41;  // synthetic user population
+      job.status = 1;
+      job.queue = swf::kQueueBatch;
+      list.push_back(job);
+      submit += runtime;  // resubmitted after the previous run terminates
+    }
+    clock = std::max(clock, submit - arrival_gap_mean_);
+  }
+
+  return finish_log(name(), std::move(list), processors_);
+}
+
+}  // namespace cpw::models

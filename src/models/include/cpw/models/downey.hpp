@@ -1,0 +1,38 @@
+#pragma once
+
+#include "cpw/models/model.hpp"
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::models {
+
+/// Downey's model (paper §7, refs [4,5]), built from an analysis of the
+/// SDSC Paragon log.
+///
+/// Service time (total computation across all nodes) and average
+/// parallelism are drawn from his log-uniform distributions; following the
+/// paper's "pure model" reading, the average parallelism is used directly
+/// as the processor count and the runtime is service time divided by it.
+/// Arrivals are Poisson.
+class DowneyModel final : public WorkloadModel {
+ public:
+  struct Parameters {
+    double service_lo = 10.0;      ///< seconds, lower bound of log-uniform
+    double service_hi = 40000.0;   ///< seconds, upper bound
+    double parallelism_lo = 1.0;
+    double arrival_gap_mean = 150.0;
+  };
+
+  explicit DowneyModel(std::int64_t processors = 128);
+  DowneyModel(std::int64_t processors, Parameters params);
+
+  [[nodiscard]] std::string name() const override { return "Downey"; }
+  [[nodiscard]] swf::Log generate(std::size_t jobs,
+                                  std::uint64_t seed) const override;
+  [[nodiscard]] std::int64_t processors() const override { return processors_; }
+
+ private:
+  std::int64_t processors_;
+  Parameters params_;
+};
+
+}  // namespace cpw::models

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "cpw/models/model.hpp"
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::models {
+
+/// Feitelson's workload models (paper §7, refs [7] 1996 and [8] 1997).
+///
+/// Main features, re-implemented from the published descriptions:
+///  * hand-tailored job-size distribution emphasizing small jobs and powers
+///    of two (a harmonic-like weight 1/n^1.5 with a multiplicative boost on
+///    power-of-two sizes);
+///  * runtime correlated with job size (hyper-exponential whose scale grows
+///    with log2 of the size);
+///  * repeated job executions: an "application" is resubmitted r times with
+///    r drawn from a truncated Zipf, each rerun entering the moment the
+///    previous execution terminates (the paper's "pure model" reading).
+///
+/// The 1997 revision differs by a heavier repetition tail and a third
+/// hyper-exponential runtime stage — which is why the paper measures it as
+/// the most self-similar of the synthetic models (Figure 5).
+class FeitelsonModel final : public WorkloadModel {
+ public:
+  enum class Version { k1996, k1997 };
+
+  explicit FeitelsonModel(Version version, std::int64_t processors = 128);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] swf::Log generate(std::size_t jobs,
+                                  std::uint64_t seed) const override;
+  [[nodiscard]] std::int64_t processors() const override { return processors_; }
+
+  /// Probability weight the size distribution gives to size n (unnormalized;
+  /// exposed for tests of the power-of-two emphasis).
+  [[nodiscard]] static double size_weight(std::int64_t n);
+
+ private:
+  [[nodiscard]] std::int64_t sample_size(Rng& rng) const;
+  [[nodiscard]] double sample_runtime(std::int64_t size, Rng& rng) const;
+
+  Version version_;
+  std::int64_t processors_;
+  std::vector<double> size_cdf_;
+  stats::Zipf repetitions_;
+  double arrival_gap_mean_;
+};
+
+}  // namespace cpw::models

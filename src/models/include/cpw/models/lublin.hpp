@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+
+#include "cpw/models/model.hpp"
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::models {
+
+/// Lublin's workload model (paper §7, ref [20] — the Hebrew University
+/// masters thesis the paper cites as "in preparation"), re-implemented from
+/// its published structure:
+///
+///  * job size: serial with a fixed probability, otherwise 2^u with u from
+///    a two-stage uniform distribution, rounded to a power of two with high
+///    probability (the power-of-two emphasis);
+///  * runtime: two-branch hyper-gamma whose branch probability depends
+///    linearly on log2(size), producing the size/runtime correlation;
+///  * inter-arrival: non-homogeneous Poisson process with a daily cycle —
+///    48 half-hour slot weights peaking during working hours — realized by
+///    thinning.
+///
+/// The paper's Figure 4 places this model at the centre of gravity of the
+/// production workloads, and its Table 3 finds it the *least* self-similar
+/// model (the daily cycle is periodic, not long-range dependent).
+class LublinModel final : public WorkloadModel {
+ public:
+  struct Parameters {
+    double serial_probability = 0.24;
+    double power2_probability = 0.75;
+    double ulow = 0.8;    ///< two-stage-uniform low bound on log2(size)
+    double umed = 4.5;    ///< break point
+    double uprob = 0.70;  ///< probability of the low segment
+    double runtime_p_intercept = 0.95;  ///< branch-1 prob at size 1
+    double runtime_p_slope = -0.055;    ///< per log2(size)
+    double base_rate = 1.0 / 270.0;     ///< peak arrival rate, jobs/second
+  };
+
+  explicit LublinModel(std::int64_t processors = 128);
+  LublinModel(std::int64_t processors, Parameters params);
+
+  [[nodiscard]] std::string name() const override { return "Lublin"; }
+  [[nodiscard]] swf::Log generate(std::size_t jobs,
+                                  std::uint64_t seed) const override;
+  [[nodiscard]] std::int64_t processors() const override { return processors_; }
+
+  /// Relative arrival intensity of each half-hour slot of the day
+  /// (48 entries, maximum 1).
+  [[nodiscard]] static const std::array<double, 48>& daily_cycle();
+
+ private:
+  [[nodiscard]] std::int64_t sample_size(Rng& rng) const;
+  [[nodiscard]] double sample_runtime(std::int64_t size, Rng& rng) const;
+
+  std::int64_t processors_;
+  Parameters params_;
+};
+
+}  // namespace cpw::models

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpw/swf/log.hpp"
+
+namespace cpw::models {
+
+/// A synthetic parallel-workload generator (paper §7).
+///
+/// Every model produces a complete SWF job stream: submit times, runtimes
+/// and processor counts (the three quantities all the published models
+/// cover), with total CPU work implied as runtime × processors exactly as
+/// the paper's Figure 4 analysis assumes. Generation is deterministic for a
+/// given seed.
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// Model identification as used in the paper's figures.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Generates `jobs` jobs for a machine with `processors()` nodes.
+  [[nodiscard]] virtual swf::Log generate(std::size_t jobs,
+                                          std::uint64_t seed) const = 0;
+
+  /// Machine size the model was instantiated for.
+  [[nodiscard]] virtual std::int64_t processors() const = 0;
+};
+
+using ModelPtr = std::unique_ptr<WorkloadModel>;
+
+/// The five models the paper evaluates, in its order: Feitelson '96,
+/// Feitelson '97, Downey, Jann, Lublin.
+std::vector<ModelPtr> all_models(std::int64_t processors = 128);
+
+/// Helper shared by model implementations: finishes a job list into a named
+/// SWF log with MaxProcs set.
+swf::Log finish_log(std::string name, swf::JobList jobs, std::int64_t processors);
+
+}  // namespace cpw::models

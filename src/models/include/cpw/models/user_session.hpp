@@ -1,0 +1,54 @@
+#pragma once
+
+#include "cpw/models/model.hpp"
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::models {
+
+/// A user/session-based workload generator — the "user or multi-class
+/// modeling attributes" extension the paper lists as future work (§10,
+/// citing Calzarossa & Serazzi's multiclass models).
+///
+/// Instead of drawing jobs from global distributions, a fixed population
+/// of users is simulated. Each user alternates between off-periods and
+/// *sessions* that start during working hours; within a session the user
+/// repeatedly submits their characteristic application (fixed size, their
+/// own runtime scale), waits for it to finish, thinks, and resubmits.
+///
+/// Three properties the paper found lacking in the 1990s models then
+/// emerge instead of being imposed:
+///  * repeated executions of the same application by the same user
+///    (low normalized-executables E, structured U),
+///  * a daily arrival cycle (sessions start in working hours),
+///  * burstiness across time scales from the on/off user superposition —
+///    superposed heavy-tailed on/off sources are a classic route to
+///    long-range dependence (Willinger et al.).
+class UserSessionModel final : public WorkloadModel {
+ public:
+  struct Parameters {
+    unsigned users = 64;
+    double think_time_mean = 900.0;      ///< within-session gap, seconds
+    double off_time_mean = 6.0 * 3600.0; ///< between sessions, seconds
+    double off_time_tail = 1.4;          ///< Pareto index of off-periods
+    double session_jobs_mean = 8.0;      ///< geometric session length
+    double day_start_hour = 8.0;         ///< sessions begin no earlier
+    double day_end_hour = 18.0;          ///< ... and no later than this
+    double runtime_log_mean = 5.0;       ///< per-user ln-runtime location
+    double runtime_log_user_sd = 1.2;    ///< user heterogeneity
+    double runtime_log_job_sd = 0.6;     ///< within-user variability
+  };
+
+  explicit UserSessionModel(std::int64_t processors = 128);
+  UserSessionModel(std::int64_t processors, Parameters params);
+
+  [[nodiscard]] std::string name() const override { return "UserSession"; }
+  [[nodiscard]] swf::Log generate(std::size_t jobs,
+                                  std::uint64_t seed) const override;
+  [[nodiscard]] std::int64_t processors() const override { return processors_; }
+
+ private:
+  std::int64_t processors_;
+  Parameters params_;
+};
+
+}  // namespace cpw::models

@@ -1,0 +1,107 @@
+#include "cpw/models/jann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::models {
+
+namespace {
+
+/// Builds a feasible raw-moment triple from mean and CV: m2 follows from
+/// the CV and m3 is placed safely inside the feasible region of two-branch
+/// mixtures (m3 > 1.5 m2²/m1 when CV > 1).
+stats::RawMoments target_moments(double mean, double cv) {
+  stats::RawMoments m;
+  m.m1 = mean;
+  m.m2 = mean * mean * (1.0 + cv * cv);
+  m.m3 = 2.2 * m.m2 * m.m2 / m.m1;
+  return m;
+}
+
+}  // namespace
+
+JannModel::JannModel(std::int64_t processors) : processors_(processors) {
+  CPW_REQUIRE(processors >= 1, "JannModel needs >= 1 processor");
+
+  // Power-of-two size class boundaries: 1, 2, 3-4, 5-8, ...
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::int64_t lo = 1, hi = 1;
+  while (lo <= processors) {
+    ranges.emplace_back(lo, std::min(hi, processors));
+    lo = hi + 1;
+    hi *= 2;
+  }
+
+  // Class probabilities decay geometrically — the CTC workload is dominated
+  // by small jobs (its Table 1 processor median is 2).
+  double total = 0.0;
+  std::vector<double> weight(ranges.size());
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    weight[k] = std::pow(0.55, static_cast<double>(k));
+    total += weight[k];
+  }
+
+  // Overall arrival rate target: one job every ~210 seconds (CTC-like);
+  // each class sees the proportionally thinner stream.
+  const double global_gap = 210.0;
+
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    const double probability = weight[k] / total;
+
+    // Runtime scale grows with the class index: larger jobs run longer on
+    // the CTC machine, with a heavy (CV ≈ 2.4) spread in every class.
+    const double runtime_mean = 2600.0 * (1.0 + 0.45 * static_cast<double>(k));
+    const auto runtime_fit =
+        stats::fit_hyper_erlang(target_moments(runtime_mean, 2.4));
+    CPW_REQUIRE(runtime_fit.has_value(), "Jann runtime moment fit infeasible");
+
+    const double gap_mean = global_gap / probability;
+    const auto arrival_fit =
+        stats::fit_hyper_erlang(target_moments(gap_mean, 1.8));
+    CPW_REQUIRE(arrival_fit.has_value(), "Jann arrival moment fit infeasible");
+
+    classes_.push_back({ranges[k].first, ranges[k].second, probability,
+                        *runtime_fit, *arrival_fit});
+  }
+}
+
+swf::Log JannModel::generate(std::size_t jobs, std::uint64_t seed) const {
+  swf::JobList list;
+  list.reserve(jobs);
+
+  // Independent per-class streams, merged by the final submit-time sort —
+  // the original model drives each size class by its own fitted arrival
+  // process.
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    const SizeClass& cls = classes_[k];
+    Rng rng(derive_seed(seed, 0x1A00 + k));
+    const stats::HyperErlang arrivals = cls.interarrival.distribution();
+    const stats::HyperErlang runtimes = cls.runtime.distribution();
+
+    const auto class_jobs = static_cast<std::size_t>(
+        std::llround(cls.probability * static_cast<double>(jobs)));
+    double clock = 0.0;
+    for (std::size_t i = 0; i < class_jobs; ++i) {
+      clock += arrivals.sample(rng);
+
+      swf::Job job;
+      job.submit_time = clock;
+      job.run_time = runtimes.sample(rng);
+      // Sizes inside the class favour the power-of-two upper bound.
+      job.processors = rng.bernoulli(0.6)
+                           ? cls.size_hi
+                           : rng.uniform_int(cls.size_lo, cls.size_hi);
+      job.cpu_time_avg = job.run_time;
+      job.user = static_cast<std::int64_t>((k * 131 + i) % 67);
+      job.status = 1;
+      job.queue = swf::kQueueBatch;
+      list.push_back(job);
+    }
+  }
+
+  return finish_log(name(), std::move(list), processors_);
+}
+
+}  // namespace cpw::models

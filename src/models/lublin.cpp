@@ -1,0 +1,97 @@
+#include "cpw/models/lublin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::models {
+
+const std::array<double, 48>& LublinModel::daily_cycle() {
+  // Half-hour slot weights: quiet night, morning ramp, working-hours peak,
+  // evening decline. Normalized so the peak slot is 1.
+  static const std::array<double, 48> cycle = [] {
+    std::array<double, 48> w{};
+    for (std::size_t slot = 0; slot < 48; ++slot) {
+      const double hour = static_cast<double>(slot) / 2.0;
+      // Two raised cosines: a broad day bump centred at 14:00 and a small
+      // evening shoulder around 21:00, on a 0.15 nightly floor.
+      const double day =
+          std::exp(-0.5 * std::pow((hour - 14.0) / 4.0, 2.0));
+      const double evening =
+          0.35 * std::exp(-0.5 * std::pow((hour - 21.0) / 2.0, 2.0));
+      w[slot] = 0.15 + day + evening;
+    }
+    const double peak = *std::max_element(w.begin(), w.end());
+    for (double& v : w) v /= peak;
+    return w;
+  }();
+  return cycle;
+}
+
+LublinModel::LublinModel(std::int64_t processors)
+    : LublinModel(processors, Parameters{}) {}
+
+LublinModel::LublinModel(std::int64_t processors, Parameters params)
+    : processors_(processors), params_(params) {
+  CPW_REQUIRE(processors >= 1, "LublinModel needs >= 1 processor");
+}
+
+std::int64_t LublinModel::sample_size(Rng& rng) const {
+  if (rng.bernoulli(params_.serial_probability)) return 1;
+
+  const double uhi = std::log2(static_cast<double>(processors_));
+  const stats::TwoStageUniform stage(params_.ulow, std::min(params_.umed, uhi - 0.1),
+                                     uhi, params_.uprob);
+  const double u = stage.sample(rng);
+
+  std::int64_t size;
+  if (rng.bernoulli(params_.power2_probability)) {
+    size = std::int64_t{1} << static_cast<std::int64_t>(std::lround(u));
+  } else {
+    size = static_cast<std::int64_t>(std::lround(std::exp2(u)));
+  }
+  return std::clamp<std::int64_t>(size, 1, processors_);
+}
+
+double LublinModel::sample_runtime(std::int64_t size, Rng& rng) const {
+  // Branch probability falls with log2(size): larger jobs draw the long
+  // branch more often, giving the positive size/runtime correlation.
+  const double p =
+      std::clamp(params_.runtime_p_intercept +
+                     params_.runtime_p_slope * std::log2(static_cast<double>(size)),
+                 0.25, 0.97);
+  const stats::HyperGamma runtime(p, stats::Gamma(3.0, 95.0),
+                                  stats::Gamma(2.2, 6500.0));
+  return runtime.sample(rng);
+}
+
+swf::Log LublinModel::generate(std::size_t jobs, std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, 0x10B11));
+  const auto& cycle = daily_cycle();
+
+  swf::JobList list;
+  list.reserve(jobs);
+  double clock = 0.0;
+  while (list.size() < jobs) {
+    // Non-homogeneous Poisson arrivals by thinning against the daily cycle.
+    clock += rng.exponential(params_.base_rate);
+    const auto slot = static_cast<std::size_t>(
+                          std::fmod(clock, 86400.0) / 1800.0) %
+                      cycle.size();
+    if (!rng.bernoulli(cycle[slot])) continue;
+
+    swf::Job job;
+    job.submit_time = clock;
+    job.processors = sample_size(rng);
+    job.run_time = sample_runtime(job.processors, rng);
+    job.cpu_time_avg = job.run_time;
+    job.user = static_cast<std::int64_t>(list.size() % 59);
+    job.status = 1;
+    job.queue = swf::kQueueBatch;
+    list.push_back(job);
+  }
+  return finish_log(name(), std::move(list), processors_);
+}
+
+}  // namespace cpw::models

@@ -1,0 +1,29 @@
+#include "cpw/models/model.hpp"
+
+#include "cpw/models/downey.hpp"
+#include "cpw/models/feitelson.hpp"
+#include "cpw/models/jann.hpp"
+#include "cpw/models/lublin.hpp"
+
+namespace cpw::models {
+
+swf::Log finish_log(std::string name, swf::JobList jobs,
+                    std::int64_t processors) {
+  swf::Log log(std::move(name), std::move(jobs));
+  log.set_header("MaxProcs", std::to_string(processors));
+  return log;
+}
+
+std::vector<ModelPtr> all_models(std::int64_t processors) {
+  std::vector<ModelPtr> models;
+  models.push_back(std::make_unique<FeitelsonModel>(
+      FeitelsonModel::Version::k1996, processors));
+  models.push_back(std::make_unique<FeitelsonModel>(
+      FeitelsonModel::Version::k1997, processors));
+  models.push_back(std::make_unique<DowneyModel>(processors));
+  models.push_back(std::make_unique<JannModel>(processors));
+  models.push_back(std::make_unique<LublinModel>(processors));
+  return models;
+}
+
+}  // namespace cpw::models

@@ -1,0 +1,113 @@
+#include "cpw/models/user_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::models {
+
+UserSessionModel::UserSessionModel(std::int64_t processors)
+    : UserSessionModel(processors, Parameters{}) {}
+
+UserSessionModel::UserSessionModel(std::int64_t processors, Parameters params)
+    : processors_(processors), params_(params) {
+  CPW_REQUIRE(processors >= 1, "UserSessionModel needs >= 1 processor");
+  CPW_REQUIRE(params.users >= 1, "UserSessionModel needs >= 1 user");
+  CPW_REQUIRE(params.day_start_hour < params.day_end_hour,
+              "working hours must be a non-empty window");
+  CPW_REQUIRE(params.off_time_tail > 1.0,
+              "off-time Pareto index must exceed 1 (finite mean)");
+}
+
+namespace {
+
+/// Advances `t` to the next instant whose time-of-day falls inside the
+/// working-hours window.
+double next_working_time(double t, double day_start, double day_end) {
+  const double seconds_start = day_start * 3600.0;
+  const double seconds_end = day_end * 3600.0;
+  const double day = std::floor(t / 86400.0);
+  const double tod = t - day * 86400.0;
+  if (tod < seconds_start) return day * 86400.0 + seconds_start;
+  if (tod >= seconds_end) return (day + 1.0) * 86400.0 + seconds_start;
+  return t;
+}
+
+}  // namespace
+
+swf::Log UserSessionModel::generate(std::size_t jobs,
+                                    std::uint64_t seed) const {
+  swf::JobList list;
+  list.reserve(jobs + params_.users);
+
+  // Jobs generated per user so each stream is reproducible independently;
+  // the per-user quota keeps the total near the request, and the final
+  // sort merges the streams.
+  const std::size_t per_user =
+      (jobs + params_.users - 1) / params_.users;
+
+  for (unsigned user = 0; user < params_.users; ++user) {
+    Rng rng(derive_seed(seed, 0x05E55 + user));
+
+    // The user's characteristic application: a power-of-two-leaning size
+    // and a personal runtime scale.
+    std::int64_t size = std::int64_t{1}
+                        << rng.uniform_int(0, static_cast<std::int64_t>(
+                               std::log2(static_cast<double>(processors_))));
+    if (rng.bernoulli(0.3)) {
+      size = std::clamp<std::int64_t>(size + rng.uniform_int(-size / 2, size / 2),
+                                      1, processors_);
+    }
+    const double user_log_runtime =
+        rng.normal(params_.runtime_log_mean, params_.runtime_log_user_sd);
+
+    // Heavy-tailed off-periods: the LRD-generating ingredient.
+    const stats::Pareto off_time(params_.off_time_mean *
+                                     (params_.off_time_tail - 1.0) /
+                                     params_.off_time_tail,
+                                 params_.off_time_tail);
+
+    double clock = rng.uniform(0.0, 86400.0);
+    std::size_t produced = 0;
+    while (produced < per_user) {
+      // Session start: after an off-period, snapped into working hours.
+      clock = next_working_time(clock + off_time.sample(rng),
+                                params_.day_start_hour, params_.day_end_hour);
+
+      const auto session_jobs = static_cast<std::size_t>(
+          1 + std::floor(rng.exponential(1.0 / params_.session_jobs_mean)));
+      for (std::size_t j = 0; j < session_jobs && produced < per_user; ++j) {
+        const double runtime = std::exp(
+            rng.normal(user_log_runtime, params_.runtime_log_job_sd));
+
+        swf::Job job;
+        job.submit_time = clock;
+        job.run_time = runtime;
+        job.processors = size;
+        job.cpu_time_avg = runtime;
+        job.user = static_cast<std::int64_t>(user) + 1;
+        job.executable = static_cast<std::int64_t>(user) + 1;
+        job.status = 1;
+        job.queue = runtime < 300.0 ? swf::kQueueInteractive
+                                    : swf::kQueueBatch;
+        list.push_back(job);
+        ++produced;
+
+        // The next submission waits for this run plus a think time.
+        clock += runtime + rng.exponential(1.0 / params_.think_time_mean);
+      }
+    }
+  }
+
+  // Trim to the exact request (quota rounding may overshoot slightly).
+  std::stable_sort(list.begin(), list.end(),
+                   [](const swf::Job& a, const swf::Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  if (list.size() > jobs) list.resize(jobs);
+
+  return finish_log(name(), std::move(list), processors_);
+}
+
+}  // namespace cpw::models

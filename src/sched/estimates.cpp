@@ -1,0 +1,24 @@
+#include "cpw/sched/estimates.hpp"
+
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::sched {
+
+swf::Log with_overestimates(const swf::Log& log, double factor,
+                            std::uint64_t seed) {
+  CPW_REQUIRE(factor >= 1.0, "estimate factor must be >= 1");
+  Rng rng(derive_seed(seed, 0xE57));
+
+  swf::JobList jobs = log.jobs();
+  for (swf::Job& job : jobs) {
+    if (job.run_time > 0) {
+      job.req_time = job.run_time * rng.uniform(1.0, factor);
+    }
+  }
+  swf::Log out(log.name(), std::move(jobs));
+  for (const auto& [key, value] : log.header()) out.set_header(key, value);
+  return out;
+}
+
+}  // namespace cpw::sched

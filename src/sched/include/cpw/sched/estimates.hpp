@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cpw/swf/log.hpp"
+
+namespace cpw::sched {
+
+/// Attaches synthetic user runtime estimates to a job stream: each job's
+/// requested time becomes `runtime × U(1, factor)` (users practically
+/// always over-estimate — under-estimated jobs would be killed). With
+/// factor = 1 the estimates are exact.
+///
+/// Backfilling quality depends on estimate quality; this transform lets the
+/// harnesses study that sensitivity (FCFS ignores estimates, EASY and
+/// conservative backfilling consume them through `req_time`).
+swf::Log with_overestimates(const swf::Log& log, double factor,
+                            std::uint64_t seed);
+
+}  // namespace cpw::sched

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpw/swf/log.hpp"
+
+namespace cpw::sched {
+
+/// Per-job outcome of a simulation run.
+struct JobOutcome {
+  std::int64_t id = -1;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::int64_t processors = 0;
+  double run_time = 0.0;
+
+  [[nodiscard]] double wait_time() const { return start_time - submit_time; }
+  [[nodiscard]] double response_time() const { return end_time - submit_time; }
+
+  /// Bounded slowdown with the conventional 10-second threshold: avoids
+  /// tiny jobs dominating the average.
+  [[nodiscard]] double bounded_slowdown(double threshold = 10.0) const {
+    const double denominator = std::max(run_time, threshold);
+    return std::max(response_time() / denominator, 1.0);
+  }
+};
+
+/// Aggregate metrics of one simulation run.
+struct ScheduleMetrics {
+  std::size_t jobs = 0;
+  double mean_wait = 0.0;
+  double median_wait = 0.0;
+  double p95_wait = 0.0;
+  double max_wait = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double median_bounded_slowdown = 0.0;
+  double utilization = 0.0;  ///< busy node-seconds / (machine * makespan)
+  double makespan = 0.0;     ///< last completion - first submit
+};
+
+/// Full result of a simulation run.
+struct ScheduleResult {
+  std::string scheduler;
+  std::vector<JobOutcome> outcomes;  ///< in completion order
+
+  [[nodiscard]] ScheduleMetrics metrics(std::int64_t machine_processors) const;
+};
+
+/// A space-sharing parallel-machine scheduler. Implementations are
+/// stateless: `run` simulates one job stream to completion on an initially
+/// empty machine of `processors` nodes. Jobs are rigid (the paper's setting
+/// throughout): each needs its processor count for its whole runtime.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Simulates the job stream; jobs with non-positive runtime or processor
+  /// counts are skipped (they carry no resource demand). Jobs requesting
+  /// more processors than the machine are an error.
+  [[nodiscard]] virtual ScheduleResult run(const swf::Log& log,
+                                           std::int64_t processors) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// First-come-first-served: the head of the queue blocks everyone behind it
+/// until enough processors free up. The baseline every backfilling paper
+/// compares against.
+SchedulerPtr make_fcfs();
+
+/// EASY backfilling (Lifka 1995; the scheduler behind the paper's CTC and
+/// KTH logs): FCFS with a reservation for the queue head only — a queued
+/// job may jump ahead iff it does not delay that reservation. Requires
+/// runtime estimates; this implementation uses `req_time` when present and
+/// the true runtime otherwise (perfect estimates).
+SchedulerPtr make_easy_backfilling();
+
+/// Conservative backfilling: every queued job holds a reservation; a job
+/// may only jump ahead if it delays none of them.
+SchedulerPtr make_conservative_backfilling();
+
+/// All three schedulers, FCFS first.
+std::vector<SchedulerPtr> all_schedulers();
+
+}  // namespace cpw::sched

@@ -1,0 +1,338 @@
+#include "cpw/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::sched {
+
+namespace {
+
+/// A job as the simulator sees it: the runtime estimate drives
+/// reservations, the true runtime drives completions. Estimates are
+/// `req_time` clamped from below by the true runtime (a job outliving its
+/// estimate would be killed on the real systems; we model perfect-or-over
+/// estimation, the usual simplification).
+struct SimJob {
+  std::int64_t id;
+  double submit;
+  double runtime;
+  double estimate;
+  std::int64_t procs;
+};
+
+std::vector<SimJob> prepare_jobs(const swf::Log& log,
+                                 std::int64_t processors) {
+  std::vector<SimJob> jobs;
+  jobs.reserve(log.size());
+  for (const swf::Job& job : log.jobs()) {
+    if (job.run_time <= 0 || job.processors <= 0) continue;
+    CPW_REQUIRE(job.processors <= processors,
+                "job requests more processors than the machine has");
+    SimJob sim;
+    sim.id = job.id;
+    sim.submit = job.submit_time;
+    sim.runtime = job.run_time;
+    sim.estimate = job.req_time > 0 ? std::max(job.req_time, job.run_time)
+                                    : job.run_time;
+    sim.procs = job.processors;
+    jobs.push_back(sim);
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const SimJob& a, const SimJob& b) {
+                     return a.submit < b.submit;
+                   });
+  return jobs;
+}
+
+JobOutcome make_outcome(const SimJob& job, double start) {
+  JobOutcome outcome;
+  outcome.id = job.id;
+  outcome.submit_time = job.submit;
+  outcome.start_time = start;
+  outcome.end_time = start + job.runtime;
+  outcome.processors = job.procs;
+  outcome.run_time = job.runtime;
+  return outcome;
+}
+
+/// Event-driven core shared by FCFS and EASY. The policy hook is invoked
+/// whenever the machine state changes and decides which queued jobs start.
+class EventSimulator {
+ public:
+  EventSimulator(std::vector<SimJob> jobs, std::int64_t processors)
+      : jobs_(std::move(jobs)), total_procs_(processors), free_(processors) {}
+
+  /// `backfilling` false = pure FCFS, true = EASY.
+  ScheduleResult simulate(bool backfilling, std::string name) {
+    ScheduleResult result;
+    result.scheduler = std::move(name);
+
+    std::size_t next_arrival = 0;
+    while (next_arrival < jobs_.size() || !queue_.empty() ||
+           !running_.empty()) {
+      // Advance to the next event: an arrival or a completion.
+      const double arrival_time = next_arrival < jobs_.size()
+                                      ? jobs_[next_arrival].submit
+                                      : std::numeric_limits<double>::infinity();
+      const double completion_time =
+          running_.empty() ? std::numeric_limits<double>::infinity()
+                           : running_.top().end;
+      now_ = std::min(arrival_time, completion_time);
+
+      while (!running_.empty() && running_.top().end <= now_) {
+        free_ += running_.top().procs;
+        running_.pop();
+      }
+      while (next_arrival < jobs_.size() &&
+             jobs_[next_arrival].submit <= now_) {
+        queue_.push_back(next_arrival);
+        ++next_arrival;
+      }
+
+      schedule(backfilling, result);
+    }
+
+    std::sort(result.outcomes.begin(), result.outcomes.end(),
+              [](const JobOutcome& a, const JobOutcome& b) {
+                return a.end_time < b.end_time;
+              });
+    return result;
+  }
+
+ private:
+  struct Running {
+    double end;        ///< true completion time
+    double est_end;    ///< estimated completion (reservation arithmetic)
+    std::int64_t procs;
+    bool operator>(const Running& other) const { return end > other.end; }
+  };
+
+  void start_job(std::size_t index, ScheduleResult& result) {
+    const SimJob& job = jobs_[index];
+    free_ -= job.procs;
+    running_.push({now_ + job.runtime, now_ + job.estimate, job.procs});
+    result.outcomes.push_back(make_outcome(job, now_));
+  }
+
+  void schedule(bool backfilling, ScheduleResult& result) {
+    // FCFS phase: start queue heads while they fit.
+    while (!queue_.empty() && jobs_[queue_.front()].procs <= free_) {
+      start_job(queue_.front(), result);
+      queue_.pop_front();
+    }
+    if (!backfilling || queue_.empty()) return;
+
+    // EASY phase: reservation for the head, backfill the rest.
+    const SimJob& head = jobs_[queue_.front()];
+
+    // Shadow time: when will the head fit, assuming estimated completions.
+    std::vector<Running> by_est_end;
+    {
+      auto copy = running_;
+      while (!copy.empty()) {
+        by_est_end.push_back(copy.top());
+        copy.pop();
+      }
+    }
+    std::sort(by_est_end.begin(), by_est_end.end(),
+              [](const Running& a, const Running& b) {
+                return a.est_end < b.est_end;
+              });
+    std::int64_t available = free_;
+    double shadow = now_;
+    for (const Running& job : by_est_end) {
+      if (available >= head.procs) break;
+      available += job.procs;
+      shadow = job.est_end;
+    }
+    // Extra nodes: capacity at the shadow time beyond the head's need.
+    std::int64_t extra = available - head.procs;
+
+    // Scan the rest of the queue in order; start any job that fits now and
+    // does not delay the head's reservation.
+    for (auto it = queue_.begin() + 1; it != queue_.end();) {
+      const SimJob& candidate = jobs_[*it];
+      const bool fits_now = candidate.procs <= free_;
+      const bool before_shadow = now_ + candidate.estimate <= shadow;
+      const bool within_extra = candidate.procs <= extra;
+      if (fits_now && (before_shadow || within_extra)) {
+        if (!before_shadow) extra -= candidate.procs;
+        start_job(*it, result);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::vector<SimJob> jobs_;
+  std::int64_t total_procs_;
+  std::int64_t free_;
+  double now_ = 0.0;
+  std::deque<std::size_t> queue_;  ///< indexes into jobs_, FCFS order
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running_;
+};
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+  [[nodiscard]] ScheduleResult run(const swf::Log& log,
+                                   std::int64_t processors) const override {
+    EventSimulator sim(prepare_jobs(log, processors), processors);
+    return sim.simulate(false, name());
+  }
+};
+
+class EasyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EASY"; }
+  [[nodiscard]] ScheduleResult run(const swf::Log& log,
+                                   std::int64_t processors) const override {
+    EventSimulator sim(prepare_jobs(log, processors), processors);
+    return sim.simulate(true, name());
+  }
+};
+
+/// Conservative backfilling with exact estimates reduces to reservation
+/// building: each job, in submit order, takes the earliest slot in the
+/// machine's availability profile that fits its size and duration; since
+/// estimates equal runtimes no reservation ever moves afterwards.
+class ConservativeScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Conservative"; }
+
+  [[nodiscard]] ScheduleResult run(const swf::Log& log,
+                                   std::int64_t processors) const override {
+    const std::vector<SimJob> jobs = prepare_jobs(log, processors);
+
+    // Availability profile: breakpoints (time, free-from-here). The last
+    // entry extends to infinity.
+    struct Segment {
+      double start;
+      std::int64_t free;
+    };
+    std::vector<Segment> profile{{0.0, processors}};
+
+    ScheduleResult result;
+    result.scheduler = name();
+
+    for (const SimJob& job : jobs) {
+      // Find the earliest start >= submit with enough capacity throughout
+      // [start, start + runtime).
+      std::size_t first = 0;
+      while (first + 1 < profile.size() &&
+             profile[first + 1].start <= job.submit) {
+        ++first;
+      }
+      double start = std::max(job.submit, profile[first].start);
+      std::size_t segment = first;
+      for (;;) {
+        // Check capacity from `start` for the job's duration.
+        const double end = start + job.runtime;
+        bool fits = true;
+        for (std::size_t s = segment; s < profile.size(); ++s) {
+          if (profile[s].start >= end) break;
+          const double seg_end = s + 1 < profile.size()
+                                     ? profile[s + 1].start
+                                     : std::numeric_limits<double>::infinity();
+          if (seg_end <= start) continue;
+          if (profile[s].free < job.procs) {
+            fits = false;
+            // Restart the search after this segment.
+            segment = s + 1;
+            CPW_REQUIRE(segment < profile.size(),
+                        "profile exhausted (internal error)");
+            start = std::max(profile[segment].start, job.submit);
+            break;
+          }
+        }
+        if (fits) break;
+      }
+
+      // Reserve [start, end): split segments at the boundaries, decrement.
+      const double end = start + job.runtime;
+      auto split_at = [&profile](double t) {
+        for (std::size_t s = 0; s < profile.size(); ++s) {
+          if (profile[s].start == t) return;
+          const double seg_end = s + 1 < profile.size()
+                                     ? profile[s + 1].start
+                                     : std::numeric_limits<double>::infinity();
+          if (t > profile[s].start && t < seg_end) {
+            profile.insert(profile.begin() + static_cast<std::ptrdiff_t>(s) + 1,
+                           {t, profile[s].free});
+            return;
+          }
+        }
+      };
+      split_at(start);
+      split_at(end);
+      for (auto& seg : profile) {
+        if (seg.start >= start && seg.start < end) seg.free -= job.procs;
+      }
+
+      result.outcomes.push_back(make_outcome(job, start));
+    }
+
+    std::sort(result.outcomes.begin(), result.outcomes.end(),
+              [](const JobOutcome& a, const JobOutcome& b) {
+                return a.end_time < b.end_time;
+              });
+    return result;
+  }
+};
+
+}  // namespace
+
+ScheduleMetrics ScheduleResult::metrics(std::int64_t machine_processors) const {
+  ScheduleMetrics m;
+  m.jobs = outcomes.size();
+  if (outcomes.empty()) return m;
+
+  std::vector<double> waits, slowdowns;
+  waits.reserve(outcomes.size());
+  slowdowns.reserve(outcomes.size());
+  double busy = 0.0;
+  double first_submit = std::numeric_limits<double>::infinity();
+  double last_end = 0.0;
+  for (const JobOutcome& outcome : outcomes) {
+    waits.push_back(outcome.wait_time());
+    slowdowns.push_back(outcome.bounded_slowdown());
+    busy += outcome.run_time * static_cast<double>(outcome.processors);
+    first_submit = std::min(first_submit, outcome.submit_time);
+    last_end = std::max(last_end, outcome.end_time);
+  }
+  m.mean_wait = stats::mean(waits);
+  m.median_wait = stats::median(waits);
+  m.p95_wait = stats::quantile(waits, 0.95);
+  m.max_wait = *std::max_element(waits.begin(), waits.end());
+  m.mean_bounded_slowdown = stats::mean(slowdowns);
+  m.median_bounded_slowdown = stats::median(slowdowns);
+  m.makespan = last_end - first_submit;
+  m.utilization =
+      m.makespan > 0
+          ? busy / (static_cast<double>(machine_processors) * m.makespan)
+          : 0.0;
+  return m;
+}
+
+SchedulerPtr make_fcfs() { return std::make_unique<FcfsScheduler>(); }
+SchedulerPtr make_easy_backfilling() { return std::make_unique<EasyScheduler>(); }
+SchedulerPtr make_conservative_backfilling() {
+  return std::make_unique<ConservativeScheduler>();
+}
+
+std::vector<SchedulerPtr> all_schedulers() {
+  std::vector<SchedulerPtr> out;
+  out.push_back(make_fcfs());
+  out.push_back(make_easy_backfilling());
+  out.push_back(make_conservative_backfilling());
+  return out;
+}
+
+}  // namespace cpw::sched

@@ -1,0 +1,83 @@
+#include "cpw/selfsim/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw::selfsim {
+
+std::vector<double> block_resample(std::span<const double> series,
+                                   std::size_t block_length,
+                                   std::uint64_t seed) {
+  const std::size_t n = series.size();
+  CPW_REQUIRE(n >= 2, "block_resample needs at least two values");
+  CPW_REQUIRE(block_length >= 1, "block length must be >= 1");
+
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n + block_length);
+  while (out.size() < n) {
+    // Circular: blocks may wrap past the end of the series.
+    const std::size_t start = rng.below(n);
+    for (std::size_t k = 0; k < block_length && out.size() < n; ++k) {
+      out.push_back(series[(start + k) % n]);
+    }
+  }
+  return out;
+}
+
+HurstInterval hurst_bootstrap(std::span<const double> series,
+                              const HurstEstimator& estimator,
+                              const BootstrapOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for a bootstrap");
+  CPW_REQUIRE(options.replicates >= 10, "need at least 10 replicates");
+  CPW_REQUIRE(options.confidence > 0.0 && options.confidence < 1.0,
+              "confidence must be in (0,1)");
+
+  const std::size_t block =
+      options.block_length > 0
+          ? options.block_length
+          : std::max<std::size_t>(
+                static_cast<std::size_t>(
+                    std::pow(static_cast<double>(series.size()), 2.0 / 3.0)),
+                8);
+
+  HurstInterval interval;
+  interval.estimate = estimator(series);
+
+  std::vector<double> replicates(options.replicates,
+                                 std::numeric_limits<double>::quiet_NaN());
+  const auto run_replicate = [&](std::size_t r) {
+    const auto resampled =
+        block_resample(series, block, derive_seed(options.seed, r + 1));
+    try {
+      replicates[r] = estimator(resampled);
+    } catch (const Error&) {
+      // leave NaN; filtered below
+    }
+  };
+  if (options.parallel) {
+    parallel_for(options.replicates, run_replicate);
+  } else {
+    for (std::size_t r = 0; r < options.replicates; ++r) run_replicate(r);
+  }
+
+  for (double h : replicates) {
+    if (std::isfinite(h)) interval.replicates.push_back(h);
+  }
+  CPW_REQUIRE(interval.replicates.size() * 2 >= options.replicates,
+              "too many bootstrap replicates failed");
+  std::sort(interval.replicates.begin(), interval.replicates.end());
+
+  const double tail = 0.5 * (1.0 - options.confidence);
+  interval.lo = stats::quantile_sorted(interval.replicates, tail);
+  interval.hi = stats::quantile_sorted(interval.replicates, 1.0 - tail);
+  return interval;
+}
+
+}  // namespace cpw::selfsim

@@ -1,0 +1,84 @@
+#include "cpw/selfsim/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::selfsim {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  CPW_REQUIRE(n > 0 && (n & (n - 1)) == 0, "fft size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> series) {
+  const std::size_t padded = next_pow2(series.size());
+  std::vector<std::complex<double>> data(padded);
+  for (std::size_t i = 0; i < series.size(); ++i) data[i] = series[i];
+  fft_radix2(data, false);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> series) {
+  // The periodogram definition (paper eq. 18) uses the exact series length,
+  // so we evaluate the DFT at the series' own Fourier frequencies via a
+  // zero-padded FFT only when the length is a power of two; otherwise we
+  // fall back to direct evaluation for correctness. Direct evaluation is
+  // O(n²) — Hurst analysis trims series to a power of two first.
+  const std::size_t n = series.size();
+  std::vector<double> out(n / 2);
+  if (n == 0) return out;
+
+  if ((n & (n - 1)) == 0) {
+    std::vector<std::complex<double>> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = series[i];
+    fft_radix2(data, false);
+    for (std::size_t i = 0; i < n / 2; ++i) out[i] = std::norm(data[i]);
+    return out;
+  }
+
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    const double w = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                     static_cast<double>(n);
+    double re = 0.0, im = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      re += series[k] * std::cos(w * static_cast<double>(k));
+      im -= series[k] * std::sin(w * static_cast<double>(k));
+    }
+    out[i] = re * re + im * im;
+  }
+  return out;
+}
+
+}  // namespace cpw::selfsim

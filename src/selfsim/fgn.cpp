@@ -1,0 +1,107 @@
+#include "cpw/selfsim/fgn.hpp"
+
+#include <cmath>
+
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::selfsim {
+
+double fgn_autocovariance(double hurst, std::size_t lag) {
+  CPW_REQUIRE(hurst > 0.0 && hurst < 1.0, "Hurst parameter must be in (0,1)");
+  if (lag == 0) return 1.0;
+  const double k = static_cast<double>(lag);
+  const double two_h = 2.0 * hurst;
+  return 0.5 * (std::pow(k + 1.0, two_h) - 2.0 * std::pow(k, two_h) +
+                std::pow(k - 1.0, two_h));
+}
+
+std::vector<double> fgn_hosking(double hurst, std::size_t n, std::uint64_t seed) {
+  CPW_REQUIRE(n >= 1, "fgn needs n >= 1");
+  Rng rng(seed);
+
+  std::vector<double> gamma(n);
+  for (std::size_t k = 0; k < n; ++k) gamma[k] = fgn_autocovariance(hurst, k);
+
+  // Durbin–Levinson recursion: phi holds the AR coefficients of the best
+  // linear predictor of X_t from X_{t-1}..X_0; v is the innovation variance.
+  std::vector<double> output(n);
+  std::vector<double> phi(n, 0.0);
+  std::vector<double> phi_prev(n, 0.0);
+  double v = gamma[0];
+
+  output[0] = rng.normal() * std::sqrt(v);
+  for (std::size_t t = 1; t < n; ++t) {
+    double kappa = gamma[t];
+    for (std::size_t j = 1; j < t; ++j) kappa -= phi_prev[j - 1] * gamma[t - j];
+    kappa /= v;
+
+    phi[t - 1] = kappa;
+    for (std::size_t j = 0; j + 1 < t; ++j) {
+      phi[j] = phi_prev[j] - kappa * phi_prev[t - 2 - j];
+    }
+    v *= (1.0 - kappa * kappa);
+
+    double mean_pred = 0.0;
+    for (std::size_t j = 0; j < t; ++j) mean_pred += phi[j] * output[t - 1 - j];
+    output[t] = mean_pred + rng.normal() * std::sqrt(v);
+
+    std::swap(phi, phi_prev);
+  }
+  return output;
+}
+
+std::vector<double> fgn_davies_harte(double hurst, std::size_t n,
+                                     std::uint64_t seed) {
+  CPW_REQUIRE(n >= 1, "fgn needs n >= 1");
+  if (n == 1) {
+    Rng rng(seed);
+    return {rng.normal()};
+  }
+
+  // Circulant embedding of the (n x n) Toeplitz covariance into size 2m,
+  // m >= n a power of two so the FFT is radix-2.
+  const std::size_t m = next_pow2(n);
+  const std::size_t size = 2 * m;
+
+  // First row of the circulant: gamma(0..m), then mirrored gamma(m-1..1).
+  std::vector<std::complex<double>> row(size);
+  for (std::size_t k = 0; k <= m; ++k) row[k] = fgn_autocovariance(hurst, k);
+  for (std::size_t k = 1; k < m; ++k) row[size - k] = row[k];
+
+  fft_radix2(row, false);  // eigenvalues of the circulant (real, >= 0)
+
+  Rng rng(seed);
+  std::vector<std::complex<double>> spectral(size);
+  // Build a complex Gaussian vector with the Davies–Harte symmetry so that
+  // the inverse transform is real: independent reals at DC and Nyquist,
+  // conjugate-symmetric elsewhere.
+  spectral[0] = std::sqrt(std::max(row[0].real(), 0.0)) * rng.normal();
+  spectral[m] = std::sqrt(std::max(row[m].real(), 0.0)) * rng.normal();
+  for (std::size_t k = 1; k < m; ++k) {
+    const double lambda = std::max(row[k].real(), 0.0);
+    const double scale = std::sqrt(lambda / 2.0);
+    const std::complex<double> z(scale * rng.normal(), scale * rng.normal());
+    spectral[k] = z;
+    spectral[size - k] = std::conj(z);
+  }
+
+  fft_radix2(spectral, false);
+  std::vector<double> out(n);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(size));
+  for (std::size_t i = 0; i < n; ++i) out[i] = spectral[i].real() * norm;
+  return out;
+}
+
+std::vector<double> fbm_from_fgn(const std::vector<double>& fgn) {
+  std::vector<double> out(fgn.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < fgn.size(); ++i) {
+    sum += fgn[i];
+    out[i] = sum;
+  }
+  return out;
+}
+
+}  // namespace cpw::selfsim

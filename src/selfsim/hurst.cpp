@@ -1,0 +1,268 @@
+#include "cpw/selfsim/hurst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::selfsim {
+
+std::vector<double> aggregate_series(std::span<const double> series,
+                                     std::size_t m) {
+  CPW_REQUIRE(m >= 1, "aggregation level must be >= 1");
+  const std::size_t blocks = series.size() / m;
+  std::vector<double> out(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) sum += series[b * m + i];
+    out[b] = sum / static_cast<double>(m);
+  }
+  return out;
+}
+
+namespace {
+
+/// Log-spaced block sizes in [min_block, max_block], deduplicated.
+std::vector<std::size_t> log_spaced_sizes(std::size_t min_block,
+                                          std::size_t max_block,
+                                          std::size_t points_per_decade) {
+  std::vector<std::size_t> sizes;
+  if (max_block < min_block) return sizes;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
+  double value = static_cast<double>(min_block);
+  while (value <= static_cast<double>(max_block) + 0.5) {
+    const auto size = static_cast<std::size_t>(std::lround(value));
+    if (sizes.empty() || sizes.back() != size) sizes.push_back(size);
+    value *= step;
+  }
+  return sizes;
+}
+
+HurstEstimate from_points(LogLogPoints points, double slope_to_hurst_scale,
+                          double slope_to_hurst_offset) {
+  HurstEstimate est;
+  est.points = std::move(points);
+  if (est.points.log_x.size() < 2) {
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  const auto fit = stats::ols(est.points.log_x, est.points.log_y);
+  est.slope = fit.slope;
+  est.r2 = fit.r2;
+  est.hurst = slope_to_hurst_offset + slope_to_hurst_scale * fit.slope;
+  return est;
+}
+
+/// Average R/S statistic over all non-overlapping blocks of size n
+/// (appendix eq. 12–13). Blocks with zero variance are skipped.
+double average_rs(std::span<const double> series, std::size_t n) {
+  const std::size_t blocks = series.size() / n;
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::span<const double> block = series.subspan(b * n, n);
+    const double mean = stats::mean(block);
+    const double sd = stats::stddev(block);
+    if (sd <= 0.0) continue;
+
+    double w = 0.0, w_min = 0.0, w_max = 0.0;
+    for (double x : block) {
+      w += x - mean;
+      w_min = std::min(w_min, w);
+      w_max = std::max(w_max, w);
+    }
+    total += (w_max - w_min) / sd;
+    ++used;
+  }
+  return used == 0 ? 0.0 : total / static_cast<double>(used);
+}
+
+}  // namespace
+
+HurstEstimate hurst_rs(std::span<const double> series,
+                       const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+  const auto max_block = static_cast<std::size_t>(
+      options.max_block_fraction * static_cast<double>(series.size()));
+  const auto sizes = log_spaced_sizes(options.min_block, std::max(max_block,
+                                      options.min_block),
+                                      options.points_per_decade);
+
+  LogLogPoints points;
+  for (std::size_t n : sizes) {
+    const double rs = average_rs(series, n);
+    if (rs <= 0.0) continue;
+    points.log_x.push_back(std::log10(static_cast<double>(n)));
+    points.log_y.push_back(std::log10(rs));
+  }
+  // log(R/S) = c + H log n  =>  H = slope.
+  return from_points(std::move(points), 1.0, 0.0);
+}
+
+HurstEstimate hurst_variance_time(std::span<const double> series,
+                                  const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+  // Need enough blocks at the largest m for a stable variance estimate.
+  const std::size_t max_m = std::max<std::size_t>(series.size() / 16, 2);
+  const auto sizes = log_spaced_sizes(1, max_m, options.points_per_decade);
+
+  LogLogPoints points;
+  for (std::size_t m : sizes) {
+    const auto agg = aggregate_series(series, m);
+    if (agg.size() < 2) continue;
+    const double var = stats::variance(agg);
+    if (var <= 0.0) continue;
+    points.log_x.push_back(std::log10(static_cast<double>(m)));
+    points.log_y.push_back(std::log10(var));
+  }
+  // log Var(X^(m)) = c − β log m and H = 1 − β/2  =>  H = 1 + slope/2.
+  return from_points(std::move(points), 0.5, 1.0);
+}
+
+HurstEstimate hurst_periodogram(std::span<const double> series,
+                                const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+
+  // Work on the largest power-of-two prefix so the spectrum is an FFT.
+  std::size_t n = std::size_t{1} << static_cast<std::size_t>(
+                      std::log2(static_cast<double>(series.size())));
+  std::vector<double> centered(series.begin(),
+                               series.begin() + static_cast<std::ptrdiff_t>(n));
+  const double mean = stats::mean(centered);
+  for (double& x : centered) x -= mean;
+
+  const std::vector<double> spectrum = power_spectrum(centered);
+
+  // Periodogram (paper eq. 18): Per(ω_i) = (2/N)|DFT_i|²; regress the
+  // lowest `cutoff` fraction of frequencies, skipping DC.
+  const auto cutoff = static_cast<std::size_t>(
+      options.periodogram_cutoff * static_cast<double>(spectrum.size()));
+  LogLogPoints points;
+  for (std::size_t i = 1; i < std::max<std::size_t>(cutoff, 3); ++i) {
+    if (i >= spectrum.size()) break;
+    const double per = 2.0 / static_cast<double>(n) * spectrum[i];
+    if (per <= 0.0) continue;
+    const double omega = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(n);
+    points.log_x.push_back(std::log10(omega));
+    points.log_y.push_back(std::log10(per));
+  }
+  // log Per = c + (1 − 2H) log ω  =>  H = (1 − slope)/2.
+  return from_points(std::move(points), -0.5, 0.5);
+}
+
+HurstEstimate hurst_abs_moments(std::span<const double> series,
+                                const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+  const double grand_mean = stats::mean(series);
+  const std::size_t max_m = std::max<std::size_t>(series.size() / 16, 2);
+  const auto sizes = log_spaced_sizes(1, max_m, options.points_per_decade);
+
+  LogLogPoints points;
+  for (std::size_t m : sizes) {
+    const auto agg = aggregate_series(series, m);
+    if (agg.size() < 2) continue;
+    double abs_moment = 0.0;
+    for (double x : agg) abs_moment += std::abs(x - grand_mean);
+    abs_moment /= static_cast<double>(agg.size());
+    if (abs_moment <= 0.0) continue;
+    points.log_x.push_back(std::log10(static_cast<double>(m)));
+    points.log_y.push_back(std::log10(abs_moment));
+  }
+  // log AM(m) = c + (H − 1) log m  =>  H = 1 + slope.
+  return from_points(std::move(points), 1.0, 1.0);
+}
+
+HurstEstimate hurst_local_whittle(std::span<const double> series,
+                                  const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+
+  // Periodogram at the lowest Fourier frequencies (power-of-two prefix).
+  std::size_t n = std::size_t{1} << static_cast<std::size_t>(
+                      std::log2(static_cast<double>(series.size())));
+  std::vector<double> centered(series.begin(),
+                               series.begin() + static_cast<std::ptrdiff_t>(n));
+  const double mean = stats::mean(centered);
+  for (double& x : centered) x -= mean;
+  const std::vector<double> spectrum = power_spectrum(centered);
+
+  const auto m = std::max<std::size_t>(
+      static_cast<std::size_t>(options.periodogram_cutoff *
+                               static_cast<double>(spectrum.size())),
+      4);
+
+  HurstEstimate est;
+  std::vector<double> intensity, log_omega;
+  for (std::size_t j = 1; j <= m && j < spectrum.size(); ++j) {
+    const double per = 2.0 / static_cast<double>(n) * spectrum[j];
+    if (per <= 0.0) continue;
+    const double omega = 2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(n);
+    intensity.push_back(per);
+    log_omega.push_back(std::log(omega));
+    est.points.log_x.push_back(std::log10(omega));
+    est.points.log_y.push_back(std::log10(per));
+  }
+  if (intensity.size() < 4) {
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  const double mean_log_omega = stats::mean(log_omega);
+
+  // Profiled Whittle objective; unimodal in H on (0,1).
+  const auto objective = [&](double h) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < intensity.size(); ++j) {
+      sum += intensity[j] * std::exp((2.0 * h - 1.0) * log_omega[j]);
+    }
+    return std::log(sum / static_cast<double>(intensity.size())) -
+           (2.0 * h - 1.0) * mean_log_omega;
+  };
+
+  // Golden-section search.
+  constexpr double kInvPhi = 0.6180339887498949;
+  double lo = 0.01, hi = 0.99;
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  double f1 = objective(x1), f2 = objective(x2);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      f1 = objective(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      f2 = objective(x2);
+    }
+  }
+  est.hurst = 0.5 * (lo + hi);
+  est.slope = 1.0 - 2.0 * est.hurst;  // implied spectral slope
+  est.r2 = 1.0;  // likelihood-based: no regression r^2 (reported as 1)
+  return est;
+}
+
+HurstReport hurst_all(std::span<const double> series,
+                      const HurstOptions& options) {
+  HurstReport report;
+  report.rs = hurst_rs(series, options);
+  report.variance_time = hurst_variance_time(series, options);
+  report.periodogram = hurst_periodogram(series, options);
+  return report;
+}
+
+}  // namespace cpw::selfsim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace cpw::selfsim {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform *without* the 1/N
+/// scaling (callers scale when they need a true inverse).
+void fft_radix2(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Forward FFT of a real series zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> series);
+
+/// Squared-magnitude spectrum |FFT|^2 of a real series at the first
+/// `series.size()/2` Fourier frequencies (DC excluded by the caller).
+std::vector<double> power_spectrum(std::span<const double> series);
+
+}  // namespace cpw::selfsim

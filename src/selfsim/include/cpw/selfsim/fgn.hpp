@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpw::selfsim {
+
+/// Autocovariance of standard fractional Gaussian noise at lag k:
+/// γ(k) = ½ (|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H}).
+double fgn_autocovariance(double hurst, std::size_t lag);
+
+/// Exact fGn sample path by Hosking's recursive (Durbin–Levinson) method.
+/// O(n²) time — used as the ground-truth oracle in tests and for short
+/// series.
+std::vector<double> fgn_hosking(double hurst, std::size_t n, std::uint64_t seed);
+
+/// Exact fGn sample path by Davies–Harte circulant embedding: O(n log n)
+/// via FFT. The circulant eigenvalues of the fGn covariance are provably
+/// non-negative, so the method is exact; a defensive clamp guards against
+/// floating-point dust. This is the production generator for the archive
+/// simulator.
+std::vector<double> fgn_davies_harte(double hurst, std::size_t n,
+                                     std::uint64_t seed);
+
+/// Cumulative sum of an fGn path — fractional Brownian motion — occasionally
+/// useful for visual inspection in the examples.
+std::vector<double> fbm_from_fgn(const std::vector<double>& fgn);
+
+}  // namespace cpw::selfsim

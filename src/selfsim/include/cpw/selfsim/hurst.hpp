@@ -1,0 +1,90 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cpw::selfsim {
+
+/// Averages non-overlapping blocks of size m (paper eq. 8); the tail block
+/// is dropped when the length is not a multiple of m.
+std::vector<double> aggregate_series(std::span<const double> series,
+                                     std::size_t m);
+
+/// One (x, y) point sequence behind a log-log regression estimator,
+/// retained so callers can print or plot the pox/variance-time/periodogram
+/// diagnostics exactly as the paper describes them.
+struct LogLogPoints {
+  std::vector<double> log_x;
+  std::vector<double> log_y;
+};
+
+/// Result of one Hurst estimation.
+struct HurstEstimate {
+  double hurst = 0.5;     ///< the estimate
+  double slope = 0.0;     ///< raw regression slope
+  double r2 = 0.0;        ///< regression fit quality
+  LogLogPoints points;    ///< diagnostic points in log10 space
+};
+
+/// Options shared by the three estimators.
+struct HurstOptions {
+  std::size_t min_block = 8;       ///< smallest R/S block or aggregation level
+  double max_block_fraction = 0.25;///< largest block as a fraction of n
+  std::size_t points_per_decade = 8;
+  double periodogram_cutoff = 0.10;///< fraction of lowest frequencies used
+};
+
+/// Rescaled-adjusted-range (R/S, pox plot) estimator — appendix eq. 12–15.
+/// For each log-spaced block size n the series is split into ⌊N/n⌋ blocks,
+/// R(n)/S(n) is averaged across blocks, and H is the OLS slope of
+/// log(R/S) on log(n).
+HurstEstimate hurst_rs(std::span<const double> series,
+                       const HurstOptions& options = {});
+
+/// Variance–time plot estimator — appendix eq. 16–17. Regresses
+/// log Var(X^(m)) on log m; slope −β gives H = 1 − β/2.
+HurstEstimate hurst_variance_time(std::span<const double> series,
+                                  const HurstOptions& options = {});
+
+/// Periodogram estimator — appendix eq. 18–19. Regresses log Per(ω) on
+/// log ω over the lowest-frequency `periodogram_cutoff` fraction; the slope
+/// 1 − 2H near the origin gives H = (1 − slope)/2.
+HurstEstimate hurst_periodogram(std::span<const double> series,
+                                const HurstOptions& options = {});
+
+/// Absolute-moments estimator (a fourth estimator beyond the paper's
+/// three; Taqqu, Teverovsky & Willinger 1995): regresses
+/// log E|X^(m) − mean| on log m; the slope is H − 1.
+///
+/// Caveat that doubles as a diagnostic: for i.i.d. data with an infinite
+/// variance (tail index α < 2) block sums follow an α-stable scaling, so
+/// this estimator reads ≈ 1/α instead of 1/2 — a large gap between the
+/// absolute-moments and variance-time estimates therefore flags heavy
+/// tails masquerading as long-range dependence.
+HurstEstimate hurst_abs_moments(std::span<const double> series,
+                                const HurstOptions& options = {});
+
+/// Local Whittle (Gaussian semiparametric) estimator — Robinson (1995), a
+/// decade newer than the paper's three: minimizes the profiled Whittle
+/// likelihood R(H) = log( mean_j I(ω_j) ω_j^{2H-1} ) − (2H−1) mean_j log ω_j
+/// over the lowest `periodogram_cutoff` fraction of Fourier frequencies.
+/// Generally the most efficient of the estimators provided here; solved by
+/// golden-section search on H ∈ (0.01, 0.99).
+HurstEstimate hurst_local_whittle(std::span<const double> series,
+                                  const HurstOptions& options = {});
+
+/// All three estimates of one series, in the paper's Table 3 column order.
+struct HurstReport {
+  HurstEstimate rs;
+  HurstEstimate variance_time;
+  HurstEstimate periodogram;
+};
+
+HurstReport hurst_all(std::span<const double> series,
+                      const HurstOptions& options = {});
+
+/// Minimum series length the estimators accept.
+inline constexpr std::size_t kMinHurstLength = 64;
+
+}  // namespace cpw::selfsim

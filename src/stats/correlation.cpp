@@ -1,0 +1,81 @@
+#include "cpw/stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+double covariance(std::span<const double> xs, std::span<const double> ys) {
+  CPW_REQUIRE(xs.size() == ys.size(), "covariance needs equal-length samples");
+  if (xs.empty()) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += (xs[i] - mx) * (ys[i] - my);
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  CPW_REQUIRE(xs.size() == ys.size(), "pearson needs equal-length samples");
+  const double sx = stddev(xs);
+  const double sy = stddev(ys);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(xs, ys) / (sx * sy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Mid-rank for the tie group [i, j], 1-based.
+    const double rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  CPW_REQUIRE(xs.size() == ys.size(), "spearman needs equal-length samples");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(max_lag + 1, 0.0);
+  if (n == 0) return out;
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom == 0.0) {
+    out[0] = 1.0;
+    return out;
+  }
+  for (std::size_t k = 0; k <= max_lag && k < n; ++k) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      num += (xs[i] - m) * (xs[i + k] - m);
+    }
+    out[k] = num / denom;
+  }
+  return out;
+}
+
+}  // namespace cpw::stats

@@ -1,0 +1,122 @@
+#include "cpw/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 1) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double cv(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double skewness(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd == 0.0) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = (x - m) / sd;
+    sum += d * d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+RawMoments raw_moments(std::span<const double> xs) {
+  RawMoments m;
+  if (xs.empty()) return m;
+  for (double x : xs) {
+    m.m1 += x;
+    m.m2 += x * x;
+    m.m3 += x * x * x;
+  }
+  const double n = static_cast<double>(xs.size());
+  m.m1 /= n;
+  m.m2 /= n;
+  m.m3 /= n;
+  return m;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  CPW_REQUIRE(!sorted.empty(), "quantile of empty data");
+  CPW_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double interval90(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, 0.95) - quantile_sorted(sorted, 0.05);
+}
+
+double interval50(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+}
+
+OrderSummary order_summary(std::span<const double> xs) {
+  OrderSummary out;
+  if (xs.empty()) return out;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.median = quantile_sorted(sorted, 0.5);
+  out.interval90 = quantile_sorted(sorted, 0.95) - quantile_sorted(sorted, 0.05);
+  out.interval50 = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+  out.min = sorted.front();
+  out.max = sorted.back();
+  return out;
+}
+
+std::vector<double> z_normalize(std::span<const double> xs) {
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  std::vector<double> out(xs.size());
+  if (sd == 0.0) return out;  // constant column -> all zeros
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / sd;
+  return out;
+}
+
+}  // namespace cpw::stats

@@ -1,0 +1,352 @@
+#include "cpw/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  CPW_REQUIRE(rate > 0.0, "Exponential rate must be positive");
+}
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  return "Exponential(rate=" + std::to_string(rate_) + ")";
+}
+
+// ----------------------------------------------------------- HyperExponential
+
+HyperExponential::HyperExponential(std::vector<Branch> branches)
+    : branches_(std::move(branches)) {
+  CPW_REQUIRE(!branches_.empty(), "HyperExponential needs branches");
+  double total = 0.0;
+  for (const Branch& b : branches_) {
+    CPW_REQUIRE(b.probability >= 0.0 && b.rate > 0.0,
+                "HyperExponential branch invalid");
+    total += b.probability;
+  }
+  CPW_REQUIRE(std::abs(total - 1.0) < 1e-9,
+              "HyperExponential probabilities must sum to 1");
+}
+
+HyperExponential::HyperExponential(double p, double rate1, double rate2)
+    : HyperExponential(std::vector<Branch>{{p, rate1}, {1.0 - p, rate2}}) {}
+
+double HyperExponential::sample(Rng& rng) const {
+  double u = rng.uniform();
+  for (const Branch& b : branches_) {
+    if (u < b.probability) return rng.exponential(b.rate);
+    u -= b.probability;
+  }
+  return rng.exponential(branches_.back().rate);
+}
+
+double HyperExponential::mean() const {
+  double m = 0.0;
+  for (const Branch& b : branches_) m += b.probability / b.rate;
+  return m;
+}
+
+std::string HyperExponential::name() const {
+  return "HyperExponential(" + std::to_string(branches_.size()) + " stages)";
+}
+
+// --------------------------------------------------------------------- Erlang
+
+Erlang::Erlang(unsigned order, double rate) : order_(order), rate_(rate) {
+  CPW_REQUIRE(order >= 1, "Erlang order must be >= 1");
+  CPW_REQUIRE(rate > 0.0, "Erlang rate must be positive");
+}
+
+double Erlang::sample(Rng& rng) const {
+  // Product of uniforms: sum of k exponentials == -ln(prod of k uniforms)/λ.
+  double log_product = 0.0;
+  for (unsigned i = 0; i < order_; ++i) {
+    log_product += std::log1p(-rng.uniform());
+  }
+  return -log_product / rate_;
+}
+
+double Erlang::raw_moment(int k) const {
+  CPW_REQUIRE(k >= 1 && k <= 3, "Erlang::raw_moment supports k in {1,2,3}");
+  const double n = static_cast<double>(order_);
+  switch (k) {
+    case 1: return n / rate_;
+    case 2: return n * (n + 1.0) / (rate_ * rate_);
+    default: return n * (n + 1.0) * (n + 2.0) / (rate_ * rate_ * rate_);
+  }
+}
+
+std::string Erlang::name() const {
+  return "Erlang(n=" + std::to_string(order_) + ",rate=" + std::to_string(rate_) +
+         ")";
+}
+
+// ---------------------------------------------------------------- HyperErlang
+
+HyperErlang::HyperErlang(double p, unsigned common_order, double rate1,
+                         double rate2)
+    : p_(p), first_(common_order, rate1), second_(common_order, rate2) {
+  CPW_REQUIRE(p >= 0.0 && p <= 1.0, "HyperErlang p must be in [0,1]");
+}
+
+double HyperErlang::sample(Rng& rng) const {
+  return rng.bernoulli(p_) ? first_.sample(rng) : second_.sample(rng);
+}
+
+double HyperErlang::mean() const {
+  return p_ * first_.mean() + (1.0 - p_) * second_.mean();
+}
+
+double HyperErlang::raw_moment(int k) const {
+  return p_ * first_.raw_moment(k) + (1.0 - p_) * second_.raw_moment(k);
+}
+
+std::string HyperErlang::name() const {
+  return "HyperErlang(n=" + std::to_string(first_.order()) +
+         ",p=" + std::to_string(p_) + ")";
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  CPW_REQUIRE(shape > 0.0 && scale > 0.0, "Gamma parameters must be positive");
+}
+
+double Gamma::sample(Rng& rng) const { return rng.gamma(shape_, scale_); }
+
+std::string Gamma::name() const {
+  return "Gamma(shape=" + std::to_string(shape_) +
+         ",scale=" + std::to_string(scale_) + ")";
+}
+
+// ----------------------------------------------------------------- HyperGamma
+
+HyperGamma::HyperGamma(double p, Gamma first, Gamma second)
+    : p_(p), first_(first), second_(second) {
+  CPW_REQUIRE(p >= 0.0 && p <= 1.0, "HyperGamma p must be in [0,1]");
+}
+
+double HyperGamma::sample(Rng& rng) const {
+  return rng.bernoulli(p_) ? first_.sample(rng) : second_.sample(rng);
+}
+
+double HyperGamma::mean() const {
+  return p_ * first_.mean() + (1.0 - p_) * second_.mean();
+}
+
+std::string HyperGamma::name() const {
+  return "HyperGamma(p=" + std::to_string(p_) + ")";
+}
+
+// ----------------------------------------------------------------- LogUniform
+
+LogUniform::LogUniform(double lo, double hi)
+    : log_lo_(std::log(lo)), log_hi_(std::log(hi)) {
+  CPW_REQUIRE(lo > 0.0 && hi > lo, "LogUniform needs 0 < lo < hi");
+}
+
+double LogUniform::quantile(double u) const {
+  return std::exp(log_lo_ + u * (log_hi_ - log_lo_));
+}
+
+double LogUniform::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double LogUniform::mean() const {
+  // E[X] = (hi - lo) / (ln hi - ln lo).
+  return (std::exp(log_hi_) - std::exp(log_lo_)) / (log_hi_ - log_lo_);
+}
+
+std::string LogUniform::name() const {
+  return "LogUniform(" + std::to_string(std::exp(log_lo_)) + "," +
+         std::to_string(std::exp(log_hi_)) + ")";
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  CPW_REQUIRE(sigma >= 0.0, "LogNormal sigma must be non-negative");
+}
+
+LogNormal LogNormal::from_median_interval(double median, double interval90) {
+  CPW_REQUIRE(median > 0.0, "median must be positive");
+  CPW_REQUIRE(interval90 >= 0.0, "interval must be non-negative");
+  // I = m (e^{z s} - e^{-z s}) = 2 m sinh(z s) with z = Phi^{-1}(0.95).
+  const double z = 1.6448536269514722;
+  const double sigma = std::asinh(interval90 / (2.0 * median)) / z;
+  return {std::log(median), sigma};
+}
+
+double LogNormal::quantile(double u) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(u));
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+std::string LogNormal::name() const {
+  return "LogNormal(mu=" + std::to_string(mu_) +
+         ",sigma=" + std::to_string(sigma_) + ")";
+}
+
+// --------------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  CPW_REQUIRE(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+}
+
+double Pareto::quantile(double u) const {
+  return xm_ / std::pow(1.0 - u, 1.0 / alpha_);
+}
+
+double Pareto::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+std::string Pareto::name() const {
+  return "Pareto(xm=" + std::to_string(xm_) + ",alpha=" + std::to_string(alpha_) +
+         ")";
+}
+
+// ----------------------------------------------------------------------- Zipf
+
+Zipf::Zipf(unsigned n, double s) : s_(s) {
+  CPW_REQUIRE(n >= 1, "Zipf needs n >= 1");
+  cdf_.resize(n);
+  double total = 0.0;
+  mean_ = 0.0;
+  for (unsigned k = 1; k <= n; ++k) {
+    const double w = std::pow(static_cast<double>(k), -s);
+    total += w;
+    mean_ += static_cast<double>(k) * w;
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  mean_ /= total;
+}
+
+unsigned Zipf::sample_int(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<unsigned>(it - cdf_.begin()) + 1;
+}
+
+double Zipf::sample(Rng& rng) const {
+  return static_cast<double>(sample_int(rng));
+}
+
+std::string Zipf::name() const {
+  return "Zipf(n=" + std::to_string(cdf_.size()) + ",s=" + std::to_string(s_) +
+         ")";
+}
+
+// ---------------------------------------------------------------- UniformReal
+
+UniformReal::UniformReal(double lo, double hi) : lo_(lo), hi_(hi) {
+  CPW_REQUIRE(hi > lo, "UniformReal needs hi > lo");
+}
+
+double UniformReal::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+std::string UniformReal::name() const {
+  return "Uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+// ----------------------------------------------------------- TwoStageUniform
+
+TwoStageUniform::TwoStageUniform(double lo, double med, double hi, double prob)
+    : lo_(lo), med_(med), hi_(hi), prob_(prob) {
+  CPW_REQUIRE(lo < med && med < hi, "TwoStageUniform needs lo < med < hi");
+  CPW_REQUIRE(prob >= 0.0 && prob <= 1.0, "TwoStageUniform prob in [0,1]");
+}
+
+double TwoStageUniform::sample(Rng& rng) const {
+  return rng.bernoulli(prob_) ? rng.uniform(lo_, med_) : rng.uniform(med_, hi_);
+}
+
+double TwoStageUniform::mean() const {
+  return prob_ * 0.5 * (lo_ + med_) + (1.0 - prob_) * 0.5 * (med_ + hi_);
+}
+
+std::string TwoStageUniform::name() const { return "TwoStageUniform"; }
+
+// ------------------------------------------------------------ QuantileMarginal
+
+QuantileMarginal::QuantileMarginal(double median, double interval90,
+                                   double tail_alpha)
+    : median_(median), interval_(interval90), alpha_(tail_alpha) {
+  CPW_REQUIRE(median > 0.0, "QuantileMarginal median must be positive");
+  CPW_REQUIRE(interval90 >= 0.0, "QuantileMarginal interval must be >= 0");
+  CPW_REQUIRE(tail_alpha > 1.0, "QuantileMarginal needs tail alpha > 1");
+
+  // Log-symmetry assumption q05 * q95 = m^2 pins both endpoints:
+  //   q95 - m^2/q95 = I  =>  q95 = (I + sqrt(I^2 + 4 m^2)) / 2.
+  q95_ = 0.5 * (interval_ + std::sqrt(interval_ * interval_ +
+                                      4.0 * median_ * median_));
+  q05_ = median_ * median_ / q95_;
+
+  // Lower-tail exponent matching the body's log-slope at u = 0.05.
+  const double body_slope = (std::log(median_) - std::log(q05_)) / 0.45;
+  lower_theta_ = std::max(0.05 * body_slope, 1e-9);
+}
+
+double QuantileMarginal::quantile(double u) const {
+  CPW_REQUIRE(u >= 0.0 && u < 1.0, "quantile argument must be in [0,1)");
+  if (interval_ == 0.0) return median_;  // degenerate target
+  if (u < 0.05) {
+    return q05_ * std::pow(u / 0.05, lower_theta_);
+  }
+  if (u <= 0.5) {
+    const double t = (u - 0.05) / 0.45;
+    return std::exp(std::log(q05_) + t * (std::log(median_) - std::log(q05_)));
+  }
+  if (u <= 0.95) {
+    const double t = (u - 0.5) / 0.45;
+    return std::exp(std::log(median_) + t * (std::log(q95_) - std::log(median_)));
+  }
+  // Pareto tail: survival S(x) = 0.05 (q95/x)^alpha for x >= q95.
+  return q95_ * std::pow(0.05 / (1.0 - u), 1.0 / alpha_);
+}
+
+double QuantileMarginal::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double QuantileMarginal::mean() const {
+  if (interval_ == 0.0) return median_;
+  // Lower tail: ∫_0^{0.05} q05 (u/0.05)^theta du = 0.05 q05 / (theta + 1).
+  double total = 0.05 * q05_ / (lower_theta_ + 1.0);
+
+  // Body segments: x(u) = A e^{s u} over [u0, u1] integrates to
+  // (x(u1) - x(u0)) / s (and to x * (u1-u0) when s == 0).
+  auto body = [](double x0, double x1, double u0, double u1) {
+    const double s = (std::log(x1) - std::log(x0)) / (u1 - u0);
+    if (std::abs(s) < 1e-12) return x0 * (u1 - u0);
+    return (x1 - x0) / s;
+  };
+  total += body(q05_, median_, 0.05, 0.5);
+  total += body(median_, q95_, 0.5, 0.95);
+
+  // Pareto tail: ∫_{0.95}^{1} q95 (0.05/(1-u))^{1/alpha} du
+  //            = 0.05 q95 alpha / (alpha - 1).
+  total += 0.05 * q95_ * alpha_ / (alpha_ - 1.0);
+  return total;
+}
+
+std::string QuantileMarginal::name() const {
+  return "QuantileMarginal(m=" + std::to_string(median_) +
+         ",I=" + std::to_string(interval_) + ",alpha=" + std::to_string(alpha_) +
+         ")";
+}
+
+}  // namespace cpw::stats

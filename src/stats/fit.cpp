@@ -1,0 +1,74 @@
+#include "cpw/stats/fit.hpp"
+
+#include <cmath>
+
+namespace cpw::stats {
+
+namespace {
+
+/// Attempts the two-point moment fit for one Erlang order; returns the fit
+/// or nullopt if infeasible at this order.
+std::optional<HyperErlangFit> try_order(const RawMoments& target, unsigned n) {
+  const double order = static_cast<double>(n);
+
+  // Scale mixture moments down to two-point power moments of branch means:
+  //   M1 = p x1 + q x2
+  //   M2 = (n+1)/n   (p x1^2 + q x2^2)
+  //   M3 = (n+1)(n+2)/n^2 (p x1^3 + q x2^3)
+  const double a = target.m1;
+  const double b = target.m2 * order / (order + 1.0);
+  const double c = target.m3 * order * order / ((order + 1.0) * (order + 2.0));
+
+  const double var2pt = b - a * a;
+  if (var2pt <= 0.0) return std::nullopt;  // CV too small for this order
+
+  // Monic quadratic x^2 + beta x + gamma with the two branch means as roots,
+  // from the Hankel conditions  b + beta a + gamma = 0,  c + beta b + gamma a = 0.
+  const double beta = (a * b - c) / var2pt;
+  const double gamma = -b - beta * a;
+  const double disc = beta * beta - 4.0 * gamma;
+  if (disc < 0.0) return std::nullopt;
+
+  const double root = std::sqrt(disc);
+  const double x1 = 0.5 * (-beta + root);
+  const double x2 = 0.5 * (-beta - root);
+  if (x1 <= 0.0 || x2 <= 0.0 || x1 == x2) return std::nullopt;
+
+  const double p = (a - x2) / (x1 - x2);
+  if (p < 0.0 || p > 1.0) return std::nullopt;
+
+  HyperErlangFit fit;
+  fit.p = p;
+  fit.common_order = n;
+  fit.rate1 = order / x1;
+  fit.rate2 = order / x2;
+
+  const double m3 = fit.distribution().raw_moment(3);
+  fit.residual = target.m3 == 0.0 ? std::abs(m3)
+                                  : std::abs(m3 - target.m3) / target.m3;
+  return fit;
+}
+
+}  // namespace
+
+std::optional<HyperErlangFit> fit_hyper_erlang(const RawMoments& target,
+                                               unsigned max_order) {
+  if (target.m1 <= 0.0) return std::nullopt;
+
+  std::optional<HyperErlangFit> best;
+  for (unsigned n = 1; n <= max_order; ++n) {
+    const auto fit = try_order(target, n);
+    if (!fit) continue;
+    if (!best || fit->residual < best->residual) best = fit;
+    // Exact matches can stop early; residual is numeric noise at this point.
+    if (best->residual < 1e-9) break;
+  }
+  return best;
+}
+
+std::optional<HyperErlangFit> fit_hyper_erlang(std::span<const double> data,
+                                               unsigned max_order) {
+  return fit_hyper_erlang(raw_moments(data), max_order);
+}
+
+}  // namespace cpw::stats

@@ -1,0 +1,63 @@
+#include "cpw/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0) {
+  CPW_REQUIRE(bins >= 1, "Histogram needs at least one bin");
+  CPW_REQUIRE(hi > lo, "Histogram needs hi > lo");
+  if (scale == Scale::kLog) {
+    CPW_REQUIRE(lo > 0.0, "log-scale Histogram needs lo > 0");
+  }
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  double t;
+  if (scale_ == Scale::kLog) {
+    const double v = std::max(value, lo_);
+    t = (std::log(v) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+  } else {
+    t = (value - lo_) / (hi_ - lo_);
+  }
+  const auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(bins()) - 1));
+}
+
+void Histogram::add(double value) {
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::edge(std::size_t bin) const {
+  const double t = static_cast<double>(bin) / static_cast<double>(bins());
+  if (scale_ == Scale::kLog) {
+    return std::exp(std::log(lo_) + t * (std::log(hi_) - std::log(lo_)));
+  }
+  return lo_ + t * (hi_ - lo_);
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream out;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const std::size_t len = counts_[b] * max_bar / peak;
+    out << edge(b) << "\t" << counts_[b] << "\t" << std::string(len, '#')
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cpw::stats

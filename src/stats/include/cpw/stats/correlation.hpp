@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cpw::stats {
+
+/// Population covariance of two equal-length samples.
+double covariance(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson product-moment correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Mid-ranks (ties averaged), 1-based, as used by Spearman correlation.
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Spearman rank correlation (Pearson on mid-ranks).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Sample autocorrelation r(k) of a series for lags 0..max_lag (paper eq. 5).
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag);
+
+}  // namespace cpw::stats

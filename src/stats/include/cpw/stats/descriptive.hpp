@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cpw::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by n); 0 for n < 1.
+double variance(std::span<const double> xs);
+
+/// Sample variance (divides by n-1); 0 for n < 2.
+double sample_variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean.
+double cv(std::span<const double> xs);
+
+/// Skewness (third standardized central moment).
+double skewness(std::span<const double> xs);
+
+/// Raw moments E[X], E[X^2], E[X^3] — used by 3-moment distribution fitting.
+struct RawMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+};
+RawMoments raw_moments(std::span<const double> xs);
+
+/// q-quantile (q in [0,1]) by linear interpolation of the order statistics
+/// (type-7, the R/numpy default). Sorts a copy; use `quantile_sorted` in
+/// loops over the same data.
+double quantile(std::span<const double> xs, double q);
+
+/// Same, but `sorted` must already be ascending.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median (the paper's preferred location estimator — §3).
+double median(std::span<const double> xs);
+
+/// 90 % interval: difference between the 95th and 5th percentiles, the
+/// paper's preferred dispersion estimator (§3).
+double interval90(std::span<const double> xs);
+
+/// 50 % interval (interquartile range); the paper reports it gives
+/// "virtually the same results" as the 90 % interval.
+double interval50(std::span<const double> xs);
+
+/// Summary of one workload attribute as the paper tabulates it.
+struct OrderSummary {
+  double median = 0.0;
+  double interval90 = 0.0;
+  double interval50 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+OrderSummary order_summary(std::span<const double> xs);
+
+/// Z-score normalization (paper eq. 1): (x - mean) / stddev. A constant
+/// column normalizes to all-zeros rather than dividing by zero.
+std::vector<double> z_normalize(std::span<const double> xs);
+
+}  // namespace cpw::stats

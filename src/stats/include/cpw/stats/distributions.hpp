@@ -1,0 +1,275 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpw/util/rng.hpp"
+
+namespace cpw::stats {
+
+/// Abstract random variate source.
+///
+/// All synthetic workload models and the archive simulator draw job
+/// attributes through this interface, so distributions can be swapped and
+/// tested in isolation. Implementations are immutable after construction.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate using the caller's generator.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+  /// Exact expected value (used by moment tests and load calibration).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Human-readable identification for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+/// Exponential(rate λ); mean 1/λ.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Finite mixture of exponentials: with probability p_i, Exponential(λ_i).
+/// Two- and three-stage hyper-exponentials are the workhorse of the early
+/// workload models discussed in §8 of the paper.
+class HyperExponential final : public Distribution {
+ public:
+  struct Branch {
+    double probability;
+    double rate;
+  };
+  explicit HyperExponential(std::vector<Branch> branches);
+
+  /// Convenience: two-stage with branch probabilities (p, 1-p).
+  HyperExponential(double p, double rate1, double rate2);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const std::vector<Branch>& branches() const noexcept {
+    return branches_;
+  }
+
+ private:
+  std::vector<Branch> branches_;
+};
+
+/// Erlang(order k, rate λ): sum of k independent Exponential(λ); mean k/λ.
+class Erlang final : public Distribution {
+ public:
+  Erlang(unsigned order, double rate);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override {
+    return static_cast<double>(order_) / rate_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned order() const noexcept { return order_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  /// Raw moments, used by the Jann 3-moment fit.
+  [[nodiscard]] double raw_moment(int k) const;
+
+ private:
+  unsigned order_;
+  double rate_;
+};
+
+/// Two-branch hyper-Erlang of common order (Jann et al. 1997): with
+/// probability p, Erlang(n, λ1), else Erlang(n, λ2).
+class HyperErlang final : public Distribution {
+ public:
+  HyperErlang(double p, unsigned common_order, double rate1, double rate2);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] unsigned common_order() const noexcept { return first_.order(); }
+  [[nodiscard]] double rate1() const noexcept { return first_.rate(); }
+  [[nodiscard]] double rate2() const noexcept { return second_.rate(); }
+
+  /// Raw moment of the mixture.
+  [[nodiscard]] double raw_moment(int k) const;
+
+ private:
+  double p_;
+  Erlang first_;
+  Erlang second_;
+};
+
+/// Gamma(shape k, scale θ); mean kθ.
+class Gamma final : public Distribution {
+ public:
+  Gamma(double shape, double scale);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return shape_ * scale_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Two-branch gamma mixture (the Lublin model's runtime distribution):
+/// with probability p, Gamma(a1, b1), else Gamma(a2, b2).
+class HyperGamma final : public Distribution {
+ public:
+  HyperGamma(double p, Gamma first, Gamma second);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+ private:
+  double p_;
+  Gamma first_;
+  Gamma second_;
+};
+
+/// Log-uniform on [lo, hi] (Downey 1997): ln X uniform on [ln lo, ln hi].
+class LogUniform final : public Distribution {
+ public:
+  LogUniform(double lo, double hi);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double quantile(double u) const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+};
+
+/// Log-normal: ln X ~ N(mu, sigma^2).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  /// Builds the log-normal whose median and 90% interval (q95 - q05) match
+  /// the given targets; sigma is solved in closed form from
+  /// I = m (e^{1.645 s} - e^{-1.645 s}).
+  static LogNormal from_median_interval(double median, double interval90);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double quantile(double u) const;
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Pareto with scale xm and index alpha; survival (xm/x)^alpha for x >= xm.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double xm, double alpha);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double quantile(double u) const;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Bounded Zipf over {1..n} with exponent s: P(k) ∝ k^{-s}. Used for job
+/// repetition counts in the Feitelson models.
+class Zipf final : public Distribution {
+ public:
+  Zipf(unsigned n, double s);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned sample_int(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+  double mean_;
+  double s_;
+};
+
+/// Continuous uniform on [lo, hi).
+class UniformReal final : public Distribution {
+ public:
+  UniformReal(double lo, double hi);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Lublin's two-stage uniform: uniform on [lo, med] with probability prob,
+/// otherwise uniform on [med, hi]. Models log2 of the job size.
+class TwoStageUniform final : public Distribution {
+ public:
+  TwoStageUniform(double lo, double med, double hi, double prob);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_, med_, hi_, prob_;
+};
+
+/// Quantile-pinned marginal with a tunable Pareto upper tail.
+///
+/// The archive simulator must reproduce a target *median* m and *90%
+/// interval* I exactly (those are the variables Co-plot consumes) while
+/// leaving the mean free for load calibration. Assuming log-symmetry
+/// (q05*q95 = m^2) gives q95 = (I + sqrt(I^2 + 4 m^2))/2 in closed form.
+/// The inverse CDF is log-linear through (0.05, q05), (0.5, m), (0.95, q95),
+/// has a power lower tail with slope-matched exponent, and a Pareto upper
+/// tail with free index alpha > 1 — lowering alpha fattens the tail and
+/// raises the mean without moving any quantile at or below 0.95.
+class QuantileMarginal final : public Distribution {
+ public:
+  QuantileMarginal(double median, double interval90, double tail_alpha);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Exact inverse CDF; u in [0, 1).
+  [[nodiscard]] double quantile(double u) const;
+
+  [[nodiscard]] double median_target() const noexcept { return median_; }
+  [[nodiscard]] double interval_target() const noexcept { return interval_; }
+  [[nodiscard]] double tail_alpha() const noexcept { return alpha_; }
+
+  /// Returns a copy with a different tail index (load-calibration knob).
+  [[nodiscard]] QuantileMarginal with_tail_alpha(double alpha) const {
+    return {median_, interval_, alpha};
+  }
+
+ private:
+  double median_;
+  double interval_;
+  double alpha_;
+  double q05_;
+  double q95_;
+  double lower_theta_;  // lower-tail exponent (slope matched at u = 0.05)
+};
+
+}  // namespace cpw::stats

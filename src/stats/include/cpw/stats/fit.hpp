@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/stats/distributions.hpp"
+
+namespace cpw::stats {
+
+/// Result of the 3-moment hyper-Erlang fit used by the Jann model.
+struct HyperErlangFit {
+  double p;              ///< probability of the first branch
+  unsigned common_order; ///< Erlang order n shared by both branches
+  double rate1;
+  double rate2;
+  double residual;       ///< relative error on the third moment
+
+  [[nodiscard]] HyperErlang distribution() const {
+    return {p, common_order, rate1, rate2};
+  }
+};
+
+/// Matches the first three raw moments (m1, m2, m3) with a two-branch
+/// hyper-Erlang of common order, following Jann et al. (1997) / Johnson &
+/// Taaffe's two-point moment reduction:
+///
+/// Scaling the target moments by the Erlang order factors reduces the fit to
+/// a two-point distribution {(p, x1), (1-p, x2)} on branch means matching
+/// power moments a, b, c; x1, x2 are then roots of the monic quadratic whose
+/// coefficients solve the Hankel system. Orders n = 1..max_order are tried
+/// and the first feasible (positive roots, p in [0,1]) fit is returned.
+///
+/// Returns nullopt when no order admits a feasible fit (e.g. CV^2 below
+/// 1/max_order, i.e. data more deterministic than the family can express).
+std::optional<HyperErlangFit> fit_hyper_erlang(const RawMoments& target,
+                                               unsigned max_order = 32);
+
+/// Convenience overload fitting directly from data.
+std::optional<HyperErlangFit> fit_hyper_erlang(std::span<const double> data,
+                                               unsigned max_order = 32);
+
+}  // namespace cpw::stats

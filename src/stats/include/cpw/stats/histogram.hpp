@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cpw::stats {
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Supports linear and logarithmic bin edges — workload
+/// attributes span many orders of magnitude, so log bins are the default for
+/// inspection output.
+class Histogram {
+ public:
+  enum class Scale { kLinear, kLog };
+
+  Histogram(double lo, double hi, std::size_t bins, Scale scale = Scale::kLinear);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Lower edge of the given bin.
+  [[nodiscard]] double edge(std::size_t bin) const;
+
+  /// Simple textual bar rendering for logs and examples.
+  [[nodiscard]] std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+  double lo_;
+  double hi_;
+  Scale scale_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cpw::stats

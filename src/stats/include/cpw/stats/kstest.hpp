@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+namespace cpw::stats {
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  ///< D = sup |F1 - F2|
+  double p_value = 1.0;    ///< asymptotic (Kolmogorov distribution)
+
+  /// Convention used by the tests in this repository.
+  [[nodiscard]] bool same_distribution(double alpha = 0.01) const {
+    return p_value > alpha;
+  }
+};
+
+/// Two-sample Kolmogorov–Smirnov test. Used to verify that a generator
+/// reproduces a reference distribution (model validation) and to compare
+/// workload attribute distributions across logs.
+KsResult ks_test(std::span<const double> xs, std::span<const double> ys);
+
+/// Kolmogorov distribution survival function Q(λ) = P(K > λ),
+/// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}.
+double kolmogorov_survival(double lambda);
+
+}  // namespace cpw::stats

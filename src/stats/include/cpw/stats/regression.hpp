@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cpw::stats {
+
+/// Ordinary least-squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fits a straight line by OLS. Requires at least two distinct x values.
+LinearFit ols(std::span<const double> xs, std::span<const double> ys);
+
+/// Weighted isotonic (monotone non-decreasing) regression by the
+/// pool-adjacent-violators algorithm. Returns the fitted values in input
+/// order. `weights` may be empty (uniform) or match `ys` in length.
+///
+/// This is the monotone-regression step of non-metric MDS: given map
+/// distances ordered by dissimilarity rank, PAVA produces the closest
+/// monotone sequence of "disparities".
+std::vector<double> pava_isotonic(std::span<const double> ys,
+                                  std::span<const double> weights = {});
+
+}  // namespace cpw::stats

@@ -1,0 +1,54 @@
+#include "cpw/stats/kstest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+double kolmogorov_survival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs, std::span<const double> ys) {
+  CPW_REQUIRE(!xs.empty() && !ys.empty(), "ks_test needs non-empty samples");
+
+  std::vector<double> a(xs.begin(), xs.end());
+  std::vector<double> b(ys.begin(), ys.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  // Walk both sorted samples, tracking the empirical CDF gap.
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double value = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= value) ++i;
+    while (j < b.size() && b[j] <= value) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double n_eff = std::sqrt(na * nb / (na + nb));
+  result.p_value =
+      kolmogorov_survival((n_eff + 0.12 + 0.11 / n_eff) * d);
+  return result;
+}
+
+}  // namespace cpw::stats

@@ -1,0 +1,72 @@
+#include "cpw/stats/regression.hpp"
+
+#include <cmath>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
+  CPW_REQUIRE(xs.size() == ys.size(), "ols needs equal-length samples");
+  CPW_REQUIRE(xs.size() >= 2, "ols needs at least two points");
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  CPW_REQUIRE(sxx > 0.0, "ols needs at least two distinct x values");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+std::vector<double> pava_isotonic(std::span<const double> ys,
+                                  std::span<const double> weights) {
+  const std::size_t n = ys.size();
+  CPW_REQUIRE(weights.empty() || weights.size() == n,
+              "pava weights length mismatch");
+
+  // Blocks of pooled values: (weighted mean, total weight, count).
+  struct Block {
+    double value;
+    double weight;
+    std::size_t count;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    blocks.push_back({ys[i], w, 1});
+    // Pool while the monotonicity constraint is violated.
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].value > blocks.back().value) {
+      const Block top = blocks.back();
+      blocks.pop_back();
+      Block& prev = blocks.back();
+      const double total = prev.weight + top.weight;
+      prev.value = (prev.value * prev.weight + top.value * top.weight) / total;
+      prev.weight = total;
+      prev.count += top.count;
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(n);
+  for (const Block& block : blocks) {
+    out.insert(out.end(), block.count, block.value);
+  }
+  return out;
+}
+
+}  // namespace cpw::stats

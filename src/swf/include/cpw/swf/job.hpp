@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpw::swf {
+
+/// One job record, matching the 18 fields of the Standard Workload Format
+/// (SWF) version 2 used by the Parallel Workloads Archive. Missing values
+/// are -1 as in the format specification.
+struct Job {
+  std::int64_t id = -1;            ///< 1. job number
+  double submit_time = -1;         ///< 2. seconds from log start
+  double wait_time = -1;           ///< 3. seconds in queue
+  double run_time = -1;            ///< 4. wall-clock runtime, seconds
+  std::int64_t processors = -1;    ///< 5. number of allocated processors
+  double cpu_time_avg = -1;        ///< 6. average CPU time per processor
+  double memory_avg = -1;          ///< 7. average memory used, KB
+  std::int64_t req_processors = -1;///< 8. requested processors
+  double req_time = -1;            ///< 9. requested runtime
+  double req_memory = -1;          ///< 10. requested memory
+  int status = 1;                  ///< 11. 1 = completed, 0 = failed, 5 = cancelled
+  std::int64_t user = -1;          ///< 12. user id
+  std::int64_t group = -1;         ///< 13. group id
+  std::int64_t executable = -1;    ///< 14. application id
+  std::int64_t queue = -1;         ///< 15. queue id (we use 1=interactive, 2=batch)
+  std::int64_t partition = -1;     ///< 16. partition id
+  std::int64_t preceding_job = -1; ///< 17. dependency: preceding job number
+  double think_time = -1;          ///< 18. think time after preceding job
+
+  /// Total CPU work over all processors (the paper's variable 12). Falls
+  /// back to runtime x processors when per-processor CPU time is missing —
+  /// the same approximation the paper applies to the NASA log (§3).
+  [[nodiscard]] double total_work() const {
+    const double per_cpu = cpu_time_avg >= 0 ? cpu_time_avg : run_time;
+    return per_cpu * static_cast<double>(processors > 0 ? processors : 0);
+  }
+
+  /// Node-seconds the job occupies (runtime load numerator).
+  [[nodiscard]] double node_seconds() const {
+    return (run_time > 0 ? run_time : 0.0) *
+           static_cast<double>(processors > 0 ? processors : 0);
+  }
+
+  [[nodiscard]] bool completed() const { return status == 1; }
+};
+
+/// Queue-id convention used throughout this library for the paper's
+/// interactive/batch split.
+inline constexpr std::int64_t kQueueInteractive = 1;
+inline constexpr std::int64_t kQueueBatch = 2;
+
+using JobList = std::vector<Job>;
+
+}  // namespace cpw::swf

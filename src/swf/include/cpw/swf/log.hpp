@@ -1,0 +1,104 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "cpw/swf/job.hpp"
+
+namespace cpw::swf {
+
+/// A workload log: header metadata plus the job stream, sorted by submit
+/// time. This is the unit the characterization, Co-plot, and self-similarity
+/// pipelines consume, whether it came from a file, from the archive
+/// simulator, or from a synthetic model.
+class Log {
+ public:
+  Log() = default;
+  Log(std::string name, JobList jobs);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const JobList& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+
+  /// Header key/value comments (e.g. "MaxProcs" -> "512"), mirroring the SWF
+  /// `; Key: Value` convention.
+  [[nodiscard]] const std::map<std::string, std::string>& header() const {
+    return header_;
+  }
+  void set_header(std::string key, std::string value) {
+    header_[std::move(key)] = std::move(value);
+  }
+  [[nodiscard]] std::string header_or(const std::string& key,
+                                      std::string fallback) const;
+
+  /// Machine size; reads the MaxProcs header, else the largest job.
+  [[nodiscard]] std::int64_t max_processors() const;
+
+  /// Time span covered: last submit + its runtime, minus first submit.
+  [[nodiscard]] double duration() const;
+
+  /// Appends a job (resorts lazily on finalize()).
+  void add(Job job) { jobs_.push_back(job); }
+
+  /// Sorts by submit time and renumbers job ids 1..n.
+  void finalize();
+
+  /// Jobs whose queue id matches (the paper's interactive/batch split).
+  [[nodiscard]] Log filter_queue(std::int64_t queue_id,
+                                 const std::string& suffix) const;
+
+  /// Jobs submitted in [start, end) with submit times rebased to start.
+  [[nodiscard]] Log slice_time(double start, double end,
+                               const std::string& suffix) const;
+
+  /// Splits the log into `parts` equal-duration consecutive slices — the
+  /// paper's six-month-period methodology (§6) for homogeneity testing.
+  [[nodiscard]] std::vector<Log> split_periods(std::size_t parts) const;
+
+ private:
+  std::string name_;
+  JobList jobs_;
+  std::map<std::string, std::string> header_;
+};
+
+/// Parses a Standard Workload Format stream. Header comments (`; Key: Value`)
+/// are kept; malformed job lines raise cpw::ParseError with the line number.
+Log parse_swf(std::istream& in, const std::string& name);
+
+/// Reads an SWF file from disk.
+Log load_swf(const std::string& path);
+
+/// Writes a log in Standard Workload Format.
+void write_swf(std::ostream& out, const Log& log);
+
+/// Writes to a file; throws cpw::Error on I/O failure.
+void save_swf(const std::string& path, const Log& log);
+
+/// Basic integrity issues detected by `validate` — the paper's §1 motivates
+/// this: real logs contain jobs exceeding system limits, negative fields,
+/// and other anomalies that must be surfaced rather than silently used.
+struct ValidationReport {
+  std::size_t total_jobs = 0;
+  std::size_t negative_runtime = 0;
+  std::size_t zero_processors = 0;
+  std::size_t over_machine_size = 0;
+  std::size_t non_monotone_submit = 0;
+  std::size_t missing_cpu_time = 0;
+
+  [[nodiscard]] bool clean() const {
+    return negative_runtime == 0 && zero_processors == 0 &&
+           over_machine_size == 0 && non_monotone_submit == 0;
+  }
+};
+
+ValidationReport validate(const Log& log);
+
+/// Returns a copy with invalid jobs (negative runtime, non-positive
+/// processors, over machine size) removed.
+Log cleaned(const Log& log);
+
+}  // namespace cpw::swf

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpw/swf/log.hpp"
+
+namespace cpw::swf {
+
+/// Merges several logs into one stream on a shared time axis (each log is
+/// rebased to submit-time zero first). User/executable/queue ids are
+/// offset per source so populations stay disjoint; useful for building
+/// mixed interactive+batch workloads out of separately generated parts.
+Log merge_logs(std::span<const Log> logs, const std::string& name);
+
+/// Anonymizes a log: user, group and executable ids are densely renumbered
+/// in order of first appearance (1, 2, ...), memory fields are cleared.
+/// Statistical structure (counts, repetition patterns) is preserved, which
+/// is exactly what the paper's archive asks contributors to do.
+Log anonymized(const Log& log);
+
+/// Machine utilization profile: fraction of processors busy in each of
+/// `bins` equal sub-intervals of the log's duration, assuming every job
+/// runs [submit, submit + runtime) (no queueing). This is the offered-load
+/// series the §9 burstiness discussion is about.
+std::vector<double> utilization_profile(const Log& log, std::size_t bins);
+
+}  // namespace cpw::swf

@@ -1,0 +1,260 @@
+#include "cpw/swf/log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::swf {
+
+Log::Log(std::string name, JobList jobs)
+    : name_(std::move(name)), jobs_(std::move(jobs)) {
+  finalize();
+}
+
+std::string Log::header_or(const std::string& key, std::string fallback) const {
+  const auto it = header_.find(key);
+  return it == header_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Log::max_processors() const {
+  const auto it = header_.find("MaxProcs");
+  if (it != header_.end()) {
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      // fall through to scan
+    }
+  }
+  std::int64_t max_procs = 0;
+  for (const Job& job : jobs_) max_procs = std::max(max_procs, job.processors);
+  return max_procs;
+}
+
+double Log::duration() const {
+  if (jobs_.empty()) return 0.0;
+  double end = 0.0;
+  for (const Job& job : jobs_) {
+    end = std::max(end, job.submit_time + std::max(job.run_time, 0.0));
+  }
+  return end - jobs_.front().submit_time;
+}
+
+void Log::finalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+    return a.submit_time < b.submit_time;
+  });
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<std::int64_t>(i) + 1;
+  }
+}
+
+Log Log::filter_queue(std::int64_t queue_id, const std::string& suffix) const {
+  JobList kept;
+  for (const Job& job : jobs_) {
+    if (job.queue == queue_id) kept.push_back(job);
+  }
+  Log out(name_ + suffix, std::move(kept));
+  out.header_ = header_;
+  return out;
+}
+
+Log Log::slice_time(double start, double end, const std::string& suffix) const {
+  JobList kept;
+  for (const Job& job : jobs_) {
+    if (job.submit_time >= start && job.submit_time < end) {
+      Job copy = job;
+      copy.submit_time -= start;
+      kept.push_back(copy);
+    }
+  }
+  Log out(name_ + suffix, std::move(kept));
+  out.header_ = header_;
+  return out;
+}
+
+std::vector<Log> Log::split_periods(std::size_t parts) const {
+  CPW_REQUIRE(parts >= 1, "split_periods needs at least one part");
+  std::vector<Log> out;
+  if (jobs_.empty()) return out;
+  const double start = jobs_.front().submit_time;
+  const double span = jobs_.back().submit_time - start;
+  const double step = span / static_cast<double>(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const double lo = start + step * static_cast<double>(p);
+    // Last slice is closed on the right so the final job is not dropped.
+    const double hi = p + 1 == parts
+                          ? jobs_.back().submit_time + 1.0
+                          : start + step * static_cast<double>(p + 1);
+    out.push_back(slice_time(lo, hi, std::to_string(p + 1)));
+  }
+  return out;
+}
+
+namespace {
+
+double parse_field(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (...) {
+    throw ParseError("bad numeric field '" + token + "'", line);
+  }
+}
+
+}  // namespace
+
+Log parse_swf(std::istream& in, const std::string& name) {
+  Log log;
+  log.set_name(name);
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      // Header comment: "; Key: Value".
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos && colon > 1) {
+        std::string key = line.substr(1, colon - 1);
+        std::string value = line.substr(colon + 1);
+        auto trim = [](std::string& s) {
+          const auto first = s.find_first_not_of(" \t");
+          const auto last = s.find_last_not_of(" \t\r");
+          s = first == std::string::npos ? "" : s.substr(first, last - first + 1);
+        };
+        trim(key);
+        trim(value);
+        if (!key.empty()) log.set_header(key, value);
+      }
+      continue;
+    }
+
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 18) {
+      throw ParseError("expected 18 fields, got " + std::to_string(tokens.size()),
+                       line_number);
+    }
+
+    Job job;
+    job.id = static_cast<std::int64_t>(parse_field(tokens[0], line_number));
+    job.submit_time = parse_field(tokens[1], line_number);
+    job.wait_time = parse_field(tokens[2], line_number);
+    job.run_time = parse_field(tokens[3], line_number);
+    job.processors = static_cast<std::int64_t>(parse_field(tokens[4], line_number));
+    job.cpu_time_avg = parse_field(tokens[5], line_number);
+    job.memory_avg = parse_field(tokens[6], line_number);
+    job.req_processors =
+        static_cast<std::int64_t>(parse_field(tokens[7], line_number));
+    job.req_time = parse_field(tokens[8], line_number);
+    job.req_memory = parse_field(tokens[9], line_number);
+    job.status = static_cast<int>(parse_field(tokens[10], line_number));
+    job.user = static_cast<std::int64_t>(parse_field(tokens[11], line_number));
+    job.group = static_cast<std::int64_t>(parse_field(tokens[12], line_number));
+    job.executable =
+        static_cast<std::int64_t>(parse_field(tokens[13], line_number));
+    job.queue = static_cast<std::int64_t>(parse_field(tokens[14], line_number));
+    job.partition =
+        static_cast<std::int64_t>(parse_field(tokens[15], line_number));
+    job.preceding_job =
+        static_cast<std::int64_t>(parse_field(tokens[16], line_number));
+    job.think_time = parse_field(tokens[17], line_number);
+    log.add(job);
+  }
+
+  log.finalize();
+  return log;
+}
+
+Log load_swf(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open SWF file: " + path);
+  return parse_swf(file, path);
+}
+
+void write_swf(std::ostream& out, const Log& log) {
+  const auto saved_precision = out.precision(15);
+  out << "; SWF log generated by cpw\n";
+  for (const auto& [key, value] : log.header()) {
+    out << "; " << key << ": " << value << "\n";
+  }
+  auto emit_num = [&out](double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+      out << static_cast<std::int64_t>(v);
+    } else {
+      out << v;
+    }
+  };
+  for (const Job& j : log.jobs()) {
+    out << j.id << ' ';
+    emit_num(j.submit_time);
+    out << ' ';
+    emit_num(j.wait_time);
+    out << ' ';
+    emit_num(j.run_time);
+    out << ' ' << j.processors << ' ';
+    emit_num(j.cpu_time_avg);
+    out << ' ';
+    emit_num(j.memory_avg);
+    out << ' ' << j.req_processors << ' ';
+    emit_num(j.req_time);
+    out << ' ';
+    emit_num(j.req_memory);
+    out << ' ' << j.status << ' ' << j.user << ' ' << j.group << ' '
+        << j.executable << ' ' << j.queue << ' ' << j.partition << ' '
+        << j.preceding_job << ' ';
+    emit_num(j.think_time);
+    out << '\n';
+  }
+  out.precision(saved_precision);
+}
+
+void save_swf(const std::string& path, const Log& log) {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open SWF output file: " + path);
+  write_swf(file, log);
+  if (!file) throw Error("failed writing SWF file: " + path);
+}
+
+ValidationReport validate(const Log& log) {
+  ValidationReport report;
+  report.total_jobs = log.size();
+  const std::int64_t machine = log.max_processors();
+  double previous_submit = -std::numeric_limits<double>::infinity();
+  for (const Job& job : log.jobs()) {
+    if (job.run_time < 0) ++report.negative_runtime;
+    if (job.processors <= 0) ++report.zero_processors;
+    if (machine > 0 && job.processors > machine) ++report.over_machine_size;
+    if (job.submit_time < previous_submit) ++report.non_monotone_submit;
+    if (job.cpu_time_avg < 0) ++report.missing_cpu_time;
+    previous_submit = job.submit_time;
+  }
+  return report;
+}
+
+Log cleaned(const Log& log) {
+  const std::int64_t machine = log.max_processors();
+  JobList kept;
+  kept.reserve(log.size());
+  for (const Job& job : log.jobs()) {
+    if (job.run_time < 0) continue;
+    if (job.processors <= 0) continue;
+    if (machine > 0 && job.processors > machine) continue;
+    kept.push_back(job);
+  }
+  Log out(log.name(), std::move(kept));
+  for (const auto& [key, value] : log.header()) out.set_header(key, value);
+  return out;
+}
+
+}  // namespace cpw::swf

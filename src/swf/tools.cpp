@@ -1,0 +1,101 @@
+#include "cpw/swf/tools.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::swf {
+
+Log merge_logs(std::span<const Log> logs, const std::string& name) {
+  CPW_REQUIRE(!logs.empty(), "merge_logs needs at least one log");
+
+  JobList merged;
+  std::int64_t user_offset = 0;
+  std::int64_t executable_offset = 0;
+  std::int64_t max_procs = 0;
+
+  for (const Log& log : logs) {
+    if (log.empty()) continue;
+    const double base = log.jobs().front().submit_time;
+    std::int64_t max_user = 0, max_executable = 0;
+    for (Job job : log.jobs()) {
+      job.submit_time -= base;
+      if (job.user >= 0) {
+        max_user = std::max(max_user, job.user);
+        job.user += user_offset;
+      }
+      if (job.executable >= 0) {
+        max_executable = std::max(max_executable, job.executable);
+        job.executable += executable_offset;
+      }
+      merged.push_back(job);
+    }
+    user_offset += max_user + 1;
+    executable_offset += max_executable + 1;
+    max_procs = std::max(max_procs, log.max_processors());
+  }
+
+  Log out(name, std::move(merged));
+  out.set_header("MaxProcs", std::to_string(max_procs));
+  return out;
+}
+
+Log anonymized(const Log& log) {
+  std::map<std::int64_t, std::int64_t> users, groups, executables;
+  auto remap = [](std::map<std::int64_t, std::int64_t>& table,
+                  std::int64_t id) -> std::int64_t {
+    if (id < 0) return id;
+    const auto [it, inserted] =
+        table.emplace(id, static_cast<std::int64_t>(table.size()) + 1);
+    return it->second;
+  };
+
+  JobList jobs = log.jobs();
+  for (Job& job : jobs) {
+    job.user = remap(users, job.user);
+    job.group = remap(groups, job.group);
+    job.executable = remap(executables, job.executable);
+    job.memory_avg = -1;
+    job.req_memory = -1;
+  }
+  Log out(log.name() + "-anon", std::move(jobs));
+  for (const auto& [key, value] : log.header()) out.set_header(key, value);
+  return out;
+}
+
+std::vector<double> utilization_profile(const Log& log, std::size_t bins) {
+  CPW_REQUIRE(bins >= 1, "utilization_profile needs >= 1 bin");
+  std::vector<double> busy(bins, 0.0);
+  const double duration = log.duration();
+  if (log.empty() || duration <= 0.0) return busy;
+
+  const double origin = log.jobs().front().submit_time;
+  const double bin_width = duration / static_cast<double>(bins);
+  const auto machine = static_cast<double>(log.max_processors());
+
+  for (const Job& job : log.jobs()) {
+    if (job.run_time <= 0 || job.processors <= 0) continue;
+    const double start = job.submit_time - origin;
+    const double end = start + job.run_time;
+    // Spread the job's node-seconds over the bins it overlaps.
+    const auto first = static_cast<std::size_t>(
+        std::clamp(start / bin_width, 0.0, static_cast<double>(bins - 1)));
+    const auto last = static_cast<std::size_t>(
+        std::clamp(end / bin_width, 0.0, static_cast<double>(bins - 1)));
+    for (std::size_t b = first; b <= last; ++b) {
+      const double bin_start = static_cast<double>(b) * bin_width;
+      const double overlap = std::min(end, bin_start + bin_width) -
+                             std::max(start, bin_start);
+      if (overlap > 0) {
+        busy[b] += overlap * static_cast<double>(job.processors);
+      }
+    }
+  }
+  for (double& value : busy) {
+    value /= bin_width * std::max(machine, 1.0);
+  }
+  return busy;
+}
+
+}  // namespace cpw::swf

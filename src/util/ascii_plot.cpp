@@ -1,0 +1,118 @@
+#include "cpw/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cpw {
+
+void AsciiPlot::add_point(double x, double y, std::string label) {
+  items_.push_back({x, y, std::move(label), false});
+}
+
+void AsciiPlot::add_arrow(double dx, double dy, std::string label) {
+  items_.push_back({dx, dy, std::move(label), true});
+}
+
+std::string AsciiPlot::render() const {
+  if (items_.empty()) return "(empty plot)\n";
+
+  // Data bounds over points; arrows are unit vectors scaled to the data radius.
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity(), max_y = -min_y;
+  double cx = 0.0, cy = 0.0;
+  std::size_t points = 0;
+  for (const auto& item : items_) {
+    if (item.arrow) continue;
+    min_x = std::min(min_x, item.x);
+    max_x = std::max(max_x, item.x);
+    min_y = std::min(min_y, item.y);
+    max_y = std::max(max_y, item.y);
+    cx += item.x;
+    cy += item.y;
+    ++points;
+  }
+  if (points == 0) {
+    min_x = min_y = -1.0;
+    max_x = max_y = 1.0;
+  } else {
+    cx /= static_cast<double>(points);
+    cy /= static_cast<double>(points);
+  }
+  const double radius =
+      0.55 * std::max({max_x - min_x, max_y - min_y, 1e-9});
+
+  // Expand bounds so arrow heads fit.
+  for (const auto& item : items_) {
+    if (!item.arrow) continue;
+    const double hx = cx + item.x * radius;
+    const double hy = cy + item.y * radius;
+    min_x = std::min(min_x, hx);
+    max_x = std::max(max_x, hx);
+    min_y = std::min(min_y, hy);
+    max_y = std::max(max_y, hy);
+  }
+  const double pad_x = 0.08 * std::max(max_x - min_x, 1e-9);
+  const double pad_y = 0.08 * std::max(max_y - min_y, 1e-9);
+  min_x -= pad_x;
+  max_x += pad_x + pad_x;  // extra right margin for labels
+  min_y -= pad_y;
+  max_y += pad_y;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+
+  auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - min_x) / (max_x - min_x) *
+                                        (width_ - 1)));
+  };
+  auto to_row = [&](double y) {
+    // Screen rows grow downward; data y grows upward.
+    return static_cast<int>(std::lround((max_y - y) / (max_y - min_y) *
+                                        (height_ - 1)));
+  };
+  auto put = [&](int row, int col, char ch) {
+    if (row < 0 || row >= height_ || col < 0 || col >= width_) return;
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = ch;
+  };
+  auto put_label = [&](int row, int col, const std::string& text) {
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const int c = col + static_cast<int>(i);
+      if (c < 0 || c >= width_ || row < 0 || row >= height_) break;
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] = text[i];
+    }
+  };
+
+  // Draw arrows first so points/labels overwrite them.
+  for (const auto& item : items_) {
+    if (!item.arrow) continue;
+    const int steps = 24;
+    for (int s = 1; s <= steps; ++s) {
+      const double t = radius * static_cast<double>(s) / steps;
+      put(to_row(cy + item.y * t), to_col(cx + item.x * t), '.');
+    }
+    const int hr = to_row(cy + item.y * radius);
+    const int hc = to_col(cx + item.x * radius);
+    put(hr, hc, '>');
+    put_label(hr, hc + 1, item.label);
+  }
+
+  for (const auto& item : items_) {
+    if (item.arrow) continue;
+    const int r = to_row(item.y);
+    const int c = to_col(item.x);
+    put(r, c, '*');
+    put_label(r, c + 1, item.label);
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(height_) *
+              (static_cast<std::size_t>(width_) + 1));
+  for (const auto& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cpw

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpw {
+
+/// Renders labelled 2-D scatter plots (and optional arrows from the origin)
+/// as character grids, so every Co-plot "figure" in the paper can be
+/// regenerated straight into a terminal or log file.
+class AsciiPlot {
+ public:
+  AsciiPlot(int width = 76, int height = 30) : width_(width), height_(height) {}
+
+  /// Adds a labelled point; the first character cell is the anchor and the
+  /// label is written to its right when space permits.
+  void add_point(double x, double y, std::string label);
+
+  /// Adds an arrow (unit direction from the data centroid) labelled at the
+  /// head; used for Co-plot variable arrows.
+  void add_arrow(double dx, double dy, std::string label);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Item {
+    double x, y;
+    std::string label;
+    bool arrow;
+  };
+
+  int width_;
+  int height_;
+  std::vector<Item> items_;
+};
+
+}  // namespace cpw

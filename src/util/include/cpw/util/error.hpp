@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpw {
+
+/// Base exception for all errors raised by the cpw library.
+///
+/// Library code throws `Error` (or a subclass) for conditions caused by bad
+/// input or infeasible requests; programming errors use assertions instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a file or stream in Standard Workload Format is malformed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  /// 1-based line number of the offending input line.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Raised when a numeric routine cannot proceed (singular system,
+/// non-converging iteration, invalid parameter domain).
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr +
+              (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+/// Checks a precondition on user-supplied input and throws `cpw::Error` on
+/// violation. Unlike assert(), this is active in all build types.
+#define CPW_REQUIRE(expr, msg)                        \
+  do {                                                \
+    if (!(expr)) {                                    \
+      ::cpw::detail::throw_require(#expr, (msg));     \
+    }                                                 \
+  } while (false)
+
+}  // namespace cpw

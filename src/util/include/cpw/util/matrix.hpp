@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw {
+
+/// Dense row-major matrix of doubles.
+///
+/// Deliberately small: the statistical code in this library works on
+/// observation matrices of at most a few dozen rows, so the priority is
+/// clarity and value semantics, not BLAS-level performance. Heavy numeric
+/// kernels (FFT, fGn) use flat vectors directly.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      CPW_REQUIRE(row.size() == cols_, "ragged initializer for Matrix");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies column c into a fresh vector (rows are contiguous, columns not).
+  [[nodiscard]] std::vector<double> col(std::size_t c) const {
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  [[nodiscard]] Matrix multiply(const Matrix& other) const {
+    CPW_REQUIRE(cols_ == other.rows_, "matrix shape mismatch in multiply");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double v = (*this)(r, k);
+        if (v == 0.0) continue;
+        for (std::size_t c = 0; c < other.cols_; ++c) {
+          out(r, c) += v * other(k, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Removes the given column, shifting later columns left.
+  void erase_col(std::size_t c) {
+    CPW_REQUIRE(c < cols_, "erase_col out of range");
+    std::vector<double> next;
+    next.reserve(rows_ * (cols_ - 1));
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (j != c) next.push_back((*this)(r, j));
+      }
+    }
+    data_ = std::move(next);
+    --cols_;
+  }
+
+  /// Removes the given row.
+  void erase_row(std::size_t r) {
+    CPW_REQUIRE(r < rows_, "erase_row out of range");
+    data_.erase(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+    --rows_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Returns eigenvalues in descending order and the matching eigenvectors as
+/// columns of `vectors`. Intended for the small (n ≤ a few hundred) Gram
+/// matrices that classical MDS produces.
+struct SymmetricEigen {
+  std::vector<double> values;  ///< descending
+  Matrix vectors;              ///< column k pairs with values[k]
+};
+
+SymmetricEigen symmetric_eigen(const Matrix& a, int max_sweeps = 64);
+
+/// Solves the 2×2 system [[a,b],[b,c]] x = rhs. Throws NumericError when the
+/// system is numerically singular.
+void solve_sym2(double a, double b, double c, const double rhs[2], double out[2]);
+
+}  // namespace cpw

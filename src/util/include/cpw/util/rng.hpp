@@ -1,0 +1,166 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace cpw {
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer.
+///
+/// Used both as a stand-alone generator for seeding and as the canonical way
+/// to derive independent child seeds from a parent seed (`derive_seed`), so
+/// that parallel code paths stay deterministic for a given master seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives a reproducible child seed from `(parent, stream)`.
+/// Distinct streams give statistically independent sequences.
+inline std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  SplitMix64 mix(parent ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  mix.next();
+  return mix.next();
+}
+
+/// xoshiro256++ — fast, 256-bit-state generator (Blackman & Vigna).
+///
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random>
+/// distributions, but the library mostly uses the explicit helpers below to
+/// keep every generated stream bit-reproducible across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n), n > 0. Uses Lemire's multiply-shift method.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Rejection-free in practice for our n << 2^64; bias < 2^-64 * n.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * n;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal variate (Marsaglia polar method, cached pair).
+  double normal() noexcept {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * scale;
+    have_cached_ = true;
+    return u * scale;
+  }
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double sd) noexcept { return mean + sd * normal(); }
+
+  /// Exponential variate with the given rate λ (mean 1/λ).
+  double exponential(double rate) noexcept {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Gamma(shape k, scale θ) via Marsaglia–Tsang; valid for all k > 0.
+  double gamma(double shape, double scale) noexcept {
+    if (shape < 1.0) {
+      // Boost to shape+1 and correct with a power of a uniform.
+      const double u = uniform();
+      return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v * scale;
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+/// Standard normal cumulative distribution function Φ(x).
+inline double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+/// Inverse of Φ — Acklam's rational approximation refined by one Halley step.
+/// Accurate to ~1e-15 over (0, 1).
+double normal_quantile(double p);
+
+}  // namespace cpw

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpw {
+
+/// Minimal SVG scatter/arrow plot writer.
+///
+/// Produces self-contained SVG documents for the Co-plot maps; benches write
+/// these next to their text output so the figures can be viewed graphically.
+class SvgPlot {
+ public:
+  SvgPlot(double width = 640, double height = 480)
+      : width_(width), height_(height) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void add_point(double x, double y, std::string label,
+                 std::string color = "#1f77b4");
+
+  /// Arrow with unit direction (dx, dy) drawn from the point centroid.
+  void add_arrow(double dx, double dy, std::string label,
+                 std::string color = "#d62728");
+
+  [[nodiscard]] std::string render() const;
+
+  /// Writes the rendered document to `path`; throws cpw::Error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  struct Item {
+    double x, y;
+    std::string label;
+    std::string color;
+    bool arrow;
+  };
+
+  double width_;
+  double height_;
+  std::string title_;
+  std::vector<Item> items_;
+};
+
+}  // namespace cpw

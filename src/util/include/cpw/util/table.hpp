@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpw {
+
+/// Plain-text table builder used by the benchmark harnesses to print
+/// paper-versus-measured tables with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders with single-space-padded, '|'-separated columns.
+  [[nodiscard]] std::string str() const;
+
+  void print(std::ostream& os) const;
+
+  /// Formats a double with the given precision, trimming trailing zeros;
+  /// NaN renders as "N/A" (matching the paper's missing-value convention).
+  static std::string num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace cpw

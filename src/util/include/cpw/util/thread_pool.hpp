@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cpw {
+
+/// Fixed-size thread pool.
+///
+/// Workers are started in the constructor and joined in the destructor
+/// (RAII); `submit` enqueues a task, `wait_idle` blocks until every submitted
+/// task has completed. Exceptions thrown by tasks are captured and re-thrown
+/// from `wait_idle` (first one wins).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle; re-throws
+  /// the first task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs `body(i)` for i in [0, n) across the global pool, blocking until all
+/// iterations finish. Iterations must be independent. With n small or the
+/// pool unavailable this degrades to a serial loop.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// The process-wide pool used by `parallel_for` (lazily constructed with
+/// hardware_concurrency workers).
+ThreadPool& global_pool();
+
+}  // namespace cpw

@@ -1,0 +1,80 @@
+#include "cpw/util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cpw {
+
+SymmetricEigen symmetric_eigen(const Matrix& a, int max_sweeps) {
+  CPW_REQUIRE(a.rows() == a.cols(), "symmetric_eigen requires a square matrix");
+  const std::size_t n = a.rows();
+
+  Matrix m = a;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-18) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return m(i, i) > m(j, j); });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = m(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+void solve_sym2(double a, double b, double c, const double rhs[2], double out[2]) {
+  const double det = a * c - b * b;
+  const double scale = std::max({std::abs(a), std::abs(b), std::abs(c), 1e-300});
+  if (std::abs(det) < 1e-14 * scale * scale) {
+    throw NumericError("solve_sym2: singular 2x2 system");
+  }
+  out[0] = (c * rhs[0] - b * rhs[1]) / det;
+  out[1] = (a * rhs[1] - b * rhs[0]) / det;
+}
+
+}  // namespace cpw

@@ -1,0 +1,136 @@
+#include "cpw/util/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw {
+
+void SvgPlot::add_point(double x, double y, std::string label, std::string color) {
+  items_.push_back({x, y, std::move(label), std::move(color), false});
+}
+
+void SvgPlot::add_arrow(double dx, double dy, std::string label, std::string color) {
+  items_.push_back({dx, dy, std::move(label), std::move(color), true});
+}
+
+namespace {
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string SvgPlot::render() const {
+  double min_x = -1.0, max_x = 1.0, min_y = -1.0, max_y = 1.0;
+  double cx = 0.0, cy = 0.0;
+  std::size_t points = 0;
+  bool any = false;
+  for (const auto& item : items_) {
+    if (item.arrow) continue;
+    if (!any) {
+      min_x = max_x = item.x;
+      min_y = max_y = item.y;
+      any = true;
+    }
+    min_x = std::min(min_x, item.x);
+    max_x = std::max(max_x, item.x);
+    min_y = std::min(min_y, item.y);
+    max_y = std::max(max_y, item.y);
+    cx += item.x;
+    cy += item.y;
+    ++points;
+  }
+  if (points > 0) {
+    cx /= static_cast<double>(points);
+    cy /= static_cast<double>(points);
+  }
+  const double radius = 0.55 * std::max({max_x - min_x, max_y - min_y, 1e-9});
+  for (const auto& item : items_) {
+    if (!item.arrow) continue;
+    min_x = std::min(min_x, cx + item.x * radius);
+    max_x = std::max(max_x, cx + item.x * radius);
+    min_y = std::min(min_y, cy + item.y * radius);
+    max_y = std::max(max_y, cy + item.y * radius);
+  }
+  const double pad = 0.10 * std::max({max_x - min_x, max_y - min_y, 1e-9});
+  min_x -= pad;
+  max_x += pad;
+  min_y -= pad;
+  max_y += pad;
+
+  const double margin = 32.0;
+  auto sx = [&](double x) {
+    return margin + (x - min_x) / (max_x - min_x) * (width_ - 2 * margin);
+  };
+  auto sy = [&](double y) {
+    return height_ - margin - (y - min_y) / (max_y - min_y) * (height_ - 2 * margin);
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+      << height_ << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title_.empty()) {
+    out << "<text x=\"" << width_ / 2
+        << "\" y=\"18\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"14\" font-weight=\"bold\">"
+        << escape_xml(title_) << "</text>\n";
+  }
+
+  for (const auto& item : items_) {
+    if (!item.arrow) continue;
+    const double x1 = sx(cx), y1 = sy(cy);
+    const double x2 = sx(cx + item.x * radius), y2 = sy(cy + item.y * radius);
+    out << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\"" << item.color
+        << "\" stroke-width=\"1.5\"/>\n";
+    // Arrow head: two short strokes at the tip.
+    const double angle = std::atan2(y2 - y1, x2 - x1);
+    for (double rotation : {2.6, -2.6}) {
+      out << "<line x1=\"" << x2 << "\" y1=\"" << y2 << "\" x2=\""
+          << x2 + 8.0 * std::cos(angle + rotation) << "\" y2=\""
+          << y2 + 8.0 * std::sin(angle + rotation) << "\" stroke=\""
+          << item.color << "\" stroke-width=\"1.5\"/>\n";
+    }
+    out << "<text x=\"" << x2 + 4 << "\" y=\"" << y2 - 4
+        << "\" font-family=\"sans-serif\" font-size=\"11\" fill=\""
+        << item.color << "\">" << escape_xml(item.label) << "</text>\n";
+  }
+
+  for (const auto& item : items_) {
+    if (item.arrow) continue;
+    out << "<circle cx=\"" << sx(item.x) << "\" cy=\"" << sy(item.y)
+        << "\" r=\"4\" fill=\"" << item.color << "\"/>\n";
+    out << "<text x=\"" << sx(item.x) + 6 << "\" y=\"" << sy(item.y) + 4
+        << "\" font-family=\"sans-serif\" font-size=\"11\">"
+        << escape_xml(item.label) << "</text>\n";
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+void SvgPlot::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open SVG output file: " + path);
+  file << render();
+  if (!file) throw Error("failed writing SVG output file: " + path);
+}
+
+}  // namespace cpw

@@ -1,0 +1,226 @@
+#include "cpw/workload/characterize.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::workload {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+using Field = double WorkloadStats::*;
+
+const std::vector<std::pair<std::string, Field>>& field_table() {
+  static const std::vector<std::pair<std::string, Field>> table = {
+      {"MP", &WorkloadStats::machine_processors},
+      {"SF", &WorkloadStats::scheduler_flexibility},
+      {"AL", &WorkloadStats::allocation_flexibility},
+      {"RL", &WorkloadStats::runtime_load},
+      {"CL", &WorkloadStats::cpu_load},
+      {"E", &WorkloadStats::norm_executables},
+      {"U", &WorkloadStats::norm_users},
+      {"C", &WorkloadStats::pct_completed},
+      {"Rm", &WorkloadStats::runtime_median},
+      {"Ri", &WorkloadStats::runtime_interval},
+      {"Pm", &WorkloadStats::procs_median},
+      {"Pi", &WorkloadStats::procs_interval},
+      {"Nm", &WorkloadStats::norm_procs_median},
+      {"Ni", &WorkloadStats::norm_procs_interval},
+      {"Cm", &WorkloadStats::work_median},
+      {"Ci", &WorkloadStats::work_interval},
+      {"Im", &WorkloadStats::interarrival_median},
+      {"Ii", &WorkloadStats::interarrival_interval},
+  };
+  return table;
+}
+}  // namespace
+
+double WorkloadStats::get(const std::string& code) const {
+  for (const auto& [name, field] : field_table()) {
+    if (name == code) return this->*field;
+  }
+  throw Error("unknown workload variable code: " + code);
+}
+
+const std::vector<std::string>& WorkloadStats::all_codes() {
+  static const std::vector<std::string> codes = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, field] : field_table()) out.push_back(name);
+    return out;
+  }();
+  return codes;
+}
+
+WorkloadStats characterize(const swf::Log& log,
+                           std::optional<double> machine_processors) {
+  CPW_REQUIRE(log.size() >= 2, "characterize needs at least two jobs");
+
+  WorkloadStats stats;
+  stats.name = log.name();
+
+  const double machine =
+      machine_processors.value_or(static_cast<double>(log.max_processors()));
+  CPW_REQUIRE(machine > 0.0, "machine size unknown");
+  stats.machine_processors = machine;
+
+  auto header_num = [&](const char* key) {
+    const std::string raw = log.header_or(key, "");
+    if (raw.empty()) return kNaN;
+    try {
+      return std::stod(raw);
+    } catch (...) {
+      return kNaN;
+    }
+  };
+  stats.scheduler_flexibility = header_num("SchedulerFlexibility");
+  stats.allocation_flexibility = header_num("AllocationFlexibility");
+
+  // Attribute vectors.
+  std::vector<double> runtimes, procs, norm_procs, work, cpu_seconds;
+  runtimes.reserve(log.size());
+  procs.reserve(log.size());
+  norm_procs.reserve(log.size());
+  work.reserve(log.size());
+
+  std::unordered_set<std::int64_t> users, executables;
+  std::size_t completed = 0, with_status = 0, with_cpu = 0;
+  double node_seconds = 0.0, cpu_node_seconds = 0.0;
+
+  for (const swf::Job& job : log.jobs()) {
+    const double r = std::max(job.run_time, 0.0);
+    const double p = static_cast<double>(std::max<std::int64_t>(job.processors, 0));
+    runtimes.push_back(r);
+    procs.push_back(p);
+    norm_procs.push_back(p / machine * kNormalizedMachine);
+    work.push_back(job.total_work());
+
+    node_seconds += r * p;
+    if (job.cpu_time_avg >= 0.0) {
+      cpu_node_seconds += job.cpu_time_avg * p;
+      ++with_cpu;
+    }
+
+    if (job.user >= 0) users.insert(job.user);
+    if (job.executable >= 0) executables.insert(job.executable);
+    if (job.status >= 0) {
+      ++with_status;
+      if (job.completed()) ++completed;
+    }
+  }
+
+  std::vector<double> interarrival;
+  interarrival.reserve(log.size() - 1);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    interarrival.push_back(log.jobs()[i].submit_time -
+                           log.jobs()[i - 1].submit_time);
+  }
+
+  const double duration = log.duration();
+  const double capacity = machine * duration;
+  stats.runtime_load = capacity > 0.0 ? node_seconds / capacity : kNaN;
+  // CPU load needs per-processor CPU times on (nearly) every job; the paper
+  // substitutes the runtime load when it is missing (§3 assumption 1).
+  if (with_cpu * 2 >= log.size() && capacity > 0.0) {
+    stats.cpu_load = cpu_node_seconds / capacity;
+  } else {
+    stats.cpu_load = stats.runtime_load;
+  }
+
+  const double n = static_cast<double>(log.size());
+  stats.norm_executables =
+      executables.empty() ? kNaN : static_cast<double>(executables.size()) / n;
+  stats.norm_users = users.empty() ? kNaN : static_cast<double>(users.size()) / n;
+  stats.pct_completed = with_status == 0
+                            ? kNaN
+                            : static_cast<double>(completed) /
+                                  static_cast<double>(with_status);
+
+  const auto runtime_summary = stats::order_summary(runtimes);
+  stats.runtime_median = runtime_summary.median;
+  stats.runtime_interval = runtime_summary.interval90;
+
+  const auto procs_summary = stats::order_summary(procs);
+  stats.procs_median = procs_summary.median;
+  stats.procs_interval = procs_summary.interval90;
+
+  const auto norm_summary = stats::order_summary(norm_procs);
+  stats.norm_procs_median = norm_summary.median;
+  stats.norm_procs_interval = norm_summary.interval90;
+
+  const auto work_summary = stats::order_summary(work);
+  stats.work_median = work_summary.median;
+  stats.work_interval = work_summary.interval90;
+
+  const auto arrival_summary = stats::order_summary(interarrival);
+  stats.interarrival_median = arrival_summary.median;
+  stats.interarrival_interval = arrival_summary.interval90;
+
+  return stats;
+}
+
+coplot::Dataset make_dataset(std::span<const WorkloadStats> stats,
+                             const std::vector<std::string>& codes) {
+  coplot::Dataset dataset;
+  dataset.variable_names = codes;
+  dataset.values = Matrix(stats.size(), codes.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    dataset.observation_names.push_back(stats[i].name);
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      dataset.values(i, j) = stats[i].get(codes[j]);
+    }
+  }
+  return dataset;
+}
+
+std::vector<double> attribute_series(const swf::Log& log, Attribute attribute) {
+  std::vector<double> out;
+  if (attribute == Attribute::kInterArrival) {
+    out.reserve(log.size() > 0 ? log.size() - 1 : 0);
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      out.push_back(log.jobs()[i].submit_time - log.jobs()[i - 1].submit_time);
+    }
+    return out;
+  }
+  out.reserve(log.size());
+  for (const swf::Job& job : log.jobs()) {
+    switch (attribute) {
+      case Attribute::kProcessors:
+        out.push_back(static_cast<double>(std::max<std::int64_t>(job.processors, 0)));
+        break;
+      case Attribute::kRuntime:
+        out.push_back(std::max(job.run_time, 0.0));
+        break;
+      case Attribute::kTotalWork:
+        out.push_back(job.total_work());
+        break;
+      case Attribute::kInterArrival:
+        break;  // handled above
+    }
+  }
+  return out;
+}
+
+std::string attribute_name(Attribute attribute) {
+  switch (attribute) {
+    case Attribute::kProcessors: return "procs";
+    case Attribute::kRuntime: return "runtime";
+    case Attribute::kTotalWork: return "work";
+    case Attribute::kInterArrival: return "interarrival";
+  }
+  return "?";
+}
+
+std::span<const Attribute> all_attributes() {
+  static constexpr std::array<Attribute, 4> attributes = {
+      Attribute::kProcessors, Attribute::kRuntime, Attribute::kTotalWork,
+      Attribute::kInterArrival};
+  return attributes;
+}
+
+}  // namespace cpw::workload

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/swf/log.hpp"
+
+namespace cpw::workload {
+
+/// The 18 characterization variables of paper §3 / Table 1 for one workload.
+/// Missing values (a log without user ids, say) are NaN, matching the
+/// paper's N/A entries.
+struct WorkloadStats {
+  std::string name;
+
+  double machine_processors = 0.0;     ///< MP — variable 1
+  double scheduler_flexibility = 0.0;  ///< SF — 1=NQS, 2=EASY, 3=gang (var 2)
+  double allocation_flexibility = 0.0; ///< AL — 1=pow2, 2=limited, 3=free (var 3)
+  double runtime_load = 0.0;           ///< RL — variable 4
+  double cpu_load = 0.0;               ///< CL — variable 5
+  double norm_executables = 0.0;       ///< E  — variable 6
+  double norm_users = 0.0;             ///< U  — variable 7
+  double pct_completed = 0.0;          ///< C  — variable 8
+  double runtime_median = 0.0;         ///< Rm — variable 9
+  double runtime_interval = 0.0;       ///< Ri
+  double procs_median = 0.0;           ///< Pm — variable 10
+  double procs_interval = 0.0;         ///< Pi
+  double norm_procs_median = 0.0;      ///< Nm — variable 11
+  double norm_procs_interval = 0.0;    ///< Ni
+  double work_median = 0.0;            ///< Cm — variable 12
+  double work_interval = 0.0;          ///< Ci
+  double interarrival_median = 0.0;    ///< Im — variable 13
+  double interarrival_interval = 0.0;  ///< Ii
+
+  /// Value by the paper's short code (MP, SF, AL, RL, CL, E, U, C, Rm, Ri,
+  /// Pm, Pi, Nm, Ni, Cm, Ci, Im, Ii). Throws on an unknown code.
+  [[nodiscard]] double get(const std::string& code) const;
+
+  /// All codes in Table 1 row order.
+  static const std::vector<std::string>& all_codes();
+};
+
+/// Scheduler ranks of paper variable 2.
+enum class Scheduler { kNQS = 1, kEasy = 2, kGang = 3 };
+
+/// Allocation-flexibility ranks of paper variable 3.
+enum class Allocation { kPowerOfTwo = 1, kLimited = 2, kUnlimited = 3 };
+
+/// Reference machine size for the normalized degree of parallelism (§3
+/// variable 11 treats every job as if submitted to a 128-node machine).
+inline constexpr double kNormalizedMachine = 128.0;
+
+/// Computes all Table 1 variables from a job stream.
+///
+/// `machine_processors` overrides the log's MaxProcs header. Scheduler and
+/// allocation flexibility are environment facts, not log-derivable; they are
+/// read from the "SchedulerFlexibility"/"AllocationFlexibility" headers when
+/// present and default to NaN otherwise.
+///
+/// The paper's §3 approximations are applied and recorded: a missing CPU
+/// load falls back to the runtime load and vice versa.
+WorkloadStats characterize(const swf::Log& log,
+                           std::optional<double> machine_processors = {});
+
+/// Assembles a Co-plot dataset from per-workload statistics, selecting the
+/// given variable codes in order.
+coplot::Dataset make_dataset(std::span<const WorkloadStats> stats,
+                             const std::vector<std::string>& codes);
+
+/// Per-job attribute series for self-similarity analysis (§9 tests used
+/// processors, runtime, total CPU time, and inter-arrival time).
+enum class Attribute { kProcessors, kRuntime, kTotalWork, kInterArrival };
+
+/// Extracts the series in job-arrival order; for kInterArrival the series
+/// has length n-1.
+std::vector<double> attribute_series(const swf::Log& log, Attribute attribute);
+
+/// Short name of an attribute ("procs", "runtime", "work", "interarrival").
+std::string attribute_name(Attribute attribute);
+
+/// All four attributes, in the paper's Table 3 column order.
+std::span<const Attribute> all_attributes();
+
+}  // namespace cpw::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "cpw/swf/log.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::workload {
+
+/// The three "simplistic" load-alteration techniques the paper's §8
+/// examines (its third modeling statement): condensing the inter-arrival
+/// process, stretching runtimes, or inflating the degree of parallelism by
+/// a constant factor. The paper shows all three contradict the correlation
+/// structure the Co-plot maps exposed — `bench/ablation_load_scaling`
+/// quantifies the side effects.
+enum class LoadScaling {
+  kCondenseArrivals,   ///< divide all inter-arrival gaps by the factor
+  kStretchRuntimes,    ///< multiply runtimes (and CPU times) by the factor
+  kInflateParallelism, ///< multiply processor counts by the factor
+};
+
+/// Human-readable technique name.
+std::string load_scaling_name(LoadScaling technique);
+
+/// Applies one load-scaling technique; `factor` > 1 raises the load.
+/// Parallelism inflation clamps to the machine size (which is why the
+/// technique saturates on loaded machines). The returned log is renamed
+/// "<name>*<technique>".
+swf::Log scale_load(const swf::Log& log, LoadScaling technique, double factor);
+
+/// Side-effect report of one scaling experiment: the relative change of
+/// every Table-1 variable, plus the achieved vs. intended load ratio.
+struct ScalingReport {
+  LoadScaling technique;
+  double factor = 1.0;
+  WorkloadStats before;
+  WorkloadStats after;
+
+  /// after/before ratio of a variable by code (NaN-safe).
+  [[nodiscard]] double ratio(const std::string& code) const;
+
+  /// Achieved load multiplier relative to the requested factor: 1 means the
+  /// technique delivered exactly the intended load change.
+  [[nodiscard]] double load_fidelity() const;
+};
+
+/// Runs one scaling experiment end to end.
+ScalingReport scaling_experiment(const swf::Log& log, LoadScaling technique,
+                                 double factor);
+
+}  // namespace cpw::workload

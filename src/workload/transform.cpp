@@ -1,0 +1,84 @@
+#include "cpw/workload/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::workload {
+
+std::string load_scaling_name(LoadScaling technique) {
+  switch (technique) {
+    case LoadScaling::kCondenseArrivals: return "condense-arrivals";
+    case LoadScaling::kStretchRuntimes: return "stretch-runtimes";
+    case LoadScaling::kInflateParallelism: return "inflate-parallelism";
+  }
+  return "?";
+}
+
+swf::Log scale_load(const swf::Log& log, LoadScaling technique, double factor) {
+  CPW_REQUIRE(factor > 0.0, "scaling factor must be positive");
+  const std::int64_t machine = log.max_processors();
+
+  swf::JobList jobs = log.jobs();
+  switch (technique) {
+    case LoadScaling::kCondenseArrivals: {
+      // Dividing every gap by the factor == dividing submit times.
+      const double base = jobs.empty() ? 0.0 : jobs.front().submit_time;
+      for (swf::Job& job : jobs) {
+        job.submit_time = base + (job.submit_time - base) / factor;
+      }
+      break;
+    }
+    case LoadScaling::kStretchRuntimes:
+      for (swf::Job& job : jobs) {
+        if (job.run_time > 0) job.run_time *= factor;
+        if (job.cpu_time_avg > 0) job.cpu_time_avg *= factor;
+      }
+      break;
+    case LoadScaling::kInflateParallelism:
+      for (swf::Job& job : jobs) {
+        if (job.processors > 0) {
+          const double scaled =
+              std::round(static_cast<double>(job.processors) * factor);
+          job.processors = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(scaled), 1,
+              machine > 0 ? machine : std::numeric_limits<std::int64_t>::max());
+        }
+      }
+      break;
+  }
+
+  swf::Log out(log.name() + "*" + load_scaling_name(technique),
+               std::move(jobs));
+  for (const auto& [key, value] : log.header()) out.set_header(key, value);
+  return out;
+}
+
+double ScalingReport::ratio(const std::string& code) const {
+  const double b = before.get(code);
+  const double a = after.get(code);
+  if (std::isnan(b) || std::isnan(a) || b == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return a / b;
+}
+
+double ScalingReport::load_fidelity() const {
+  const double achieved = ratio("RL");
+  return std::isnan(achieved) ? achieved : achieved / factor;
+}
+
+ScalingReport scaling_experiment(const swf::Log& log, LoadScaling technique,
+                                 double factor) {
+  ScalingReport report;
+  report.technique = technique;
+  report.factor = factor;
+  const auto machine = static_cast<double>(log.max_processors());
+  report.before = characterize(log, machine);
+  report.after = characterize(scale_load(log, technique, factor), machine);
+  return report;
+}
+
+}  // namespace cpw::workload

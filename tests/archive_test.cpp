@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/archive/simulator.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/stats/distributions.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::archive {
+namespace {
+
+// ----------------------------------------------------------------- paper data
+
+TEST(PaperData, Table1HasTenNamedRows) {
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_STREQ(rows[0].name, "CTC");
+  EXPECT_STREQ(rows[9].name, "SDSCb");
+}
+
+TEST(PaperData, Table2HasEightRows) {
+  const auto rows = table2();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_STREQ(rows[0].name, "L1");
+  EXPECT_STREQ(rows[7].name, "S4");
+}
+
+TEST(PaperData, Table3SplitsProductionAndModels) {
+  const auto rows = table3();
+  ASSERT_EQ(rows.size(), 15u);
+  std::size_t production = 0;
+  for (const auto& row : rows) production += row.production ? 1 : 0;
+  EXPECT_EQ(production, 10u);
+}
+
+TEST(PaperData, FindRowByName) {
+  ASSERT_NE(find_row("LANL"), nullptr);
+  EXPECT_DOUBLE_EQ(find_row("LANL")->Pm, 64.0);
+  ASSERT_NE(find_row("S3"), nullptr);
+  EXPECT_EQ(find_row("Atlantis"), nullptr);
+}
+
+TEST(PaperData, GetByCodeMatchesFields) {
+  const auto* ctc = find_row("CTC");
+  ASSERT_NE(ctc, nullptr);
+  EXPECT_DOUBLE_EQ(ctc->get("Rm"), 960.0);
+  EXPECT_DOUBLE_EQ(ctc->get("MP"), 512.0);
+  EXPECT_TRUE(std::isnan(ctc->get("E")));
+  EXPECT_THROW(ctc->get("nope"), Error);
+}
+
+TEST(PaperData, HurstTargetsAreAverages) {
+  const auto* lanl = find_hurst_row("LANL");
+  ASSERT_NE(lanl, nullptr);
+  EXPECT_NEAR(lanl->target_processors(), (0.60 + 0.90 + 0.82) / 3.0, 1e-12);
+  EXPECT_NEAR(lanl->target_interarrival(), (0.67 + 0.91 + 0.68) / 3.0, 1e-12);
+}
+
+TEST(PaperData, ProductionHurstExceedsModels) {
+  // The paper's headline: production logs are self-similar, models are not.
+  double production_sum = 0.0, model_sum = 0.0;
+  std::size_t np = 0, nm = 0;
+  for (const auto& row : table3()) {
+    const double avg = (row.target_processors() + row.target_runtime() +
+                        row.target_work() + row.target_interarrival()) /
+                       4.0;
+    if (row.production) {
+      production_sum += avg;
+      ++np;
+    } else {
+      model_sum += avg;
+      ++nm;
+    }
+  }
+  EXPECT_GT(production_sum / static_cast<double>(np),
+            model_sum / static_cast<double>(nm) + 0.1);
+}
+
+// ---------------------------------------------------------------- calibration
+
+TEST(Calibration, HitsReachableTarget) {
+  const double median = 100.0, interval = 2000.0;
+  const double alpha = calibrate_tail_alpha(median, interval, 700.0);
+  const stats::QuantileMarginal d(median, interval, alpha);
+  EXPECT_NEAR(d.mean(), 700.0, 1.0);
+}
+
+TEST(Calibration, ClampsUnreachableTargets) {
+  SimulationOptions options;
+  // Absurdly small target -> max alpha; absurdly large -> min alpha.
+  EXPECT_DOUBLE_EQ(calibrate_tail_alpha(100.0, 2000.0, 1.0, options),
+                   options.calibration_max_alpha);
+  EXPECT_DOUBLE_EQ(calibrate_tail_alpha(100.0, 2000.0, 1e9, options),
+                   options.calibration_min_alpha);
+}
+
+TEST(Calibration, MonotoneInTarget) {
+  const double a_small = calibrate_tail_alpha(100.0, 2000.0, 500.0);
+  const double a_large = calibrate_tail_alpha(100.0, 2000.0, 900.0);
+  EXPECT_GT(a_small, a_large);  // bigger mean needs fatter tail
+}
+
+// ------------------------------------------------------------------ simulator
+
+SimulationOptions test_options(std::size_t jobs = 20000) {
+  SimulationOptions options;
+  options.jobs = jobs;
+  options.seed = 4242;
+  return options;
+}
+
+TEST(Simulator, PinsOrderStatistics) {
+  const auto* row = find_row("CTC");
+  ASSERT_NE(row, nullptr);
+  const auto log =
+      simulate_observation(*row, find_hurst_row("CTC"), test_options());
+  const auto stats = workload::characterize(log);
+
+  EXPECT_NEAR(stats.runtime_median / row->Rm, 1.0, 0.10);
+  EXPECT_NEAR(stats.runtime_interval / row->Ri, 1.0, 0.10);
+  EXPECT_NEAR(stats.interarrival_median / row->Im, 1.0, 0.10);
+  EXPECT_NEAR(stats.work_median / row->Cm, 1.0, 0.12);
+  EXPECT_NEAR(stats.procs_median, row->Pm, 1.0);
+}
+
+TEST(Simulator, LoadCalibrationLandsNearTarget) {
+  const auto* row = find_row("KTH");
+  ASSERT_NE(row, nullptr);
+  const auto log =
+      simulate_observation(*row, find_hurst_row("KTH"), test_options());
+  const auto stats = workload::characterize(log);
+  EXPECT_NEAR(stats.runtime_load, row->RL, 0.2 * row->RL);
+}
+
+TEST(Simulator, PopulationStructureMatches) {
+  const auto* row = find_row("LANL");
+  ASSERT_NE(row, nullptr);
+  const auto log =
+      simulate_observation(*row, find_hurst_row("LANL"), test_options());
+  const auto stats = workload::characterize(log);
+  // Norm users ~ U (Zipf sampling may miss a few rare users).
+  EXPECT_NEAR(stats.norm_users / row->U, 1.0, 0.3);
+  EXPECT_NEAR(stats.pct_completed, row->C, 0.02);
+}
+
+TEST(Simulator, PowerOfTwoMachineUsesPowerSizes) {
+  const auto* row = find_row("LANL");  // AL = 1
+  ASSERT_NE(row, nullptr);
+  const auto log =
+      simulate_observation(*row, find_hurst_row("LANL"), test_options(5000));
+  for (const auto& job : log.jobs()) {
+    EXPECT_EQ(job.processors & (job.processors - 1), 0)
+        << "non-power-of-two size " << job.processors;
+  }
+}
+
+TEST(Simulator, ProductionSeriesAreSelfSimilar) {
+  const auto* row = find_row("LANL");
+  ASSERT_NE(row, nullptr);
+  const auto log = simulate_observation(*row, find_hurst_row("LANL"),
+                                        test_options(32768));
+  const auto runtime = workload::attribute_series(log, workload::Attribute::kRuntime);
+  const auto report = selfsim::hurst_all(runtime);
+  EXPECT_GT(report.variance_time.hurst, 0.65);
+  EXPECT_GT(report.rs.hurst, 0.55);
+}
+
+TEST(Simulator, WhiteNoiseFallbackIsNotSelfSimilar) {
+  const auto* row = find_row("LANL");
+  ASSERT_NE(row, nullptr);
+  const auto log = simulate_observation(*row, nullptr, test_options(32768));
+  const auto runtime = workload::attribute_series(log, workload::Attribute::kRuntime);
+  const auto report = selfsim::hurst_all(runtime);
+  EXPECT_NEAR(report.variance_time.hurst, 0.5, 0.08);
+}
+
+TEST(Simulator, DeterministicInSeed) {
+  const auto* row = find_row("NASA");
+  ASSERT_NE(row, nullptr);
+  const auto a = simulate_observation(*row, find_hurst_row("NASA"),
+                                      test_options(2000));
+  const auto b = simulate_observation(*row, find_hurst_row("NASA"),
+                                      test_options(2000));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run_time, b.jobs()[i].run_time);
+  }
+}
+
+TEST(Simulator, InteractiveAndBatchQueuesLabelled) {
+  const auto* interactive = find_row("SDSCi");
+  const auto* batch = find_row("SDSCb");
+  ASSERT_NE(interactive, nullptr);
+  ASSERT_NE(batch, nullptr);
+  const auto log_i =
+      simulate_observation(*interactive, nullptr, test_options(500));
+  const auto log_b = simulate_observation(*batch, nullptr, test_options(500));
+  for (const auto& job : log_i.jobs()) {
+    EXPECT_EQ(job.queue, swf::kQueueInteractive);
+  }
+  for (const auto& job : log_b.jobs()) {
+    EXPECT_EQ(job.queue, swf::kQueueBatch);
+  }
+}
+
+TEST(Simulator, ProductionLogsAllPresent) {
+  const auto logs = production_logs(test_options(1000));
+  ASSERT_EQ(logs.size(), 10u);
+  EXPECT_EQ(logs[0].name(), "CTC");
+  EXPECT_EQ(logs[9].name(), "SDSCb");
+  for (const auto& log : logs) EXPECT_EQ(log.size(), 1000u);
+}
+
+TEST(Simulator, PeriodLogsAllPresent) {
+  const auto logs = period_logs(test_options(1000));
+  ASSERT_EQ(logs.size(), 8u);
+  EXPECT_EQ(logs[0].name(), "L1");
+  EXPECT_EQ(logs[7].name(), "S4");
+}
+
+TEST(Simulator, HeadersCarryEnvironmentFacts) {
+  const auto* row = find_row("CTC");
+  ASSERT_NE(row, nullptr);
+  const auto log = simulate_observation(*row, nullptr, test_options(100));
+  EXPECT_EQ(log.header_or("MaxProcs", ""), "512");
+  const auto stats = workload::characterize(log);
+  EXPECT_DOUBLE_EQ(stats.scheduler_flexibility, 2.0);
+  EXPECT_DOUBLE_EQ(stats.allocation_flexibility, 3.0);
+}
+
+}  // namespace
+}  // namespace cpw::archive

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/selfsim/bootstrap.hpp"
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::selfsim {
+namespace {
+
+const HurstEstimator kVarianceTime = [](std::span<const double> xs) {
+  return hurst_variance_time(xs).hurst;
+};
+
+BootstrapOptions fast_options() {
+  BootstrapOptions options;
+  options.replicates = 60;
+  options.seed = 11;
+  return options;
+}
+
+// -------------------------------------------------------------- block resample
+
+TEST(BlockResample, PreservesLengthAndValues) {
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const auto resampled = block_resample(xs, 10, 1);
+  EXPECT_EQ(resampled.size(), xs.size());
+  for (double v : resampled) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 100.0);
+  }
+}
+
+TEST(BlockResample, KeepsWithinBlockOrder) {
+  std::vector<double> xs(64);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const std::size_t block = 8;
+  const auto resampled = block_resample(xs, block, 2);
+  // Inside every block, consecutive values differ by 1 (mod wrap).
+  for (std::size_t start = 0; start + block <= resampled.size();
+       start += block) {
+    for (std::size_t k = 1; k < block; ++k) {
+      const double diff = resampled[start + k] - resampled[start + k - 1];
+      EXPECT_TRUE(std::abs(diff - 1.0) < 1e-12 ||
+                  std::abs(diff + 63.0) < 1e-12)  // circular wrap
+          << "at " << start + k;
+    }
+  }
+}
+
+TEST(BlockResample, DeterministicInSeed) {
+  std::vector<double> xs(50, 0.0);
+  Rng rng(3);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_EQ(block_resample(xs, 5, 7), block_resample(xs, 5, 7));
+  EXPECT_NE(block_resample(xs, 5, 7), block_resample(xs, 5, 8));
+}
+
+TEST(BlockResample, RejectsBadArguments) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(block_resample(xs, 1, 1), Error);
+  std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW(block_resample(ok, 0, 1), Error);
+}
+
+// ------------------------------------------------------------------- intervals
+
+TEST(HurstBootstrap, IntervalBracketsPointEstimate) {
+  const auto xs = fgn_davies_harte(0.7, 1 << 12, 31);
+  const auto interval = hurst_bootstrap(xs, kVarianceTime, fast_options());
+  EXPECT_LE(interval.lo, interval.hi);
+  EXPECT_GT(interval.width(), 0.0);
+  // The point estimate usually sits inside; allow a small margin.
+  EXPECT_GT(interval.estimate, interval.lo - 0.1);
+  EXPECT_LT(interval.estimate, interval.hi + 0.1);
+}
+
+TEST(HurstBootstrap, CoversTruthForWhiteNoise) {
+  Rng rng(32);
+  std::vector<double> xs(1 << 12);
+  for (double& x : xs) x = rng.normal();
+  const auto interval = hurst_bootstrap(xs, kVarianceTime, fast_options());
+  EXPECT_TRUE(interval.contains(0.5))
+      << "[" << interval.lo << ", " << interval.hi << "]";
+}
+
+TEST(HurstBootstrap, PersistentSeriesExcludesHalf) {
+  // Strong LRD: the interval must clearly exclude H = 0.5 (this is the
+  // hypothesis test the paper could not do).
+  const auto xs = fgn_davies_harte(0.85, 1 << 13, 33);
+  const auto interval = hurst_bootstrap(xs, kVarianceTime, fast_options());
+  EXPECT_GT(interval.lo, 0.55);
+}
+
+TEST(HurstBootstrap, WidthShrinksWithSampleSize) {
+  const auto small = fgn_davies_harte(0.7, 1 << 10, 34);
+  const auto large = fgn_davies_harte(0.7, 1 << 14, 34);
+  const auto wi = hurst_bootstrap(small, kVarianceTime, fast_options());
+  const auto wl = hurst_bootstrap(large, kVarianceTime, fast_options());
+  EXPECT_LT(wl.width(), wi.width());
+}
+
+TEST(HurstBootstrap, SerialAndParallelAgree) {
+  const auto xs = fgn_davies_harte(0.7, 1 << 11, 35);
+  auto serial = fast_options();
+  serial.parallel = false;
+  auto parallel = fast_options();
+  parallel.parallel = true;
+  const auto a = hurst_bootstrap(xs, kVarianceTime, serial);
+  const auto b = hurst_bootstrap(xs, kVarianceTime, parallel);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(HurstBootstrap, RejectsBadOptions) {
+  const auto xs = fgn_davies_harte(0.7, 256, 36);
+  BootstrapOptions options;
+  options.replicates = 5;
+  EXPECT_THROW(hurst_bootstrap(xs, kVarianceTime, options), Error);
+  options = BootstrapOptions{};
+  options.confidence = 1.5;
+  EXPECT_THROW(hurst_bootstrap(xs, kVarianceTime, options), Error);
+}
+
+}  // namespace
+}  // namespace cpw::selfsim

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numbers>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::coplot {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Synthetic dataset whose variables are linear functions of two latent
+/// factors — exactly the structure Co-plot is designed to expose.
+Dataset latent_factor_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.variable_names = {"f1", "f1b", "f2", "mix", "anti"};
+  d.values = Matrix(n, d.variable_names.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    d.observation_names.push_back("obs" + std::to_string(i));
+    const double a = rng.normal();
+    const double b = rng.normal();
+    d.values(i, 0) = 3.0 * a + 0.05 * rng.normal();
+    d.values(i, 1) = 2.0 * a + 1.0 + 0.05 * rng.normal();
+    d.values(i, 2) = 4.0 * b + 0.05 * rng.normal();
+    d.values(i, 3) = a + b + 0.05 * rng.normal();
+    d.values(i, 4) = -a + 0.05 * rng.normal();
+  }
+  return d;
+}
+
+// -------------------------------------------------------------------- Dataset
+
+TEST(Dataset, VariableIndexAndRemoval) {
+  Dataset d;
+  d.observation_names = {"o1", "o2", "o3"};
+  d.variable_names = {"a", "b", "c"};
+  d.values = Matrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  EXPECT_EQ(d.variable_index("b"), 1u);
+  EXPECT_THROW(d.variable_index("zzz"), Error);
+  d.remove_variable(1);
+  EXPECT_EQ(d.variables(), 2u);
+  EXPECT_DOUBLE_EQ(d.values(1, 1), 6.0);
+  EXPECT_EQ(d.variable_names[1], "c");
+}
+
+TEST(Dataset, SelectVariablesReorders) {
+  Dataset d;
+  d.observation_names = {"o1", "o2"};
+  d.variable_names = {"a", "b", "c"};
+  d.values = Matrix{{1, 2, 3}, {4, 5, 6}};
+  const Dataset sel = d.select_variables({"c", "a"});
+  EXPECT_EQ(sel.variables(), 2u);
+  EXPECT_DOUBLE_EQ(sel.values(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel.values(1, 1), 4.0);
+}
+
+TEST(Dataset, DropObservations) {
+  Dataset d;
+  d.observation_names = {"keep", "drop", "keep2"};
+  d.variable_names = {"a"};
+  d.values = Matrix{{1}, {2}, {3}};
+  const Dataset out = d.drop_observations({"drop"});
+  EXPECT_EQ(out.observations(), 2u);
+  EXPECT_DOUBLE_EQ(out.values(1, 0), 3.0);
+  EXPECT_THROW(d.drop_observations({"missing"}), Error);
+}
+
+TEST(Dataset, CheckDetectsShapeMismatch) {
+  Dataset d;
+  d.observation_names = {"o1"};
+  d.variable_names = {"a", "b"};
+  d.values = Matrix(1, 1);
+  EXPECT_THROW(d.check(), Error);
+}
+
+// -------------------------------------------------------------- normalization
+
+TEST(NormalizeColumns, ZScoresPerColumn) {
+  const Matrix m{{1, 100}, {2, 200}, {3, 300}};
+  const Matrix z = normalize_columns(m);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sum += z(i, j);
+      sum2 += z(i, j) * z(i, j);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+    EXPECT_NEAR(sum2 / 3.0, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizeColumns, SkipsNaNs) {
+  Matrix m{{1, 5}, {2, kNaN}, {3, 7}};
+  const Matrix z = normalize_columns(m);
+  EXPECT_TRUE(std::isnan(z(1, 1)));
+  // Column 1 normalized over {5, 7}: mean 6, sd 1.
+  EXPECT_NEAR(z(0, 1), -1.0, 1e-12);
+  EXPECT_NEAR(z(2, 1), 1.0, 1e-12);
+}
+
+TEST(CityBlockMissing, ScalesBysSharedFraction) {
+  // Two variables; one pair shares only one variable -> distance doubled.
+  Matrix z{{0.0, 0.0}, {1.0, kNaN}, {1.0, 1.0}};
+  const Matrix d = city_block_with_missing(z);
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 2.0);  // |0-1| over 1 shared of 2 -> 1 * 2/1
+}
+
+TEST(CityBlockMissing, NoSharedVariablesThrows) {
+  Matrix z{{kNaN, 1.0}, {1.0, kNaN}};
+  EXPECT_THROW(city_block_with_missing(z), Error);
+}
+
+// --------------------------------------------------------------------- arrows
+
+TEST(FitArrow, RecoverXAxisVariable) {
+  mds::Embedding e;
+  Rng rng(61);
+  for (int i = 0; i < 40; ++i) {
+    e.x.push_back(rng.normal());
+    e.y.push_back(rng.normal());
+  }
+  std::vector<double> z(e.x.begin(), e.x.end());  // variable == x coordinate
+  const Arrow arrow = fit_arrow(e, z, "x");
+  EXPECT_NEAR(std::abs(arrow.dx), 1.0, 0.02);
+  EXPECT_NEAR(arrow.correlation, 1.0, 1e-9);
+  EXPECT_GT(arrow.dx, 0.0);  // points toward increasing values
+}
+
+TEST(FitArrow, ClosedFormMatchesGridSearch) {
+  Rng rng(62);
+  mds::Embedding e;
+  for (int i = 0; i < 30; ++i) {
+    e.x.push_back(rng.uniform(-2, 2));
+    e.y.push_back(rng.uniform(-2, 2) * 0.4 + 0.3 * e.x.back());
+  }
+  std::vector<double> z;
+  for (int i = 0; i < 30; ++i) {
+    z.push_back(0.7 * e.x[static_cast<std::size_t>(i)] -
+                1.1 * e.y[static_cast<std::size_t>(i)] + rng.normal() * 0.3);
+  }
+  const Arrow arrow = fit_arrow(e, z, "v");
+
+  double best = -1.0;
+  for (int step = 0; step < 3600; ++step) {
+    const double theta = step * 2.0 * std::numbers::pi / 3600.0;
+    std::vector<double> proj(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      proj[i] = std::cos(theta) * e.x[i] + std::sin(theta) * e.y[i];
+    }
+    best = std::max(best, stats::pearson(z, proj));
+  }
+  EXPECT_NEAR(arrow.correlation, best, 1e-4);
+}
+
+TEST(FitArrow, ConstantVariableGetsZeroCorrelation) {
+  mds::Embedding e;
+  e.x = {0, 1, 2, 3};
+  e.y = {0, 1, 0, 1};
+  const std::vector<double> z{5, 5, 5, 5};
+  const Arrow arrow = fit_arrow(e, z, "const");
+  EXPECT_DOUBLE_EQ(arrow.correlation, 0.0);
+}
+
+TEST(FitArrow, HandlesNaNEntries) {
+  mds::Embedding e;
+  Rng rng(63);
+  for (int i = 0; i < 20; ++i) {
+    e.x.push_back(rng.normal());
+    e.y.push_back(rng.normal());
+  }
+  std::vector<double> z(e.x.begin(), e.x.end());
+  z[3] = kNaN;
+  z[11] = kNaN;
+  const Arrow arrow = fit_arrow(e, z, "x");
+  EXPECT_GT(arrow.correlation, 0.99);
+}
+
+// ------------------------------------------------------------------- pipeline
+
+TEST(Analyze, LatentStructureWellRepresented) {
+  const Dataset d = latent_factor_dataset(14, 64);
+  const Result result = analyze(d);
+  EXPECT_LT(result.alienation, 0.15);
+  EXPECT_GT(result.mean_correlation, 0.85);
+
+  // f1 and f1b measure the same factor: arrows nearly parallel.
+  const Arrow& f1 = result.arrows[0];
+  const Arrow& f1b = result.arrows[1];
+  EXPECT_GT(implied_correlation(f1, f1b), 0.9);
+
+  // anti = -f1: arrows nearly opposite.
+  const Arrow& anti = result.arrows[4];
+  EXPECT_LT(implied_correlation(f1, anti), -0.9);
+
+  // f2 is independent of f1: arrows near-orthogonal.
+  const Arrow& f2 = result.arrows[2];
+  EXPECT_NEAR(implied_correlation(f1, f2), 0.0, 0.35);
+}
+
+TEST(Analyze, ProjectionsOrderObservations) {
+  const Dataset d = latent_factor_dataset(12, 65);
+  const Result result = analyze(d);
+  // Projections on the f1 arrow must correlate strongly with f1 values.
+  const auto proj = result.projections(result.arrows[0]);
+  EXPECT_GT(stats::pearson(proj, d.values.col(0)), 0.85);
+}
+
+TEST(Analyze, EliminationDropsNoiseVariable) {
+  Dataset d = latent_factor_dataset(14, 66);
+  // Append a pure-noise variable that cannot fit any direction well.
+  Rng rng(67);
+  Matrix extended(d.observations(), d.variables() + 1);
+  for (std::size_t i = 0; i < d.observations(); ++i) {
+    for (std::size_t j = 0; j < d.variables(); ++j) {
+      extended(i, j) = d.values(i, j);
+    }
+    extended(i, d.variables()) = rng.normal();
+  }
+  d.values = std::move(extended);
+  d.variable_names.push_back("noise");
+
+  // With only 14 observations a pure-noise arrow still reaches ~0.7
+  // correlation by chance, so the cutoff sits above that.
+  Options options;
+  options.elimination_threshold = 0.88;
+  options.min_variables = 3;
+  const Result result = analyze(d, options);
+  ASSERT_FALSE(result.removed_variables.empty());
+  EXPECT_NE(std::find(result.removed_variables.begin(),
+                      result.removed_variables.end(), "noise"),
+            result.removed_variables.end());
+  // The informative factor variables survive elimination.
+  for (const char* kept : {"f1", "f2"}) {
+    EXPECT_NE(std::find(result.dataset.variable_names.begin(),
+                        result.dataset.variable_names.end(), kept),
+              result.dataset.variable_names.end());
+  }
+  EXPECT_GE(result.min_correlation, 0.88);
+}
+
+TEST(Analyze, RejectsTooSmallInput) {
+  Dataset d;
+  d.observation_names = {"a", "b"};
+  d.variable_names = {"v", "w"};
+  d.values = Matrix(2, 2);
+  EXPECT_THROW(analyze(d), Error);
+}
+
+// ----------------------------------------------------------------- clustering
+
+TEST(ClusterArrows, GroupsByAngle) {
+  std::vector<Arrow> arrows(5);
+  const double degs[] = {0.0, 5.0, 10.0, 180.0, 185.0};
+  for (int i = 0; i < 5; ++i) {
+    const double rad = degs[i] * std::numbers::pi / 180.0;
+    arrows[static_cast<std::size_t>(i)].dx = std::cos(rad);
+    arrows[static_cast<std::size_t>(i)].dy = std::sin(rad);
+    arrows[static_cast<std::size_t>(i)].angle = std::atan2(
+        arrows[static_cast<std::size_t>(i)].dy,
+        arrows[static_cast<std::size_t>(i)].dx);
+  }
+  const auto clusters = cluster_arrows(arrows, 40.0);
+  ASSERT_EQ(clusters.size(), 2u);
+  // One cluster of three, one of two (order unspecified).
+  const std::size_t sizes[2] = {clusters[0].size(), clusters[1].size()};
+  EXPECT_EQ(sizes[0] + sizes[1], 5u);
+  EXPECT_TRUE((sizes[0] == 3 && sizes[1] == 2) ||
+              (sizes[0] == 2 && sizes[1] == 3));
+}
+
+TEST(ClusterArrows, WrapAroundHandled) {
+  std::vector<Arrow> arrows(2);
+  for (int i = 0; i < 2; ++i) {
+    const double rad = (i == 0 ? 355.0 : 5.0) * std::numbers::pi / 180.0;
+    arrows[static_cast<std::size_t>(i)].dx = std::cos(rad);
+    arrows[static_cast<std::size_t>(i)].dy = std::sin(rad);
+    arrows[static_cast<std::size_t>(i)].angle =
+        std::atan2(arrows[static_cast<std::size_t>(i)].dy,
+                   arrows[static_cast<std::size_t>(i)].dx);
+  }
+  const auto clusters = cluster_arrows(arrows, 40.0);
+  EXPECT_EQ(clusters.size(), 1u);  // 10 degrees apart across the wrap
+}
+
+TEST(ClusterObservations, TwoBlobsGetTwoIds) {
+  mds::Embedding e;
+  e.x = {0.0, 0.1, 0.2, 10.0, 10.1};
+  e.y = {0.0, 0.1, 0.0, 10.0, 10.1};
+  const auto ids = cluster_observations(e, 0.2);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[1], ids[2]);
+  EXPECT_EQ(ids[3], ids[4]);
+  EXPECT_NE(ids[0], ids[3]);
+}
+
+// ------------------------------------------------------------------ rendering
+
+TEST(Render, AsciiContainsNamesAndArrows) {
+  const Dataset d = latent_factor_dataset(8, 68);
+  const Result result = analyze(d);
+  const std::string art = render_ascii(result);
+  EXPECT_NE(art.find("obs0"), std::string::npos);
+  EXPECT_NE(art.find('>'), std::string::npos);
+}
+
+TEST(Render, SvgWritesFile) {
+  const Dataset d = latent_factor_dataset(8, 69);
+  const Result result = analyze(d);
+  const std::string path = ::testing::TempDir() + "/coplot_test.svg";
+  save_svg(result, path, "test map");
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpw::coplot

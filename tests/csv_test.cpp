@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cpw/coplot/csv.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::coplot {
+namespace {
+
+TEST(CsvRead, ParsesHeaderAndRows) {
+  std::istringstream in(
+      "name,a,b,c\n"
+      "obs1,1.5,2,3\n"
+      "obs2,-4,5e2,0.25\n");
+  const Dataset d = read_csv(in);
+  EXPECT_EQ(d.observations(), 2u);
+  EXPECT_EQ(d.variables(), 3u);
+  EXPECT_EQ(d.observation_names[1], "obs2");
+  EXPECT_EQ(d.variable_names[2], "c");
+  EXPECT_DOUBLE_EQ(d.values(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(d.values(1, 1), 500.0);
+}
+
+TEST(CsvRead, MissingValuesBecomeNaN) {
+  std::istringstream in(
+      "name,a,b,c\n"
+      "obs1,,N/A,NaN\n");
+  const Dataset d = read_csv(in);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isnan(d.values(0, j))) << j;
+  }
+}
+
+TEST(CsvRead, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "name,a\n"
+      "# another\n"
+      "obs1,1\n");
+  const Dataset d = read_csv(in);
+  EXPECT_EQ(d.observations(), 1u);
+}
+
+TEST(CsvRead, WhitespaceTrimmed) {
+  std::istringstream in(
+      "name , a , b\n"
+      " obs1 , 1 , 2 \n");
+  const Dataset d = read_csv(in);
+  EXPECT_EQ(d.observation_names[0], "obs1");
+  EXPECT_EQ(d.variable_names[0], "a");
+  EXPECT_DOUBLE_EQ(d.values(0, 1), 2.0);
+}
+
+TEST(CsvRead, ErrorsCarryLineNumbers) {
+  std::istringstream bad_arity(
+      "name,a,b\n"
+      "obs1,1\n");
+  try {
+    read_csv(bad_arity);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+
+  std::istringstream bad_cell(
+      "name,a\n"
+      "obs1,xyz\n");
+  EXPECT_THROW(read_csv(bad_cell), ParseError);
+
+  std::istringstream quoted(
+      "name,a\n"
+      "\"obs1\",1\n");
+  EXPECT_THROW(read_csv(quoted), ParseError);
+}
+
+TEST(CsvRead, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), Error);
+}
+
+TEST(CsvRoundTrip, WriteThenReadPreservesData) {
+  Dataset d;
+  d.observation_names = {"x", "y"};
+  d.variable_names = {"v1", "v2"};
+  d.values = Matrix{{1.25, std::nan("")}, {3.5, -7.0}};
+
+  std::ostringstream out;
+  write_csv(out, d);
+  std::istringstream in(out.str());
+  const Dataset back = read_csv(in);
+
+  EXPECT_EQ(back.observation_names, d.observation_names);
+  EXPECT_EQ(back.variable_names, d.variable_names);
+  EXPECT_DOUBLE_EQ(back.values(0, 0), 1.25);
+  EXPECT_TRUE(std::isnan(back.values(0, 1)));
+  EXPECT_DOUBLE_EQ(back.values(1, 1), -7.0);
+}
+
+TEST(CsvResult, WritesObservationsAndArrows) {
+  Rng rng(31);
+  Dataset d;
+  d.variable_names = {"a", "b", "c"};
+  d.values = Matrix(8, 3);
+  for (auto& v : d.values.flat()) v = rng.normal();
+  for (int i = 0; i < 8; ++i) {
+    d.observation_names.push_back("o" + std::to_string(i));
+  }
+  const Result result = analyze(d);
+
+  std::ostringstream out;
+  write_result_csv(out, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("coefficient_of_alienation"), std::string::npos);
+  EXPECT_NE(text.find("observation,o0,"), std::string::npos);
+  EXPECT_NE(text.find("arrow,a,"), std::string::npos);
+  // One line per observation + per arrow + 3 header-ish lines.
+  const auto lines = static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, 8u + 3u + 3u);
+}
+
+}  // namespace
+}  // namespace cpw::coplot

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/stats/distributions.hpp"
+#include "cpw/stats/fit.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = dist.sample(rng);
+  return out;
+}
+
+// ------------------------------------------------- sample mean vs exact mean
+
+struct MeanCase {
+  const char* label;
+  std::shared_ptr<const Distribution> dist;
+  double rel_tol;
+};
+
+class SampleMeanMatchesExact : public ::testing::TestWithParam<MeanCase> {};
+
+TEST_P(SampleMeanMatchesExact, WithinTolerance) {
+  const auto& param = GetParam();
+  const auto xs = draw(*param.dist, 400000, 0xABCD);
+  EXPECT_NEAR(mean(xs) / param.dist->mean(), 1.0, param.rel_tol)
+      << param.dist->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SampleMeanMatchesExact,
+    ::testing::Values(
+        MeanCase{"exp", std::make_shared<Exponential>(0.5), 0.01},
+        MeanCase{"hyperexp2", std::make_shared<HyperExponential>(0.7, 1.0, 0.05),
+                 0.02},
+        MeanCase{"hyperexp3",
+                 std::make_shared<HyperExponential>(
+                     std::vector<HyperExponential::Branch>{
+                         {0.5, 2.0}, {0.3, 0.2}, {0.2, 0.02}}),
+                 0.02},
+        MeanCase{"erlang", std::make_shared<Erlang>(4, 2.0), 0.01},
+        MeanCase{"hypererlang", std::make_shared<HyperErlang>(0.4, 3, 1.0, 0.1),
+                 0.02},
+        MeanCase{"gamma", std::make_shared<Gamma>(2.5, 3.0), 0.01},
+        MeanCase{"hypergamma",
+                 std::make_shared<HyperGamma>(0.6, Gamma(2.0, 1.0),
+                                              Gamma(3.0, 10.0)),
+                 0.02},
+        MeanCase{"loguniform", std::make_shared<LogUniform>(1.0, 1000.0), 0.01},
+        MeanCase{"lognormal", std::make_shared<LogNormal>(1.0, 0.8), 0.02},
+        MeanCase{"pareto", std::make_shared<Pareto>(2.0, 3.5), 0.02},
+        MeanCase{"zipf", std::make_shared<Zipf>(100, 1.5), 0.01},
+        MeanCase{"uniform", std::make_shared<UniformReal>(-2.0, 5.0), 0.01},
+        MeanCase{"twostage",
+                 std::make_shared<TwoStageUniform>(0.5, 4.0, 7.0, 0.6), 0.01},
+        MeanCase{"qmarginal",
+                 std::make_shared<QuantileMarginal>(100.0, 5000.0, 2.0),
+                 0.03}),
+    [](const auto& info) { return info.param.label; });
+
+// -------------------------------------------------------------- constructors
+
+TEST(Exponential, RejectsBadRate) { EXPECT_THROW(Exponential(0.0), Error); }
+
+TEST(HyperExponential, RejectsUnnormalizedProbabilities) {
+  EXPECT_THROW(HyperExponential(
+                   std::vector<HyperExponential::Branch>{{0.5, 1.0}, {0.4, 2.0}}),
+               Error);
+}
+
+TEST(HyperExponential, MeanIsMixture) {
+  const HyperExponential h(0.25, 1.0, 0.1);
+  EXPECT_NEAR(h.mean(), 0.25 * 1.0 + 0.75 * 10.0, 1e-12);
+}
+
+TEST(Erlang, RejectsZeroOrder) { EXPECT_THROW(Erlang(0, 1.0), Error); }
+
+TEST(Erlang, RawMomentsAnalytic) {
+  const Erlang e(3, 0.5);
+  EXPECT_DOUBLE_EQ(e.raw_moment(1), 6.0);
+  EXPECT_DOUBLE_EQ(e.raw_moment(2), 48.0);
+  EXPECT_DOUBLE_EQ(e.raw_moment(3), 480.0);
+  EXPECT_THROW(e.raw_moment(4), Error);
+}
+
+TEST(Erlang, SampleVarianceMatches) {
+  const Erlang e(4, 2.0);
+  const auto xs = draw(e, 300000, 7);
+  EXPECT_NEAR(variance(xs), 1.0, 0.02);  // k/lambda^2 = 4/4
+}
+
+TEST(HyperErlang, RawMomentsAreMixtures) {
+  const HyperErlang h(0.3, 2, 1.0, 0.1);
+  const Erlang a(2, 1.0), b(2, 0.1);
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_DOUBLE_EQ(h.raw_moment(k),
+                     0.3 * a.raw_moment(k) + 0.7 * b.raw_moment(k));
+  }
+}
+
+TEST(LogUniform, QuantileEndpoints) {
+  const LogUniform d(2.0, 200.0);
+  EXPECT_NEAR(d.quantile(0.0), 2.0, 1e-9);
+  EXPECT_NEAR(d.quantile(1.0), 200.0, 1e-9);
+  EXPECT_NEAR(d.quantile(0.5), 20.0, 1e-9);  // geometric midpoint
+}
+
+TEST(LogUniform, SampleMedianIsGeometricMean) {
+  const LogUniform d(1.0, 10000.0);
+  const auto xs = draw(d, 200000, 21);
+  EXPECT_NEAR(median(xs), 100.0, 3.0);
+}
+
+TEST(LogNormal, FromMedianIntervalHitsTargets) {
+  const auto d = LogNormal::from_median_interval(50.0, 400.0);
+  EXPECT_NEAR(d.quantile(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(d.quantile(0.95) - d.quantile(0.05), 400.0, 1e-6);
+  const auto xs = draw(d, 400000, 22);
+  EXPECT_NEAR(median(xs), 50.0, 1.0);
+  EXPECT_NEAR(interval90(xs), 400.0, 20.0);
+}
+
+TEST(Pareto, QuantileInvertsSurvival) {
+  const Pareto d(3.0, 2.0);
+  // S(x) = (3/x)^2; quantile(0.75) solves S = 0.25 -> x = 6.
+  EXPECT_NEAR(d.quantile(0.75), 6.0, 1e-9);
+}
+
+TEST(Pareto, InfiniteMeanBelowOne) {
+  const Pareto d(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(d.mean()));
+}
+
+TEST(Zipf, FavorsSmallValues) {
+  const Zipf z(50, 2.0);
+  Rng rng(23);
+  std::size_t ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += z.sample_int(rng) == 1 ? 1 : 0;
+  // P(1) = 1/zeta_50(2) ≈ 0.62.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.62, 0.02);
+}
+
+TEST(Zipf, StaysInRange) {
+  const Zipf z(10, 1.0);
+  Rng rng(24);
+  for (int i = 0; i < 10000; ++i) {
+    const unsigned v = z.sample_int(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(TwoStageUniform, SegmentsRespectBreak) {
+  const TwoStageUniform d(0.0, 1.0, 10.0, 1.0);  // always the low segment
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(d.sample(rng), 1.0);
+}
+
+// ------------------------------------------------------------ QuantileMarginal
+
+TEST(QuantileMarginal, PinsQuantilesExactly) {
+  const QuantileMarginal d(100.0, 900.0, 2.5);
+  const double q95 = d.quantile(0.95);
+  const double q05 = d.quantile(0.05);
+  EXPECT_NEAR(d.quantile(0.5), 100.0, 1e-9);
+  EXPECT_NEAR(q95 - q05, 900.0, 1e-9);
+  EXPECT_NEAR(q05 * q95, 100.0 * 100.0, 1e-6);  // log symmetry
+}
+
+TEST(QuantileMarginal, QuantileIsMonotone) {
+  const QuantileMarginal d(50.0, 2000.0, 1.5);
+  double prev = 0.0;
+  for (double u = 0.001; u < 0.999; u += 0.001) {
+    const double x = d.quantile(u);
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+}
+
+TEST(QuantileMarginal, SampleOrderStatisticsMatch) {
+  const QuantileMarginal d(60.0, 1200.0, 2.0);
+  const auto xs = draw(d, 300000, 31);
+  EXPECT_NEAR(median(xs), 60.0, 1.5);
+  EXPECT_NEAR(interval90(xs) / 1200.0, 1.0, 0.03);
+}
+
+TEST(QuantileMarginal, AnalyticMeanMatchesMonteCarlo) {
+  const QuantileMarginal d(60.0, 1200.0, 1.8);
+  const auto xs = draw(d, 600000, 32);
+  EXPECT_NEAR(mean(xs) / d.mean(), 1.0, 0.03);
+}
+
+class TailAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TailAlphaSweep, QuantilesBelow95Untouched) {
+  const QuantileMarginal base(40.0, 800.0, 4.0);
+  const QuantileMarginal fat = base.with_tail_alpha(GetParam());
+  for (double u : {0.01, 0.05, 0.3, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(base.quantile(u), fat.quantile(u), 1e-9);
+  }
+}
+
+TEST_P(TailAlphaSweep, MeanDecreasesWithAlpha) {
+  const double alpha = GetParam();
+  const QuantileMarginal d(40.0, 800.0, alpha);
+  const QuantileMarginal heavier(40.0, 800.0, alpha * 0.9);
+  EXPECT_GT(heavier.mean(), d.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, TailAlphaSweep,
+                         ::testing::Values(1.2, 1.5, 2.0, 3.0, 5.0, 10.0));
+
+TEST(QuantileMarginal, DegenerateIntervalIsConstant) {
+  const QuantileMarginal d(42.0, 0.0, 2.0);
+  Rng rng(33);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 42.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+}
+
+TEST(QuantileMarginal, RejectsInvalidParameters) {
+  EXPECT_THROW(QuantileMarginal(0.0, 1.0, 2.0), Error);
+  EXPECT_THROW(QuantileMarginal(1.0, -1.0, 2.0), Error);
+  EXPECT_THROW(QuantileMarginal(1.0, 1.0, 1.0), Error);
+}
+
+// ------------------------------------------------------- hyper-Erlang fitting
+
+class HyperErlangFitSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(HyperErlangFitSweep, RecoversTargetMoments) {
+  const auto [mean_target, cv] = GetParam();
+  RawMoments target;
+  target.m1 = mean_target;
+  target.m2 = mean_target * mean_target * (1.0 + cv * cv);
+  target.m3 = 2.2 * target.m2 * target.m2 / target.m1;
+
+  const auto fit = fit_hyper_erlang(target);
+  ASSERT_TRUE(fit.has_value()) << "mean=" << mean_target << " cv=" << cv;
+  const HyperErlang d = fit->distribution();
+  EXPECT_NEAR(d.raw_moment(1) / target.m1, 1.0, 1e-6);
+  EXPECT_NEAR(d.raw_moment(2) / target.m2, 1.0, 1e-6);
+  EXPECT_NEAR(d.raw_moment(3) / target.m3, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanCvGrid, HyperErlangFitSweep,
+    ::testing::Combine(::testing::Values(10.0, 250.0, 4000.0),
+                       ::testing::Values(1.2, 1.8, 2.5, 4.0)));
+
+TEST(HyperErlangFit, FitsFromRawData) {
+  const HyperExponential source(0.8, 1.0, 0.05);
+  const auto xs = draw(source, 400000, 41);
+  const auto fit = fit_hyper_erlang(xs);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->distribution().mean() / mean(xs), 1.0, 0.01);
+}
+
+TEST(HyperErlangFit, LowVarianceUsesHigherOrder) {
+  // CV^2 = 0.25 requires order >= 4 (mixtures of Erlang(n) have CV^2 >= 1/n).
+  RawMoments target;
+  target.m1 = 100.0;
+  const double cv = 0.5;
+  target.m2 = target.m1 * target.m1 * (1.0 + cv * cv);
+  target.m3 = 1.9 * target.m2 * target.m2 / target.m1;
+  const auto fit = fit_hyper_erlang(target);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_GE(fit->common_order, 4u);
+  EXPECT_NEAR(fit->distribution().raw_moment(2) / target.m2, 1.0, 1e-6);
+}
+
+TEST(HyperErlangFit, InfeasibleReturnsNullopt) {
+  RawMoments target;  // zero/degenerate moments
+  target.m1 = 0.0;
+  EXPECT_FALSE(fit_hyper_erlang(target).has_value());
+}
+
+TEST(HyperErlangFit, SamplingMatchesFittedMean) {
+  RawMoments target;
+  target.m1 = 500.0;
+  target.m2 = 500.0 * 500.0 * (1.0 + 2.0 * 2.0);
+  target.m3 = 2.2 * target.m2 * target.m2 / target.m1;
+  const auto fit = fit_hyper_erlang(target);
+  ASSERT_TRUE(fit.has_value());
+  const auto xs = draw(fit->distribution(), 400000, 42);
+  EXPECT_NEAR(mean(xs) / 500.0, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace cpw::stats

@@ -1,0 +1,219 @@
+// Edge-case sweep across modules: boundary inputs, floors and degenerate
+// configurations that the mainline tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/coplot/csv.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/stats/distributions.hpp"
+#include "cpw/stats/fit.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw {
+namespace {
+
+// ---------------------------------------------------------------------- stats
+
+TEST(EdgeStats, QuantileAtExactBoundaries) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 5.0);
+}
+
+TEST(EdgeStats, IntervalOfConstantDataIsZero) {
+  const std::vector<double> xs(50, 7.0);
+  EXPECT_DOUBLE_EQ(stats::interval90(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stats::interval50(xs), 0.0);
+}
+
+TEST(EdgeStats, QuantileMarginalNearBoundaryArguments) {
+  const stats::QuantileMarginal d(10.0, 100.0, 2.0);
+  EXPECT_GE(d.quantile(0.0), 0.0);
+  EXPECT_TRUE(std::isfinite(d.quantile(1.0 - 1e-15)));
+  EXPECT_THROW(d.quantile(1.0), Error);
+  EXPECT_THROW(d.quantile(-0.01), Error);
+}
+
+TEST(EdgeStats, QuantileMarginalContinuousAtSegmentJoins) {
+  const stats::QuantileMarginal d(40.0, 900.0, 2.5);
+  for (const double u : {0.05, 0.5, 0.95}) {
+    const double below = d.quantile(u - 1e-9);
+    const double above = d.quantile(u + 1e-9);
+    EXPECT_NEAR(below, above, 1e-4 * above) << "at u=" << u;
+  }
+}
+
+TEST(EdgeStats, HyperErlangFitOrderCapRespected) {
+  // Very small CV needs a very high order; with max_order 2 it must fail.
+  stats::RawMoments target;
+  target.m1 = 100.0;
+  target.m2 = 100.0 * 100.0 * 1.01;  // CV^2 = 0.01
+  target.m3 = 1.05e6;
+  EXPECT_FALSE(stats::fit_hyper_erlang(target, 2).has_value());
+}
+
+// ------------------------------------------------------------------------ mds
+
+TEST(EdgeMds, ThreeObservationsMinimalMap) {
+  const Matrix data{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  const auto diss = mds::dissimilarity_matrix(data, mds::Measure::kEuclidean);
+  const auto e = mds::ssa(diss);
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_LT(e.alienation, 0.05);
+}
+
+TEST(EdgeMds, DuplicateObservationsMapTogether) {
+  Matrix data(5, 3);
+  Rng rng(61);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double v = rng.normal();
+    data(0, j) = v;
+    data(1, j) = v;  // exact duplicate of row 0
+    data(2, j) = rng.normal() + 5.0;
+    data(3, j) = rng.normal() - 5.0;
+    data(4, j) = rng.normal() * 2.0;
+  }
+  const auto diss = mds::dissimilarity_matrix(data, mds::Measure::kCityBlock);
+  const auto e = mds::ssa(diss);
+  const double d01 = std::hypot(e.x[0] - e.x[1], e.y[0] - e.y[1]);
+  const double d02 = std::hypot(e.x[0] - e.x[2], e.y[0] - e.y[2]);
+  EXPECT_LT(d01, 0.2 * d02);
+}
+
+// --------------------------------------------------------------------- coplot
+
+TEST(EdgeCoplot, EliminationRespectsMinVariablesFloor) {
+  Rng rng(62);
+  coplot::Dataset d;
+  d.variable_names = {"a", "b", "c", "d"};
+  d.values = Matrix(10, 4);
+  for (auto& v : d.values.flat()) v = rng.normal();  // all noise
+  for (int i = 0; i < 10; ++i) {
+    d.observation_names.push_back("o" + std::to_string(i));
+  }
+  coplot::Options options;
+  options.elimination_threshold = 0.999;  // nothing can satisfy this
+  options.min_variables = 3;
+  const auto result = coplot::analyze(d, options);
+  EXPECT_EQ(result.dataset.variables(), 3u);  // stopped at the floor
+  EXPECT_EQ(result.removed_variables.size(), 1u);
+}
+
+TEST(EdgeCoplot, AllConstantVariableGivesZeroArrow) {
+  coplot::Dataset d;
+  d.variable_names = {"varies", "constant"};
+  d.observation_names = {"a", "b", "c", "d"};
+  d.values = Matrix{{1, 5}, {2, 5}, {3, 5}, {4, 5}};
+  const auto result = coplot::analyze(d);
+  EXPECT_DOUBLE_EQ(result.arrows[1].correlation, 0.0);
+  EXPECT_GT(result.arrows[0].correlation, 0.9);
+}
+
+TEST(EdgeCoplot, CsvSingleVariableRejectedByAnalyze) {
+  std::istringstream in(
+      "name,only\n"
+      "a,1\nb,2\nc,3\n");
+  const auto d = coplot::read_csv(in);
+  EXPECT_EQ(d.variables(), 1u);
+  EXPECT_THROW(coplot::analyze(d), Error);  // needs >= 2 variables
+}
+
+// ------------------------------------------------------------------------ swf
+
+TEST(EdgeSwf, SplitIntoOnePeriodIsIdentityCoverage) {
+  swf::JobList jobs;
+  for (int i = 0; i < 5; ++i) {
+    swf::Job job;
+    job.submit_time = i * 10.0;
+    job.run_time = 1.0;
+    job.processors = 1;
+    jobs.push_back(job);
+  }
+  const swf::Log log("x", std::move(jobs));
+  const auto parts = log.split_periods(1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), log.size());
+}
+
+TEST(EdgeSwf, SplitMorePeriodsThanJobs) {
+  swf::JobList jobs;
+  for (int i = 0; i < 3; ++i) {
+    swf::Job job;
+    job.submit_time = i * 100.0;
+    job.run_time = 1.0;
+    job.processors = 1;
+    jobs.push_back(job);
+  }
+  const swf::Log log("x", std::move(jobs));
+  const auto parts = log.split_periods(10);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, 3u);  // no job lost, no job duplicated
+}
+
+TEST(EdgeSwf, EmptyLogBehaviour) {
+  const swf::Log log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_DOUBLE_EQ(log.duration(), 0.0);
+  EXPECT_EQ(log.max_processors(), 0);
+  const auto report = swf::validate(log);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EdgeSwf, SimultaneousSubmitsKeepStableOrder) {
+  swf::JobList jobs;
+  for (int i = 0; i < 4; ++i) {
+    swf::Job job;
+    job.submit_time = 100.0;  // all identical
+    job.run_time = static_cast<double>(i + 1);
+    job.processors = 1;
+    jobs.push_back(job);
+  }
+  const swf::Log log("ties", std::move(jobs));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(log.jobs()[i].run_time, static_cast<double>(i + 1));
+  }
+}
+
+// --------------------------------------------------------------- distributions
+
+TEST(EdgeDistributions, ZipfSingleValue) {
+  const stats::Zipf z(1, 2.0);
+  Rng rng(63);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample_int(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.mean(), 1.0);
+}
+
+TEST(EdgeDistributions, HyperExponentialSingleBranchIsExponential) {
+  const stats::HyperExponential h(
+      std::vector<stats::HyperExponential::Branch>{{1.0, 0.25}});
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  Rng rng(64);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) sum += h.sample(rng);
+  EXPECT_NEAR(sum / 100000.0, 4.0, 0.1);
+}
+
+TEST(EdgeDistributions, LogNormalZeroSigmaIsDegenerate) {
+  const stats::LogNormal d(std::log(42.0), 0.0);
+  Rng rng(65);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(d.sample(rng), 42.0, 1e-9);
+  EXPECT_NEAR(d.mean(), 42.0, 1e-9);
+}
+
+TEST(EdgeDistributions, FromMedianIntervalZeroInterval) {
+  const auto d = stats::LogNormal::from_median_interval(100.0, 0.0);
+  EXPECT_NEAR(d.sigma(), 0.0, 1e-12);
+  EXPECT_NEAR(d.mean(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cpw

@@ -1,0 +1,267 @@
+// End-to-end pipeline tests: archive simulation -> characterization ->
+// Co-plot, and archive/models -> Hurst analysis — small-scale versions of
+// the paper's Figures 1-5 experiments with shape assertions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "cpw/archive/paper_data.hpp"
+#include "cpw/archive/parameterized.hpp"
+#include "cpw/archive/simulator.hpp"
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/models/downey.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/sched/scheduler.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw {
+namespace {
+
+archive::SimulationOptions small_options(std::size_t jobs = 8192) {
+  archive::SimulationOptions options;
+  options.jobs = jobs;
+  options.seed = 20260705;
+  return options;
+}
+
+/// Characterizes every log, in order.
+std::vector<workload::WorkloadStats> characterize_all(
+    const std::vector<swf::Log>& logs) {
+  std::vector<workload::WorkloadStats> stats;
+  stats.reserve(logs.size());
+  for (const auto& log : logs) stats.push_back(workload::characterize(log));
+  return stats;
+}
+
+/// Variables of the paper's Figure 1 map.
+const std::vector<std::string> kFig1Codes = {"RL", "Rm", "Ri", "Nm", "Ni",
+                                             "Cm", "Ci", "Im", "Ii"};
+
+TEST(Integration, Figure1StyleCoplotFitsWell) {
+  const auto logs = archive::production_logs(small_options());
+  const auto stats = characterize_all(logs);
+  const auto dataset = workload::make_dataset(stats, kFig1Codes);
+  const auto result = coplot::analyze(dataset);
+
+  // The paper reports alienation 0.07 and mean correlation 0.88; we accept
+  // the same "excellent fit" band.
+  EXPECT_LT(result.alienation, 0.15);
+  EXPECT_GT(result.mean_correlation, 0.75);
+}
+
+TEST(Integration, Figure1RuntimeAndParallelismClustersRecovered) {
+  const auto logs = archive::production_logs(small_options());
+  const auto stats = characterize_all(logs);
+  const auto dataset = workload::make_dataset(stats, kFig1Codes);
+  const auto result = coplot::analyze(dataset);
+
+  auto arrow_of = [&](const std::string& name) -> const coplot::Arrow& {
+    for (const auto& arrow : result.arrows) {
+      if (arrow.name == name) return arrow;
+    }
+    throw Error("missing arrow " + name);
+  };
+
+  // Cluster 4: runtime median and interval strongly aligned.
+  EXPECT_GT(coplot::implied_correlation(arrow_of("Rm"), arrow_of("Ri")), 0.5);
+  // Cluster 1: normalized parallelism median and interval aligned.
+  EXPECT_GT(coplot::implied_correlation(arrow_of("Nm"), arrow_of("Ni")), 0.3);
+  // Runtime and parallelism anticorrelated across workloads (paper §4).
+  EXPECT_LT(coplot::implied_correlation(arrow_of("Rm"), arrow_of("Nm")), 0.0);
+}
+
+TEST(Integration, BatchWorkloadsAreExtremeObservations) {
+  const auto logs = archive::production_logs(small_options());
+  const auto stats = characterize_all(logs);
+  const auto dataset = workload::make_dataset(stats, kFig1Codes);
+  const auto result = coplot::analyze(dataset);
+
+  // Paper §5: LANLb and SDSCb are the outliers that stretch the map.
+  std::map<std::string, double> radius;
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    radius[dataset.observation_names[i]] =
+        std::hypot(result.embedding.x[i], result.embedding.y[i]);
+  }
+  std::vector<std::pair<double, std::string>> sorted;
+  for (const auto& [name, r] : radius) sorted.emplace_back(r, name);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // The two batch logs are among the three most extreme points.
+  const std::vector<std::string> top3 = {sorted[0].second, sorted[1].second,
+                                         sorted[2].second};
+  EXPECT_TRUE(std::count(top3.begin(), top3.end(), "LANLb") +
+                  std::count(top3.begin(), top3.end(), "SDSCb") >=
+              2)
+      << top3[0] << " " << top3[1] << " " << top3[2];
+}
+
+TEST(Integration, Figure2InteractiveWorkloadsCluster) {
+  auto logs = archive::production_logs(small_options());
+  const auto stats = characterize_all(logs);
+  auto dataset = workload::make_dataset(
+      stats, {"RL", "Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  dataset = dataset.drop_observations({"LANLb", "SDSCb"});
+  const auto result = coplot::analyze(dataset);
+
+  // Paper §5: the interactive workloads (plus NASA) form the only natural
+  // cluster. Check LANLi and SDSCi sit closer to each other than the average
+  // pair distance.
+  const auto& names = result.dataset.observation_names;
+  const auto index_of = [&](const std::string& n) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), n) - names.begin());
+  };
+  const std::size_t li = index_of("LANLi");
+  const std::size_t si = index_of("SDSCi");
+  const double d_interactive =
+      std::hypot(result.embedding.x[li] - result.embedding.x[si],
+                 result.embedding.y[li] - result.embedding.y[si]);
+
+  const auto dist = result.embedding.pair_distances();
+  const double avg =
+      std::accumulate(dist.begin(), dist.end(), 0.0) / dist.size();
+  EXPECT_LT(d_interactive, avg);
+}
+
+TEST(Integration, Figure4LublinIsMostCentralModel) {
+  const auto production = archive::production_logs(small_options());
+  auto stats = characterize_all(production);
+  for (const auto& model : models::all_models(128)) {
+    stats.push_back(workload::characterize(model->generate(8192, 2026)));
+  }
+  const auto dataset = workload::make_dataset(
+      stats, {"Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+  EXPECT_LT(result.alienation, 0.2);
+
+  // Distance of each model from the production centroid.
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    cx += result.embedding.x[i];
+    cy += result.embedding.y[i];
+  }
+  cx /= 10.0;
+  cy /= 10.0;
+  std::map<std::string, double> model_dist;
+  for (std::size_t i = 10; i < result.embedding.size(); ++i) {
+    model_dist[dataset.observation_names[i]] = std::hypot(
+        result.embedding.x[i] - cx, result.embedding.y[i] - cy);
+  }
+  // Paper §7: Lublin places itself as "the ultimate average".
+  for (const auto& [name, d] : model_dist) {
+    if (name != "Lublin") {
+      EXPECT_LE(model_dist.at("Lublin"), d * 1.3) << name;
+    }
+  }
+}
+
+TEST(Integration, Figure4JannNearestCtcAmongModels) {
+  const auto production = archive::production_logs(small_options());
+  auto stats = characterize_all(production);
+  for (const auto& model : models::all_models(128)) {
+    stats.push_back(workload::characterize(model->generate(8192, 2027)));
+  }
+  const auto dataset = workload::make_dataset(
+      stats, {"Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"});
+  const auto result = coplot::analyze(dataset);
+
+  const auto& names = dataset.observation_names;
+  const auto index_of = [&](const std::string& n) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), n) - names.begin());
+  };
+  const std::size_t ctc = index_of("CTC");
+  auto dist_to_ctc = [&](const std::string& n) {
+    const std::size_t i = index_of(n);
+    return std::hypot(result.embedding.x[i] - result.embedding.x[ctc],
+                      result.embedding.y[i] - result.embedding.y[ctc]);
+  };
+  // Paper §7: Jann's model is the closest model to CTC.
+  for (const char* other : {"Lublin", "Downey", "Feitelson96", "Feitelson97"}) {
+    EXPECT_LT(dist_to_ctc("Jann"), dist_to_ctc(other)) << other;
+  }
+}
+
+TEST(Integration, Table3ProductionSelfSimilarModelsNot) {
+  // Condensed Table 3: variance-time H of the runtime series.
+  const auto* lanl_row = archive::find_row("LANL");
+  ASSERT_NE(lanl_row, nullptr);
+  const auto lanl = archive::simulate_observation(
+      *lanl_row, archive::find_hurst_row("LANL"), small_options(16384));
+
+  const models::DowneyModel downey(128);
+  const auto downey_log = downey.generate(16384, 2028);
+
+  const auto h_lanl = selfsim::hurst_variance_time(
+      workload::attribute_series(lanl, workload::Attribute::kRuntime));
+  const auto h_downey = selfsim::hurst_variance_time(
+      workload::attribute_series(downey_log, workload::Attribute::kRuntime));
+
+  EXPECT_GT(h_lanl.hurst, 0.6);
+  EXPECT_NEAR(h_downey.hurst, 0.5, 0.08);
+  EXPECT_GT(h_lanl.hurst, h_downey.hurst + 0.15);
+}
+
+TEST(Integration, SelfSimilarityDegradesSchedulerPerformance) {
+  // The §10 open question, answered: identical marginals, different
+  // dependence structure — long-range dependence must hurt queueing.
+  archive::ParameterizedModel::Parameters params;
+  params.parallelism_median = 8;
+  params.interarrival_median = 120;
+  params.cpu_work_median = 2000;
+  params.machine_processors = 288;
+  params.runtime_load = 0.5;
+
+  auto easy_wait_at = [&](double hurst) {
+    params.hurst = hurst;
+    const archive::ParameterizedModel model(params);
+    const auto log = model.generate(8192, 1999);
+    return sched::make_easy_backfilling()
+        ->run(log, params.machine_processors)
+        .metrics(params.machine_processors)
+        .mean_wait;
+  };
+  const double wait_iid = easy_wait_at(0.5);
+  const double wait_lrd = easy_wait_at(0.8);
+  EXPECT_GT(wait_lrd, 2.0 * wait_iid)
+      << "iid " << wait_iid << " vs lrd " << wait_lrd;
+}
+
+TEST(Integration, SplitPeriodsProduceCharacterizableSlices) {
+  // §6 methodology: slice a log and characterize every part.
+  const auto* row = archive::find_row("SDSC");
+  ASSERT_NE(row, nullptr);
+  const auto log = archive::simulate_observation(
+      *row, archive::find_hurst_row("SDSC"), small_options(8000));
+  const auto parts = log.split_periods(4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& part : parts) {
+    ASSERT_GT(part.size(), 100u);
+    const auto stats = workload::characterize(part, row->MP);
+    EXPECT_GT(stats.runtime_median, 0.0);
+  }
+}
+
+TEST(Integration, SwfRoundTripPreservesCharacterization) {
+  const auto* row = archive::find_row("KTH");
+  ASSERT_NE(row, nullptr);
+  const auto log = archive::simulate_observation(*row, nullptr,
+                                                 small_options(3000));
+  const std::string path = ::testing::TempDir() + "/kth_sim.swf";
+  swf::save_swf(path, log);
+  const auto loaded = swf::load_swf(path);
+  loaded.name();
+
+  const auto a = workload::characterize(log);
+  const auto b = workload::characterize(loaded);
+  EXPECT_NEAR(a.runtime_median, b.runtime_median, 1e-6);
+  EXPECT_NEAR(a.runtime_load, b.runtime_load, 1e-6);
+  EXPECT_NEAR(a.work_median, b.work_median, b.work_median * 1e-5);
+}
+
+}  // namespace
+}  // namespace cpw

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpw/coplot/interpret.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::coplot {
+namespace {
+
+/// Dataset with one dominant variable so the expected profile is obvious:
+/// observation 0 is extreme-high in "big", observation 1 extreme-low.
+Dataset polar_dataset() {
+  Dataset d;
+  d.variable_names = {"big", "anti"};
+  d.observation_names = {"hi", "lo", "m1", "m2", "m3", "m4"};
+  d.values = Matrix{{10.0, -10.0}, {-10.0, 10.0}, {1.0, -1.0},
+                    {-1.0, 1.0},   {0.5, -0.5},   {-0.5, 0.5}};
+  return d;
+}
+
+TEST(Interpret, ExtremeObservationReadsAboveAverage) {
+  const Result result = analyze(polar_dataset());
+  const auto hi = describe_observation(result, "hi");
+  const auto above = hi.above_average();
+  EXPECT_NE(std::find(above.begin(), above.end(), "big"), above.end());
+  const auto below = hi.below_average();
+  EXPECT_NE(std::find(below.begin(), below.end(), "anti"), below.end());
+}
+
+TEST(Interpret, OppositeObservationReadsInverted) {
+  const Result result = analyze(polar_dataset());
+  const auto lo = describe_observation(result, "lo");
+  const auto above = lo.above_average();
+  EXPECT_NE(std::find(above.begin(), above.end(), "anti"), above.end());
+  const auto below = lo.below_average();
+  EXPECT_NE(std::find(below.begin(), below.end(), "big"), below.end());
+}
+
+TEST(Interpret, CentralObservationIsNearAverage) {
+  const Result result = analyze(polar_dataset());
+  // m3/m4 sit near the centroid: small scores everywhere.
+  const auto profile = describe_observation(result, "m3");
+  for (const auto& reading : profile.readings) {
+    EXPECT_LT(std::abs(reading.score), 1.0) << reading.variable;
+  }
+}
+
+TEST(Interpret, ReadingsSortedDescending) {
+  const Result result = analyze(polar_dataset());
+  const auto profile = describe_observation(result, std::size_t{0});
+  for (std::size_t r = 1; r < profile.readings.size(); ++r) {
+    EXPECT_GE(profile.readings[r - 1].score, profile.readings[r].score);
+  }
+}
+
+TEST(Interpret, ScoresCorrelateWithVariableValues) {
+  // Across observations, the projection score on a variable's arrow must
+  // order the observations like the variable itself (that is the whole
+  // point of stage 4).
+  Rng rng(41);
+  Dataset d;
+  d.variable_names = {"v", "w"};
+  d.values = Matrix(12, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    d.observation_names.push_back("o" + std::to_string(i));
+    d.values(i, 0) = rng.normal();
+    d.values(i, 1) = 0.5 * d.values(i, 0) + rng.normal();
+  }
+  const Result result = analyze(d);
+
+  std::vector<double> scores, values;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto profile = describe_observation(result, i);
+    for (const auto& reading : profile.readings) {
+      if (reading.variable == "v") {
+        scores.push_back(reading.score);
+        values.push_back(d.values(i, 0));
+      }
+    }
+  }
+  // Strong positive rank agreement.
+  double concordant = 0.0, total = 0.0;
+  for (std::size_t a = 0; a < scores.size(); ++a) {
+    for (std::size_t b = a + 1; b < scores.size(); ++b) {
+      total += 1.0;
+      if ((scores[a] - scores[b]) * (values[a] - values[b]) > 0) {
+        concordant += 1.0;
+      }
+    }
+  }
+  EXPECT_GT(concordant / total, 0.8);
+}
+
+TEST(Interpret, UnknownObservationThrows) {
+  const Result result = analyze(polar_dataset());
+  EXPECT_THROW(describe_observation(result, "nope"), Error);
+  EXPECT_THROW(describe_observation(result, std::size_t{99}), Error);
+}
+
+TEST(Interpret, RenderProfileMentionsDirections) {
+  const Result result = analyze(polar_dataset());
+  const auto text = render_profile(describe_observation(result, "hi"));
+  EXPECT_NE(text.find("hi:"), std::string::npos);
+  EXPECT_NE(text.find("above average"), std::string::npos);
+  EXPECT_NE(text.find("below average"), std::string::npos);
+}
+
+TEST(Interpret, RenderProfileHandlesAverageObservation) {
+  const Result result = analyze(polar_dataset());
+  const auto text = render_profile(describe_observation(result, "m4"), 2.0);
+  EXPECT_NE(text.find("near average"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpw::coplot

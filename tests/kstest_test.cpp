@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpw/stats/distributions.hpp"
+#include "cpw/stats/kstest.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = dist.sample(rng);
+  return out;
+}
+
+TEST(KolmogorovSurvival, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(-1.0), 1.0);
+  EXPECT_LT(kolmogorov_survival(2.0), 0.001);
+}
+
+TEST(KolmogorovSurvival, KnownQuantile) {
+  // The 5% critical value of the Kolmogorov distribution is ~1.358.
+  EXPECT_NEAR(kolmogorov_survival(1.358), 0.05, 0.002);
+}
+
+TEST(KsTest, IdenticalSamplesGiveZeroStatistic) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto result = ks_test(xs, xs);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(KsTest, DisjointSamplesGiveStatisticOne) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{10, 20, 30};
+  const auto result = ks_test(xs, ys);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+}
+
+TEST(KsTest, SameDistributionAccepted) {
+  const Exponential d(0.5);
+  const auto a = draw(d, 5000, 1);
+  const auto b = draw(d, 5000, 2);
+  const auto result = ks_test(a, b);
+  EXPECT_TRUE(result.same_distribution())
+      << "D=" << result.statistic << " p=" << result.p_value;
+}
+
+TEST(KsTest, DifferentDistributionsRejected) {
+  const auto a = draw(Exponential(1.0), 5000, 3);
+  const auto b = draw(Gamma(4.0, 0.25), 5000, 4);  // same mean, other shape
+  const auto result = ks_test(a, b);
+  EXPECT_FALSE(result.same_distribution());
+}
+
+TEST(KsTest, DetectsLocationShift) {
+  Rng rng(5);
+  std::vector<double> a(3000), b(3000);
+  for (double& x : a) x = rng.normal();
+  for (double& x : b) x = rng.normal() + 0.2;
+  EXPECT_FALSE(ks_test(a, b).same_distribution());
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  const auto a = draw(Exponential(1.0), 800, 6);
+  const auto b = draw(Exponential(2.0), 1200, 7);
+  const auto ab = ks_test(a, b);
+  const auto ba = ks_test(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+}
+
+TEST(KsTest, EmptySampleThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(ks_test(xs, {}), Error);
+  EXPECT_THROW(ks_test({}, xs), Error);
+}
+
+// Model validation use case: a fitted hyper-Erlang reproduces the samples
+// it was fitted to.
+TEST(KsTest, ValidatesQuantileMarginalSampler) {
+  const QuantileMarginal d(100.0, 2000.0, 2.0);
+  const auto a = draw(d, 8000, 8);
+  const auto b = draw(d, 8000, 9);
+  EXPECT_TRUE(ks_test(a, b).same_distribution());
+
+  const QuantileMarginal other(120.0, 2000.0, 2.0);
+  const auto c = draw(other, 8000, 10);
+  EXPECT_FALSE(ks_test(a, c).same_distribution());
+}
+
+class KsPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsPowerSweep, DetectsScaleChange) {
+  const double scale = GetParam();
+  const auto a = draw(Exponential(1.0), 4000, 11);
+  const auto b = draw(Exponential(1.0 / scale), 4000, 12);
+  EXPECT_FALSE(ks_test(a, b).same_distribution()) << "scale " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KsPowerSweep,
+                         ::testing::Values(1.2, 1.5, 2.0, 4.0));
+
+}  // namespace
+}  // namespace cpw::stats

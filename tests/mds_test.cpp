@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "cpw/mds/classical.hpp"
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/mds/embedding.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::mds {
+namespace {
+
+/// Random planar configuration and its Euclidean distance matrix.
+struct PlanarCase {
+  Embedding config;
+  Matrix distances;
+};
+
+PlanarCase planar_case(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PlanarCase out;
+  out.config.x.resize(n);
+  out.config.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.config.x[i] = rng.uniform(-5.0, 5.0);
+    out.config.y[i] = rng.uniform(-5.0, 5.0);
+  }
+  out.distances = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out.distances(i, k) = std::hypot(out.config.x[i] - out.config.x[k],
+                                       out.config.y[i] - out.config.y[k]);
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- dissimilarity
+
+TEST(Dissimilarity, CityBlockKnownValues) {
+  const Matrix data{{0, 0}, {1, 2}, {-1, 1}};
+  const Matrix d = dissimilarity_matrix(data, Measure::kCityBlock);
+  EXPECT_DOUBLE_EQ(d(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), d(0, 1));  // symmetric
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);      // zero diagonal
+}
+
+TEST(Dissimilarity, EuclideanKnownValues) {
+  const Matrix data{{0, 0}, {3, 4}};
+  const Matrix d = dissimilarity_matrix(data, Measure::kEuclidean);
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+}
+
+TEST(Dissimilarity, UpperTriangleOrder) {
+  Matrix sym(3, 3, 0.0);
+  sym(0, 1) = sym(1, 0) = 1.0;
+  sym(0, 2) = sym(2, 0) = 2.0;
+  sym(1, 2) = sym(2, 1) = 3.0;
+  const auto flat = upper_triangle(sym);
+  ASSERT_EQ(flat.size(), pair_count(3));
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[1], 2.0);
+  EXPECT_DOUBLE_EQ(flat[2], 3.0);
+}
+
+// ------------------------------------------------------------------ embedding
+
+TEST(Embedding, CenterMovesCentroidToOrigin) {
+  Embedding e;
+  e.x = {1, 2, 3};
+  e.y = {4, 5, 6};
+  e.center();
+  EXPECT_NEAR(e.x[0] + e.x[1] + e.x[2], 0.0, 1e-12);
+  EXPECT_NEAR(e.y[0] + e.y[1] + e.y[2], 0.0, 1e-12);
+}
+
+TEST(Embedding, RotatePreservesDistances) {
+  auto [config, distances] = planar_case(6, 51);
+  const auto before = config.pair_distances();
+  config.rotate(1.234);
+  const auto after = config.pair_distances();
+  for (std::size_t p = 0; p < before.size(); ++p) {
+    EXPECT_NEAR(before[p], after[p], 1e-10);
+  }
+}
+
+TEST(Monotonicity, PerfectAgreementGivesMuOne) {
+  const std::vector<double> s{1, 2, 3, 4};
+  const std::vector<double> d{10, 20, 30, 40};
+  EXPECT_NEAR(monotonicity_mu(s, d), 1.0, 1e-12);
+  EXPECT_NEAR(coefficient_of_alienation(s, d), 0.0, 1e-6);
+}
+
+TEST(Monotonicity, ReversedOrderGivesMuMinusOne) {
+  const std::vector<double> s{1, 2, 3, 4};
+  const std::vector<double> d{40, 30, 20, 10};
+  EXPECT_NEAR(monotonicity_mu(s, d), -1.0, 1e-12);
+}
+
+TEST(Monotonicity, HandComputedMixedCase) {
+  // pairs of pairs (a,b): s diffs {1, 2, 1}, d diffs {-1, 2, 3} ->
+  // numerator -1 + 4 + 3 = 6; denominator 1 + 4 + 3 = 8.
+  const std::vector<double> s{3, 2, 1};
+  const std::vector<double> d{1, 2, -1};
+  EXPECT_NEAR(monotonicity_mu(s, d), 6.0 / 8.0, 1e-12);
+}
+
+TEST(Stress1, ZeroForEqualInputs) {
+  const std::vector<double> d{1, 2, 3};
+  EXPECT_DOUBLE_EQ(stress1(d, d), 0.0);
+}
+
+// -------------------------------------------------------------- classical MDS
+
+TEST(ClassicalMds, RecoversPlanarConfiguration) {
+  const auto [config, distances] = planar_case(10, 52);
+  const Embedding found = classical_mds(distances);
+  const auto original = config.pair_distances();
+  const auto recovered = found.pair_distances();
+  for (std::size_t p = 0; p < original.size(); ++p) {
+    EXPECT_NEAR(recovered[p], original[p], 1e-6);
+  }
+  EXPECT_LT(found.alienation, 1e-4);
+}
+
+TEST(ClassicalMds, RejectsBadInput) {
+  EXPECT_THROW(classical_mds(Matrix(2, 3)), Error);
+}
+
+// ------------------------------------------------------------------------ SSA
+
+TEST(Ssa, PlanarDistancesGiveNearZeroAlienation) {
+  const auto [config, distances] = planar_case(12, 53);
+  const Embedding e = ssa(distances);
+  EXPECT_LT(e.alienation, 0.01);
+}
+
+TEST(Ssa, PreservesDistanceOrder) {
+  // Non-Euclidean dissimilarities from 5-D data: the 2-D map must still
+  // preserve the order of dissimilarities well (rank correlation).
+  Rng rng(54);
+  Matrix data(9, 5);
+  for (auto& v : data.flat()) v = rng.normal();
+  const Matrix diss = dissimilarity_matrix(data, Measure::kCityBlock);
+  const Embedding e = ssa(diss);
+
+  const auto s = upper_triangle(diss);
+  const auto d = e.pair_distances();
+  EXPECT_GT(stats::spearman(s, d), 0.8);
+  EXPECT_LT(e.alienation, 0.35);
+}
+
+TEST(Ssa, DeterministicForFixedSeed) {
+  const auto [config, distances] = planar_case(8, 55);
+  SsaOptions options;
+  options.seed = 77;
+  const Embedding a = ssa(distances, options);
+  const Embedding b = ssa(distances, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+    EXPECT_DOUBLE_EQ(a.y[i], b.y[i]);
+  }
+}
+
+TEST(Ssa, SerialAndParallelRestartsAgree) {
+  const auto [config, distances] = planar_case(8, 56);
+  SsaOptions serial;
+  serial.parallel_restarts = false;
+  SsaOptions parallel;
+  parallel.parallel_restarts = true;
+  const Embedding a = ssa(distances, serial);
+  const Embedding b = ssa(distances, parallel);
+  EXPECT_DOUBLE_EQ(a.alienation, b.alienation);
+}
+
+TEST(Ssa, RejectsTooFewObservations) {
+  EXPECT_THROW(ssa(Matrix(2, 2)), Error);
+}
+
+TEST(Ssa, ClusteredDataStaysClustered) {
+  // Two tight groups far apart: the map must keep within-group distances
+  // much smaller than between-group distances.
+  Rng rng(57);
+  Matrix data(10, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double offset = i < 5 ? 0.0 : 50.0;
+    for (std::size_t j = 0; j < 4; ++j) data(i, j) = offset + rng.normal();
+  }
+  const Embedding e = ssa(dissimilarity_matrix(data, Measure::kCityBlock));
+  double within = 0.0, between = 0.0;
+  int wn = 0, bn = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t k = i + 1; k < 10; ++k) {
+      const double d = std::hypot(e.x[i] - e.x[k], e.y[i] - e.y[k]);
+      if ((i < 5) == (k < 5)) {
+        within += d;
+        ++wn;
+      } else {
+        between += d;
+        ++bn;
+      }
+    }
+  }
+  EXPECT_LT(within / wn, 0.2 * between / bn);
+}
+
+// ----------------------------------------------------------------- Procrustes
+
+class ProcrustesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProcrustesSweep, UndoesRotationScaleReflection) {
+  const double angle = GetParam();
+  const auto [config, distances] = planar_case(7, 58);
+
+  Embedding moved = config;
+  moved.rotate(angle);
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    moved.x[i] = moved.x[i] * 2.5 + 3.0;  // scale + translate
+    moved.y[i] = moved.y[i] * 2.5 - 1.0;
+    moved.y[i] = -moved.y[i];  // reflect
+  }
+
+  const double residual = procrustes_align(config, moved);
+  EXPECT_NEAR(residual, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, ProcrustesSweep,
+                         ::testing::Values(0.0, 0.4, std::numbers::pi / 2,
+                                           2.0, std::numbers::pi, 5.5));
+
+TEST(Procrustes, ReflectionBlockedWhenDisallowed) {
+  const auto [config, distances] = planar_case(7, 59);
+  Embedding mirrored = config;
+  for (std::size_t i = 0; i < mirrored.size(); ++i) mirrored.y[i] *= -1.0;
+  const double residual =
+      procrustes_align(config, mirrored, /*allow_reflection=*/false);
+  EXPECT_GT(residual, 0.1);
+}
+
+TEST(Procrustes, SizeMismatchThrows) {
+  Embedding a, b;
+  a.x = {0, 1};
+  a.y = {0, 1};
+  b.x = {0, 1, 2};
+  b.y = {0, 1, 2};
+  EXPECT_THROW(procrustes_align(a, b), Error);
+}
+
+}  // namespace
+}  // namespace cpw::mds

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cpw/models/downey.hpp"
+#include "cpw/models/feitelson.hpp"
+#include "cpw/models/jann.hpp"
+#include "cpw/models/lublin.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::models {
+namespace {
+
+// ------------------------------------------- contract shared by all models
+
+struct ModelCase {
+  const char* label;
+  std::shared_ptr<const WorkloadModel> model;
+};
+
+class ModelContract : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelContract, GeneratesRequestedJobCount) {
+  const auto log = GetParam().model->generate(2000, 7);
+  EXPECT_EQ(log.size(), 2000u);
+}
+
+TEST_P(ModelContract, SubmitTimesSortedAndNonNegative) {
+  const auto log = GetParam().model->generate(1500, 8);
+  double prev = -1.0;
+  for (const auto& job : log.jobs()) {
+    EXPECT_GE(job.submit_time, 0.0);
+    EXPECT_GE(job.submit_time, prev);
+    prev = job.submit_time;
+  }
+}
+
+TEST_P(ModelContract, AttributesWithinDomain) {
+  const auto& model = *GetParam().model;
+  const auto log = model.generate(3000, 9);
+  for (const auto& job : log.jobs()) {
+    EXPECT_GT(job.run_time, 0.0);
+    EXPECT_GE(job.processors, 1);
+    EXPECT_LE(job.processors, model.processors());
+    EXPECT_GT(job.total_work(), 0.0);
+  }
+}
+
+TEST_P(ModelContract, DeterministicInSeed) {
+  const auto& model = *GetParam().model;
+  const auto a = model.generate(500, 11);
+  const auto b = model.generate(500, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].submit_time, b.jobs()[i].submit_time);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run_time, b.jobs()[i].run_time);
+    EXPECT_EQ(a.jobs()[i].processors, b.jobs()[i].processors);
+  }
+  const auto c = model.generate(500, 12);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.jobs()[i].run_time != c.jobs()[i].run_time;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(ModelContract, LogCarriesMachineHeader) {
+  const auto& model = *GetParam().model;
+  const auto log = model.generate(100, 13);
+  EXPECT_EQ(log.max_processors(), model.processors());
+  EXPECT_EQ(log.name(), model.name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelContract,
+    ::testing::Values(
+        ModelCase{"feitelson96",
+                  std::make_shared<FeitelsonModel>(FeitelsonModel::Version::k1996)},
+        ModelCase{"feitelson97",
+                  std::make_shared<FeitelsonModel>(FeitelsonModel::Version::k1997)},
+        ModelCase{"downey", std::make_shared<DowneyModel>()},
+        ModelCase{"jann", std::make_shared<JannModel>(512)},
+        ModelCase{"lublin", std::make_shared<LublinModel>()}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(AllModels, RegistryHasFiveDistinctNames) {
+  const auto models = all_models(128);
+  ASSERT_EQ(models.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& model : models) names.insert(model->name());
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(names.contains("Lublin"));
+  EXPECT_TRUE(names.contains("Feitelson96"));
+}
+
+// ------------------------------------------------------------------ Feitelson
+
+TEST(Feitelson, SizeWeightBoostsPowersOfTwo) {
+  EXPECT_GT(FeitelsonModel::size_weight(8), FeitelsonModel::size_weight(7));
+  EXPECT_GT(FeitelsonModel::size_weight(8), FeitelsonModel::size_weight(9));
+  // Small jobs dominate overall.
+  EXPECT_GT(FeitelsonModel::size_weight(1), FeitelsonModel::size_weight(64));
+}
+
+TEST(Feitelson, GeneratedSizesFavorPowersOfTwo) {
+  const FeitelsonModel model(FeitelsonModel::Version::k1996, 128);
+  const auto log = model.generate(20000, 21);
+  std::size_t pow2 = 0;
+  for (const auto& job : log.jobs()) {
+    if ((job.processors & (job.processors - 1)) == 0) ++pow2;
+  }
+  EXPECT_GT(static_cast<double>(pow2) / 20000.0, 0.7);
+}
+
+TEST(Feitelson, RepeatedExecutionsShareSizeAndExecutable) {
+  const FeitelsonModel model(FeitelsonModel::Version::k1997, 128);
+  const auto log = model.generate(5000, 22);
+  // Group jobs by executable id: all runs of an application share its size.
+  std::map<std::int64_t, std::int64_t> size_of;
+  std::size_t repeats = 0;
+  for (const auto& job : log.jobs()) {
+    const auto [it, inserted] = size_of.emplace(job.executable, job.processors);
+    if (!inserted) {
+      ++repeats;
+      EXPECT_EQ(it->second, job.processors);
+    }
+  }
+  EXPECT_GT(repeats, 100u);  // repetition is a core model feature
+}
+
+TEST(Feitelson, RuntimeCorrelatesWithSize) {
+  const FeitelsonModel model(FeitelsonModel::Version::k1996, 128);
+  const auto log = model.generate(30000, 23);
+  std::vector<double> sizes, runtimes;
+  for (const auto& job : log.jobs()) {
+    sizes.push_back(std::log2(static_cast<double>(job.processors) + 1.0));
+    runtimes.push_back(std::log(job.run_time));
+  }
+  EXPECT_GT(stats::pearson(sizes, runtimes), 0.15);
+}
+
+// --------------------------------------------------------------------- Downey
+
+TEST(Downey, RuntimeTimesProcsIsLogUniformService) {
+  const DowneyModel model(128);
+  const auto log = model.generate(50000, 24);
+  std::vector<double> service;
+  for (const auto& job : log.jobs()) {
+    service.push_back(job.run_time * static_cast<double>(job.processors));
+  }
+  // Log-uniform service: median is the geometric mean of the bounds, and
+  // log-service is roughly uniform -> skewness of log near 0.
+  std::vector<double> log_service;
+  for (double s : service) log_service.push_back(std::log(s));
+  EXPECT_NEAR(stats::skewness(log_service), 0.0, 0.35);
+}
+
+TEST(Downey, ParallelismSpansWholeMachine) {
+  const DowneyModel model(128);
+  const auto log = model.generate(20000, 25);
+  std::int64_t max_procs = 0, min_procs = 1 << 20;
+  for (const auto& job : log.jobs()) {
+    max_procs = std::max(max_procs, job.processors);
+    min_procs = std::min(min_procs, job.processors);
+  }
+  EXPECT_EQ(min_procs, 1);
+  EXPECT_GT(max_procs, 100);
+}
+
+// ----------------------------------------------------------------------- Jann
+
+TEST(Jann, ClassesCoverMachineAndSumToOne) {
+  const JannModel model(512);
+  const auto& classes = model.classes();
+  ASSERT_FALSE(classes.empty());
+  EXPECT_EQ(classes.front().size_lo, 1);
+  EXPECT_EQ(classes.back().size_hi, 512);
+  double total = 0.0;
+  for (const auto& cls : classes) total += cls.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Jann, MomentFitsAreAccurate) {
+  const JannModel model(512);
+  for (const auto& cls : model.classes()) {
+    EXPECT_LT(cls.runtime.residual, 1e-6);
+    EXPECT_LT(cls.interarrival.residual, 1e-6);
+  }
+}
+
+TEST(Jann, GeneratedRuntimeMeanTracksClassTargets) {
+  const JannModel model(512);
+  const auto log = model.generate(60000, 26);
+  // Pool the small-job class (sizes 1): measured mean close to fitted mean.
+  std::vector<double> runtimes;
+  for (const auto& job : log.jobs()) {
+    if (job.processors == 1) runtimes.push_back(job.run_time);
+  }
+  ASSERT_GT(runtimes.size(), 1000u);
+  const double fitted = model.classes().front().runtime.distribution().mean();
+  EXPECT_NEAR(stats::mean(runtimes) / fitted, 1.0, 0.1);
+}
+
+TEST(Jann, SizesRespectClassBounds) {
+  const JannModel model(512);
+  const auto log = model.generate(10000, 27);
+  for (const auto& job : log.jobs()) {
+    EXPECT_GE(job.processors, 1);
+    EXPECT_LE(job.processors, 512);
+  }
+}
+
+// --------------------------------------------------------------------- Lublin
+
+TEST(Lublin, DailyCyclePeaksDuringWorkingHours) {
+  const auto& cycle = LublinModel::daily_cycle();
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < cycle.size(); ++i) {
+    if (cycle[i] > cycle[argmax]) argmax = i;
+  }
+  const double peak_hour = static_cast<double>(argmax) / 2.0;
+  EXPECT_GE(peak_hour, 9.0);
+  EXPECT_LE(peak_hour, 18.0);
+  // Night-time intensity well below the peak.
+  EXPECT_LT(cycle[6], 0.4);  // 3:00
+}
+
+TEST(Lublin, ArrivalsFollowDailyCycle) {
+  const LublinModel model(128);
+  const auto log = model.generate(40000, 28);
+  std::array<std::size_t, 24> per_hour{};
+  for (const auto& job : log.jobs()) {
+    const auto hour = static_cast<std::size_t>(
+                          std::fmod(job.submit_time, 86400.0) / 3600.0) %
+                      24;
+    ++per_hour[hour];
+  }
+  EXPECT_GT(per_hour[14], 2 * per_hour[3]);  // afternoon >> night
+}
+
+TEST(Lublin, SerialJobsAtConfiguredRate) {
+  const LublinModel model(128);
+  const auto log = model.generate(40000, 29);
+  std::size_t serial = 0;
+  for (const auto& job : log.jobs()) serial += job.processors == 1 ? 1 : 0;
+  // serial_probability plus the rounded-down tail of the two-stage uniform.
+  EXPECT_NEAR(static_cast<double>(serial) / 40000.0, 0.26, 0.05);
+}
+
+TEST(Lublin, RuntimeSizeCorrelationPositive) {
+  const LublinModel model(128);
+  const auto log = model.generate(40000, 30);
+  std::vector<double> sizes, runtimes;
+  for (const auto& job : log.jobs()) {
+    sizes.push_back(std::log2(static_cast<double>(job.processors)));
+    runtimes.push_back(std::log(job.run_time));
+  }
+  EXPECT_GT(stats::spearman(sizes, runtimes), 0.05);
+}
+
+// ----------------------------------------------- paper shape expectations
+
+TEST(ModelShapes, FeitelsonAndDowneyAreInteractiveLike) {
+  // Figure 4: Downey and the Feitelson models sit near the interactive and
+  // NASA workloads — short runtimes and small parallelism relative to Jann.
+  const FeitelsonModel feitelson(FeitelsonModel::Version::k1996, 128);
+  const JannModel jann(512);
+  const auto f_stats = workload::characterize(feitelson.generate(20000, 31));
+  const auto j_stats = workload::characterize(jann.generate(20000, 31));
+  EXPECT_LT(f_stats.runtime_median, j_stats.runtime_median);
+  EXPECT_LT(f_stats.work_median, j_stats.work_median);
+}
+
+TEST(ModelShapes, JannIsCtcLike) {
+  // Jann was fit to CTC: long runtimes (~1000s median) and small sizes.
+  const JannModel jann(512);
+  const auto stats = workload::characterize(jann.generate(30000, 32));
+  EXPECT_GT(stats.runtime_median, 300.0);
+  EXPECT_LT(stats.procs_median, 8.0);
+}
+
+}  // namespace
+}  // namespace cpw::models

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/archive/parameterized.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::archive {
+namespace {
+
+ParameterizedModel::Parameters default_params() {
+  ParameterizedModel::Parameters params;
+  params.parallelism_median = 8.0;
+  params.interarrival_median = 150.0;
+  params.cpu_work_median = 1200.0;
+  params.machine_processors = 256;
+  return params;
+}
+
+TEST(ParameterizedModel, RejectsBadParameters) {
+  auto params = default_params();
+  params.parallelism_median = 0.5;
+  EXPECT_THROW(ParameterizedModel{params}, Error);
+  params = default_params();
+  params.interarrival_median = 0.0;
+  EXPECT_THROW(ParameterizedModel{params}, Error);
+  params = default_params();
+  params.hurst = 1.0;
+  EXPECT_THROW(ParameterizedModel{params}, Error);
+}
+
+TEST(ParameterizedModel, RelationsHaveExplanatoryPower) {
+  // The regressions implement the paper's "highly positive correlations":
+  // they must actually fit Table 1 well.
+  EXPECT_GT(ParameterizedModel::fit_relation("Pm", "Pi").r2, 0.5);
+  EXPECT_GT(ParameterizedModel::fit_relation("Im", "Ii").r2, 0.3);
+  EXPECT_GT(ParameterizedModel::fit_relation("Rm", "Ri").r2, 0.5);
+  EXPECT_GT(ParameterizedModel::fit_relation("Cm", "Ci").r2, 0.3);
+  // All relations are positive (arrows pointing the same way).
+  EXPECT_GT(ParameterizedModel::fit_relation("Pm", "Pi").slope, 0.0);
+  EXPECT_GT(ParameterizedModel::fit_relation("Rm", "Ri").slope, 0.0);
+}
+
+TEST(ParameterizedModel, DerivedStatisticsPositive) {
+  const ParameterizedModel model(default_params());
+  const auto& derived = model.derived();
+  EXPECT_GT(derived.parallelism_interval, 0.0);
+  EXPECT_GT(derived.interarrival_interval, 0.0);
+  EXPECT_GT(derived.work_interval, 0.0);
+  EXPECT_GT(derived.runtime_median, 0.0);
+  EXPECT_GT(derived.runtime_interval, derived.runtime_median);
+}
+
+TEST(ParameterizedModel, PinsItsThreeParameters) {
+  const auto params = default_params();
+  const ParameterizedModel model(params);
+  const auto log = model.generate(16384, 1);
+  const auto stats = workload::characterize(
+      log, static_cast<double>(params.machine_processors));
+
+  EXPECT_NEAR(stats.procs_median, params.parallelism_median, 1.0);
+  EXPECT_NEAR(stats.interarrival_median / params.interarrival_median, 1.0,
+              0.05);
+  EXPECT_NEAR(stats.work_median / params.cpu_work_median, 1.0, 0.05);
+}
+
+TEST(ParameterizedModel, LoadTargetRespected) {
+  auto params = default_params();
+  params.runtime_load = 0.5;
+  const ParameterizedModel model(params);
+  const auto stats = workload::characterize(
+      model.generate(16384, 2), static_cast<double>(params.machine_processors));
+  EXPECT_NEAR(stats.runtime_load, 0.5, 0.15);
+}
+
+TEST(ParameterizedModel, DeterministicInSeed) {
+  const ParameterizedModel model(default_params());
+  const auto a = model.generate(500, 3);
+  const auto b = model.generate(500, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run_time, b.jobs()[i].run_time);
+  }
+}
+
+TEST(ParameterizedModel, FromRowRecoversRowMedians) {
+  const auto* row = find_row("LLNL");
+  ASSERT_NE(row, nullptr);
+  const auto model = ParameterizedModel::from_row(*row);
+  const auto stats = workload::characterize(model.generate(16384, 4), row->MP);
+  EXPECT_NEAR(stats.procs_median, row->Pm, row->Pm * 0.3 + 1.0);
+  EXPECT_NEAR(stats.interarrival_median / row->Im, 1.0, 0.08);
+  EXPECT_NEAR(stats.work_median / row->Cm, 1.0, 0.08);
+  // Derived runtime lands within a factor ~3 of the true value — the
+  // regression is fitted across very diverse machines.
+  EXPECT_GT(stats.runtime_median, row->Rm / 4.0);
+  EXPECT_LT(stats.runtime_median, row->Rm * 4.0);
+}
+
+TEST(ParameterizedModel, PowerOfTwoGridWhenInflexible) {
+  auto params = default_params();
+  params.allocation_flexibility = 1.0;
+  const ParameterizedModel model(params);
+  const auto log = model.generate(2000, 5);
+  for (const auto& job : log.jobs()) {
+    EXPECT_EQ(job.processors & (job.processors - 1), 0);
+  }
+}
+
+TEST(ParameterizedModel, HurstKnobProducesSelfSimilarity) {
+  auto params = default_params();
+  params.hurst = 0.85;
+  // Keep the load target modest so the calibrated runtime tail stays thin
+  // (a near-infinite-variance tail damps the variance-time signal).
+  params.runtime_load = 0.15;
+  const ParameterizedModel model(params);
+  const auto log = model.generate(16384, 6);
+  const auto series =
+      workload::attribute_series(log, workload::Attribute::kRuntime);
+  const auto h = selfsim::hurst_variance_time(series);
+  EXPECT_GT(h.hurst, 0.7);
+
+  params.hurst = 0.5;
+  const ParameterizedModel white(params);
+  const auto plain = workload::attribute_series(
+      white.generate(16384, 6), workload::Attribute::kRuntime);
+  EXPECT_NEAR(selfsim::hurst_variance_time(plain).hurst, 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace cpw::archive

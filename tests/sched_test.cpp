@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "cpw/models/lublin.hpp"
+#include "cpw/sched/estimates.hpp"
+#include "cpw/sched/scheduler.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::sched {
+namespace {
+
+swf::Job make_job(double submit, double runtime, std::int64_t procs,
+                  double estimate = -1) {
+  swf::Job job;
+  job.submit_time = submit;
+  job.run_time = runtime;
+  job.processors = procs;
+  job.req_time = estimate;
+  job.cpu_time_avg = runtime;
+  job.status = 1;
+  return job;
+}
+
+swf::Log make_log(swf::JobList jobs, std::int64_t procs) {
+  swf::Log log("sched-test", std::move(jobs));
+  log.set_header("MaxProcs", std::to_string(procs));
+  return log;
+}
+
+const JobOutcome& outcome_of(const ScheduleResult& result, std::int64_t id) {
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.id == id) return outcome;
+  }
+  throw Error("missing outcome");
+}
+
+/// Verifies that at no point in time the running jobs exceed the machine.
+void expect_no_oversubscription(const ScheduleResult& result,
+                                std::int64_t processors) {
+  for (const auto& probe : result.outcomes) {
+    std::int64_t used = 0;
+    for (const auto& other : result.outcomes) {
+      if (other.start_time <= probe.start_time &&
+          probe.start_time < other.end_time) {
+        used += other.processors;
+      }
+    }
+    EXPECT_LE(used, processors) << "oversubscribed at t=" << probe.start_time;
+  }
+}
+
+// ----------------------------------------------------------------- hand cases
+
+TEST(Fcfs, HeadOfQueueBlocks) {
+  // 2-node machine. Job 1 takes both nodes for 10s; jobs 2 and 3 are
+  // single-node and must wait for it under FCFS.
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 2));
+  jobs.push_back(make_job(1, 5, 1));
+  jobs.push_back(make_job(2, 1, 1));
+  const auto result = make_fcfs()->run(make_log(std::move(jobs), 2), 2);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 1).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 3).start_time, 10.0);
+}
+
+TEST(Fcfs, WideJobBlocksNarrowOnes) {
+  // 2-node machine: 1-node job running; a 2-node job heads the queue and a
+  // 1-node job sits behind it. FCFS leaves the free node idle.
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 1));
+  jobs.push_back(make_job(1, 5, 2));
+  jobs.push_back(make_job(2, 4, 1));
+  const auto result = make_fcfs()->run(make_log(std::move(jobs), 2), 2);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);  // head
+  EXPECT_DOUBLE_EQ(outcome_of(result, 3).start_time, 15.0);  // behind head
+}
+
+TEST(Easy, BackfillsWithoutDelayingHead) {
+  // Same scenario: EASY backfills job 3 into the idle node because it
+  // finishes (2+4=6) before the head's reservation (t=10).
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 1));
+  jobs.push_back(make_job(1, 5, 2));
+  jobs.push_back(make_job(2, 4, 1));
+  const auto result =
+      make_easy_backfilling()->run(make_log(std::move(jobs), 2), 2);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 3).start_time, 2.0);   // backfilled
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);  // head on time
+}
+
+TEST(Easy, RefusesBackfillThatWouldDelayHead) {
+  // Backfill candidate runs past the shadow time and would steal the
+  // head's node: it must wait.
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 1));
+  jobs.push_back(make_job(1, 5, 2));   // head, reservation at t=10
+  jobs.push_back(make_job(2, 20, 1));  // would end at 22 > 10
+  const auto result =
+      make_easy_backfilling()->run(make_log(std::move(jobs), 2), 2);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);
+  EXPECT_GE(outcome_of(result, 3).start_time, 10.0);
+}
+
+TEST(Easy, ExtraNodesAllowLongNarrowBackfill) {
+  // 4-node machine: 2-node job running 10s; head needs 3 nodes (shadow
+  // t=10, at which 4 are free -> 1 extra). A long 1-node job may backfill
+  // on the extra node even though it outlives the shadow time.
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 2));
+  jobs.push_back(make_job(1, 5, 3));   // head
+  jobs.push_back(make_job(2, 50, 1));  // narrow, long
+  const auto result =
+      make_easy_backfilling()->run(make_log(std::move(jobs), 4), 4);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 3).start_time, 2.0);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);  // undelayed
+}
+
+TEST(Conservative, ReservesEveryQueuedJob) {
+  // Conservative backfilling also backfills the short job in the EASY
+  // scenario (it delays nobody's reservation).
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 10, 1));
+  jobs.push_back(make_job(1, 5, 2));
+  jobs.push_back(make_job(2, 4, 1));
+  const auto result =
+      make_conservative_backfilling()->run(make_log(std::move(jobs), 2), 2);
+
+  EXPECT_DOUBLE_EQ(outcome_of(result, 3).start_time, 2.0);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 2).start_time, 10.0);
+}
+
+TEST(Conservative, EmptyMachineStartsImmediately) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(5, 3, 4));
+  const auto result =
+      make_conservative_backfilling()->run(make_log(std::move(jobs), 8), 8);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 1).start_time, 5.0);
+  EXPECT_DOUBLE_EQ(outcome_of(result, 1).end_time, 8.0);
+}
+
+// ----------------------------------------------------------------- contracts
+
+struct SchedulerCase {
+  const char* label;
+  std::shared_ptr<const Scheduler> scheduler;
+};
+
+class SchedulerContract : public ::testing::TestWithParam<SchedulerCase> {};
+
+swf::Log random_workload(std::size_t jobs, std::uint64_t seed,
+                         std::int64_t procs) {
+  Rng rng(seed);
+  swf::JobList list;
+  double clock = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    clock += rng.exponential(1.0 / 30.0);
+    list.push_back(make_job(clock, 1.0 + rng.exponential(1.0 / 100.0),
+                            rng.uniform_int(1, procs)));
+  }
+  return make_log(std::move(list), procs);
+}
+
+TEST_P(SchedulerContract, AllJobsCompleteExactlyOnce) {
+  const auto log = random_workload(400, 11, 16);
+  const auto result = GetParam().scheduler->run(log, 16);
+  EXPECT_EQ(result.outcomes.size(), log.size());
+  std::map<std::int64_t, int> seen;
+  for (const auto& outcome : result.outcomes) ++seen[outcome.id];
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << id;
+}
+
+TEST_P(SchedulerContract, StartsAfterSubmitAndRunsExactly) {
+  const auto log = random_workload(400, 12, 16);
+  const auto result = GetParam().scheduler->run(log, 16);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_GE(outcome.start_time, outcome.submit_time - 1e-9);
+    EXPECT_NEAR(outcome.end_time - outcome.start_time, outcome.run_time, 1e-9);
+  }
+}
+
+TEST_P(SchedulerContract, NeverOversubscribes) {
+  const auto log = random_workload(300, 13, 8);
+  const auto result = GetParam().scheduler->run(log, 8);
+  expect_no_oversubscription(result, 8);
+}
+
+TEST_P(SchedulerContract, RejectsOversizedJob) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 1, 64));
+  const auto log = make_log(std::move(jobs), 8);
+  EXPECT_THROW(GetParam().scheduler->run(log, 8), Error);
+}
+
+TEST_P(SchedulerContract, MetricsAreConsistent) {
+  const auto log = random_workload(300, 14, 8);
+  const auto result = GetParam().scheduler->run(log, 8);
+  const auto metrics = result.metrics(8);
+  EXPECT_EQ(metrics.jobs, log.size());
+  EXPECT_LE(metrics.median_wait, metrics.p95_wait + 1e-9);
+  EXPECT_LE(metrics.p95_wait, metrics.max_wait + 1e-9);
+  EXPECT_GE(metrics.mean_wait, 0.0);
+  EXPECT_GT(metrics.utilization, 0.0);
+  EXPECT_LE(metrics.utilization, 1.0 + 1e-9);
+  EXPECT_GE(metrics.mean_bounded_slowdown, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerContract,
+    ::testing::Values(SchedulerCase{"fcfs", make_fcfs()},
+                      SchedulerCase{"easy", make_easy_backfilling()},
+                      SchedulerCase{"conservative",
+                                    make_conservative_backfilling()}),
+    [](const auto& info) { return info.param.label; });
+
+// ------------------------------------------------------------- comparisons
+
+TEST(SchedulerComparison, BackfillingBeatsFcfsOnCongestedWorkload) {
+  const auto log = random_workload(1500, 15, 16);
+  const auto fcfs = make_fcfs()->run(log, 16).metrics(16);
+  const auto easy = make_easy_backfilling()->run(log, 16).metrics(16);
+  const auto conservative =
+      make_conservative_backfilling()->run(log, 16).metrics(16);
+
+  EXPECT_LT(easy.mean_wait, fcfs.mean_wait);
+  EXPECT_LT(conservative.mean_wait, fcfs.mean_wait);
+  EXPECT_GE(easy.utilization, fcfs.utilization - 1e-9);
+}
+
+TEST(SchedulerComparison, RunsOnModelWorkload) {
+  // End-to-end: schedule a Lublin-model workload (the realistic case).
+  const models::LublinModel model(64);
+  const auto log = model.generate(2000, 16);
+  for (const auto& scheduler : all_schedulers()) {
+    const auto metrics = scheduler->run(log, 64).metrics(64);
+    EXPECT_EQ(metrics.jobs, 2000u) << scheduler->name();
+    EXPECT_GT(metrics.utilization, 0.0) << scheduler->name();
+  }
+}
+
+TEST(AllSchedulers, RegistryNamesDistinct) {
+  const auto schedulers = all_schedulers();
+  ASSERT_EQ(schedulers.size(), 3u);
+  EXPECT_EQ(schedulers[0]->name(), "FCFS");
+  EXPECT_EQ(schedulers[1]->name(), "EASY");
+  EXPECT_EQ(schedulers[2]->name(), "Conservative");
+}
+
+TEST(Overestimates, EstimatesBoundedByFactor) {
+  const auto log = random_workload(500, 17, 16);
+  const auto estimated = with_overestimates(log, 4.0, 1);
+  ASSERT_EQ(estimated.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const double runtime = estimated.jobs()[i].run_time;
+    const double estimate = estimated.jobs()[i].req_time;
+    EXPECT_GE(estimate, runtime - 1e-9);
+    EXPECT_LE(estimate, 4.0 * runtime + 1e-9);
+  }
+}
+
+TEST(Overestimates, FactorOneIsExact) {
+  const auto log = random_workload(100, 18, 16);
+  const auto estimated = with_overestimates(log, 1.0, 2);
+  for (const auto& job : estimated.jobs()) {
+    EXPECT_NEAR(job.req_time, job.run_time, 1e-9);
+  }
+}
+
+TEST(Overestimates, RejectsUnderestimationFactor) {
+  const auto log = random_workload(10, 19, 16);
+  EXPECT_THROW(with_overestimates(log, 0.5, 3), Error);
+}
+
+TEST(Overestimates, EasyStillNeverOversubscribes) {
+  const auto log =
+      with_overestimates(random_workload(500, 20, 8), 10.0, 4);
+  const auto result = make_easy_backfilling()->run(log, 8);
+  expect_no_oversubscription(result, 8);
+  EXPECT_EQ(result.outcomes.size(), log.size());
+}
+
+TEST(JobOutcome, BoundedSlowdownThreshold) {
+  JobOutcome outcome;
+  outcome.submit_time = 0;
+  outcome.start_time = 10;
+  outcome.end_time = 11;
+  outcome.run_time = 1;
+  // response 11, runtime 1 -> raw slowdown 11, bounded (threshold 10) 1.1.
+  EXPECT_NEAR(outcome.bounded_slowdown(), 1.1, 1e-12);
+  EXPECT_NEAR(outcome.bounded_slowdown(1.0), 11.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpw::sched

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/stats/correlation.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::selfsim {
+namespace {
+
+// ------------------------------------------------------------------------ FFT
+
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& in) {
+  const std::size_t n = in.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      sum += in[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(71);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+
+  auto expected = naive_dft(data);
+  fft_radix2(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-8 * n);
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-8 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(72);
+  std::vector<std::complex<double>> data(128);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  auto copy = data;
+  fft_radix2(copy, false);
+  fft_radix2(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real() / 128.0, data[i].real(), 1e-10);
+    EXPECT_NEAR(copy[i].imag() / 128.0, data[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft_radix2(data), Error);
+}
+
+TEST(Fft, NextPow2Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(PowerSpectrum, MatchesDirectEvaluationForNonPow2) {
+  Rng rng(73);
+  std::vector<double> series(96);  // not a power of two -> direct path
+  for (double& v : series) v = rng.normal();
+  const auto spec = power_spectrum(series);
+  ASSERT_EQ(spec.size(), 48u);
+
+  // Spot-check one frequency against the definition.
+  const std::size_t i = 7;
+  const double w = 2.0 * std::numbers::pi * static_cast<double>(i) / 96.0;
+  double re = 0.0, im = 0.0;
+  for (std::size_t k = 0; k < 96; ++k) {
+    re += series[k] * std::cos(w * static_cast<double>(k));
+    im -= series[k] * std::sin(w * static_cast<double>(k));
+  }
+  EXPECT_NEAR(spec[i], re * re + im * im, 1e-6);
+}
+
+TEST(PowerSpectrum, SineConcentratesAtItsFrequency) {
+  const std::size_t n = 256;
+  std::vector<double> series(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    series[k] = std::sin(2.0 * std::numbers::pi * 16.0 * static_cast<double>(k) /
+                         static_cast<double>(n));
+  }
+  const auto spec = power_spectrum(series);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < spec.size(); ++i) {
+    if (spec[i] > spec[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 16u);
+}
+
+// ------------------------------------------------------------------------ fGn
+
+TEST(FgnAutocovariance, WhiteNoiseAtHalf) {
+  EXPECT_DOUBLE_EQ(fgn_autocovariance(0.5, 0), 1.0);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(fgn_autocovariance(0.5, k), 0.0, 1e-12);
+  }
+}
+
+TEST(FgnAutocovariance, PositiveAndDecayingForPersistent) {
+  double prev = fgn_autocovariance(0.8, 1);
+  EXPECT_GT(prev, 0.0);
+  for (std::size_t k = 2; k < 50; ++k) {
+    const double cur = fgn_autocovariance(0.8, k);
+    EXPECT_GT(cur, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FgnAutocovariance, NegativeLagOneForAntiPersistent) {
+  EXPECT_LT(fgn_autocovariance(0.3, 1), 0.0);
+}
+
+TEST(FgnAutocovariance, RejectsBadHurst) {
+  EXPECT_THROW(fgn_autocovariance(0.0, 1), Error);
+  EXPECT_THROW(fgn_autocovariance(1.0, 1), Error);
+}
+
+TEST(FgnGenerators, UnitVarianceAndZeroMean) {
+  // The sample mean of fGn converges at rate n^{H-1}, so the tolerance must
+  // widen with H (at H = 0.9 and n = 2^14 the sample-mean sd is ~0.38).
+  const std::size_t n = 1 << 14;
+  for (double h : {0.55, 0.75, 0.9}) {
+    const auto xs = fgn_davies_harte(h, n, 81);
+    const double mean_sd = std::pow(static_cast<double>(n), h - 1.0);
+    EXPECT_NEAR(stats::mean(xs), 0.0, 3.5 * mean_sd) << h;
+    EXPECT_NEAR(stats::variance(xs), 1.0, 0.05 + 2.0 * mean_sd) << h;
+  }
+}
+
+TEST(FgnGenerators, HoskingMatchesTheoreticalAutocovariance) {
+  const double h = 0.8;
+  const auto xs = fgn_hosking(h, 4096, 82);
+  const auto ac = stats::autocorrelation(xs, 3);
+  for (std::size_t k = 1; k <= 3; ++k) {
+    EXPECT_NEAR(ac[k], fgn_autocovariance(h, k), 0.08) << "lag " << k;
+  }
+}
+
+TEST(FgnGenerators, DaviesHarteMatchesTheoreticalAutocovariance) {
+  const double h = 0.8;
+  const auto xs = fgn_davies_harte(h, 1 << 14, 83);
+  const auto ac = stats::autocorrelation(xs, 3);
+  for (std::size_t k = 1; k <= 3; ++k) {
+    EXPECT_NEAR(ac[k], fgn_autocovariance(h, k), 0.05) << "lag " << k;
+  }
+}
+
+TEST(FgnGenerators, Deterministic) {
+  const auto a = fgn_davies_harte(0.7, 256, 84);
+  const auto b = fgn_davies_harte(0.7, 256, 84);
+  EXPECT_EQ(a, b);
+  const auto c = fgn_davies_harte(0.7, 256, 85);
+  EXPECT_NE(a, c);
+}
+
+TEST(FbmFromFgn, CumulativeSum) {
+  const std::vector<double> fgn{1.0, 2.0, -1.0};
+  const auto fbm = fbm_from_fgn(fgn);
+  EXPECT_DOUBLE_EQ(fbm[0], 1.0);
+  EXPECT_DOUBLE_EQ(fbm[1], 3.0);
+  EXPECT_DOUBLE_EQ(fbm[2], 2.0);
+}
+
+// ------------------------------------------------------------------ aggregate
+
+TEST(AggregateSeries, BlockMeans) {
+  const std::vector<double> xs{1, 3, 5, 7, 9};
+  const auto agg = aggregate_series(xs, 2);
+  ASSERT_EQ(agg.size(), 2u);  // tail dropped
+  EXPECT_DOUBLE_EQ(agg[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg[1], 6.0);
+}
+
+TEST(AggregateSeries, LevelOneIsIdentity) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_EQ(aggregate_series(xs, 1), xs);
+}
+
+// ----------------------------------------------------------- Hurst estimators
+
+class HurstRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(HurstRecovery, AllEstimatorsNearTruth) {
+  const double h = GetParam();
+  const auto xs = fgn_davies_harte(h, 1 << 15, 91);
+  const auto report = hurst_all(xs);
+  EXPECT_NEAR(report.rs.hurst, h, 0.12) << "R/S at H=" << h;
+  EXPECT_NEAR(report.variance_time.hurst, h, 0.10) << "V-T at H=" << h;
+  EXPECT_NEAR(report.periodogram.hurst, h, 0.10) << "Periodogram at H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, HurstRecovery,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+TEST(Hurst, WhiteNoiseIsHalf) {
+  Rng rng(92);
+  std::vector<double> xs(1 << 15);
+  for (double& x : xs) x = rng.normal();
+  const auto report = hurst_all(xs);
+  EXPECT_NEAR(report.rs.hurst, 0.5, 0.1);
+  EXPECT_NEAR(report.variance_time.hurst, 0.5, 0.08);
+  EXPECT_NEAR(report.periodogram.hurst, 0.5, 0.08);
+}
+
+TEST(Hurst, EstimatesInvariantToAffineTransform) {
+  const auto xs = fgn_davies_harte(0.75, 1 << 13, 93);
+  std::vector<double> scaled(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) scaled[i] = 40.0 * xs[i] + 17.0;
+  const auto a = hurst_all(xs);
+  const auto b = hurst_all(scaled);
+  EXPECT_NEAR(a.rs.hurst, b.rs.hurst, 1e-9);
+  EXPECT_NEAR(a.variance_time.hurst, b.variance_time.hurst, 1e-9);
+  EXPECT_NEAR(a.periodogram.hurst, b.periodogram.hurst, 1e-6);
+}
+
+TEST(Hurst, MonotoneTransformPreservesPersistence) {
+  // The archive simulator relies on this: pushing fGn through a monotone
+  // quantile map keeps the series strongly persistent.
+  const auto g = fgn_davies_harte(0.85, 1 << 14, 94);
+  std::vector<double> heavy(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    heavy[i] = std::exp(1.5 * g[i]);  // lognormal marginal
+  }
+  const auto report = hurst_all(heavy);
+  EXPECT_GT(report.variance_time.hurst, 0.7);
+  EXPECT_GT(report.rs.hurst, 0.65);
+}
+
+TEST(Hurst, TooShortSeriesThrows) {
+  std::vector<double> xs(16, 1.0);
+  EXPECT_THROW(hurst_rs(xs), Error);
+  EXPECT_THROW(hurst_variance_time(xs), Error);
+  EXPECT_THROW(hurst_periodogram(xs), Error);
+}
+
+TEST(Hurst, RegressionDiagnosticsPopulated) {
+  const auto xs = fgn_davies_harte(0.7, 1 << 12, 95);
+  const auto est = hurst_rs(xs);
+  EXPECT_GE(est.points.log_x.size(), 5u);
+  EXPECT_EQ(est.points.log_x.size(), est.points.log_y.size());
+  EXPECT_GT(est.r2, 0.8);
+}
+
+}  // namespace
+}  // namespace cpw::selfsim

@@ -1,0 +1,72 @@
+// Parameterized sweep: the archive simulator must pin the order statistics
+// of EVERY Table 1 and Table 2 observation, not just the spot-checked ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "cpw/archive/simulator.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::archive {
+namespace {
+
+class RowPinning : public ::testing::TestWithParam<std::string> {
+ protected:
+  static workload::WorkloadStats simulate(const PaperWorkloadRow& row) {
+    SimulationOptions options;
+    options.jobs = 8192;
+    options.seed = 991;
+    const char* parent = nullptr;
+    // Table 2 slices inherit the parent machine's Hurst row.
+    const std::string name = row.name;
+    if (name.size() == 2 && (name[0] == 'L' || name[0] == 'S')) {
+      parent = name[0] == 'L' ? "LANL" : "SDSC";
+    }
+    const auto log = simulate_observation(
+        row, find_hurst_row(parent ? parent : row.name), options);
+    return workload::characterize(log);
+  }
+};
+
+TEST_P(RowPinning, OrderStatisticsMatch) {
+  const auto* row = find_row(GetParam());
+  ASSERT_NE(row, nullptr);
+  const auto stats = simulate(*row);
+
+  // The simulator pins these exactly up to grid rounding and the discrete
+  // order-statistic interpolation; 12% relative tolerance is generous.
+  EXPECT_NEAR(stats.runtime_median / row->Rm, 1.0, 0.12) << "Rm";
+  EXPECT_NEAR(stats.runtime_interval / row->Ri, 1.0, 0.12) << "Ri";
+  EXPECT_NEAR(stats.interarrival_median / row->Im, 1.0, 0.12) << "Im";
+  EXPECT_NEAR(stats.interarrival_interval / row->Ii, 1.0, 0.12) << "Ii";
+  EXPECT_NEAR(stats.work_median / row->Cm, 1.0, 0.12) << "Cm";
+  EXPECT_NEAR(stats.work_interval / row->Ci, 1.0, 0.12) << "Ci";
+  // Parallelism is rounded onto the allocation grid: allow one grid step.
+  EXPECT_LE(std::abs(stats.procs_median - row->Pm),
+            std::max(1.0, 0.5 * row->Pm))
+      << "Pm";
+}
+
+TEST_P(RowPinning, EnvironmentVariablesMatch) {
+  const auto* row = find_row(GetParam());
+  ASSERT_NE(row, nullptr);
+  const auto stats = simulate(*row);
+  EXPECT_DOUBLE_EQ(stats.machine_processors, row->MP);
+  EXPECT_DOUBLE_EQ(stats.scheduler_flexibility, row->SF);
+  EXPECT_DOUBLE_EQ(stats.allocation_flexibility, row->AL);
+  if (!std::isnan(row->C)) {
+    EXPECT_NEAR(stats.pct_completed, row->C, 0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, RowPinning,
+    ::testing::Values("CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA",
+                      "SDSC", "SDSCi", "SDSCb", "L1", "L2", "L3", "L4", "S1",
+                      "S2", "S3", "S4"),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace cpw::archive

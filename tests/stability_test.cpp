@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/coplot/stability.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::coplot {
+namespace {
+
+/// Clean two-factor dataset: all variables load on one of two orthogonal
+/// latent factors, so every arrow direction is strongly determined.
+Dataset stable_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.variable_names = {"f1a", "f1b", "f2a", "f2b"};
+  d.values = Matrix(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.observation_names.push_back("obs" + std::to_string(i));
+    const double a = rng.normal();
+    const double b = rng.normal();
+    d.values(i, 0) = 2.0 * a + 0.02 * rng.normal();
+    d.values(i, 1) = 3.0 * a + 0.02 * rng.normal();
+    d.values(i, 2) = 2.0 * b + 0.02 * rng.normal();
+    d.values(i, 3) = 3.0 * b + 0.02 * rng.normal();
+  }
+  return d;
+}
+
+TEST(Stability, RequiresEnoughObservations) {
+  Dataset d = stable_dataset(4, 1);
+  EXPECT_THROW(stability_analysis(d), Error);
+}
+
+TEST(Stability, ReportShapesMatchDataset) {
+  const Dataset d = stable_dataset(10, 2);
+  const auto report = stability_analysis(d);
+  EXPECT_EQ(report.arrow_angle_spread.size(), 4u);
+  EXPECT_EQ(report.arrow_min_correlation.size(), 4u);
+  EXPECT_EQ(report.observation_drift.size(), 10u);
+  EXPECT_EQ(report.variable_names, d.variable_names);
+  EXPECT_EQ(report.observation_names, d.observation_names);
+}
+
+TEST(Stability, CleanStructureIsStable) {
+  const Dataset d = stable_dataset(14, 3);
+  const auto report = stability_analysis(d);
+  // Strong factors: arrows barely move, observations barely drift.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_LT(report.arrow_angle_spread[j], 0.35) << d.variable_names[j];
+    EXPECT_GT(report.arrow_min_correlation[j], 0.8) << d.variable_names[j];
+  }
+  for (double drift : report.observation_drift) EXPECT_LT(drift, 0.5);
+  EXPECT_LT(report.mean_alienation, 0.1);
+}
+
+TEST(Stability, NoiseVariableIsFlaggedUnstable) {
+  Dataset d = stable_dataset(12, 4);
+  Rng rng(5);
+  Matrix extended(d.observations(), 5);
+  for (std::size_t i = 0; i < d.observations(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) extended(i, j) = d.values(i, j);
+    extended(i, 4) = rng.normal();
+  }
+  d.values = std::move(extended);
+  d.variable_names.push_back("noise");
+
+  const auto report = stability_analysis(d);
+  // The noise arrow must be markedly less stable than the factor arrows.
+  double max_factor_spread = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    max_factor_spread = std::max(max_factor_spread,
+                                 report.arrow_angle_spread[j]);
+  }
+  EXPECT_GT(report.arrow_angle_spread[4], max_factor_spread);
+  EXPECT_LT(report.arrow_min_correlation[4],
+            report.arrow_min_correlation[0]);
+}
+
+TEST(Stability, OutlierObservationHasLargeInfluence) {
+  Dataset d = stable_dataset(11, 6);
+  // Turn the last observation into a gross outlier.
+  for (std::size_t j = 0; j < d.variables(); ++j) {
+    d.values(10, j) = 40.0 + 10.0 * static_cast<double>(j);
+  }
+  const auto report = stability_analysis(d);
+  // Removing the outlier reshapes the map: the *other* observations drift
+  // more in the replicate without it than typical leave-one-out noise, and
+  // the outlier itself is the most displaced landmark or close to it.
+  double mean_drift = 0.0;
+  for (double drift : report.observation_drift) mean_drift += drift;
+  mean_drift /= static_cast<double>(report.observation_drift.size());
+  EXPECT_GT(mean_drift, 0.0);
+  // Sanity: drift values are finite and the report is usable.
+  for (double drift : report.observation_drift) {
+    EXPECT_TRUE(std::isfinite(drift));
+  }
+}
+
+TEST(Stability, DeterministicForFixedSeed) {
+  const Dataset d = stable_dataset(9, 7);
+  const auto a = stability_analysis(d);
+  const auto b = stability_analysis(d);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(a.arrow_angle_spread[j], b.arrow_angle_spread[j]);
+  }
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(a.observation_drift[i], b.observation_drift[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cpw::coplot

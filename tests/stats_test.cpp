@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cpw/stats/correlation.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/stats/histogram.hpp"
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::stats {
+namespace {
+
+// ---------------------------------------------------------------- descriptive
+
+TEST(Descriptive, MeanOfKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceMatchesHandComputation) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);       // classic example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, CvOfConstantIsZero) {
+  const std::vector<double> xs{3, 3, 3};
+  EXPECT_DOUBLE_EQ(cv(xs), 0.0);
+}
+
+TEST(Descriptive, SkewnessSignMatchesTail) {
+  const std::vector<double> right{1, 1, 1, 1, 10};
+  const std::vector<double> left{-10, 1, 1, 1, 1};
+  EXPECT_GT(skewness(right), 0.5);
+  EXPECT_LT(skewness(left), -0.5);
+  EXPECT_NEAR(skewness(std::vector<double>{1, 2, 3}), 0.0, 1e-12);
+}
+
+TEST(Descriptive, RawMomentsMatch) {
+  const std::vector<double> xs{1, 2, 3};
+  const auto m = raw_moments(xs);
+  EXPECT_DOUBLE_EQ(m.m1, 2.0);
+  EXPECT_DOUBLE_EQ(m.m2, 14.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.m3, 12.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Quantile, RejectsBadArguments) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW(quantile(xs, -0.1), Error);
+  EXPECT_THROW(quantile(xs, 1.1), Error);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+}
+
+TEST(Intervals, Interval90OfUniformGrid) {
+  std::vector<double> xs(101);
+  for (int i = 0; i <= 100; ++i) xs[static_cast<std::size_t>(i)] = i;
+  EXPECT_DOUBLE_EQ(interval90(xs), 90.0);
+  EXPECT_DOUBLE_EQ(interval50(xs), 50.0);
+}
+
+TEST(Intervals, OrderSummaryConsistent) {
+  std::vector<double> xs(1001);
+  for (int i = 0; i <= 1000; ++i) xs[static_cast<std::size_t>(i)] = i * 0.1;
+  const auto s = order_summary(xs);
+  EXPECT_DOUBLE_EQ(s.median, 50.0);
+  EXPECT_NEAR(s.interval90, 90.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(ZNormalize, ProducesZeroMeanUnitVariance) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  const auto z = z_normalize(xs);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(variance(z), 1.0, 1e-12);
+}
+
+TEST(ZNormalize, ConstantColumnBecomesZeros) {
+  const std::vector<double> xs{5, 5, 5};
+  const auto z = z_normalize(xs);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------- correlation
+
+TEST(Correlation, PearsonPerfectLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonConstantIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Correlation, PearsonLengthMismatchThrows) {
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               Error);
+}
+
+TEST(Correlation, CovarianceKnownValue) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{1, 3, 5};
+  EXPECT_NEAR(covariance(xs, ys), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Ranks, MidRanksForTies) {
+  const std::vector<double> xs{10, 20, 20, 30};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(i * 0.5));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 0.95);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  Rng rng(12);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = rng.normal();
+  const auto ac = autocorrelation(xs, 10);
+  EXPECT_DOUBLE_EQ(ac[0], 1.0);
+  for (std::size_t k = 1; k <= 10; ++k) EXPECT_NEAR(ac[k], 0.0, 0.15);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const auto ac = autocorrelation(xs, 2);
+  EXPECT_NEAR(ac[1], -1.0, 0.05);
+  EXPECT_NEAR(ac[2], 1.0, 0.05);
+}
+
+// ----------------------------------------------------------------- regression
+
+TEST(Ols, ExactLineRecovered) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{1, 3, 5, 7};
+  const auto fit = ols(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Ols, NoisyLineApproximate) {
+  Rng rng(13);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(3.0 - 0.5 * i * 0.1 + rng.normal(0.0, 0.2));
+  }
+  const auto fit = ols(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.05);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(Ols, DegenerateInputsThrow) {
+  EXPECT_THROW(ols(std::vector<double>{1}, std::vector<double>{1}), Error);
+  EXPECT_THROW(
+      ols(std::vector<double>{2, 2}, std::vector<double>{1, 3}), Error);
+}
+
+TEST(Pava, AlreadyMonotoneUnchanged) {
+  const std::vector<double> ys{1, 2, 3, 4};
+  const auto fit = pava_isotonic(ys);
+  for (std::size_t i = 0; i < ys.size(); ++i) EXPECT_DOUBLE_EQ(fit[i], ys[i]);
+}
+
+TEST(Pava, PoolsViolators) {
+  const std::vector<double> ys{1, 3, 2, 4};
+  const auto fit = pava_isotonic(ys);
+  EXPECT_DOUBLE_EQ(fit[0], 1.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.5);
+  EXPECT_DOUBLE_EQ(fit[2], 2.5);
+  EXPECT_DOUBLE_EQ(fit[3], 4.0);
+}
+
+TEST(Pava, OutputIsMonotone) {
+  Rng rng(14);
+  std::vector<double> ys(200);
+  for (double& y : ys) y = rng.normal();
+  const auto fit = pava_isotonic(ys);
+  for (std::size_t i = 1; i < fit.size(); ++i) EXPECT_LE(fit[i - 1], fit[i]);
+}
+
+TEST(Pava, PreservesMean) {
+  Rng rng(15);
+  std::vector<double> ys(100);
+  for (double& y : ys) y = rng.uniform();
+  const auto fit = pava_isotonic(ys);
+  EXPECT_NEAR(mean(fit), mean(ys), 1e-12);
+}
+
+TEST(Pava, WeightedPooling) {
+  // Heavily weighted first element pulls the pooled value toward it.
+  const std::vector<double> ys{2, 0};
+  const std::vector<double> w{3, 1};
+  const auto fit = pava_isotonic(ys, w);
+  EXPECT_DOUBLE_EQ(fit[0], 1.5);
+  EXPECT_DOUBLE_EQ(fit[1], 1.5);
+}
+
+TEST(Pava, WeightLengthMismatchThrows) {
+  EXPECT_THROW(
+      pava_isotonic(std::vector<double>{1, 2}, std::vector<double>{1}),
+      Error);
+}
+
+// ------------------------------------------------------------------ histogram
+
+TEST(Histogram, LinearBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, LogScaleEdges) {
+  Histogram h(1.0, 1000.0, 3, Histogram::Scale::kLog);
+  EXPECT_NEAR(h.edge(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.edge(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.edge(2), 100.0, 1e-9);
+  h.add(5.0);    // bin 0
+  h.add(50.0);   // bin 1
+  h.add(500.0);  // bin 2
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, LogScaleRequiresPositiveLo) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 5, Histogram::Scale::kLog), Error);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpw::stats

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpw/swf/log.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::swf {
+namespace {
+
+Job make_job(double submit, double runtime, std::int64_t procs,
+             std::int64_t queue = kQueueBatch) {
+  Job job;
+  job.submit_time = submit;
+  job.run_time = runtime;
+  job.processors = procs;
+  job.cpu_time_avg = runtime;
+  job.status = 1;
+  job.queue = queue;
+  job.user = 1;
+  return job;
+}
+
+Log make_log(std::string name = "test") {
+  JobList jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(make_job(i * 100.0, 50.0 + i, 1 + i % 4,
+                            i % 2 == 0 ? kQueueInteractive : kQueueBatch));
+  }
+  Log log(std::move(name), std::move(jobs));
+  log.set_header("MaxProcs", "64");
+  return log;
+}
+
+// ------------------------------------------------------------------ basic Log
+
+TEST(Log, FinalizeSortsAndRenumbers) {
+  JobList jobs;
+  jobs.push_back(make_job(300.0, 1.0, 1));
+  jobs.push_back(make_job(100.0, 1.0, 1));
+  jobs.push_back(make_job(200.0, 1.0, 1));
+  const Log log("x", std::move(jobs));
+  EXPECT_DOUBLE_EQ(log.jobs()[0].submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(log.jobs()[2].submit_time, 300.0);
+  EXPECT_EQ(log.jobs()[0].id, 1);
+  EXPECT_EQ(log.jobs()[2].id, 3);
+}
+
+TEST(Log, DurationSpansLastCompletion) {
+  JobList jobs;
+  jobs.push_back(make_job(0.0, 10.0, 1));
+  jobs.push_back(make_job(100.0, 500.0, 1));
+  const Log log("x", std::move(jobs));
+  EXPECT_DOUBLE_EQ(log.duration(), 600.0);
+}
+
+TEST(Log, MaxProcessorsPrefersHeader) {
+  Log log = make_log();
+  EXPECT_EQ(log.max_processors(), 64);
+}
+
+TEST(Log, MaxProcessorsFallsBackToScan) {
+  JobList jobs;
+  jobs.push_back(make_job(0.0, 1.0, 48));
+  const Log log("x", std::move(jobs));
+  EXPECT_EQ(log.max_processors(), 48);
+}
+
+TEST(Job, TotalWorkUsesCpuTimeWhenPresent) {
+  Job job = make_job(0, 100.0, 4);
+  job.cpu_time_avg = 60.0;
+  EXPECT_DOUBLE_EQ(job.total_work(), 240.0);
+  job.cpu_time_avg = -1;  // missing -> fall back to runtime (paper §3)
+  EXPECT_DOUBLE_EQ(job.total_work(), 400.0);
+}
+
+// ------------------------------------------------------------------ filtering
+
+TEST(Log, FilterQueueSplitsInteractiveBatch) {
+  const Log log = make_log();
+  const Log inter = log.filter_queue(kQueueInteractive, "i");
+  const Log batch = log.filter_queue(kQueueBatch, "b");
+  EXPECT_EQ(inter.size(), 5u);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(inter.name(), "testi");
+  EXPECT_EQ(inter.header_or("MaxProcs", ""), "64");
+}
+
+TEST(Log, SliceTimeRebasesSubmitTimes) {
+  const Log log = make_log();
+  const Log slice = log.slice_time(200.0, 500.0, "_s");
+  EXPECT_EQ(slice.size(), 3u);  // submits 200, 300, 400
+  EXPECT_DOUBLE_EQ(slice.jobs()[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(slice.jobs()[2].submit_time, 200.0);
+}
+
+TEST(Log, SplitPeriodsCoversEveryJob) {
+  const Log log = make_log();
+  const auto parts = log.split_periods(4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (const Log& part : parts) total += part.size();
+  EXPECT_EQ(total, log.size());
+  EXPECT_EQ(parts[0].name(), "test1");
+  EXPECT_EQ(parts[3].name(), "test4");
+}
+
+TEST(Log, SplitPeriodsRejectsZero) {
+  EXPECT_THROW(make_log().split_periods(0), Error);
+}
+
+// ------------------------------------------------------------------ round trip
+
+TEST(SwfIo, WriteParseRoundTrip) {
+  const Log original = make_log();
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in(out.str());
+  const Log parsed = parse_swf(in, "test");
+
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.header_or("MaxProcs", ""), "64");
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const Job& a = original.jobs()[i];
+    const Job& b = parsed.jobs()[i];
+    EXPECT_DOUBLE_EQ(a.submit_time, b.submit_time);
+    EXPECT_DOUBLE_EQ(a.run_time, b.run_time);
+    EXPECT_EQ(a.processors, b.processors);
+    EXPECT_EQ(a.queue, b.queue);
+    EXPECT_EQ(a.status, b.status);
+  }
+}
+
+TEST(SwfIo, ParsesHeaderComments) {
+  std::istringstream in(
+      "; MaxProcs: 128\n"
+      ";   Computer:  iPSC/860 \n"
+      "; note without value\n"
+      "1 0 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n");
+  const Log log = parse_swf(in, "nasa");
+  EXPECT_EQ(log.header_or("MaxProcs", ""), "128");
+  EXPECT_EQ(log.header_or("Computer", ""), "iPSC/860");
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.jobs()[0].processors, 4);
+  EXPECT_EQ(log.jobs()[0].executable, 7);
+}
+
+TEST(SwfIo, WrongFieldCountReportsLine) {
+  std::istringstream in("1 0 0 10 4\n");
+  try {
+    parse_swf(in, "bad");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("18 fields"), std::string::npos);
+  }
+}
+
+TEST(SwfIo, BadNumberReportsLine) {
+  std::istringstream in(
+      "1 0 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n"
+      "2 0 0 xx 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n");
+  try {
+    parse_swf(in, "bad");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(SwfIo, EmptyAndBlankLinesSkipped) {
+  std::istringstream in("\n\n; header only\n\n");
+  const Log log = parse_swf(in, "empty");
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(SwfIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_swf("/no/such/file.swf"), Error);
+}
+
+TEST(SwfIo, SaveAndLoadFile) {
+  const Log original = make_log();
+  const std::string path = ::testing::TempDir() + "/roundtrip.swf";
+  save_swf(path, original);
+  const Log loaded = load_swf(path);
+  EXPECT_EQ(loaded.size(), original.size());
+}
+
+// ----------------------------------------------------------------- validation
+
+TEST(Validate, CleanLogPasses) {
+  const auto report = validate(make_log());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.total_jobs, 10u);
+}
+
+TEST(Validate, DetectsAnomalies) {
+  JobList jobs;
+  jobs.push_back(make_job(0.0, -5.0, 4));    // negative runtime
+  jobs.push_back(make_job(1.0, 5.0, 0));     // zero processors
+  jobs.push_back(make_job(2.0, 5.0, 9999));  // over machine size
+  Log log("dirty", std::move(jobs));
+  log.set_header("MaxProcs", "64");
+  const auto report = validate(log);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.negative_runtime, 1u);
+  EXPECT_EQ(report.zero_processors, 1u);
+  EXPECT_EQ(report.over_machine_size, 1u);
+}
+
+TEST(Validate, CountsMissingCpuTime) {
+  JobList jobs;
+  Job j = make_job(0.0, 5.0, 2);
+  j.cpu_time_avg = -1;
+  jobs.push_back(j);
+  const Log log("x", std::move(jobs));
+  EXPECT_EQ(validate(log).missing_cpu_time, 1u);
+}
+
+TEST(Cleaned, RemovesInvalidJobs) {
+  JobList jobs;
+  jobs.push_back(make_job(0.0, -5.0, 4));
+  jobs.push_back(make_job(1.0, 5.0, 4));
+  jobs.push_back(make_job(2.0, 5.0, 0));
+  Log log("dirty", std::move(jobs));
+  log.set_header("MaxProcs", "64");
+  const Log clean = cleaned(log);
+  EXPECT_EQ(clean.size(), 1u);
+  EXPECT_TRUE(validate(clean).clean());
+  EXPECT_EQ(clean.header_or("MaxProcs", ""), "64");
+}
+
+}  // namespace
+}  // namespace cpw::swf

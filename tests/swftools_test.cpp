@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpw/mds/shepard.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/mds/dissimilarity.hpp"
+#include "cpw/swf/tools.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw {
+namespace {
+
+swf::Job make_job(double submit, double runtime, std::int64_t procs,
+                  std::int64_t user, std::int64_t executable) {
+  swf::Job job;
+  job.submit_time = submit;
+  job.run_time = runtime;
+  job.processors = procs;
+  job.cpu_time_avg = runtime;
+  job.user = user;
+  job.executable = executable;
+  job.memory_avg = 1234;
+  job.status = 1;
+  return job;
+}
+
+swf::Log small_log(const std::string& name, double base_time,
+                   std::int64_t procs) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(base_time + 0, 10, 2, 100, 7));
+  jobs.push_back(make_job(base_time + 50, 20, 4, 200, 7));
+  jobs.push_back(make_job(base_time + 90, 5, 1, 100, 9));
+  swf::Log log(name, std::move(jobs));
+  log.set_header("MaxProcs", std::to_string(procs));
+  return log;
+}
+
+// -------------------------------------------------------------------- merging
+
+TEST(MergeLogs, CombinesOnSharedTimeAxis) {
+  const std::vector<swf::Log> parts{small_log("a", 1000.0, 16),
+                                    small_log("b", 9000.0, 32)};
+  const swf::Log merged = swf::merge_logs(parts, "ab");
+  EXPECT_EQ(merged.size(), 6u);
+  EXPECT_EQ(merged.name(), "ab");
+  // Both sources rebased to zero: first submit is 0.
+  EXPECT_DOUBLE_EQ(merged.jobs().front().submit_time, 0.0);
+  EXPECT_EQ(merged.max_processors(), 32);
+}
+
+TEST(MergeLogs, KeepsPopulationsDisjoint) {
+  const std::vector<swf::Log> parts{small_log("a", 0.0, 16),
+                                    small_log("b", 0.0, 16)};
+  const swf::Log merged = swf::merge_logs(parts, "ab");
+  // 2 users per source -> 4 distinct users in the merge.
+  std::set<std::int64_t> users, executables;
+  for (const auto& job : merged.jobs()) {
+    users.insert(job.user);
+    executables.insert(job.executable);
+  }
+  EXPECT_EQ(users.size(), 4u);
+  EXPECT_EQ(executables.size(), 4u);
+}
+
+TEST(MergeLogs, RejectsEmptyInput) {
+  EXPECT_THROW(swf::merge_logs({}, "x"), Error);
+}
+
+// ---------------------------------------------------------------- anonymizing
+
+TEST(Anonymized, RenumbersDenselyPreservingStructure) {
+  const swf::Log log = small_log("orig", 0.0, 16);
+  const swf::Log anon = swf::anonymized(log);
+  ASSERT_EQ(anon.size(), log.size());
+
+  // User 100 appeared first -> id 1; user 200 -> id 2.
+  EXPECT_EQ(anon.jobs()[0].user, 1);
+  EXPECT_EQ(anon.jobs()[1].user, 2);
+  EXPECT_EQ(anon.jobs()[2].user, 1);  // repetition preserved
+  EXPECT_EQ(anon.jobs()[0].executable, anon.jobs()[1].executable);
+  EXPECT_NE(anon.jobs()[0].executable, anon.jobs()[2].executable);
+  // Memory cleared; timing untouched.
+  EXPECT_DOUBLE_EQ(anon.jobs()[0].memory_avg, -1.0);
+  EXPECT_DOUBLE_EQ(anon.jobs()[1].submit_time, log.jobs()[1].submit_time);
+}
+
+TEST(Anonymized, MissingIdsStayMissing) {
+  swf::JobList jobs;
+  swf::Job job = make_job(0, 1, 1, -1, -1);
+  jobs.push_back(job);
+  const swf::Log log("x", std::move(jobs));
+  const swf::Log anon = swf::anonymized(log);
+  EXPECT_EQ(anon.jobs()[0].user, -1);
+  EXPECT_EQ(anon.jobs()[0].executable, -1);
+}
+
+// ---------------------------------------------------------------- utilization
+
+TEST(UtilizationProfile, SingleJobFillsItsBins) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 50, 8, 1, 1));   // first half
+  jobs.push_back(make_job(50, 50, 16, 1, 1)); // second half
+  swf::Log log("u", std::move(jobs));
+  log.set_header("MaxProcs", "16");
+
+  const auto profile = swf::utilization_profile(log, 2);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_NEAR(profile[0], 0.5, 1e-9);  // 8/16 busy
+  EXPECT_NEAR(profile[1], 1.0, 1e-9);  // 16/16 busy
+}
+
+TEST(UtilizationProfile, JobSpanningBinsSplitsNodeSeconds) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 100, 4, 1, 1));
+  swf::Log log("u", std::move(jobs));
+  log.set_header("MaxProcs", "8");
+  const auto profile = swf::utilization_profile(log, 4);
+  for (double u : profile) EXPECT_NEAR(u, 0.5, 1e-9);
+}
+
+TEST(UtilizationProfile, RejectsZeroBins) {
+  EXPECT_THROW(swf::utilization_profile(small_log("x", 0, 8), 0), Error);
+}
+
+// -------------------------------------------------------------------- Shepard
+
+TEST(Shepard, PerfectEmbeddingHasZeroStress) {
+  Rng rng(42);
+  mds::Embedding config;
+  for (int i = 0; i < 8; ++i) {
+    config.x.push_back(rng.uniform(-3, 3));
+    config.y.push_back(rng.uniform(-3, 3));
+  }
+  Matrix diss(8, 8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      diss(i, k) = std::hypot(config.x[i] - config.x[k],
+                              config.y[i] - config.y[k]);
+    }
+  }
+  const auto diagram = mds::shepard_diagram(diss, config);
+  EXPECT_LT(diagram.alienation, 1e-6);
+  EXPECT_LT(diagram.stress1, 1e-9);
+  EXPECT_NEAR(diagram.rank_correlation, 1.0, 1e-9);
+}
+
+TEST(Shepard, PointsSortedAndDisparitiesMonotone) {
+  Rng rng(43);
+  Matrix data(9, 5);
+  for (auto& v : data.flat()) v = rng.normal();
+  const Matrix diss =
+      mds::dissimilarity_matrix(data, mds::Measure::kCityBlock);
+  const auto embedding = mds::ssa(diss);
+  const auto diagram = mds::shepard_diagram(diss, embedding);
+
+  ASSERT_EQ(diagram.points.size(), mds::pair_count(9));
+  for (std::size_t q = 1; q < diagram.points.size(); ++q) {
+    EXPECT_LE(diagram.points[q - 1].dissimilarity,
+              diagram.points[q].dissimilarity);
+    EXPECT_LE(diagram.points[q - 1].disparity, diagram.points[q].disparity);
+  }
+  EXPECT_GT(diagram.rank_correlation, 0.7);
+}
+
+TEST(Shepard, DiagnosticsMatchEmbeddingAlienation) {
+  Rng rng(44);
+  Matrix data(10, 4);
+  for (auto& v : data.flat()) v = rng.normal();
+  const Matrix diss =
+      mds::dissimilarity_matrix(data, mds::Measure::kCityBlock);
+  const auto embedding = mds::ssa(diss);
+  const auto diagram = mds::shepard_diagram(diss, embedding);
+  EXPECT_NEAR(diagram.alienation, embedding.alienation, 1e-9);
+}
+
+TEST(Shepard, RenderProducesGrid) {
+  Rng rng(45);
+  Matrix data(7, 3);
+  for (auto& v : data.flat()) v = rng.normal();
+  const Matrix diss =
+      mds::dissimilarity_matrix(data, mds::Measure::kCityBlock);
+  const auto diagram = mds::shepard_diagram(diss, mds::ssa(diss));
+  const std::string art = mds::render_shepard(diagram);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(Shepard, SizeMismatchThrows) {
+  mds::Embedding config;
+  config.x = {0, 1};
+  config.y = {0, 1};
+  EXPECT_THROW(mds::shepard_diagram(Matrix(3, 3), config), Error);
+}
+
+}  // namespace
+}  // namespace cpw

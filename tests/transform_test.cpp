@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/archive/simulator.hpp"
+#include "cpw/workload/transform.hpp"
+
+namespace cpw::workload {
+namespace {
+
+swf::Log test_log() {
+  archive::SimulationOptions options;
+  options.jobs = 4096;
+  options.seed = 77;
+  return archive::simulate_observation(*archive::find_row("KTH"), nullptr,
+                                       options);
+}
+
+TEST(ScaleLoad, NamesAreStable) {
+  EXPECT_EQ(load_scaling_name(LoadScaling::kCondenseArrivals),
+            "condense-arrivals");
+  EXPECT_EQ(load_scaling_name(LoadScaling::kStretchRuntimes),
+            "stretch-runtimes");
+  EXPECT_EQ(load_scaling_name(LoadScaling::kInflateParallelism),
+            "inflate-parallelism");
+}
+
+TEST(ScaleLoad, RejectsNonPositiveFactor) {
+  const auto log = test_log();
+  EXPECT_THROW(scale_load(log, LoadScaling::kStretchRuntimes, 0.0), Error);
+  EXPECT_THROW(scale_load(log, LoadScaling::kStretchRuntimes, -2.0), Error);
+}
+
+TEST(ScaleLoad, CondenseArrivalsHalvesGaps) {
+  const auto log = test_log();
+  const auto scaled = scale_load(log, LoadScaling::kCondenseArrivals, 2.0);
+  ASSERT_EQ(scaled.size(), log.size());
+  EXPECT_NEAR(scaled.duration(),
+              log.jobs().back().submit_time / 2.0 +
+                  (log.duration() - log.jobs().back().submit_time),
+              log.duration() * 0.5);
+  // Every gap exactly halved.
+  for (std::size_t i = 1; i < 100; ++i) {
+    const double original =
+        log.jobs()[i].submit_time - log.jobs()[i - 1].submit_time;
+    const double after =
+        scaled.jobs()[i].submit_time - scaled.jobs()[i - 1].submit_time;
+    EXPECT_NEAR(after, original / 2.0, 1e-9);
+  }
+}
+
+TEST(ScaleLoad, StretchRuntimesScalesRuntimeAndCpu) {
+  const auto log = test_log();
+  const auto scaled = scale_load(log, LoadScaling::kStretchRuntimes, 3.0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(scaled.jobs()[i].run_time, 3.0 * log.jobs()[i].run_time, 1e-9);
+    EXPECT_NEAR(scaled.jobs()[i].cpu_time_avg,
+                3.0 * log.jobs()[i].cpu_time_avg, 1e-6);
+  }
+}
+
+TEST(ScaleLoad, InflateParallelismClampsAtMachine) {
+  const auto log = test_log();  // KTH: 100 processors
+  const auto scaled = scale_load(log, LoadScaling::kInflateParallelism, 64.0);
+  for (const auto& job : scaled.jobs()) {
+    EXPECT_GE(job.processors, 1);
+    EXPECT_LE(job.processors, log.max_processors());
+  }
+}
+
+TEST(ScaleLoad, KeepsHeadersAndRenames) {
+  const auto log = test_log();
+  const auto scaled = scale_load(log, LoadScaling::kCondenseArrivals, 2.0);
+  EXPECT_EQ(scaled.header_or("MaxProcs", ""), log.header_or("MaxProcs", ""));
+  EXPECT_NE(scaled.name().find("condense-arrivals"), std::string::npos);
+}
+
+// ------------------------------------------------- the paper's §8 findings
+
+class ScalingSideEffects : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalingSideEffects, CondensingArrivalsDeliversLoadButLowersIm) {
+  const auto report = scaling_experiment(
+      test_log(), LoadScaling::kCondenseArrivals, GetParam());
+  EXPECT_NEAR(report.load_fidelity(), 1.0, 0.15);
+  // Side effect the paper flags: Im moves *against* its observed positive
+  // correlation with load.
+  EXPECT_NEAR(report.ratio("Im"), 1.0 / GetParam(), 0.02);
+  EXPECT_NEAR(report.ratio("Rm"), 1.0, 1e-9);
+}
+
+TEST_P(ScalingSideEffects, StretchingRuntimesDistortsRm) {
+  const auto report =
+      scaling_experiment(test_log(), LoadScaling::kStretchRuntimes, GetParam());
+  EXPECT_NEAR(report.load_fidelity(), 1.0, 0.15);
+  // Runtime is uncorrelated with load across workloads (paper §8), yet the
+  // technique multiplies it directly.
+  EXPECT_NEAR(report.ratio("Rm"), GetParam(), 0.02);
+  EXPECT_NEAR(report.ratio("Im"), 1.0, 1e-9);
+}
+
+TEST_P(ScalingSideEffects, InflatingParallelismDistortsPmAndWork) {
+  const auto report = scaling_experiment(
+      test_log(), LoadScaling::kInflateParallelism, GetParam());
+  EXPECT_NEAR(report.ratio("Pm"), GetParam(), 0.5);
+  EXPECT_GT(report.ratio("Cm"), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScalingSideEffects,
+                         ::testing::Values(1.5, 2.0, 3.0));
+
+TEST(ScalingExperiment, SaturationLowersFidelity) {
+  // Inflating parallelism 64x on a 100-node machine must clip massively.
+  const auto report = scaling_experiment(
+      test_log(), LoadScaling::kInflateParallelism, 64.0);
+  EXPECT_LT(report.load_fidelity(), 0.5);
+}
+
+}  // namespace
+}  // namespace cpw::workload

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "cpw/util/ascii_plot.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/matrix.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/util/svg.hpp"
+#include "cpw/util/table.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw {
+namespace {
+
+// ----------------------------------------------------------------- SplitMix64
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_seed(7, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DeterministicInParent) {
+  EXPECT_EQ(derive_seed(3, 5), derive_seed(3, 5));
+  EXPECT_NE(derive_seed(3, 5), derive_seed(4, 5));
+}
+
+// ------------------------------------------------------------------------ Rng
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng rng(7);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, GammaMeanAndVarianceMatch) {
+  Rng rng(9);
+  const int n = 200000;
+  const double shape = 3.5, scale = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sum2 / n - mean * mean, shape * scale * scale, 0.3);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(0.5, 3.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+// ------------------------------------------------------------- normal inverse
+
+TEST(NormalQuantile, MedianIsZero) { EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12); }
+
+TEST(NormalQuantile, KnownValue95) {
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536269514722, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
+  EXPECT_THROW(normal_quantile(-0.5), Error);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, CdfInvertsQuantile) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-8, 1e-4, 0.01, 0.05, 0.2, 0.5,
+                                           0.8, 0.95, 0.99, 0.9999, 1 - 1e-8));
+
+TEST(NormalCdf, Symmetry) {
+  for (double x : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+// --------------------------------------------------------------------- Matrix
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix back = t.transposed();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(back(r, c), m(r, c));
+  }
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), Error);
+}
+
+TEST(Matrix, EraseColShiftsValues) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  m.erase_col(1);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, EraseRowShiftsValues) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  m.erase_row(0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+}
+
+TEST(Matrix, ColExtractsColumn) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto col = m.col(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[2], 6.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  const Matrix m{{3, 0}, {0, 1}};
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix m{{2, 1}, {1, 2}};
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::numbers::sqrt2 / 2.0, 1e-8);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  const Matrix m{{4, 1, 0.5}, {1, 3, 0.2}, {0.5, 0.2, 2}};
+  const auto eig = symmetric_eigen(m);
+  // Reconstruct A = V diag(L) V^T.
+  Matrix recon(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        sum += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      }
+      recon(i, j) = sum;
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(recon(i, j), m(i, j), 1e-8);
+  }
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), Error);
+}
+
+TEST(SolveSym2, SolvesKnownSystem) {
+  const double rhs[2] = {5.0, 11.0};
+  double out[2];
+  // [[2,1],[1,3]] x = (5,11) -> x = (0.8, 3.4).
+  solve_sym2(2.0, 1.0, 3.0, rhs, out);
+  EXPECT_NEAR(out[0], 0.8, 1e-12);
+  EXPECT_NEAR(out[1], 3.4, 1e-12);
+}
+
+TEST(SolveSym2, SingularThrows) {
+  const double rhs[2] = {1.0, 1.0};
+  double out[2];
+  EXPECT_THROW(solve_sym2(1.0, 1.0, 1.0, rhs, out), NumericError);
+}
+
+// ----------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // Pool remains usable after the error is consumed.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunSeriallyWithoutDeadlock) {
+  // Regression test: a parallel_for body invoking parallel_for used to
+  // deadlock the pool (the outer worker waited for itself). Nested calls
+  // must degrade to serial execution and still cover all indices.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(8, [&](std::size_t outer) {
+    parallel_for(8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndOne) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  int runs = 0;
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+// ------------------------------------------------------------------ TextTable
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumFormatsAndTrims) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(2.0), "2");
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::num(std::nan("")), "N/A");
+}
+
+// ------------------------------------------------------------------ AsciiPlot
+
+TEST(AsciiPlot, RendersPointLabels) {
+  AsciiPlot plot(60, 20);
+  plot.add_point(0.0, 0.0, "center");
+  plot.add_point(1.0, 1.0, "corner");
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("center"), std::string::npos);
+  EXPECT_NE(out.find("corner"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersArrowHead) {
+  AsciiPlot plot(60, 20);
+  plot.add_point(-1.0, 0.0, "a");
+  plot.add_point(1.0, 0.0, "b");
+  plot.add_arrow(1.0, 0.0, "Var");
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('>'), std::string::npos);
+  EXPECT_NE(out.find("Var"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotIsSafe) {
+  AsciiPlot plot;
+  EXPECT_EQ(plot.render(), "(empty plot)\n");
+}
+
+// -------------------------------------------------------------------- SvgPlot
+
+TEST(SvgPlot, RendersWellFormedDocument) {
+  SvgPlot plot;
+  plot.set_title("T<est>");
+  plot.add_point(0.0, 0.0, "p&q");
+  plot.add_arrow(0.0, 1.0, "up");
+  const std::string out = plot.render();
+  EXPECT_EQ(out.rfind("<svg", 0), 0u);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_NE(out.find("T&lt;est&gt;"), std::string::npos);  // escaped title
+  EXPECT_NE(out.find("p&amp;q"), std::string::npos);       // escaped label
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("<line"), std::string::npos);
+}
+
+TEST(SvgPlot, SaveToBadPathThrows) {
+  SvgPlot plot;
+  plot.add_point(0, 0, "x");
+  EXPECT_THROW(plot.save("/nonexistent-dir/never/x.svg"), Error);
+}
+
+}  // namespace
+}  // namespace cpw

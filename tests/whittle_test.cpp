@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace cpw::selfsim {
+namespace {
+
+class WhittleRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(WhittleRecovery, NearTruthOnFgn) {
+  const double h = GetParam();
+  const auto xs = fgn_davies_harte(h, 1 << 15, 23);
+  const auto est = hurst_local_whittle(xs);
+  EXPECT_NEAR(est.hurst, h, 0.08) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, WhittleRecovery,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+TEST(LocalWhittle, WhiteNoiseIsHalf) {
+  Rng rng(24);
+  std::vector<double> xs(1 << 14);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(hurst_local_whittle(xs).hurst, 0.5, 0.06);
+}
+
+TEST(LocalWhittle, TighterThanPeriodogramRegression) {
+  // Averaged absolute error across several seeds: the Whittle estimator
+  // should not be worse than the log-log periodogram regression it refines.
+  const double h = 0.75;
+  double whittle_error = 0.0, regression_error = 0.0;
+  for (std::uint64_t run = 0; run < 6; ++run) {
+    const auto xs = fgn_davies_harte(h, 1 << 13, 100 + run);
+    whittle_error += std::abs(hurst_local_whittle(xs).hurst - h);
+    regression_error += std::abs(hurst_periodogram(xs).hurst - h);
+  }
+  EXPECT_LE(whittle_error, regression_error + 0.05);
+}
+
+TEST(LocalWhittle, AffineInvariant) {
+  const auto xs = fgn_davies_harte(0.7, 1 << 13, 25);
+  std::vector<double> scaled(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) scaled[i] = 5.0 * xs[i] - 3.0;
+  EXPECT_NEAR(hurst_local_whittle(xs).hurst,
+              hurst_local_whittle(scaled).hurst, 1e-6);
+}
+
+TEST(LocalWhittle, StaysInsideOpenUnitInterval) {
+  // Extremely persistent input: the estimate must stay in (0,1).
+  const auto fgn = fgn_davies_harte(0.95, 1 << 12, 26);
+  const auto fbm = fbm_from_fgn(fgn);  // even more persistent than fGn
+  const auto est = hurst_local_whittle(fbm);
+  EXPECT_GT(est.hurst, 0.0);
+  EXPECT_LT(est.hurst, 1.0);
+}
+
+TEST(LocalWhittle, TooShortThrows) {
+  std::vector<double> xs(16, 1.0);
+  EXPECT_THROW(hurst_local_whittle(xs), Error);
+}
+
+}  // namespace
+}  // namespace cpw::selfsim

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpw/swf/log.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::workload {
+namespace {
+
+swf::Job make_job(double submit, double runtime, std::int64_t procs,
+                  std::int64_t user, std::int64_t executable, int status) {
+  swf::Job job;
+  job.submit_time = submit;
+  job.run_time = runtime;
+  job.processors = procs;
+  job.cpu_time_avg = runtime * 0.5;  // 50% CPU efficiency
+  job.user = user;
+  job.executable = executable;
+  job.status = status;
+  job.queue = swf::kQueueBatch;
+  return job;
+}
+
+/// Four hand-built jobs with fully known statistics.
+swf::Log tiny_log() {
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 100, 2, 1, 10, 1));
+  jobs.push_back(make_job(100, 200, 4, 1, 10, 1));
+  jobs.push_back(make_job(300, 400, 8, 2, 11, 0));
+  jobs.push_back(make_job(600, 800, 16, 2, 11, 1));
+  swf::Log log("tiny", std::move(jobs));
+  log.set_header("MaxProcs", "32");
+  log.set_header("SchedulerFlexibility", "2");
+  log.set_header("AllocationFlexibility", "3");
+  return log;
+}
+
+TEST(Characterize, MachineAndFlexibilityFromHeaders) {
+  const auto stats = characterize(tiny_log());
+  EXPECT_DOUBLE_EQ(stats.machine_processors, 32.0);
+  EXPECT_DOUBLE_EQ(stats.scheduler_flexibility, 2.0);
+  EXPECT_DOUBLE_EQ(stats.allocation_flexibility, 3.0);
+}
+
+TEST(Characterize, ExplicitMachineOverride) {
+  const auto stats = characterize(tiny_log(), 64.0);
+  EXPECT_DOUBLE_EQ(stats.machine_processors, 64.0);
+}
+
+TEST(Characterize, RuntimeLoad) {
+  // node-seconds = 100*2 + 200*4 + 400*8 + 800*16 = 17000.
+  // duration = 600 + 800 = 1400; capacity = 32 * 1400 = 44800.
+  const auto stats = characterize(tiny_log());
+  EXPECT_NEAR(stats.runtime_load, 17000.0 / 44800.0, 1e-12);
+}
+
+TEST(Characterize, CpuLoadUsesCpuTimes) {
+  // CPU times are half the runtimes -> CPU load is half the runtime load.
+  const auto stats = characterize(tiny_log());
+  EXPECT_NEAR(stats.cpu_load, 0.5 * stats.runtime_load, 1e-12);
+}
+
+TEST(Characterize, CpuLoadFallsBackWhenMissing) {
+  swf::Log log = tiny_log();
+  swf::JobList jobs = log.jobs();
+  for (auto& job : jobs) job.cpu_time_avg = -1;
+  swf::Log stripped("tiny", std::move(jobs));
+  stripped.set_header("MaxProcs", "32");
+  const auto stats = characterize(stripped);
+  EXPECT_DOUBLE_EQ(stats.cpu_load, stats.runtime_load);  // §3 assumption 1
+}
+
+TEST(Characterize, UserAndExecutableNormalization) {
+  const auto stats = characterize(tiny_log());
+  EXPECT_DOUBLE_EQ(stats.norm_users, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(stats.norm_executables, 2.0 / 4.0);
+}
+
+TEST(Characterize, CompletionRate) {
+  const auto stats = characterize(tiny_log());
+  EXPECT_DOUBLE_EQ(stats.pct_completed, 0.75);
+}
+
+TEST(Characterize, OrderStatistics) {
+  const auto stats = characterize(tiny_log());
+  EXPECT_DOUBLE_EQ(stats.runtime_median, 300.0);   // median of 100,200,400,800
+  EXPECT_DOUBLE_EQ(stats.procs_median, 6.0);       // median of 2,4,8,16
+  // Normalized parallelism: procs/32*128 = procs*4 -> median 24.
+  EXPECT_DOUBLE_EQ(stats.norm_procs_median, 24.0);
+  // Total work = cpu_avg*procs = 100,400,1600,6400 -> median 1000.
+  EXPECT_DOUBLE_EQ(stats.work_median, 1000.0);
+  // Inter-arrivals: 100,200,300 -> median 200.
+  EXPECT_DOUBLE_EQ(stats.interarrival_median, 200.0);
+}
+
+TEST(Characterize, RequiresTwoJobs) {
+  swf::JobList jobs;
+  jobs.push_back(make_job(0, 1, 1, 1, 1, 1));
+  swf::Log log("one", std::move(jobs));
+  log.set_header("MaxProcs", "4");
+  EXPECT_THROW(characterize(log), Error);
+}
+
+TEST(Characterize, MissingIdsGiveNaN) {
+  swf::JobList jobs;
+  for (int i = 0; i < 3; ++i) {
+    swf::Job job = make_job(i * 10.0, 5, 1, -1, -1, 1);
+    jobs.push_back(job);
+  }
+  swf::Log log("anon", std::move(jobs));
+  log.set_header("MaxProcs", "4");
+  const auto stats = characterize(log);
+  EXPECT_TRUE(std::isnan(stats.norm_users));
+  EXPECT_TRUE(std::isnan(stats.norm_executables));
+}
+
+TEST(WorkloadStats, GetByCode) {
+  const auto stats = characterize(tiny_log());
+  EXPECT_DOUBLE_EQ(stats.get("Rm"), stats.runtime_median);
+  EXPECT_DOUBLE_EQ(stats.get("MP"), 32.0);
+  EXPECT_THROW(stats.get("bogus"), Error);
+}
+
+TEST(WorkloadStats, AllCodesCount) {
+  EXPECT_EQ(WorkloadStats::all_codes().size(), 18u);
+}
+
+TEST(MakeDataset, AssemblesMatrix) {
+  const auto a = characterize(tiny_log());
+  auto b = a;
+  b.name = "other";
+  b.runtime_median = 999.0;
+  const std::vector<WorkloadStats> all{a, b};
+  const auto dataset = make_dataset(all, {"Rm", "Pm"});
+  EXPECT_EQ(dataset.observations(), 2u);
+  EXPECT_EQ(dataset.variables(), 2u);
+  EXPECT_DOUBLE_EQ(dataset.values(0, 0), a.runtime_median);
+  EXPECT_DOUBLE_EQ(dataset.values(1, 0), 999.0);
+  EXPECT_EQ(dataset.observation_names[1], "other");
+}
+
+TEST(AttributeSeries, ValuesInArrivalOrder) {
+  const swf::Log log = tiny_log();
+  const auto procs = attribute_series(log, Attribute::kProcessors);
+  ASSERT_EQ(procs.size(), 4u);
+  EXPECT_DOUBLE_EQ(procs[0], 2.0);
+  EXPECT_DOUBLE_EQ(procs[3], 16.0);
+
+  const auto runtime = attribute_series(log, Attribute::kRuntime);
+  EXPECT_DOUBLE_EQ(runtime[2], 400.0);
+
+  const auto work = attribute_series(log, Attribute::kTotalWork);
+  EXPECT_DOUBLE_EQ(work[3], 6400.0);
+
+  const auto gaps = attribute_series(log, Attribute::kInterArrival);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 100.0);
+  EXPECT_DOUBLE_EQ(gaps[2], 300.0);
+}
+
+TEST(AttributeSeries, NamesAndEnumeration) {
+  EXPECT_EQ(attribute_name(Attribute::kProcessors), "procs");
+  EXPECT_EQ(attribute_name(Attribute::kInterArrival), "interarrival");
+  EXPECT_EQ(all_attributes().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cpw::workload
