@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_scaling.dir/ablation_load_scaling.cpp.o"
+  "CMakeFiles/ablation_load_scaling.dir/ablation_load_scaling.cpp.o.d"
+  "ablation_load_scaling"
+  "ablation_load_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_map_stability.dir/ablation_map_stability.cpp.o"
+  "CMakeFiles/ablation_map_stability.dir/ablation_map_stability.cpp.o.d"
+  "ablation_map_stability"
+  "ablation_map_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_map_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parameterized.dir/ablation_parameterized.cpp.o"
+  "CMakeFiles/ablation_parameterized.dir/ablation_parameterized.cpp.o.d"
+  "ablation_parameterized"
+  "ablation_parameterized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parameterized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_user_session.dir/ablation_user_session.cpp.o"
+  "CMakeFiles/ablation_user_session.dir/ablation_user_session.cpp.o.d"
+  "ablation_user_session"
+  "ablation_user_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_user_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_production_coplot.dir/fig1_production_coplot.cpp.o"
+  "CMakeFiles/fig1_production_coplot.dir/fig1_production_coplot.cpp.o.d"
+  "fig1_production_coplot"
+  "fig1_production_coplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_production_coplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_no_batch_coplot.dir/fig2_no_batch_coplot.cpp.o"
+  "CMakeFiles/fig2_no_batch_coplot.dir/fig2_no_batch_coplot.cpp.o.d"
+  "fig2_no_batch_coplot"
+  "fig2_no_batch_coplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_no_batch_coplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_models_vs_logs.dir/fig4_models_vs_logs.cpp.o"
+  "CMakeFiles/fig4_models_vs_logs.dir/fig4_models_vs_logs.cpp.o.d"
+  "fig4_models_vs_logs"
+  "fig4_models_vs_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_models_vs_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_selfsim_coplot.dir/fig5_selfsim_coplot.cpp.o"
+  "CMakeFiles/fig5_selfsim_coplot.dir/fig5_selfsim_coplot.cpp.o.d"
+  "fig5_selfsim_coplot"
+  "fig5_selfsim_coplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_selfsim_coplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

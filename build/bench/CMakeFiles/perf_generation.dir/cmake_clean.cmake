@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_generation.dir/perf_generation.cpp.o"
+  "CMakeFiles/perf_generation.dir/perf_generation.cpp.o.d"
+  "perf_generation"
+  "perf_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

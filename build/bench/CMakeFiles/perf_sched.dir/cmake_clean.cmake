@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sched.dir/perf_sched.cpp.o"
+  "CMakeFiles/perf_sched.dir/perf_sched.cpp.o.d"
+  "perf_sched"
+  "perf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_periods.dir/table2_periods.cpp.o"
+  "CMakeFiles/table2_periods.dir/table2_periods.cpp.o.d"
+  "table2_periods"
+  "table2_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

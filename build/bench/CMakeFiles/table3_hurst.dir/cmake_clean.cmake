@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hurst.dir/table3_hurst.cpp.o"
+  "CMakeFiles/table3_hurst.dir/table3_hurst.cpp.o.d"
+  "table3_hurst"
+  "table3_hurst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hurst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

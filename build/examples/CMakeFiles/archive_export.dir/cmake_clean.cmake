@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_export.dir/archive_export.cpp.o"
+  "CMakeFiles/archive_export.dir/archive_export.cpp.o.d"
+  "archive_export"
+  "archive_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coplot_csv.dir/coplot_csv.cpp.o"
+  "CMakeFiles/coplot_csv.dir/coplot_csv.cpp.o.d"
+  "coplot_csv"
+  "coplot_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coplot_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_workload.dir/schedule_workload.cpp.o"
+  "CMakeFiles/schedule_workload.dir/schedule_workload.cpp.o.d"
+  "schedule_workload"
+  "schedule_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfsim_analysis.dir/selfsim_analysis.cpp.o"
+  "CMakeFiles/selfsim_analysis.dir/selfsim_analysis.cpp.o.d"
+  "selfsim_analysis"
+  "selfsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archive/paper_data.cpp" "src/archive/CMakeFiles/cpw_archive.dir/paper_data.cpp.o" "gcc" "src/archive/CMakeFiles/cpw_archive.dir/paper_data.cpp.o.d"
+  "/root/repo/src/archive/parameterized.cpp" "src/archive/CMakeFiles/cpw_archive.dir/parameterized.cpp.o" "gcc" "src/archive/CMakeFiles/cpw_archive.dir/parameterized.cpp.o.d"
+  "/root/repo/src/archive/sampling.cpp" "src/archive/CMakeFiles/cpw_archive.dir/sampling.cpp.o" "gcc" "src/archive/CMakeFiles/cpw_archive.dir/sampling.cpp.o.d"
+  "/root/repo/src/archive/simulator.cpp" "src/archive/CMakeFiles/cpw_archive.dir/simulator.cpp.o" "gcc" "src/archive/CMakeFiles/cpw_archive.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/cpw_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/swf/CMakeFiles/cpw_swf.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfsim/CMakeFiles/cpw_selfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

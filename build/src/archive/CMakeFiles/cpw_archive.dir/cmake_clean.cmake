@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_archive.dir/paper_data.cpp.o"
+  "CMakeFiles/cpw_archive.dir/paper_data.cpp.o.d"
+  "CMakeFiles/cpw_archive.dir/parameterized.cpp.o"
+  "CMakeFiles/cpw_archive.dir/parameterized.cpp.o.d"
+  "CMakeFiles/cpw_archive.dir/sampling.cpp.o"
+  "CMakeFiles/cpw_archive.dir/sampling.cpp.o.d"
+  "CMakeFiles/cpw_archive.dir/simulator.cpp.o"
+  "CMakeFiles/cpw_archive.dir/simulator.cpp.o.d"
+  "libcpw_archive.a"
+  "libcpw_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

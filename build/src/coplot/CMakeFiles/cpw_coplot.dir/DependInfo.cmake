@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coplot/coplot.cpp" "src/coplot/CMakeFiles/cpw_coplot.dir/coplot.cpp.o" "gcc" "src/coplot/CMakeFiles/cpw_coplot.dir/coplot.cpp.o.d"
+  "/root/repo/src/coplot/csv.cpp" "src/coplot/CMakeFiles/cpw_coplot.dir/csv.cpp.o" "gcc" "src/coplot/CMakeFiles/cpw_coplot.dir/csv.cpp.o.d"
+  "/root/repo/src/coplot/interpret.cpp" "src/coplot/CMakeFiles/cpw_coplot.dir/interpret.cpp.o" "gcc" "src/coplot/CMakeFiles/cpw_coplot.dir/interpret.cpp.o.d"
+  "/root/repo/src/coplot/stability.cpp" "src/coplot/CMakeFiles/cpw_coplot.dir/stability.cpp.o" "gcc" "src/coplot/CMakeFiles/cpw_coplot.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mds/CMakeFiles/cpw_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_coplot.dir/coplot.cpp.o"
+  "CMakeFiles/cpw_coplot.dir/coplot.cpp.o.d"
+  "CMakeFiles/cpw_coplot.dir/csv.cpp.o"
+  "CMakeFiles/cpw_coplot.dir/csv.cpp.o.d"
+  "CMakeFiles/cpw_coplot.dir/interpret.cpp.o"
+  "CMakeFiles/cpw_coplot.dir/interpret.cpp.o.d"
+  "CMakeFiles/cpw_coplot.dir/stability.cpp.o"
+  "CMakeFiles/cpw_coplot.dir/stability.cpp.o.d"
+  "libcpw_coplot.a"
+  "libcpw_coplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_coplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

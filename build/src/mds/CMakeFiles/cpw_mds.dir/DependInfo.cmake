@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/classical.cpp" "src/mds/CMakeFiles/cpw_mds.dir/classical.cpp.o" "gcc" "src/mds/CMakeFiles/cpw_mds.dir/classical.cpp.o.d"
+  "/root/repo/src/mds/dissimilarity.cpp" "src/mds/CMakeFiles/cpw_mds.dir/dissimilarity.cpp.o" "gcc" "src/mds/CMakeFiles/cpw_mds.dir/dissimilarity.cpp.o.d"
+  "/root/repo/src/mds/embedding.cpp" "src/mds/CMakeFiles/cpw_mds.dir/embedding.cpp.o" "gcc" "src/mds/CMakeFiles/cpw_mds.dir/embedding.cpp.o.d"
+  "/root/repo/src/mds/shepard.cpp" "src/mds/CMakeFiles/cpw_mds.dir/shepard.cpp.o" "gcc" "src/mds/CMakeFiles/cpw_mds.dir/shepard.cpp.o.d"
+  "/root/repo/src/mds/ssa.cpp" "src/mds/CMakeFiles/cpw_mds.dir/ssa.cpp.o" "gcc" "src/mds/CMakeFiles/cpw_mds.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

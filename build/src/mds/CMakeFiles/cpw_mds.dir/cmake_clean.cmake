@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_mds.dir/classical.cpp.o"
+  "CMakeFiles/cpw_mds.dir/classical.cpp.o.d"
+  "CMakeFiles/cpw_mds.dir/dissimilarity.cpp.o"
+  "CMakeFiles/cpw_mds.dir/dissimilarity.cpp.o.d"
+  "CMakeFiles/cpw_mds.dir/embedding.cpp.o"
+  "CMakeFiles/cpw_mds.dir/embedding.cpp.o.d"
+  "CMakeFiles/cpw_mds.dir/shepard.cpp.o"
+  "CMakeFiles/cpw_mds.dir/shepard.cpp.o.d"
+  "CMakeFiles/cpw_mds.dir/ssa.cpp.o"
+  "CMakeFiles/cpw_mds.dir/ssa.cpp.o.d"
+  "libcpw_mds.a"
+  "libcpw_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/downey.cpp" "src/models/CMakeFiles/cpw_models.dir/downey.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/downey.cpp.o.d"
+  "/root/repo/src/models/feitelson.cpp" "src/models/CMakeFiles/cpw_models.dir/feitelson.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/feitelson.cpp.o.d"
+  "/root/repo/src/models/jann.cpp" "src/models/CMakeFiles/cpw_models.dir/jann.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/jann.cpp.o.d"
+  "/root/repo/src/models/lublin.cpp" "src/models/CMakeFiles/cpw_models.dir/lublin.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/lublin.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "src/models/CMakeFiles/cpw_models.dir/model.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/model.cpp.o.d"
+  "/root/repo/src/models/user_session.cpp" "src/models/CMakeFiles/cpw_models.dir/user_session.cpp.o" "gcc" "src/models/CMakeFiles/cpw_models.dir/user_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swf/CMakeFiles/cpw_swf.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_models.dir/downey.cpp.o"
+  "CMakeFiles/cpw_models.dir/downey.cpp.o.d"
+  "CMakeFiles/cpw_models.dir/feitelson.cpp.o"
+  "CMakeFiles/cpw_models.dir/feitelson.cpp.o.d"
+  "CMakeFiles/cpw_models.dir/jann.cpp.o"
+  "CMakeFiles/cpw_models.dir/jann.cpp.o.d"
+  "CMakeFiles/cpw_models.dir/lublin.cpp.o"
+  "CMakeFiles/cpw_models.dir/lublin.cpp.o.d"
+  "CMakeFiles/cpw_models.dir/model.cpp.o"
+  "CMakeFiles/cpw_models.dir/model.cpp.o.d"
+  "CMakeFiles/cpw_models.dir/user_session.cpp.o"
+  "CMakeFiles/cpw_models.dir/user_session.cpp.o.d"
+  "libcpw_models.a"
+  "libcpw_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

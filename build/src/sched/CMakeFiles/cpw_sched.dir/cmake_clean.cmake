@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_sched.dir/estimates.cpp.o"
+  "CMakeFiles/cpw_sched.dir/estimates.cpp.o.d"
+  "CMakeFiles/cpw_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cpw_sched.dir/scheduler.cpp.o.d"
+  "libcpw_sched.a"
+  "libcpw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfsim/bootstrap.cpp" "src/selfsim/CMakeFiles/cpw_selfsim.dir/bootstrap.cpp.o" "gcc" "src/selfsim/CMakeFiles/cpw_selfsim.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/selfsim/fft.cpp" "src/selfsim/CMakeFiles/cpw_selfsim.dir/fft.cpp.o" "gcc" "src/selfsim/CMakeFiles/cpw_selfsim.dir/fft.cpp.o.d"
+  "/root/repo/src/selfsim/fgn.cpp" "src/selfsim/CMakeFiles/cpw_selfsim.dir/fgn.cpp.o" "gcc" "src/selfsim/CMakeFiles/cpw_selfsim.dir/fgn.cpp.o.d"
+  "/root/repo/src/selfsim/hurst.cpp" "src/selfsim/CMakeFiles/cpw_selfsim.dir/hurst.cpp.o" "gcc" "src/selfsim/CMakeFiles/cpw_selfsim.dir/hurst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

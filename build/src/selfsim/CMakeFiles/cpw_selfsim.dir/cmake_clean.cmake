@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_selfsim.dir/bootstrap.cpp.o"
+  "CMakeFiles/cpw_selfsim.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/cpw_selfsim.dir/fft.cpp.o"
+  "CMakeFiles/cpw_selfsim.dir/fft.cpp.o.d"
+  "CMakeFiles/cpw_selfsim.dir/fgn.cpp.o"
+  "CMakeFiles/cpw_selfsim.dir/fgn.cpp.o.d"
+  "CMakeFiles/cpw_selfsim.dir/hurst.cpp.o"
+  "CMakeFiles/cpw_selfsim.dir/hurst.cpp.o.d"
+  "libcpw_selfsim.a"
+  "libcpw_selfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_selfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

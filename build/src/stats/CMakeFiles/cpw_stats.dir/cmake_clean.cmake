@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_stats.dir/correlation.cpp.o"
+  "CMakeFiles/cpw_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cpw_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/distributions.cpp.o"
+  "CMakeFiles/cpw_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/fit.cpp.o"
+  "CMakeFiles/cpw_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cpw_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/kstest.cpp.o"
+  "CMakeFiles/cpw_stats.dir/kstest.cpp.o.d"
+  "CMakeFiles/cpw_stats.dir/regression.cpp.o"
+  "CMakeFiles/cpw_stats.dir/regression.cpp.o.d"
+  "libcpw_stats.a"
+  "libcpw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_swf.dir/log.cpp.o"
+  "CMakeFiles/cpw_swf.dir/log.cpp.o.d"
+  "CMakeFiles/cpw_swf.dir/tools.cpp.o"
+  "CMakeFiles/cpw_swf.dir/tools.cpp.o.d"
+  "libcpw_swf.a"
+  "libcpw_swf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_swf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/cpw_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/cpw_util.dir/matrix.cpp.o"
+  "CMakeFiles/cpw_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/cpw_util.dir/rng.cpp.o"
+  "CMakeFiles/cpw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cpw_util.dir/svg.cpp.o"
+  "CMakeFiles/cpw_util.dir/svg.cpp.o.d"
+  "CMakeFiles/cpw_util.dir/table.cpp.o"
+  "CMakeFiles/cpw_util.dir/table.cpp.o.d"
+  "CMakeFiles/cpw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cpw_util.dir/thread_pool.cpp.o.d"
+  "libcpw_util.a"
+  "libcpw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

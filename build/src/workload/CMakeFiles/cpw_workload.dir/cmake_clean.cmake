@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpw_workload.dir/characterize.cpp.o"
+  "CMakeFiles/cpw_workload.dir/characterize.cpp.o.d"
+  "CMakeFiles/cpw_workload.dir/transform.cpp.o"
+  "CMakeFiles/cpw_workload.dir/transform.cpp.o.d"
+  "libcpw_workload.a"
+  "libcpw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

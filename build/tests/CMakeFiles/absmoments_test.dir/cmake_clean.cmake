@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absmoments_test.dir/absmoments_test.cpp.o"
+  "CMakeFiles/absmoments_test.dir/absmoments_test.cpp.o.d"
+  "absmoments_test"
+  "absmoments_test.pdb"
+  "absmoments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absmoments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

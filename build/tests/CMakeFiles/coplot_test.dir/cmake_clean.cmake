@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coplot_test.dir/coplot_test.cpp.o"
+  "CMakeFiles/coplot_test.dir/coplot_test.cpp.o.d"
+  "coplot_test"
+  "coplot_test.pdb"
+  "coplot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coplot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameterized_test.dir/parameterized_test.cpp.o"
+  "CMakeFiles/parameterized_test.dir/parameterized_test.cpp.o.d"
+  "parameterized_test"
+  "parameterized_test.pdb"
+  "parameterized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameterized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/selfsim_test.cpp" "tests/CMakeFiles/selfsim_test.dir/selfsim_test.cpp.o" "gcc" "tests/CMakeFiles/selfsim_test.dir/selfsim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/archive/CMakeFiles/cpw_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cpw_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cpw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/coplot/CMakeFiles/cpw_coplot.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfsim/CMakeFiles/cpw_selfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/cpw_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/swf/CMakeFiles/cpw_swf.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfsim_test.dir/selfsim_test.cpp.o"
+  "CMakeFiles/selfsim_test.dir/selfsim_test.cpp.o.d"
+  "selfsim_test"
+  "selfsim_test.pdb"
+  "selfsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swf_test.dir/swf_test.cpp.o"
+  "CMakeFiles/swf_test.dir/swf_test.cpp.o.d"
+  "swf_test"
+  "swf_test.pdb"
+  "swf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swftools_test.dir/swftools_test.cpp.o"
+  "CMakeFiles/swftools_test.dir/swftools_test.cpp.o.d"
+  "swftools_test"
+  "swftools_test.pdb"
+  "swftools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swftools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usersession_test.dir/usersession_test.cpp.o"
+  "CMakeFiles/usersession_test.dir/usersession_test.cpp.o.d"
+  "usersession_test"
+  "usersession_test.pdb"
+  "usersession_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usersession_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whittle_test.dir/whittle_test.cpp.o"
+  "CMakeFiles/whittle_test.dir/whittle_test.cpp.o.d"
+  "whittle_test"
+  "whittle_test.pdb"
+  "whittle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whittle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

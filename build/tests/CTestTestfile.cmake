@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/distributions_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/coplot_test[1]_include.cmake")
+include("/root/repo/build/tests/swf_test[1]_include.cmake")
+include("/root/repo/build/tests/selfsim_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/kstest_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/parameterized_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/absmoments_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/stability_test[1]_include.cmake")
+include("/root/repo/build/tests/interpret_test[1]_include.cmake")
+include("/root/repo/build/tests/swftools_test[1]_include.cmake")
+include("/root/repo/build/tests/usersession_test[1]_include.cmake")
+include("/root/repo/build/tests/whittle_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
