@@ -4,13 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include "cpw/analysis/batch.hpp"
 #include "cpw/coplot/coplot.hpp"
 #include "cpw/mds/dissimilarity.hpp"
 #include "cpw/mds/ssa.hpp"
+#include "cpw/models/model.hpp"
 #include "cpw/selfsim/fft.hpp"
 #include "cpw/selfsim/fgn.hpp"
 #include "cpw/selfsim/hurst.hpp"
+#include "cpw/stats/descriptive.hpp"
 #include "cpw/util/rng.hpp"
+#include "cpw/workload/characterize.hpp"
 
 namespace {
 
@@ -135,6 +139,70 @@ void BM_HurstPeriodogram(benchmark::State& state) {
 }
 BENCHMARK(BM_HurstPeriodogram)->Arg(1 << 12)->Arg(1 << 15)
     ->Unit(benchmark::kMillisecond);
+
+void BM_HurstAll(benchmark::State& state) {
+  const auto series =
+      selfsim::fgn_davies_harte(0.75, static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::hurst_all(series));
+  }
+}
+BENCHMARK(BM_HurstAll)->Arg(1 << 12)->Arg(1 << 15)->Unit(benchmark::kMillisecond);
+
+void BM_OrderSummary(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : data) v = rng.normal();
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(stats::order_summary_inplace(copy));
+  }
+}
+BENCHMARK(BM_OrderSummary)->Arg(1 << 12)->Arg(1 << 16);
+
+std::vector<swf::Log> model_logs(std::size_t count, std::size_t jobs) {
+  const auto models = models::all_models(128);
+  std::vector<swf::Log> logs;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 100 + i);
+    log.set_name("log" + std::to_string(i));
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+void BM_Characterize(benchmark::State& state) {
+  const auto logs = model_logs(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::characterize(logs[0]));
+  }
+}
+BENCHMARK(BM_Characterize)->Arg(1 << 13)->Arg(1 << 15);
+
+/// The acceptance benchmark: 8+ logs through characterize -> Hurst ->
+/// Co-plot, parallel vs. serial.
+void BM_BatchAnalysis(benchmark::State& state) {
+  const auto logs =
+      model_logs(static_cast<std::size_t>(state.range(0)), 1 << 13);
+  analysis::BatchOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_batch(logs, options));
+  }
+}
+BENCHMARK(BM_BatchAnalysis)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchAnalysisSerial(benchmark::State& state) {
+  const auto logs =
+      model_logs(static_cast<std::size_t>(state.range(0)), 1 << 13);
+  analysis::BatchOptions options;
+  options.parallel = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_batch(logs, options));
+  }
+}
+BENCHMARK(BM_BatchAnalysisSerial)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

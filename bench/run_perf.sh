@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs the analysis perf suite and records machine-readable results so the
+# performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
+#
+# Usage: bench/run_perf.sh [build-dir] [output-json]
+# Defaults: build directory ./build, output ./BENCH_PR1.json.
+
+set -e
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_PR1.json}"
+BIN="$BUILD_DIR/bench/perf_analysis"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+# Key kernels only, to keep the record small and the runtime short; drop the
+# filter to record the full suite.
+"$BIN" \
+  --benchmark_filter='BM_SsaEmbedding|BM_CoplotFull|BM_HurstAll|BM_BatchAnalysis|BM_OrderSummary|BM_Characterize' \
+  --benchmark_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $OUT"

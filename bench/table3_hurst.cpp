@@ -9,9 +9,8 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "cpw/analysis/batch.hpp"
 #include "cpw/models/model.hpp"
-#include "cpw/selfsim/hurst.hpp"
-#include "cpw/util/thread_pool.hpp"
 
 namespace {
 
@@ -22,15 +21,12 @@ struct Row {
   double h[4][3];
 };
 
-Row measure(const cpw::swf::Log& log, bool production) {
-  using namespace cpw;
+Row to_row(const cpw::analysis::LogAnalysis& analysis, bool production) {
   Row row;
-  row.name = log.name();
+  row.name = analysis.name;
   row.production = production;
-  const auto attributes = workload::all_attributes();
-  for (std::size_t a = 0; a < attributes.size(); ++a) {
-    const auto series = workload::attribute_series(log, attributes[a]);
-    const auto report = selfsim::hurst_all(series);
+  for (std::size_t a = 0; a < analysis.hurst.size(); ++a) {
+    const auto& report = analysis.hurst[a].report;
     row.h[a][0] = report.rs.hurst;
     row.h[a][1] = report.variance_time.hurst;
     row.h[a][2] = report.periodogram.hurst;
@@ -59,10 +55,15 @@ int main() {
   for (const auto& log : production) all.push_back(log);
   for (const auto& log : model_logs) all.push_back(log);
 
-  std::vector<Row> rows(all.size());
-  parallel_for(all.size(), [&](std::size_t i) {
-    rows[i] = measure(all[i], i < production.size());
-  });
+  analysis::BatchOptions batch_options;
+  batch_options.run_coplot = false;  // Table 3 only needs the Hurst wave
+  const analysis::BatchResult batch = analysis::run_batch(all, batch_options);
+
+  std::vector<Row> rows;
+  rows.reserve(all.size());
+  for (std::size_t i = 0; i < batch.logs.size(); ++i) {
+    rows.push_back(to_row(batch.logs[i], i < production.size()));
+  }
 
   TextTable table;
   table.set_header({"Workload", "procs R/S", "V-T", "Per.", "runtime R/S",

@@ -1,0 +1,114 @@
+#include "cpw/analysis/batch.hpp"
+
+#include <cstddef>
+#include <functional>
+
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw::analysis {
+
+namespace {
+
+/// Dispatches n independent iterations either to the pool or to a plain
+/// loop. Both paths call `body(i)` for every i exactly once and each i
+/// writes only its own slot, so the results cannot depend on the schedule.
+void for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+              bool parallel) {
+  if (parallel) {
+    parallel_for(n, body, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+/// Per-log intermediate state shared between the two waves.
+struct LogScratch {
+  std::array<std::vector<double>, 4> series;
+  std::array<selfsim::SeriesPrefix, 4> prefix;
+};
+
+constexpr std::size_t kAttributes = 4;
+constexpr std::size_t kEstimators = 3;  // R/S, variance-time, periodogram
+
+}  // namespace
+
+BatchResult run_batch(std::span<const swf::Log> logs,
+                      const BatchOptions& options) {
+  BatchResult result;
+  result.logs.resize(logs.size());
+  if (logs.empty()) return result;
+
+  const auto attributes = workload::all_attributes();
+  std::vector<LogScratch> scratch(logs.size());
+
+  // Wave 1 — per-log tasks: Table 1 characterization, the four attribute
+  // series, and one prefix-sum pass per Hurst-eligible series.
+  for_each(
+      logs.size(),
+      [&](std::size_t i) {
+        LogAnalysis& analysis = result.logs[i];
+        analysis.name = logs[i].name();
+        analysis.stats =
+            workload::characterize(logs[i], options.machine_processors);
+        for (std::size_t a = 0; a < kAttributes; ++a) {
+          analysis.hurst[a].attribute = attributes[a];
+          auto& series = scratch[i].series[a];
+          series = workload::attribute_series(logs[i], attributes[a]);
+          if (series.size() >= selfsim::kMinHurstLength) {
+            analysis.hurst[a].estimated = true;
+            scratch[i].prefix[a] = selfsim::SeriesPrefix(series);
+          }
+        }
+      },
+      options.parallel);
+
+  // Wave 2 — per-(series, estimator) tasks over a flat index space; each
+  // task fills exactly one HurstEstimate slot.
+  for_each(
+      logs.size() * kAttributes * kEstimators,
+      [&](std::size_t flat) {
+        const std::size_t i = flat / (kAttributes * kEstimators);
+        const std::size_t a = (flat / kEstimators) % kAttributes;
+        const std::size_t e = flat % kEstimators;
+        AttributeHurst& slot = result.logs[i].hurst[a];
+        if (!slot.estimated) return;
+        const auto& series = scratch[i].series[a];
+        const auto& prefix = scratch[i].prefix[a];
+        switch (e) {
+          case 0:
+            slot.report.rs = selfsim::hurst_rs(series, prefix, options.hurst);
+            break;
+          case 1:
+            slot.report.variance_time =
+                selfsim::hurst_variance_time(series, prefix, options.hurst);
+            break;
+          default:
+            slot.report.periodogram =
+                selfsim::hurst_periodogram(series, options.hurst);
+            break;
+        }
+      },
+      options.parallel);
+
+  // Wave 3 — Co-plot over the characterization dataset (SSA restarts run on
+  // the pool inside analyze()).
+  if (options.run_coplot && logs.size() >= 3) {
+    std::vector<workload::WorkloadStats> stats;
+    stats.reserve(logs.size());
+    for (const LogAnalysis& analysis : result.logs) {
+      stats.push_back(analysis.stats);
+    }
+    const auto& codes = options.variable_codes.empty()
+                            ? workload::WorkloadStats::all_codes()
+                            : options.variable_codes;
+    coplot::Options coplot_options = options.coplot;
+    coplot_options.ssa.parallel_restarts = options.parallel;
+    result.coplot =
+        coplot::analyze(workload::make_dataset(stats, codes), coplot_options);
+    result.coplot_run = true;
+  }
+
+  return result;
+}
+
+}  // namespace cpw::analysis

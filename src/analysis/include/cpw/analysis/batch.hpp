@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::analysis {
+
+/// Options for one batch run. Defaults reproduce the paper's pipeline: all
+/// 18 Table 1 variables, the three Table 3 estimators per attribute series,
+/// and a Co-plot over the resulting dataset.
+struct BatchOptions {
+  selfsim::HurstOptions hurst;
+  coplot::Options coplot;
+
+  /// Variable codes for the Co-plot dataset; empty means all of Table 1.
+  std::vector<std::string> variable_codes;
+
+  /// Machine-size override applied to every log (else each log's MaxProcs).
+  std::optional<double> machine_processors;
+
+  /// Fan the work across the global thread pool. The parallel schedule
+  /// writes every result into a preassigned slot, so it is deterministic
+  /// and bit-identical to `parallel = false`.
+  bool parallel = true;
+
+  /// Run the Co-plot stage (needs >= 3 logs; skipped otherwise).
+  bool run_coplot = true;
+};
+
+/// Hurst estimates for one per-job attribute series of one log.
+struct AttributeHurst {
+  workload::Attribute attribute{};
+  /// False when the series was shorter than selfsim::kMinHurstLength.
+  bool estimated = false;
+  selfsim::HurstReport report;
+};
+
+/// Everything the pipeline derives from a single log.
+struct LogAnalysis {
+  std::string name;
+  workload::WorkloadStats stats;
+  std::array<AttributeHurst, 4> hurst;  ///< Table 3 attribute order
+};
+
+/// Output of `run_batch`.
+struct BatchResult {
+  std::vector<LogAnalysis> logs;  ///< same order as the input span
+  bool coplot_run = false;        ///< false when skipped (options / < 3 logs)
+  coplot::Result coplot;
+};
+
+/// Runs characterize → Hurst → Co-plot over a set of logs.
+///
+/// Work is fanned onto the global ThreadPool in two waves: per-log tasks
+/// (characterization plus attribute-series extraction and one prefix-sum
+/// pass per series), then per-(series, estimator) tasks sharing those
+/// prefixes. The Co-plot stage then fits the map, itself running SSA
+/// restarts on the pool. Every log needs at least two jobs (characterize's
+/// requirement); Hurst estimates are marked unestimated for series shorter
+/// than selfsim::kMinHurstLength.
+BatchResult run_batch(std::span<const swf::Log> logs,
+                      const BatchOptions& options = {});
+
+}  // namespace cpw::analysis

@@ -15,25 +15,41 @@ namespace cpw::mds {
 
 namespace {
 
-/// One SMACOF + monotone-regression descent from a given start.
-Embedding descend(const Matrix& diss, Embedding start, const SsaOptions& opt) {
-  const std::size_t n = diss.rows();
-  const std::size_t pairs = pair_count(n);
+/// Per-descent scratch buffers, reused across iterations and across restarts
+/// run by the same worker so the descent loop itself never allocates.
+struct SsaScratch {
+  std::vector<double> dist;
+  std::vector<double> sorted_dist;
+  std::vector<double> disparity;
+  std::vector<double> fitted;
+  std::vector<double> nx, ny;
+  stats::PavaWorkspace pava;
 
-  const std::vector<double> s = upper_triangle(diss);
+  void resize(std::size_t n, std::size_t pairs) {
+    dist.resize(pairs);
+    sorted_dist.resize(pairs);
+    disparity.resize(pairs);
+    nx.resize(n);
+    ny.resize(n);
+  }
+};
 
-  // Pairs sorted by dissimilarity — the order monotone regression works in.
-  std::vector<std::size_t> order(pairs);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+/// One SMACOF + monotone-regression descent from a given start. `s` is the
+/// upper-triangle dissimilarity vector and `order` the pair permutation that
+/// sorts it — both are shared, read-only, across every restart.
+Embedding descend(std::span<const double> s,
+                  std::span<const std::size_t> order, Embedding start,
+                  const SsaOptions& opt, SsaScratch& scratch) {
+  const std::size_t n = start.size();
+  const std::size_t pairs = s.size();
+  scratch.resize(n, pairs);
 
   Embedding config = std::move(start);
   config.center();
 
-  std::vector<double> dist(pairs);
-  std::vector<double> sorted_dist(pairs);
-  std::vector<double> disparity(pairs);
+  auto& dist = scratch.dist;
+  auto& sorted_dist = scratch.sorted_dist;
+  auto& disparity = scratch.disparity;
   double previous_stress = std::numeric_limits<double>::infinity();
   int iteration = 0;
 
@@ -52,8 +68,10 @@ Embedding descend(const Matrix& diss, Embedding start, const SsaOptions& opt) {
 
     // Monotone regression of distances on the dissimilarity order.
     for (std::size_t p = 0; p < pairs; ++p) sorted_dist[p] = dist[order[p]];
-    const std::vector<double> fitted = stats::pava_isotonic(sorted_dist);
-    for (std::size_t p = 0; p < pairs; ++p) disparity[order[p]] = fitted[p];
+    stats::pava_isotonic_into(sorted_dist, {}, scratch.pava, scratch.fitted);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      disparity[order[p]] = scratch.fitted[p];
+    }
 
     // Normalize disparities so the configuration cannot collapse:
     // scale them to the same sum of squares as the distances.
@@ -74,7 +92,10 @@ Embedding descend(const Matrix& diss, Embedding start, const SsaOptions& opt) {
     previous_stress = stress;
 
     // Guttman transform: X' = (1/n) B X with b_ik = -disparity/dist off-diag.
-    std::vector<double> nx(n, 0.0), ny(n, 0.0);
+    auto& nx = scratch.nx;
+    auto& ny = scratch.ny;
+    std::fill(nx.begin(), nx.end(), 0.0);
+    std::fill(ny.begin(), ny.end(), 0.0);
     {
       std::size_t p = 0;
       for (std::size_t i = 0; i < n; ++i) {
@@ -123,20 +144,42 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
   CPW_REQUIRE(n == diss.cols(), "dissimilarity must be square");
   CPW_REQUIRE(n >= 3, "ssa needs at least three observations");
 
+  // Shared, read-only across restarts: the dissimilarity vector and the
+  // pair order monotone regression works in (sorted once, not per restart).
+  const std::vector<double> s = upper_triangle(diss);
+  std::vector<std::size_t> order(s.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+
   const int starts = 1 + std::max(0, options.random_restarts);
   std::vector<Embedding> results(static_cast<std::size_t>(starts));
 
-  auto run_one = [&](std::size_t index) {
+  auto run_one = [&](std::size_t index, SsaScratch& scratch) {
     Embedding start = index == 0
                           ? classical_mds(diss)
                           : random_start(n, derive_seed(options.seed, index));
-    results[index] = descend(diss, std::move(start), options);
+    results[index] = descend(s, order, std::move(start), options, scratch);
   };
 
   if (options.parallel_restarts) {
-    parallel_for(static_cast<std::size_t>(starts), run_one);
+    // One contiguous chunk per worker; each chunk makes one scratch and
+    // reuses it for all its restarts.
+    const std::size_t grain =
+        (static_cast<std::size_t>(starts) + global_pool().size() - 1) /
+        global_pool().size();
+    parallel_for_ranges(
+        static_cast<std::size_t>(starts),
+        [&](std::size_t begin, std::size_t end) {
+          SsaScratch scratch;
+          for (std::size_t i = begin; i < end; ++i) run_one(i, scratch);
+        },
+        grain);
   } else {
-    for (std::size_t i = 0; i < static_cast<std::size_t>(starts); ++i) run_one(i);
+    SsaScratch scratch;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(starts); ++i) {
+      run_one(i, scratch);
+    }
   }
 
   const auto best = std::min_element(

@@ -25,6 +25,28 @@ std::vector<double> aggregate_series(std::span<const double> series,
   return out;
 }
 
+SeriesPrefix::SeriesPrefix(std::span<const double> series) {
+  sum.resize(series.size() + 1);
+  sumsq.resize(series.size() + 1);
+  sum[0] = 0.0;
+  sumsq[0] = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sum[i + 1] = sum[i] + series[i];
+    sumsq[i + 1] = sumsq[i] + series[i] * series[i];
+  }
+}
+
+std::vector<double> aggregate_series(const SeriesPrefix& prefix,
+                                     std::size_t m) {
+  CPW_REQUIRE(m >= 1, "aggregation level must be >= 1");
+  const std::size_t blocks = prefix.size() / m;
+  std::vector<double> out(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    out[b] = prefix.mean(b * m, (b + 1) * m);
+  }
+  return out;
+}
+
 namespace {
 
 /// Log-spaced block sizes in [min_block, max_block], deduplicated.
@@ -59,20 +81,23 @@ HurstEstimate from_points(LogLogPoints points, double slope_to_hurst_scale,
 }
 
 /// Average R/S statistic over all non-overlapping blocks of size n
-/// (appendix eq. 12–13). Blocks with zero variance are skipped.
-double average_rs(std::span<const double> series, std::size_t n) {
+/// (appendix eq. 12–13). Blocks with zero variance are skipped. Block mean
+/// and stddev come from the prefix sums, so each block needs exactly one
+/// pass (the cumulative-deviation range scan).
+double average_rs(std::span<const double> series, const SeriesPrefix& prefix,
+                  std::size_t n) {
   const std::size_t blocks = series.size() / n;
   double total = 0.0;
   std::size_t used = 0;
   for (std::size_t b = 0; b < blocks; ++b) {
-    const std::span<const double> block = series.subspan(b * n, n);
-    const double mean = stats::mean(block);
-    const double sd = stats::stddev(block);
+    const std::size_t begin = b * n;
+    const double mean = prefix.mean(begin, begin + n);
+    const double sd = std::sqrt(prefix.variance(begin, begin + n));
     if (sd <= 0.0) continue;
 
     double w = 0.0, w_min = 0.0, w_max = 0.0;
-    for (double x : block) {
-      w += x - mean;
+    for (std::size_t i = begin; i < begin + n; ++i) {
+      w += series[i] - mean;
       w_min = std::min(w_min, w);
       w_max = std::max(w_max, w);
     }
@@ -85,9 +110,12 @@ double average_rs(std::span<const double> series, std::size_t n) {
 }  // namespace
 
 HurstEstimate hurst_rs(std::span<const double> series,
+                       const SeriesPrefix& prefix,
                        const HurstOptions& options) {
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
+  CPW_REQUIRE(prefix.size() == series.size(),
+              "prefix does not match series length");
   const auto max_block = static_cast<std::size_t>(
       options.max_block_fraction * static_cast<double>(series.size()));
   const auto sizes = log_spaced_sizes(options.min_block, std::max(max_block,
@@ -96,7 +124,7 @@ HurstEstimate hurst_rs(std::span<const double> series,
 
   LogLogPoints points;
   for (std::size_t n : sizes) {
-    const double rs = average_rs(series, n);
+    const double rs = average_rs(series, prefix, n);
     if (rs <= 0.0) continue;
     points.log_x.push_back(std::log10(static_cast<double>(n)));
     points.log_y.push_back(std::log10(rs));
@@ -105,25 +133,47 @@ HurstEstimate hurst_rs(std::span<const double> series,
   return from_points(std::move(points), 1.0, 0.0);
 }
 
+HurstEstimate hurst_rs(std::span<const double> series,
+                       const HurstOptions& options) {
+  return hurst_rs(series, SeriesPrefix(series), options);
+}
+
 HurstEstimate hurst_variance_time(std::span<const double> series,
+                                  const SeriesPrefix& prefix,
                                   const HurstOptions& options) {
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
+  CPW_REQUIRE(prefix.size() == series.size(),
+              "prefix does not match series length");
   // Need enough blocks at the largest m for a stable variance estimate.
   const std::size_t max_m = std::max<std::size_t>(series.size() / 16, 2);
   const auto sizes = log_spaced_sizes(1, max_m, options.points_per_decade);
 
+  // Var(X^(m)) = E[(block mean)²] − (E[block mean])², with every block mean
+  // an O(1) prefix lookup — O(blocks) per level, no aggregated copy.
   LogLogPoints points;
   for (std::size_t m : sizes) {
-    const auto agg = aggregate_series(series, m);
-    if (agg.size() < 2) continue;
-    const double var = stats::variance(agg);
+    const std::size_t blocks = series.size() / m;
+    if (blocks < 2) continue;
+    double s1 = 0.0, s2 = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double bm = prefix.mean(b * m, (b + 1) * m);
+      s1 += bm;
+      s2 += bm * bm;
+    }
+    const double inv = 1.0 / static_cast<double>(blocks);
+    const double var = s2 * inv - (s1 * inv) * (s1 * inv);
     if (var <= 0.0) continue;
     points.log_x.push_back(std::log10(static_cast<double>(m)));
     points.log_y.push_back(std::log10(var));
   }
   // log Var(X^(m)) = c − β log m and H = 1 − β/2  =>  H = 1 + slope/2.
   return from_points(std::move(points), 0.5, 1.0);
+}
+
+HurstEstimate hurst_variance_time(std::span<const double> series,
+                                  const HurstOptions& options) {
+  return hurst_variance_time(series, SeriesPrefix(series), options);
 }
 
 HurstEstimate hurst_periodogram(std::span<const double> series,
@@ -160,26 +210,36 @@ HurstEstimate hurst_periodogram(std::span<const double> series,
 }
 
 HurstEstimate hurst_abs_moments(std::span<const double> series,
+                                const SeriesPrefix& prefix,
                                 const HurstOptions& options) {
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
-  const double grand_mean = stats::mean(series);
+  CPW_REQUIRE(prefix.size() == series.size(),
+              "prefix does not match series length");
+  const double grand_mean = prefix.mean(0, series.size());
   const std::size_t max_m = std::max<std::size_t>(series.size() / 16, 2);
   const auto sizes = log_spaced_sizes(1, max_m, options.points_per_decade);
 
   LogLogPoints points;
   for (std::size_t m : sizes) {
-    const auto agg = aggregate_series(series, m);
-    if (agg.size() < 2) continue;
+    const std::size_t blocks = series.size() / m;
+    if (blocks < 2) continue;
     double abs_moment = 0.0;
-    for (double x : agg) abs_moment += std::abs(x - grand_mean);
-    abs_moment /= static_cast<double>(agg.size());
+    for (std::size_t b = 0; b < blocks; ++b) {
+      abs_moment += std::abs(prefix.mean(b * m, (b + 1) * m) - grand_mean);
+    }
+    abs_moment /= static_cast<double>(blocks);
     if (abs_moment <= 0.0) continue;
     points.log_x.push_back(std::log10(static_cast<double>(m)));
     points.log_y.push_back(std::log10(abs_moment));
   }
   // log AM(m) = c + (H − 1) log m  =>  H = 1 + slope.
   return from_points(std::move(points), 1.0, 1.0);
+}
+
+HurstEstimate hurst_abs_moments(std::span<const double> series,
+                                const HurstOptions& options) {
+  return hurst_abs_moments(series, SeriesPrefix(series), options);
 }
 
 HurstEstimate hurst_local_whittle(std::span<const double> series,
@@ -257,12 +317,18 @@ HurstEstimate hurst_local_whittle(std::span<const double> series,
 }
 
 HurstReport hurst_all(std::span<const double> series,
+                      const SeriesPrefix& prefix,
                       const HurstOptions& options) {
   HurstReport report;
-  report.rs = hurst_rs(series, options);
-  report.variance_time = hurst_variance_time(series, options);
+  report.rs = hurst_rs(series, prefix, options);
+  report.variance_time = hurst_variance_time(series, prefix, options);
   report.periodogram = hurst_periodogram(series, options);
   return report;
+}
+
+HurstReport hurst_all(std::span<const double> series,
+                      const HurstOptions& options) {
+  return hurst_all(series, SeriesPrefix(series), options);
 }
 
 }  // namespace cpw::selfsim

@@ -11,6 +11,37 @@ namespace cpw::selfsim {
 std::vector<double> aggregate_series(std::span<const double> series,
                                      std::size_t m);
 
+/// Prefix sums of a series (and of its squares): sum[i] = Σ_{j<i} x_j.
+/// Built once in O(n), they give any block sum, mean, or variance in O(1),
+/// so the aggregation-based estimators cost O(blocks) per aggregation level
+/// instead of rescanning O(n).
+struct SeriesPrefix {
+  std::vector<double> sum;    ///< length n+1, sum[0] = 0
+  std::vector<double> sumsq;  ///< length n+1, sumsq[0] = 0
+
+  SeriesPrefix() = default;
+  explicit SeriesPrefix(std::span<const double> series);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return sum.empty() ? 0 : sum.size() - 1;
+  }
+  /// Mean of [begin, end).
+  [[nodiscard]] double mean(std::size_t begin, std::size_t end) const {
+    return (sum[end] - sum[begin]) / static_cast<double>(end - begin);
+  }
+  /// Population variance of [begin, end) (clamped at 0 against rounding).
+  [[nodiscard]] double variance(std::size_t begin, std::size_t end) const {
+    const double n = static_cast<double>(end - begin);
+    const double m = (sum[end] - sum[begin]) / n;
+    const double v = (sumsq[end] - sumsq[begin]) / n - m * m;
+    return v > 0.0 ? v : 0.0;
+  }
+};
+
+/// Prefix-sum form of `aggregate_series`: every block mean is one
+/// subtraction, O(blocks) total for a prefix that already exists.
+std::vector<double> aggregate_series(const SeriesPrefix& prefix, std::size_t m);
+
 /// One (x, y) point sequence behind a log-log regression estimator,
 /// retained so callers can print or plot the pox/variance-time/periodogram
 /// diagnostics exactly as the paper describes them.
@@ -74,6 +105,20 @@ HurstEstimate hurst_abs_moments(std::span<const double> series,
 HurstEstimate hurst_local_whittle(std::span<const double> series,
                                   const HurstOptions& options = {});
 
+/// Prefix-sharing overloads: `prefix` must have been built from `series`.
+/// The batch engine computes one prefix per (log, attribute) series and
+/// reuses it across estimators; the span overloads above build a throwaway
+/// prefix per call.
+HurstEstimate hurst_rs(std::span<const double> series,
+                       const SeriesPrefix& prefix,
+                       const HurstOptions& options);
+HurstEstimate hurst_variance_time(std::span<const double> series,
+                                  const SeriesPrefix& prefix,
+                                  const HurstOptions& options);
+HurstEstimate hurst_abs_moments(std::span<const double> series,
+                                const SeriesPrefix& prefix,
+                                const HurstOptions& options);
+
 /// All three estimates of one series, in the paper's Table 3 column order.
 struct HurstReport {
   HurstEstimate rs;
@@ -82,6 +127,12 @@ struct HurstReport {
 };
 
 HurstReport hurst_all(std::span<const double> series,
+                      const HurstOptions& options = {});
+
+/// Prefix-sharing form of `hurst_all`; one O(n) prefix pass serves both the
+/// R/S and variance-time estimators.
+HurstReport hurst_all(std::span<const double> series,
+                      const SeriesPrefix& prefix,
                       const HurstOptions& options = {});
 
 /// Minimum series length the estimators accept.

@@ -110,6 +110,77 @@ OrderSummary order_summary(std::span<const double> xs) {
   return out;
 }
 
+OrderSummary order_summary_inplace(std::vector<double>& xs) {
+  OrderSummary out;
+  if (xs.empty()) return out;
+  const std::size_t n = xs.size();
+  if (n == 1) {
+    out.median = out.min = out.max = xs[0];
+    return out;
+  }
+
+  // Each quantile interpolates between order statistics lo and lo+1; collect
+  // every rank needed, select them in ascending order (each nth_element
+  // partitions, so later selections only touch the right-hand subrange), and
+  // interpolate exactly as quantile_sorted does.
+  constexpr double kQ[5] = {0.05, 0.25, 0.50, 0.75, 0.95};
+  std::size_t ranks[10];
+  std::size_t nranks = 0;
+  for (double q : kQ) {
+    const double h = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    ranks[nranks++] = lo;
+    ranks[nranks++] = std::min(lo + 1, n - 1);
+  }
+  // Tiny fixed-size insertion sort + dedup (std::sort on the stack array
+  // trips gcc's -Warray-bounds heuristics for nothing).
+  for (std::size_t a = 1; a < nranks; ++a) {
+    const std::size_t key = ranks[a];
+    std::size_t b = a;
+    for (; b > 0 && ranks[b - 1] > key; --b) ranks[b] = ranks[b - 1];
+    ranks[b] = key;
+  }
+  std::size_t unique_count = 1;
+  for (std::size_t a = 1; a < nranks; ++a) {
+    if (ranks[a] != ranks[unique_count - 1]) ranks[unique_count++] = ranks[a];
+  }
+  nranks = unique_count;
+
+  double value_at[10];
+  std::size_t done = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const std::size_t k = ranks[r];
+    std::nth_element(xs.begin() + static_cast<std::ptrdiff_t>(done),
+                     xs.begin() + static_cast<std::ptrdiff_t>(k), xs.end());
+    value_at[r] = xs[k];
+    done = k;
+  }
+
+  const auto order_stat = [&](std::size_t k) {
+    const std::size_t* it = std::lower_bound(ranks, ranks + nranks, k);
+    return value_at[static_cast<std::size_t>(it - ranks)];
+  };
+  const auto quantile_at = [&](double q) {
+    const double h = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = h - static_cast<double>(lo);
+    const double vlo = order_stat(lo);
+    return vlo + frac * (order_stat(hi) - vlo);
+  };
+
+  out.median = quantile_at(0.5);
+  out.interval90 = quantile_at(0.95) - quantile_at(0.05);
+  out.interval50 = quantile_at(0.75) - quantile_at(0.25);
+  // After the selections, the global min sits in [0, first rank] and the max
+  // in (last rank, n); scan only those flanks.
+  out.min = *std::min_element(
+      xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(ranks[0]) + 1);
+  out.max = *std::max_element(
+      xs.begin() + static_cast<std::ptrdiff_t>(ranks[nranks - 1]), xs.end());
+  return out;
+}
+
 std::vector<double> z_normalize(std::span<const double> xs) {
   const double m = mean(xs);
   const double sd = stddev(xs);

@@ -60,6 +60,12 @@ struct OrderSummary {
 };
 OrderSummary order_summary(std::span<const double> xs);
 
+/// Same summary via `std::nth_element` selection instead of a full sort:
+/// O(n) expected rather than O(n log n), and no copy — `xs` is permuted.
+/// Produces bit-identical values to `order_summary` (both interpolate the
+/// exact order statistics).
+OrderSummary order_summary_inplace(std::vector<double>& xs);
+
 /// Z-score normalization (paper eq. 1): (x - mean) / stddev. A constant
 /// column normalizes to all-zeros rather than dividing by zero.
 std::vector<double> z_normalize(std::span<const double> xs);

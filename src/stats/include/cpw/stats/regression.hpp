@@ -25,4 +25,18 @@ LinearFit ols(std::span<const double> xs, std::span<const double> ys);
 std::vector<double> pava_isotonic(std::span<const double> ys,
                                   std::span<const double> weights = {});
 
+/// Reusable block storage for `pava_isotonic_into`; lets hot loops (the
+/// SMACOF descent runs PAVA every iteration) amortize the allocation.
+struct PavaWorkspace {
+  std::vector<double> value;
+  std::vector<double> weight;
+  std::vector<std::size_t> count;
+};
+
+/// Allocation-free PAVA: writes the fitted values into `out` (resized to
+/// `ys.size()`), pooling blocks in `workspace`.
+void pava_isotonic_into(std::span<const double> ys,
+                        std::span<const double> weights,
+                        PavaWorkspace& workspace, std::vector<double>& out);
+
 }  // namespace cpw::stats

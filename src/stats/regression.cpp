@@ -30,42 +30,56 @@ LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
   return fit;
 }
 
-std::vector<double> pava_isotonic(std::span<const double> ys,
-                                  std::span<const double> weights) {
+void pava_isotonic_into(std::span<const double> ys,
+                        std::span<const double> weights,
+                        PavaWorkspace& workspace, std::vector<double>& out) {
   const std::size_t n = ys.size();
   CPW_REQUIRE(weights.empty() || weights.size() == n,
               "pava weights length mismatch");
 
-  // Blocks of pooled values: (weighted mean, total weight, count).
-  struct Block {
-    double value;
-    double weight;
-    std::size_t count;
-  };
-  std::vector<Block> blocks;
-  blocks.reserve(n);
+  // Blocks of pooled values: (weighted mean, total weight, count), kept as a
+  // structure-of-arrays stack in the workspace.
+  auto& value = workspace.value;
+  auto& weight = workspace.weight;
+  auto& count = workspace.count;
+  value.clear();
+  weight.clear();
+  count.clear();
+  value.reserve(n);
+  weight.reserve(n);
+  count.reserve(n);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const double w = weights.empty() ? 1.0 : weights[i];
-    blocks.push_back({ys[i], w, 1});
+    value.push_back(ys[i]);
+    weight.push_back(weights.empty() ? 1.0 : weights[i]);
+    count.push_back(1);
     // Pool while the monotonicity constraint is violated.
-    while (blocks.size() >= 2 &&
-           blocks[blocks.size() - 2].value > blocks.back().value) {
-      const Block top = blocks.back();
-      blocks.pop_back();
-      Block& prev = blocks.back();
-      const double total = prev.weight + top.weight;
-      prev.value = (prev.value * prev.weight + top.value * top.weight) / total;
-      prev.weight = total;
-      prev.count += top.count;
+    while (value.size() >= 2 && value[value.size() - 2] > value.back()) {
+      const std::size_t top = value.size() - 1;
+      const std::size_t prev = top - 1;
+      const double total = weight[prev] + weight[top];
+      value[prev] =
+          (value[prev] * weight[prev] + value[top] * weight[top]) / total;
+      weight[prev] = total;
+      count[prev] += count[top];
+      value.pop_back();
+      weight.pop_back();
+      count.pop_back();
     }
   }
 
-  std::vector<double> out;
+  out.clear();
   out.reserve(n);
-  for (const Block& block : blocks) {
-    out.insert(out.end(), block.count, block.value);
+  for (std::size_t b = 0; b < value.size(); ++b) {
+    out.insert(out.end(), count[b], value[b]);
   }
+}
+
+std::vector<double> pava_isotonic(std::span<const double> ys,
+                                  std::span<const double> weights) {
+  PavaWorkspace workspace;
+  std::vector<double> out;
+  pava_isotonic_into(ys, weights, workspace, out);
   return out;
 }
 

@@ -48,7 +48,21 @@ class ThreadPool {
 /// Runs `body(i)` for i in [0, n) across the global pool, blocking until all
 /// iterations finish. Iterations must be independent. With n small or the
 /// pool unavailable this degrades to a serial loop.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+///
+/// `grain` is the number of consecutive indices a worker claims at a time
+/// (0 = pick automatically from n and the pool size). Cheap per-index bodies
+/// should use a large grain so the atomic claim and the `std::function` call
+/// amortize over many iterations.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 0);
+
+/// Range-chunked variant: `body(begin, end)` is called with disjoint
+/// half-open index ranges covering [0, n). One call per claimed chunk rather
+/// than one per index, so per-task state (scratch buffers, accumulators) can
+/// be hoisted out of the index loop and reused across a whole chunk.
+void parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 0);
 
 /// The process-wide pool used by `parallel_for` (lazily constructed with
 /// hardware_concurrency workers).

@@ -1,5 +1,6 @@
 #include "cpw/util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace cpw {
@@ -79,23 +80,50 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+namespace {
+/// Chunk size balancing load (many chunks per worker) against claim overhead.
+std::size_t auto_grain(std::size_t n, std::size_t workers) {
+  return std::max<std::size_t>(1, n / (workers * 8));
+}
+}  // namespace
+
+void parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (n == 0) return;
-  if (n == 1 || t_inside_pool_worker) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+  if (t_inside_pool_worker) {
+    body(0, n);
     return;
   }
   ThreadPool& pool = global_pool();
-  const std::size_t chunks = std::min(n, pool.size() * 4);
+  if (grain == 0) grain = auto_grain(n, pool.size());
+  if (n <= grain || pool.size() == 1) {
+    body(0, n);
+    return;
+  }
+  // Workers claim chunks of `grain` indices from a shared counter until the
+  // range is exhausted; one queued task per worker, not one per chunk.
+  const std::size_t tasks = std::min(pool.size(), (n + grain - 1) / grain);
   std::atomic<std::size_t> next{0};
-  for (std::size_t c = 0; c < chunks; ++c) {
-    pool.submit([&next, n, &body] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        body(i);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([&next, n, grain, &body] {
+      for (std::size_t begin = next.fetch_add(grain); begin < n;
+           begin = next.fetch_add(grain)) {
+        body(begin, std::min(begin + grain, n));
       }
     });
   }
   pool.wait_idle();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for_ranges(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      grain);
 }
 
 }  // namespace cpw

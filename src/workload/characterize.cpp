@@ -1,5 +1,6 @@
 #include "cpw/workload/characterize.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
@@ -81,16 +82,19 @@ WorkloadStats characterize(const swf::Log& log,
   stats.scheduler_flexibility = header_num("SchedulerFlexibility");
   stats.allocation_flexibility = header_num("AllocationFlexibility");
 
-  // Attribute vectors.
-  std::vector<double> runtimes, procs, norm_procs, work, cpu_seconds;
+  // Attribute vectors — one fused pass over the job stream fills every
+  // per-job series, the load accumulators, and the submit-time vector.
+  std::vector<double> runtimes, procs, norm_procs, work, submit_times;
   runtimes.reserve(log.size());
   procs.reserve(log.size());
   norm_procs.reserve(log.size());
   work.reserve(log.size());
+  submit_times.reserve(log.size());
 
   std::unordered_set<std::int64_t> users, executables;
   std::size_t completed = 0, with_status = 0, with_cpu = 0;
   double node_seconds = 0.0, cpu_node_seconds = 0.0;
+  bool submit_sorted = true;
 
   for (const swf::Job& job : log.jobs()) {
     const double r = std::max(job.run_time, 0.0);
@@ -99,6 +103,10 @@ WorkloadStats characterize(const swf::Log& log,
     procs.push_back(p);
     norm_procs.push_back(p / machine * kNormalizedMachine);
     work.push_back(job.total_work());
+    if (!submit_times.empty() && job.submit_time < submit_times.back()) {
+      submit_sorted = false;
+    }
+    submit_times.push_back(job.submit_time);
 
     node_seconds += r * p;
     if (job.cpu_time_avg >= 0.0) {
@@ -114,11 +122,13 @@ WorkloadStats characterize(const swf::Log& log,
     }
   }
 
-  std::vector<double> interarrival;
-  interarrival.reserve(log.size() - 1);
-  for (std::size_t i = 1; i < log.size(); ++i) {
-    interarrival.push_back(log.jobs()[i].submit_time -
-                           log.jobs()[i - 1].submit_time);
+  // A log that was never finalize()d may hold jobs out of submit order;
+  // differencing raw submit times would then produce negative inter-arrival
+  // gaps. Restore arrival order before differencing.
+  if (!submit_sorted) std::sort(submit_times.begin(), submit_times.end());
+  std::vector<double> interarrival(submit_times.size() - 1);
+  for (std::size_t i = 1; i < submit_times.size(); ++i) {
+    interarrival[i - 1] = submit_times[i] - submit_times[i - 1];
   }
 
   const double duration = log.duration();
@@ -141,23 +151,25 @@ WorkloadStats characterize(const swf::Log& log,
                             : static_cast<double>(completed) /
                                   static_cast<double>(with_status);
 
-  const auto runtime_summary = stats::order_summary(runtimes);
+  // The attribute vectors are dead after this point, so the summaries use
+  // destructive nth_element selection instead of five full sorts.
+  const auto runtime_summary = stats::order_summary_inplace(runtimes);
   stats.runtime_median = runtime_summary.median;
   stats.runtime_interval = runtime_summary.interval90;
 
-  const auto procs_summary = stats::order_summary(procs);
+  const auto procs_summary = stats::order_summary_inplace(procs);
   stats.procs_median = procs_summary.median;
   stats.procs_interval = procs_summary.interval90;
 
-  const auto norm_summary = stats::order_summary(norm_procs);
+  const auto norm_summary = stats::order_summary_inplace(norm_procs);
   stats.norm_procs_median = norm_summary.median;
   stats.norm_procs_interval = norm_summary.interval90;
 
-  const auto work_summary = stats::order_summary(work);
+  const auto work_summary = stats::order_summary_inplace(work);
   stats.work_median = work_summary.median;
   stats.work_interval = work_summary.interval90;
 
-  const auto arrival_summary = stats::order_summary(interarrival);
+  const auto arrival_summary = stats::order_summary_inplace(interarrival);
   stats.interarrival_median = arrival_summary.median;
   stats.interarrival_interval = arrival_summary.interval90;
 
@@ -181,9 +193,23 @@ coplot::Dataset make_dataset(std::span<const WorkloadStats> stats,
 std::vector<double> attribute_series(const swf::Log& log, Attribute attribute) {
   std::vector<double> out;
   if (attribute == Attribute::kInterArrival) {
-    out.reserve(log.size() > 0 ? log.size() - 1 : 0);
-    for (std::size_t i = 1; i < log.size(); ++i) {
-      out.push_back(log.jobs()[i].submit_time - log.jobs()[i - 1].submit_time);
+    if (log.size() < 2) return out;
+    // Tolerate logs whose jobs are not sorted by submit time (a log built
+    // with add() but never finalize()d): diff the sorted submit times so no
+    // negative gap is emitted.
+    std::vector<double> submit_times;
+    submit_times.reserve(log.size());
+    bool sorted = true;
+    for (const swf::Job& job : log.jobs()) {
+      if (!submit_times.empty() && job.submit_time < submit_times.back()) {
+        sorted = false;
+      }
+      submit_times.push_back(job.submit_time);
+    }
+    if (!sorted) std::sort(submit_times.begin(), submit_times.end());
+    out.resize(submit_times.size() - 1);
+    for (std::size_t i = 1; i < submit_times.size(); ++i) {
+      out[i - 1] = submit_times[i] - submit_times[i - 1];
     }
     return out;
   }

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/selfsim/fgn.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/util/thread_pool.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw {
+namespace {
+
+std::vector<swf::Log> test_logs(std::size_t count, std::size_t jobs) {
+  const auto models = models::all_models(128);
+  std::vector<swf::Log> logs;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 7 + i);
+    log.set_name("log" + std::to_string(i));
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+// --------------------------------------------------------- prefix-sum kernels
+
+TEST(SeriesPrefix, AggregationMatchesNaive) {
+  Rng rng(42);
+  std::vector<double> series(1013);
+  for (auto& v : series) v = rng.normal() * 3.0 + 1.0;
+
+  const selfsim::SeriesPrefix prefix(series);
+  ASSERT_EQ(prefix.size(), series.size());
+  for (std::size_t m : {1, 2, 3, 7, 16, 100, 500, 1013}) {
+    const auto naive = selfsim::aggregate_series(series, m);
+    const auto fast = selfsim::aggregate_series(prefix, m);
+    ASSERT_EQ(naive.size(), fast.size()) << "m=" << m;
+    for (std::size_t b = 0; b < naive.size(); ++b) {
+      EXPECT_NEAR(naive[b], fast[b], 1e-9 * (1.0 + std::abs(naive[b])))
+          << "m=" << m << " b=" << b;
+    }
+  }
+}
+
+TEST(SeriesPrefix, BlockMomentsMatchDescriptiveStats) {
+  Rng rng(9);
+  std::vector<double> series(512);
+  for (auto& v : series) v = rng.uniform() * 10.0;
+  const selfsim::SeriesPrefix prefix(series);
+
+  const std::span<const double> block(series.data() + 37, 101);
+  EXPECT_NEAR(prefix.mean(37, 138), stats::mean(block), 1e-10);
+  EXPECT_NEAR(prefix.variance(37, 138), stats::variance(block), 1e-8);
+}
+
+TEST(SeriesPrefix, EstimatorOverloadsMatchSpanForm) {
+  const auto series = selfsim::fgn_davies_harte(0.8, 4096, 3);
+  const selfsim::SeriesPrefix prefix(series);
+  const selfsim::HurstOptions options;
+
+  EXPECT_EQ(selfsim::hurst_rs(series, options).hurst,
+            selfsim::hurst_rs(series, prefix, options).hurst);
+  EXPECT_EQ(selfsim::hurst_variance_time(series, options).hurst,
+            selfsim::hurst_variance_time(series, prefix, options).hurst);
+  EXPECT_EQ(selfsim::hurst_abs_moments(series, options).hurst,
+            selfsim::hurst_abs_moments(series, prefix, options).hurst);
+}
+
+// ------------------------------------------------------ nth_element quantiles
+
+TEST(OrderSummaryInplace, MatchesSortBasedSummary) {
+  Rng rng(17);
+  for (std::size_t n : {1, 2, 3, 5, 19, 20, 100, 1001, 4096}) {
+    std::vector<double> data(n);
+    for (auto& v : data) v = rng.normal() * 100.0;
+    const auto expected = stats::order_summary(data);
+    auto scratch = data;
+    const auto got = stats::order_summary_inplace(scratch);
+    EXPECT_EQ(expected.median, got.median) << "n=" << n;
+    EXPECT_EQ(expected.interval90, got.interval90) << "n=" << n;
+    EXPECT_EQ(expected.interval50, got.interval50) << "n=" << n;
+    EXPECT_EQ(expected.min, got.min) << "n=" << n;
+    EXPECT_EQ(expected.max, got.max) << "n=" << n;
+    // Same multiset, just permuted.
+    std::sort(scratch.begin(), scratch.end());
+    std::sort(data.begin(), data.end());
+    EXPECT_EQ(scratch, data);
+  }
+}
+
+TEST(OrderSummaryInplace, TiesAndConstantData) {
+  std::vector<double> constant(64, 5.0);
+  const auto got = stats::order_summary_inplace(constant);
+  EXPECT_EQ(got.median, 5.0);
+  EXPECT_EQ(got.interval90, 0.0);
+  EXPECT_EQ(got.min, 5.0);
+  EXPECT_EQ(got.max, 5.0);
+}
+
+// ----------------------------------------------------------- unsorted inputs
+
+TEST(Characterize, ToleratesUnsortedSubmitTimes) {
+  auto logs = test_logs(1, 512);
+  const auto sorted_stats = workload::characterize(logs[0]);
+  const auto sorted_gaps =
+      workload::attribute_series(logs[0], workload::Attribute::kInterArrival);
+
+  // Shuffle the job order without touching any job fields.
+  swf::Log shuffled("shuffled", [&] {
+    auto jobs = logs[0].jobs();
+    Rng rng(3);
+    for (std::size_t i = jobs.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(jobs[i], jobs[j]);
+    }
+    return jobs;
+  }());
+
+  const auto gaps =
+      workload::attribute_series(shuffled, workload::Attribute::kInterArrival);
+  ASSERT_EQ(gaps.size(), sorted_gaps.size());
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    EXPECT_GE(gaps[i], 0.0);
+    EXPECT_EQ(gaps[i], sorted_gaps[i]);
+  }
+
+  const auto stats = workload::characterize(shuffled);
+  EXPECT_EQ(stats.interarrival_median, sorted_stats.interarrival_median);
+  EXPECT_EQ(stats.interarrival_interval, sorted_stats.interarrival_interval);
+  EXPECT_EQ(stats.runtime_median, sorted_stats.runtime_median);
+}
+
+// ------------------------------------------------------------- batch engine
+
+TEST(RunBatch, ParallelIsBitIdenticalToSerial) {
+  const auto logs = test_logs(6, 1024);
+
+  analysis::BatchOptions options;
+  options.parallel = true;
+  const auto parallel = analysis::run_batch(logs, options);
+  options.parallel = false;
+  const auto serial = analysis::run_batch(logs, options);
+
+  ASSERT_EQ(parallel.logs.size(), serial.logs.size());
+  for (std::size_t i = 0; i < parallel.logs.size(); ++i) {
+    const auto& p = parallel.logs[i];
+    const auto& s = serial.logs[i];
+    EXPECT_EQ(p.name, s.name);
+    for (const auto& code : workload::WorkloadStats::all_codes()) {
+      const double pv = p.stats.get(code);
+      const double sv = s.stats.get(code);
+      if (std::isnan(pv)) {
+        EXPECT_TRUE(std::isnan(sv)) << code;
+      } else {
+        EXPECT_EQ(pv, sv) << code;  // bitwise: same kernel, fixed slots
+      }
+    }
+    for (std::size_t a = 0; a < 4; ++a) {
+      ASSERT_EQ(p.hurst[a].estimated, s.hurst[a].estimated);
+      if (!p.hurst[a].estimated) continue;
+      EXPECT_EQ(p.hurst[a].report.rs.hurst, s.hurst[a].report.rs.hurst);
+      EXPECT_EQ(p.hurst[a].report.variance_time.hurst,
+                s.hurst[a].report.variance_time.hurst);
+      EXPECT_EQ(p.hurst[a].report.periodogram.hurst,
+                s.hurst[a].report.periodogram.hurst);
+    }
+  }
+
+  // The Co-plot stage is deterministic too (fixed SSA seed, slot-addressed
+  // restarts), so the maps must agree bitwise as well.
+  ASSERT_TRUE(parallel.coplot_run);
+  ASSERT_TRUE(serial.coplot_run);
+  EXPECT_EQ(parallel.coplot.alienation, serial.coplot.alienation);
+  ASSERT_EQ(parallel.coplot.embedding.x.size(), serial.coplot.embedding.x.size());
+  for (std::size_t i = 0; i < parallel.coplot.embedding.x.size(); ++i) {
+    EXPECT_EQ(parallel.coplot.embedding.x[i], serial.coplot.embedding.x[i]);
+    EXPECT_EQ(parallel.coplot.embedding.y[i], serial.coplot.embedding.y[i]);
+  }
+}
+
+TEST(RunBatch, RepeatedRunsAreDeterministic) {
+  const auto logs = test_logs(4, 512);
+  const auto a = analysis::run_batch(logs);
+  const auto b = analysis::run_batch(logs);
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].stats.runtime_median, b.logs[i].stats.runtime_median);
+    for (std::size_t attr = 0; attr < 4; ++attr) {
+      EXPECT_EQ(a.logs[i].hurst[attr].report.rs.hurst,
+                b.logs[i].hurst[attr].report.rs.hurst);
+    }
+  }
+}
+
+TEST(RunBatch, ShortSeriesAreMarkedUnestimated) {
+  // 32 jobs: characterizable, but below kMinHurstLength for every series.
+  const auto logs = test_logs(3, 32);
+  const auto result = analysis::run_batch(logs);
+  for (const auto& log : result.logs) {
+    for (const auto& attr : log.hurst) {
+      EXPECT_FALSE(attr.estimated);
+    }
+  }
+}
+
+TEST(RunBatch, EmptyAndCoplotGating) {
+  EXPECT_TRUE(analysis::run_batch({}).logs.empty());
+
+  const auto two = test_logs(2, 256);
+  const auto result = analysis::run_batch(two);
+  EXPECT_EQ(result.logs.size(), 2u);
+  EXPECT_FALSE(result.coplot_run);  // needs >= 3 observations
+
+  analysis::BatchOptions options;
+  options.run_coplot = false;
+  const auto three = test_logs(3, 256);
+  EXPECT_FALSE(analysis::run_batch(three, options).coplot_run);
+}
+
+// ------------------------------------------------------- pool range chunking
+
+TEST(ParallelForRanges, CoversEveryIndexExactlyOnce) {
+  for (std::size_t n : {0, 1, 7, 64, 1000}) {
+    for (std::size_t grain : {0, 1, 3, 64, 2048}) {
+      std::vector<int> hits(n, 0);
+      parallel_for_ranges(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            // EXPECT (not ASSERT): this body may run on pool workers.
+            EXPECT_LE(begin, end);
+            EXPECT_LE(end, n);
+            for (std::size_t i = begin; i < end; ++i) ++hits[i];
+          },
+          grain);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpw

@@ -48,7 +48,7 @@ TEST(PaperData, GetByCodeMatchesFields) {
   EXPECT_DOUBLE_EQ(ctc->get("Rm"), 960.0);
   EXPECT_DOUBLE_EQ(ctc->get("MP"), 512.0);
   EXPECT_TRUE(std::isnan(ctc->get("E")));
-  EXPECT_THROW(ctc->get("nope"), Error);
+  EXPECT_THROW((void)ctc->get("nope"), Error);
 }
 
 TEST(PaperData, HurstTargetsAreAverages) {

@@ -43,7 +43,7 @@ TEST(Dataset, VariableIndexAndRemoval) {
   d.variable_names = {"a", "b", "c"};
   d.values = Matrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
   EXPECT_EQ(d.variable_index("b"), 1u);
-  EXPECT_THROW(d.variable_index("zzz"), Error);
+  EXPECT_THROW((void)d.variable_index("zzz"), Error);
   d.remove_variable(1);
   EXPECT_EQ(d.variables(), 2u);
   EXPECT_DOUBLE_EQ(d.values(1, 1), 6.0);

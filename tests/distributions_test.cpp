@@ -90,7 +90,7 @@ TEST(Erlang, RawMomentsAnalytic) {
   EXPECT_DOUBLE_EQ(e.raw_moment(1), 6.0);
   EXPECT_DOUBLE_EQ(e.raw_moment(2), 48.0);
   EXPECT_DOUBLE_EQ(e.raw_moment(3), 480.0);
-  EXPECT_THROW(e.raw_moment(4), Error);
+  EXPECT_THROW((void)e.raw_moment(4), Error);
 }
 
 TEST(Erlang, SampleVarianceMatches) {

@@ -38,8 +38,8 @@ TEST(EdgeStats, QuantileMarginalNearBoundaryArguments) {
   const stats::QuantileMarginal d(10.0, 100.0, 2.0);
   EXPECT_GE(d.quantile(0.0), 0.0);
   EXPECT_TRUE(std::isfinite(d.quantile(1.0 - 1e-15)));
-  EXPECT_THROW(d.quantile(1.0), Error);
-  EXPECT_THROW(d.quantile(-0.01), Error);
+  EXPECT_THROW((void)d.quantile(1.0), Error);
+  EXPECT_THROW((void)d.quantile(-0.01), Error);
 }
 
 TEST(EdgeStats, QuantileMarginalContinuousAtSegmentJoins) {

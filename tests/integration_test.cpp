@@ -254,7 +254,7 @@ TEST(Integration, SwfRoundTripPreservesCharacterization) {
   const std::string path = ::testing::TempDir() + "/kth_sim.swf";
   swf::save_swf(path, log);
   const auto loaded = swf::load_swf(path);
-  loaded.name();
+  (void)loaded.name();
 
   const auto a = workload::characterize(log);
   const auto b = workload::characterize(loaded);

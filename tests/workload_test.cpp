@@ -119,7 +119,7 @@ TEST(WorkloadStats, GetByCode) {
   const auto stats = characterize(tiny_log());
   EXPECT_DOUBLE_EQ(stats.get("Rm"), stats.runtime_median);
   EXPECT_DOUBLE_EQ(stats.get("MP"), 32.0);
-  EXPECT_THROW(stats.get("bogus"), Error);
+  EXPECT_THROW((void)stats.get("bogus"), Error);
 }
 
 TEST(WorkloadStats, AllCodesCount) {
