@@ -1,0 +1,242 @@
+// google-benchmark suite for SWF ingest and serialization throughput.
+//
+// The interesting comparison is the legacy getline + istringstream + stod
+// stream parser against the chunked zero-copy reader (string_view tokens,
+// from_chars fields), serial and parallel, plus the mmap'd end-to-end file
+// path and the to_chars writer. Every benchmark reports bytes/s and a
+// jobs_per_second counter — the numbers recorded in BENCH_PR2.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/swf/reader.hpp"
+
+namespace {
+
+using namespace cpw;
+
+/// One synthetic log per size, serialized once: fractional submit times
+/// and varied integers exercise both the int64 and the %.15g emit paths.
+const swf::Log& sample_log(std::size_t jobs) {
+  static std::map<std::size_t, swf::Log> cache;
+  auto it = cache.find(jobs);
+  if (it == cache.end()) {
+    swf::Log log = models::all_models(128)[4]->generate(jobs, 1999);
+    log.set_header("MaxProcs", "128");
+    it = cache.emplace(jobs, std::move(log)).first;
+  }
+  return it->second;
+}
+
+const std::string& sample_text(std::size_t jobs) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(jobs);
+  if (it == cache.end()) {
+    it = cache.emplace(jobs, swf::format_swf(sample_log(jobs))).first;
+  }
+  return it->second;
+}
+
+/// The serialized sample written to a temp file (for the file-path ingest
+/// benchmarks); created once, reused across repetitions.
+const std::string& sample_file(std::size_t jobs) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(jobs);
+  if (it == cache.end()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                       "/cpw_perf_ingest_" + std::to_string(jobs) + ".swf";
+    swf::save_swf(path, sample_log(jobs));
+    it = cache.emplace(jobs, std::move(path)).first;
+  }
+  return it->second;
+}
+
+void report_throughput(benchmark::State& state, std::size_t jobs,
+                       std::size_t bytes) {
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes));
+  state.counters["jobs_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * jobs),
+      benchmark::Counter::kIsRate);
+}
+
+// ------------------------------------------------------------------- parsing
+
+/// The pre-PR ingest path: one stream, getline + istringstream + stod.
+void BM_ParseSwfLegacyStream(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const std::string& text = sample_text(jobs);
+  for (auto _ : state) {
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(swf::parse_swf(in, "bench"));
+  }
+  report_throughput(state, jobs, text.size());
+}
+BENCHMARK(BM_ParseSwfLegacyStream)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+/// The new decoder, single thread: measures pure per-byte decode speed —
+/// the >= 5x jobs/s acceptance criterion reads this against the legacy
+/// stream parser.
+void BM_ParseSwfBufferSerial(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const std::string& text = sample_text(jobs);
+  swf::ReaderOptions options;
+  options.parallel = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swf::parse_swf_buffer(text, "bench", options));
+  }
+  report_throughput(state, jobs, text.size());
+}
+BENCHMARK(BM_ParseSwfBufferSerial)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseSwfBufferParallel(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const std::string& text = sample_text(jobs);
+  swf::ReaderOptions options;  // defaults: parallel, 1 MiB chunks
+  options.chunk_bytes = 1 << 18;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swf::parse_swf_buffer(text, "bench", options));
+  }
+  report_throughput(state, jobs, text.size());
+}
+BENCHMARK(BM_ParseSwfBufferParallel)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// End-to-end file ingest: open, mmap, chunked parallel decode, finalize.
+void BM_LoadSwfMmap(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const std::string& path = sample_file(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swf::load_swf_fast(path));
+  }
+  report_throughput(state, jobs, sample_text(jobs).size());
+}
+BENCHMARK(BM_LoadSwfMmap)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// What load_swf did before this PR: ifstream + stream parse.
+void BM_LoadSwfLegacyStream(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const std::string& path = sample_file(jobs);
+  for (auto _ : state) {
+    std::ifstream file(path);
+    benchmark::DoNotOptimize(swf::parse_swf(file, path));
+  }
+  report_throughput(state, jobs, sample_text(jobs).size());
+}
+BENCHMARK(BM_LoadSwfLegacyStream)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------- writing
+
+/// The pre-PR writer, reproduced for the before/after record.
+void BM_WriteSwfLegacyStream(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const swf::Log& log = sample_log(jobs);
+  for (auto _ : state) {
+    std::ostringstream out;
+    out.precision(15);
+    auto emit = [&out](double v) {
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        out << static_cast<std::int64_t>(v);
+      } else {
+        out << v;
+      }
+    };
+    out << "; SWF log generated by cpw\n";
+    for (const auto& [key, value] : log.header()) {
+      out << "; " << key << ": " << value << "\n";
+    }
+    for (const swf::Job& j : log.jobs()) {
+      out << j.id << ' ';
+      emit(j.submit_time);
+      out << ' ';
+      emit(j.wait_time);
+      out << ' ';
+      emit(j.run_time);
+      out << ' ' << j.processors << ' ';
+      emit(j.cpu_time_avg);
+      out << ' ';
+      emit(j.memory_avg);
+      out << ' ' << j.req_processors << ' ';
+      emit(j.req_time);
+      out << ' ';
+      emit(j.req_memory);
+      out << ' ' << j.status << ' ' << j.user << ' ' << j.group << ' '
+          << j.executable << ' ' << j.queue << ' ' << j.partition << ' '
+          << j.preceding_job << ' ';
+      emit(j.think_time);
+      out << '\n';
+    }
+    benchmark::DoNotOptimize(out.str());
+  }
+  report_throughput(state, jobs, sample_text(jobs).size());
+}
+BENCHMARK(BM_WriteSwfLegacyStream)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+/// The new to_chars buffer writer (byte-identical output).
+void BM_FormatSwf(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const swf::Log& log = sample_log(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swf::format_swf(log));
+  }
+  report_throughput(state, jobs, sample_text(jobs).size());
+}
+BENCHMARK(BM_FormatSwf)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------- batch from files
+
+/// Ingest + analysis overlap: run_batch on file paths (characterize +
+/// Hurst, Co-plot skipped to keep the benchmark ingest-dominated).
+void BM_BatchFromFiles(benchmark::State& state) {
+  const std::size_t jobs = 1 << 14;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> paths(count, sample_file(jobs));
+  analysis::BatchOptions options;
+  options.run_coplot = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_batch(paths, options));
+  }
+  report_throughput(state, jobs * count, sample_text(jobs).size() * count);
+}
+BENCHMARK(BM_BatchFromFiles)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

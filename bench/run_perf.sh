@@ -1,28 +1,52 @@
 #!/usr/bin/env sh
-# Runs the analysis perf suite and records machine-readable results so the
+# Runs the perf suites and records machine-readable results so the
 # performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
 #
 # Usage: bench/run_perf.sh [build-dir] [output-json]
-# Defaults: build directory ./build, output ./BENCH_PR1.json.
+# Defaults: build directory ./build, output ./BENCH_PR2.json.
+#
+# The record concatenates two google-benchmark runs: the analysis kernels
+# (tracked since PR 1) and the SWF ingest suite added in PR 2.
 
 set -e
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR1.json}"
-BIN="$BUILD_DIR/bench/perf_analysis"
+OUT="${2:-BENCH_PR2.json}"
+ANALYSIS_BIN="$BUILD_DIR/bench/perf_analysis"
+INGEST_BIN="$BUILD_DIR/bench/perf_ingest"
 
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
-fi
+for BIN in "$ANALYSIS_BIN" "$INGEST_BIN"; do
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
 
 # Key kernels only, to keep the record small and the runtime short; drop the
-# filter to record the full suite.
-"$BIN" \
+# filters to record the full suites.
+"$ANALYSIS_BIN" \
   --benchmark_filter='BM_SsaEmbedding|BM_CoplotFull|BM_HurstAll|BM_BatchAnalysis|BM_OrderSummary|BM_Characterize' \
   --benchmark_format=json \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$OUT.analysis" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1
+
+"$INGEST_BIN" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT.ingest" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+# Merge the two JSON records into one document keyed by suite.
+{
+  echo '{'
+  echo '  "perf_analysis":'
+  sed 's/^/  /' "$OUT.analysis"
+  echo '  ,'
+  echo '  "perf_ingest":'
+  sed 's/^/  /' "$OUT.ingest"
+  echo '}'
+} > "$OUT"
+rm -f "$OUT.analysis" "$OUT.ingest"
 
 echo "wrote $OUT"

@@ -30,6 +30,31 @@ struct LogScratch {
 constexpr std::size_t kAttributes = 4;
 constexpr std::size_t kEstimators = 3;  // R/S, variance-time, periodogram
 
+/// Wave-1 body shared by both overloads: Table 1 characterization, the
+/// four attribute series, and one prefix-sum pass per Hurst-eligible
+/// series. Needs the log only for the duration of the call — the
+/// file-path overload drops each decoded log right after.
+void analyze_log(const swf::Log& log, const BatchOptions& options,
+                 LogAnalysis& analysis, LogScratch& scratch) {
+  const auto attributes = workload::all_attributes();
+  analysis.name = log.name();
+  analysis.stats = workload::characterize(log, options.machine_processors);
+  for (std::size_t a = 0; a < kAttributes; ++a) {
+    analysis.hurst[a].attribute = attributes[a];
+    auto& series = scratch.series[a];
+    series = workload::attribute_series(log, attributes[a]);
+    if (series.size() >= selfsim::kMinHurstLength) {
+      analysis.hurst[a].estimated = true;
+      scratch.prefix[a] = selfsim::SeriesPrefix(series);
+    }
+  }
+}
+
+/// Waves 2 and 3, shared by both overloads (wave 1 differs only in where
+/// the logs come from).
+void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
+                  const BatchOptions& options);
+
 }  // namespace
 
 BatchResult run_batch(std::span<const swf::Log> logs,
@@ -38,34 +63,51 @@ BatchResult run_batch(std::span<const swf::Log> logs,
   result.logs.resize(logs.size());
   if (logs.empty()) return result;
 
-  const auto attributes = workload::all_attributes();
   std::vector<LogScratch> scratch(logs.size());
-
-  // Wave 1 — per-log tasks: Table 1 characterization, the four attribute
-  // series, and one prefix-sum pass per Hurst-eligible series.
   for_each(
       logs.size(),
       [&](std::size_t i) {
-        LogAnalysis& analysis = result.logs[i];
-        analysis.name = logs[i].name();
-        analysis.stats =
-            workload::characterize(logs[i], options.machine_processors);
-        for (std::size_t a = 0; a < kAttributes; ++a) {
-          analysis.hurst[a].attribute = attributes[a];
-          auto& series = scratch[i].series[a];
-          series = workload::attribute_series(logs[i], attributes[a]);
-          if (series.size() >= selfsim::kMinHurstLength) {
-            analysis.hurst[a].estimated = true;
-            scratch[i].prefix[a] = selfsim::SeriesPrefix(series);
-          }
-        }
+        analyze_log(logs[i], options, result.logs[i], scratch[i]);
       },
       options.parallel);
+
+  finish_batch(result, scratch, options);
+  return result;
+}
+
+BatchResult run_batch(std::span<const std::string> paths,
+                      const BatchOptions& options) {
+  BatchResult result;
+  result.logs.resize(paths.size());
+  if (paths.empty()) return result;
+
+  std::vector<LogScratch> scratch(paths.size());
+  // Ingest is part of the per-log task: while one worker analyzes an
+  // already-decoded log, others are still mmap-decoding theirs, so ingest
+  // overlaps analysis instead of forming a serial load phase. The decoded
+  // log dies at the end of its own task.
+  for_each(
+      paths.size(),
+      [&](std::size_t i) {
+        const swf::Log log = swf::load_swf_fast(paths[i], options.reader);
+        analyze_log(log, options, result.logs[i], scratch[i]);
+      },
+      options.parallel);
+
+  finish_batch(result, scratch, options);
+  return result;
+}
+
+namespace {
+
+void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
+                  const BatchOptions& options) {
+  const std::size_t count = result.logs.size();
 
   // Wave 2 — per-(series, estimator) tasks over a flat index space; each
   // task fills exactly one HurstEstimate slot.
   for_each(
-      logs.size() * kAttributes * kEstimators,
+      count * kAttributes * kEstimators,
       [&](std::size_t flat) {
         const std::size_t i = flat / (kAttributes * kEstimators);
         const std::size_t a = (flat / kEstimators) % kAttributes;
@@ -92,9 +134,9 @@ BatchResult run_batch(std::span<const swf::Log> logs,
 
   // Wave 3 — Co-plot over the characterization dataset (SSA restarts run on
   // the pool inside analyze()).
-  if (options.run_coplot && logs.size() >= 3) {
+  if (options.run_coplot && count >= 3) {
     std::vector<workload::WorkloadStats> stats;
-    stats.reserve(logs.size());
+    stats.reserve(count);
     for (const LogAnalysis& analysis : result.logs) {
       stats.push_back(analysis.stats);
     }
@@ -107,8 +149,8 @@ BatchResult run_batch(std::span<const swf::Log> logs,
         coplot::analyze(workload::make_dataset(stats, codes), coplot_options);
     result.coplot_run = true;
   }
-
-  return result;
 }
+
+}  // namespace
 
 }  // namespace cpw::analysis

@@ -9,6 +9,7 @@
 #include "cpw/coplot/coplot.hpp"
 #include "cpw/selfsim/hurst.hpp"
 #include "cpw/swf/log.hpp"
+#include "cpw/swf/reader.hpp"
 #include "cpw/workload/characterize.hpp"
 
 namespace cpw::analysis {
@@ -33,6 +34,11 @@ struct BatchOptions {
 
   /// Run the Co-plot stage (needs >= 3 logs; skipped otherwise).
   bool run_coplot = true;
+
+  /// Reader used by the file-path overload of run_batch. Chunked decode of
+  /// one file degrades to serial when it already runs inside a pool worker,
+  /// so the per-file tasks keep the pool busy without oversubscribing.
+  swf::ReaderOptions reader;
 };
 
 /// Hurst estimates for one per-job attribute series of one log.
@@ -67,6 +73,17 @@ struct BatchResult {
 /// requirement); Hurst estimates are marked unestimated for series shorter
 /// than selfsim::kMinHurstLength.
 BatchResult run_batch(std::span<const swf::Log> logs,
+                      const BatchOptions& options = {});
+
+/// Same pipeline, but starting from SWF files on disk: each per-log task
+/// memory-maps, decodes and analyzes one file, so ingest of later logs
+/// overlaps analysis of earlier ones instead of forming a serial load
+/// phase. Decoded jobs are dropped as soon as the characterization and the
+/// attribute series are extracted — peak memory is O(largest log x
+/// workers), not O(sum of logs) — which is what makes many large logs
+/// feasible in one call. Results are bit-identical to loading every file
+/// first and calling the span overload.
+BatchResult run_batch(std::span<const std::string> paths,
                       const BatchOptions& options = {});
 
 }  // namespace cpw::analysis

@@ -35,17 +35,41 @@ class Log {
   [[nodiscard]] std::string header_or(const std::string& key,
                                       std::string fallback) const;
 
-  /// Machine size; reads the MaxProcs header, else the largest job.
+  /// Machine size; reads the MaxProcs header, else the largest job. The
+  /// job scan is cached by finalize() — callers in characterize/slicing
+  /// hit this repeatedly and must not pay O(n) each time.
   [[nodiscard]] std::int64_t max_processors() const;
 
   /// Time span covered: last submit + its runtime, minus first submit.
+  /// Cached by finalize(), recomputed only while un-finalized jobs exist.
   [[nodiscard]] double duration() const;
 
   /// Appends a job (resorts lazily on finalize()).
-  void add(Job job) { jobs_.push_back(job); }
+  void add(Job job) {
+    jobs_.push_back(job);
+    finalized_ = false;
+  }
 
-  /// Sorts by submit time and renumbers job ids 1..n.
+  /// Replaces the whole job list in one move (the bulk-ingest path);
+  /// call finalize() afterwards.
+  void assign_jobs(JobList jobs) {
+    jobs_ = std::move(jobs);
+    finalized_ = false;
+  }
+
+  /// Sorts by submit time and renumbers job ids 1..n. Before sorting it
+  /// records the number of adjacent submit-time inversions in the incoming
+  /// order (see input_submit_inversions()) and caches the duration and
+  /// largest-job scans.
   void finalize();
+
+  /// Adjacent submit-time decreases in the order the jobs arrived (file
+  /// order for parsed logs), recorded by the most recent finalize(). After
+  /// finalize() sorts the jobs this is the only trace of the original
+  /// order, which is what validate() reports as non_monotone_submit.
+  [[nodiscard]] std::size_t input_submit_inversions() const noexcept {
+    return input_submit_inversions_;
+  }
 
   /// Jobs whose queue id matches (the paper's interactive/batch split).
   [[nodiscard]] Log filter_queue(std::int64_t queue_id,
@@ -63,19 +87,28 @@ class Log {
   std::string name_;
   JobList jobs_;
   std::map<std::string, std::string> header_;
+  bool finalized_ = false;
+  double duration_ = 0.0;                    ///< cached by finalize()
+  std::int64_t max_job_processors_ = 0;      ///< cached by finalize()
+  std::size_t input_submit_inversions_ = 0;  ///< recorded by finalize()
 };
 
 /// Parses a Standard Workload Format stream. Header comments (`; Key: Value`)
 /// are kept; malformed job lines raise cpw::ParseError with the line number.
+/// This is the serial reference parser; the zero-copy chunked reader in
+/// cpw/swf/reader.hpp produces bit-identical logs and is what load_swf uses.
 Log parse_swf(std::istream& in, const std::string& name);
 
-/// Reads an SWF file from disk.
+/// Reads an SWF file from disk via the memory-mapped parallel reader
+/// (see cpw/swf/reader.hpp for the tunable entry points).
 Log load_swf(const std::string& path);
 
-/// Writes a log in Standard Workload Format.
+/// Writes a log in Standard Workload Format. Formats into one buffer with
+/// std::to_chars and inserts it in a single write, so no stream state
+/// (precision, flags) is touched — exception-safe by construction.
 void write_swf(std::ostream& out, const Log& log);
 
-/// Writes to a file; throws cpw::Error on I/O failure.
+/// Writes to a file; throws cpw::Error naming the failing path.
 void save_swf(const std::string& path, const Log& log);
 
 /// Basic integrity issues detected by `validate` — the paper's §1 motivates
@@ -86,6 +119,9 @@ struct ValidationReport {
   std::size_t negative_runtime = 0;
   std::size_t zero_processors = 0;
   std::size_t over_machine_size = 0;
+  /// Submit-time inversions in the *original input order* (finalize() sorts
+  /// the jobs, so this comes from Log::input_submit_inversions(), not from
+  /// scanning the — always sorted — finalized job list).
   std::size_t non_monotone_submit = 0;
   std::size_t missing_cpu_time = 0;
 

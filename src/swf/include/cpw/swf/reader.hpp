@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpw/swf/log.hpp"
+
+namespace cpw::swf {
+
+/// Tuning knobs for the high-throughput SWF reader.
+struct ReaderOptions {
+  /// Decode newline-aligned chunks concurrently on the global thread pool.
+  /// The chunks are spliced back in file order and errors are reported with
+  /// the same line number the serial parser would use, so the resulting Log
+  /// is bit-identical to `parse_swf` on the same bytes either way.
+  bool parallel = true;
+
+  /// Target bytes per decode chunk. Smaller chunks load-balance better and
+  /// are useful in tests to force the multi-chunk path on small inputs.
+  std::size_t chunk_bytes = std::size_t{1} << 20;
+};
+
+/// Read-only view of a whole file: memory-mapped where the platform allows
+/// it, otherwise read into an owned buffer (non-regular files, mmap
+/// failure, non-POSIX builds). The view stays valid for the lifetime of
+/// the object; the file descriptor is released as soon as the mapping is
+/// established.
+class MappedFile {
+ public:
+  /// Throws cpw::Error ("cannot open SWF file: <path>") when the file
+  /// cannot be opened or read.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;        ///< true: munmap on destruction
+  std::vector<char> buffer_;   ///< owns the bytes when not mapped
+};
+
+/// Parses a whole SWF buffer with zero-copy `std::string_view` tokenization
+/// and `std::from_chars` field decoding (no exceptions on the hot path).
+/// The buffer is split at newline boundaries into chunks which decode
+/// independently (in parallel when `options.parallel`); per-chunk errors are
+/// collected with their exact 1-based line numbers and the first one in
+/// file order is rethrown as cpw::ParseError — identical to the error the
+/// serial parser reports. The spliced result is bit-identical to
+/// `parse_swf` on the same bytes.
+Log parse_swf_buffer(std::string_view text, const std::string& name,
+                     const ReaderOptions& options = {});
+
+/// Memory-maps `path` and runs `parse_swf_buffer` over it — the fast path
+/// behind `load_swf`.
+Log load_swf_fast(const std::string& path, const ReaderOptions& options = {});
+
+/// Formats a log as SWF text into one buffer using `std::to_chars`
+/// (byte-identical to the stream writer's output, an order of magnitude
+/// faster). This is the fast path behind `write_swf` / `save_swf`.
+std::string format_swf(const Log& log);
+
+}  // namespace cpw::swf

@@ -1,0 +1,421 @@
+#include "cpw/swf/reader.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "cpw/util/error.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CPW_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cpw::swf {
+
+// ---------------------------------------------------------------- MappedFile
+
+namespace {
+
+std::vector<char> read_whole_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("cannot open SWF file: " + path);
+  std::vector<char> buffer((std::istreambuf_iterator<char>(file)),
+                           std::istreambuf_iterator<char>());
+  if (file.bad()) throw Error("cannot open SWF file: " + path);
+  return buffer;
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+#if CPW_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw Error("cannot open SWF file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    const auto length = static_cast<std::size_t>(st.st_size);
+    void* mapping = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+      ::madvise(mapping, length, MADV_SEQUENTIAL);
+#endif
+      ::close(fd);
+      data_ = static_cast<const char*>(mapping);
+      size_ = length;
+      mapped_ = true;
+      return;
+    }
+  }
+  ::close(fd);
+#endif
+  // Fallback: empty/non-regular files, mmap failure, non-POSIX builds.
+  buffer_ = read_whole_file(path);
+  data_ = buffer_.data();
+  size_ = buffer_.size();
+}
+
+MappedFile::~MappedFile() {
+#if CPW_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#if CPW_HAVE_MMAP
+    if (mapped_ && data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+#endif
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    buffer_ = std::move(other.buffer_);
+    if (!mapped_) data_ = buffer_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+// ------------------------------------------------------------ chunk decoding
+
+namespace {
+
+/// The whitespace set `operator>>` skips, minus '\n' (lines are already
+/// split): CRLF logs leave a trailing '\r' that must tokenize away.
+inline bool is_field_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// `std::stod`-compatible double parse without exceptions. Most SWF fields
+/// are small integers (ids, processor counts, -1 sentinels), which get a
+/// hand-rolled exact path; the rest go through `from_chars`. `from_chars`
+/// rejects a leading '+' and hex-float forms that stod accepts, so any
+/// token it does not consume completely is retried through the legacy
+/// stod path before being declared bad.
+bool parse_double_field(std::string_view token, double& out) noexcept {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  if (begin != end && *begin == '+') ++begin;
+  {
+    const char* p = begin;
+    const bool negative = p != end && *p == '-';
+    if (negative) ++p;
+    // <= 15 digits: exact in both uint64 and double.
+    if (p != end && end - p <= 15) {
+      std::uint64_t value = 0;
+      const char* q = p;
+      for (; q != end; ++q) {
+        const unsigned digit = static_cast<unsigned char>(*q) - '0';
+        if (digit > 9) break;
+        value = value * 10 + digit;
+      }
+      if (q == end) {
+        const auto magnitude = static_cast<double>(value);
+        out = negative ? -magnitude : magnitude;
+        return true;
+      }
+    }
+  }
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec == std::errc() && ptr == end) return true;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(token), &used);
+    if (used != token.size()) return false;
+    out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Legacy header-comment trim: leading " \t", trailing " \t\r".
+std::string_view trim_header(std::string_view s) noexcept {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  if (last == std::string_view::npos || last < first) return {};
+  return s.substr(first, last - first + 1);
+}
+
+constexpr std::size_t kSwfFields = 18;
+
+/// Everything one chunk produces; spliced in chunk (= file) order.
+struct ChunkResult {
+  JobList jobs;
+  std::vector<std::pair<std::string, std::string>> header;
+  std::size_t lines = 0;  ///< lines consumed, counted like getline does
+  bool has_error = false;
+  std::size_t error_line = 0;  ///< 0-based line index *within* the chunk
+  std::string error_message;
+};
+
+/// Decodes one line (no trailing '\n'; may end in '\r'). Returns false and
+/// fills `result`'s error fields on a malformed line.
+bool decode_line(std::string_view line, std::size_t line_index,
+                 ChunkResult& result) {
+  if (line.empty()) return true;
+  if (line.front() == ';') {
+    // Header comment: "; Key: Value".
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon > 1) {
+      const std::string_view key = trim_header(line.substr(1, colon - 1));
+      const std::string_view value = trim_header(line.substr(colon + 1));
+      if (!key.empty()) result.header.emplace_back(key, value);
+    }
+    return true;
+  }
+
+  // Tokenize in place; the field count must be checked before any numeric
+  // parse so the "expected 18 fields" error wins, as in the serial parser.
+  std::string_view tokens[kSwfFields];
+  std::size_t count = 0;
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  while (p < end) {
+    while (p < end && is_field_space(*p)) ++p;
+    if (p >= end) break;
+    const char* start = p;
+    while (p < end && !is_field_space(*p)) ++p;
+    if (count < kSwfFields) {
+      tokens[count] = std::string_view(start, static_cast<std::size_t>(p - start));
+    }
+    ++count;
+  }
+  if (count == 0) return true;
+  auto fail = [&](std::string message) {
+    result.has_error = true;
+    result.error_line = line_index;
+    result.error_message = std::move(message);
+    return false;
+  };
+  if (count != kSwfFields) {
+    return fail("expected 18 fields, got " + std::to_string(count));
+  }
+
+  double fields[kSwfFields];
+  for (std::size_t i = 0; i < kSwfFields; ++i) {
+    if (!parse_double_field(tokens[i], fields[i])) {
+      return fail("bad numeric field '" + std::string(tokens[i]) + "'");
+    }
+  }
+
+  Job job;
+  job.id = static_cast<std::int64_t>(fields[0]);
+  job.submit_time = fields[1];
+  job.wait_time = fields[2];
+  job.run_time = fields[3];
+  job.processors = static_cast<std::int64_t>(fields[4]);
+  job.cpu_time_avg = fields[5];
+  job.memory_avg = fields[6];
+  job.req_processors = static_cast<std::int64_t>(fields[7]);
+  job.req_time = fields[8];
+  job.req_memory = fields[9];
+  job.status = static_cast<int>(fields[10]);
+  job.user = static_cast<std::int64_t>(fields[11]);
+  job.group = static_cast<std::int64_t>(fields[12]);
+  job.executable = static_cast<std::int64_t>(fields[13]);
+  job.queue = static_cast<std::int64_t>(fields[14]);
+  job.partition = static_cast<std::int64_t>(fields[15]);
+  job.preceding_job = static_cast<std::int64_t>(fields[16]);
+  job.think_time = fields[17];
+  result.jobs.push_back(job);
+  return true;
+}
+
+void decode_chunk(std::string_view chunk, ChunkResult& result) {
+  // ~120 bytes per job line is typical; a mild over-reserve avoids regrowth.
+  result.jobs.reserve(chunk.size() / 96 + 1);
+  const char* p = chunk.data();
+  const char* const end = p + chunk.size();
+  while (p < end) {
+    const auto* nl =
+        static_cast<const char*>(std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    const char* line_end = nl != nullptr ? nl : end;
+    const std::string_view line(p, static_cast<std::size_t>(line_end - p));
+    const std::size_t line_index = result.lines;
+    ++result.lines;
+    if (!decode_line(line, line_index, result)) {
+      // The whole parse throws on the earliest error; nothing after this
+      // line in this chunk can matter.
+      return;
+    }
+    p = nl != nullptr ? nl + 1 : end;
+  }
+}
+
+/// Newline-aligned chunk boundaries: strictly increasing offsets, each one
+/// (except 0) just past a '\n'.
+std::vector<std::size_t> chunk_starts(std::string_view text,
+                                      std::size_t chunk_bytes) {
+  std::vector<std::size_t> starts{0};
+  const std::size_t size = text.size();
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  const std::size_t target = size / chunk_bytes + 1;
+  for (std::size_t i = 1; i < target; ++i) {
+    const std::size_t cut = size / target * i;
+    if (cut <= starts.back()) continue;
+    const auto* nl = static_cast<const char*>(
+        std::memchr(text.data() + cut, '\n', size - cut));
+    if (nl == nullptr) break;
+    const auto start = static_cast<std::size_t>(nl - text.data()) + 1;
+    if (start > starts.back() && start < size) starts.push_back(start);
+  }
+  return starts;
+}
+
+}  // namespace
+
+Log parse_swf_buffer(std::string_view text, const std::string& name,
+                     const ReaderOptions& options) {
+  const std::vector<std::size_t> starts = chunk_starts(text, options.chunk_bytes);
+  const std::size_t chunks = starts.size();
+  std::vector<ChunkResult> results(chunks);
+
+  const auto decode_one = [&](std::size_t i) {
+    const std::size_t begin = starts[i];
+    const std::size_t end = i + 1 < chunks ? starts[i + 1] : text.size();
+    decode_chunk(text.substr(begin, end - begin), results[i]);
+  };
+  if (options.parallel && chunks > 1) {
+    parallel_for(chunks, decode_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < chunks; ++i) decode_one(i);
+  }
+
+  // First error in file order, with its absolute 1-based line number. Every
+  // chunk before the first erroring one decoded fully, so the running line
+  // total is exact where it matters.
+  std::size_t first_line = 1;
+  std::size_t total_jobs = 0;
+  for (const ChunkResult& chunk : results) {
+    if (chunk.has_error) {
+      throw ParseError(chunk.error_message, first_line + chunk.error_line);
+    }
+    first_line += chunk.lines;
+    total_jobs += chunk.jobs.size();
+  }
+
+  Log log;
+  log.set_name(name);
+  JobList jobs;
+  jobs.reserve(total_jobs);
+  for (ChunkResult& chunk : results) {
+    jobs.insert(jobs.end(), chunk.jobs.begin(), chunk.jobs.end());
+    for (auto& [key, value] : chunk.header) {
+      log.set_header(std::move(key), std::move(value));
+    }
+  }
+  log.assign_jobs(std::move(jobs));
+  log.finalize();
+  return log;
+}
+
+Log load_swf_fast(const std::string& path, const ReaderOptions& options) {
+  const MappedFile file(path);
+  return parse_swf_buffer(file.view(), path, options);
+}
+
+// --------------------------------------------------------------- fast writer
+
+namespace {
+
+/// One SWF line: 4 int64s and 14 doubles plus separators fits comfortably.
+constexpr std::size_t kLineCapacity = 512;
+
+char* emit_int(char* p, std::int64_t v) {
+  return std::to_chars(p, p + 24, v).ptr;
+}
+
+/// Matches the stream writer: integral values below 1e15 print as int64,
+/// everything else as %.15g (ostream default float format, precision 15 —
+/// exactly what to_chars(general, 15) produces).
+char* emit_num(char* p, double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return emit_int(p, static_cast<std::int64_t>(v));
+  }
+  return std::to_chars(p, p + 40, v, std::chars_format::general, 15).ptr;
+}
+
+}  // namespace
+
+std::string format_swf(const Log& log) {
+  std::string out;
+  out.reserve(64 + log.size() * 96);
+  out += "; SWF log generated by cpw\n";
+  for (const auto& [key, value] : log.header()) {
+    out += "; ";
+    out += key;
+    out += ": ";
+    out += value;
+    out += '\n';
+  }
+  char line[kLineCapacity];
+  for (const Job& j : log.jobs()) {
+    char* p = line;
+    p = emit_int(p, j.id);
+    *p++ = ' ';
+    p = emit_num(p, j.submit_time);
+    *p++ = ' ';
+    p = emit_num(p, j.wait_time);
+    *p++ = ' ';
+    p = emit_num(p, j.run_time);
+    *p++ = ' ';
+    p = emit_int(p, j.processors);
+    *p++ = ' ';
+    p = emit_num(p, j.cpu_time_avg);
+    *p++ = ' ';
+    p = emit_num(p, j.memory_avg);
+    *p++ = ' ';
+    p = emit_int(p, j.req_processors);
+    *p++ = ' ';
+    p = emit_num(p, j.req_time);
+    *p++ = ' ';
+    p = emit_num(p, j.req_memory);
+    *p++ = ' ';
+    p = emit_int(p, j.status);
+    *p++ = ' ';
+    p = emit_int(p, j.user);
+    *p++ = ' ';
+    p = emit_int(p, j.group);
+    *p++ = ' ';
+    p = emit_int(p, j.executable);
+    *p++ = ' ';
+    p = emit_int(p, j.queue);
+    *p++ = ' ';
+    p = emit_int(p, j.partition);
+    *p++ = ' ';
+    p = emit_int(p, j.preceding_job);
+    *p++ = ' ';
+    p = emit_num(p, j.think_time);
+    *p++ = '\n';
+    out.append(line, static_cast<std::size_t>(p - line));
+  }
+  return out;
+}
+
+}  // namespace cpw::swf

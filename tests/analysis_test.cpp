@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "cpw/analysis/batch.hpp"
 #include "cpw/models/model.hpp"
 #include "cpw/selfsim/fgn.hpp"
 #include "cpw/selfsim/hurst.hpp"
 #include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
 #include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
 #include "cpw/workload/characterize.hpp"
@@ -208,7 +210,8 @@ TEST(RunBatch, ShortSeriesAreMarkedUnestimated) {
 }
 
 TEST(RunBatch, EmptyAndCoplotGating) {
-  EXPECT_TRUE(analysis::run_batch({}).logs.empty());
+  EXPECT_TRUE(analysis::run_batch(std::span<const swf::Log>{}).logs.empty());
+  EXPECT_TRUE(analysis::run_batch(std::span<const std::string>{}).logs.empty());
 
   const auto two = test_logs(2, 256);
   const auto result = analysis::run_batch(two);
@@ -219,6 +222,61 @@ TEST(RunBatch, EmptyAndCoplotGating) {
   options.run_coplot = false;
   const auto three = test_logs(3, 256);
   EXPECT_FALSE(analysis::run_batch(three, options).coplot_run);
+}
+
+TEST(RunBatch, FromFilesMatchesPreloadedLogsBitwise) {
+  // The file-path overload overlaps mmap ingest with analysis; it must
+  // nevertheless produce exactly what loading the files up front and
+  // running the span overload produces.
+  const auto originals = test_logs(4, 1024);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    paths.push_back(::testing::TempDir() + "/batch_" + std::to_string(i) +
+                    ".swf");
+    swf::save_swf(paths[i], originals[i]);
+  }
+
+  std::vector<swf::Log> loaded;
+  for (const auto& path : paths) loaded.push_back(swf::load_swf(path));
+
+  for (bool parallel : {true, false}) {
+    analysis::BatchOptions options;
+    options.parallel = parallel;
+    const auto from_files = analysis::run_batch(paths, options);
+    const auto from_logs = analysis::run_batch(loaded, options);
+
+    ASSERT_EQ(from_files.logs.size(), from_logs.logs.size());
+    for (std::size_t i = 0; i < from_files.logs.size(); ++i) {
+      EXPECT_EQ(from_files.logs[i].name, paths[i]);
+      for (const auto& code : workload::WorkloadStats::all_codes()) {
+        const double fv = from_files.logs[i].stats.get(code);
+        const double lv = from_logs.logs[i].stats.get(code);
+        if (std::isnan(fv)) {
+          EXPECT_TRUE(std::isnan(lv)) << code;
+        } else {
+          EXPECT_EQ(fv, lv) << code;
+        }
+      }
+      for (std::size_t a = 0; a < 4; ++a) {
+        ASSERT_EQ(from_files.logs[i].hurst[a].estimated,
+                  from_logs.logs[i].hurst[a].estimated);
+        if (!from_files.logs[i].hurst[a].estimated) continue;
+        EXPECT_EQ(from_files.logs[i].hurst[a].report.rs.hurst,
+                  from_logs.logs[i].hurst[a].report.rs.hurst);
+        EXPECT_EQ(from_files.logs[i].hurst[a].report.variance_time.hurst,
+                  from_logs.logs[i].hurst[a].report.variance_time.hurst);
+        EXPECT_EQ(from_files.logs[i].hurst[a].report.periodogram.hurst,
+                  from_logs.logs[i].hurst[a].report.periodogram.hurst);
+      }
+    }
+    ASSERT_EQ(from_files.coplot_run, from_logs.coplot_run);
+    EXPECT_EQ(from_files.coplot.alienation, from_logs.coplot.alienation);
+  }
+
+  const auto missing = std::vector<std::string>{"/no/such/batch_input.swf"};
+  EXPECT_THROW(analysis::run_batch(missing), Error);
+
+  for (const auto& path : paths) std::remove(path.c_str());
 }
 
 // ------------------------------------------------------- pool range chunking

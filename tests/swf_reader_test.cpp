@@ -1,0 +1,348 @@
+// The high-throughput SWF reader (cpw/swf/reader.hpp): chunked zero-copy
+// decoding must be bit-identical to the serial reference parser on every
+// input — including the awkward ones (CRLF, blank/comment-only files,
+// wrong field counts, chunk boundaries landing mid-file) — and the
+// to_chars writer must be byte-identical to the old stream writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "cpw/models/model.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::swf {
+namespace {
+
+constexpr const char* kGoodLine =
+    "1 0 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1";
+
+Log parse_reference(const std::string& text, const std::string& name = "ref") {
+  std::istringstream in(text);
+  return parse_swf(in, name);
+}
+
+/// Forces the multi-chunk path even on tiny inputs.
+ReaderOptions tiny_chunks(std::size_t chunk_bytes = 64) {
+  ReaderOptions options;
+  options.chunk_bytes = chunk_bytes;
+  return options;
+}
+
+void expect_identical(const Log& a, const Log& b) {
+  EXPECT_EQ(a.header(), b.header());
+  EXPECT_EQ(a.input_submit_inversions(), b.input_submit_inversions());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Job& x = a.jobs()[i];
+    const Job& y = b.jobs()[i];
+    EXPECT_EQ(x.id, y.id) << "job " << i;
+    EXPECT_EQ(x.submit_time, y.submit_time) << "job " << i;
+    EXPECT_EQ(x.wait_time, y.wait_time) << "job " << i;
+    EXPECT_EQ(x.run_time, y.run_time) << "job " << i;
+    EXPECT_EQ(x.processors, y.processors) << "job " << i;
+    EXPECT_EQ(x.cpu_time_avg, y.cpu_time_avg) << "job " << i;
+    EXPECT_EQ(x.memory_avg, y.memory_avg) << "job " << i;
+    EXPECT_EQ(x.req_processors, y.req_processors) << "job " << i;
+    EXPECT_EQ(x.req_time, y.req_time) << "job " << i;
+    EXPECT_EQ(x.req_memory, y.req_memory) << "job " << i;
+    EXPECT_EQ(x.status, y.status) << "job " << i;
+    EXPECT_EQ(x.user, y.user) << "job " << i;
+    EXPECT_EQ(x.group, y.group) << "job " << i;
+    EXPECT_EQ(x.executable, y.executable) << "job " << i;
+    EXPECT_EQ(x.queue, y.queue) << "job " << i;
+    EXPECT_EQ(x.partition, y.partition) << "job " << i;
+    EXPECT_EQ(x.preceding_job, y.preceding_job) << "job " << i;
+    EXPECT_EQ(x.think_time, y.think_time) << "job " << i;
+  }
+}
+
+/// A realistic ~100k-job log via a synthetic model (fractional submit
+/// times, varied runtimes/processor counts exercise both emit paths).
+const Log& big_log() {
+  static const Log log = [] {
+    Log l = models::all_models(128)[4]->generate(100000, 42);
+    l.set_header("MaxProcs", "128");
+    l.set_header("Computer", "synthetic Lublin");
+    return l;
+  }();
+  return log;
+}
+
+// ------------------------------------------------------------- basic parsing
+
+TEST(Reader, MatchesSerialParserOnSimpleInput) {
+  const std::string text =
+      "; MaxProcs: 128\n"
+      ";   Computer:  iPSC/860 \n"
+      "; note without value\n" +
+      std::string(kGoodLine) + "\n";
+  const Log reference = parse_reference(text);
+  const Log parsed = parse_swf_buffer(text, "ref", tiny_chunks());
+  expect_identical(reference, parsed);
+  EXPECT_EQ(parsed.header_or("MaxProcs", ""), "128");
+  EXPECT_EQ(parsed.header_or("Computer", ""), "iPSC/860");
+}
+
+TEST(Reader, EmptyBufferGivesEmptyLog) {
+  EXPECT_TRUE(parse_swf_buffer("", "x").empty());
+}
+
+TEST(Reader, CommentOnlyFile) {
+  const std::string text = "; MaxProcs: 64\n; only comments here\n";
+  const Log parsed = parse_swf_buffer(text, "x", tiny_chunks(8));
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(parsed.header_or("MaxProcs", ""), "64");
+}
+
+TEST(Reader, CrlfLineEndings) {
+  const std::string lf =
+      "; MaxProcs: 128\n" + std::string(kGoodLine) + "\n" +
+      "2 5 0 20 8 20 -1 8 20 -1 1 3 1 7 2 -1 -1 -1\n";
+  std::string crlf;
+  for (char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const Log reference = parse_reference(crlf);
+  const Log parsed = parse_swf_buffer(crlf, "ref", tiny_chunks());
+  expect_identical(reference, parsed);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.header_or("MaxProcs", ""), "128");
+  // And CRLF parses to the same jobs as LF.
+  expect_identical(parse_swf_buffer(lf, "ref"), parsed);
+}
+
+TEST(Reader, TrailingBlankLinesAndMissingFinalNewline) {
+  const std::string with_blank = std::string(kGoodLine) + "\n\n  \n\t\n";
+  const std::string no_final_newline = std::string(kGoodLine);
+  for (const auto& text : {with_blank, no_final_newline}) {
+    const Log parsed = parse_swf_buffer(text, "x", tiny_chunks());
+    expect_identical(parse_reference(text), parsed);
+    EXPECT_EQ(parsed.size(), 1u);
+  }
+}
+
+TEST(Reader, PlusPrefixedNumbersParseLikeStod) {
+  const std::string text = "1 +0.5 0 +10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 +2\n";
+  const Log parsed = parse_swf_buffer(text, "x");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.jobs()[0].submit_time, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.jobs()[0].think_time, 2.0);
+  expect_identical(parse_reference(text), parsed);
+}
+
+// ------------------------------------------------------------ error handling
+
+TEST(Reader, SeventeenFieldsReportsExactLineAndMessage) {
+  std::string text;
+  for (int i = 0; i < 5; ++i) text += std::string(kGoodLine) + "\n";
+  text += "; a comment counts as a line too\n";
+  text += "1 0 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1\n";  // 17 fields
+  try {
+    parse_swf_buffer(text, "bad", tiny_chunks());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 7u);
+    EXPECT_NE(std::string(e.what()).find("expected 18 fields, got 17"),
+              std::string::npos);
+  }
+}
+
+TEST(Reader, NineteenFieldsReportsExactLineAndMessage) {
+  const std::string text =
+      std::string(kGoodLine) + "\n" + std::string(kGoodLine) + " 99\n";
+  try {
+    parse_swf_buffer(text, "bad", tiny_chunks());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("expected 18 fields, got 19"),
+              std::string::npos);
+  }
+}
+
+TEST(Reader, BadNumericFieldInLateChunkReportsAbsoluteLine) {
+  // Enough lines that tiny chunks put the bad line well past chunk 0.
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += std::string(kGoodLine) + "\n";
+  text += "2 0 0 xx 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n";
+  for (int i = 0; i < 50; ++i) text += std::string(kGoodLine) + "\n";
+  for (bool parallel : {false, true}) {
+    ReaderOptions options = tiny_chunks(256);
+    options.parallel = parallel;
+    try {
+      parse_swf_buffer(text, "bad", options);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), 201u);
+      EXPECT_NE(std::string(e.what()).find("bad numeric field 'xx'"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Reader, FirstErrorInFileOrderWins) {
+  // Two bad lines in different chunks: the earlier one must be reported,
+  // whatever order the chunks decode in.
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += std::string(kGoodLine) + "\n";
+  text += "1 0 0 yy 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n";  // line 101
+  for (int i = 0; i < 100; ++i) text += std::string(kGoodLine) + "\n";
+  text += "1 0 0 zz 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n";  // line 202
+  try {
+    parse_swf_buffer(text, "bad", tiny_chunks(512));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 101u);
+    EXPECT_NE(std::string(e.what()).find("'yy'"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------- bit-identical round trip
+
+TEST(Reader, BigLogSerialParallelAndReferenceBitIdentical) {
+  const std::string text = format_swf(big_log());
+  ASSERT_GT(text.size(), std::size_t{1} << 20);
+
+  const Log reference = parse_reference(text, "big");
+
+  ReaderOptions serial;
+  serial.parallel = false;
+  const Log chunked_serial = parse_swf_buffer(text, "big", serial);
+
+  ReaderOptions parallel = tiny_chunks(1 << 16);  // dozens of chunks
+  const Log chunked_parallel = parse_swf_buffer(text, "big", parallel);
+
+  expect_identical(reference, chunked_serial);
+  expect_identical(reference, chunked_parallel);
+}
+
+TEST(Reader, ParseWriteParseIsIdentity) {
+  // write(parse(text)) must reproduce text exactly once text is itself
+  // writer output (15-significant-digit decimals round-trip through double).
+  const std::string text = format_swf(big_log());
+  const Log parsed = parse_swf_buffer(text, big_log().name(), tiny_chunks(1 << 16));
+  const std::string text2 = format_swf(parsed);
+  const Log parsed2 = parse_swf_buffer(text2, big_log().name());
+  expect_identical(parsed, parsed2);
+  // Job ids are renumbered 1..n by finalize() on both sides, and a
+  // finalized log re-serializes byte-for-byte.
+  EXPECT_EQ(text2, format_swf(parsed2));
+}
+
+// ----------------------------------------------------------------- file I/O
+
+TEST(Reader, MappedFileLoadMatchesBufferParse) {
+  const std::string path = ::testing::TempDir() + "/reader_roundtrip.swf";
+  save_swf(path, big_log());
+
+  const MappedFile file(path);
+  EXPECT_EQ(file.view(), format_swf(big_log()));
+
+  const Log via_mmap = load_swf_fast(path);
+  const Log via_buffer = parse_swf_buffer(format_swf(big_log()), path);
+  expect_identical(via_buffer, via_mmap);
+  EXPECT_EQ(via_mmap.name(), path);
+  std::remove(path.c_str());
+}
+
+TEST(Reader, LoadSwfUsesFastPath) {
+  const std::string path = ::testing::TempDir() + "/reader_load.swf";
+  save_swf(path, big_log());
+  const Log loaded = load_swf(path);
+  expect_identical(parse_reference(format_swf(big_log()), path), loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Reader, MissingFileThrows) {
+  EXPECT_THROW(load_swf_fast("/no/such/file.swf"), Error);
+  EXPECT_THROW(MappedFile("/no/such/file.swf"), Error);
+}
+
+// -------------------------------------------------------------- fast writer
+
+TEST(Writer, FormatMatchesStreamWriterByteForByte) {
+  // The retired stream writer, reproduced as the formatting reference.
+  const Log& log = big_log();
+  std::ostringstream out;
+  out.precision(15);
+  out << "; SWF log generated by cpw\n";
+  for (const auto& [key, value] : log.header()) {
+    out << "; " << key << ": " << value << "\n";
+  }
+  auto emit = [&out](double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+      out << static_cast<std::int64_t>(v);
+    } else {
+      out << v;
+    }
+  };
+  for (const Job& j : log.jobs()) {
+    out << j.id << ' ';
+    emit(j.submit_time);
+    out << ' ';
+    emit(j.wait_time);
+    out << ' ';
+    emit(j.run_time);
+    out << ' ' << j.processors << ' ';
+    emit(j.cpu_time_avg);
+    out << ' ';
+    emit(j.memory_avg);
+    out << ' ' << j.req_processors << ' ';
+    emit(j.req_time);
+    out << ' ';
+    emit(j.req_memory);
+    out << ' ' << j.status << ' ' << j.user << ' ' << j.group << ' '
+        << j.executable << ' ' << j.queue << ' ' << j.partition << ' '
+        << j.preceding_job << ' ';
+    emit(j.think_time);
+    out << '\n';
+  }
+  EXPECT_EQ(format_swf(log), out.str());
+}
+
+TEST(Writer, WriteSwfDoesNotDisturbStreamState) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::hex;
+  write_swf(out, big_log());
+  EXPECT_EQ(out.precision(), 3);
+  EXPECT_NE(out.flags() & std::ios::hex, std::ios::fmtflags(0));
+  out << std::dec;
+  out.str("");
+  out << 0.123456789;
+  EXPECT_EQ(out.str(), "0.123");  // precision survived the write
+}
+
+/// A streambuf that refuses all output, to force mid-write failure.
+struct FailingBuf : std::streambuf {
+  int overflow(int) override { return traits_type::eof(); }
+};
+
+TEST(Writer, FailedWriteLeavesStreamStateIntact) {
+  FailingBuf buf;
+  std::ostream out(&buf);
+  out.precision(7);
+  out.exceptions(std::ios::badbit);
+  EXPECT_THROW(write_swf(out, big_log()), std::ios_base::failure);
+  EXPECT_EQ(out.precision(), 7);
+}
+
+TEST(Writer, SaveSwfReportsFailingPath) {
+  const std::string path = "/no/such/dir/out.swf";
+  try {
+    save_swf(path, big_log());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cpw::swf

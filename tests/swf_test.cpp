@@ -208,6 +208,54 @@ TEST(Validate, DetectsAnomalies) {
   EXPECT_EQ(report.over_machine_size, 1u);
 }
 
+TEST(Validate, NonMonotoneSubmitSeenFromOriginalInputOrder) {
+  // finalize() sorts by submit time, so the old implementation — scanning
+  // the finalized job list — could never count an inversion. The count must
+  // come from the order the jobs arrived in.
+  std::istringstream in(
+      "1 100 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n"
+      "2 50 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n"
+      "3 70 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n"
+      "4 60 0 10 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n");
+  const Log log = parse_swf(in, "unsorted");
+  // Jobs end up sorted regardless...
+  EXPECT_DOUBLE_EQ(log.jobs().front().submit_time, 50.0);
+  // ...but the two input-order decreases (100->50, 70->60) are reported.
+  EXPECT_EQ(validate(log).non_monotone_submit, 2u);
+  EXPECT_FALSE(validate(log).clean());
+}
+
+TEST(Validate, SortedInputReportsNoInversions) {
+  const Log log = make_log();
+  EXPECT_EQ(log.input_submit_inversions(), 0u);
+  EXPECT_EQ(validate(log).non_monotone_submit, 0u);
+}
+
+TEST(Validate, ConstructedLogRecordsInversions) {
+  JobList jobs;
+  jobs.push_back(make_job(300.0, 1.0, 1));
+  jobs.push_back(make_job(100.0, 1.0, 1));
+  jobs.push_back(make_job(200.0, 1.0, 1));
+  const Log log("x", std::move(jobs));
+  EXPECT_EQ(log.input_submit_inversions(), 1u);
+  EXPECT_EQ(validate(log).non_monotone_submit, 1u);
+}
+
+TEST(Log, CachedScansMatchFreshComputation) {
+  Log log = make_log();
+  const double duration_before = log.duration();
+  // Appending invalidates the caches; results must track the new jobs both
+  // before and after the re-finalize.
+  log.add(make_job(5000.0, 100.0, 77));
+  EXPECT_DOUBLE_EQ(log.duration(), 5100.0 - 0.0);
+  log.set_header("MaxProcs", "not a number");  // forces the job scan
+  EXPECT_EQ(log.max_processors(), 77);
+  log.finalize();
+  EXPECT_DOUBLE_EQ(log.duration(), 5100.0);
+  EXPECT_EQ(log.max_processors(), 77);
+  EXPECT_GT(log.duration(), duration_before);
+}
+
 TEST(Validate, CountsMissingCpuTime) {
   JobList jobs;
   Job j = make_job(0.0, 5.0, 2);
