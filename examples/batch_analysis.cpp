@@ -41,9 +41,20 @@ int main(int argc, char** argv) {
                       ? 86400.0 / log.stats.interarrival_median
                       : 0.0);
     }
+    if (batch.diagnostics.ok_count() != batch.logs.size()) {
+      std::printf("\n%s", batch.diagnostics.summary().c_str());
+    }
     if (batch.coplot_run) {
-      std::printf("\ncoefficient of alienation: %.3f\n", batch.coplot.alienation);
+      std::printf("\ncoefficient of alienation: %.3f", batch.coplot.alienation);
+      if (batch.coplot_members.size() != batch.logs.size()) {
+        std::printf(" (over %zu of %zu logs)", batch.coplot_members.size(),
+                    batch.logs.size());
+      }
+      std::printf("\n");
       std::cout << coplot::render_ascii(batch.coplot) << '\n';
+    } else if (!batch.diagnostics.coplot_skip_reason.empty()) {
+      std::printf("\nco-plot skipped: %s\n",
+                  batch.diagnostics.coplot_skip_reason.c_str());
     }
     return 0;
   }

@@ -1,0 +1,75 @@
+// libFuzzer target for the SWF reader. Exercises both decode policies over
+// arbitrary bytes with small chunk sizes (so the chunked-parallel splicing
+// and absolute line numbering run even on tiny inputs) and checks the
+// invariants the rest of the pipeline relies on:
+//
+//  - strict mode either parses or throws cpw::ParseError / cpw::Error —
+//    never crashes, never throws anything else;
+//  - lenient mode never throws at all, and its quarantine report stays
+//    consistent (bounded samples, exact counts, sample lines sorted);
+//  - lenient never yields more jobs than strict could have (it only drops);
+//  - a strict success implies a lenient run with an empty malformed count
+//    and the identical job list.
+//
+// Build: cmake -DCPW_FUZZ=ON with clang, then
+//   ./build/fuzz/fuzz_swf fuzz/corpus -max_len=4096
+//
+// Serial decode only: libFuzzer leak detection runs after every input and
+// the global thread pool would read as a leak farm; parallelism is covered
+// by swf_reader_test's chunk-size sweeps.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+
+  // First byte steers the chunk size so boundaries land everywhere.
+  const std::size_t chunk_bytes = 1 + (data[0] % 97);
+  const std::string_view text(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+
+  cpw::swf::ReaderOptions strict;
+  strict.parallel = false;
+  strict.chunk_bytes = chunk_bytes;
+
+  bool strict_ok = false;
+  std::size_t strict_jobs = 0;
+  try {
+    const cpw::swf::Log log = cpw::swf::parse_swf_buffer(text, "fuzz", strict);
+    strict_ok = true;
+    strict_jobs = log.size();
+  } catch (const cpw::Error&) {
+    // Typed failure is the contract; anything else escapes and crashes.
+  }
+
+  cpw::swf::ReaderOptions lenient = strict;
+  lenient.policy = cpw::swf::DecodePolicy::kLenient;
+  lenient.quarantine_sample_limit = 8;
+  cpw::swf::QuarantineReport report;
+  std::size_t lenient_jobs = 0;
+  try {
+    const cpw::swf::Log log =
+        cpw::swf::parse_swf_buffer(text, "fuzz", lenient, report);
+    lenient_jobs = log.size();
+  } catch (...) {
+    __builtin_trap();  // lenient mode must contain every input
+  }
+
+  if (report.samples.size() > 8) __builtin_trap();
+  for (std::size_t i = 1; i < report.samples.size(); ++i) {
+    if (report.samples[i - 1].line > report.samples[i].line) __builtin_trap();
+  }
+  if (strict_ok) {
+    if (report.malformed_lines != 0) __builtin_trap();
+    if (lenient_jobs + report.total() - report.malformed_lines != strict_jobs)
+      __builtin_trap();
+  }
+  return 0;
+}

@@ -1,8 +1,13 @@
 #include "cpw/analysis/batch.hpp"
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <utility>
 
+#include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
 
 namespace cpw::analysis {
@@ -30,6 +35,31 @@ struct LogScratch {
 constexpr std::size_t kAttributes = 4;
 constexpr std::size_t kEstimators = 3;  // R/S, variance-time, periodogram
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void escalate(LogDiagnostics& slot, LogStatus to) {
+  if (slot.status < to) slot.status = to;
+}
+
+/// Runs `body`, containing any escape into the log's diagnostics slot.
+/// Callers must ensure the slot is not shared with a concurrent task.
+template <typename Fn>
+bool contain(LogDiagnostics& slot, const char* stage, LogStatus on_error,
+             Fn&& body) {
+  try {
+    body();
+    return true;
+  } catch (...) {
+    slot.events.push_back(make_event(std::current_exception(), stage));
+    escalate(slot, on_error);
+    return false;
+  }
+}
+
 /// Wave-1 body shared by both overloads: Table 1 characterization, the
 /// four attribute series, and one prefix-sum pass per Hurst-eligible
 /// series. Needs the log only for the duration of the call — the
@@ -53,7 +83,7 @@ void analyze_log(const swf::Log& log, const BatchOptions& options,
 /// Waves 2 and 3, shared by both overloads (wave 1 differs only in where
 /// the logs come from).
 void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
-                  const BatchOptions& options);
+                  const BatchOptions& options, const StopToken& stop);
 
 }  // namespace
 
@@ -61,17 +91,29 @@ BatchResult run_batch(std::span<const swf::Log> logs,
                       const BatchOptions& options) {
   BatchResult result;
   result.logs.resize(logs.size());
+  result.diagnostics.logs.resize(logs.size());
   if (logs.empty()) return result;
+
+  const StopToken stop = options.stop.with_deadline(options.deadline_seconds);
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    result.diagnostics.logs[i].name = logs[i].name();
+  }
 
   std::vector<LogScratch> scratch(logs.size());
   for_each(
       logs.size(),
       [&](std::size_t i) {
-        analyze_log(logs[i], options, result.logs[i], scratch[i]);
+        LogDiagnostics& slot = result.diagnostics.logs[i];
+        const auto start = std::chrono::steady_clock::now();
+        contain(slot, "analyze", LogStatus::kFailed, [&] {
+          stop.throw_if_stopped("batch analyze");
+          analyze_log(logs[i], options, result.logs[i], scratch[i]);
+        });
+        slot.analyze_seconds = seconds_since(start);
       },
       options.parallel);
 
-  finish_batch(result, scratch, options);
+  finish_batch(result, scratch, options, stop);
   return result;
 }
 
@@ -79,7 +121,12 @@ BatchResult run_batch(std::span<const std::string> paths,
                       const BatchOptions& options) {
   BatchResult result;
   result.logs.resize(paths.size());
+  result.diagnostics.logs.resize(paths.size());
   if (paths.empty()) return result;
+
+  const StopToken stop = options.stop.with_deadline(options.deadline_seconds);
+  swf::ReaderOptions reader_options = options.reader;
+  if (stop.stop_possible()) reader_options.stop = stop;
 
   std::vector<LogScratch> scratch(paths.size());
   // Ingest is part of the per-log task: while one worker analyzes an
@@ -89,65 +136,179 @@ BatchResult run_batch(std::span<const std::string> paths,
   for_each(
       paths.size(),
       [&](std::size_t i) {
-        const swf::Log log = swf::load_swf_fast(paths[i], options.reader);
-        analyze_log(log, options, result.logs[i], scratch[i]);
+        LogDiagnostics& slot = result.diagnostics.logs[i];
+        slot.name = paths[i];
+        const auto ingest_start = std::chrono::steady_clock::now();
+        std::optional<swf::Log> log;
+        const bool ingested =
+            contain(slot, "ingest", LogStatus::kFailed, [&] {
+              stop.throw_if_stopped("batch ingest");
+              log.emplace(
+                  swf::load_swf_fast(paths[i], reader_options, slot.quarantine));
+            });
+        slot.ingest_seconds = seconds_since(ingest_start);
+        if (!ingested) return;
+        if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
+        const auto analyze_start = std::chrono::steady_clock::now();
+        contain(slot, "analyze", LogStatus::kFailed, [&] {
+          analyze_log(*log, options, result.logs[i], scratch[i]);
+        });
+        slot.analyze_seconds = seconds_since(analyze_start);
       },
       options.parallel);
 
-  finish_batch(result, scratch, options);
+  finish_batch(result, scratch, options, stop);
   return result;
 }
 
 namespace {
 
+void run_coplot_stage(BatchResult& result, const BatchOptions& options,
+                      const StopToken& stop) {
+  BatchDiagnostics& diag = result.diagnostics;
+  if (!options.run_coplot) {
+    diag.coplot_skip_reason = "disabled by options";
+    return;
+  }
+
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < diag.logs.size(); ++i) {
+    if (diag.logs[i].usable()) members.push_back(i);
+  }
+  if (members.size() < 3) {
+    diag.coplot_skip_reason = "only " + std::to_string(members.size()) +
+                              " of " + std::to_string(diag.logs.size()) +
+                              " logs usable (need >= 3)";
+    return;
+  }
+
+  coplot::Options coplot_options = options.coplot;
+  coplot_options.ssa.parallel_restarts = options.parallel;
+  if (stop.stop_possible()) coplot_options.ssa.stop = stop;
+
+  std::optional<coplot::Dataset> dataset;
+  try {
+    std::vector<workload::WorkloadStats> stats;
+    stats.reserve(members.size());
+    for (std::size_t i : members) stats.push_back(result.logs[i].stats);
+    const auto& codes = options.variable_codes.empty()
+                            ? workload::WorkloadStats::all_codes()
+                            : options.variable_codes;
+    dataset.emplace(workload::make_dataset(stats, codes));
+  } catch (...) {
+    diag.coplot_events.push_back(
+        make_event(std::current_exception(), "coplot"));
+    diag.coplot_skip_reason = "dataset construction failed";
+    return;
+  }
+
+  int attempt = 0;
+  for (;;) {
+    try {
+      result.coplot = coplot::analyze(*dataset, coplot_options);
+      result.coplot_run = true;
+      result.coplot_members = std::move(members);
+      return;
+    } catch (const CancelledError&) {
+      diag.coplot_events.push_back(
+          make_event(std::current_exception(), "coplot"));
+      diag.coplot_skip_reason = "cancelled before the map converged";
+      return;
+    } catch (const NumericError&) {
+      diag.coplot_events.push_back(
+          make_event(std::current_exception(), "coplot"));
+      if (coplot_options.embedding_method ==
+          coplot::EmbeddingMethod::kClassical) {
+        diag.coplot_skip_reason =
+            "classical-MDS embedding failed (see events)";
+        return;
+      }
+      if (attempt < options.ssa_retry_attempts) {
+        ++attempt;
+        ++diag.ssa_retries;
+        coplot_options.ssa.seed = derive_seed(
+            options.coplot.ssa.seed, 1000 + static_cast<std::uint64_t>(attempt));
+        continue;
+      }
+      coplot_options.embedding_method = coplot::EmbeddingMethod::kClassical;
+      diag.coplot_degraded = true;
+    } catch (...) {
+      diag.coplot_events.push_back(
+          make_event(std::current_exception(), "coplot"));
+      diag.coplot_skip_reason = "co-plot stage failed (see events)";
+      return;
+    }
+  }
+}
+
 void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
-                  const BatchOptions& options) {
+                  const BatchOptions& options, const StopToken& stop) {
   const std::size_t count = result.logs.size();
+  BatchDiagnostics& diag = result.diagnostics;
+
+  selfsim::HurstOptions hurst_options = options.hurst;
+  if (stop.stop_possible()) hurst_options.stop = stop;
 
   // Wave 2 — per-(series, estimator) tasks over a flat index space; each
-  // task fills exactly one HurstEstimate slot.
+  // task fills exactly one HurstEstimate slot. Twelve tasks share a log's
+  // diagnostics slot, so contained errors go into a flat-indexed side
+  // array and merge serially afterwards (race-free and deterministic).
+  const std::size_t total = count * kAttributes * kEstimators;
+  std::vector<std::optional<DiagnosticEvent>> hurst_errors(total);
   for_each(
-      count * kAttributes * kEstimators,
+      total,
       [&](std::size_t flat) {
         const std::size_t i = flat / (kAttributes * kEstimators);
         const std::size_t a = (flat / kEstimators) % kAttributes;
         const std::size_t e = flat % kEstimators;
+        if (!diag.logs[i].usable()) return;
         AttributeHurst& slot = result.logs[i].hurst[a];
         if (!slot.estimated) return;
         const auto& series = scratch[i].series[a];
         const auto& prefix = scratch[i].prefix[a];
-        switch (e) {
-          case 0:
-            slot.report.rs = selfsim::hurst_rs(series, prefix, options.hurst);
-            break;
-          case 1:
-            slot.report.variance_time =
-                selfsim::hurst_variance_time(series, prefix, options.hurst);
-            break;
-          default:
-            slot.report.periodogram =
-                selfsim::hurst_periodogram(series, options.hurst);
-            break;
+        try {
+          switch (e) {
+            case 0:
+              slot.report.rs =
+                  selfsim::hurst_rs(series, prefix, hurst_options);
+              break;
+            case 1:
+              slot.report.variance_time =
+                  selfsim::hurst_variance_time(series, prefix, hurst_options);
+              break;
+            default:
+              slot.report.periodogram =
+                  selfsim::hurst_periodogram(series, hurst_options);
+              break;
+          }
+        } catch (...) {
+          hurst_errors[flat] = make_event(std::current_exception(), "hurst");
         }
       },
       options.parallel);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    if (!hurst_errors[flat]) continue;
+    const std::size_t i = flat / (kAttributes * kEstimators);
+    diag.logs[i].events.push_back(std::move(*hurst_errors[flat]));
+    escalate(diag.logs[i], LogStatus::kDegraded);
+  }
 
-  // Wave 3 — Co-plot over the characterization dataset (SSA restarts run on
-  // the pool inside analyze()).
-  if (options.run_coplot && count >= 3) {
-    std::vector<workload::WorkloadStats> stats;
-    stats.reserve(count);
-    for (const LogAnalysis& analysis : result.logs) {
-      stats.push_back(analysis.stats);
+  // Wave 3 — Co-plot over the surviving logs' characterizations (SSA
+  // restarts run on the pool inside analyze()), with reseeded retries and
+  // a classical-MDS fallback when the map diverges.
+  run_coplot_stage(result, options, stop);
+
+  const auto is_cancel = [](const DiagnosticEvent& event) {
+    return event.code == ErrorCode::kCancelled ||
+           event.code == ErrorCode::kDeadlineExceeded;
+  };
+  for (const LogDiagnostics& log : diag.logs) {
+    for (const DiagnosticEvent& event : log.events) {
+      if (is_cancel(event)) diag.cancelled = true;
     }
-    const auto& codes = options.variable_codes.empty()
-                            ? workload::WorkloadStats::all_codes()
-                            : options.variable_codes;
-    coplot::Options coplot_options = options.coplot;
-    coplot_options.ssa.parallel_restarts = options.parallel;
-    result.coplot =
-        coplot::analyze(workload::make_dataset(stats, codes), coplot_options);
-    result.coplot_run = true;
+  }
+  for (const DiagnosticEvent& event : diag.coplot_events) {
+    if (is_cancel(event)) diag.cancelled = true;
   }
 }
 

@@ -1,0 +1,102 @@
+#include "cpw/analysis/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace cpw::analysis {
+
+const char* log_status_name(LogStatus status) noexcept {
+  switch (status) {
+    case LogStatus::kOk:
+      return "ok";
+    case LogStatus::kDegraded:
+      return "degraded";
+    case LogStatus::kFailed:
+      break;
+  }
+  return "failed";
+}
+
+ErrorCode classify_exception(const std::exception_ptr& error) noexcept {
+  if (!error) return ErrorCode::kUnknown;
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return e.code();
+  } catch (...) {
+    return ErrorCode::kUnknown;
+  }
+}
+
+DiagnosticEvent make_event(const std::exception_ptr& error, std::string stage) {
+  DiagnosticEvent event;
+  event.stage = std::move(stage);
+  event.code = classify_exception(error);
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      event.message = e.what();
+    } catch (...) {
+      event.message = "non-standard exception";
+    }
+  }
+  return event;
+}
+
+namespace {
+
+std::size_t count_status(const std::vector<LogDiagnostics>& logs,
+                         LogStatus status) noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(logs.begin(), logs.end(), [status](const LogDiagnostics& d) {
+        return d.status == status;
+      }));
+}
+
+void append_events(std::string& out, const std::vector<DiagnosticEvent>& events) {
+  for (const DiagnosticEvent& event : events) {
+    out += "    [" + std::string(error_code_name(event.code)) + "] " +
+           event.stage + ": " + event.message + "\n";
+  }
+}
+
+}  // namespace
+
+std::size_t BatchDiagnostics::ok_count() const noexcept {
+  return count_status(logs, LogStatus::kOk);
+}
+
+std::size_t BatchDiagnostics::degraded_count() const noexcept {
+  return count_status(logs, LogStatus::kDegraded);
+}
+
+std::size_t BatchDiagnostics::failed_count() const noexcept {
+  return count_status(logs, LogStatus::kFailed);
+}
+
+std::string BatchDiagnostics::summary() const {
+  std::string out = "batch: " + std::to_string(logs.size()) + " log(s), " +
+                    std::to_string(ok_count()) + " ok, " +
+                    std::to_string(degraded_count()) + " degraded, " +
+                    std::to_string(failed_count()) + " failed";
+  if (cancelled) out += " (cancelled — partial results)";
+  out += "\n";
+  for (const LogDiagnostics& log : logs) {
+    if (log.status == LogStatus::kOk && log.quarantine.empty()) continue;
+    out += "  " + log.name + ": " + log_status_name(log.status) + "\n";
+    if (!log.quarantine.empty()) {
+      out += "    " + log.quarantine.summary() + "\n";
+    }
+    append_events(out, log.events);
+  }
+  if (!coplot_skip_reason.empty()) {
+    out += "  coplot: skipped — " + coplot_skip_reason + "\n";
+  } else if (coplot_degraded) {
+    out += "  coplot: degraded — classical-MDS fallback after " +
+           std::to_string(ssa_retries + 1) + " SSA attempt(s)\n";
+  }
+  append_events(out, coplot_events);
+  return out;
+}
+
+}  // namespace cpw::analysis

@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "cpw/analysis/diagnostics.hpp"
 #include "cpw/coplot/coplot.hpp"
 #include "cpw/selfsim/hurst.hpp"
 #include "cpw/swf/log.hpp"
 #include "cpw/swf/reader.hpp"
+#include "cpw/util/stop_token.hpp"
 #include "cpw/workload/characterize.hpp"
 
 namespace cpw::analysis {
@@ -32,13 +34,33 @@ struct BatchOptions {
   /// and bit-identical to `parallel = false`.
   bool parallel = true;
 
-  /// Run the Co-plot stage (needs >= 3 logs; skipped otherwise).
+  /// Run the Co-plot stage (needs >= 3 usable logs; skipped otherwise with
+  /// the reason recorded in the diagnostics).
   bool run_coplot = true;
 
   /// Reader used by the file-path overload of run_batch. Chunked decode of
   /// one file degrades to serial when it already runs inside a pool worker,
   /// so the per-file tasks keep the pool busy without oversubscribing.
+  /// Set `reader.policy = DecodePolicy::kLenient` to quarantine dirty
+  /// lines/jobs (recorded per log in the diagnostics) instead of failing
+  /// the log.
   swf::ReaderOptions reader;
+
+  /// Cooperative cancellation for the whole batch; polled between stages
+  /// and inside the reader, the Hurst kernels, and the SSA descent. A
+  /// fired token yields partial results: logs finished before the stop
+  /// stay valid, the rest are recorded as cancelled in the diagnostics.
+  /// Within run_batch this token supersedes `reader.stop`.
+  StopToken stop;
+
+  /// Wall-clock budget in seconds for the whole batch (0 = none). Combined
+  /// with `stop` into one deadline-carrying token at entry.
+  double deadline_seconds = 0.0;
+
+  /// When the SSA map fails to converge (cpw::NumericError), retry with
+  /// this many reseeded restarts before falling back to a classical-MDS
+  /// embedding (flagged `coplot_degraded` in the diagnostics).
+  int ssa_retry_attempts = 2;
 };
 
 /// Hurst estimates for one per-job attribute series of one log.
@@ -59,8 +81,14 @@ struct LogAnalysis {
 /// Output of `run_batch`.
 struct BatchResult {
   std::vector<LogAnalysis> logs;  ///< same order as the input span
-  bool coplot_run = false;        ///< false when skipped (options / < 3 logs)
+  bool coplot_run = false;        ///< false when skipped (see diagnostics)
   coplot::Result coplot;
+  /// Indices into `logs` of the observations the Co-plot was fit over
+  /// (failed logs are excluded). Empty when the Co-plot was skipped.
+  std::vector<std::size_t> coplot_members;
+  /// Per-log fault records (slot-for-slot with `logs`) plus the
+  /// batch-level story: cancellation, SSA fallback, Co-plot skip reason.
+  BatchDiagnostics diagnostics;
 };
 
 /// Runs characterize → Hurst → Co-plot over a set of logs.
@@ -72,6 +100,16 @@ struct BatchResult {
 /// restarts on the pool. Every log needs at least two jobs (characterize's
 /// requirement); Hurst estimates are marked unestimated for series shorter
 /// than selfsim::kMinHurstLength.
+///
+/// Fault isolation: no exception from a per-log task escapes run_batch.
+/// Each log's errors are contained into its preassigned diagnostics slot
+/// (status failed/degraded with the error chain) and the batch continues
+/// over the rest; the Co-plot stage runs over all surviving logs, retrying
+/// a diverging SSA with reseeded restarts and then a classical-MDS
+/// fallback. Even a stop token that fired before the call yields a
+/// (fully cancelled) result rather than a throw. On clean inputs with
+/// default (strict) options the results are bit-identical to the
+/// fail-fast pipeline this replaced.
 BatchResult run_batch(std::span<const swf::Log> logs,
                       const BatchOptions& options = {});
 
@@ -82,7 +120,10 @@ BatchResult run_batch(std::span<const swf::Log> logs,
 /// attribute series are extracted — peak memory is O(largest log x
 /// workers), not O(sum of logs) — which is what makes many large logs
 /// feasible in one call. Results are bit-identical to loading every file
-/// first and calling the span overload.
+/// first and calling the span overload. A file that cannot be opened or
+/// parsed fails only its own slot (see the fault-isolation notes above);
+/// under the lenient reader policy its quarantine report lands in the
+/// log's diagnostics and the log is marked degraded instead.
 BatchResult run_batch(std::span<const std::string> paths,
                       const BatchOptions& options = {});
 

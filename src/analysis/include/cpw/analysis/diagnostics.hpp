@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::analysis {
+
+/// Outcome of one log's trip through the batch pipeline.
+enum class LogStatus {
+  kOk,        ///< full analysis, nothing quarantined or substituted
+  kDegraded,  ///< usable, but something was contained (quarantined jobs,
+              ///< a failed Hurst estimator, a fallback embedding)
+  kFailed,    ///< no usable analysis (malformed file, too few jobs, ...)
+};
+
+[[nodiscard]] const char* log_status_name(LogStatus status) noexcept;
+
+/// One contained error: which stage it happened in, classified by code.
+/// Events accumulate in occurrence order, so the chain for a log that
+/// failed ingest then was skipped downstream reads top to bottom.
+struct DiagnosticEvent {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string stage;    ///< "ingest", "characterize", "hurst", "coplot"
+  std::string message;  ///< the exception's what()
+};
+
+/// Per-log fault record carried in BatchResult, slot-for-slot parallel to
+/// BatchResult::logs. A failed log's analysis slot holds defaults; its
+/// diagnostics explain why.
+struct LogDiagnostics {
+  std::string name;
+  LogStatus status = LogStatus::kOk;
+  std::vector<DiagnosticEvent> events;
+  /// Lenient-decode quarantine results (file-path overload only; empty for
+  /// preloaded logs and under the strict policy).
+  swf::QuarantineReport quarantine;
+  double ingest_seconds = 0.0;   ///< mmap + decode (file overload; else 0)
+  double analyze_seconds = 0.0;  ///< characterize + series extraction
+
+  /// Whether the log's analysis can feed downstream stages (Co-plot).
+  [[nodiscard]] bool usable() const noexcept {
+    return status != LogStatus::kFailed;
+  }
+};
+
+/// Whole-batch fault record: per-log slots plus the cross-cutting story
+/// (cancellation, SSA fallback, why the Co-plot was skipped).
+struct BatchDiagnostics {
+  std::vector<LogDiagnostics> logs;  ///< same order as BatchResult::logs
+
+  /// The stop token / deadline fired at some point during the run; results
+  /// are partial (whatever completed before the stop is still valid).
+  bool cancelled = false;
+
+  /// The Co-plot embedding came from the classical-MDS fallback after SSA
+  /// failed to converge `ssa_retries + 1` times.
+  bool coplot_degraded = false;
+  std::size_t ssa_retries = 0;  ///< reseeded SSA attempts beyond the first
+  std::vector<DiagnosticEvent> coplot_events;
+
+  /// Non-empty when the Co-plot stage did not run, explaining why
+  /// ("disabled by options", "only 2 of 4 logs usable (need >= 3)", ...).
+  std::string coplot_skip_reason;
+
+  [[nodiscard]] std::size_t ok_count() const noexcept;
+  [[nodiscard]] std::size_t degraded_count() const noexcept;
+  [[nodiscard]] std::size_t failed_count() const noexcept;
+
+  /// Multi-line human-readable rendering of the whole record.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Classifies an in-flight exception for a diagnostics event: cpw::Error
+/// subclasses report their code; anything else is kUnknown.
+[[nodiscard]] ErrorCode classify_exception(const std::exception_ptr& error) noexcept;
+
+/// Builds the event for a caught exception. Call from inside a catch block
+/// with std::current_exception().
+[[nodiscard]] DiagnosticEvent make_event(const std::exception_ptr& error,
+                                         std::string stage);
+
+}  // namespace cpw::analysis

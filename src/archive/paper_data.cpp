@@ -79,7 +79,7 @@ double PaperWorkloadRow::get(std::string_view code) const {
   if (code == "Ci") return Ci;
   if (code == "Im") return Im;
   if (code == "Ii") return Ii;
-  throw Error("unknown paper variable code: " + std::string(code));
+  throw Error("unknown paper variable code: " + std::string(code), ErrorCode::kInvalidArgument);
 }
 
 std::span<const PaperWorkloadRow> table1() { return kTable1; }

@@ -6,6 +6,7 @@
 #include <numbers>
 #include <numeric>
 
+#include "cpw/mds/classical.hpp"
 #include "cpw/mds/dissimilarity.hpp"
 #include "cpw/stats/correlation.hpp"
 #include "cpw/stats/descriptive.hpp"
@@ -220,7 +221,9 @@ Result analyze_once(Dataset dataset, const Options& options) {
   const Matrix diss = city_block_with_missing(normalized);
 
   Result result;
-  result.embedding = mds::ssa(diss, options.ssa);
+  result.embedding = options.embedding_method == EmbeddingMethod::kClassical
+                         ? mds::classical_mds(diss)
+                         : mds::ssa(diss, options.ssa);
   result.embedding.center();
   result.alienation = result.embedding.alienation;
 

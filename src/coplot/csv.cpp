@@ -97,7 +97,7 @@ Dataset read_csv(std::istream& in) {
 
 Dataset load_csv(const std::string& path) {
   std::ifstream file(path);
-  if (!file) throw Error("cannot open CSV file: " + path);
+  if (!file) throw Error("cannot open CSV file: " + path, ErrorCode::kIo);
   return read_csv(file);
 }
 

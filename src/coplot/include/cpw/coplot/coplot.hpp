@@ -55,9 +55,20 @@ struct Arrow {
   double correlation = 0.0;  ///< the attained maximal correlation (>= 0)
 };
 
+/// How the stage-3 map is produced.
+enum class EmbeddingMethod {
+  kSsa,        ///< Guttman SSA (the paper's method; the default)
+  kClassical,  ///< classical (Torgerson) MDS — deterministic, never
+               ///< diverges; the batch pipeline's fallback when SSA fails
+};
+
 /// Options controlling the pipeline.
 struct Options {
   mds::SsaOptions ssa;
+
+  /// Stage-3 solver. kClassical skips the SSA descent entirely (no
+  /// restarts, no iteration) and scores the Torgerson map's alienation.
+  EmbeddingMethod embedding_method = EmbeddingMethod::kSsa;
 
   /// When > 0, variables whose maximal correlation falls below this value
   /// are eliminated one at a time (worst first) and the map is refit — the

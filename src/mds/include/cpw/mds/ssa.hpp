@@ -4,6 +4,7 @@
 
 #include "cpw/mds/embedding.hpp"
 #include "cpw/util/matrix.hpp"
+#include "cpw/util/stop_token.hpp"
 
 namespace cpw::mds {
 
@@ -14,6 +15,17 @@ struct SsaOptions {
   int random_restarts = 8;        ///< extra random starts beside classical init
   std::uint64_t seed = 0x5EEDu;   ///< master seed for the random starts
   bool parallel_restarts = true;  ///< run restarts on the global thread pool
+
+  /// Convergence quality gate: after all restarts, a best map whose
+  /// coefficient of alienation is non-finite or exceeds this value raises
+  /// cpw::NumericError ("ssa failed to converge") so callers can reseed or
+  /// fall back instead of consuming a junk embedding. The default (1.0,
+  /// the alienation upper bound) disables the gate — only NaN trips it.
+  double max_alienation = 1.0;
+
+  /// Cooperative cancellation, polled once per SMACOF iteration in every
+  /// restart; a fired token raises cpw::CancelledError.
+  StopToken stop;
 };
 
 /// Guttman's Smallest Space Analysis (non-metric MDS to two dimensions).

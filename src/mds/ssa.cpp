@@ -54,6 +54,7 @@ Embedding descend(std::span<const double> s,
   int iteration = 0;
 
   for (; iteration < opt.max_iterations; ++iteration) {
+    opt.stop.throw_if_stopped("ssa descent");
     // Current map distances.
     {
       std::size_t p = 0;
@@ -147,6 +148,11 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
   // Shared, read-only across restarts: the dissimilarity vector and the
   // pair order monotone regression works in (sorted once, not per restart).
   const std::vector<double> s = upper_triangle(diss);
+  for (const double value : s) {
+    if (!std::isfinite(value)) {
+      throw NumericError("ssa: non-finite dissimilarity");
+    }
+  }
   std::vector<std::size_t> order(s.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),
@@ -186,6 +192,14 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
       results.begin(), results.end(), [](const Embedding& a, const Embedding& b) {
         return a.alienation < b.alienation;
       });
+  // Quality gate: `!(x <= bound)` is also true for NaN, so a descent that
+  // degenerated to a non-finite map is rejected the same way as one that
+  // merely fits worse than the caller tolerates.
+  if (!(best->alienation <= options.max_alienation)) {
+    throw NumericError("ssa failed to converge: alienation " +
+                       std::to_string(best->alienation) + " exceeds bound " +
+                       std::to_string(options.max_alienation));
+  }
   return *best;
 }
 

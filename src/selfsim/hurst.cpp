@@ -124,6 +124,7 @@ HurstEstimate hurst_rs(std::span<const double> series,
 
   LogLogPoints points;
   for (std::size_t n : sizes) {
+    options.stop.throw_if_stopped("hurst_rs");
     const double rs = average_rs(series, prefix, n);
     if (rs <= 0.0) continue;
     points.log_x.push_back(std::log10(static_cast<double>(n)));
@@ -153,6 +154,7 @@ HurstEstimate hurst_variance_time(std::span<const double> series,
   // an O(1) prefix lookup — O(blocks) per level, no aggregated copy.
   LogLogPoints points;
   for (std::size_t m : sizes) {
+    options.stop.throw_if_stopped("hurst_variance_time");
     const std::size_t blocks = series.size() / m;
     if (blocks < 2) continue;
     double s1 = 0.0, s2 = 0.0;
@@ -180,6 +182,7 @@ HurstEstimate hurst_periodogram(std::span<const double> series,
                                 const HurstOptions& options) {
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
+  options.stop.throw_if_stopped("hurst_periodogram");
 
   // Work on the largest power-of-two prefix so the spectrum is an FFT.
   std::size_t n = std::size_t{1} << static_cast<std::size_t>(
@@ -222,6 +225,7 @@ HurstEstimate hurst_abs_moments(std::span<const double> series,
 
   LogLogPoints points;
   for (std::size_t m : sizes) {
+    options.stop.throw_if_stopped("hurst_abs_moments");
     const std::size_t blocks = series.size() / m;
     if (blocks < 2) continue;
     double abs_moment = 0.0;
@@ -246,6 +250,7 @@ HurstEstimate hurst_local_whittle(std::span<const double> series,
                                   const HurstOptions& options) {
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
+  options.stop.throw_if_stopped("hurst_local_whittle");
 
   // Periodogram at the lowest Fourier frequencies (power-of-two prefix).
   std::size_t n = std::size_t{1} << static_cast<std::size_t>(

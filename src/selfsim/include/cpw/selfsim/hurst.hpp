@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "cpw/util/stop_token.hpp"
+
 namespace cpw::selfsim {
 
 /// Averages non-overlapping blocks of size m (paper eq. 8); the tail block
@@ -64,6 +66,10 @@ struct HurstOptions {
   double max_block_fraction = 0.25;///< largest block as a fraction of n
   std::size_t points_per_decade = 8;
   double periodogram_cutoff = 0.10;///< fraction of lowest frequencies used
+  /// Cooperative cancellation, polled once per block-size level (and at
+  /// entry for the spectral estimators); a fired token raises
+  /// cpw::CancelledError so a runaway estimation cannot hang a batch.
+  StopToken stop;
 };
 
 /// Rescaled-adjusted-range (R/S, pox plot) estimator — appendix eq. 12–15.

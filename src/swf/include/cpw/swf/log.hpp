@@ -71,6 +71,14 @@ class Log {
     return input_submit_inversions_;
   }
 
+  /// Largest submit-time regression (seconds below the running maximum) in
+  /// the original input order, recorded by finalize() before it sorts —
+  /// validate() reports it, and the lenient reader quarantines jobs beyond
+  /// a configurable bound of it. 0 for monotone input.
+  [[nodiscard]] double max_input_submit_regression() const noexcept {
+    return max_input_submit_regression_;
+  }
+
   /// Jobs whose queue id matches (the paper's interactive/batch split).
   [[nodiscard]] Log filter_queue(std::int64_t queue_id,
                                  const std::string& suffix) const;
@@ -91,6 +99,7 @@ class Log {
   double duration_ = 0.0;                    ///< cached by finalize()
   std::int64_t max_job_processors_ = 0;      ///< cached by finalize()
   std::size_t input_submit_inversions_ = 0;  ///< recorded by finalize()
+  double max_input_submit_regression_ = 0.0; ///< recorded by finalize()
 };
 
 /// Parses a Standard Workload Format stream. Header comments (`; Key: Value`)
@@ -124,6 +133,14 @@ struct ValidationReport {
   /// scanning the — always sorted — finalized job list).
   std::size_t non_monotone_submit = 0;
   std::size_t missing_cpu_time = 0;
+  /// Of `negative_runtime`, how many are the SWF -1 "missing" sentinel
+  /// (legal) vs. genuinely impossible values — the split the lenient
+  /// reader's quarantine uses.
+  std::size_t sentinel_runtime = 0;
+  std::size_t impossible_runtime = 0;
+  /// Largest submit-time regression in input order, seconds (see
+  /// Log::max_input_submit_regression()).
+  double max_submit_regression = 0.0;
 
   [[nodiscard]] bool clean() const {
     return negative_runtime == 0 && zero_processors == 0 &&

@@ -1,13 +1,26 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cpw/swf/log.hpp"
+#include "cpw/util/stop_token.hpp"
 
 namespace cpw::swf {
+
+/// How the reader treats malformed or physically impossible input.
+enum class DecodePolicy {
+  /// Today's behavior: the first malformed line aborts the whole parse with
+  /// a cpw::ParseError carrying its exact line number.
+  kStrict,
+  /// Real accounting logs are dirty: malformed lines and impossible jobs
+  /// are quarantined (counted + sampled with exact line numbers in a
+  /// QuarantineReport) and the rest of the file decodes normally.
+  kLenient,
+};
 
 /// Tuning knobs for the high-throughput SWF reader.
 struct ReaderOptions {
@@ -20,6 +33,52 @@ struct ReaderOptions {
   /// Target bytes per decode chunk. Smaller chunks load-balance better and
   /// are useful in tests to force the multi-chunk path on small inputs.
   std::size_t chunk_bytes = std::size_t{1} << 20;
+
+  /// Error policy. Strict mode is the default and is bit-identical to the
+  /// pre-quarantine reader on every input.
+  DecodePolicy policy = DecodePolicy::kStrict;
+
+  /// Lenient mode keeps at most this many per-line details in
+  /// QuarantineReport::samples (counts stay exact; the report is bounded so
+  /// a pathological file cannot balloon memory).
+  std::size_t quarantine_sample_limit = 32;
+
+  /// Lenient mode quarantines a job whose submit time precedes the running
+  /// maximum by more than this many seconds (clock jumps / corrupt
+  /// timestamps). Small reorderings are legal SWF — finalize() sorts them —
+  /// so the default (infinity) disables the check.
+  double max_submit_regression = std::numeric_limits<double>::infinity();
+
+  /// Cooperative cancellation: polled between chunks and every few thousand
+  /// lines inside a chunk. A fired token aborts the parse with
+  /// cpw::CancelledError.
+  StopToken stop;
+};
+
+/// One quarantined input line: where and why.
+struct QuarantinedLine {
+  std::size_t line = 0;  ///< 1-based absolute line number
+  std::string reason;
+};
+
+/// What lenient decode removed from a file, with exact line numbers for the
+/// first `quarantine_sample_limit` offenders. Counts are always exact.
+struct QuarantineReport {
+  std::size_t malformed_lines = 0;      ///< wrong field count / bad numerics
+  std::size_t negative_runtime = 0;     ///< run_time < 0 that is not the -1 sentinel
+  std::size_t over_machine_size = 0;    ///< processors > MaxProcs header
+  std::size_t submit_regressions = 0;   ///< submit time regressed beyond bound
+  std::vector<QuarantinedLine> samples; ///< first offenders, file order, bounded
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return malformed_lines + negative_runtime + over_machine_size +
+           submit_regressions;
+  }
+  [[nodiscard]] bool empty() const noexcept { return total() == 0; }
+
+  /// One-line human-readable rendering ("quarantined 7 lines: ...");
+  /// empty string when nothing was quarantined.
+  [[nodiscard]] std::string summary() const;
 };
 
 /// Read-only view of a whole file: memory-mapped where the platform allows
@@ -55,17 +114,25 @@ class MappedFile {
 /// Parses a whole SWF buffer with zero-copy `std::string_view` tokenization
 /// and `std::from_chars` field decoding (no exceptions on the hot path).
 /// The buffer is split at newline boundaries into chunks which decode
-/// independently (in parallel when `options.parallel`); per-chunk errors are
-/// collected with their exact 1-based line numbers and the first one in
-/// file order is rethrown as cpw::ParseError — identical to the error the
-/// serial parser reports. The spliced result is bit-identical to
-/// `parse_swf` on the same bytes.
+/// independently (in parallel when `options.parallel`). Under the strict
+/// policy, per-chunk errors are collected with their exact 1-based line
+/// numbers and the first one in file order is rethrown as cpw::ParseError —
+/// identical to the error the serial parser reports — and the spliced
+/// result is bit-identical to `parse_swf` on the same bytes. Under the
+/// lenient policy offending lines/jobs are quarantined into `quarantine`
+/// instead (the overload without a report still quarantines, it just
+/// discards the details).
 Log parse_swf_buffer(std::string_view text, const std::string& name,
                      const ReaderOptions& options = {});
+Log parse_swf_buffer(std::string_view text, const std::string& name,
+                     const ReaderOptions& options,
+                     QuarantineReport& quarantine);
 
 /// Memory-maps `path` and runs `parse_swf_buffer` over it — the fast path
 /// behind `load_swf`.
 Log load_swf_fast(const std::string& path, const ReaderOptions& options = {});
+Log load_swf_fast(const std::string& path, const ReaderOptions& options,
+                  QuarantineReport& quarantine);
 
 /// Formats a log as SWF text into one buffer using `std::to_chars`
 /// (byte-identical to the stream writer's output, an order of magnitude

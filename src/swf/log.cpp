@@ -58,9 +58,17 @@ double Log::duration() const {
 
 void Log::finalize() {
   input_submit_inversions_ = 0;
+  max_input_submit_regression_ = 0.0;
+  double running_max = jobs_.empty() ? 0.0 : jobs_.front().submit_time;
   for (std::size_t i = 1; i < jobs_.size(); ++i) {
     if (jobs_[i].submit_time < jobs_[i - 1].submit_time) {
       ++input_submit_inversions_;
+    }
+    if (jobs_[i].submit_time < running_max) {
+      max_input_submit_regression_ = std::max(
+          max_input_submit_regression_, running_max - jobs_[i].submit_time);
+    } else {
+      running_max = jobs_[i].submit_time;
     }
   }
   // No adjacent inversion means already submit-sorted — the overwhelmingly
@@ -216,11 +224,11 @@ void write_swf(std::ostream& out, const Log& log) {
 
 void save_swf(const std::string& path, const Log& log) {
   std::ofstream file(path, std::ios::binary);
-  if (!file) throw Error("cannot open SWF output file: " + path);
+  if (!file) throw Error("cannot open SWF output file: " + path, ErrorCode::kIo);
   const std::string text = format_swf(log);
   file.write(text.data(), static_cast<std::streamsize>(text.size()));
   file.flush();
-  if (!file) throw Error("failed writing SWF file: " + path);
+  if (!file) throw Error("failed writing SWF file: " + path, ErrorCode::kIo);
 }
 
 ValidationReport validate(const Log& log) {
@@ -228,7 +236,14 @@ ValidationReport validate(const Log& log) {
   report.total_jobs = log.size();
   const std::int64_t machine = log.max_processors();
   for (const Job& job : log.jobs()) {
-    if (job.run_time < 0) ++report.negative_runtime;
+    if (job.run_time < 0) {
+      ++report.negative_runtime;
+      if (job.run_time == -1.0) {
+        ++report.sentinel_runtime;
+      } else {
+        ++report.impossible_runtime;
+      }
+    }
     if (job.processors <= 0) ++report.zero_processors;
     if (machine > 0 && job.processors > machine) ++report.over_machine_size;
     if (job.cpu_time_avg < 0) ++report.missing_cpu_time;
@@ -237,6 +252,7 @@ ValidationReport validate(const Log& log) {
   // see an inversion; the count from the original input order is recorded
   // by Log::finalize() before it sorts.
   report.non_monotone_submit = log.input_submit_inversions();
+  report.max_submit_regression = log.max_input_submit_regression();
   return report;
 }
 

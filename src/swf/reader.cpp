@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <utility>
 
 #include "cpw/util/error.hpp"
@@ -26,10 +27,10 @@ namespace {
 
 std::vector<char> read_whole_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
-  if (!file) throw Error("cannot open SWF file: " + path);
+  if (!file) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
   std::vector<char> buffer((std::istreambuf_iterator<char>(file)),
                            std::istreambuf_iterator<char>());
-  if (file.bad()) throw Error("cannot open SWF file: " + path);
+  if (file.bad()) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
   return buffer;
 }
 
@@ -38,7 +39,7 @@ std::vector<char> read_whole_file(const std::string& path) {
 MappedFile::MappedFile(const std::string& path) {
 #if CPW_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) throw Error("cannot open SWF file: " + path);
+  if (fd < 0) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
   struct stat st{};
   if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
     const auto length = static_cast<std::size_t>(st.st_size);
@@ -164,6 +165,9 @@ std::string_view trim_header(std::string_view s) noexcept {
 
 constexpr std::size_t kSwfFields = 18;
 
+/// Poll the cancellation token once per this many decoded lines.
+constexpr std::size_t kStopPollLines = 4096;
+
 /// Everything one chunk produces; spliced in chunk (= file) order.
 struct ChunkResult {
   JobList jobs;
@@ -172,12 +176,21 @@ struct ChunkResult {
   bool has_error = false;
   std::size_t error_line = 0;  ///< 0-based line index *within* the chunk
   std::string error_message;
+  // Lenient-policy extras. `job_lines[i]` is the 0-based chunk-local line
+  // job i came from, kept so the post-splice impossible-job filter can
+  // report exact absolute line numbers.
+  std::size_t malformed = 0;
+  std::vector<QuarantinedLine> quarantined;  ///< chunk-local lines, bounded
+  std::vector<std::size_t> job_lines;
+  bool cancelled = false;  ///< the stop token fired mid-chunk
 };
 
 /// Decodes one line (no trailing '\n'; may end in '\r'). Returns false and
-/// fills `result`'s error fields on a malformed line.
+/// fills `result`'s error fields on a malformed line. Under the lenient
+/// policy malformed lines are counted/sampled instead and decoding
+/// continues (always returns true).
 bool decode_line(std::string_view line, std::size_t line_index,
-                 ChunkResult& result) {
+                 const ReaderOptions& options, ChunkResult& result) {
   if (line.empty()) return true;
   if (line.front() == ';') {
     // Header comment: "; Key: Value".
@@ -208,6 +221,13 @@ bool decode_line(std::string_view line, std::size_t line_index,
   }
   if (count == 0) return true;
   auto fail = [&](std::string message) {
+    if (options.policy == DecodePolicy::kLenient) {
+      ++result.malformed;
+      if (result.quarantined.size() < options.quarantine_sample_limit) {
+        result.quarantined.push_back({line_index, std::move(message)});
+      }
+      return true;  // keep decoding the rest of the chunk
+    }
     result.has_error = true;
     result.error_line = line_index;
     result.error_message = std::move(message);
@@ -244,12 +264,17 @@ bool decode_line(std::string_view line, std::size_t line_index,
   job.preceding_job = static_cast<std::int64_t>(fields[16]);
   job.think_time = fields[17];
   result.jobs.push_back(job);
+  if (options.policy == DecodePolicy::kLenient) {
+    result.job_lines.push_back(line_index);
+  }
   return true;
 }
 
-void decode_chunk(std::string_view chunk, ChunkResult& result) {
+void decode_chunk(std::string_view chunk, const ReaderOptions& options,
+                  ChunkResult& result) {
   // ~120 bytes per job line is typical; a mild over-reserve avoids regrowth.
   result.jobs.reserve(chunk.size() / 96 + 1);
+  const bool poll_stop = options.stop.stop_possible();
   const char* p = chunk.data();
   const char* const end = p + chunk.size();
   while (p < end) {
@@ -259,7 +284,12 @@ void decode_chunk(std::string_view chunk, ChunkResult& result) {
     const std::string_view line(p, static_cast<std::size_t>(line_end - p));
     const std::size_t line_index = result.lines;
     ++result.lines;
-    if (!decode_line(line, line_index, result)) {
+    if (poll_stop && line_index % kStopPollLines == 0 &&
+        options.stop.should_stop()) {
+      result.cancelled = true;
+      return;
+    }
+    if (!decode_line(line, line_index, options, result)) {
       // The whole parse throws on the earliest error; nothing after this
       // line in this chunk can matter.
       return;
@@ -290,8 +320,95 @@ std::vector<std::size_t> chunk_starts(std::string_view text,
 
 }  // namespace
 
+namespace {
+
+/// MaxProcs from spliced header pairs, 0 when absent or unparsable.
+std::int64_t header_max_procs(const Log& log) {
+  const auto it = log.header().find("MaxProcs");
+  if (it == log.header().end()) return 0;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return 0;
+  }
+}
+
+/// Lenient stage 2: drop physically impossible jobs — negative runtimes
+/// that are not the SWF -1 "missing" sentinel, jobs wider than the MaxProcs
+/// header, and submit times that regress beyond the configured bound
+/// against the running maximum (corrupt timestamps). Runs serially over the
+/// spliced file-order job list; `lines` holds each job's absolute 1-based
+/// source line for exact reporting.
+JobList quarantine_impossible_jobs(JobList jobs,
+                                   const std::vector<std::size_t>& lines,
+                                   std::int64_t max_procs,
+                                   const ReaderOptions& options,
+                                   QuarantineReport& report) {
+  JobList kept;
+  kept.reserve(jobs.size());
+  double running_max_submit = -std::numeric_limits<double>::infinity();
+  const bool bound_submit =
+      options.max_submit_regression < std::numeric_limits<double>::infinity();
+  auto sample = [&](std::size_t line, std::string reason) {
+    report.samples.push_back({line, std::move(reason)});
+  };
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    if (job.run_time < 0.0 && job.run_time != -1.0) {
+      ++report.negative_runtime;
+      sample(lines[i], "negative runtime " + std::to_string(job.run_time) +
+                           " is not the -1 sentinel");
+      continue;
+    }
+    if (max_procs > 0 && job.processors > max_procs) {
+      ++report.over_machine_size;
+      sample(lines[i], "processors " + std::to_string(job.processors) +
+                           " exceed MaxProcs " + std::to_string(max_procs));
+      continue;
+    }
+    if (bound_submit &&
+        job.submit_time < running_max_submit - options.max_submit_regression) {
+      ++report.submit_regressions;
+      sample(lines[i], "submit time regressed " +
+                           std::to_string(running_max_submit - job.submit_time) +
+                           "s beyond bound");
+      continue;
+    }
+    running_max_submit = std::max(running_max_submit, job.submit_time);
+    kept.push_back(job);
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::string QuarantineReport::summary() const {
+  if (empty()) return {};
+  std::string out = "quarantined " + std::to_string(total()) + " line(s):";
+  if (malformed_lines > 0) {
+    out += " " + std::to_string(malformed_lines) + " malformed";
+  }
+  if (negative_runtime > 0) {
+    out += " " + std::to_string(negative_runtime) + " negative-runtime";
+  }
+  if (over_machine_size > 0) {
+    out += " " + std::to_string(over_machine_size) + " over-machine-size";
+  }
+  if (submit_regressions > 0) {
+    out += " " + std::to_string(submit_regressions) + " submit-regression";
+  }
+  if (!samples.empty()) {
+    out += " (first at line " + std::to_string(samples.front().line) + ": " +
+           samples.front().reason + ")";
+  }
+  return out;
+}
+
 Log parse_swf_buffer(std::string_view text, const std::string& name,
-                     const ReaderOptions& options) {
+                     const ReaderOptions& options,
+                     QuarantineReport& quarantine) {
+  const bool lenient = options.policy == DecodePolicy::kLenient;
+  options.stop.throw_if_stopped("SWF decode");
   const std::vector<std::size_t> starts = chunk_starts(text, options.chunk_bytes);
   const std::size_t chunks = starts.size();
   std::vector<ChunkResult> results(chunks);
@@ -299,7 +416,7 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   const auto decode_one = [&](std::size_t i) {
     const std::size_t begin = starts[i];
     const std::size_t end = i + 1 < chunks ? starts[i + 1] : text.size();
-    decode_chunk(text.substr(begin, end - begin), results[i]);
+    decode_chunk(text.substr(begin, end - begin), options, results[i]);
   };
   if (options.parallel && chunks > 1) {
     parallel_for(chunks, decode_one, /*grain=*/1);
@@ -309,10 +426,14 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
 
   // First error in file order, with its absolute 1-based line number. Every
   // chunk before the first erroring one decoded fully, so the running line
-  // total is exact where it matters.
+  // total is exact where it matters. (Lenient chunks never set has_error.)
   std::size_t first_line = 1;
   std::size_t total_jobs = 0;
   for (const ChunkResult& chunk : results) {
+    if (chunk.cancelled) {
+      options.stop.throw_if_stopped("SWF decode");
+      throw CancelledError("SWF decode: stop requested");
+    }
     if (chunk.has_error) {
       throw ParseError(chunk.error_message, first_line + chunk.error_line);
     }
@@ -324,10 +445,38 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   log.set_name(name);
   JobList jobs;
   jobs.reserve(total_jobs);
+  std::vector<std::size_t> job_lines;  // absolute, lenient only
+  if (lenient) job_lines.reserve(total_jobs);
+  std::size_t chunk_first_line = 1;
   for (ChunkResult& chunk : results) {
     jobs.insert(jobs.end(), chunk.jobs.begin(), chunk.jobs.end());
     for (auto& [key, value] : chunk.header) {
       log.set_header(std::move(key), std::move(value));
+    }
+    if (lenient) {
+      for (const std::size_t line : chunk.job_lines) {
+        job_lines.push_back(chunk_first_line + line);
+      }
+      quarantine.malformed_lines += chunk.malformed;
+      for (QuarantinedLine& entry : chunk.quarantined) {
+        entry.line += chunk_first_line;
+        quarantine.samples.push_back(std::move(entry));
+      }
+      chunk_first_line += chunk.lines;
+    }
+  }
+  if (lenient) {
+    jobs = quarantine_impossible_jobs(std::move(jobs), job_lines,
+                                      header_max_procs(log), options,
+                                      quarantine);
+    // Samples arrive grouped by kind (malformed per chunk, then job-level);
+    // present them in file order and re-apply the bound across the merge.
+    std::sort(quarantine.samples.begin(), quarantine.samples.end(),
+              [](const QuarantinedLine& a, const QuarantinedLine& b) {
+                return a.line < b.line;
+              });
+    if (quarantine.samples.size() > options.quarantine_sample_limit) {
+      quarantine.samples.resize(options.quarantine_sample_limit);
     }
   }
   log.assign_jobs(std::move(jobs));
@@ -335,9 +484,21 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   return log;
 }
 
-Log load_swf_fast(const std::string& path, const ReaderOptions& options) {
+Log parse_swf_buffer(std::string_view text, const std::string& name,
+                     const ReaderOptions& options) {
+  QuarantineReport discard;
+  return parse_swf_buffer(text, name, options, discard);
+}
+
+Log load_swf_fast(const std::string& path, const ReaderOptions& options,
+                  QuarantineReport& quarantine) {
   const MappedFile file(path);
-  return parse_swf_buffer(file.view(), path, options);
+  return parse_swf_buffer(file.view(), path, options, quarantine);
+}
+
+Log load_swf_fast(const std::string& path, const ReaderOptions& options) {
+  QuarantineReport discard;
+  return load_swf_fast(path, options, discard);
 }
 
 // --------------------------------------------------------------- fast writer

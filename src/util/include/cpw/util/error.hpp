@@ -5,20 +5,63 @@
 
 namespace cpw {
 
+/// Machine-readable category of a cpw::Error. Diagnostics records carry
+/// these codes so a batch over many logs can aggregate failures by kind
+/// without string-matching exception messages.
+enum class ErrorCode {
+  kUnknown,           ///< uncategorized (foreign exceptions, legacy throws)
+  kInvalidArgument,   ///< precondition violation (CPW_REQUIRE)
+  kIo,                ///< file cannot be opened, read, or written
+  kParse,             ///< malformed Standard Workload Format input
+  kNumeric,           ///< singular system, non-converging iteration
+  kCancelled,         ///< cooperative stop requested via StopSource
+  kDeadlineExceeded,  ///< a StopToken deadline expired
+};
+
+/// Short stable name for an ErrorCode ("parse", "deadline", ...).
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kNumeric:
+      return "numeric";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline";
+    case ErrorCode::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
 /// Base exception for all errors raised by the cpw library.
 ///
 /// Library code throws `Error` (or a subclass) for conditions caused by bad
 /// input or infeasible requests; programming errors use assertions instead.
+/// Every error carries an ErrorCode so containment layers (the batch
+/// pipeline's per-log diagnostics) can classify it without downcasting.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// Raised when a file or stream in Standard Workload Format is malformed.
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, std::size_t line)
-      : Error("parse error at line " + std::to_string(line) + ": " + what),
+      : Error("parse error at line " + std::to_string(line) + ": " + what,
+              ErrorCode::kParse),
         line_(line) {}
 
   /// 1-based line number of the offending input line.
@@ -32,13 +75,26 @@ class ParseError : public Error {
 /// non-converging iteration, invalid parameter domain).
 class NumericError : public Error {
  public:
-  using Error::Error;
+  explicit NumericError(const std::string& what)
+      : Error(what, ErrorCode::kNumeric) {}
+};
+
+/// Raised when a computation is abandoned because a StopToken fired — either
+/// an explicit StopSource::request_stop (kCancelled) or an expired deadline
+/// (kDeadlineExceeded). Long-running kernels poll their token at chunk /
+/// iteration granularity and unwind with this.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what,
+                          ErrorCode code = ErrorCode::kCancelled)
+      : Error(what, code) {}
 };
 
 namespace detail {
 [[noreturn]] inline void throw_require(const char* expr, const std::string& msg) {
   throw Error(std::string("requirement failed: ") + expr +
-              (msg.empty() ? "" : " — " + msg));
+                  (msg.empty() ? "" : " — " + msg),
+              ErrorCode::kInvalidArgument);
 }
 }  // namespace detail
 

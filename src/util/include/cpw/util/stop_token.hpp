@@ -1,0 +1,117 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw {
+
+/// Why a StopToken reports that work should stop.
+enum class StopReason {
+  kNone,           ///< keep going
+  kStopRequested,  ///< StopSource::request_stop was called
+  kDeadline,       ///< the token's deadline passed
+};
+
+/// Cooperative cancellation handle, cheap to copy and poll.
+///
+/// A default-constructed token never stops and `should_stop()` on it is a
+/// branch on two booleans — safe to poll inside hot loops at chunk /
+/// iteration granularity. Tokens are produced by StopSource::token() (for
+/// explicit cancellation) and/or narrowed with `with_deadline()` (for
+/// wall-clock budgets); both conditions are checked by `reason()`.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True when this token can ever request a stop; false for the default
+  /// token, letting callers skip clock reads entirely.
+  [[nodiscard]] bool stop_possible() const noexcept {
+    return flag_ != nullptr || has_deadline_;
+  }
+
+  [[nodiscard]] StopReason reason() const noexcept {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+      return StopReason::kStopRequested;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return StopReason::kDeadline;
+    }
+    return StopReason::kNone;
+  }
+
+  [[nodiscard]] bool should_stop() const noexcept {
+    return stop_possible() && reason() != StopReason::kNone;
+  }
+
+  /// Returns a copy that additionally stops once `seconds` of wall-clock
+  /// time elapse from now (the earlier of the two deadlines wins when the
+  /// token already carries one). Non-positive budgets leave the token
+  /// unchanged.
+  [[nodiscard]] StopToken with_deadline(double seconds) const {
+    if (!(seconds > 0.0)) return *this;
+    const auto when =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    StopToken out = *this;
+    out.deadline_ = out.has_deadline_ ? std::min(out.deadline_, when) : when;
+    out.has_deadline_ = true;
+    return out;
+  }
+
+  /// Throws CancelledError (code kCancelled or kDeadlineExceeded) when the
+  /// token fired; `where` names the interrupted stage in the message.
+  void throw_if_stopped(const char* where) const {
+    if (!stop_possible()) return;
+    switch (reason()) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kStopRequested:
+        throw CancelledError(std::string(where) + ": stop requested",
+                             ErrorCode::kCancelled);
+      case StopReason::kDeadline:
+        throw CancelledError(std::string(where) + ": deadline exceeded",
+                             ErrorCode::kDeadlineExceeded);
+    }
+  }
+
+ private:
+  friend class StopSource;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Owner side of a cancellation flag: hand out tokens, flip the flag once.
+/// Thread-safe; request_stop() may be called from any thread (a signal
+/// handler should use a relaxed atomic elsewhere and forward).
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() const noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StopToken token() const {
+    StopToken out;
+    out.flag_ = flag_;
+    return out;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace cpw

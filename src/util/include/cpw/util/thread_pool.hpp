@@ -2,10 +2,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cpw {
@@ -14,8 +16,11 @@ namespace cpw {
 ///
 /// Workers are started in the constructor and joined in the destructor
 /// (RAII); `submit` enqueues a task, `wait_idle` blocks until every submitted
-/// task has completed. Exceptions thrown by tasks are captured and re-thrown
-/// from `wait_idle` (first one wins).
+/// task has completed. Every task exception is captured together with its
+/// submission index: `wait_idle` re-throws the earliest-submitted one (the
+/// rest are dropped), while `wait_collect` returns all of them in submission
+/// order so callers that need full fault visibility (batch diagnostics)
+/// lose nothing.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads = 0);
@@ -29,20 +34,29 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is drained and all workers are idle; re-throws
-  /// the first task exception, if any.
+  /// the exception of the earliest-submitted failing task, if any. Any
+  /// later errors are discarded — use `wait_collect` to keep them all.
   void wait_idle();
+
+  /// Error-collecting variant of `wait_idle`: blocks the same way but never
+  /// throws. Returns every captured task exception ordered by submission
+  /// index (empty when all tasks succeeded), leaving the pool clean.
+  [[nodiscard]] std::vector<std::exception_ptr> wait_collect();
 
  private:
   void worker_loop();
+  void wait_drained(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::pair<std::size_t, std::function<void()>>> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;
+  std::size_t next_task_index_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;
+  /// (submission index, exception) per failed task since the last wait.
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
 };
 
 /// Runs `body(i)` for i in [0, n) across the global pool, blocking until all

@@ -128,9 +128,9 @@ std::string SvgPlot::render() const {
 
 void SvgPlot::save(const std::string& path) const {
   std::ofstream file(path);
-  if (!file) throw Error("cannot open SVG output file: " + path);
+  if (!file) throw Error("cannot open SVG output file: " + path, ErrorCode::kIo);
   file << render();
-  if (!file) throw Error("failed writing SVG output file: " + path);
+  if (!file) throw Error("failed writing SVG output file: " + path, ErrorCode::kIo);
 }
 
 }  // namespace cpw

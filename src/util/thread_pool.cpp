@@ -34,30 +34,49 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.emplace(next_task_index_++, std::move(task));
   }
   work_available_.notify_one();
 }
 
+void ThreadPool::wait_drained(std::unique_lock<std::mutex>& lock) {
+  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  // Completion order is scheduling-dependent; submission order is not.
+  std::sort(errors_.begin(), errors_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
+  wait_drained(lock);
+  if (!errors_.empty()) {
+    std::exception_ptr error = errors_.front().second;
+    errors_.clear();
     std::rethrow_exception(error);
   }
+}
+
+std::vector<std::exception_ptr> ThreadPool::wait_collect() {
+  std::unique_lock lock(mutex_);
+  wait_drained(lock);
+  std::vector<std::exception_ptr> out;
+  out.reserve(errors_.size());
+  for (auto& [index, error] : errors_) out.push_back(std::move(error));
+  errors_.clear();
+  return out;
 }
 
 void ThreadPool::worker_loop() {
   t_inside_pool_worker = true;
   for (;;) {
+    std::size_t task_index = 0;
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_
-      task = std::move(queue_.front());
+      task_index = queue_.front().first;
+      task = std::move(queue_.front().second);
       queue_.pop();
       ++in_flight_;
     }
@@ -65,7 +84,7 @@ void ThreadPool::worker_loop() {
       task();
     } catch (...) {
       std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      errors_.emplace_back(task_index, std::current_exception());
     }
     {
       std::lock_guard lock(mutex_);

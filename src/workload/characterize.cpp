@@ -46,7 +46,7 @@ double WorkloadStats::get(const std::string& code) const {
   for (const auto& [name, field] : field_table()) {
     if (name == code) return this->*field;
   }
-  throw Error("unknown workload variable code: " + code);
+  throw Error("unknown workload variable code: " + code, ErrorCode::kInvalidArgument);
 }
 
 const std::vector<std::string>& WorkloadStats::all_codes() {

@@ -273,8 +273,15 @@ TEST(RunBatch, FromFilesMatchesPreloadedLogsBitwise) {
     EXPECT_EQ(from_files.coplot.alienation, from_logs.coplot.alienation);
   }
 
+  // A missing file no longer throws: it fails its own slot and the batch
+  // returns with diagnostics.
   const auto missing = std::vector<std::string>{"/no/such/batch_input.swf"};
-  EXPECT_THROW(analysis::run_batch(missing), Error);
+  const analysis::BatchResult broken = analysis::run_batch(missing);
+  ASSERT_EQ(broken.diagnostics.logs.size(), 1u);
+  EXPECT_EQ(broken.diagnostics.logs[0].status, analysis::LogStatus::kFailed);
+  ASSERT_FALSE(broken.diagnostics.logs[0].events.empty());
+  EXPECT_EQ(broken.diagnostics.logs[0].events[0].code, ErrorCode::kIo);
+  EXPECT_FALSE(broken.coplot_run);
 
   for (const auto& path : paths) std::remove(path.c_str());
 }

@@ -1,0 +1,701 @@
+// Fault isolation across the batch pipeline: the error taxonomy and
+// cancellation primitives (cpw/util), all-error collection in the thread
+// pool, lenient SWF decode with job quarantine (cpw/swf/reader.hpp), the
+// SSA convergence gate with classical-MDS fallback, and per-log error
+// containment + deadlines in analysis::run_batch. The contract under test:
+// one bad input degrades or fails its own slot — never the batch.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/mds/ssa.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/util/stop_token.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw {
+namespace {
+
+// 18 fields: id submit wait run procs cpu mem reqp reqt reqm status
+// user group exe queue partition prec think
+std::string job_line(long id, double submit, double run, long procs) {
+  std::string s = std::to_string(id) + " " + std::to_string(submit) + " 0 " +
+                  std::to_string(run) + " " + std::to_string(procs) +
+                  " 10 -1 " + std::to_string(procs) +
+                  " 10 -1 1 3 1 7 1 -1 -1 -1";
+  return s;
+}
+
+std::string good_text(std::size_t jobs, const char* max_procs = "64") {
+  std::string text = std::string("; MaxProcs: ") + max_procs + "\n";
+  for (std::size_t i = 0; i < jobs; ++i) {
+    text += job_line(static_cast<long>(i + 1), 10.0 * static_cast<double>(i),
+                     5.0 + static_cast<double>(i % 7), 1 + (i % 4)) +
+            "\n";
+  }
+  return text;
+}
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + "cpw_robustness_" + stem + ".swf";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<swf::Log> model_logs(std::size_t count, std::size_t jobs) {
+  const auto models = models::all_models(128);
+  std::vector<swf::Log> logs;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 7 + i);
+    log.set_name("log" + std::to_string(i));
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+// --------------------------------------------------------------- error codes
+
+TEST(ErrorTaxonomy, CodesAndNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknown), "unknown");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIo), "io");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParse), "parse");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumeric), "numeric");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "deadline");
+
+  EXPECT_EQ(Error("x").code(), ErrorCode::kUnknown);
+  EXPECT_EQ(Error("x", ErrorCode::kIo).code(), ErrorCode::kIo);
+  EXPECT_EQ(ParseError("x", 7).code(), ErrorCode::kParse);
+  EXPECT_EQ(NumericError("x").code(), ErrorCode::kNumeric);
+  EXPECT_EQ(CancelledError("x").code(), ErrorCode::kCancelled);
+  try {
+    CPW_REQUIRE(false, "demo");
+    FAIL() << "CPW_REQUIRE did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ErrorTaxonomy, ClassifyExceptionAndMakeEvent) {
+  const auto parse = std::make_exception_ptr(ParseError("bad line", 12));
+  EXPECT_EQ(analysis::classify_exception(parse), ErrorCode::kParse);
+  const auto foreign =
+      std::make_exception_ptr(std::runtime_error("not a cpw error"));
+  EXPECT_EQ(analysis::classify_exception(foreign), ErrorCode::kUnknown);
+
+  const analysis::DiagnosticEvent event = analysis::make_event(parse, "ingest");
+  EXPECT_EQ(event.code, ErrorCode::kParse);
+  EXPECT_EQ(event.stage, "ingest");
+  EXPECT_NE(event.message.find("bad line"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- stop token
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  const StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.should_stop());
+  EXPECT_NO_THROW(token.throw_if_stopped("anywhere"));
+}
+
+TEST(StopToken, StopSourceFiresTokens) {
+  const StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.should_stop());
+
+  source.request_stop();
+  EXPECT_TRUE(source.stop_requested());
+  EXPECT_TRUE(token.should_stop());
+  EXPECT_EQ(token.reason(), StopReason::kStopRequested);
+  try {
+    token.throw_if_stopped("stage-x");
+    FAIL() << "fired token did not throw";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("stage-x"), std::string::npos);
+  }
+}
+
+TEST(StopToken, DeadlineFires) {
+  const StopToken token = StopToken{}.with_deadline(1e-6);
+  EXPECT_TRUE(token.stop_possible());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+  try {
+    token.throw_if_stopped("budgeted");
+    FAIL() << "expired deadline did not throw";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+
+  // Non-positive budgets leave the token unchanged (still unstoppable).
+  EXPECT_FALSE(StopToken{}.with_deadline(0.0).stop_possible());
+  EXPECT_FALSE(StopToken{}.with_deadline(-1.0).stop_possible());
+}
+
+// --------------------------------------------------------- thread pool errors
+
+TEST(ThreadPoolErrors, WaitCollectKeepsEveryErrorInSubmissionOrder) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i == 1 || i == 3 || i == 6) {
+        throw Error("task " + std::to_string(i), ErrorCode::kNumeric);
+      }
+    });
+  }
+  const std::vector<std::exception_ptr> errors = pool.wait_collect();
+  ASSERT_EQ(errors.size(), 3u);
+  const int expected[] = {1, 3, 6};
+  for (std::size_t k = 0; k < errors.size(); ++k) {
+    try {
+      std::rethrow_exception(errors[k]);
+      FAIL() << "slot " << k << " held no exception";
+    } catch (const Error& e) {
+      EXPECT_EQ(std::string(e.what()),
+                "task " + std::to_string(expected[k]));
+      EXPECT_EQ(e.code(), ErrorCode::kNumeric);
+    }
+  }
+  // The pool is clean afterwards: nothing left to rethrow.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolErrors, WaitIdleRethrowsEarliestSubmittedNotEarliestThrown) {
+  ThreadPool pool(4);
+  // Task 0 fails *late*, task 5 fails immediately; submission order must
+  // still win, regardless of completion order.
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        throw Error("slow early task");
+      }
+      if (i == 5) throw Error("fast late task");
+    });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle swallowed the errors";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "slow early task");
+  }
+  // A failed round must not poison the next one.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_TRUE(pool.wait_collect().empty());
+}
+
+// ------------------------------------------------------------ lenient decode
+
+TEST(LenientReader, QuarantinesMalformedLinesWithExactLineNumbers) {
+  std::string text = "; MaxProcs: 64\n";            // line 1
+  text += job_line(1, 0, 5, 2) + "\n";              // line 2
+  text += "7 8 9\n";                                // line 3: field count
+  text += job_line(2, 10, 5, 2) + "\n";             // line 4
+  text += "3 zz 0 5 2 10 -1 2 10 -1 1 3 1 7 1 -1 -1 -1\n";  // line 5: numeric
+  text += job_line(4, 30, 5, 2) + "\n";             // line 6
+
+  // Strict mode still fails fast on the first offender.
+  swf::ReaderOptions strict;
+  strict.chunk_bytes = 32;
+  try {
+    swf::parse_swf_buffer(text, "t", strict);
+    FAIL() << "strict mode accepted a malformed line";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+
+  // Lenient mode keeps the three good jobs and reports both offenders,
+  // identically across chunk sizes and schedules.
+  for (const std::size_t chunk_bytes : {16u, 48u, 4096u}) {
+    for (const bool parallel : {true, false}) {
+      swf::ReaderOptions lenient;
+      lenient.policy = swf::DecodePolicy::kLenient;
+      lenient.chunk_bytes = chunk_bytes;
+      lenient.parallel = parallel;
+      swf::QuarantineReport report;
+      const swf::Log log = swf::parse_swf_buffer(text, "t", lenient, report);
+      ASSERT_EQ(log.size(), 3u) << chunk_bytes;
+      // finalize() renumbers ids; the surviving jobs are recognizable
+      // by their submit times (0, 10, 30 — line 5's job is gone).
+      EXPECT_DOUBLE_EQ(log.jobs()[2].submit_time, 30.0);
+      EXPECT_EQ(report.malformed_lines, 2u) << chunk_bytes;
+      EXPECT_EQ(report.total(), 2u);
+      ASSERT_EQ(report.samples.size(), 2u);
+      EXPECT_EQ(report.samples[0].line, 3u);
+      EXPECT_EQ(report.samples[1].line, 5u);
+      EXPECT_FALSE(report.summary().empty());
+    }
+  }
+}
+
+TEST(LenientReader, QuarantinesPhysicallyImpossibleJobs) {
+  std::string text = "; MaxProcs: 8\n";   // line 1
+  text += job_line(1, 0, 5, 2) + "\n";    // line 2: fine
+  text += job_line(2, 10, -5, 2) + "\n";  // line 3: impossible runtime
+  text += job_line(3, 20, -1, 2) + "\n";  // line 4: -1 sentinel — legal
+  text += job_line(4, 30, 5, 16) + "\n";  // line 5: 16 procs > MaxProcs 8
+
+  swf::ReaderOptions lenient;
+  lenient.policy = swf::DecodePolicy::kLenient;
+  swf::QuarantineReport report;
+  const swf::Log log = swf::parse_swf_buffer(text, "t", lenient, report);
+
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log.jobs()[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(log.jobs()[1].submit_time, 20.0);  // the sentinel survives
+  EXPECT_DOUBLE_EQ(log.jobs()[1].run_time, -1.0);
+  EXPECT_EQ(report.negative_runtime, 1u);
+  EXPECT_EQ(report.over_machine_size, 1u);
+  EXPECT_EQ(report.malformed_lines, 0u);
+  ASSERT_EQ(report.samples.size(), 2u);
+  EXPECT_EQ(report.samples[0].line, 3u);
+  EXPECT_EQ(report.samples[1].line, 5u);
+}
+
+TEST(LenientReader, SubmitRegressionBeyondBoundIsQuarantined) {
+  std::string text = "; MaxProcs: 64\n";
+  text += job_line(1, 0, 5, 2) + "\n";
+  text += job_line(2, 1000, 5, 2) + "\n";
+  text += job_line(3, 50, 5, 2) + "\n";   // regression 950 > bound
+  text += job_line(4, 990, 5, 2) + "\n";  // regression 10 <= bound — kept
+
+  swf::ReaderOptions lenient;
+  lenient.policy = swf::DecodePolicy::kLenient;
+  lenient.max_submit_regression = 100.0;
+  swf::QuarantineReport report;
+  const swf::Log log = swf::parse_swf_buffer(text, "t", lenient, report);
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(report.submit_regressions, 1u);
+  ASSERT_EQ(report.samples.size(), 1u);
+  EXPECT_EQ(report.samples[0].line, 4u);
+
+  // The default bound (infinity) keeps every reordering.
+  swf::ReaderOptions defaults;
+  defaults.policy = swf::DecodePolicy::kLenient;
+  swf::QuarantineReport none;
+  EXPECT_EQ(swf::parse_swf_buffer(text, "t", defaults, none).size(), 4u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(LenientReader, SampleListIsBoundedButCountsStayExact) {
+  std::string text = "; MaxProcs: 64\n";
+  for (int i = 0; i < 100; ++i) text += "broken line\n";
+
+  swf::ReaderOptions lenient;
+  lenient.policy = swf::DecodePolicy::kLenient;
+  lenient.quarantine_sample_limit = 4;
+  lenient.chunk_bytes = 64;
+  swf::QuarantineReport report;
+  const swf::Log log = swf::parse_swf_buffer(text, "t", lenient, report);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(report.malformed_lines, 100u);
+  ASSERT_EQ(report.samples.size(), 4u);
+  EXPECT_EQ(report.samples[0].line, 2u);
+  EXPECT_EQ(report.samples[3].line, 5u);
+}
+
+TEST(LenientReader, MatchesStrictBitwiseOnCleanInput) {
+  const std::string text = good_text(500);
+  const swf::Log strict = swf::parse_swf_buffer(text, "t");
+  swf::ReaderOptions lenient_options;
+  lenient_options.policy = swf::DecodePolicy::kLenient;
+  lenient_options.chunk_bytes = 256;
+  swf::QuarantineReport report;
+  const swf::Log lenient =
+      swf::parse_swf_buffer(text, "t", lenient_options, report);
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(swf::format_swf(strict), swf::format_swf(lenient));
+}
+
+TEST(LenientReader, ValidateSplitsSentinelFromImpossibleRuntime) {
+  std::string text = "; MaxProcs: 64\n";
+  text += job_line(1, 0, 5, 2) + "\n";
+  text += job_line(2, 100, -1, 2) + "\n";  // sentinel
+  text += job_line(3, 40, -9, 2) + "\n";   // impossible, regression 60
+
+  const swf::Log log = swf::parse_swf_buffer(text, "t");
+  const swf::ValidationReport report = swf::validate(log);
+  EXPECT_EQ(report.negative_runtime, 2u);
+  EXPECT_EQ(report.sentinel_runtime, 1u);
+  EXPECT_EQ(report.impossible_runtime, 1u);
+  EXPECT_EQ(report.non_monotone_submit, 1u);
+  EXPECT_DOUBLE_EQ(report.max_submit_regression, 60.0);
+}
+
+// ------------------------------------------------------- reader cancellation
+
+TEST(ReaderCancellation, PreFiredTokenAbortsDecode) {
+  const StopSource source;
+  source.request_stop();
+  swf::ReaderOptions options;
+  options.stop = source.token();
+  EXPECT_THROW(swf::parse_swf_buffer(good_text(10), "t", options),
+               CancelledError);
+}
+
+TEST(ReaderCancellation, FiredTokenAbortsChunkedDecode) {
+  const StopSource source;
+  source.request_stop();
+  swf::ReaderOptions options;
+  options.stop = source.token();
+  options.chunk_bytes = 64;
+  options.parallel = true;
+  swf::QuarantineReport report;
+  options.policy = swf::DecodePolicy::kLenient;
+  EXPECT_THROW(swf::parse_swf_buffer(good_text(200), "t", options, report),
+               CancelledError);
+}
+
+// ------------------------------------------------- hurst / ssa cancellation
+
+TEST(Cancellation, HurstEstimatorsHonorStopToken) {
+  Rng rng(3);
+  std::vector<double> series(4096);
+  for (auto& v : series) v = rng.uniform();
+  const selfsim::SeriesPrefix prefix(series);
+
+  const StopSource source;
+  source.request_stop();
+  selfsim::HurstOptions options;
+  options.stop = source.token();
+  EXPECT_THROW(selfsim::hurst_rs(series, prefix, options), CancelledError);
+  EXPECT_THROW(selfsim::hurst_variance_time(series, prefix, options),
+               CancelledError);
+  EXPECT_THROW(selfsim::hurst_periodogram(series, options), CancelledError);
+}
+
+Matrix sample_dissimilarity(std::size_t n) {
+  // Random points in 5-D: their pairwise distances cannot embed exactly in
+  // the plane, so the best map has strictly positive alienation.
+  Rng rng(17);
+  std::vector<std::array<double, 5>> points(n);
+  for (auto& p : points) {
+    for (double& c : p) c = rng.uniform();
+  }
+  Matrix diss(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) {
+        const double d = points[i][k] - points[j][k];
+        d2 += d * d;
+      }
+      diss(i, j) = std::sqrt(d2);
+    }
+  }
+  return diss;
+}
+
+TEST(Cancellation, SsaHonorsStopToken) {
+  const StopSource source;
+  source.request_stop();
+  mds::SsaOptions options;
+  options.stop = source.token();
+  options.parallel_restarts = false;
+  EXPECT_THROW(mds::ssa(sample_dissimilarity(8), options), CancelledError);
+}
+
+TEST(SsaGate, MaxAlienationBoundRaisesNumericError) {
+  const Matrix diss = sample_dissimilarity(12);
+  mds::SsaOptions options;
+  options.random_restarts = 2;
+
+  // The default gate (1.0) accepts the converged map...
+  const mds::Embedding ok = mds::ssa(diss, options);
+  EXPECT_EQ(ok.size(), 12u);
+
+  // ...an unreachable bound converts it into a typed failure.
+  options.max_alienation = 1e-12;
+  try {
+    mds::ssa(diss, options);
+    FAIL() << "gate did not trip";
+  } catch (const NumericError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumeric);
+    EXPECT_NE(std::string(e.what()).find("converge"), std::string::npos);
+  }
+}
+
+TEST(SsaGate, NonFiniteDissimilarityIsTypedNotSilent) {
+  Matrix diss = sample_dissimilarity(6);
+  diss(1, 4) = std::nan("");
+  diss(4, 1) = std::nan("");
+  EXPECT_THROW(mds::ssa(diss), NumericError);
+}
+
+// ------------------------------------------------------ batch fault isolation
+
+TEST(BatchRobustness, MixedBatchContainsFailuresPerSlot) {
+  // [good, malformed file, good, 1-job log] → two ok, two failed, co-plot
+  // skipped (only 2 of 4 usable), and no exception escapes run_batch.
+  const auto logs = model_logs(2, 3000);
+  const std::vector<std::string> paths = {
+      temp_path("good0"), temp_path("malformed"), temp_path("good1"),
+      temp_path("onejob")};
+  swf::save_swf(paths[0], logs[0]);
+  write_file(paths[1], "; MaxProcs: 64\nthis is not swf\n");
+  swf::save_swf(paths[2], logs[1]);
+  write_file(paths[3], "; MaxProcs: 64\n" + job_line(1, 0, 5, 2) + "\n");
+
+  const analysis::BatchResult result = analysis::run_batch(paths);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+
+  ASSERT_EQ(result.logs.size(), 4u);
+  ASSERT_EQ(diag.logs.size(), 4u);
+  EXPECT_EQ(diag.logs[0].status, analysis::LogStatus::kOk);
+  EXPECT_EQ(diag.logs[2].status, analysis::LogStatus::kOk);
+  EXPECT_EQ(diag.ok_count(), 2u);
+  EXPECT_EQ(diag.failed_count(), 2u);
+
+  // The malformed file fails in ingest with a parse error...
+  EXPECT_EQ(diag.logs[1].status, analysis::LogStatus::kFailed);
+  ASSERT_FALSE(diag.logs[1].events.empty());
+  EXPECT_EQ(diag.logs[1].events[0].code, ErrorCode::kParse);
+  EXPECT_EQ(diag.logs[1].events[0].stage, "ingest");
+
+  // ...the 1-job log parses but fails characterization.
+  EXPECT_EQ(diag.logs[3].status, analysis::LogStatus::kFailed);
+  ASSERT_FALSE(diag.logs[3].events.empty());
+  EXPECT_EQ(diag.logs[3].events[0].code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(diag.logs[3].events[0].stage, "analyze");
+
+  // The survivors are fully analyzed; the co-plot records why it skipped.
+  EXPECT_FALSE(result.logs[0].name.empty());
+  EXPECT_GT(result.logs[0].stats.get("MP"), 0.0);
+  EXPECT_FALSE(result.coplot_run);
+  EXPECT_TRUE(result.coplot_members.empty());
+  EXPECT_EQ(diag.coplot_skip_reason, "only 2 of 4 logs usable (need >= 3)");
+  EXPECT_FALSE(diag.cancelled);
+
+  const std::string summary = diag.summary();
+  EXPECT_NE(summary.find("2 failed"), std::string::npos);
+  EXPECT_NE(summary.find("coplot: skipped"), std::string::npos);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(BatchRobustness, SpanOverloadContainsUndersizedLogAndKeepsCoplot) {
+  // With 4 preloaded logs, one unusable, the co-plot still runs over the
+  // 3 survivors and reports exactly which slots it covers.
+  auto logs = model_logs(3, 2000);
+  swf::Log tiny;
+  tiny.set_name("tiny");
+  tiny.set_header("MaxProcs", "64");
+  swf::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.run_time = 5.0;
+  job.processors = 2;
+  tiny.add(job);
+  tiny.finalize();
+  logs.insert(logs.begin() + 1, std::move(tiny));
+
+  const analysis::BatchResult result = analysis::run_batch(logs);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+
+  ASSERT_EQ(diag.logs.size(), 4u);
+  EXPECT_EQ(diag.logs[1].status, analysis::LogStatus::kFailed);
+  EXPECT_EQ(diag.logs[1].name, "tiny");
+  EXPECT_EQ(diag.failed_count(), 1u);
+  ASSERT_TRUE(result.coplot_run);
+  EXPECT_EQ(result.coplot_members, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(result.coplot.dataset.observations(), 3u);
+  EXPECT_TRUE(diag.coplot_skip_reason.empty());
+}
+
+TEST(BatchRobustness, FileAndSpanOverloadsAgreeOnTheMixedScenario) {
+  auto logs = model_logs(3, 1500);
+  const std::vector<std::string> paths = {
+      temp_path("agree0"), temp_path("agree_bad"), temp_path("agree1"),
+      temp_path("agree2")};
+  swf::save_swf(paths[0], logs[0]);
+  write_file(paths[1], "garbage\n");
+  swf::save_swf(paths[2], logs[1]);
+  swf::save_swf(paths[3], logs[2]);
+
+  analysis::BatchOptions options;
+  const analysis::BatchResult from_files = analysis::run_batch(paths, options);
+
+  // Mirror the batch with preloaded logs (re-loaded from the same files —
+  // the SWF text round trip is the common baseline), using a 1-job
+  // stand-in for the malformed file so the failure pattern matches slot
+  // for slot.
+  swf::Log tiny;
+  tiny.set_name(paths[1]);
+  swf::Job job;
+  job.id = 1;
+  job.submit_time = 0.0;
+  job.run_time = 1.0;
+  job.processors = 1;
+  tiny.add(job);
+  tiny.finalize();
+  std::vector<swf::Log> span;
+  span.push_back(swf::load_swf(paths[0]));
+  span.push_back(std::move(tiny));
+  span.push_back(swf::load_swf(paths[2]));
+  span.push_back(swf::load_swf(paths[3]));
+  const analysis::BatchResult from_span = analysis::run_batch(span, options);
+
+  ASSERT_EQ(from_files.logs.size(), from_span.logs.size());
+  EXPECT_EQ(from_files.diagnostics.failed_count(),
+            from_span.diagnostics.failed_count());
+  EXPECT_EQ(from_files.coplot_members, from_span.coplot_members);
+  ASSERT_TRUE(from_files.coplot_run);
+  ASSERT_TRUE(from_span.coplot_run);
+  // The surviving analyses and the fitted map must agree bitwise.
+  for (const std::size_t i : from_files.coplot_members) {
+    for (const auto& code : workload::WorkloadStats::all_codes()) {
+      const double fv = from_files.logs[i].stats.get(code);
+      const double sv = from_span.logs[i].stats.get(code);
+      if (std::isnan(fv)) {
+        EXPECT_TRUE(std::isnan(sv)) << code;
+      } else {
+        EXPECT_EQ(fv, sv) << code;
+      }
+    }
+  }
+  EXPECT_EQ(from_files.coplot.alienation, from_span.coplot.alienation);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(BatchRobustness, LenientPolicyDegradesDirtyFileInsteadOfFailing) {
+  const auto logs = model_logs(2, 2000);
+  const std::vector<std::string> paths = {
+      temp_path("len0"), temp_path("len_dirty"), temp_path("len1")};
+  swf::save_swf(paths[0], logs[0]);
+  std::string dirty = "; MaxProcs: 128\n";
+  for (int i = 0; i < 300; ++i) {
+    dirty += job_line(i + 1, 10.0 * i, 5.0 + i % 7, 1 + i % 4) + "\n";
+    if (i % 50 == 0) dirty += "corrupt record\n";
+  }
+  write_file(paths[1], dirty);
+  swf::save_swf(paths[2], logs[1]);
+
+  analysis::BatchOptions options;
+  options.reader.policy = swf::DecodePolicy::kLenient;
+  const analysis::BatchResult result = analysis::run_batch(paths, options);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+
+  EXPECT_EQ(diag.logs[1].status, analysis::LogStatus::kDegraded);
+  EXPECT_EQ(diag.logs[1].quarantine.malformed_lines, 6u);
+  EXPECT_TRUE(diag.logs[1].usable());
+  ASSERT_TRUE(result.coplot_run);  // degraded still feeds the co-plot
+  EXPECT_EQ(result.coplot_members.size(), 3u);
+  EXPECT_NE(diag.summary().find("degraded"), std::string::npos);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(BatchRobustness, ForcedSsaDivergenceRetriesThenFallsBackToClassical) {
+  // Enough observations that a 2-D map cannot be perfectly monotone (with
+  // only 4, six pairwise dissimilarities can embed exactly and alienation
+  // really is ~0, defeating the forced gate).
+  const auto logs = model_logs(6, 1500);
+  analysis::BatchOptions options;
+  options.coplot.ssa.max_alienation = 1e-12;  // unreachable: every fit "diverges"
+  options.coplot.ssa.random_restarts = 2;
+  options.ssa_retry_attempts = 1;
+
+  const analysis::BatchResult result = analysis::run_batch(logs, options);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+
+  ASSERT_TRUE(result.coplot_run);
+  EXPECT_TRUE(diag.coplot_degraded);
+  EXPECT_EQ(diag.ssa_retries, 1u);
+  // One event per failed SSA attempt (initial + retry), all numeric.
+  ASSERT_EQ(diag.coplot_events.size(), 2u);
+  EXPECT_EQ(diag.coplot_events[0].code, ErrorCode::kNumeric);
+  EXPECT_EQ(diag.coplot_events[1].code, ErrorCode::kNumeric);
+  EXPECT_TRUE(diag.coplot_skip_reason.empty());
+  EXPECT_EQ(result.coplot_members.size(), 6u);
+  EXPECT_TRUE(std::isfinite(result.coplot.alienation));
+  EXPECT_EQ(result.coplot.embedding.size(), 6u);
+  EXPECT_NE(diag.summary().find("classical-MDS fallback"), std::string::npos);
+}
+
+TEST(BatchRobustness, PreFiredStopYieldsFullyCancelledResultWithoutThrowing) {
+  const auto logs = model_logs(3, 1000);
+  const StopSource source;
+  source.request_stop();
+  analysis::BatchOptions options;
+  options.stop = source.token();
+
+  const analysis::BatchResult result = analysis::run_batch(logs, options);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+  EXPECT_TRUE(diag.cancelled);
+  EXPECT_EQ(diag.failed_count(), 3u);
+  for (const auto& slot : diag.logs) {
+    ASSERT_FALSE(slot.events.empty());
+    EXPECT_EQ(slot.events[0].code, ErrorCode::kCancelled);
+  }
+  EXPECT_FALSE(result.coplot_run);
+  EXPECT_NE(diag.summary().find("cancelled"), std::string::npos);
+}
+
+TEST(BatchRobustness, ExpiredDeadlineYieldsDeadlineExceededEvents) {
+  const auto logs = model_logs(3, 1000);
+  analysis::BatchOptions options;
+  options.deadline_seconds = 1e-9;  // already expired when the waves start
+
+  const analysis::BatchResult result = analysis::run_batch(logs, options);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+  EXPECT_TRUE(diag.cancelled);
+  EXPECT_EQ(diag.failed_count(), 3u);
+  for (const auto& slot : diag.logs) {
+    ASSERT_FALSE(slot.events.empty());
+    EXPECT_EQ(slot.events[0].code, ErrorCode::kDeadlineExceeded);
+  }
+}
+
+TEST(BatchRobustness, DisabledCoplotRecordsSkipReason) {
+  const auto logs = model_logs(3, 800);
+  analysis::BatchOptions options;
+  options.run_coplot = false;
+  const analysis::BatchResult result = analysis::run_batch(logs, options);
+  EXPECT_FALSE(result.coplot_run);
+  EXPECT_EQ(result.diagnostics.coplot_skip_reason, "disabled by options");
+}
+
+TEST(BatchRobustness, CleanBatchDiagnosticsAreAllOk) {
+  const auto logs = model_logs(3, 2000);
+  const analysis::BatchResult result = analysis::run_batch(logs);
+  const analysis::BatchDiagnostics& diag = result.diagnostics;
+  EXPECT_EQ(diag.ok_count(), 3u);
+  EXPECT_EQ(diag.degraded_count(), 0u);
+  EXPECT_EQ(diag.failed_count(), 0u);
+  EXPECT_FALSE(diag.cancelled);
+  EXPECT_FALSE(diag.coplot_degraded);
+  EXPECT_EQ(diag.ssa_retries, 0u);
+  ASSERT_TRUE(result.coplot_run);
+  EXPECT_EQ(result.coplot_members, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_GT(diag.logs[0].analyze_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace cpw

@@ -204,6 +204,41 @@ TEST(Reader, FirstErrorInFileOrderWins) {
   }
 }
 
+TEST(Reader, ParseErrorSurvivesChunkedDecodeAcrossChunkSizes) {
+  // Regression guard for the containment work: the typed ParseError — with
+  // its exact absolute line number and its kParse code — must survive the
+  // parallel chunked decode however the chunk boundaries land, including
+  // when the bad line sits exactly on one.
+  std::string text = "; MaxProcs: 128\n";  // line 1
+  for (int i = 0; i < 97; ++i) text += std::string(kGoodLine) + "\n";
+  const std::size_t bad_line = 99;
+  text += "5 0 0 oops 4 10 -1 4 10 -1 1 3 1 7 1 -1 -1 -1\n";
+  for (int i = 0; i < 61; ++i) text += std::string(kGoodLine) + "\n";
+
+  for (const std::size_t chunk_bytes :
+       {std::size_t{1}, std::size_t{17}, std::size_t{64}, std::size_t{256},
+        std::size_t{1024}, std::size_t{1} << 20}) {
+    for (const bool parallel : {false, true}) {
+      ReaderOptions options;
+      options.chunk_bytes = chunk_bytes;
+      options.parallel = parallel;
+      try {
+        parse_swf_buffer(text, "bad", options);
+        FAIL() << "no ParseError with chunk_bytes=" << chunk_bytes
+               << " parallel=" << parallel;
+      } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), bad_line)
+            << "chunk_bytes=" << chunk_bytes << " parallel=" << parallel;
+        EXPECT_EQ(e.code(), ErrorCode::kParse);
+        EXPECT_NE(std::string(e.what()).find("'oops'"), std::string::npos);
+      } catch (const std::exception& e) {
+        FAIL() << "wrong exception type ('" << e.what()
+               << "') with chunk_bytes=" << chunk_bytes;
+      }
+    }
+  }
+}
+
 // -------------------------------------------------- bit-identical round trip
 
 TEST(Reader, BigLogSerialParallelAndReferenceBitIdentical) {
