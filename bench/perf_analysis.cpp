@@ -4,11 +4,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "cpw/analysis/batch.hpp"
 #include "cpw/coplot/coplot.hpp"
 #include "cpw/mds/dissimilarity.hpp"
 #include "cpw/mds/ssa.hpp"
 #include "cpw/models/model.hpp"
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/selfsim/fft.hpp"
 #include "cpw/selfsim/fgn.hpp"
 #include "cpw/selfsim/hurst.hpp"
@@ -204,6 +213,99 @@ void BM_BatchAnalysisSerial(benchmark::State& state) {
 BENCHMARK(BM_BatchAnalysisSerial)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Same workload with the obs runtime kill switch thrown: the gap between
+/// this and BM_BatchAnalysis is the whole-pipeline metrics overhead
+/// (acceptance bound: < 2%).
+void BM_BatchAnalysisObsOff(benchmark::State& state) {
+  const auto logs =
+      model_logs(static_cast<std::size_t>(state.range(0)), 1 << 13);
+  analysis::BatchOptions options;
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_batch(logs, options));
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_BatchAnalysisObsOff)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ------------------------------------------------------- obs primitives
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::counter("bench_counter_total");
+  for (auto _ : state) {
+    c.add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsCounterLookupAdd(benchmark::State& state) {
+  // The full call-site cost: registry lookup (stripe mutex + hash) plus
+  // the relaxed increment. This is what a stage-granular site pays.
+  for (auto _ : state) {
+    obs::counter("bench_lookup_total", {{"stage", "bench"}}).add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterLookupAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& h = obs::histogram("bench_seconds");
+  double value = 1e-4;
+  for (auto _ : state) {
+    h.observe(value);
+    value = value < 1.0 ? value * 1.7 : 1e-4;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench_span");
+    benchmark::DoNotOptimize(span.end());
+  }
+}
+BENCHMARK(BM_ObsSpan);
+
+void BM_ObsDisabledCounterLookupAdd(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::counter("bench_disabled_total", {{"stage", "bench"}}).add(1);
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_ObsDisabledCounterLookupAdd);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: supports --metrics_out=PATH (stripped before the benchmark
+// library sees the arguments) to dump the global obs registry as JSON after
+// the run, so BENCH_PR4.json can embed per-stage metrics snapshots.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_out = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    out << cpw::obs::to_json(cpw::obs::registry().snapshot());
+    if (!out) {
+      std::cerr << "failed writing metrics to " << metrics_out << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,15 +3,22 @@
 # performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
 #
 # Usage: bench/run_perf.sh [build-dir] [output-json]
-# Defaults: build directory ./build, output ./BENCH_PR2.json.
+# Defaults: build directory ./build, output ./BENCH_PR4.json.
 #
-# The record concatenates two google-benchmark runs: the analysis kernels
-# (tracked since PR 1) and the SWF ingest suite added in PR 2.
+# Environment:
+#   BENCH_SMOKE=1   fast smoke run (min_time=0.05s per benchmark) for CI.
+#
+# The record concatenates two google-benchmark runs — the analysis kernels
+# (tracked since PR 1) and the SWF ingest suite (PR 2) — plus the cpw::obs
+# metrics snapshot accumulated during the analysis run (PR 4), so every
+# record carries the per-stage counters and timing histograms that
+# produced it. A schema check validates the merged document before the
+# script reports success.
 
 set -e
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR2.json}"
+OUT="${2:-BENCH_PR4.json}"
 ANALYSIS_BIN="$BUILD_DIR/bench/perf_analysis"
 INGEST_BIN="$BUILD_DIR/bench/perf_ingest"
 
@@ -22,22 +29,30 @@ for BIN in "$ANALYSIS_BIN" "$INGEST_BIN"; do
   fi
 done
 
+SMOKE_ARGS=""
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+  SMOKE_ARGS="--benchmark_min_time=0.05"
+fi
+
 # Key kernels only, to keep the record small and the runtime short; drop the
 # filters to record the full suites.
 "$ANALYSIS_BIN" \
-  --benchmark_filter='BM_SsaEmbedding|BM_CoplotFull|BM_HurstAll|BM_BatchAnalysis|BM_OrderSummary|BM_Characterize' \
+  --benchmark_filter='BM_SsaEmbedding|BM_CoplotFull|BM_HurstAll|BM_BatchAnalysis|BM_OrderSummary|BM_Characterize|BM_Obs' \
   --benchmark_format=json \
   --benchmark_out="$OUT.analysis" \
   --benchmark_out_format=json \
-  --benchmark_repetitions=1
+  --benchmark_repetitions=1 \
+  --metrics_out="$OUT.metrics" \
+  $SMOKE_ARGS
 
 "$INGEST_BIN" \
   --benchmark_format=json \
   --benchmark_out="$OUT.ingest" \
   --benchmark_out_format=json \
-  --benchmark_repetitions=1
+  --benchmark_repetitions=1 \
+  $SMOKE_ARGS
 
-# Merge the two JSON records into one document keyed by suite.
+# Merge the runs and the metrics snapshot into one document keyed by suite.
 {
   echo '{'
   echo '  "perf_analysis":'
@@ -45,8 +60,41 @@ done
   echo '  ,'
   echo '  "perf_ingest":'
   sed 's/^/  /' "$OUT.ingest"
+  echo '  ,'
+  echo '  "obs_metrics":'
+  sed 's/^/  /' "$OUT.metrics"
   echo '}'
 } > "$OUT"
-rm -f "$OUT.analysis" "$OUT.ingest"
+rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.metrics"
+
+# Schema check: the merged document must parse as JSON, carry all three
+# sections, non-empty benchmark lists, and a per-stage timing histogram.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+for key in ("perf_analysis", "perf_ingest", "obs_metrics"):
+    if key not in doc:
+        sys.exit(f"schema check failed: missing top-level key {key!r}")
+for key in ("perf_analysis", "perf_ingest"):
+    if not doc[key].get("benchmarks"):
+        sys.exit(f"schema check failed: {key} has no benchmarks")
+obs = doc["obs_metrics"]
+if obs.get("schema") != "cpw-obs-v1":
+    sys.exit("schema check failed: obs_metrics.schema != cpw-obs-v1")
+names = {m["name"] for m in obs.get("metrics", [])}
+if "cpw_stage_seconds" not in names:
+    sys.exit("schema check failed: no cpw_stage_seconds sample in obs_metrics")
+print(f"schema check ok: {len(doc['perf_analysis']['benchmarks'])} analysis + "
+      f"{len(doc['perf_ingest']['benchmarks'])} ingest benchmarks, "
+      f"{len(names)} metric names")
+PYEOF
+else
+  echo "warning: python3 not found, skipping schema check" >&2
+fi
 
 echo "wrote $OUT"

@@ -9,9 +9,13 @@
 // plus the five synthetic models and fans characterize -> Hurst -> Co-plot
 // across the global thread pool with analysis::run_batch. Either way this
 // is the batch-shaped entry point for production use: one call, all tables.
+//
+// --metrics <path> dumps the cpw::obs registry after the run — JSON by
+// default, Prometheus text format when the path ends in .prom.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,13 +23,45 @@
 #include "cpw/analysis/batch.hpp"
 #include "cpw/archive/simulator.hpp"
 #include "cpw/models/model.hpp"
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+
+namespace {
+
+bool write_metrics(const std::string& path) {
+  const cpw::obs::Snapshot snap = cpw::obs::registry().snapshot();
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << (prom ? cpw::obs::to_prometheus(snap) : cpw::obs::to_json(snap));
+  if (!out) {
+    std::fprintf(stderr, "failed writing metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nmetrics written to %s (%zu samples)\n", path.c_str(),
+              snap.samples.size());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cpw;
   using clock = std::chrono::steady_clock;
 
-  if (argc > 1) {
-    const std::vector<std::string> paths(argv + 1, argv + argc);
+  std::string metrics_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  if (!args.empty()) {
+    const std::vector<std::string>& paths = args;
     std::printf("analyzing %zu SWF files (mmap ingest overlapped with analysis)\n",
                 paths.size());
     const auto t0 = clock::now();
@@ -56,6 +92,7 @@ int main(int argc, char** argv) {
       std::printf("\nco-plot skipped: %s\n",
                   batch.diagnostics.coplot_skip_reason.c_str());
     }
+    if (!metrics_path.empty() && !write_metrics(metrics_path)) return 1;
     return 0;
   }
 
@@ -123,5 +160,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("parallel == serial results: %s\n", identical ? "yes" : "NO");
+  if (!metrics_path.empty() && !write_metrics(metrics_path)) return 1;
   return 0;
 }

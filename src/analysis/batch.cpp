@@ -1,12 +1,13 @@
 #include "cpw/analysis/batch.hpp"
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
 
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
 
@@ -34,12 +35,6 @@ struct LogScratch {
 
 constexpr std::size_t kAttributes = 4;
 constexpr std::size_t kEstimators = 3;  // R/S, variance-time, periodogram
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 void escalate(LogDiagnostics& slot, LogStatus to) {
   if (slot.status < to) slot.status = to;
@@ -94,24 +89,29 @@ BatchResult run_batch(std::span<const swf::Log> logs,
   result.diagnostics.logs.resize(logs.size());
   if (logs.empty()) return result;
 
+  obs::counter("cpw_batch_runs_total").add(1);
   const StopToken stop = options.stop.with_deadline(options.deadline_seconds);
   for (std::size_t i = 0; i < logs.size(); ++i) {
     result.diagnostics.logs[i].name = logs[i].name();
   }
 
   std::vector<LogScratch> scratch(logs.size());
+  obs::Span wave("batch_analyze_wave");
   for_each(
       logs.size(),
       [&](std::size_t i) {
         LogDiagnostics& slot = result.diagnostics.logs[i];
-        const auto start = std::chrono::steady_clock::now();
+        // The span both times the diagnostics slot and feeds the
+        // cpw_stage_seconds histogram: one measurement, two consumers.
+        obs::Span span("analyze", logs[i].name());
         contain(slot, "analyze", LogStatus::kFailed, [&] {
           stop.throw_if_stopped("batch analyze");
           analyze_log(logs[i], options, result.logs[i], scratch[i]);
         });
-        slot.analyze_seconds = seconds_since(start);
+        slot.analyze_seconds = span.end();
       },
       options.parallel);
+  result.diagnostics.analyze_wave_seconds = wave.end();
 
   finish_batch(result, scratch, options, stop);
   return result;
@@ -124,6 +124,7 @@ BatchResult run_batch(std::span<const std::string> paths,
   result.diagnostics.logs.resize(paths.size());
   if (paths.empty()) return result;
 
+  obs::counter("cpw_batch_runs_total").add(1);
   const StopToken stop = options.stop.with_deadline(options.deadline_seconds);
   swf::ReaderOptions reader_options = options.reader;
   if (stop.stop_possible()) reader_options.stop = stop;
@@ -133,29 +134,31 @@ BatchResult run_batch(std::span<const std::string> paths,
   // already-decoded log, others are still mmap-decoding theirs, so ingest
   // overlaps analysis instead of forming a serial load phase. The decoded
   // log dies at the end of its own task.
+  obs::Span wave("batch_analyze_wave");
   for_each(
       paths.size(),
       [&](std::size_t i) {
         LogDiagnostics& slot = result.diagnostics.logs[i];
         slot.name = paths[i];
-        const auto ingest_start = std::chrono::steady_clock::now();
         std::optional<swf::Log> log;
+        obs::Span ingest_span("ingest", paths[i]);
         const bool ingested =
             contain(slot, "ingest", LogStatus::kFailed, [&] {
               stop.throw_if_stopped("batch ingest");
               log.emplace(
                   swf::load_swf_fast(paths[i], reader_options, slot.quarantine));
             });
-        slot.ingest_seconds = seconds_since(ingest_start);
+        slot.ingest_seconds = ingest_span.end();
         if (!ingested) return;
         if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
-        const auto analyze_start = std::chrono::steady_clock::now();
+        obs::Span analyze_span("analyze", paths[i]);
         contain(slot, "analyze", LogStatus::kFailed, [&] {
           analyze_log(*log, options, result.logs[i], scratch[i]);
         });
-        slot.analyze_seconds = seconds_since(analyze_start);
+        slot.analyze_seconds = analyze_span.end();
       },
       options.parallel);
+  result.diagnostics.analyze_wave_seconds = wave.end();
 
   finish_batch(result, scratch, options, stop);
   return result;
@@ -226,12 +229,14 @@ void run_coplot_stage(BatchResult& result, const BatchOptions& options,
       if (attempt < options.ssa_retry_attempts) {
         ++attempt;
         ++diag.ssa_retries;
+        obs::counter("cpw_batch_ssa_retry_total").add(1);
         coplot_options.ssa.seed = derive_seed(
             options.coplot.ssa.seed, 1000 + static_cast<std::uint64_t>(attempt));
         continue;
       }
       coplot_options.embedding_method = coplot::EmbeddingMethod::kClassical;
       diag.coplot_degraded = true;
+      obs::counter("cpw_batch_coplot_fallback_total").add(1);
     } catch (...) {
       diag.coplot_events.push_back(
           make_event(std::current_exception(), "coplot"));
@@ -255,6 +260,7 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
   // array and merge serially afterwards (race-free and deterministic).
   const std::size_t total = count * kAttributes * kEstimators;
   std::vector<std::optional<DiagnosticEvent>> hurst_errors(total);
+  obs::Span hurst_wave("batch_hurst_wave");
   for_each(
       total,
       [&](std::size_t flat) {
@@ -286,6 +292,7 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
         }
       },
       options.parallel);
+  diag.hurst_wave_seconds = hurst_wave.end();
   for (std::size_t flat = 0; flat < total; ++flat) {
     if (!hurst_errors[flat]) continue;
     const std::size_t i = flat / (kAttributes * kEstimators);
@@ -296,7 +303,11 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
   // Wave 3 — Co-plot over the surviving logs' characterizations (SSA
   // restarts run on the pool inside analyze()), with reseeded retries and
   // a classical-MDS fallback when the map diverges.
-  run_coplot_stage(result, options, stop);
+  {
+    obs::Span coplot_wave("batch_coplot_wave");
+    run_coplot_stage(result, options, stop);
+    diag.coplot_seconds = coplot_wave.end();
+  }
 
   const auto is_cancel = [](const DiagnosticEvent& event) {
     return event.code == ErrorCode::kCancelled ||
@@ -309,6 +320,19 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
   }
   for (const DiagnosticEvent& event : diag.coplot_events) {
     if (is_cancel(event)) diag.cancelled = true;
+  }
+
+  // Per-status log totals, guarded so statuses that never occurred do not
+  // register zero-valued cells.
+  const std::size_t ok = diag.ok_count();
+  const std::size_t degraded = diag.degraded_count();
+  const std::size_t failed = diag.failed_count();
+  if (ok > 0) obs::counter("cpw_batch_logs_total", {{"status", "ok"}}).add(ok);
+  if (degraded > 0) {
+    obs::counter("cpw_batch_logs_total", {{"status", "degraded"}}).add(degraded);
+  }
+  if (failed > 0) {
+    obs::counter("cpw_batch_logs_total", {{"status", "failed"}}).add(failed);
   }
 }
 

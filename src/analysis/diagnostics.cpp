@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cpw/obs/metrics.hpp"
+
 namespace cpw::analysis {
 
 const char* log_status_name(LogStatus status) noexcept {
@@ -28,6 +30,9 @@ ErrorCode classify_exception(const std::exception_ptr& error) noexcept {
 }
 
 DiagnosticEvent make_event(const std::exception_ptr& error, std::string stage) {
+  // Every contained exception passes through here on its way into a
+  // diagnostics event, so this one counter covers all containment sites.
+  obs::counter("cpw_contained_exceptions_total", {{"stage", stage}}).add(1);
   DiagnosticEvent event;
   event.stage = std::move(stage);
   event.code = classify_exception(error);
@@ -96,6 +101,15 @@ std::string BatchDiagnostics::summary() const {
            std::to_string(ssa_retries + 1) + " SSA attempt(s)\n";
   }
   append_events(out, coplot_events);
+  if (analyze_wave_seconds > 0.0 || hurst_wave_seconds > 0.0 ||
+      coplot_seconds > 0.0) {
+    auto fmt = [](double s) {
+      std::string text = std::to_string(s);
+      return text.substr(0, text.find('.') + 4) + "s";
+    };
+    out += "  timings: analyze " + fmt(analyze_wave_seconds) + ", hurst " +
+           fmt(hurst_wave_seconds) + ", coplot " + fmt(coplot_seconds) + "\n";
+  }
   return out;
 }
 

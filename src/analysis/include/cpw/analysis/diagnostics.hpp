@@ -67,6 +67,13 @@ struct BatchDiagnostics {
   /// ("disabled by options", "only 2 of 4 logs usable (need >= 3)", ...).
   std::string coplot_skip_reason;
 
+  /// Wall-clock seconds per pipeline wave, sourced from the same cpw::obs
+  /// spans that feed the metrics registry — diagnostics and metrics report
+  /// one measurement, so they can never disagree.
+  double analyze_wave_seconds = 0.0;  ///< ingest + characterize wave
+  double hurst_wave_seconds = 0.0;    ///< flat (log, attr, estimator) wave
+  double coplot_seconds = 0.0;        ///< SSA retries + fallback + arrows
+
   [[nodiscard]] std::size_t ok_count() const noexcept;
   [[nodiscard]] std::size_t degraded_count() const noexcept;
   [[nodiscard]] std::size_t failed_count() const noexcept;

@@ -8,6 +8,7 @@
 
 #include "cpw/mds/classical.hpp"
 #include "cpw/mds/dissimilarity.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/stats/correlation.hpp"
 #include "cpw/stats/descriptive.hpp"
 #include "cpw/util/ascii_plot.hpp"
@@ -246,6 +247,7 @@ Result analyze_once(Dataset dataset, const Options& options) {
 }  // namespace
 
 Result analyze(const Dataset& dataset, const Options& options) {
+  obs::Span span("coplot");
   Result result = analyze_once(dataset, options);
   if (options.elimination_threshold <= 0.0) return result;
 

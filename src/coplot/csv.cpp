@@ -41,7 +41,9 @@ double parse_cell(const std::string& cell, std::size_t lineno) {
     const double value = std::stod(cell, &used);
     if (used != cell.size()) throw std::invalid_argument(cell);
     return value;
-  } catch (...) {
+  } catch (const std::exception&) {
+    // stod throws invalid_argument/out_of_range only; rethrown typed with
+    // the offending cell and line, so nothing about the cause is lost.
     throw ParseError("bad numeric cell '" + cell + "'", lineno);
   }
 }

@@ -7,6 +7,8 @@
 
 #include "cpw/mds/classical.hpp"
 #include "cpw/mds/dissimilarity.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/stats/regression.hpp"
 #include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
@@ -144,6 +146,7 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
   const std::size_t n = diss.rows();
   CPW_REQUIRE(n == diss.cols(), "dissimilarity must be square");
   CPW_REQUIRE(n >= 3, "ssa needs at least three observations");
+  obs::Span span("ssa");
 
   // Shared, read-only across restarts: the dissimilarity vector and the
   // pair order monotone regression works in (sorted once, not per restart).
@@ -188,6 +191,13 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
     }
   }
 
+  obs::counter("cpw_ssa_restarts_total").add(static_cast<std::uint64_t>(starts));
+  std::uint64_t total_iterations = 0;
+  for (const Embedding& result : results) {
+    total_iterations += static_cast<std::uint64_t>(result.iterations);
+  }
+  obs::counter("cpw_ssa_smacof_iterations_total").add(total_iterations);
+
   const auto best = std::min_element(
       results.begin(), results.end(), [](const Embedding& a, const Embedding& b) {
         return a.alienation < b.alienation;
@@ -196,6 +206,7 @@ Embedding ssa(const Matrix& diss, const SsaOptions& options) {
   // degenerated to a non-finite map is rejected the same way as one that
   // merely fits worse than the caller tolerates.
   if (!(best->alienation <= options.max_alienation)) {
+    obs::counter("cpw_ssa_nonconverged_total").add(1);
     throw NumericError("ssa failed to converge: alienation " +
                        std::to_string(best->alienation) + " exceeds bound " +
                        std::to_string(options.max_alienation));

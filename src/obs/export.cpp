@@ -1,0 +1,202 @@
+#include "cpw/obs/export.hpp"
+
+#include <charconv>
+
+namespace cpw::obs {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+  (void)ec;  // 32 bytes always fit a shortest-round-trip double
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+  (void)ec;
+}
+
+/// Minimal JSON string escape: quotes, backslashes, control characters.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Prometheus label-value escape: backslash, quote, newline.
+void append_prom_label_value(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_prom_labels(std::string& out, const Labels& labels,
+                        const char* extra_key = nullptr,
+                        const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_prom_label_value(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += *extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"schema\":\"cpw-obs-v1\",\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, sample.name);
+    out += ",\"type\":\"";
+    out += metric_kind_name(sample.kind);
+    out += '"';
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : sample.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        append_json_string(out, key);
+        out += ':';
+        append_json_string(out, value);
+      }
+      out += '}';
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      out += ",\"count\":";
+      append_uint(out, sample.count);
+      out += ",\"sum\":";
+      append_double(out, sample.sum);
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < sample.counts.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"le\":";
+        if (i < sample.bounds.size()) {
+          append_double(out, sample.bounds[i]);
+        } else {
+          out += "null";
+        }
+        out += ",\"count\":";
+        append_uint(out, sample.counts[i]);
+        out += '}';
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":";
+      append_double(out, sample.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  const std::string* last_typed_name = nullptr;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (last_typed_name == nullptr || *last_typed_name != sample.name) {
+      out += "# TYPE ";
+      out += sample.name;
+      out += ' ';
+      out += metric_kind_name(sample.kind);
+      out += '\n';
+      last_typed_name = &sample.name;
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < sample.counts.size(); ++i) {
+        cumulative += sample.counts[i];
+        std::string le;
+        if (i < sample.bounds.size()) {
+          append_double(le, sample.bounds[i]);
+        } else {
+          le = "+Inf";
+        }
+        out += sample.name;
+        out += "_bucket";
+        append_prom_labels(out, sample.labels, "le", &le);
+        out += ' ';
+        append_uint(out, cumulative);
+        out += '\n';
+      }
+      out += sample.name;
+      out += "_sum";
+      append_prom_labels(out, sample.labels);
+      out += ' ';
+      append_double(out, sample.sum);
+      out += '\n';
+      out += sample.name;
+      out += "_count";
+      append_prom_labels(out, sample.labels);
+      out += ' ';
+      append_uint(out, sample.count);
+      out += '\n';
+    } else {
+      out += sample.name;
+      append_prom_labels(out, sample.labels);
+      out += ' ';
+      append_double(out, sample.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace cpw::obs

@@ -1,0 +1,25 @@
+#pragma once
+
+// Snapshot exporters: one JSON document (machine-readable, embedded into
+// the benchmark trajectory records) and one Prometheus text-format page
+// (scrapeable). Both render a Snapshot, which is already sorted by
+// (name, labels), so output is deterministic — golden-tested byte for
+// byte. Doubles print via shortest-round-trip to_chars.
+
+#include <string>
+
+#include "cpw/obs/metrics.hpp"
+
+namespace cpw::obs {
+
+/// {"schema":"cpw-obs-v1","metrics":[...]} — counters/gauges carry
+/// "value"; histograms carry "sum", "count", and "buckets" as
+/// {"le":bound,"count":n} pairs with the +Inf bucket last (le null).
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4): `# TYPE` header per
+/// metric name, histogram as cumulative `_bucket{le=...}` series plus
+/// `_sum`/`_count`.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+
+}  // namespace cpw::obs

@@ -1,0 +1,229 @@
+#pragma once
+
+// cpw::obs — always-on, near-zero-cost metrics for the batch pipeline.
+//
+// A process-global, lock-striped Registry holds counters, gauges, and
+// fixed-bucket histograms keyed by (name, sorted labels). Mutating a cell
+// is one relaxed atomic operation, so pool workers record concurrently
+// without coordination; the factory lookup takes one stripe mutex and is
+// meant to be called at stage/task granularity (per chunk, per estimator,
+// per task), never per job line.
+//
+// Two kill switches:
+//   * compile time — build with -DCPW_OBS_ENABLED=0: every recording call
+//     constant-folds away and the registry stays empty. Spans still
+//     measure time, because the batch diagnostics' per-stage timings are
+//     load-bearing (see cpw/obs/span.hpp).
+//   * runtime — set_enabled(false), or the CPW_OBS_DISABLED environment
+//     variable at startup. Disabled factory lookups return detached dummy
+//     cells and never touch the registry, so it stays empty; do not cache
+//     a handle across an enable/disable toggle.
+//
+// Cardinality discipline: label values must come from small closed sets
+// (stage names, status names). Per-log context travels on Span labels and
+// in the diagnostics records, not in registry keys.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#ifndef CPW_OBS_ENABLED
+#define CPW_OBS_ENABLED 1
+#endif
+
+namespace cpw::obs {
+
+#if CPW_OBS_ENABLED
+/// Runtime kill switch. Starts true unless the CPW_OBS_DISABLED environment
+/// variable is set to anything but "0".
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+#else
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+constexpr void set_enabled(bool) noexcept {}
+#endif
+
+/// (key, value) pairs identifying one metric stream; sorted by key when the
+/// cell is registered. Keep cardinality bounded: stage names yes, log
+/// names no.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind) noexcept;
+
+namespace detail {
+/// fetch_add for atomic<double> via CAS (portable across libstdc++ versions
+/// that lack the C++20 floating-point overload).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, bytes mapped). `add` accepts negative
+/// deltas.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!enabled()) return;
+    detail::atomic_add(value_, delta);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets (sorted, deduplicated at construction); one implicit
+/// +Inf bucket catches the rest. Observation is a branchless-ish linear
+/// scan over a handful of doubles plus two relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept {
+    if (!enabled()) return;
+    std::size_t bucket = 0;
+    while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, value);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in finite bucket i (i < bounds().size()) or the +Inf bucket
+  /// (i == bounds().size()).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds+1 cells
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Bucket bounds for stage durations in seconds: 100 µs to 1 minute,
+/// roughly log-spaced. The default for histograms registered without
+/// explicit bounds.
+inline constexpr double kDefaultTimeBuckets[] = {
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
+
+/// One metric's state at snapshot time. `value` holds the counter value
+/// (as a double) or the gauge level; histogram state lives in the
+/// histogram fields with `counts.size() == bounds.size() + 1` (+Inf last).
+struct MetricSample {
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of a registry, sorted by (name, labels) so exporters
+/// and golden tests are deterministic regardless of registration order.
+struct Snapshot {
+  std::vector<MetricSample> samples;
+
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+  /// First sample matching name (and labels, when given); nullptr if none.
+  [[nodiscard]] const MetricSample* find(
+      std::string_view name, const Labels& labels = {}) const noexcept;
+};
+
+/// Lock-striped metric store. The process-global instance behind the free
+/// factory functions below is what the library records into; tests build
+/// their own for golden exporter output.
+class Registry {
+ public:
+  Registry();
+  ~Registry();  // out of line: Cell is incomplete here
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. The returned reference is stable until reset().
+  /// First registration wins on kind/bounds; label pairs are sorted by key.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::span<const double> bounds = kDefaultTimeBuckets);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Number of registered cells.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every cell. Test hygiene only: invalidates all outstanding
+  /// handles, so never call it while another thread may record.
+  void reset();
+
+ private:
+  struct Cell;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<Cell>> cells;
+  };
+
+  Cell& cell(MetricKind kind, std::string_view name, Labels&& labels,
+             std::span<const double> bounds);
+
+  static constexpr std::size_t kStripeCount = 16;
+  Stripe stripes_[kStripeCount];
+};
+
+/// The process-global registry all library call sites record into.
+[[nodiscard]] Registry& registry();
+
+/// Shorthands on the global registry. When obs is disabled (either switch)
+/// these return detached dummy cells and leave the registry untouched.
+Counter& counter(std::string_view name, Labels labels = {});
+Gauge& gauge(std::string_view name, Labels labels = {});
+Histogram& histogram(std::string_view name, Labels labels = {},
+                     std::span<const double> bounds = kDefaultTimeBuckets);
+
+}  // namespace cpw::obs

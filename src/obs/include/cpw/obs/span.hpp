@@ -1,0 +1,70 @@
+#pragma once
+
+// RAII tracing spans. A Span measures one stage of work (steady-clock
+// based), publishes its duration into the global metrics registry as
+// `cpw_stage_seconds{stage=...}` when it ends, and returns that same
+// duration to the caller — so code that records a timing in a diagnostics
+// slot and the metrics export can never disagree: both read one
+// measurement.
+//
+// Spans nest: each thread keeps a stack of active spans (current(),
+// parent(), depth()), so a per-log "analyze" span created inside a
+// "batch_analyze_wave" span knows its context. A span must end on the
+// thread that created it; distinct threads carry independent stacks, which
+// is what makes concurrent per-log spans from pool workers safe.
+//
+// The optional label carries per-item context (a log path) for callers;
+// it is deliberately NOT a registry label — metric cardinality stays
+// bounded by the closed set of stage names.
+//
+// Timing always happens, even when metrics are disabled by either kill
+// switch: the batch diagnostics' per-stage timings are functional output,
+// not telemetry. Only the registry publication is gated.
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "cpw/obs/metrics.hpp"
+
+namespace cpw::obs {
+
+class Span {
+ public:
+  explicit Span(std::string_view stage, std::string_view label = {}) noexcept;
+
+  /// Ends the span if still running.
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Stops the clock, publishes `cpw_stage_seconds{stage=<stage>}` (once;
+  /// later calls are no-ops), and returns the measured seconds.
+  double end() noexcept;
+
+  /// Seconds since construction (running) or the final duration (ended).
+  [[nodiscard]] double elapsed() const noexcept;
+
+  [[nodiscard]] const std::string& stage() const noexcept { return stage_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] bool ended() const noexcept { return elapsed_ >= 0.0; }
+
+  /// Nesting: parent span on this thread (nullptr at top level) and depth
+  /// (0 at top level). Valid while the span is running.
+  [[nodiscard]] const Span* parent() const noexcept { return parent_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Innermost running span on the calling thread, nullptr if none.
+  [[nodiscard]] static const Span* current() noexcept;
+
+ private:
+  std::string stage_;
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+  double elapsed_ = -1.0;  ///< < 0 while running
+  Span* parent_ = nullptr;
+  int depth_ = 0;
+};
+
+}  // namespace cpw::obs

@@ -1,0 +1,225 @@
+#include "cpw/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+namespace cpw::obs {
+
+#if CPW_OBS_ENABLED
+
+namespace {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{[]() noexcept {
+    const char* env = std::getenv("CPW_OBS_DISABLED");
+    const bool disabled =
+        env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+#endif  // CPW_OBS_ENABLED
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      break;
+  }
+  return "histogram";
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+const MetricSample* Snapshot::find(std::string_view name,
+                                   const Labels& labels) const noexcept {
+  for (const MetricSample& sample : samples) {
+    if (sample.name != name) continue;
+    if (!labels.empty() && sample.labels != labels) continue;
+    return &sample;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------ Registry
+
+struct Registry::Cell {
+  MetricKind kind;
+  std::string name;
+  Labels labels;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;  ///< allocated for kHistogram only
+};
+
+namespace {
+
+/// Canonical cell key: name plus sorted label pairs. '\x1f' cannot appear
+/// in metric or label names, so the encoding is collision-free.
+std::string cell_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry::Cell& Registry::cell(MetricKind kind, std::string_view name,
+                               Labels&& labels,
+                               std::span<const double> bounds) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = cell_key(name, labels);
+  Stripe& stripe = stripes_[std::hash<std::string>{}(key) % kStripeCount];
+  std::lock_guard lock(stripe.mutex);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) {
+    auto fresh = std::make_unique<Cell>();
+    fresh->kind = kind;
+    fresh->name = std::string(name);
+    fresh->labels = std::move(labels);
+    if (kind == MetricKind::kHistogram) {
+      fresh->histogram = std::make_unique<Histogram>(bounds);
+    }
+    it = stripe.cells.emplace(std::move(key), std::move(fresh)).first;
+  }
+  return *it->second;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  if (!enabled()) {
+    static Counter dummy;
+    return dummy;
+  }
+  return cell(MetricKind::kCounter, name, std::move(labels), {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  if (!enabled()) {
+    static Gauge dummy;
+    return dummy;
+  }
+  return cell(MetricKind::kGauge, name, std::move(labels), {}).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               std::span<const double> bounds) {
+  if (!enabled()) {
+    static Histogram dummy{std::span<const double>{}};
+    return dummy;
+  }
+  Cell& c = cell(MetricKind::kHistogram, name, std::move(labels), bounds);
+  if (!c.histogram) {
+    // Name registered first as a counter/gauge; serve a detached histogram
+    // rather than crash — first registration wins in the snapshot.
+    static Histogram mismatch{std::span<const double>{}};
+    return mismatch;
+  }
+  return *c.histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    for (const auto& [key, cell] : stripe.cells) {
+      MetricSample sample;
+      sample.kind = cell->kind;
+      sample.name = cell->name;
+      sample.labels = cell->labels;
+      switch (cell->kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(cell->counter.value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = cell->gauge.value();
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = *cell->histogram;
+          sample.bounds = h.bounds();
+          sample.counts.resize(sample.bounds.size() + 1);
+          for (std::size_t i = 0; i < sample.counts.size(); ++i) {
+            sample.counts[i] = h.bucket_count(i);
+          }
+          sample.sum = h.sum();
+          sample.count = h.count();
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    total += stripe.cells.size();
+  }
+  return total;
+}
+
+void Registry::reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    stripe.cells.clear();
+  }
+}
+
+Registry& registry() {
+  // Intentionally leaked: pool workers and exit-path destructors may record
+  // after main() returns, so the global registry must outlive every other
+  // static (no destruction-order dependence).
+  static Registry* global = new Registry;
+  return *global;
+}
+
+Counter& counter(std::string_view name, Labels labels) {
+  return registry().counter(name, std::move(labels));
+}
+
+Gauge& gauge(std::string_view name, Labels labels) {
+  return registry().gauge(name, std::move(labels));
+}
+
+Histogram& histogram(std::string_view name, Labels labels,
+                     std::span<const double> bounds) {
+  return registry().histogram(name, std::move(labels), bounds);
+}
+
+}  // namespace cpw::obs

@@ -1,0 +1,39 @@
+#include "cpw/obs/span.hpp"
+
+namespace cpw::obs {
+
+namespace {
+thread_local Span* t_current_span = nullptr;
+}  // namespace
+
+Span::Span(std::string_view stage, std::string_view label) noexcept
+    : stage_(stage), label_(label), start_(std::chrono::steady_clock::now()) {
+  parent_ = t_current_span;
+  depth_ = parent_ != nullptr ? parent_->depth_ + 1 : 0;
+  t_current_span = this;
+}
+
+Span::~Span() { end(); }
+
+double Span::end() noexcept {
+  if (ended()) return elapsed_;
+  elapsed_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  if (t_current_span == this) t_current_span = parent_;
+  if (enabled()) {
+    histogram("cpw_stage_seconds", {{"stage", stage_}}).observe(elapsed_);
+  }
+  return elapsed_;
+}
+
+double Span::elapsed() const noexcept {
+  if (ended()) return elapsed_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+const Span* Span::current() noexcept { return t_current_span; }
+
+}  // namespace cpw::obs

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "cpw/obs/span.hpp"
 #include "cpw/selfsim/fft.hpp"
 #include "cpw/stats/descriptive.hpp"
 #include "cpw/stats/regression.hpp"
@@ -116,6 +117,7 @@ HurstEstimate hurst_rs(std::span<const double> series,
               "series too short for Hurst estimation");
   CPW_REQUIRE(prefix.size() == series.size(),
               "prefix does not match series length");
+  obs::Span span("hurst_rs");
   const auto max_block = static_cast<std::size_t>(
       options.max_block_fraction * static_cast<double>(series.size()));
   const auto sizes = log_spaced_sizes(options.min_block, std::max(max_block,
@@ -146,6 +148,7 @@ HurstEstimate hurst_variance_time(std::span<const double> series,
               "series too short for Hurst estimation");
   CPW_REQUIRE(prefix.size() == series.size(),
               "prefix does not match series length");
+  obs::Span span("hurst_vt");
   // Need enough blocks at the largest m for a stable variance estimate.
   const std::size_t max_m = std::max<std::size_t>(series.size() / 16, 2);
   const auto sizes = log_spaced_sizes(1, max_m, options.points_per_decade);
@@ -183,6 +186,7 @@ HurstEstimate hurst_periodogram(std::span<const double> series,
   CPW_REQUIRE(series.size() >= kMinHurstLength,
               "series too short for Hurst estimation");
   options.stop.throw_if_stopped("hurst_periodogram");
+  obs::Span span("hurst_pgram");
 
   // Work on the largest power-of-two prefix so the spectrum is an FFT.
   std::size_t n = std::size_t{1} << static_cast<std::size_t>(

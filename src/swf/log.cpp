@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cpw/obs/metrics.hpp"
 #include "cpw/swf/reader.hpp"
 #include "cpw/util/error.hpp"
 
@@ -45,18 +46,30 @@ std::int64_t Log::max_processors() const {
   if (it != header_.end()) {
     try {
       return std::stoll(it->second);
-    } catch (...) {
-      // fall through to scan
+    } catch (const std::exception&) {
+      // Unparsable MaxProcs header: fall through to the job scan, counted
+      // so a corrupt header cannot silently degrade every lookup.
+      obs::counter("cpw_swallowed_exceptions_total",
+                   {{"site", "log_max_procs_header"}})
+          .add(1);
     }
   }
-  return finalized_ ? max_job_processors_ : scan_max_processors(jobs_);
+  if (finalized_) return max_job_processors_;
+  obs::counter("cpw_swf_rescan_fallback_total",
+               {{"method", "max_processors"}})
+      .add(1);
+  return scan_max_processors(jobs_);
 }
 
 double Log::duration() const {
-  return finalized_ ? duration_ : scan_duration(jobs_);
+  if (finalized_) return duration_;
+  obs::counter("cpw_swf_rescan_fallback_total", {{"method", "duration"}})
+      .add(1);
+  return scan_duration(jobs_);
 }
 
 void Log::finalize() {
+  obs::counter("cpw_swf_finalize_total").add(1);
   input_submit_inversions_ = 0;
   max_input_submit_regression_ = 0.0;
   double running_max = jobs_.empty() ? 0.0 : jobs_.front().submit_time;
@@ -138,7 +151,9 @@ double parse_field(const std::string& token, std::size_t line) {
     const double value = std::stod(token, &used);
     if (used != token.size()) throw std::invalid_argument(token);
     return value;
-  } catch (...) {
+  } catch (const std::exception&) {
+    // stod throws invalid_argument/out_of_range only; rethrown typed with
+    // the offending token and line, so nothing about the cause is lost.
     throw ParseError("bad numeric field '" + token + "'", line);
   }
 }

@@ -8,6 +8,8 @@
 #include <limits>
 #include <utility>
 
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/util/error.hpp"
 #include "cpw/util/thread_pool.hpp"
 
@@ -149,7 +151,10 @@ bool parse_double_field(std::string_view token, double& out) noexcept {
     if (used != token.size()) return false;
     out = value;
     return true;
-  } catch (...) {
+  } catch (const std::exception&) {
+    // stod only throws invalid_argument/out_of_range; a false return feeds
+    // the caller's "bad numeric field" error/quarantine path, so the cause
+    // is reported, not dropped.
     return false;
   }
 }
@@ -328,7 +333,10 @@ std::int64_t header_max_procs(const Log& log) {
   if (it == log.header().end()) return 0;
   try {
     return std::stoll(it->second);
-  } catch (...) {
+  } catch (const std::exception&) {
+    obs::counter("cpw_swallowed_exceptions_total",
+                 {{"site", "reader_max_procs_header"}})
+        .add(1);
     return 0;
   }
 }
@@ -408,6 +416,7 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
                      const ReaderOptions& options,
                      QuarantineReport& quarantine) {
   const bool lenient = options.policy == DecodePolicy::kLenient;
+  obs::Span span("swf_decode", name);
   options.stop.throw_if_stopped("SWF decode");
   const std::vector<std::size_t> starts = chunk_starts(text, options.chunk_bytes);
   const std::size_t chunks = starts.size();
@@ -435,11 +444,16 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
       throw CancelledError("SWF decode: stop requested");
     }
     if (chunk.has_error) {
+      obs::counter("cpw_ingest_parse_errors_total").add(1);
       throw ParseError(chunk.error_message, first_line + chunk.error_line);
     }
     first_line += chunk.lines;
     total_jobs += chunk.jobs.size();
   }
+  obs::counter("cpw_ingest_chunks_total").add(chunks);
+  obs::counter("cpw_ingest_lines_total").add(first_line - 1);
+  obs::counter("cpw_ingest_jobs_total").add(total_jobs);
+  obs::counter("cpw_ingest_bytes_total").add(text.size());
 
   Log log;
   log.set_name(name);
@@ -478,6 +492,16 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
     if (quarantine.samples.size() > options.quarantine_sample_limit) {
       quarantine.samples.resize(options.quarantine_sample_limit);
     }
+    auto count_kind = [](const char* kind, std::size_t n) {
+      if (n > 0) {
+        obs::counter("cpw_ingest_quarantined_lines_total", {{"kind", kind}})
+            .add(n);
+      }
+    };
+    count_kind("malformed", quarantine.malformed_lines);
+    count_kind("negative_runtime", quarantine.negative_runtime);
+    count_kind("over_machine_size", quarantine.over_machine_size);
+    count_kind("submit_regression", quarantine.submit_regressions);
   }
   log.assign_jobs(std::move(jobs));
   log.finalize();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "cpw/obs/metrics.hpp"
+
 namespace cpw {
 
 namespace {
@@ -36,6 +38,8 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     queue_.emplace(next_task_index_++, std::move(task));
   }
+  obs::counter("cpw_pool_tasks_total").add(1);
+  obs::gauge("cpw_pool_queue_depth").add(1.0);
   work_available_.notify_one();
 }
 
@@ -80,9 +84,15 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
+    obs::gauge("cpw_pool_queue_depth").add(-1.0);
     try {
       task();
     } catch (...) {
+      // Deliberately catch-all: a worker must survive any task exception.
+      // Nothing is swallowed — the exception_ptr is kept for wait_idle /
+      // wait_collect — but it is counted so failures show up in metrics
+      // even when a caller never collects.
+      obs::counter("cpw_pool_task_exceptions_total").add(1);
       std::lock_guard lock(mutex_);
       errors_.emplace_back(task_index, std::current_exception());
     }

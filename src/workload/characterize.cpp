@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
 #include "cpw/stats/descriptive.hpp"
 #include "cpw/util/error.hpp"
 
@@ -61,6 +63,7 @@ const std::vector<std::string>& WorkloadStats::all_codes() {
 WorkloadStats characterize(const swf::Log& log,
                            std::optional<double> machine_processors) {
   CPW_REQUIRE(log.size() >= 2, "characterize needs at least two jobs");
+  obs::Span span("characterize", log.name());
 
   WorkloadStats stats;
   stats.name = log.name();
@@ -75,7 +78,12 @@ WorkloadStats characterize(const swf::Log& log,
     if (raw.empty()) return kNaN;
     try {
       return std::stod(raw);
-    } catch (...) {
+    } catch (const std::exception&) {
+      // NaN is the documented "missing variable" value, but the swallow is
+      // counted so corrupt headers stay visible in the metrics.
+      obs::counter("cpw_swallowed_exceptions_total",
+                   {{"site", "characterize_header"}})
+          .add(1);
       return kNaN;
     }
   };

@@ -1,0 +1,444 @@
+// The cpw::obs observability layer: counter/gauge/histogram semantics,
+// label-keyed cells, thread-safety of the lock-striped registry under the
+// pool, span nesting and timing, exporter golden output, both kill
+// switches, and the contract that batch diagnostics timings come from the
+// same spans that feed the metrics registry. Also the finalize-once
+// regression: a batch ingest never falls back to an O(n) rescan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/thread_pool.hpp"
+
+namespace cpw {
+namespace {
+
+std::string job_line(long id, double submit, double run, long procs) {
+  return std::to_string(id) + " " + std::to_string(submit) + " 0 " +
+         std::to_string(run) + " " + std::to_string(procs) + " 10 -1 " +
+         std::to_string(procs) + " 10 -1 1 3 1 7 1 -1 -1 -1";
+}
+
+std::string good_text(std::size_t jobs) {
+  std::string text = "; MaxProcs: 64\n";
+  for (std::size_t i = 0; i < jobs; ++i) {
+    text += job_line(static_cast<long>(i + 1), 10.0 * static_cast<double>(i),
+                     5.0 + static_cast<double>(i % 7), 1 + (i % 4)) +
+            "\n";
+  }
+  return text;
+}
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + "cpw_obs_" + stem + ".swf";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ------------------------------------------------------------------- cells
+
+// Recording is gated on the compile-time switch, so cell and registry
+// behavior is only observable in the enabled build.
+#if CPW_OBS_ENABLED
+
+TEST(ObsMetrics, CounterGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("c_total");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  obs::Gauge& g = reg.gauge("g");
+  g.set(2.0);
+  g.add(1.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndSum) {
+  obs::Registry reg;
+  const double bounds[] = {1.0, 10.0};
+  obs::Histogram& h = reg.histogram("h_seconds", {}, bounds);
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive upper edge)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+}
+
+TEST(ObsMetrics, LabelsKeyDistinctCellsAndOrderDoesNotMatter) {
+  obs::Registry reg;
+  reg.counter("x_total", {{"stage", "a"}}).add(1);
+  reg.counter("x_total", {{"stage", "b"}}).add(2);
+  // Same labels in a different insertion order resolve to the same cell.
+  reg.counter("x_total", {{"b", "2"}, {"a", "1"}}).add(3);
+  reg.counter("x_total", {{"a", "1"}, {"b", "2"}}).add(4);
+  EXPECT_EQ(reg.size(), 3u);
+
+  const obs::Snapshot snap = reg.snapshot();
+  const auto* a = snap.find("x_total", {{"stage", "a"}});
+  const auto* b = snap.find("x_total", {{"stage", "b"}});
+  const auto* ab = snap.find("x_total", {{"a", "1"}, {"b", "2"}});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(a->value, 1.0);
+  EXPECT_DOUBLE_EQ(b->value, 2.0);
+  EXPECT_DOUBLE_EQ(ab->value, 7.0);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedByNameThenLabels) {
+  obs::Registry reg;
+  reg.counter("z_total").add(1);
+  reg.counter("a_total", {{"stage", "b"}}).add(1);
+  reg.counter("a_total", {{"stage", "a"}}).add(1);
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "a_total");
+  EXPECT_EQ(snap.samples[0].labels[0].second, "a");
+  EXPECT_EQ(snap.samples[1].name, "a_total");
+  EXPECT_EQ(snap.samples[1].labels[0].second, "b");
+  EXPECT_EQ(snap.samples[2].name, "z_total");
+}
+
+// ------------------------------------------------------------- concurrency
+
+TEST(ObsMetrics, ConcurrentRecordingIsExact) {
+  obs::Registry reg;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Lookup every iteration on purpose: hammers the stripe mutex and
+        // the relaxed cell atomics at the same time.
+        reg.counter("hammer_total").add(1);
+        reg.gauge("hammer_gauge").add(0.5);
+        reg.histogram("hammer_seconds").observe(0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("hammer_total")->value,
+                   static_cast<double>(kTotal));
+  EXPECT_DOUBLE_EQ(snap.find("hammer_gauge")->value,
+                   static_cast<double>(kTotal) * 0.5);
+  EXPECT_EQ(snap.find("hammer_seconds")->count, kTotal);
+  EXPECT_DOUBLE_EQ(snap.find("hammer_seconds")->sum,
+                   static_cast<double>(kTotal) * 0.5);
+}
+
+TEST(ObsMetrics, PoolWorkersShareTheGlobalRegistry) {
+  obs::registry().reset();
+  constexpr std::size_t kTasks = 2000;
+  parallel_for(kTasks, [](std::size_t) {
+    obs::counter("cpw_test_pool_hammer_total").add(1);
+  });
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const auto* sample = snap.find("cpw_test_pool_hammer_total");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->value, static_cast<double>(kTasks));
+}
+
+#endif  // CPW_OBS_ENABLED
+
+// ------------------------------------------------------------------- spans
+
+TEST(ObsSpan, NestingTracksParentAndDepth) {
+  EXPECT_EQ(obs::Span::current(), nullptr);
+  {
+    obs::Span outer("test_outer");
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(outer.parent(), nullptr);
+    EXPECT_EQ(obs::Span::current(), &outer);
+    {
+      obs::Span inner("test_inner", "item-1");
+      EXPECT_EQ(inner.depth(), 1);
+      EXPECT_EQ(inner.parent(), &outer);
+      EXPECT_EQ(obs::Span::current(), &inner);
+      EXPECT_EQ(inner.label(), "item-1");
+    }
+    EXPECT_EQ(obs::Span::current(), &outer);
+  }
+  EXPECT_EQ(obs::Span::current(), nullptr);
+}
+
+TEST(ObsSpan, EndIsIdempotentAndElapsedIsMonotone) {
+  obs::Span span("test_timing");
+  EXPECT_FALSE(span.ended());
+  const double running = span.elapsed();
+  EXPECT_GE(running, 0.0);
+  const double first = span.end();
+  EXPECT_TRUE(span.ended());
+  EXPECT_GE(first, running);
+  // A second end() returns the same measurement, not a longer one.
+  EXPECT_DOUBLE_EQ(span.end(), first);
+  EXPECT_DOUBLE_EQ(span.elapsed(), first);
+}
+
+TEST(ObsSpan, ThreadsCarryIndependentStacks) {
+  obs::Span outer("test_outer");
+  std::thread([&] {
+    // The worker thread must not see the main thread's span as its parent.
+    EXPECT_EQ(obs::Span::current(), nullptr);
+    obs::Span inner("test_worker");
+    EXPECT_EQ(inner.depth(), 0);
+    EXPECT_EQ(inner.parent(), nullptr);
+  }).join();
+  EXPECT_EQ(obs::Span::current(), &outer);
+}
+
+#if CPW_OBS_ENABLED
+
+TEST(ObsSpan, PublishesStageSecondsHistogram) {
+  obs::registry().reset();
+  double measured = 0.0;
+  {
+    obs::Span span("test_publish");
+    measured = span.end();
+  }
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const auto* sample =
+      snap.find("cpw_stage_seconds", {{"stage", "test_publish"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 1u);
+  EXPECT_DOUBLE_EQ(sample->sum, measured);
+}
+
+#endif  // CPW_OBS_ENABLED
+
+// --------------------------------------------------------------- exporters
+
+// The golden snapshot is built by hand (not recorded) so the exporter
+// tests run identically in the CPW_OBS_ENABLED=0 build.
+obs::Snapshot golden_snapshot() {
+  obs::Snapshot snap;
+  obs::MetricSample gauge;
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.name = "cpw_test_gauge";
+  gauge.value = 2.5;
+  snap.samples.push_back(gauge);
+
+  obs::MetricSample hist;
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.name = "cpw_test_seconds";
+  hist.bounds = {0.5, 1.0};
+  hist.counts = {1, 0, 1};  // 0.25 and 2.0 observed
+  hist.sum = 2.25;
+  hist.count = 2;
+  snap.samples.push_back(hist);
+
+  obs::MetricSample total;
+  total.kind = obs::MetricKind::kCounter;
+  total.name = "cpw_test_total";
+  total.labels = {{"stage", "a"}};
+  total.value = 3.0;
+  snap.samples.push_back(total);
+  return snap;
+}
+
+TEST(ObsExport, JsonGolden) {
+  EXPECT_EQ(
+      obs::to_json(golden_snapshot()),
+      "{\"schema\":\"cpw-obs-v1\",\"metrics\":["
+      "{\"name\":\"cpw_test_gauge\",\"type\":\"gauge\",\"value\":2.5},"
+      "{\"name\":\"cpw_test_seconds\",\"type\":\"histogram\",\"count\":2,"
+      "\"sum\":2.25,\"buckets\":[{\"le\":0.5,\"count\":1},"
+      "{\"le\":1,\"count\":0},{\"le\":null,\"count\":1}]},"
+      "{\"name\":\"cpw_test_total\",\"type\":\"counter\","
+      "\"labels\":{\"stage\":\"a\"},\"value\":3}"
+      "]}");
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  EXPECT_EQ(obs::to_prometheus(golden_snapshot()),
+            "# TYPE cpw_test_gauge gauge\n"
+            "cpw_test_gauge 2.5\n"
+            "# TYPE cpw_test_seconds histogram\n"
+            "cpw_test_seconds_bucket{le=\"0.5\"} 1\n"
+            "cpw_test_seconds_bucket{le=\"1\"} 1\n"
+            "cpw_test_seconds_bucket{le=\"+Inf\"} 2\n"
+            "cpw_test_seconds_sum 2.25\n"
+            "cpw_test_seconds_count 2\n"
+            "# TYPE cpw_test_total counter\n"
+            "cpw_test_total{stage=\"a\"} 3\n");
+}
+
+TEST(ObsExport, EscapesLabelValues) {
+  obs::Snapshot snap;
+  obs::MetricSample sample;
+  sample.kind = obs::MetricKind::kCounter;
+  sample.name = "cpw_test_total";
+  sample.labels = {{"path", "a\"b\\c"}};
+  sample.value = 1.0;
+  snap.samples.push_back(sample);
+  const std::string json = obs::to_json(snap);
+  EXPECT_NE(json.find("\"path\":\"a\\\"b\\\\c\""), std::string::npos) << json;
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("path=\"a\\\"b\\\\c\""), std::string::npos) << prom;
+}
+
+// ----------------------------------------------------------- kill switches
+
+#if CPW_OBS_ENABLED
+
+TEST(ObsDisabled, RuntimeKillSwitchKeepsRegistryEmpty) {
+  obs::registry().reset();
+  ASSERT_TRUE(obs::enabled());
+  obs::set_enabled(false);
+  obs::counter("cpw_test_disabled_total").add(5);
+  obs::gauge("cpw_test_disabled_gauge").set(1.0);
+  obs::histogram("cpw_test_disabled_seconds").observe(1.0);
+  {
+    obs::Span span("test_disabled");
+    // Timing still works with metrics off: diagnostics depend on it.
+    EXPECT_GE(span.end(), 0.0);
+  }
+  EXPECT_EQ(obs::registry().size(), 0u);
+  EXPECT_TRUE(obs::registry().snapshot().empty());
+  obs::set_enabled(true);
+  obs::counter("cpw_test_disabled_total").add(2);
+  const obs::Snapshot snap = obs::registry().snapshot();
+  ASSERT_NE(snap.find("cpw_test_disabled_total"), nullptr);
+  // Only the post-enable increments are visible.
+  EXPECT_DOUBLE_EQ(snap.find("cpw_test_disabled_total")->value, 2.0);
+}
+
+#else
+
+TEST(ObsDisabled, CompileTimeKillSwitchKeepsRegistryEmpty) {
+  obs::counter("cpw_test_disabled_total").add(5);
+  obs::histogram("cpw_test_disabled_seconds").observe(1.0);
+  {
+    obs::Span span("test_disabled");
+    EXPECT_GE(span.end(), 0.0);
+  }
+  EXPECT_FALSE(obs::enabled());
+  EXPECT_EQ(obs::registry().size(), 0u);
+}
+
+#endif  // CPW_OBS_ENABLED
+
+// ------------------------------------------------- batch pipeline contract
+
+#if CPW_OBS_ENABLED
+
+std::vector<swf::Log> model_logs(std::size_t count, std::size_t jobs) {
+  const auto models = models::all_models(128);
+  std::vector<swf::Log> logs;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 7 + i);
+    log.set_name("log" + std::to_string(i));
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+TEST(ObsBatch, DiagnosticsTimingsComeFromSpans) {
+  const auto logs = model_logs(4, 300);
+  obs::registry().reset();
+  analysis::BatchOptions options;
+  options.run_coplot = true;
+  const auto result = analysis::run_batch(logs, options);
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const auto* analyze = snap.find("cpw_stage_seconds", {{"stage", "analyze"}});
+  ASSERT_NE(analyze, nullptr);
+  EXPECT_EQ(analyze->count, logs.size());
+  double diag_sum = 0.0;
+  for (const auto& slot : result.diagnostics.logs) {
+    diag_sum += slot.analyze_seconds;
+  }
+  // Identical doubles, summed in a different order: tolerance only covers
+  // floating-point reassociation, not a second clock.
+  EXPECT_NEAR(analyze->sum, diag_sum, 1e-9);
+
+  // Wave timings are span-sourced and cover their per-log parts.
+  EXPECT_GE(result.diagnostics.analyze_wave_seconds, 0.0);
+  EXPECT_GT(result.diagnostics.hurst_wave_seconds, 0.0);
+  EXPECT_GT(result.diagnostics.coplot_seconds, 0.0);
+  const auto* wave =
+      snap.find("cpw_stage_seconds", {{"stage", "batch_analyze_wave"}});
+  ASSERT_NE(wave, nullptr);
+  EXPECT_EQ(wave->count, 1u);
+  EXPECT_NEAR(wave->sum, result.diagnostics.analyze_wave_seconds, 1e-12);
+
+  // The run is accounted for exactly once, with every log ok.
+  EXPECT_DOUBLE_EQ(snap.find("cpw_batch_runs_total")->value, 1.0);
+  const auto* ok = snap.find("cpw_batch_logs_total", {{"status", "ok"}});
+  ASSERT_NE(ok, nullptr);
+  EXPECT_DOUBLE_EQ(ok->value, static_cast<double>(logs.size()));
+}
+
+TEST(ObsBatch, FileIngestFinalizesOnceAndNeverRescans) {
+  constexpr std::size_t kFiles = 3;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < kFiles; ++i) {
+    paths.push_back(temp_path("finalize" + std::to_string(i)));
+    write_file(paths.back(), good_text(200));
+  }
+
+  obs::registry().reset();
+  analysis::BatchOptions options;
+  options.run_coplot = true;
+  const auto result = analysis::run_batch(paths, options);
+  EXPECT_EQ(result.diagnostics.failed_count(), 0u);
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+  // Exactly one finalize per ingested file...
+  const auto* finalize = snap.find("cpw_swf_finalize_total");
+  ASSERT_NE(finalize, nullptr);
+  EXPECT_DOUBLE_EQ(finalize->value, static_cast<double>(kFiles));
+  // ...and no stage ever fell back to an O(n) rescan of a non-finalized
+  // log: the counter cell is never even created.
+  EXPECT_EQ(snap.find("cpw_swf_rescan_fallback_total"), nullptr);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(ObsBatch, UnfinalizedLogCountsRescanFallback) {
+  obs::registry().reset();
+  swf::Log log;
+  swf::Job job;
+  job.submit_time = 1.0;
+  job.run_time = 5.0;
+  job.processors = 2;
+  log.add(job);  // add() leaves the log non-finalized
+  EXPECT_DOUBLE_EQ(log.duration(), 5.0);
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const auto* fallback =
+      snap.find("cpw_swf_rescan_fallback_total", {{"method", "duration"}});
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_DOUBLE_EQ(fallback->value, 1.0);
+}
+
+#endif  // CPW_OBS_ENABLED
+
+}  // namespace
+}  // namespace cpw
