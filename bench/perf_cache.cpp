@@ -1,0 +1,122 @@
+// google-benchmark suite for the persistent analysis cache (PR 5): content
+// fingerprinting throughput, cold batch runs that populate the cache, and
+// warm re-runs that serve characterize + Hurst from it (recomputing only
+// the Co-plot). The cold/warm pair is what BENCH_PR5.json tracks.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/fingerprint.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace {
+
+using namespace cpw;
+namespace fs = std::filesystem;
+
+constexpr std::size_t kLogs = 6;
+
+/// SWF files for one corpus size, generated once and reused across
+/// benchmarks (generation dominates otherwise).
+struct Corpus {
+  std::string root;
+  std::vector<std::string> paths;
+};
+
+const Corpus& corpus(std::size_t jobs) {
+  static std::map<std::size_t, Corpus> built;
+  const auto it = built.find(jobs);
+  if (it != built.end()) return it->second;
+
+  Corpus c;
+  c.root = (fs::temp_directory_path() /
+            ("cpw_perf_cache_" + std::to_string(static_cast<long>(::getpid())) +
+             "_" + std::to_string(jobs)))
+               .string();
+  fs::remove_all(c.root);
+  fs::create_directories(c.root);
+  const auto models = models::all_models(128);
+  for (std::size_t i = 0; i < kLogs; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 100 + i);
+    log.set_name("perf" + std::to_string(i));
+    const std::string path = c.root + "/" + log.name() + ".swf";
+    swf::save_swf(path, log);
+    c.paths.push_back(path);
+  }
+  return built.emplace(jobs, std::move(c)).first->second;
+}
+
+void BM_FingerprintBytes(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  std::string data(size, '\0');
+  Rng rng(7);
+  for (char& byte : data) byte = static_cast<char>(rng() & 0xFF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fingerprint_bytes(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FingerprintBytes)->Arg(1 << 16)->Arg(1 << 22);
+
+/// Baseline: the batch pipeline with the cache disabled.
+void BM_BatchNoCache(benchmark::State& state) {
+  const Corpus& c = corpus(static_cast<std::size_t>(state.range(0)));
+  const analysis::BatchOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::run_batch(std::span<const std::string>(c.paths), options));
+  }
+  state.counters["logs"] = static_cast<double>(kLogs);
+}
+BENCHMARK(BM_BatchNoCache)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+/// Cold: every iteration starts from an empty cache directory, so the run
+/// pays full ingest + characterize + Hurst plus the stores.
+void BM_BatchCacheCold(benchmark::State& state) {
+  const Corpus& c = corpus(static_cast<std::size_t>(state.range(0)));
+  const std::string cache_dir = c.root + "/cache_cold";
+  analysis::BatchOptions options;
+  options.cache_dir = cache_dir;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(cache_dir);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        analysis::run_batch(std::span<const std::string>(c.paths), options));
+  }
+  state.counters["logs"] = static_cast<double>(kLogs);
+}
+BENCHMARK(BM_BatchCacheCold)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+/// Warm: the cache is populated once; every timed iteration is all hits —
+/// mmap + fingerprint + entry decode + the Co-plot, nothing else.
+void BM_BatchCacheWarm(benchmark::State& state) {
+  const Corpus& c = corpus(static_cast<std::size_t>(state.range(0)));
+  const std::string cache_dir = c.root + "/cache_warm";
+  analysis::BatchOptions options;
+  options.cache_dir = cache_dir;
+  fs::remove_all(cache_dir);
+  (void)analysis::run_batch(std::span<const std::string>(c.paths), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::run_batch(std::span<const std::string>(c.paths), options));
+  }
+  state.counters["logs"] = static_cast<double>(kLogs);
+}
+BENCHMARK(BM_BatchCacheWarm)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

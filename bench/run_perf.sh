@@ -3,26 +3,28 @@
 # performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
 #
 # Usage: bench/run_perf.sh [build-dir] [output-json]
-# Defaults: build directory ./build, output ./BENCH_PR4.json.
+# Defaults: build directory ./build, output ./BENCH_PR5.json.
 #
 # Environment:
 #   BENCH_SMOKE=1   fast smoke run (min_time=0.05s per benchmark) for CI.
 #
-# The record concatenates two google-benchmark runs — the analysis kernels
-# (tracked since PR 1) and the SWF ingest suite (PR 2) — plus the cpw::obs
-# metrics snapshot accumulated during the analysis run (PR 4), so every
-# record carries the per-stage counters and timing histograms that
-# produced it. A schema check validates the merged document before the
-# script reports success.
+# The record concatenates three google-benchmark runs — the analysis
+# kernels (tracked since PR 1), the SWF ingest suite (PR 2), and the
+# analysis-cache suite with cold/warm batch timings (PR 5) — plus the
+# cpw::obs metrics snapshot accumulated during the analysis run (PR 4),
+# so every record carries the per-stage counters and timing histograms
+# that produced it. A schema check validates the merged document before
+# the script reports success.
 
 set -e
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR4.json}"
+OUT="${2:-BENCH_PR5.json}"
 ANALYSIS_BIN="$BUILD_DIR/bench/perf_analysis"
 INGEST_BIN="$BUILD_DIR/bench/perf_ingest"
+CACHE_BIN="$BUILD_DIR/bench/perf_cache"
 
-for BIN in "$ANALYSIS_BIN" "$INGEST_BIN"; do
+for BIN in "$ANALYSIS_BIN" "$INGEST_BIN" "$CACHE_BIN"; do
   if [ ! -x "$BIN" ]; then
     echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -52,6 +54,13 @@ fi
   --benchmark_repetitions=1 \
   $SMOKE_ARGS
 
+"$CACHE_BIN" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT.cache" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  $SMOKE_ARGS
+
 # Merge the runs and the metrics snapshot into one document keyed by suite.
 {
   echo '{'
@@ -61,14 +70,18 @@ fi
   echo '  "perf_ingest":'
   sed 's/^/  /' "$OUT.ingest"
   echo '  ,'
+  echo '  "perf_cache":'
+  sed 's/^/  /' "$OUT.cache"
+  echo '  ,'
   echo '  "obs_metrics":'
   sed 's/^/  /' "$OUT.metrics"
   echo '}'
 } > "$OUT"
-rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.metrics"
+rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.cache" "$OUT.metrics"
 
-# Schema check: the merged document must parse as JSON, carry all three
-# sections, non-empty benchmark lists, and a per-stage timing histogram.
+# Schema check: the merged document must parse as JSON, carry all four
+# sections, non-empty benchmark lists (with the cold/warm cache pair),
+# and a per-stage timing histogram.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT" <<'PYEOF'
 import json, sys
@@ -77,12 +90,16 @@ path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
 
-for key in ("perf_analysis", "perf_ingest", "obs_metrics"):
+for key in ("perf_analysis", "perf_ingest", "perf_cache", "obs_metrics"):
     if key not in doc:
         sys.exit(f"schema check failed: missing top-level key {key!r}")
-for key in ("perf_analysis", "perf_ingest"):
+for key in ("perf_analysis", "perf_ingest", "perf_cache"):
     if not doc[key].get("benchmarks"):
         sys.exit(f"schema check failed: {key} has no benchmarks")
+cache_names = {b["name"] for b in doc["perf_cache"]["benchmarks"]}
+for needle in ("BM_BatchCacheCold", "BM_BatchCacheWarm"):
+    if not any(needle in n for n in cache_names):
+        sys.exit(f"schema check failed: perf_cache missing {needle} runs")
 obs = doc["obs_metrics"]
 if obs.get("schema") != "cpw-obs-v1":
     sys.exit("schema check failed: obs_metrics.schema != cpw-obs-v1")
@@ -90,7 +107,8 @@ names = {m["name"] for m in obs.get("metrics", [])}
 if "cpw_stage_seconds" not in names:
     sys.exit("schema check failed: no cpw_stage_seconds sample in obs_metrics")
 print(f"schema check ok: {len(doc['perf_analysis']['benchmarks'])} analysis + "
-      f"{len(doc['perf_ingest']['benchmarks'])} ingest benchmarks, "
+      f"{len(doc['perf_ingest']['benchmarks'])} ingest + "
+      f"{len(doc['perf_cache']['benchmarks'])} cache benchmarks, "
       f"{len(names)} metric names")
 PYEOF
 else

@@ -12,11 +12,21 @@
 //
 // --metrics <path> dumps the cpw::obs registry after the run — JSON by
 // default, Prometheus text format when the path ends in .prom.
+//
+// --cache-dir <dir> enables the persistent analysis cache: per-log
+// characterize + Hurst results are stored content-addressed under <dir>, so
+// re-running over the same files skips everything except the Co-plot.
+//
+// --write-logs <dir> (generated mode only) also saves every generated log
+// as <dir>/<name>.swf — handy for building a corpus to feed the file mode
+// (and what the CI cache smoke uses).
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,11 +60,17 @@ int main(int argc, char** argv) {
   using clock = std::chrono::steady_clock;
 
   std::string metrics_path;
+  std::string cache_dir;
+  std::string write_logs_dir;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (arg == "--write-logs" && i + 1 < argc) {
+      write_logs_dir = argv[++i];
     } else {
       args.push_back(arg);
     }
@@ -64,11 +80,22 @@ int main(int argc, char** argv) {
     const std::vector<std::string>& paths = args;
     std::printf("analyzing %zu SWF files (mmap ingest overlapped with analysis)\n",
                 paths.size());
+    analysis::BatchOptions options;
+    options.cache_dir = cache_dir;
     const auto t0 = clock::now();
-    const analysis::BatchResult batch = analysis::run_batch(paths);
+    const analysis::BatchResult batch = analysis::run_batch(
+        std::span<const std::string>(paths), options);
     const auto t1 = clock::now();
     std::printf("ingest + analysis: %.0f ms\n\n",
                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (!cache_dir.empty()) {
+      std::size_t hits = 0;
+      for (const auto& diag : batch.diagnostics.logs) {
+        if (diag.cache_hit) ++hits;
+      }
+      std::printf("cache: %zu of %zu logs served from %s\n\n", hits,
+                  batch.logs.size(), cache_dir.c_str());
+    }
     std::printf("%-24s %10s %10s %10s\n", "log", "procs", "load", "jobs/day");
     for (const auto& log : batch.logs) {
       std::printf("%-24s %10.0f %10.3f %10.0f\n", log.name.c_str(),
@@ -103,6 +130,15 @@ int main(int argc, char** argv) {
     logs.push_back(model->generate(sim.jobs, sim.seed));
   }
   std::printf("analyzing %zu logs (%zu jobs each)\n", logs.size(), sim.jobs);
+
+  if (!write_logs_dir.empty()) {
+    std::filesystem::create_directories(write_logs_dir);
+    for (const auto& log : logs) {
+      swf::save_swf(write_logs_dir + "/" + log.name() + ".swf", log);
+    }
+    std::printf("wrote %zu SWF files to %s\n", logs.size(),
+                write_logs_dir.c_str());
+  }
 
   analysis::BatchOptions options;
   const auto t0 = clock::now();

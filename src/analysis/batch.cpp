@@ -1,13 +1,16 @@
 #include "cpw/analysis/batch.hpp"
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
 
+#include "cpw/cache/cache.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
+#include "cpw/util/fingerprint.hpp"
 #include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
 
@@ -61,6 +64,9 @@ bool contain(LogDiagnostics& slot, const char* stage, LogStatus on_error,
 /// file-path overload drops each decoded log right after.
 void analyze_log(const swf::Log& log, const BatchOptions& options,
                  LogAnalysis& analysis, LogScratch& scratch) {
+  // Counts actual characterizations, so tests can assert a warm cache run
+  // recomputed zero of them.
+  obs::counter("cpw_batch_characterize_total").add(1);
   const auto attributes = workload::all_attributes();
   analysis.name = log.name();
   analysis.stats = workload::characterize(log, options.machine_processors);
@@ -75,10 +81,119 @@ void analyze_log(const swf::Log& log, const BatchOptions& options,
   }
 }
 
+/// Fingerprint of every option that changes a per-log result
+/// (characterization or Hurst report). Co-plot/embedding options are
+/// deliberately excluded: tweaking the map must still reuse cached per-log
+/// work. Serialized as a fixed little-endian blob so the fingerprint is
+/// stable across runs and machines.
+std::uint64_t options_fingerprint(const BatchOptions& options) {
+  std::string blob;
+  const auto put_u64 = [&blob](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  const auto put_f64 = [&](double v) {
+    put_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  put_u64(options.hurst.min_block);
+  put_f64(options.hurst.max_block_fraction);
+  put_u64(options.hurst.points_per_decade);
+  put_f64(options.hurst.periodogram_cutoff);
+  put_u64(options.machine_processors.has_value() ? 1 : 0);
+  put_f64(options.machine_processors.value_or(0.0));
+  put_u64(static_cast<std::uint64_t>(options.reader.policy));
+  put_f64(options.reader.max_submit_regression);
+  put_u64(options.reader.quarantine_sample_limit);
+  return fingerprint_bytes(blob);
+}
+
+/// Per-run cache state shared by the waves. Absent (enabled() == false)
+/// when BatchOptions::cache_dir is empty or the directory is unusable — a
+/// broken cache degrades to an uncached run, never a failed batch.
+struct CacheContext {
+  std::optional<cache::AnalysisCache> cache;
+  std::uint64_t options_fp = 0;
+  std::vector<std::uint64_t> content_fp;  ///< per log; 0 = unknown
+
+  CacheContext(const BatchOptions& options, std::size_t count) {
+    if (options.cache_dir.empty()) return;
+    content_fp.assign(count, 0);
+    options_fp = options_fingerprint(options);
+    try {
+      cache.emplace(
+          cache::CacheOptions{options.cache_dir, options.cache_max_bytes});
+    } catch (...) {
+      obs::counter("cpw_cache_disabled_total").add(1);
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return cache.has_value(); }
+};
+
+/// Wave-1 cache probe: on a hit, restores the whole per-log analysis (and
+/// the quarantine summary, re-deriving the degraded status) so both the
+/// analyze and Hurst stages are skipped for this log. Records the content
+/// fingerprint either way so a miss can be stored after the Hurst wave.
+/// `name` overrides the stored entry name: content-addressing means the
+/// same bytes can be found under a different path or label.
+bool try_cache_hit(CacheContext& ctx, std::size_t i, std::uint64_t content_fp,
+                   const std::string& name, LogAnalysis& analysis,
+                   LogDiagnostics& slot) {
+  if (!ctx.enabled() || content_fp == 0) return false;
+  ctx.content_fp[i] = content_fp;
+  const std::optional<cache::CachedAnalysis> hit =
+      ctx.cache->lookup({content_fp, ctx.options_fp});
+  if (!hit) return false;
+  analysis.name = name;
+  analysis.stats = hit->stats;
+  analysis.stats.name = name;
+  for (std::size_t a = 0; a < kAttributes; ++a) {
+    analysis.hurst[a].attribute =
+        static_cast<workload::Attribute>(hit->hurst[a].attribute);
+    analysis.hurst[a].estimated = hit->hurst[a].estimated;
+    analysis.hurst[a].report = hit->hurst[a].report;
+  }
+  slot.quarantine = hit->quarantine;
+  if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
+  slot.cache_hit = true;
+  return true;
+}
+
+/// Post-Hurst store of every cacheable miss. Only deterministic outcomes
+/// are cacheable: clean logs, and logs degraded solely by quarantined input
+/// (the quarantine travels in the entry, so a warm hit re-derives the same
+/// degraded status). A log with contained errors must recompute next run.
+void store_results(BatchResult& result, CacheContext& ctx,
+                   const BatchOptions& options) {
+  if (!ctx.enabled()) return;
+  for_each(
+      result.logs.size(),
+      [&](std::size_t i) {
+        const LogDiagnostics& slot = result.diagnostics.logs[i];
+        if (slot.cache_hit || ctx.content_fp[i] == 0) return;
+        if (!slot.events.empty() || slot.status == LogStatus::kFailed) return;
+        const LogAnalysis& analysis = result.logs[i];
+        cache::CachedAnalysis entry;
+        entry.name = analysis.name;
+        entry.stats = analysis.stats;
+        for (std::size_t a = 0; a < kAttributes; ++a) {
+          entry.hurst[a].attribute =
+              static_cast<std::uint32_t>(analysis.hurst[a].attribute);
+          entry.hurst[a].estimated = analysis.hurst[a].estimated;
+          entry.hurst[a].report = analysis.hurst[a].report;
+        }
+        entry.quarantine = slot.quarantine;
+        ctx.cache->store({ctx.content_fp[i], ctx.options_fp}, entry);
+      },
+      options.parallel);
+}
+
 /// Waves 2 and 3, shared by both overloads (wave 1 differs only in where
 /// the logs come from).
 void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
-                  const BatchOptions& options, const StopToken& stop);
+                  const BatchOptions& options, const StopToken& stop,
+                  CacheContext& ctx);
 
 }  // namespace
 
@@ -95,12 +210,17 @@ BatchResult run_batch(std::span<const swf::Log> logs,
     result.diagnostics.logs[i].name = logs[i].name();
   }
 
+  CacheContext ctx(options, logs.size());
   std::vector<LogScratch> scratch(logs.size());
   obs::Span wave("batch_analyze_wave");
   for_each(
       logs.size(),
       [&](std::size_t i) {
         LogDiagnostics& slot = result.diagnostics.logs[i];
+        if (try_cache_hit(ctx, i, logs[i].content_fingerprint(),
+                          logs[i].name(), result.logs[i], slot)) {
+          return;
+        }
         // The span both times the diagnostics slot and feeds the
         // cpw_stage_seconds histogram: one measurement, two consumers.
         obs::Span span("analyze", logs[i].name());
@@ -113,7 +233,7 @@ BatchResult run_batch(std::span<const swf::Log> logs,
       options.parallel);
   result.diagnostics.analyze_wave_seconds = wave.end();
 
-  finish_batch(result, scratch, options, stop);
+  finish_batch(result, scratch, options, stop, ctx);
   return result;
 }
 
@@ -129,6 +249,7 @@ BatchResult run_batch(std::span<const std::string> paths,
   swf::ReaderOptions reader_options = options.reader;
   if (stop.stop_possible()) reader_options.stop = stop;
 
+  CacheContext ctx(options, paths.size());
   std::vector<LogScratch> scratch(paths.size());
   // Ingest is part of the per-log task: while one worker analyzes an
   // already-decoded log, others are still mmap-decoding theirs, so ingest
@@ -145,11 +266,27 @@ BatchResult run_batch(std::span<const std::string> paths,
         const bool ingested =
             contain(slot, "ingest", LogStatus::kFailed, [&] {
               stop.throw_if_stopped("batch ingest");
-              log.emplace(
-                  swf::load_swf_fast(paths[i], reader_options, slot.quarantine));
+              if (ctx.enabled()) {
+                // Hash the mapped bytes before decoding: on a cache hit the
+                // file is never parsed at all.
+                const swf::MappedFile file(paths[i]);
+                const std::uint64_t fp = fingerprint_bytes(file.view());
+                if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i],
+                                  slot)) {
+                  return;
+                }
+                swf::ReaderOptions miss_options = reader_options;
+                miss_options.fingerprint = false;  // bytes already hashed
+                log.emplace(swf::parse_swf_buffer(file.view(), paths[i],
+                                                  miss_options,
+                                                  slot.quarantine));
+              } else {
+                log.emplace(swf::load_swf_fast(paths[i], reader_options,
+                                               slot.quarantine));
+              }
             });
         slot.ingest_seconds = ingest_span.end();
-        if (!ingested) return;
+        if (!ingested || slot.cache_hit) return;
         if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
         obs::Span analyze_span("analyze", paths[i]);
         contain(slot, "analyze", LogStatus::kFailed, [&] {
@@ -160,7 +297,7 @@ BatchResult run_batch(std::span<const std::string> paths,
       options.parallel);
   result.diagnostics.analyze_wave_seconds = wave.end();
 
-  finish_batch(result, scratch, options, stop);
+  finish_batch(result, scratch, options, stop, ctx);
   return result;
 }
 
@@ -247,7 +384,8 @@ void run_coplot_stage(BatchResult& result, const BatchOptions& options,
 }
 
 void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
-                  const BatchOptions& options, const StopToken& stop) {
+                  const BatchOptions& options, const StopToken& stop,
+                  CacheContext& ctx) {
   const std::size_t count = result.logs.size();
   BatchDiagnostics& diag = result.diagnostics;
 
@@ -268,10 +406,14 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
         const std::size_t a = (flat / kEstimators) % kAttributes;
         const std::size_t e = flat % kEstimators;
         if (!diag.logs[i].usable()) return;
+        // A cache hit restored this log's reports already (its scratch
+        // series were never extracted).
+        if (diag.logs[i].cache_hit) return;
         AttributeHurst& slot = result.logs[i].hurst[a];
         if (!slot.estimated) return;
         const auto& series = scratch[i].series[a];
         const auto& prefix = scratch[i].prefix[a];
+        obs::counter("cpw_batch_hurst_estimates_total").add(1);
         try {
           switch (e) {
             case 0:
@@ -299,6 +441,10 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
     diag.logs[i].events.push_back(std::move(*hurst_errors[flat]));
     escalate(diag.logs[i], LogStatus::kDegraded);
   }
+
+  // Persist every cacheable miss before the Co-plot so a crash in the map
+  // stage still leaves the expensive per-log work reusable.
+  store_results(result, ctx, options);
 
   // Wave 3 — Co-plot over the surviving logs' characterizations (SSA
   // restarts run on the pool inside analyze()), with reseeded retries and

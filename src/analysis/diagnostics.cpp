@@ -85,6 +85,10 @@ std::string BatchDiagnostics::summary() const {
                     std::to_string(degraded_count()) + " degraded, " +
                     std::to_string(failed_count()) + " failed";
   if (cancelled) out += " (cancelled — partial results)";
+  const auto hits = static_cast<std::size_t>(
+      std::count_if(logs.begin(), logs.end(),
+                    [](const LogDiagnostics& d) { return d.cache_hit; }));
+  if (hits > 0) out += ", " + std::to_string(hits) + " from cache";
   out += "\n";
   for (const LogDiagnostics& log : logs) {
     if (log.status == LogStatus::kOk && log.quarantine.empty()) continue;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -61,6 +62,23 @@ struct BatchOptions {
   /// this many reseeded restarts before falling back to a classical-MDS
   /// embedding (flagged `coplot_degraded` in the diagnostics).
   int ssa_retry_attempts = 2;
+
+  /// Non-empty enables the persistent result cache (cpw::cache): before
+  /// characterizing a log, run_batch looks up its content fingerprint under
+  /// the current analysis options and, on a hit, restores the
+  /// characterization vector, the per-attribute Hurst reports, and the
+  /// quarantine summary instead of recomputing them — a warm re-run skips
+  /// everything but the Co-plot embedding and its BatchResult is
+  /// bit-identical to the cold run's. Misses (including corrupt or
+  /// version-mismatched entries) silently recompute and store. Hits are
+  /// flagged per log in the diagnostics (`cache_hit`) and counted in
+  /// cpw_cache_hits_total. An unusable cache directory disables caching
+  /// for the run; it never fails the batch.
+  std::string cache_dir;
+
+  /// Size bound for the cache's LRU eviction sweep (see
+  /// cache::CacheOptions::max_bytes); 0 disables eviction.
+  std::uint64_t cache_max_bytes = std::uint64_t{256} << 20;
 };
 
 /// Hurst estimates for one per-job attribute series of one log.

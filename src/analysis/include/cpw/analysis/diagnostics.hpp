@@ -42,6 +42,11 @@ struct LogDiagnostics {
   double ingest_seconds = 0.0;   ///< mmap + decode (file overload; else 0)
   double analyze_seconds = 0.0;  ///< characterize + series extraction
 
+  /// This log's results were restored from the persistent analysis cache
+  /// (BatchOptions::cache_dir): characterize and every Hurst estimator were
+  /// skipped. The restored values are bit-identical to recomputation.
+  bool cache_hit = false;
+
   /// Whether the log's analysis can feed downstream stages (Co-plot).
   [[nodiscard]] bool usable() const noexcept {
     return status != LogStatus::kFailed;

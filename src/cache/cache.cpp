@@ -1,0 +1,267 @@
+#include "cpw/cache/cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/fingerprint.hpp"
+
+namespace cpw::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Entry file layout (all integers little-endian, see serialize.cpp):
+//   "CPWC"            4-byte magic
+//   u32 schema version
+//   u64 content fingerprint   } echo of the key: a renamed or hash-colliding
+//   u64 options fingerprint   } file must still self-identify
+//   u64 payload size
+//   payload bytes
+//   u64 checksum = fingerprint_bytes(payload)
+constexpr char kMagic[4] = {'C', 'P', 'W', 'C'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::string_view kEntrySuffix = ".cpwc";
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  }
+  return std::string(buf, 16);
+}
+
+bool is_entry_file(const fs::path& path) {
+  return path.extension() == kEntrySuffix;
+}
+
+/// Reads a whole entry file; empty optional when it cannot be opened/read
+/// (concurrently evicted, permissions, ...).
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(CacheOptions options)
+    : options_(std::move(options)) {
+  CPW_REQUIRE(!options_.dir.empty(), "cache directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec || !fs::is_directory(options_.dir)) {
+    throw Error("cannot create cache directory: " + options_.dir,
+                ErrorCode::kIo);
+  }
+}
+
+std::string AnalysisCache::entry_filename(const CacheKey& key) {
+  return hex16(key.content) + "-" + hex16(key.options) + "-v" +
+         std::to_string(kSchemaVersion) + std::string(kEntrySuffix);
+}
+
+std::optional<CachedAnalysis> AnalysisCache::lookup(const CacheKey& key) {
+  obs::Span span("cache_lookup");
+  const fs::path path = fs::path(options_.dir) / entry_filename(key);
+
+  const std::optional<std::string> bytes = read_file(path);
+  if (!bytes) {
+    obs::counter("cpw_cache_misses_total").add(1);
+    return std::nullopt;
+  }
+
+  const auto corrupt = [&]() -> std::optional<CachedAnalysis> {
+    obs::counter("cpw_cache_corrupt_total").add(1);
+    obs::counter("cpw_cache_misses_total").add(1);
+    std::error_code ec;
+    fs::remove(path, ec);  // best effort; a miss either way
+    return std::nullopt;
+  };
+
+  const std::string_view view = *bytes;
+  if (view.size() < kHeaderBytes + kChecksumBytes) return corrupt();
+  if (view.compare(0, 4, kMagic, 4) != 0) return corrupt();
+  if (get_u32(view, 4) != kSchemaVersion) return corrupt();
+  if (get_u64(view, 8) != key.content || get_u64(view, 16) != key.options) {
+    return corrupt();
+  }
+  const std::uint64_t payload_size = get_u64(view, 24);
+  if (payload_size != view.size() - kHeaderBytes - kChecksumBytes) {
+    return corrupt();
+  }
+  const std::string_view payload = view.substr(kHeaderBytes, payload_size);
+  if (fingerprint_bytes(payload) != get_u64(view, kHeaderBytes + payload_size)) {
+    return corrupt();
+  }
+
+  CachedAnalysis entry;
+  try {
+    entry = detail::decode_payload(payload);
+  } catch (const std::exception&) {
+    // Checksummed bytes that still fail to decode mean a schema drift the
+    // version check missed — same remedy: recompute.
+    return corrupt();
+  }
+
+  // A hit refreshes the mtime so the eviction sweep is least-recently-USED,
+  // not least-recently-written. Best effort.
+  std::error_code ec;
+  fs::last_write_time(path, std::chrono::file_clock::now(), ec);
+
+  obs::counter("cpw_cache_hits_total").add(1);
+  return entry;
+}
+
+void AnalysisCache::store(const CacheKey& key, const CachedAnalysis& entry) {
+  obs::Span span("cache_store");
+  const std::string payload = detail::encode_payload(entry);
+
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + payload.size() + kChecksumBytes);
+  bytes.append(kMagic, 4);
+  put_u32(bytes, kSchemaVersion);
+  put_u64(bytes, key.content);
+  put_u64(bytes, key.options);
+  put_u64(bytes, payload.size());
+  bytes.append(payload);
+  put_u64(bytes, fingerprint_bytes(payload));
+
+  const auto fail = [] {
+    obs::counter("cpw_cache_store_errors_total").add(1);
+  };
+
+  // Unique temp name per process and store: concurrent writers (even of the
+  // same key) never collide, and rename() publishes atomically on POSIX.
+  static std::atomic<std::uint64_t> sequence{0};
+  const fs::path dir(options_.dir);
+  const fs::path tmp =
+      dir / ("tmp-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+             std::to_string(sequence.fetch_add(1)) + ".part");
+  const fs::path final_path = dir / entry_filename(key);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      fail();
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    fail();
+    return;
+  }
+  obs::counter("cpw_cache_stores_total").add(1);
+
+  evict_lru();
+}
+
+std::uint64_t AnalysisCache::size_bytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!is_entry_file(it->path())) continue;
+    std::error_code size_ec;
+    const std::uintmax_t size = fs::file_size(it->path(), size_ec);
+    if (!size_ec) total += size;
+  }
+  return total;
+}
+
+void AnalysisCache::evict_lru() {
+  if (options_.max_bytes == 0) return;
+
+  struct EntryFile {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryFile> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!is_entry_file(it->path())) continue;
+    std::error_code stat_ec;
+    const std::uintmax_t size = fs::file_size(it->path(), stat_ec);
+    if (stat_ec) continue;  // racing eviction from another process
+    const fs::file_time_type mtime = fs::last_write_time(it->path(), stat_ec);
+    if (stat_ec) continue;
+    entries.push_back({it->path(), static_cast<std::uint64_t>(size), mtime});
+    total += size;
+  }
+
+  if (total > options_.max_bytes) {
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryFile& a, const EntryFile& b) {
+                return a.mtime < b.mtime;
+              });
+    for (const EntryFile& oldest : entries) {
+      if (total <= options_.max_bytes) break;
+      std::error_code remove_ec;
+      if (fs::remove(oldest.path, remove_ec) && !remove_ec) {
+        total -= oldest.size;
+        obs::counter("cpw_cache_evictions_total").add(1);
+      }
+    }
+  }
+  obs::gauge("cpw_cache_bytes").set(static_cast<double>(total));
+}
+
+}  // namespace cpw::cache

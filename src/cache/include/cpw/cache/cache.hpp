@@ -1,0 +1,131 @@
+#pragma once
+
+// cpw::cache — persistent, content-addressed analysis result cache.
+//
+// The paper's workflow re-characterizes the same production logs every time
+// a new model variant, time slice, or Co-plot configuration is compared
+// against them. Characterize + five Hurst estimators dominate a batch run,
+// yet their inputs are pure functions of (log bytes, analysis options) — so
+// warm re-runs can skip everything but the Co-plot embedding.
+//
+// Keying: (content fingerprint of the raw SWF bytes, fingerprint of the
+// options that affect per-log results, cache schema version). The content
+// fingerprint comes from the SWF reader's chunk pass (Log::
+// content_fingerprint); the schema version is baked into the entry filename
+// AND revalidated from the entry header, so a version bump makes every old
+// entry a clean miss.
+//
+// Durability rules:
+//   * store() serializes to a temp file in the cache directory and renames
+//     it into place — readers never observe a torn entry, and concurrent
+//     writers of the same key race benignly (last rename wins, both files
+//     are identical by construction).
+//   * lookup() treats *anything* wrong — missing file, short file, bad
+//     magic/version/key echo, checksum mismatch, truncated payload — as a
+//     miss, never an error. Corrupt entries are counted
+//     (cpw_cache_corrupt_total) and unlinked best-effort.
+//   * A size-bounded LRU sweep after each store evicts oldest-used entries
+//     (hits refresh an entry's mtime) until the directory is back under
+//     max_bytes.
+//
+// Metrics: cpw_cache_{hits,misses,corrupt,evictions,store_errors}_total and
+// the cpw_cache_bytes gauge; lookups and stores run under cache_lookup /
+// cache_store spans.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::cache {
+
+/// Bumped whenever the entry layout or the meaning of any serialized field
+/// changes; old entries then miss by filename and by header check.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+struct CacheOptions {
+  /// Cache directory; created (with parents) on construction.
+  std::string dir;
+  /// Size bound for the LRU sweep, in bytes of entry files; 0 disables
+  /// eviction. The bound is enforced after each store, so the directory can
+  /// transiently exceed it by one entry.
+  std::uint64_t max_bytes = std::uint64_t{256} << 20;
+};
+
+/// Content-addressed key of one entry. Both halves are 64-bit
+/// cpw::Fingerprint digests: the raw log bytes, and the analysis options
+/// that affect per-log results.
+struct CacheKey {
+  std::uint64_t content = 0;
+  std::uint64_t options = 0;
+};
+
+/// One attribute's Hurst slot, mirroring analysis::AttributeHurst without
+/// depending on the analysis layer (which links against this library).
+struct CachedAttributeHurst {
+  std::uint32_t attribute = 0;  ///< workload::Attribute as its enum value
+  bool estimated = false;
+  selfsim::HurstReport report;
+};
+
+/// Everything the batch pipeline derives per log: the Table 1
+/// characterization vector, the per-attribute Hurst reports, and (for
+/// lenient decodes) the quarantine summary, so a warm run reproduces the
+/// cold run's per-log diagnostics too.
+struct CachedAnalysis {
+  std::string name;
+  workload::WorkloadStats stats;
+  std::array<CachedAttributeHurst, 4> hurst;
+  swf::QuarantineReport quarantine;
+};
+
+/// The cache itself. Thread-safe and multi-process-safe: all mutable state
+/// lives in the filesystem, lookups touch distinct files, and stores are
+/// atomic renames of uniquely named temp files.
+class AnalysisCache {
+ public:
+  /// Creates `options.dir` (with parents) when missing. Throws cpw::Error
+  /// (kInvalidArgument / kIo) on an empty or uncreatable directory.
+  explicit AnalysisCache(CacheOptions options);
+
+  /// Returns the decoded entry on a clean hit (also refreshing the entry's
+  /// mtime for the LRU sweep), std::nullopt on miss. Corrupt, truncated, or
+  /// version-mismatched entries are counted, unlinked best-effort, and
+  /// reported as misses — never thrown.
+  [[nodiscard]] std::optional<CachedAnalysis> lookup(const CacheKey& key);
+
+  /// Serializes, checksums, and atomically publishes the entry, then runs
+  /// the LRU sweep. I/O failures are swallowed into
+  /// cpw_cache_store_errors_total — a broken cache degrades to recompute.
+  void store(const CacheKey& key, const CachedAnalysis& entry);
+
+  /// Entry filename for a key under the current schema version
+  /// ("<content:016x>-<options:016x>-v<version>.cpwc").
+  [[nodiscard]] static std::string entry_filename(const CacheKey& key);
+
+  [[nodiscard]] const CacheOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Total bytes of entry files currently in the directory (fresh scan).
+  [[nodiscard]] std::uint64_t size_bytes() const;
+
+ private:
+  void evict_lru();
+
+  CacheOptions options_;
+};
+
+namespace detail {
+/// Entry payload codec, exposed for tests: byte-exact round-trip of every
+/// double (serialized as IEEE-754 bit patterns, little-endian).
+[[nodiscard]] std::string encode_payload(const CachedAnalysis& entry);
+/// Throws cpw::Error(kParse) on truncated or malformed payload bytes.
+[[nodiscard]] CachedAnalysis decode_payload(std::string_view payload);
+}  // namespace detail
+
+}  // namespace cpw::cache

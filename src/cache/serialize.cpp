@@ -1,0 +1,236 @@
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpw/cache/cache.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::cache::detail {
+
+namespace {
+
+// Fixed little-endian layout, independent of host byte order so a cache
+// directory can be shared across machines. Doubles travel as their IEEE-754
+// bit patterns: decode(encode(x)) is the identical double, which is what
+// makes a warm batch run bit-identical to the cold one.
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  void f64_vector(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<double> f64_vector() {
+    const std::uint64_t n = u64();
+    // Divide, don't multiply: a bogus length must not overflow the check.
+    if (n > (bytes_.size() - pos_) / 8) {
+      throw Error("cache payload truncated", ErrorCode::kParse);
+    }
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+    return v;
+  }
+
+  void expect_exhausted() const {
+    if (pos_ != bytes_.size()) {
+      throw Error("cache payload has trailing bytes", ErrorCode::kParse);
+    }
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > bytes_.size() - pos_) {
+      throw Error("cache payload truncated", ErrorCode::kParse);
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_stats(Writer& w, const workload::WorkloadStats& s) {
+  w.str(s.name);
+  w.f64(s.machine_processors);
+  w.f64(s.scheduler_flexibility);
+  w.f64(s.allocation_flexibility);
+  w.f64(s.runtime_load);
+  w.f64(s.cpu_load);
+  w.f64(s.norm_executables);
+  w.f64(s.norm_users);
+  w.f64(s.pct_completed);
+  w.f64(s.runtime_median);
+  w.f64(s.runtime_interval);
+  w.f64(s.procs_median);
+  w.f64(s.procs_interval);
+  w.f64(s.norm_procs_median);
+  w.f64(s.norm_procs_interval);
+  w.f64(s.work_median);
+  w.f64(s.work_interval);
+  w.f64(s.interarrival_median);
+  w.f64(s.interarrival_interval);
+}
+
+workload::WorkloadStats get_stats(Reader& r) {
+  workload::WorkloadStats s;
+  s.name = r.str();
+  s.machine_processors = r.f64();
+  s.scheduler_flexibility = r.f64();
+  s.allocation_flexibility = r.f64();
+  s.runtime_load = r.f64();
+  s.cpu_load = r.f64();
+  s.norm_executables = r.f64();
+  s.norm_users = r.f64();
+  s.pct_completed = r.f64();
+  s.runtime_median = r.f64();
+  s.runtime_interval = r.f64();
+  s.procs_median = r.f64();
+  s.procs_interval = r.f64();
+  s.norm_procs_median = r.f64();
+  s.norm_procs_interval = r.f64();
+  s.work_median = r.f64();
+  s.work_interval = r.f64();
+  s.interarrival_median = r.f64();
+  s.interarrival_interval = r.f64();
+  return s;
+}
+
+void put_estimate(Writer& w, const selfsim::HurstEstimate& e) {
+  w.f64(e.hurst);
+  w.f64(e.slope);
+  w.f64(e.r2);
+  w.f64_vector(e.points.log_x);
+  w.f64_vector(e.points.log_y);
+}
+
+selfsim::HurstEstimate get_estimate(Reader& r) {
+  selfsim::HurstEstimate e;
+  e.hurst = r.f64();
+  e.slope = r.f64();
+  e.r2 = r.f64();
+  e.points.log_x = r.f64_vector();
+  e.points.log_y = r.f64_vector();
+  return e;
+}
+
+void put_quarantine(Writer& w, const swf::QuarantineReport& q) {
+  w.u64(q.malformed_lines);
+  w.u64(q.negative_runtime);
+  w.u64(q.over_machine_size);
+  w.u64(q.submit_regressions);
+  w.u64(q.samples.size());
+  for (const swf::QuarantinedLine& sample : q.samples) {
+    w.u64(sample.line);
+    w.str(sample.reason);
+  }
+}
+
+swf::QuarantineReport get_quarantine(Reader& r) {
+  swf::QuarantineReport q;
+  q.malformed_lines = r.u64();
+  q.negative_runtime = r.u64();
+  q.over_machine_size = r.u64();
+  q.submit_regressions = r.u64();
+  // No reserve: a corrupt count must hit the truncation check (each sample
+  // reads >= 16 bytes), not a pathological allocation.
+  const std::uint64_t samples = r.u64();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    swf::QuarantinedLine sample;
+    sample.line = r.u64();
+    sample.reason = r.str();
+    q.samples.push_back(std::move(sample));
+  }
+  return q;
+}
+
+}  // namespace
+
+std::string encode_payload(const CachedAnalysis& entry) {
+  Writer w;
+  w.str(entry.name);
+  put_stats(w, entry.stats);
+  for (const CachedAttributeHurst& slot : entry.hurst) {
+    w.u64(slot.attribute);
+    w.u8(slot.estimated ? 1 : 0);
+    put_estimate(w, slot.report.rs);
+    put_estimate(w, slot.report.variance_time);
+    put_estimate(w, slot.report.periodogram);
+  }
+  put_quarantine(w, entry.quarantine);
+  return w.take();
+}
+
+CachedAnalysis decode_payload(std::string_view payload) {
+  Reader r(payload);
+  CachedAnalysis entry;
+  entry.name = r.str();
+  entry.stats = get_stats(r);
+  for (CachedAttributeHurst& slot : entry.hurst) {
+    slot.attribute = static_cast<std::uint32_t>(r.u64());
+    slot.estimated = r.u8() != 0;
+    slot.report.rs = get_estimate(r);
+    slot.report.variance_time = get_estimate(r);
+    slot.report.periodogram = get_estimate(r);
+  }
+  entry.quarantine = get_quarantine(r);
+  r.expect_exhausted();
+  return entry;
+}
+
+}  // namespace cpw::cache::detail

@@ -48,9 +48,6 @@ std::vector<double> aggregate_series(const SeriesPrefix& prefix,
   return out;
 }
 
-namespace {
-
-/// Log-spaced block sizes in [min_block, max_block], deduplicated.
 std::vector<std::size_t> log_spaced_sizes(std::size_t min_block,
                                           std::size_t max_block,
                                           std::size_t points_per_decade) {
@@ -59,12 +56,26 @@ std::vector<std::size_t> log_spaced_sizes(std::size_t min_block,
   const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
   double value = static_cast<double>(min_block);
   while (value <= static_cast<double>(max_block) + 0.5) {
-    const auto size = static_cast<std::size_t>(std::lround(value));
+    // lround can overshoot: a value of exactly max_block + 0.5 passes the
+    // loop bound yet rounds away from zero to max_block + 1, handing the
+    // estimators a block larger than the configured maximum.
+    const auto size =
+        std::min(static_cast<std::size_t>(std::lround(value)), max_block);
     if (sizes.empty() || sizes.back() != size) sizes.push_back(size);
     value *= step;
   }
   return sizes;
 }
+
+std::size_t periodogram_frequency_count(std::size_t spectrum_size,
+                                        double cutoff_fraction) {
+  if (spectrum_size <= 1) return 0;
+  const auto cutoff = static_cast<std::size_t>(
+      cutoff_fraction * static_cast<double>(spectrum_size));
+  return std::min(std::max<std::size_t>(cutoff, 4), spectrum_size - 1);
+}
+
+namespace {
 
 HurstEstimate from_points(LogLogPoints points, double slope_to_hurst_scale,
                           double slope_to_hurst_offset) {
@@ -199,12 +210,13 @@ HurstEstimate hurst_periodogram(std::span<const double> series,
   const std::vector<double> spectrum = power_spectrum(centered);
 
   // Periodogram (paper eq. 18): Per(ω_i) = (2/N)|DFT_i|²; regress the
-  // lowest `cutoff` fraction of frequencies, skipping DC.
-  const auto cutoff = static_cast<std::size_t>(
-      options.periodogram_cutoff * static_cast<double>(spectrum.size()));
+  // lowest `cutoff` fraction of frequencies, skipping DC. The inclusive
+  // index bound is shared with hurst_local_whittle so both estimators
+  // regress over the same frequency set for a given cutoff.
+  const std::size_t m =
+      periodogram_frequency_count(spectrum.size(), options.periodogram_cutoff);
   LogLogPoints points;
-  for (std::size_t i = 1; i < std::max<std::size_t>(cutoff, 3); ++i) {
-    if (i >= spectrum.size()) break;
+  for (std::size_t i = 1; i <= m; ++i) {
     const double per = 2.0 / static_cast<double>(n) * spectrum[i];
     if (per <= 0.0) continue;
     const double omega = 2.0 * std::numbers::pi * static_cast<double>(i) /
@@ -265,14 +277,12 @@ HurstEstimate hurst_local_whittle(std::span<const double> series,
   for (double& x : centered) x -= mean;
   const std::vector<double> spectrum = power_spectrum(centered);
 
-  const auto m = std::max<std::size_t>(
-      static_cast<std::size_t>(options.periodogram_cutoff *
-                               static_cast<double>(spectrum.size())),
-      4);
+  const std::size_t m =
+      periodogram_frequency_count(spectrum.size(), options.periodogram_cutoff);
 
   HurstEstimate est;
   std::vector<double> intensity, log_omega;
-  for (std::size_t j = 1; j <= m && j < spectrum.size(); ++j) {
+  for (std::size_t j = 1; j <= m; ++j) {
     const double per = 2.0 / static_cast<double>(n) * spectrum[j];
     if (per <= 0.0) continue;
     const double omega = 2.0 * std::numbers::pi * static_cast<double>(j) /

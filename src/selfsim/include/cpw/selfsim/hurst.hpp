@@ -44,6 +44,25 @@ struct SeriesPrefix {
 /// subtraction, O(blocks) total for a prefix that already exists.
 std::vector<double> aggregate_series(const SeriesPrefix& prefix, std::size_t m);
 
+/// Log-spaced block sizes in [min_block, max_block]: roughly
+/// `points_per_decade` sizes per factor of ten, deduplicated, strictly
+/// increasing. Every emitted size is clamped to max_block — the rounding of
+/// the geometric sequence can otherwise overshoot the configured maximum by
+/// one, silently regressing R/S and variance-time over an oversized block.
+/// Empty when max_block < min_block.
+std::vector<std::size_t> log_spaced_sizes(std::size_t min_block,
+                                          std::size_t max_block,
+                                          std::size_t points_per_decade);
+
+/// Number of Fourier frequencies the spectral estimators regress over: the
+/// inclusive index range j = 1..m of the lowest nonzero frequencies, with
+/// m = clamp(floor(cutoff_fraction · spectrum_size), 4, spectrum_size − 1).
+/// Shared by hurst_periodogram and hurst_local_whittle so one
+/// `periodogram_cutoff` selects one frequency set for both (they previously
+/// disagreed: exclusive bound with floor 3 vs. inclusive with floor 4).
+std::size_t periodogram_frequency_count(std::size_t spectrum_size,
+                                        double cutoff_fraction);
+
 /// One (x, y) point sequence behind a log-log regression estimator,
 /// retained so callers can print or plot the pox/variance-time/periodogram
 /// diagnostics exactly as the paper describes them.

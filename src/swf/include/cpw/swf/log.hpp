@@ -35,6 +35,18 @@ class Log {
   [[nodiscard]] std::string header_or(const std::string& key,
                                       std::string fallback) const;
 
+  /// 64-bit fingerprint of the raw bytes this log was decoded from,
+  /// computed by the chunked reader during its decode pass (see
+  /// cpw/util/fingerprint.hpp). 0 means unknown — logs that were built in
+  /// memory (models, the archive simulator) or read with
+  /// ReaderOptions::fingerprint off. The analysis cache keys on it.
+  [[nodiscard]] std::uint64_t content_fingerprint() const noexcept {
+    return content_fingerprint_;
+  }
+  void set_content_fingerprint(std::uint64_t fingerprint) noexcept {
+    content_fingerprint_ = fingerprint;
+  }
+
   /// Machine size; reads the MaxProcs header, else the largest job. The
   /// job scan is cached by finalize() — callers in characterize/slicing
   /// hit this repeatedly and must not pay O(n) each time.
@@ -95,6 +107,7 @@ class Log {
   std::string name_;
   JobList jobs_;
   std::map<std::string, std::string> header_;
+  std::uint64_t content_fingerprint_ = 0;  ///< set by the reader; 0 = unknown
   bool finalized_ = false;
   double duration_ = 0.0;                    ///< cached by finalize()
   std::int64_t max_job_processors_ = 0;      ///< cached by finalize()

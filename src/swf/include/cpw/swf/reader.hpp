@@ -49,6 +49,15 @@ struct ReaderOptions {
   /// so the default (infinity) disables the check.
   double max_submit_regression = std::numeric_limits<double>::infinity();
 
+  /// Compute a 64-bit content fingerprint of the raw bytes during the
+  /// decode pass (one extra scan of data that is already hot per chunk,
+  /// zero extra I/O) and record it via Log::set_content_fingerprint. The
+  /// per-chunk digests combine in chunk order, so the fingerprint is
+  /// identical for serial and parallel decode and independent of
+  /// `chunk_bytes` — it equals cpw::fingerprint_bytes over the whole
+  /// buffer. The analysis result cache keys on it.
+  bool fingerprint = true;
+
   /// Cooperative cancellation: polled between chunks and every few thousand
   /// lines inside a chunk. A fired token aborts the parse with
   /// cpw::CancelledError.

@@ -11,6 +11,7 @@
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/util/error.hpp"
+#include "cpw/util/fingerprint.hpp"
 #include "cpw/util/thread_pool.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -188,6 +189,10 @@ struct ChunkResult {
   std::vector<QuarantinedLine> quarantined;  ///< chunk-local lines, bounded
   std::vector<std::size_t> job_lines;
   bool cancelled = false;  ///< the stop token fired mid-chunk
+  /// Content digest of this chunk's raw bytes (ReaderOptions::fingerprint);
+  /// combined in chunk order after the splice so parallel decode yields the
+  /// same fingerprint as serial.
+  Fingerprint digest;
 };
 
 /// Decodes one line (no trailing '\n'; may end in '\r'). Returns false and
@@ -279,6 +284,7 @@ void decode_chunk(std::string_view chunk, const ReaderOptions& options,
                   ChunkResult& result) {
   // ~120 bytes per job line is typical; a mild over-reserve avoids regrowth.
   result.jobs.reserve(chunk.size() / 96 + 1);
+  if (options.fingerprint) result.digest.update(chunk);
   const bool poll_stop = options.stop.stop_possible();
   const char* p = chunk.data();
   const char* const end = p + chunk.size();
@@ -462,7 +468,9 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   std::vector<std::size_t> job_lines;  // absolute, lenient only
   if (lenient) job_lines.reserve(total_jobs);
   std::size_t chunk_first_line = 1;
+  Fingerprint digest;
   for (ChunkResult& chunk : results) {
+    if (options.fingerprint) digest.combine(chunk.digest);
     jobs.insert(jobs.end(), chunk.jobs.begin(), chunk.jobs.end());
     for (auto& [key, value] : chunk.header) {
       log.set_header(std::move(key), std::move(value));
@@ -505,6 +513,7 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   }
   log.assign_jobs(std::move(jobs));
   log.finalize();
+  if (options.fingerprint) log.set_content_fingerprint(digest.finalize());
   return log;
 }
 

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cpw {
+
+/// 64-bit content fingerprint with split-invariant combining.
+///
+/// The running value is a polynomial hash over the byte stream,
+/// h = Σ b_i · B^(n−1−i) (mod 2^64) with an odd base B, finalized through a
+/// SplitMix64-style avalanche of (h, length). Because the polynomial form is
+/// associative under `combine`, hashing a buffer in arbitrary consecutive
+/// pieces — one digest per piece, combined in stream order — yields exactly
+/// the serial digest. That is what lets the parallel chunked SWF reader
+/// fingerprint a file during its existing decode pass and still agree with
+/// `fingerprint_bytes` over the whole mapping, independent of chunk size.
+///
+/// This is a content-addressing hash (cache keys, checksums), not a
+/// cryptographic one.
+struct Fingerprint {
+  std::uint64_t hash = 0;
+  std::uint64_t length = 0;
+
+  /// Polynomial base: the FNV-1 prime (odd, full-period mod 2^64).
+  static constexpr std::uint64_t kBase = 0x00000100000001B3ULL;
+
+  /// kBase^i mod 2^64 for i = 0..8, for the unrolled update step.
+  static constexpr std::array<std::uint64_t, 9> kPow = [] {
+    std::array<std::uint64_t, 9> p{1};
+    for (std::size_t i = 1; i < p.size(); ++i) p[i] = p[i - 1] * kBase;
+    return p;
+  }();
+
+  /// Absorbs `bytes` at the end of the stream hashed so far.
+  ///
+  /// The 8-byte step expands Horner's rule so the eight per-byte products
+  /// are independent and pipeline, instead of serializing on one
+  /// multiply-add dependency chain; mod-2^64 arithmetic is exact, so the
+  /// result is bit-identical to the byte-at-a-time loop (the reader runs
+  /// this on every decode, so its throughput matters).
+  void update(std::string_view bytes) noexcept {
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    std::size_t n = bytes.size();
+    std::uint64_t h = hash;
+    while (n >= 8) {
+      h = h * kPow[8] + p[0] * kPow[7] + p[1] * kPow[6] + p[2] * kPow[5] +
+          p[3] * kPow[4] + p[4] * kPow[3] + p[5] * kPow[2] + p[6] * kPow[1] +
+          p[7];
+      p += 8;
+      n -= 8;
+    }
+    for (; n != 0; ++p, --n) h = h * kBase + *p;
+    hash = h;
+    length += bytes.size();
+  }
+
+  /// Appends a digest of the bytes that follow this object's: equivalent to
+  /// having updated with both ranges in order.
+  void combine(const Fingerprint& next) noexcept {
+    hash = hash * pow_base(next.length) + next.hash;
+    length += next.length;
+  }
+
+  /// Avalanche-mixed digest of (hash, length). Including the length keeps
+  /// runs of zero bytes of different lengths distinct.
+  [[nodiscard]] std::uint64_t finalize() const noexcept {
+    std::uint64_t z = hash ^ (length * 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  /// kBase^exponent mod 2^64 by binary exponentiation.
+  static std::uint64_t pow_base(std::uint64_t exponent) noexcept {
+    std::uint64_t result = 1;
+    std::uint64_t base = kBase;
+    while (exponent != 0) {
+      if (exponent & 1) result *= base;
+      base *= base;
+      exponent >>= 1;
+    }
+    return result;
+  }
+};
+
+/// One-shot digest of a whole buffer.
+[[nodiscard]] inline std::uint64_t fingerprint_bytes(
+    std::string_view bytes) noexcept {
+  Fingerprint fp;
+  fp.update(bytes);
+  return fp.finalize();
+}
+
+}  // namespace cpw

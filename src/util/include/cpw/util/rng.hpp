@@ -50,6 +50,15 @@ class Rng {
     for (auto& word : state_) word = mix.next();
   }
 
+  /// Rebuilds a generator from raw xoshiro256++ state (must not be all
+  /// zero). Test hook for forcing exact output sequences — e.g. pinning the
+  /// uniform() == 0 boundary that seeded construction cannot reach.
+  static Rng from_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    Rng rng;
+    rng.state_ = state;
+    return rng;
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();
@@ -123,9 +132,13 @@ class Rng {
   /// Gamma(shape k, scale θ) via Marsaglia–Tsang; valid for all k > 0.
   double gamma(double shape, double scale) noexcept {
     if (shape < 1.0) {
-      // Boost to shape+1 and correct with a power of a uniform.
+      // Boost to shape+1 and correct with a power of a uniform. uniform()
+      // can return exactly 0, and pow(0, 1/shape) = 0 would poison any
+      // downstream log(gamma) draw; clamp to the smallest value uniform()
+      // can otherwise produce, leaving every nonzero draw untouched.
       const double u = uniform();
-      return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+      const double positive = u > 0.0 ? u : 0x1.0p-53;
+      return gamma(shape + 1.0, scale) * std::pow(positive, 1.0 / shape);
     }
     const double d = shape - 1.0 / 3.0;
     const double c = 1.0 / std::sqrt(9.0 * d);

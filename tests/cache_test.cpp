@@ -1,0 +1,609 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/cache/cache.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/fingerprint.hpp"
+
+namespace cpw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<swf::Log> test_logs(std::size_t count, std::size_t jobs) {
+  const auto models = models::all_models(128);
+  std::vector<swf::Log> logs;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto log = models[i % models.size()]->generate(jobs, 7 + i);
+    log.set_name("log" + std::to_string(i));
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+std::string make_temp_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/cpw_cache_" + tag + "_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Saves `count` generated logs as SWF files and returns their paths.
+std::vector<std::string> write_log_files(const std::string& dir,
+                                         std::size_t count, std::size_t jobs) {
+  const auto logs = test_logs(count, jobs);
+  std::vector<std::string> paths;
+  for (const auto& log : logs) {
+    const std::string path = dir + "/" + log.name() + ".swf";
+    swf::save_swf(path, log);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+/// The counters the cache tests assert deltas on. Reading through
+/// obs::counter() find-or-creates the cells, so a zero start is fine.
+struct CounterState {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t characterize = 0;
+  std::uint64_t hurst_estimates = 0;
+};
+
+CounterState read_counters() {
+  CounterState s;
+  s.hits = obs::counter("cpw_cache_hits_total").value();
+  s.misses = obs::counter("cpw_cache_misses_total").value();
+  s.corrupt = obs::counter("cpw_cache_corrupt_total").value();
+  s.evictions = obs::counter("cpw_cache_evictions_total").value();
+  s.characterize = obs::counter("cpw_batch_characterize_total").value();
+  s.hurst_estimates = obs::counter("cpw_batch_hurst_estimates_total").value();
+  return s;
+}
+
+void expect_estimates_identical(const selfsim::HurstEstimate& a,
+                                const selfsim::HurstEstimate& b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.hurst),
+            std::bit_cast<std::uint64_t>(b.hurst));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.slope),
+            std::bit_cast<std::uint64_t>(b.slope));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.r2),
+            std::bit_cast<std::uint64_t>(b.r2));
+  EXPECT_EQ(a.points.log_x, b.points.log_x);
+  EXPECT_EQ(a.points.log_y, b.points.log_y);
+}
+
+/// Bit-identity over everything a consumer of BatchResult reads: the
+/// analyses, the statuses, and the Co-plot map. (Wall-clock timings in the
+/// diagnostics legitimately differ between runs.)
+void expect_results_identical(const analysis::BatchResult& a,
+                              const analysis::BatchResult& b) {
+  ASSERT_EQ(a.logs.size(), b.logs.size());
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].name, b.logs[i].name);
+    const auto& codes = workload::WorkloadStats::all_codes();
+    for (const std::string& code : codes) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.logs[i].stats.get(code)),
+                std::bit_cast<std::uint64_t>(b.logs[i].stats.get(code)))
+          << "log " << i << " variable " << code;
+    }
+    for (std::size_t attr = 0; attr < 4; ++attr) {
+      EXPECT_EQ(a.logs[i].hurst[attr].attribute, b.logs[i].hurst[attr].attribute);
+      EXPECT_EQ(a.logs[i].hurst[attr].estimated, b.logs[i].hurst[attr].estimated);
+      expect_estimates_identical(a.logs[i].hurst[attr].report.rs,
+                                 b.logs[i].hurst[attr].report.rs);
+      expect_estimates_identical(a.logs[i].hurst[attr].report.variance_time,
+                                 b.logs[i].hurst[attr].report.variance_time);
+      expect_estimates_identical(a.logs[i].hurst[attr].report.periodogram,
+                                 b.logs[i].hurst[attr].report.periodogram);
+    }
+    EXPECT_EQ(a.diagnostics.logs[i].status, b.diagnostics.logs[i].status);
+    EXPECT_EQ(a.diagnostics.logs[i].quarantine.total(),
+              b.diagnostics.logs[i].quarantine.total());
+  }
+  EXPECT_EQ(a.coplot_run, b.coplot_run);
+  EXPECT_EQ(a.coplot_members, b.coplot_members);
+  if (a.coplot_run && b.coplot_run) {
+    EXPECT_EQ(a.coplot.embedding.x, b.coplot.embedding.x);
+    EXPECT_EQ(a.coplot.embedding.y, b.coplot.embedding.y);
+    ASSERT_EQ(a.coplot.arrows.size(), b.coplot.arrows.size());
+    for (std::size_t k = 0; k < a.coplot.arrows.size(); ++k) {
+      EXPECT_EQ(a.coplot.arrows[k].name, b.coplot.arrows[k].name);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.coplot.arrows[k].angle),
+                std::bit_cast<std::uint64_t>(b.coplot.arrows[k].angle));
+    }
+  }
+}
+
+/// A payload exercising the serializer's corners: negative zero, denormals,
+/// infinities, huge magnitudes, and a quarantine with samples.
+cache::CachedAnalysis sample_entry() {
+  cache::CachedAnalysis entry;
+  entry.name = "sample.swf";
+  entry.stats.name = "sample.swf";
+  entry.stats.machine_processors = 128.0;
+  entry.stats.runtime_median = -0.0;
+  entry.stats.runtime_interval = 5e-324;  // smallest denormal
+  entry.stats.work_median = 1.7976931348623157e308;
+  entry.stats.cpu_load = 0.30000000000000004;
+  for (std::size_t a = 0; a < 4; ++a) {
+    entry.hurst[a].attribute = static_cast<std::uint32_t>(a);
+    entry.hurst[a].estimated = (a % 2) == 0;
+    entry.hurst[a].report.rs.hurst = 0.7 + 0.01 * static_cast<double>(a);
+    entry.hurst[a].report.rs.points.log_x = {1.0, 2.0, 3.0};
+    entry.hurst[a].report.rs.points.log_y = {0.5, 1.1, 1.8};
+    entry.hurst[a].report.variance_time.slope = -0.42;
+    entry.hurst[a].report.periodogram.r2 = 0.99;
+  }
+  entry.quarantine.malformed_lines = 3;
+  entry.quarantine.submit_regressions = 1;
+  entry.quarantine.samples = {{17, "field count"}, {44, "bad numeric"}};
+  return entry;
+}
+
+// ------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, ChunkCombineMatchesWholeBuffer) {
+  std::string data;
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(static_cast<char>((i * 131 + 17) & 0xFF));
+  }
+  const std::uint64_t whole = fingerprint_bytes(data);
+
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000},
+        std::size_t{9999}, std::size_t{20000}}) {
+    Fingerprint combined;
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+      Fingerprint part;
+      part.update(std::string_view(data).substr(pos, chunk));
+      combined.combine(part);
+    }
+    EXPECT_EQ(combined.finalize(), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(Fingerprint, SensitiveToContentAndLength) {
+  const std::string base(4096, 'x');
+  const std::uint64_t fp = fingerprint_bytes(base);
+  for (const std::size_t flip : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{2048}, std::size_t{4095}}) {
+    std::string copy = base;
+    copy[flip] = 'y';
+    EXPECT_NE(fingerprint_bytes(copy), fp) << "flip=" << flip;
+  }
+  EXPECT_NE(fingerprint_bytes(base + "x"), fp);
+  EXPECT_NE(fingerprint_bytes(std::string(4095, 'x')), fp);
+  // Leading zero bytes must change the digest even though the polynomial
+  // hash of "\0a" equals that of "a" — the length term disambiguates.
+  EXPECT_NE(fingerprint_bytes(std::string("\0a", 2)),
+            fingerprint_bytes(std::string("a", 1)));
+}
+
+TEST(ReaderFingerprint, IndependentOfChunkingAndParallelism) {
+  const auto logs = test_logs(1, 300);
+  const std::string text = swf::format_swf(logs[0]);
+  const std::uint64_t expected = fingerprint_bytes(text);
+
+  for (const bool parallel : {false, true}) {
+    for (const std::size_t chunk_bytes :
+         {std::size_t{64}, std::size_t{1000}, std::size_t{1} << 20}) {
+      swf::ReaderOptions options;
+      options.parallel = parallel;
+      options.chunk_bytes = chunk_bytes;
+      const swf::Log parsed = swf::parse_swf_buffer(text, "fp-test", options);
+      EXPECT_EQ(parsed.content_fingerprint(), expected)
+          << "parallel=" << parallel << " chunk_bytes=" << chunk_bytes;
+    }
+  }
+
+  swf::ReaderOptions disabled;
+  disabled.fingerprint = false;
+  EXPECT_EQ(swf::parse_swf_buffer(text, "fp-off", disabled).content_fingerprint(),
+            0u);
+}
+
+// ---------------------------------------------------------- payload codec
+
+TEST(PayloadCodec, RoundTripsBitExact) {
+  const cache::CachedAnalysis entry = sample_entry();
+  const std::string payload = cache::detail::encode_payload(entry);
+  const cache::CachedAnalysis decoded = cache::detail::decode_payload(payload);
+
+  EXPECT_EQ(decoded.name, entry.name);
+  EXPECT_EQ(decoded.stats.name, entry.stats.name);
+  for (const std::string& code : workload::WorkloadStats::all_codes()) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.stats.get(code)),
+              std::bit_cast<std::uint64_t>(entry.stats.get(code)))
+        << code;
+  }
+  // -0.0 must survive as -0.0, not 0.0 (== would hide the difference).
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.stats.runtime_median),
+            std::bit_cast<std::uint64_t>(-0.0));
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(decoded.hurst[a].attribute, entry.hurst[a].attribute);
+    EXPECT_EQ(decoded.hurst[a].estimated, entry.hurst[a].estimated);
+    expect_estimates_identical(decoded.hurst[a].report.rs,
+                               entry.hurst[a].report.rs);
+    expect_estimates_identical(decoded.hurst[a].report.variance_time,
+                               entry.hurst[a].report.variance_time);
+    expect_estimates_identical(decoded.hurst[a].report.periodogram,
+                               entry.hurst[a].report.periodogram);
+  }
+  EXPECT_EQ(decoded.quarantine.malformed_lines, 3u);
+  EXPECT_EQ(decoded.quarantine.submit_regressions, 1u);
+  ASSERT_EQ(decoded.quarantine.samples.size(), 2u);
+  EXPECT_EQ(decoded.quarantine.samples[1].line, 44u);
+  EXPECT_EQ(decoded.quarantine.samples[1].reason, "bad numeric");
+}
+
+TEST(PayloadCodec, EveryTruncationThrowsParseError) {
+  const std::string payload = cache::detail::encode_payload(sample_entry());
+  ASSERT_GT(payload.size(), 0u);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(cache::detail::decode_payload(
+                     std::string_view(payload).substr(0, len)),
+                 Error)
+        << "len=" << len;
+  }
+  EXPECT_THROW(cache::detail::decode_payload(payload + "x"), Error);
+}
+
+// ------------------------------------------------------------ cache store
+
+TEST(AnalysisCache, StoreThenLookupHitsAndMissOnOtherKey) {
+  cache::AnalysisCache cache({make_temp_dir("hit")});
+  const cache::CacheKey key{0x1234, 0x5678};
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.store(key, sample_entry());
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "sample.swf");
+  EXPECT_EQ(hit->quarantine.malformed_lines, 3u);
+
+  EXPECT_FALSE(cache.lookup({0x1234, 0x9999}).has_value());
+  EXPECT_FALSE(cache.lookup({0x9999, 0x5678}).has_value());
+  EXPECT_GT(cache.size_bytes(), 0u);
+}
+
+TEST(AnalysisCache, CorruptEntryIsCountedMissAndUnlinked) {
+  const std::string dir = make_temp_dir("corrupt");
+  cache::AnalysisCache cache({dir});
+  const cache::CacheKey key{1, 2};
+  cache.store(key, sample_entry());
+  const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
+
+  // Flip one payload byte past the header: checksum must catch it.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(40);
+    char byte = 0;
+    file.seekg(40).read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(40).write(&byte, 1);
+  }
+  const CounterState before = read_counters();
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const CounterState after = read_counters();
+  EXPECT_EQ(after.corrupt - before.corrupt, 1u);
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_FALSE(fs::exists(path)) << "corrupt entry should be unlinked";
+
+  // The cache recovers: a fresh store hits again.
+  cache.store(key, sample_entry());
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(AnalysisCache, TruncatedEntryIsMiss) {
+  const std::string dir = make_temp_dir("trunc");
+  cache::AnalysisCache cache({dir});
+  const cache::CacheKey key{3, 4};
+  cache.store(key, sample_entry());
+  const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(AnalysisCache, VersionMismatchIsMiss) {
+  const std::string dir = make_temp_dir("version");
+  cache::AnalysisCache cache({dir});
+  const cache::CacheKey key{5, 6};
+  cache.store(key, sample_entry());
+  const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
+
+  // Patch the header's version field in place (filename untouched), as if a
+  // future schema had written this entry.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t future = cache::kSchemaVersion + 1;
+    char bytes[4];
+    for (int i = 0; i < 4; ++i) {
+      bytes[i] = static_cast<char>((future >> (8 * i)) & 0xFF);
+    }
+    file.seekp(4).write(bytes, 4);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  // And the filename itself carries the version, so a bumped schema would
+  // not even find the old file.
+  EXPECT_NE(cache::AnalysisCache::entry_filename(key).find("-v"),
+            std::string::npos);
+}
+
+TEST(AnalysisCache, LruEvictionKeepsNewestEntries) {
+  const std::string dir = make_temp_dir("evict");
+  const std::uint64_t entry_size = [&] {
+    cache::AnalysisCache sizing({dir});
+    sizing.store({0, 0}, sample_entry());
+    return sizing.size_bytes();
+  }();
+  fs::remove_all(dir);
+
+  // Budget for two entries; store four with strictly increasing mtimes.
+  cache::AnalysisCache cache({dir, entry_size * 2});
+  const CounterState before = read_counters();
+  const auto now = fs::file_time_type::clock::now();
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    cache.store({k, 0}, sample_entry());
+    // Backdate each entry (k = 0 oldest): stores within one mtime tick
+    // would make LRU order ambiguous.
+    const std::string path =
+        dir + "/" + cache::AnalysisCache::entry_filename({k, 0});
+    if (fs::exists(path)) {
+      fs::last_write_time(path,
+                          now - std::chrono::hours(10 - static_cast<int>(k)));
+    }
+  }
+  cache.store({4, 0}, sample_entry());
+  const CounterState after = read_counters();
+
+  EXPECT_LE(cache.size_bytes(), entry_size * 2);
+  EXPECT_GE(after.evictions - before.evictions, 3u);
+  EXPECT_TRUE(cache.lookup({4, 0}).has_value()) << "newest entry evicted";
+  EXPECT_FALSE(cache.lookup({0, 0}).has_value()) << "oldest entry kept";
+}
+
+// ------------------------------------------------------- batch integration
+
+analysis::BatchOptions cached_options(const std::string& cache_dir) {
+  analysis::BatchOptions options;
+  options.cache_dir = cache_dir;
+  return options;
+}
+
+TEST(BatchCache, WarmFileRunIsBitIdenticalAndRecomputesNothing) {
+  const std::string log_dir = make_temp_dir("warm_logs");
+  const std::string cache_dir = make_temp_dir("warm_cache");
+  const auto paths = write_log_files(log_dir, 3, 256);
+  const analysis::BatchOptions options = cached_options(cache_dir);
+
+  const CounterState start = read_counters();
+  const auto cold = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+  const CounterState after_cold = read_counters();
+  EXPECT_EQ(after_cold.hits - start.hits, 0u);
+  EXPECT_EQ(after_cold.misses - start.misses, 3u);
+  EXPECT_EQ(after_cold.characterize - start.characterize, 3u);
+  for (const auto& diag : cold.diagnostics.logs) {
+    EXPECT_FALSE(diag.cache_hit);
+  }
+
+  const auto warm = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+  const CounterState after_warm = read_counters();
+  EXPECT_EQ(after_warm.hits - after_cold.hits, 3u);
+  EXPECT_EQ(after_warm.characterize - after_cold.characterize, 0u)
+      << "warm run recomputed a characterization";
+  EXPECT_EQ(after_warm.hurst_estimates - after_cold.hurst_estimates, 0u)
+      << "warm run recomputed a Hurst estimate";
+  for (const auto& diag : warm.diagnostics.logs) {
+    EXPECT_TRUE(diag.cache_hit);
+  }
+  expect_results_identical(cold, warm);
+  EXPECT_NE(warm.diagnostics.summary().find("from cache"), std::string::npos);
+}
+
+TEST(BatchCache, WarmSpanRunHitsViaReaderFingerprint) {
+  const std::string cache_dir = make_temp_dir("span_cache");
+  // The span overload caches only logs the reader fingerprinted.
+  std::vector<swf::Log> logs;
+  for (auto& generated : test_logs(3, 256)) {
+    logs.push_back(
+        swf::parse_swf_buffer(swf::format_swf(generated), generated.name()));
+    ASSERT_NE(logs.back().content_fingerprint(), 0u);
+  }
+  const analysis::BatchOptions options = cached_options(cache_dir);
+
+  const auto cold = analysis::run_batch(std::span<const swf::Log>(logs),
+                                        options);
+  const CounterState after_cold = read_counters();
+  const auto warm = analysis::run_batch(std::span<const swf::Log>(logs),
+                                        options);
+  const CounterState after_warm = read_counters();
+
+  EXPECT_EQ(after_warm.hits - after_cold.hits, 3u);
+  EXPECT_EQ(after_warm.characterize - after_cold.characterize, 0u);
+  for (const auto& diag : warm.diagnostics.logs) {
+    EXPECT_TRUE(diag.cache_hit);
+  }
+  expect_results_identical(cold, warm);
+}
+
+TEST(BatchCache, GeneratedLogsWithoutFingerprintAreNeverCached) {
+  const std::string cache_dir = make_temp_dir("nofp_cache");
+  const auto logs = test_logs(3, 128);  // no reader: fingerprint stays 0
+  const analysis::BatchOptions options = cached_options(cache_dir);
+  const auto first = analysis::run_batch(std::span<const swf::Log>(logs),
+                                         options);
+  const CounterState mid = read_counters();
+  const auto second = analysis::run_batch(std::span<const swf::Log>(logs),
+                                          options);
+  const CounterState end = read_counters();
+  EXPECT_EQ(end.hits - mid.hits, 0u);
+  for (const auto& diag : second.diagnostics.logs) {
+    EXPECT_FALSE(diag.cache_hit);
+  }
+  expect_results_identical(first, second);
+}
+
+TEST(BatchCache, CorruptEntryDegradesToCountedRecompute) {
+  const std::string log_dir = make_temp_dir("degrade_logs");
+  const std::string cache_dir = make_temp_dir("degrade_cache");
+  const auto paths = write_log_files(log_dir, 3, 256);
+  const analysis::BatchOptions options = cached_options(cache_dir);
+
+  const auto cold = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+
+  // Corrupt exactly one of the three entries on disk.
+  std::vector<fs::path> entries;
+  for (const auto& item : fs::directory_iterator(cache_dir)) {
+    if (item.path().extension() == ".cpwc") entries.push_back(item.path());
+  }
+  ASSERT_EQ(entries.size(), 3u);
+  std::sort(entries.begin(), entries.end());
+  {
+    std::fstream file(entries[0],
+                      std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    file.seekg(40).read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.seekp(40).write(&byte, 1);
+  }
+
+  const CounterState before = read_counters();
+  const auto warm = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+  const CounterState after = read_counters();
+
+  EXPECT_EQ(after.hits - before.hits, 2u);
+  EXPECT_EQ(after.corrupt - before.corrupt, 1u);
+  EXPECT_EQ(after.characterize - before.characterize, 1u)
+      << "exactly the corrupted log recomputes";
+  std::size_t hit_count = 0;
+  for (const auto& diag : warm.diagnostics.logs) {
+    if (diag.cache_hit) ++hit_count;
+  }
+  EXPECT_EQ(hit_count, 2u);
+  expect_results_identical(cold, warm);
+}
+
+TEST(BatchCache, OptionsChangeInvalidatesEntries) {
+  const std::string log_dir = make_temp_dir("opts_logs");
+  const std::string cache_dir = make_temp_dir("opts_cache");
+  const auto paths = write_log_files(log_dir, 3, 256);
+
+  analysis::BatchOptions options = cached_options(cache_dir);
+  (void)analysis::run_batch(std::span<const std::string>(paths), options);
+
+  options.hurst.periodogram_cutoff = 0.2;  // different analysis → new key
+  const CounterState before = read_counters();
+  const auto rerun = analysis::run_batch(std::span<const std::string>(paths),
+                                         options);
+  const CounterState after = read_counters();
+  EXPECT_EQ(after.hits - before.hits, 0u);
+  EXPECT_EQ(after.characterize - before.characterize, 3u);
+  for (const auto& diag : rerun.diagnostics.logs) {
+    EXPECT_FALSE(diag.cache_hit);
+  }
+}
+
+TEST(BatchCache, LenientQuarantineRoundTripsThroughCache) {
+  const std::string log_dir = make_temp_dir("lenient_logs");
+  const std::string cache_dir = make_temp_dir("lenient_cache");
+  const auto logs = test_logs(1, 256);
+  const std::string path = log_dir + "/dirty.swf";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << swf::format_swf(logs[0]);
+    out << "this line is not SWF\n";
+  }
+  std::vector<std::string> paths{path};
+  analysis::BatchOptions options = cached_options(cache_dir);
+  options.reader.policy = swf::DecodePolicy::kLenient;
+  options.run_coplot = false;  // one log can never reach the co-plot
+
+  const auto cold = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+  ASSERT_EQ(cold.diagnostics.logs[0].status, analysis::LogStatus::kDegraded);
+  ASSERT_EQ(cold.diagnostics.logs[0].quarantine.malformed_lines, 1u);
+
+  const auto warm = analysis::run_batch(std::span<const std::string>(paths),
+                                        options);
+  EXPECT_TRUE(warm.diagnostics.logs[0].cache_hit);
+  EXPECT_EQ(warm.diagnostics.logs[0].status, analysis::LogStatus::kDegraded);
+  EXPECT_EQ(warm.diagnostics.logs[0].quarantine.malformed_lines, 1u);
+  expect_results_identical(cold, warm);
+}
+
+TEST(BatchCache, ConcurrentRunsShareOneCacheDirectory) {
+  const std::string log_dir = make_temp_dir("conc_logs");
+  const std::string cache_dir = make_temp_dir("conc_cache");
+  const auto paths = write_log_files(log_dir, 3, 256);
+  const analysis::BatchOptions options = cached_options(cache_dir);
+
+  // Reference result from an uncached run.
+  analysis::BatchOptions uncached;
+  const auto reference =
+      analysis::run_batch(std::span<const std::string>(paths), uncached);
+
+  // Two concurrent batches over the same files and cache directory: both
+  // may store the same keys; renames race benignly.
+  analysis::BatchResult results[2];
+  {
+    std::thread first([&] {
+      results[0] =
+          analysis::run_batch(std::span<const std::string>(paths), options);
+    });
+    std::thread second([&] {
+      results[1] =
+          analysis::run_batch(std::span<const std::string>(paths), options);
+    });
+    first.join();
+    second.join();
+  }
+  expect_results_identical(reference, results[0]);
+  expect_results_identical(reference, results[1]);
+
+  // And a third run over the now-populated cache is all hits.
+  const CounterState before = read_counters();
+  const auto warm =
+      analysis::run_batch(std::span<const std::string>(paths), options);
+  const CounterState after = read_counters();
+  EXPECT_EQ(after.hits - before.hits, 3u);
+  expect_results_identical(reference, warm);
+}
+
+TEST(BatchCache, UnusableCacheDirectoryDegradesToUncachedRun) {
+  const std::string log_dir = make_temp_dir("badcache_logs");
+  const auto paths = write_log_files(log_dir, 3, 128);
+  analysis::BatchOptions options;
+  // A path that cannot be a directory: a regular file already sits there.
+  options.cache_dir = paths[0];
+  const auto result =
+      analysis::run_batch(std::span<const std::string>(paths), options);
+  EXPECT_EQ(result.diagnostics.failed_count(), 0u);
+  for (const auto& diag : result.diagnostics.logs) {
+    EXPECT_FALSE(diag.cache_hit);
+  }
+}
+
+}  // namespace
+}  // namespace cpw

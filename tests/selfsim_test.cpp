@@ -265,5 +265,76 @@ TEST(Hurst, RegressionDiagnosticsPopulated) {
   EXPECT_GT(est.r2, 0.8);
 }
 
+// ------------------------------------------------------- log-spaced sizes
+
+TEST(LogSpacedSizes, NeverExceedsMaxBlockAtRoundingBoundary) {
+  // 8 * 10^(28/2) lands on exactly 800000000000001.5 in double arithmetic:
+  // the loop bound (value <= max_block + 0.5) admits it, and lround rounds
+  // half away from zero to max_block + 1 — only the clamp keeps the last
+  // emitted block size inside the configured range.
+  const std::size_t max_block = 800000000000001ULL;
+  const auto sizes = log_spaced_sizes(8, max_block, 2);
+  ASSERT_FALSE(sizes.empty());
+  for (const std::size_t size : sizes) EXPECT_LE(size, max_block);
+  EXPECT_EQ(sizes.back(), max_block);
+}
+
+TEST(LogSpacedSizes, SweepInvariants) {
+  for (const std::size_t min_block : {std::size_t{1}, std::size_t{8}}) {
+    for (const std::size_t max_block :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000},
+          std::size_t{123456}}) {
+      for (const std::size_t ppd :
+           {std::size_t{1}, std::size_t{4}, std::size_t{8}, std::size_t{32}}) {
+        const auto sizes = log_spaced_sizes(min_block, max_block, ppd);
+        if (max_block < min_block) {
+          EXPECT_TRUE(sizes.empty());
+          continue;
+        }
+        ASSERT_FALSE(sizes.empty());
+        EXPECT_EQ(sizes.front(), min_block);
+        for (std::size_t k = 0; k < sizes.size(); ++k) {
+          EXPECT_GE(sizes[k], min_block);
+          EXPECT_LE(sizes[k], max_block);
+          if (k > 0) EXPECT_LT(sizes[k - 1], sizes[k]);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- shared spectral frequency set
+
+TEST(PeriodogramFrequencyCount, PinsClampSemantics) {
+  // m = clamp(floor(fraction * spectrum_size), 4, spectrum_size - 1).
+  EXPECT_EQ(periodogram_frequency_count(0, 0.1), 0u);
+  EXPECT_EQ(periodogram_frequency_count(1, 0.9), 0u);
+  EXPECT_EQ(periodogram_frequency_count(1000, 0.1), 100u);
+  EXPECT_EQ(periodogram_frequency_count(1000, 0.0999), 99u);
+  EXPECT_EQ(periodogram_frequency_count(32, 0.1), 4u);    // floor of 4
+  EXPECT_EQ(periodogram_frequency_count(5, 0.9), 4u);     // cap size - 1
+  EXPECT_EQ(periodogram_frequency_count(1000, 2.0), 999u);
+}
+
+TEST(SpectralEstimators, RegressOverTheSameFrequencySet) {
+  // The periodogram and local-Whittle estimators historically disagreed on
+  // the cutoff (exclusive bound with floor 3 vs. inclusive with floor 4).
+  // Both now go through periodogram_frequency_count: for one cutoff they
+  // must see the identical frequency grid.
+  const auto xs = fgn_davies_harte(0.75, 1 << 12, 31);
+  for (const double cutoff : {0.05, 0.10, 0.25}) {
+    HurstOptions options;
+    options.periodogram_cutoff = cutoff;
+    const auto pgram = hurst_periodogram(xs, options);
+    const auto whittle = hurst_local_whittle(xs, options);
+    EXPECT_EQ(pgram.points.log_x, whittle.points.log_x) << "cutoff=" << cutoff;
+    // n = 4096 -> spectrum of 2048 bins; all periodogram ordinates of an
+    // fGn sample are positive, so the point count is exactly m.
+    EXPECT_EQ(pgram.points.log_x.size(),
+              periodogram_frequency_count(2048, cutoff))
+        << "cutoff=" << cutoff;
+  }
+}
+
 }  // namespace
 }  // namespace cpw::selfsim

@@ -140,6 +140,35 @@ TEST(Rng, GammaShapeBelowOne) {
   EXPECT_NEAR(sum / n, 1.5, 0.05);
 }
 
+TEST(Rng, GammaShapeBelowOneSurvivesZeroUniform) {
+  // xoshiro256++ state {0, 1, 0, 0} makes the first output word
+  // rotl(s0 + s3, 23) + s0 = 0, so the first uniform() draw is exactly 0 —
+  // the 2^-53-probability boundary no seed search would ever reach.
+  {
+    Rng probe = Rng::from_state({0, 1, 0, 0});
+    ASSERT_EQ(probe.uniform(), 0.0);
+  }
+  // The shape < 1 boost multiplies by pow(u, 1/shape); u == 0 used to
+  // collapse the draw to exactly 0.0, which poisons any downstream log().
+  Rng rng = Rng::from_state({0, 1, 0, 0});
+  const double x = rng.gamma(0.5, 1.0);
+  EXPECT_GT(x, 0.0);
+  EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Rng, FromStateReproducesSequence) {
+  Rng seeded(1234);
+  Rng copy = Rng::from_state({seeded(), seeded(), seeded(), seeded()});
+  // Distinct states give distinct streams; same state gives the same one.
+  Rng again = Rng::from_state(
+      [&] {
+        Rng reseed(1234);
+        return std::array<std::uint64_t, 4>{reseed(), reseed(), reseed(),
+                                            reseed()};
+      }());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(copy(), again());
+}
+
 TEST(Rng, BernoulliFrequency) {
   Rng rng(11);
   int hits = 0;

@@ -64,5 +64,19 @@ TEST(LocalWhittle, TooShortThrows) {
   EXPECT_THROW(hurst_local_whittle(xs), Error);
 }
 
+TEST(LocalWhittle, FrequencyCountMatchesSharedHelper) {
+  const auto xs = fgn_davies_harte(0.7, 1 << 13, 29);
+  for (const double cutoff : {0.05, 0.10, 0.5}) {
+    HurstOptions options;
+    options.periodogram_cutoff = cutoff;
+    const auto est = hurst_local_whittle(xs, options);
+    // n = 8192 -> 4096 spectrum bins, every fGn ordinate positive, so the
+    // diagnostic points count the regression frequencies exactly.
+    EXPECT_EQ(est.points.log_x.size(),
+              periodogram_frequency_count(4096, cutoff))
+        << "cutoff=" << cutoff;
+  }
+}
+
 }  // namespace
 }  // namespace cpw::selfsim
