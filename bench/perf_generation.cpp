@@ -4,12 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cpw/archive/paper_data.hpp"
 #include "cpw/archive/simulator.hpp"
 #include "cpw/models/downey.hpp"
 #include "cpw/models/feitelson.hpp"
 #include "cpw/models/jann.hpp"
 #include "cpw/models/lublin.hpp"
+#include "cpw/util/rng.hpp"
 #include "cpw/workload/characterize.hpp"
 
 namespace {
@@ -79,6 +82,63 @@ void BM_Characterize(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Characterize)->Arg(32768)->Unit(benchmark::kMillisecond);
+
+// ---- variate generation: sequential Rng vs the SIMD-batched BatchRng ----
+// The generators above draw their interarrival gaps (and the fGn / copula
+// drivers their normals) through BatchRng; these four pin down how much of
+// their jobs/second comes from the bulk fill itself.
+
+void BM_RngUniformSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (double& v : out) v = rng.uniform();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngUniformSequential)->Arg(65536);
+
+void BM_BatchRngUniformFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BatchRng rng(1);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.uniform_fill(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchRngUniformFill)->Arg(65536);
+
+void BM_RngNormalSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (double& v : out) v = rng.normal();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngNormalSequential)->Arg(65536);
+
+void BM_BatchRngNormalFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BatchRng rng(2);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.normal_fill(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchRngNormalFill)->Arg(65536);
 
 }  // namespace
 

@@ -1,0 +1,241 @@
+// google-benchmark suite for the cpw::simd kernel library: every ported
+// kernel measured per backend (scalar reference vs each vector ISA the
+// machine supports), over a size curve, so BENCH_PR6.json records the
+// speedup each ISA actually delivers — not just the one the dispatcher
+// picked. Registration is dynamic: only backends compiled in AND supported
+// here appear in the output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/simd/simd.hpp"
+#include "cpw/util/rng.hpp"
+
+namespace {
+
+using namespace cpw;
+using simd::Isa;
+using simd::Kernels;
+
+std::vector<double> data_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(-2.0, 2.0);
+  return out;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kNeon, Isa::kAvx2}) {
+    if (simd::kernels_for(isa) != nullptr) isas.push_back(isa);
+  }
+  return isas;
+}
+
+void items_per_second(benchmark::State& state, std::size_t n) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+}
+
+// ---- per-kernel bodies (the Kernels table is the benchmark parameter) ----
+
+void BM_PrefixSums(benchmark::State& state, const Kernels* kernels) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = data_vector(n, 1);
+  std::vector<double> sum(n + 1), sumsq(n + 1);
+  for (auto _ : state) {
+    kernels->prefix_sums(x.data(), n, sum.data(), sumsq.data());
+    benchmark::DoNotOptimize(sum.data());
+    benchmark::DoNotOptimize(sumsq.data());
+  }
+  items_per_second(state, n);
+}
+
+void BM_Magnitude(benchmark::State& state, const Kernels* kernels) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto interleaved = data_vector(2 * n, 2);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernels->magnitude(interleaved.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  items_per_second(state, n);
+}
+
+void BM_OlsMoments(benchmark::State& state, const Kernels* kernels) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = data_vector(n, 3);
+  const auto y = data_vector(n, 4);
+  double moments[3];
+  for (auto _ : state) {
+    const double mx = kernels->sum(x.data(), n) / static_cast<double>(n);
+    const double my = kernels->sum(y.data(), n) / static_cast<double>(n);
+    kernels->centered_moments(x.data(), y.data(), n, mx, my, moments);
+    benchmark::DoNotOptimize(moments);
+  }
+  items_per_second(state, n);
+}
+
+void BM_RowDistances(benchmark::State& state, const Kernels* kernels) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto x = data_vector(m, 5);
+  const auto y = data_vector(m, 6);
+  std::vector<double> dist(m);
+  for (auto _ : state) {
+    kernels->row_distances(0.25, -0.5, x.data(), y.data(), m, dist.data());
+    benchmark::DoNotOptimize(dist.data());
+  }
+  items_per_second(state, m);
+}
+
+void BM_GuttmanRow(benchmark::State& state, const Kernels* kernels) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto x = data_vector(m, 7);
+  const auto y = data_vector(m, 8);
+  auto dist = data_vector(m, 9);
+  for (double& d : dist) d = 1.0 + (d > 0.0 ? d : -d);
+  const auto disparity = data_vector(m, 10);
+  std::vector<double> nx(m), ny(m);
+  double acc[2];
+  for (auto _ : state) {
+    kernels->guttman_row(0.1, 0.2, x.data(), y.data(), dist.data(),
+                         disparity.data(), m, nx.data(), ny.data(), acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  items_per_second(state, m);
+}
+
+void BM_StressTerms(benchmark::State& state, const Kernels* kernels) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dist = data_vector(n, 11);
+  const auto disparity = data_vector(n, 12);
+  double terms[2];
+  for (auto _ : state) {
+    kernels->stress_terms(dist.data(), disparity.data(), n, terms);
+    benchmark::DoNotOptimize(terms);
+  }
+  items_per_second(state, n);
+}
+
+void BM_XoshiroUniformFill(benchmark::State& state, const Kernels* kernels) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t st[16];
+  SplitMix64 mix(13);
+  for (auto& w : st) w = mix.next();
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernels->xoshiro4_uniform_fill(st, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  items_per_second(state, n);
+}
+
+// The periodogram pipeline end to end (bit-reversal + every butterfly stage
+// + magnitude): dispatch-routed, so this one switches the active backend.
+void BM_PowerSpectrum(benchmark::State& state, const Kernels* kernels) {
+  simd::set_active(kernels->isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto series = data_vector(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selfsim::power_spectrum(series));
+  }
+  items_per_second(state, n);
+}
+
+// BatchRng through the public API (uniform bulk fill + Box–Muller normals).
+void BM_BatchRngNormalFill(benchmark::State& state, const Kernels* kernels) {
+  simd::set_active(kernels->isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BatchRng rng(15);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.normal_fill(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  items_per_second(state, n);
+}
+
+void register_benchmarks() {
+  using Body = void (*)(benchmark::State&, const Kernels*);
+  struct Entry {
+    const char* name;
+    Body body;
+    std::vector<std::int64_t> sizes;
+  };
+  const std::vector<Entry> entries = {
+      {"BM_PrefixSums", BM_PrefixSums, {4096, 65536, 1048576}},
+      {"BM_Magnitude", BM_Magnitude, {4096, 65536, 1048576}},
+      {"BM_OlsMoments", BM_OlsMoments, {4096, 65536, 1048576}},
+      {"BM_RowDistances", BM_RowDistances, {256, 4096, 65536}},
+      {"BM_GuttmanRow", BM_GuttmanRow, {256, 4096, 65536}},
+      {"BM_StressTerms", BM_StressTerms, {4096, 65536, 1048576}},
+      {"BM_XoshiroUniformFill", BM_XoshiroUniformFill, {4096, 65536, 1048576}},
+      {"BM_PowerSpectrum", BM_PowerSpectrum, {4096, 65536, 1048576}},
+      {"BM_BatchRngNormalFill", BM_BatchRngNormalFill, {4096, 65536}},
+  };
+  for (const Entry& entry : entries) {
+    for (const Isa isa : available_isas()) {
+      const Kernels* kernels = simd::kernels_for(isa);
+      const std::string name =
+          std::string(entry.name) + "<" + simd::isa_name(isa) + ">";
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(), [body = entry.body, kernels](benchmark::State& s) {
+            body(s, kernels);
+          });
+      for (const std::int64_t size : entry.sizes) bench->Arg(size);
+    }
+  }
+}
+
+}  // namespace
+
+// Custom main (same contract as perf_analysis): --metrics_out=PATH dumps
+// the obs registry after the run, so the merged BENCH record carries the
+// cpw_simd_dispatch gauge alongside the kernel curves.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_out = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Touch the dispatcher before anything else so the gauge reflects the
+  // startup decision (CPW_SIMD override included), then register one
+  // benchmark family per available backend.
+  const simd::Isa startup = simd::active_isa();
+  register_benchmarks();
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The dispatch-routed benchmarks switched backends; restore the startup
+  // decision so the exported gauge names the path production runs would use.
+  simd::set_active(startup);
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    out << cpw::obs::to_json(cpw::obs::registry().snapshot());
+    if (!out) {
+      std::cerr << "failed writing metrics to " << metrics_out << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

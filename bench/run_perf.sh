@@ -3,28 +3,30 @@
 # performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
 #
 # Usage: bench/run_perf.sh [build-dir] [output-json]
-# Defaults: build directory ./build, output ./BENCH_PR5.json.
+# Defaults: build directory ./build, output ./BENCH_PR6.json.
 #
 # Environment:
 #   BENCH_SMOKE=1   fast smoke run (min_time=0.05s per benchmark) for CI.
 #
-# The record concatenates three google-benchmark runs — the analysis
-# kernels (tracked since PR 1), the SWF ingest suite (PR 2), and the
-# analysis-cache suite with cold/warm batch timings (PR 5) — plus the
-# cpw::obs metrics snapshot accumulated during the analysis run (PR 4),
-# so every record carries the per-stage counters and timing histograms
-# that produced it. A schema check validates the merged document before
-# the script reports success.
+# The record concatenates four google-benchmark runs — the analysis
+# kernels (tracked since PR 1), the SWF ingest suite (PR 2), the
+# analysis-cache suite with cold/warm batch timings (PR 5), and the
+# cpw::simd kernel suite with per-backend scalar-vs-vector curves (PR 6) —
+# plus the cpw::obs metrics snapshot accumulated during the analysis run
+# (PR 4), so every record carries the per-stage counters, the timing
+# histograms, and the cpw_simd_dispatch gauge that produced it. A schema
+# check validates the merged document before the script reports success.
 
 set -e
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR6.json}"
 ANALYSIS_BIN="$BUILD_DIR/bench/perf_analysis"
 INGEST_BIN="$BUILD_DIR/bench/perf_ingest"
 CACHE_BIN="$BUILD_DIR/bench/perf_cache"
+KERNELS_BIN="$BUILD_DIR/bench/perf_kernels"
 
-for BIN in "$ANALYSIS_BIN" "$INGEST_BIN" "$CACHE_BIN"; do
+for BIN in "$ANALYSIS_BIN" "$INGEST_BIN" "$CACHE_BIN" "$KERNELS_BIN"; do
   if [ ! -x "$BIN" ]; then
     echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -61,7 +63,19 @@ fi
   --benchmark_repetitions=1 \
   $SMOKE_ARGS
 
-# Merge the runs and the metrics snapshot into one document keyed by suite.
+# The SIMD kernel suite registers one benchmark family per backend the
+# machine supports, so the record carries scalar-vs-vector curves. Its
+# metrics snapshot holds the cpw_simd_dispatch gauge naming the path the
+# dispatcher selected at startup.
+"$KERNELS_BIN" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT.kernels" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  --metrics_out="$OUT.kernel_metrics" \
+  $SMOKE_ARGS
+
+# Merge the runs and the metrics snapshots into one document keyed by suite.
 {
   echo '{'
   echo '  "perf_analysis":'
@@ -73,15 +87,23 @@ fi
   echo '  "perf_cache":'
   sed 's/^/  /' "$OUT.cache"
   echo '  ,'
+  echo '  "perf_kernels":'
+  sed 's/^/  /' "$OUT.kernels"
+  echo '  ,'
   echo '  "obs_metrics":'
   sed 's/^/  /' "$OUT.metrics"
+  echo '  ,'
+  echo '  "kernel_metrics":'
+  sed 's/^/  /' "$OUT.kernel_metrics"
   echo '}'
 } > "$OUT"
-rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.cache" "$OUT.metrics"
+rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.cache" "$OUT.kernels" \
+  "$OUT.metrics" "$OUT.kernel_metrics"
 
-# Schema check: the merged document must parse as JSON, carry all four
-# sections, non-empty benchmark lists (with the cold/warm cache pair),
-# and a per-stage timing histogram.
+# Schema check: the merged document must parse as JSON, carry all six
+# sections, non-empty benchmark lists (with the cold/warm cache pair and
+# scalar-vs-vector kernel curves), a per-stage timing histogram, and a
+# cpw_simd_dispatch gauge naming the selected path.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT" <<'PYEOF'
 import json, sys
@@ -90,25 +112,38 @@ path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
 
-for key in ("perf_analysis", "perf_ingest", "perf_cache", "obs_metrics"):
+for key in ("perf_analysis", "perf_ingest", "perf_cache", "perf_kernels",
+            "obs_metrics", "kernel_metrics"):
     if key not in doc:
         sys.exit(f"schema check failed: missing top-level key {key!r}")
-for key in ("perf_analysis", "perf_ingest", "perf_cache"):
+for key in ("perf_analysis", "perf_ingest", "perf_cache", "perf_kernels"):
     if not doc[key].get("benchmarks"):
         sys.exit(f"schema check failed: {key} has no benchmarks")
 cache_names = {b["name"] for b in doc["perf_cache"]["benchmarks"]}
 for needle in ("BM_BatchCacheCold", "BM_BatchCacheWarm"):
     if not any(needle in n for n in cache_names):
         sys.exit(f"schema check failed: perf_cache missing {needle} runs")
+kernel_names = {b["name"] for b in doc["perf_kernels"]["benchmarks"]}
+if not any("<scalar>" in n for n in kernel_names):
+    sys.exit("schema check failed: perf_kernels has no scalar baseline runs")
+backends = {n[n.index("<") + 1:n.index(">")] for n in kernel_names if "<" in n}
 obs = doc["obs_metrics"]
 if obs.get("schema") != "cpw-obs-v1":
     sys.exit("schema check failed: obs_metrics.schema != cpw-obs-v1")
 names = {m["name"] for m in obs.get("metrics", [])}
 if "cpw_stage_seconds" not in names:
     sys.exit("schema check failed: no cpw_stage_seconds sample in obs_metrics")
+dispatch = [m for m in doc["kernel_metrics"].get("metrics", [])
+            if m["name"] == "cpw_simd_dispatch" and m.get("value") == 1.0]
+if len(dispatch) != 1:
+    sys.exit("schema check failed: kernel_metrics must carry exactly one "
+             "active cpw_simd_dispatch path")
+active = dict(dispatch[0].get("labels", {})).get("path", "?")
 print(f"schema check ok: {len(doc['perf_analysis']['benchmarks'])} analysis + "
       f"{len(doc['perf_ingest']['benchmarks'])} ingest + "
-      f"{len(doc['perf_cache']['benchmarks'])} cache benchmarks, "
+      f"{len(doc['perf_cache']['benchmarks'])} cache + "
+      f"{len(doc['perf_kernels']['benchmarks'])} kernel benchmarks "
+      f"(backends: {', '.join(sorted(backends))}; dispatch: {active}), "
       f"{len(names)} metric names")
 PYEOF
 else

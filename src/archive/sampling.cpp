@@ -20,9 +20,12 @@ std::vector<double> rank_uniforms(std::span<const double> driver) {
 std::vector<double> gaussian_driver(double hurst, std::size_t n,
                                     std::uint64_t seed) {
   if (std::abs(hurst - 0.5) < 1e-6) {
-    Rng rng(seed);
+    // Bulk batched draw. Downstream consumers only see rank_uniforms of the
+    // driver — a permutation of {(i − 0.5)/n} whatever the Gaussian stream —
+    // so swapping the generator leaves every marginal untouched.
+    BatchRng rng(seed);
     std::vector<double> g(n);
-    for (double& v : g) v = rng.normal();
+    rng.normal_fill(g);
     return g;
   }
   return selfsim::fgn_davies_harte(hurst, n, seed);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cpw/simd/simd.hpp"
 #include "cpw/util/error.hpp"
 
 namespace cpw::mds {
@@ -9,13 +10,15 @@ namespace cpw::mds {
 std::vector<double> Embedding::pair_distances() const {
   const std::size_t n = size();
   std::vector<double> out;
-  out.reserve(n * (n - 1) / 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = i + 1; k < n; ++k) {
-      const double dx = x[i] - x[k];
-      const double dy = y[i] - y[k];
-      out.push_back(std::sqrt(dx * dx + dy * dy));
-    }
+  if (n < 2) return out;
+  out.resize(n * (n - 1) / 2);
+  const auto& kernels = simd::active();
+  double* row = out.data();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t m = n - i - 1;
+    kernels.row_distances(x[i], y[i], x.data() + i + 1, y.data() + i + 1, m,
+                          row);
+    row += m;
   }
   return out;
 }
@@ -77,12 +80,10 @@ double stress1(std::span<const double> distances,
                std::span<const double> disparities) {
   CPW_REQUIRE(distances.size() == disparities.size(),
               "stress1 needs matching pair lists");
-  double num = 0.0, den = 0.0;
-  for (std::size_t i = 0; i < distances.size(); ++i) {
-    const double diff = distances[i] - disparities[i];
-    num += diff * diff;
-    den += distances[i] * distances[i];
-  }
+  double terms[2];
+  simd::active().stress_terms(distances.data(), disparities.data(),
+                              distances.size(), terms);
+  const double num = terms[0], den = terms[1];
   if (den == 0.0) return 0.0;
   return std::sqrt(num / den);
 }

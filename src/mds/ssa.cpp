@@ -9,6 +9,7 @@
 #include "cpw/mds/dissimilarity.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
+#include "cpw/simd/simd.hpp"
 #include "cpw/stats/regression.hpp"
 #include "cpw/util/rng.hpp"
 #include "cpw/util/thread_pool.hpp"
@@ -55,17 +56,18 @@ Embedding descend(std::span<const double> s,
   double previous_stress = std::numeric_limits<double>::infinity();
   int iteration = 0;
 
+  const auto& kernels = simd::active();
   for (; iteration < opt.max_iterations; ++iteration) {
     opt.stop.throw_if_stopped("ssa descent");
-    // Current map distances.
+    // Current map distances, one contiguous upper-triangle row at a time.
     {
       std::size_t p = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t k = i + 1; k < n; ++k, ++p) {
-          const double dx = config.x[i] - config.x[k];
-          const double dy = config.y[i] - config.y[k];
-          dist[p] = std::sqrt(dx * dx + dy * dy);
-        }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t m = n - i - 1;
+        kernels.row_distances(config.x[i], config.y[i],
+                              config.x.data() + i + 1,
+                              config.y.data() + i + 1, m, dist.data() + p);
+        p += m;
       }
     }
 
@@ -78,11 +80,9 @@ Embedding descend(std::span<const double> s,
 
     // Normalize disparities so the configuration cannot collapse:
     // scale them to the same sum of squares as the distances.
-    double ss_dist = 0.0, ss_disp = 0.0;
-    for (std::size_t p = 0; p < pairs; ++p) {
-      ss_dist += dist[p] * dist[p];
-      ss_disp += disparity[p] * disparity[p];
-    }
+    double ss[2];
+    kernels.sumsq2(dist.data(), disparity.data(), pairs, ss);
+    const double ss_dist = ss[0], ss_disp = ss[1];
     if (ss_disp > 0.0) {
       const double scale = std::sqrt(ss_dist / ss_disp);
       for (double& d : disparity) d *= scale;
@@ -95,21 +95,24 @@ Embedding descend(std::span<const double> s,
     previous_stress = stress;
 
     // Guttman transform: X' = (1/n) B X with b_ik = -disparity/dist off-diag.
+    // Row i accumulates its diagonal term (+ratio contributions) through the
+    // kernel's blocked lanes while pushing -ratio terms onto rows k > i.
     auto& nx = scratch.nx;
     auto& ny = scratch.ny;
     std::fill(nx.begin(), nx.end(), 0.0);
     std::fill(ny.begin(), ny.end(), 0.0);
     {
       std::size_t p = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t k = i + 1; k < n; ++k, ++p) {
-          const double ratio = dist[p] > 1e-12 ? disparity[p] / dist[p] : 0.0;
-          // Off-diagonal contribution -ratio, diagonal accumulates +ratio.
-          nx[i] += ratio * (config.x[i] - config.x[k]);
-          ny[i] += ratio * (config.y[i] - config.y[k]);
-          nx[k] += ratio * (config.x[k] - config.x[i]);
-          ny[k] += ratio * (config.y[k] - config.y[i]);
-        }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t m = n - i - 1;
+        double acc2[2];
+        kernels.guttman_row(config.x[i], config.y[i],
+                            config.x.data() + i + 1, config.y.data() + i + 1,
+                            dist.data() + p, disparity.data() + p, m,
+                            nx.data() + i + 1, ny.data() + i + 1, acc2);
+        nx[i] += acc2[0];
+        ny[i] += acc2[1];
+        p += m;
       }
     }
     const double inv_n = 1.0 / static_cast<double>(n);

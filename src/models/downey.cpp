@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "cpw/util/error.hpp"
 
@@ -23,11 +24,17 @@ swf::Log DowneyModel::generate(std::size_t jobs, std::uint64_t seed) const {
   const stats::LogUniform parallelism(params_.parallelism_lo,
                                       static_cast<double>(processors_));
 
+  // Interarrival gaps: one bulk uniform fill through the batched generator,
+  // inverted to exponentials in place of per-job sequential draws.
+  BatchRng gap_rng(derive_seed(seed, 0xD1));
+  std::vector<double> gap_uniforms(jobs);
+  gap_rng.uniform_fill(gap_uniforms);
+
   swf::JobList list;
   list.reserve(jobs);
   double clock = 0.0;
   for (std::size_t i = 0; i < jobs; ++i) {
-    clock += rng.exponential(1.0 / params_.arrival_gap_mean);
+    clock += -std::log1p(-gap_uniforms[i]) * params_.arrival_gap_mean;
     const double total_service = service.sample(rng);
     const double average_parallelism = parallelism.sample(rng);
 

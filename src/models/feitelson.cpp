@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "cpw/util/error.hpp"
 
@@ -65,7 +66,15 @@ std::string FeitelsonModel::name() const {
 }
 
 swf::Log FeitelsonModel::generate(std::size_t jobs, std::uint64_t seed) const {
-  Rng rng(derive_seed(seed, 0x0F96 + (version_ == Version::k1997 ? 1 : 0)));
+  const std::uint64_t stream =
+      derive_seed(seed, 0x0F96 + (version_ == Version::k1997 ? 1 : 0));
+  Rng rng(stream);
+  // Interarrival gaps come from a dedicated batched stream (one bulk
+  // uniform fill): at most one gap per application and every application
+  // contributes at least one job, so `jobs` draws always suffice.
+  BatchRng gap_rng(derive_seed(stream, 0xA1));
+  std::vector<double> gap_uniforms(jobs);
+  gap_rng.uniform_fill(gap_uniforms);
   swf::JobList list;
   list.reserve(jobs);
 
@@ -78,7 +87,9 @@ swf::Log FeitelsonModel::generate(std::size_t jobs, std::uint64_t seed) const {
     const std::int64_t size = sample_size(rng);
     const unsigned reps = repetitions_.sample_int(rng);
 
-    clock += rng.exponential(1.0 / arrival_gap_mean_);
+    clock += -std::log1p(-gap_uniforms[static_cast<std::size_t>(
+                 application_id - 1)]) *
+             arrival_gap_mean_;
     double submit = clock;
     for (unsigned r = 0; r < reps && list.size() < jobs; ++r) {
       const double runtime = sample_runtime(size, rng);

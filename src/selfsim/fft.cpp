@@ -1,13 +1,58 @@
 #include "cpw/selfsim/fft.hpp"
 
 #include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
+#include "cpw/simd/simd.hpp"
 #include "cpw/util/error.hpp"
 
 namespace cpw::selfsim {
 
+namespace {
+
+/// Per-size twiddle tables: stage `len` needs len/2 interleaved (re, im)
+/// factors w_k = exp(sign·2πik/len); the stages are concatenated (stage
+/// `len` starts at complex offset len/2 − 1) for n − 1 complex entries
+/// total. Factors come from std::cos/std::sin on the direct angle — not the
+/// old incremental product w ·= wlen — so every backend consumes identical
+/// values and repeated transforms skip the per-butterfly twiddle update.
+/// Tables are immutable once built and shared between pool workers.
+std::shared_ptr<const std::vector<double>> twiddle_table(std::size_t n,
+                                                         bool inverse) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, bool>, //
+                  std::shared_ptr<const std::vector<double>>>
+      cache;
+  const std::pair<std::size_t, bool> key{n, inverse};
+  {
+    const std::scoped_lock lock(mutex);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  }
+  auto table = std::make_shared<std::vector<double>>();
+  table->reserve(2 * (n - 1));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / //
+                         static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double a = angle * static_cast<double>(k);
+      table->push_back(std::cos(a));
+      table->push_back(std::sin(a));
+    }
+  }
+  const std::scoped_lock lock(mutex);
+  return cache.try_emplace(key, std::move(table)).first->second;
+}
+
+}  // namespace
+
 std::size_t next_pow2(std::size_t n) {
+  constexpr std::size_t kMax = (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+  CPW_REQUIRE(n <= kMax, "next_pow2: no power of two >= n fits in size_t");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -16,6 +61,7 @@ std::size_t next_pow2(std::size_t n) {
 void fft_radix2(std::span<std::complex<double>> data, bool inverse) {
   const std::size_t n = data.size();
   CPW_REQUIRE(n > 0 && (n & (n - 1)) == 0, "fft size must be a power of two");
+  if (n == 1) return;
 
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -25,20 +71,13 @@ void fft_radix2(std::span<std::complex<double>> data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
+  const auto table = twiddle_table(n, inverse);
+  // std::complex<double> is layout-compatible with double[2].
+  double* raw = reinterpret_cast<double*>(data.data());
+  const auto& kernels = simd::active();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
+    const double* twiddle = table->data() + 2 * (len / 2 - 1);
+    kernels.fft_pass(raw, n, len, twiddle);
   }
 }
 
@@ -64,7 +103,8 @@ std::vector<double> power_spectrum(std::span<const double> series) {
     std::vector<std::complex<double>> data(n);
     for (std::size_t i = 0; i < n; ++i) data[i] = series[i];
     fft_radix2(data, false);
-    for (std::size_t i = 0; i < n / 2; ++i) out[i] = std::norm(data[i]);
+    simd::active().magnitude(reinterpret_cast<const double*>(data.data()),
+                             n / 2, out.data());
     return out;
   }
 

@@ -7,6 +7,7 @@
 
 #include "cpw/obs/span.hpp"
 #include "cpw/selfsim/fft.hpp"
+#include "cpw/simd/simd.hpp"
 #include "cpw/stats/descriptive.hpp"
 #include "cpw/stats/regression.hpp"
 #include "cpw/util/error.hpp"
@@ -29,12 +30,8 @@ std::vector<double> aggregate_series(std::span<const double> series,
 SeriesPrefix::SeriesPrefix(std::span<const double> series) {
   sum.resize(series.size() + 1);
   sumsq.resize(series.size() + 1);
-  sum[0] = 0.0;
-  sumsq[0] = 0.0;
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    sum[i + 1] = sum[i] + series[i];
-    sumsq[i + 1] = sumsq[i] + series[i] * series[i];
-  }
+  simd::active().prefix_sums(series.data(), series.size(), sum.data(),
+                             sumsq.data());
 }
 
 std::vector<double> aggregate_series(const SeriesPrefix& prefix,

@@ -1,0 +1,77 @@
+#pragma once
+
+// Internal: per-ISA backend tables. Each translation unit compiled into the
+// library defines its accessor; dispatch.cpp selects among the ones CMake
+// enabled (CPW_SIMD_HAVE_* definitions) after a runtime CPU check.
+
+#include "cpw/simd/simd.hpp"
+
+namespace cpw::simd::detail {
+
+const Kernels& scalar_kernels() noexcept;
+#if defined(CPW_SIMD_HAVE_SSE2)
+const Kernels& sse2_kernels() noexcept;
+#endif
+#if defined(CPW_SIMD_HAVE_AVX2)
+const Kernels& avx2_kernels() noexcept;
+#endif
+#if defined(CPW_SIMD_HAVE_NEON)
+const Kernels& neon_kernels() noexcept;
+#endif
+
+/// Shared scalar tail helpers: every backend runs these exact loops for the
+/// elements left over after its vector body, so tails associate identically
+/// by construction. Defined in kernels_scalar.cpp, `begin` is the first
+/// unprocessed element (for reductions, its lane is begin mod kBlock).
+
+/// Sequential scalar prefix continuation from position `begin` with running
+/// totals (s, q).
+void prefix_sums_tail(const double* x, std::size_t begin, std::size_t n,
+                      double* sum, double* sumsq, double s, double q) noexcept;
+
+/// Adds x[begin..n) into acc[(i − begin) mod kBlock]... lane selection uses
+/// the absolute index i mod kBlock so vector bodies that stop at a multiple
+/// of kBlock keep lane assignment consistent.
+void sum_tail(const double* x, std::size_t begin, std::size_t n,
+              double* acc) noexcept;
+
+void centered_moments_tail(const double* x, const double* y, std::size_t begin,
+                           std::size_t n, double mx, double my, double* axx,
+                           double* axy, double* ayy) noexcept;
+
+void row_distances_tail(double xi, double yi, const double* x, const double* y,
+                        std::size_t begin, std::size_t m,
+                        double* dist) noexcept;
+
+void guttman_row_tail(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t begin, std::size_t m, double* nx, double* ny,
+                      double* accx, double* accy) noexcept;
+
+void sumsq2_tail(const double* a, const double* b, std::size_t begin,
+                 std::size_t n, double* acca, double* accb) noexcept;
+
+void stress_terms_tail(const double* a, const double* b, std::size_t begin,
+                       std::size_t n, double* num, double* den) noexcept;
+
+void magnitude_tail(const double* interleaved, std::size_t begin, std::size_t n,
+                    double* out) noexcept;
+
+/// Scalar butterflies for [k_begin, k_end) of one FFT block starting at
+/// complex index `base` (identical complex arithmetic to the vector body:
+/// re = vr·wr − vi·wi, im = vr·wi + vi·wr, then u ± v).
+void fft_butterflies_tail(double* data, std::size_t base, std::size_t half,
+                          const double* twiddle, std::size_t k_begin,
+                          std::size_t k_end) noexcept;
+
+/// One scalar step of the 4-lane xoshiro256++ block: advances every lane,
+/// writes `emit` uniforms (lane order) to out. state layout state[word·4+lane].
+void xoshiro4_step_scalar(std::uint64_t* state, double* out,
+                          std::size_t emit) noexcept;
+
+/// Combines the four accumulator lanes in the canonical order.
+inline double combine_lanes(const double* acc) noexcept {
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+}  // namespace cpw::simd::detail

@@ -1,0 +1,124 @@
+// Runtime ISA dispatch: probe the CPU once, honor the CPW_SIMD override,
+// publish the selection through the cpw_simd_dispatch gauge, and hand out
+// the active kernel table through a single atomic pointer load.
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "backends.hpp"
+#include "cpw/obs/metrics.hpp"
+
+namespace cpw::simd {
+
+namespace {
+
+/// Best backend the hardware supports, ignoring any override.
+const Kernels& probe_best() noexcept {
+#if defined(CPW_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return detail::avx2_kernels();
+#endif
+#if defined(CPW_SIMD_HAVE_SSE2)
+  // Baseline on x86-64; still verify for completeness.
+  if (__builtin_cpu_supports("sse2")) return detail::sse2_kernels();
+#endif
+#if defined(CPW_SIMD_HAVE_NEON)
+  // NEON is architectural on aarch64 — no probe needed.
+  return detail::neon_kernels();
+#endif
+  return detail::scalar_kernels();
+}
+
+const Kernels* lookup(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return &detail::scalar_kernels();
+    case Isa::kSse2:
+#if defined(CPW_SIMD_HAVE_SSE2)
+      if (__builtin_cpu_supports("sse2")) return &detail::sse2_kernels();
+#endif
+      return nullptr;
+    case Isa::kAvx2:
+#if defined(CPW_SIMD_HAVE_AVX2)
+      if (__builtin_cpu_supports("avx2")) return &detail::avx2_kernels();
+#endif
+      return nullptr;
+    case Isa::kNeon:
+#if defined(CPW_SIMD_HAVE_NEON)
+      return &detail::neon_kernels();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Marks `selected` active (gauge 1) and every other known path 0, so a
+/// snapshot always shows the full closed label set.
+void publish_gauge(Isa selected) {
+  constexpr Isa kAll[] = {Isa::kScalar, Isa::kSse2, Isa::kNeon, Isa::kAvx2};
+  for (Isa isa : kAll) {
+    obs::gauge("cpw_simd_dispatch", {{"path", isa_name(isa)}})
+        .set(isa == selected ? 1.0 : 0.0);
+  }
+}
+
+const Kernels& initial_dispatch() {
+  const Kernels* chosen = nullptr;
+  if (const char* env = std::getenv("CPW_SIMD")) {
+    const std::string_view want{env};
+    if (want == "scalar") {
+      chosen = lookup(Isa::kScalar);
+    } else if (want == "sse2") {
+      chosen = lookup(Isa::kSse2);
+    } else if (want == "avx2") {
+      chosen = lookup(Isa::kAvx2);
+    } else if (want == "neon") {
+      chosen = lookup(Isa::kNeon);
+    }
+    // Unknown or unavailable values fall through to the probe: a batch run
+    // must not fail because of a stale override, and the gauge makes the
+    // actual selection observable.
+  }
+  if (chosen == nullptr) chosen = &probe_best();
+  publish_gauge(chosen->isa);
+  return *chosen;
+}
+
+std::atomic<const Kernels*>& active_slot() noexcept {
+  static std::atomic<const Kernels*> slot{&initial_dispatch()};
+  return slot;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const Kernels& active() noexcept {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+Isa active_isa() noexcept { return active().isa; }
+
+const Kernels* kernels_for(Isa isa) noexcept { return lookup(isa); }
+
+bool set_active(Isa isa) noexcept {
+  const Kernels* table = lookup(isa);
+  if (table == nullptr) return false;
+  active_slot().store(table, std::memory_order_release);
+  publish_gauge(isa);
+  return true;
+}
+
+}  // namespace cpw::simd

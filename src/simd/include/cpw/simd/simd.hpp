@@ -1,0 +1,110 @@
+#pragma once
+
+// cpw::simd — vectorized numeric kernels with runtime ISA dispatch.
+//
+// A small function table (`Kernels`) is implemented once per instruction
+// set: portable scalar (always available, the bit-exactness reference),
+// SSE2 and AVX2 on x86-64, NEON on aarch64. The table is selected once at
+// startup from CPUID (or the CPW_SIMD environment variable: scalar | sse2 |
+// avx2 | neon) and reported through the `cpw_simd_dispatch` obs gauge so
+// tests and benchmarks can pin and assert a path.
+//
+// Bit-exactness contract: every kernel defines one canonical association
+// order — elementwise kernels are trivially order-free; reductions use four
+// independent accumulator lanes (element i feeds lane i mod 4) combined as
+// (l0 + l1) + (l2 + l3); the prefix sum uses a blocked Kogge–Stone
+// association within each 4-element block. The scalar backend implements
+// exactly that order, every vector backend reproduces it with the same
+// IEEE-754 operations (no FMA contraction, the library builds with
+// -ffp-contract=off), so a forced-scalar run and a native run produce
+// byte-identical results. Tail elements (n not a multiple of the block) are
+// processed with the same scalar code in every backend.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpw::simd {
+
+/// Instruction-set level of a kernel backend, ordered by preference.
+enum class Isa : int { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3 };
+
+/// Stable lowercase name ("scalar", "sse2", "avx2", "neon").
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// Width of the canonical accumulation block, in doubles. Every backend —
+/// whatever its register width — implements this blocking so results agree.
+inline constexpr std::size_t kBlock = 4;
+
+/// One backend's kernel implementations. All pointers are always non-null.
+struct Kernels {
+  Isa isa = Isa::kScalar;
+
+  /// Prefix sums of x and x²: sum[0] = sumsq[0] = 0,
+  /// sum[i+1] = x_0 + … + x_i in blocked Kogge–Stone association.
+  void (*prefix_sums)(const double* x, std::size_t n, double* sum,
+                      double* sumsq);
+
+  /// out[i] = data[2i]² + data[2i+1]² over interleaved complex data
+  /// (squared magnitude of the first n entries).
+  void (*magnitude)(const double* interleaved, std::size_t n, double* out);
+
+  /// One radix-2 Cooley–Tukey stage of length `len` over `n` interleaved
+  /// complex doubles. `twiddle` holds len/2 interleaved (re, im) factors.
+  /// The len == 2 stage (unit twiddle) is plain add/sub in every backend.
+  void (*fft_pass)(double* data, std::size_t n, std::size_t len,
+                   const double* twiddle);
+
+  /// Blocked-lane sum of x.
+  double (*sum)(const double* x, std::size_t n);
+
+  /// Centered second moments about (mx, my): out = {Σdx², Σdxdy, Σdy²}.
+  void (*centered_moments)(const double* x, const double* y, std::size_t n,
+                           double mx, double my, double* out3);
+
+  /// dist[j] = sqrt((xi − x[j])² + (yi − y[j])²), j in [0, m).
+  void (*row_distances)(double xi, double yi, const double* x, const double* y,
+                        std::size_t m, double* dist);
+
+  /// One SMACOF Guttman-transform row: with
+  /// ratio_j = dist[j] > 1e-12 ? disparity[j] / dist[j] : 0,
+  /// tx_j = ratio_j·(xi − x[j]) and ty_j likewise, accumulates
+  /// acc2 = {Σtx, Σty} (blocked lanes) and updates nx[j] −= tx_j,
+  /// ny[j] −= ty_j elementwise.
+  void (*guttman_row)(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t m, double* nx, double* ny, double* acc2);
+
+  /// out2 = {Σa², Σb²} (two independent blocked reductions).
+  void (*sumsq2)(const double* a, const double* b, std::size_t n, double* out2);
+
+  /// out2 = {Σ(a − b)², Σa²} — the stress-1 numerator and denominator.
+  void (*stress_terms)(const double* a, const double* b, std::size_t n,
+                       double* out2);
+
+  /// Advances four interleaved xoshiro256++ lanes and writes n uniforms in
+  /// [0, 1) with 52 random bits; out[i] comes from lane i mod 4. `state` is
+  /// 16 words laid out state[word·4 + lane]. Every call advances all four
+  /// lanes ⌈n/4⌉ steps (draws past n are discarded), so the stream depends
+  /// only on the sequence of requested lengths.
+  void (*xoshiro4_uniform_fill)(std::uint64_t* state, double* out,
+                                std::size_t n);
+};
+
+/// The dispatched table: best available ISA, or the CPW_SIMD override,
+/// resolved once on first use and reported via the cpw_simd_dispatch gauge.
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// ISA of the active table.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Backend table for a specific ISA, or nullptr when that backend is not
+/// compiled in or the CPU lacks the instruction set. `kScalar` never fails.
+[[nodiscard]] const Kernels* kernels_for(Isa isa) noexcept;
+
+/// Forces the active table (test/bench hook; also what CPW_SIMD resolves
+/// through). Returns false and leaves the dispatch unchanged when the
+/// backend is unavailable. Not meant to race in-flight kernels: switch
+/// between runs, not during one.
+bool set_active(Isa isa) noexcept;
+
+}  // namespace cpw::simd

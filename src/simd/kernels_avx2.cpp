@@ -1,0 +1,288 @@
+// AVX2 backend: 4 doubles (or 2 interleaved complex doubles) per 256-bit
+// register. Reductions keep one accumulator register whose four lanes are
+// exactly the canonical lanes (element i mod 4), so the final combine —
+// done in scalar, (l0 + l1) + (l2 + l3) — reproduces the scalar backend
+// bit for bit. No FMA: multiplies and adds stay separate IEEE operations.
+
+#if defined(CPW_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "backends.hpp"
+
+namespace cpw::simd::detail {
+
+namespace {
+
+inline double lane3(__m256d v) noexcept {
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  return _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+}
+
+inline void store_lanes(__m256d v, double* out) noexcept {
+  _mm256_storeu_pd(out, v);
+}
+
+/// In-register inclusive prefix of one 4-lane block (Kogge–Stone):
+/// returns [x0, x0+x1, t0+t2, t1+t3] with t = [x0, x0+x1, x1+x2, x2+x3].
+/// Shifted-out lanes are blended through untouched (not added to zero), so
+/// signed zeros match the scalar reference bit for bit.
+inline __m256d block_prefix(__m256d v) noexcept {
+  const __m256d t = _mm256_blend_pd(
+      _mm256_add_pd(v, _mm256_permute4x64_pd(v, _MM_SHUFFLE(2, 1, 0, 0))), v,
+      0x1);
+  return _mm256_blend_pd(
+      _mm256_add_pd(t, _mm256_permute4x64_pd(t, _MM_SHUFFLE(1, 0, 0, 0))), t,
+      0x3);
+}
+
+void prefix_sums_avx2(const double* x, std::size_t n, double* sum,
+                      double* sumsq) {
+  sum[0] = 0.0;
+  sumsq[0] = 0.0;
+  __m256d carry_s = _mm256_setzero_pd();
+  __m256d carry_q = _mm256_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    const __m256d ps = _mm256_add_pd(block_prefix(v), carry_s);
+    store_lanes(ps, sum + i + 1);
+    carry_s = _mm256_set1_pd(lane3(ps));
+
+    const __m256d v2 = _mm256_mul_pd(v, v);
+    const __m256d pq = _mm256_add_pd(block_prefix(v2), carry_q);
+    store_lanes(pq, sumsq + i + 1);
+    carry_q = _mm256_set1_pd(lane3(pq));
+  }
+  prefix_sums_tail(x, main, n, sum, sumsq, _mm256_cvtsd_f64(carry_s),
+                   _mm256_cvtsd_f64(carry_q));
+}
+
+void magnitude_avx2(const double* interleaved, std::size_t n, double* out) {
+  const std::size_t main = n - n % 4;
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d a = _mm256_loadu_pd(interleaved + 2 * i);      // r0 i0 r1 i1
+    const __m256d b = _mm256_loadu_pd(interleaved + 2 * i + 4);  // r2 i2 r3 i3
+    const __m256d ha = _mm256_hadd_pd(_mm256_mul_pd(a, a), _mm256_mul_pd(b, b));
+    // hadd lane order is [m0, m2, m1, m3]; restore element order.
+    _mm256_storeu_pd(out + i,
+                     _mm256_permute4x64_pd(ha, _MM_SHUFFLE(3, 1, 2, 0)));
+  }
+  magnitude_tail(interleaved, main, n, out);
+}
+
+/// Complex product v·w for two interleaved complex doubles per register:
+/// even lanes get re = vr·wr − vi·wi, odd lanes im = vi·wr + vr·wi.
+inline __m256d complex_mul(__m256d v, __m256d w) noexcept {
+  const __m256d wr = _mm256_movedup_pd(w);           // wr0 wr0 wr1 wr1
+  const __m256d wi = _mm256_permute_pd(w, 0xF);      // wi0 wi0 wi1 wi1
+  const __m256d vswap = _mm256_permute_pd(v, 0x5);   // vi0 vr0 vi1 vr1
+  return _mm256_addsub_pd(_mm256_mul_pd(v, wr), _mm256_mul_pd(vswap, wi));
+}
+
+void fft_pass_avx2(double* data, std::size_t n, std::size_t len,
+                   const double* twiddle) {
+  const std::size_t half = len / 2;
+  if (len == 2) {
+    // Unit twiddle: plain add/sub butterfly on adjacent complex pairs.
+    for (std::size_t base = 0; base < n; base += 2) {
+      const __m128d u = _mm_loadu_pd(data + 2 * base);
+      const __m128d v = _mm_loadu_pd(data + 2 * base + 2);
+      _mm_storeu_pd(data + 2 * base, _mm_add_pd(u, v));
+      _mm_storeu_pd(data + 2 * base + 2, _mm_sub_pd(u, v));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += len) {
+    double* lo = data + 2 * base;
+    double* hi = lo + 2 * half;
+    for (std::size_t k = 0; k < half; k += 2) {  // half is even for len >= 4
+      const __m256d u = _mm256_loadu_pd(lo + 2 * k);
+      const __m256d w = _mm256_loadu_pd(twiddle + 2 * k);
+      const __m256d v = complex_mul(_mm256_loadu_pd(hi + 2 * k), w);
+      _mm256_storeu_pd(lo + 2 * k, _mm256_add_pd(u, v));
+      _mm256_storeu_pd(hi + 2 * k, _mm256_sub_pd(u, v));
+    }
+  }
+}
+
+double sum_avx2(const double* x, std::size_t n) {
+  __m256d accv = _mm256_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    accv = _mm256_add_pd(accv, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double acc[kBlock];
+  _mm256_store_pd(acc, accv);
+  sum_tail(x, main, n, acc);
+  return combine_lanes(acc);
+}
+
+void centered_moments_avx2(const double* x, const double* y, std::size_t n,
+                           double mx, double my, double* out3) {
+  __m256d axx = _mm256_setzero_pd();
+  __m256d axy = _mm256_setzero_pd();
+  __m256d ayy = _mm256_setzero_pd();
+  const __m256d mxv = _mm256_set1_pd(mx);
+  const __m256d myv = _mm256_set1_pd(my);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), mxv);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), myv);
+    axx = _mm256_add_pd(axx, _mm256_mul_pd(dx, dx));
+    axy = _mm256_add_pd(axy, _mm256_mul_pd(dx, dy));
+    ayy = _mm256_add_pd(ayy, _mm256_mul_pd(dy, dy));
+  }
+  alignas(32) double lxx[kBlock], lxy[kBlock], lyy[kBlock];
+  _mm256_store_pd(lxx, axx);
+  _mm256_store_pd(lxy, axy);
+  _mm256_store_pd(lyy, ayy);
+  centered_moments_tail(x, y, main, n, mx, my, lxx, lxy, lyy);
+  out3[0] = combine_lanes(lxx);
+  out3[1] = combine_lanes(lxy);
+  out3[2] = combine_lanes(lyy);
+}
+
+void row_distances_avx2(double xi, double yi, const double* x, const double* y,
+                        std::size_t m, double* dist) {
+  const __m256d xiv = _mm256_set1_pd(xi);
+  const __m256d yiv = _mm256_set1_pd(yi);
+  const std::size_t main = m - m % kBlock;
+  for (std::size_t j = 0; j < main; j += kBlock) {
+    const __m256d dx = _mm256_sub_pd(xiv, _mm256_loadu_pd(x + j));
+    const __m256d dy = _mm256_sub_pd(yiv, _mm256_loadu_pd(y + j));
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(dist + j, _mm256_sqrt_pd(sq));
+  }
+  row_distances_tail(xi, yi, x, y, main, m, dist);
+}
+
+void guttman_row_avx2(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t m, double* nx, double* ny, double* acc2) {
+  const __m256d xiv = _mm256_set1_pd(xi);
+  const __m256d yiv = _mm256_set1_pd(yi);
+  const __m256d eps = _mm256_set1_pd(1e-12);
+  __m256d accx = _mm256_setzero_pd();
+  __m256d accy = _mm256_setzero_pd();
+  const std::size_t main = m - m % kBlock;
+  for (std::size_t j = 0; j < main; j += kBlock) {
+    const __m256d d = _mm256_loadu_pd(dist + j);
+    const __m256d mask = _mm256_cmp_pd(d, eps, _CMP_GT_OQ);
+    const __m256d ratio = _mm256_and_pd(
+        mask, _mm256_div_pd(_mm256_loadu_pd(disparity + j), d));
+    const __m256d tx =
+        _mm256_mul_pd(ratio, _mm256_sub_pd(xiv, _mm256_loadu_pd(x + j)));
+    const __m256d ty =
+        _mm256_mul_pd(ratio, _mm256_sub_pd(yiv, _mm256_loadu_pd(y + j)));
+    accx = _mm256_add_pd(accx, tx);
+    accy = _mm256_add_pd(accy, ty);
+    _mm256_storeu_pd(nx + j, _mm256_sub_pd(_mm256_loadu_pd(nx + j), tx));
+    _mm256_storeu_pd(ny + j, _mm256_sub_pd(_mm256_loadu_pd(ny + j), ty));
+  }
+  alignas(32) double lx[kBlock], ly[kBlock];
+  _mm256_store_pd(lx, accx);
+  _mm256_store_pd(ly, accy);
+  guttman_row_tail(xi, yi, x, y, dist, disparity, main, m, nx, ny, lx, ly);
+  acc2[0] = combine_lanes(lx);
+  acc2[1] = combine_lanes(ly);
+}
+
+void sumsq2_avx2(const double* a, const double* b, std::size_t n,
+                 double* out2) {
+  __m256d acca = _mm256_setzero_pd();
+  __m256d accb = _mm256_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m256d av = _mm256_loadu_pd(a + i);
+    const __m256d bv = _mm256_loadu_pd(b + i);
+    acca = _mm256_add_pd(acca, _mm256_mul_pd(av, av));
+    accb = _mm256_add_pd(accb, _mm256_mul_pd(bv, bv));
+  }
+  alignas(32) double la[kBlock], lb[kBlock];
+  _mm256_store_pd(la, acca);
+  _mm256_store_pd(lb, accb);
+  sumsq2_tail(a, b, main, n, la, lb);
+  out2[0] = combine_lanes(la);
+  out2[1] = combine_lanes(lb);
+}
+
+void stress_terms_avx2(const double* a, const double* b, std::size_t n,
+                       double* out2) {
+  __m256d num = _mm256_setzero_pd();
+  __m256d den = _mm256_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m256d av = _mm256_loadu_pd(a + i);
+    const __m256d diff = _mm256_sub_pd(av, _mm256_loadu_pd(b + i));
+    num = _mm256_add_pd(num, _mm256_mul_pd(diff, diff));
+    den = _mm256_add_pd(den, _mm256_mul_pd(av, av));
+  }
+  alignas(32) double ln[kBlock], ld[kBlock];
+  _mm256_store_pd(ln, num);
+  _mm256_store_pd(ld, den);
+  stress_terms_tail(a, b, main, n, ln, ld);
+  out2[0] = combine_lanes(ln);
+  out2[1] = combine_lanes(ld);
+}
+
+inline __m256i rotl64_avx2(__m256i v, int k) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi64(v, k), _mm256_srli_epi64(v, 64 - k));
+}
+
+/// Advances all four lanes one step and returns the four uniforms.
+inline __m256d xoshiro4_step(__m256i s[4]) noexcept {
+  const __m256i result =
+      _mm256_add_epi64(rotl64_avx2(_mm256_add_epi64(s[0], s[3]), 23), s[0]);
+  const __m256i t = _mm256_slli_epi64(s[1], 17);
+  s[2] = _mm256_xor_si256(s[2], s[0]);
+  s[3] = _mm256_xor_si256(s[3], s[1]);
+  s[1] = _mm256_xor_si256(s[1], s[2]);
+  s[0] = _mm256_xor_si256(s[0], s[3]);
+  s[2] = _mm256_xor_si256(s[2], t);
+  s[3] = rotl64_avx2(s[3], 45);
+  // (result >> 12) < 2^52: u64→f64 via the exponent-bias trick is exact.
+  const __m256i mant = _mm256_srli_epi64(result, 12);
+  const __m256d biased = _mm256_castsi256_pd(
+      _mm256_or_si256(mant, _mm256_set1_epi64x(0x4330000000000000LL)));
+  const __m256d exact =
+      _mm256_sub_pd(biased, _mm256_set1_pd(0x1.0p52));
+  return _mm256_mul_pd(exact, _mm256_set1_pd(0x1.0p-52));
+}
+
+void xoshiro4_uniform_fill_avx2(std::uint64_t* state, double* out,
+                                std::size_t n) {
+  __m256i s[4];
+  for (int w = 0; w < 4; ++w) {
+    s[w] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + 4 * w));
+  }
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    _mm256_storeu_pd(out + i, xoshiro4_step(s));
+  }
+  if (main < n) {
+    alignas(32) double last[kBlock];
+    _mm256_store_pd(last, xoshiro4_step(s));
+    for (std::size_t i = main; i < n; ++i) out[i] = last[i - main];
+  }
+  for (int w = 0; w < 4; ++w) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + 4 * w), s[w]);
+  }
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept {
+  static const Kernels table = {
+      Isa::kAvx2,          prefix_sums_avx2,   magnitude_avx2,
+      fft_pass_avx2,       sum_avx2,           centered_moments_avx2,
+      row_distances_avx2,  guttman_row_avx2,   sumsq2_avx2,
+      stress_terms_avx2,   xoshiro4_uniform_fill_avx2,
+  };
+  return table;
+}
+
+}  // namespace cpw::simd::detail
+
+#endif  // CPW_SIMD_HAVE_AVX2

@@ -1,0 +1,317 @@
+// NEON (aarch64) backend: two 128-bit registers emulate one canonical
+// 4-lane block, mirroring the SSE2 backend. vmul/vadd stay separate IEEE
+// operations (the library builds with -ffp-contract=off and no vfma is
+// used), so results are bit-identical to the scalar reference.
+
+#if defined(CPW_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "backends.hpp"
+
+namespace cpw::simd::detail {
+
+namespace {
+
+template <int K>
+inline uint64x2_t rotl64_neon(uint64x2_t v) noexcept {
+  return vorrq_u64(vshlq_n_u64(v, K), vshrq_n_u64(v, 64 - K));
+}
+
+void prefix_sums_neon(const double* x, std::size_t n, double* sum,
+                      double* sumsq) {
+  sum[0] = 0.0;
+  sumsq[0] = 0.0;
+  float64x2_t carry_s = vdupq_n_f64(0.0);
+  float64x2_t carry_q = vdupq_n_f64(0.0);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const float64x2_t a = vld1q_f64(x + i);      // x0 x1
+    const float64x2_t b = vld1q_f64(x + i + 2);  // x2 x3
+    // t = v + (v << 1): ta = [x0, x0+x1], tb = [x1+x2, x2+x3]; lane 0 of
+    // ta passes through untouched so a signed zero keeps its sign.
+    const float64x2_t ta = vsetq_lane_f64(
+        vgetq_lane_f64(a, 0), vaddq_f64(a, vextq_f64(a, a, 1)), 0);
+    const float64x2_t tb = vaddq_f64(b, vextq_f64(a, b, 1));
+    const float64x2_t pb = vaddq_f64(tb, ta);
+    const float64x2_t sa = vaddq_f64(ta, carry_s);
+    const float64x2_t sb = vaddq_f64(pb, carry_s);
+    vst1q_f64(sum + i + 1, sa);
+    vst1q_f64(sum + i + 3, sb);
+    carry_s = vdupq_laneq_f64(sb, 1);
+
+    const float64x2_t a2 = vmulq_f64(a, a);
+    const float64x2_t b2 = vmulq_f64(b, b);
+    const float64x2_t ua = vsetq_lane_f64(
+        vgetq_lane_f64(a2, 0), vaddq_f64(a2, vextq_f64(a2, a2, 1)), 0);
+    const float64x2_t ub = vaddq_f64(b2, vextq_f64(a2, b2, 1));
+    const float64x2_t vb = vaddq_f64(ub, ua);
+    const float64x2_t qa = vaddq_f64(ua, carry_q);
+    const float64x2_t qb = vaddq_f64(vb, carry_q);
+    vst1q_f64(sumsq + i + 1, qa);
+    vst1q_f64(sumsq + i + 3, qb);
+    carry_q = vdupq_laneq_f64(qb, 1);
+  }
+  prefix_sums_tail(x, main, n, sum, sumsq, vgetq_lane_f64(carry_s, 0),
+                   vgetq_lane_f64(carry_q, 0));
+}
+
+void magnitude_neon(const double* interleaved, std::size_t n, double* out) {
+  const std::size_t main = n - n % 2;
+  for (std::size_t i = 0; i < main; i += 2) {
+    const float64x2_t a = vld1q_f64(interleaved + 2 * i);      // r0 i0
+    const float64x2_t b = vld1q_f64(interleaved + 2 * i + 2);  // r1 i1
+    vst1q_f64(out + i, vpaddq_f64(vmulq_f64(a, a), vmulq_f64(b, b)));
+  }
+  magnitude_tail(interleaved, main, n, out);
+}
+
+/// Complex product v·w, one complex double per register.
+inline float64x2_t complex_mul(float64x2_t v, float64x2_t w) noexcept {
+  const float64x2_t wr = vdupq_laneq_f64(w, 0);
+  const float64x2_t wi = vdupq_laneq_f64(w, 1);
+  const float64x2_t vswap = vextq_f64(v, v, 1);  // vi vr
+  const float64x2_t t2 = vmulq_f64(vswap, wi);   // vi·wi, vr·wi
+  const uint64x2_t sign = vcombine_u64(vcreate_u64(0x8000000000000000ULL),
+                                       vcreate_u64(0));  // negate even lane
+  const float64x2_t t2s =
+      vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(t2), sign));
+  return vaddq_f64(vmulq_f64(v, wr), t2s);
+}
+
+void fft_pass_neon(double* data, std::size_t n, std::size_t len,
+                   const double* twiddle) {
+  const std::size_t half = len / 2;
+  if (len == 2) {
+    for (std::size_t base = 0; base < n; base += 2) {
+      const float64x2_t u = vld1q_f64(data + 2 * base);
+      const float64x2_t v = vld1q_f64(data + 2 * base + 2);
+      vst1q_f64(data + 2 * base, vaddq_f64(u, v));
+      vst1q_f64(data + 2 * base + 2, vsubq_f64(u, v));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += len) {
+    double* lo = data + 2 * base;
+    double* hi = lo + 2 * half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const float64x2_t u = vld1q_f64(lo + 2 * k);
+      const float64x2_t w = vld1q_f64(twiddle + 2 * k);
+      const float64x2_t v = complex_mul(vld1q_f64(hi + 2 * k), w);
+      vst1q_f64(lo + 2 * k, vaddq_f64(u, v));
+      vst1q_f64(hi + 2 * k, vsubq_f64(u, v));
+    }
+  }
+}
+
+double sum_neon(const double* x, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    acc01 = vaddq_f64(acc01, vld1q_f64(x + i));
+    acc23 = vaddq_f64(acc23, vld1q_f64(x + i + 2));
+  }
+  double acc[kBlock];
+  vst1q_f64(acc, acc01);
+  vst1q_f64(acc + 2, acc23);
+  sum_tail(x, main, n, acc);
+  return combine_lanes(acc);
+}
+
+void centered_moments_neon(const double* x, const double* y, std::size_t n,
+                           double mx, double my, double* out3) {
+  float64x2_t xx0 = vdupq_n_f64(0.0), xx1 = vdupq_n_f64(0.0);
+  float64x2_t xy0 = vdupq_n_f64(0.0), xy1 = vdupq_n_f64(0.0);
+  float64x2_t yy0 = vdupq_n_f64(0.0), yy1 = vdupq_n_f64(0.0);
+  const float64x2_t mxv = vdupq_n_f64(mx);
+  const float64x2_t myv = vdupq_n_f64(my);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const float64x2_t dxa = vsubq_f64(vld1q_f64(x + i), mxv);
+    const float64x2_t dxb = vsubq_f64(vld1q_f64(x + i + 2), mxv);
+    const float64x2_t dya = vsubq_f64(vld1q_f64(y + i), myv);
+    const float64x2_t dyb = vsubq_f64(vld1q_f64(y + i + 2), myv);
+    xx0 = vaddq_f64(xx0, vmulq_f64(dxa, dxa));
+    xx1 = vaddq_f64(xx1, vmulq_f64(dxb, dxb));
+    xy0 = vaddq_f64(xy0, vmulq_f64(dxa, dya));
+    xy1 = vaddq_f64(xy1, vmulq_f64(dxb, dyb));
+    yy0 = vaddq_f64(yy0, vmulq_f64(dya, dya));
+    yy1 = vaddq_f64(yy1, vmulq_f64(dyb, dyb));
+  }
+  double lxx[kBlock], lxy[kBlock], lyy[kBlock];
+  vst1q_f64(lxx, xx0);
+  vst1q_f64(lxx + 2, xx1);
+  vst1q_f64(lxy, xy0);
+  vst1q_f64(lxy + 2, xy1);
+  vst1q_f64(lyy, yy0);
+  vst1q_f64(lyy + 2, yy1);
+  centered_moments_tail(x, y, main, n, mx, my, lxx, lxy, lyy);
+  out3[0] = combine_lanes(lxx);
+  out3[1] = combine_lanes(lxy);
+  out3[2] = combine_lanes(lyy);
+}
+
+void row_distances_neon(double xi, double yi, const double* x, const double* y,
+                        std::size_t m, double* dist) {
+  const float64x2_t xiv = vdupq_n_f64(xi);
+  const float64x2_t yiv = vdupq_n_f64(yi);
+  const std::size_t main = m - m % 2;
+  for (std::size_t j = 0; j < main; j += 2) {
+    const float64x2_t dx = vsubq_f64(xiv, vld1q_f64(x + j));
+    const float64x2_t dy = vsubq_f64(yiv, vld1q_f64(y + j));
+    const float64x2_t sq = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+    vst1q_f64(dist + j, vsqrtq_f64(sq));
+  }
+  row_distances_tail(xi, yi, x, y, main, m, dist);
+}
+
+void guttman_row_neon(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t m, double* nx, double* ny, double* acc2) {
+  const float64x2_t xiv = vdupq_n_f64(xi);
+  const float64x2_t yiv = vdupq_n_f64(yi);
+  const float64x2_t eps = vdupq_n_f64(1e-12);
+  float64x2_t ax0 = vdupq_n_f64(0.0), ax1 = vdupq_n_f64(0.0);
+  float64x2_t ay0 = vdupq_n_f64(0.0), ay1 = vdupq_n_f64(0.0);
+  const std::size_t main = m - m % kBlock;
+  for (std::size_t j = 0; j < main; j += kBlock) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      const std::size_t o = j + 2 * h;
+      const float64x2_t d = vld1q_f64(dist + o);
+      const uint64x2_t mask = vcgtq_f64(d, eps);
+      const float64x2_t ratio = vreinterpretq_f64_u64(vandq_u64(
+          mask,
+          vreinterpretq_u64_f64(vdivq_f64(vld1q_f64(disparity + o), d))));
+      const float64x2_t tx =
+          vmulq_f64(ratio, vsubq_f64(xiv, vld1q_f64(x + o)));
+      const float64x2_t ty =
+          vmulq_f64(ratio, vsubq_f64(yiv, vld1q_f64(y + o)));
+      if (h == 0) {
+        ax0 = vaddq_f64(ax0, tx);
+        ay0 = vaddq_f64(ay0, ty);
+      } else {
+        ax1 = vaddq_f64(ax1, tx);
+        ay1 = vaddq_f64(ay1, ty);
+      }
+      vst1q_f64(nx + o, vsubq_f64(vld1q_f64(nx + o), tx));
+      vst1q_f64(ny + o, vsubq_f64(vld1q_f64(ny + o), ty));
+    }
+  }
+  double lx[kBlock], ly[kBlock];
+  vst1q_f64(lx, ax0);
+  vst1q_f64(lx + 2, ax1);
+  vst1q_f64(ly, ay0);
+  vst1q_f64(ly + 2, ay1);
+  guttman_row_tail(xi, yi, x, y, dist, disparity, main, m, nx, ny, lx, ly);
+  acc2[0] = combine_lanes(lx);
+  acc2[1] = combine_lanes(ly);
+}
+
+void sumsq2_neon(const double* a, const double* b, std::size_t n,
+                 double* out2) {
+  float64x2_t aa0 = vdupq_n_f64(0.0), aa1 = vdupq_n_f64(0.0);
+  float64x2_t bb0 = vdupq_n_f64(0.0), bb1 = vdupq_n_f64(0.0);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const float64x2_t a0 = vld1q_f64(a + i);
+    const float64x2_t a1 = vld1q_f64(a + i + 2);
+    const float64x2_t b0 = vld1q_f64(b + i);
+    const float64x2_t b1 = vld1q_f64(b + i + 2);
+    aa0 = vaddq_f64(aa0, vmulq_f64(a0, a0));
+    aa1 = vaddq_f64(aa1, vmulq_f64(a1, a1));
+    bb0 = vaddq_f64(bb0, vmulq_f64(b0, b0));
+    bb1 = vaddq_f64(bb1, vmulq_f64(b1, b1));
+  }
+  double la[kBlock], lb[kBlock];
+  vst1q_f64(la, aa0);
+  vst1q_f64(la + 2, aa1);
+  vst1q_f64(lb, bb0);
+  vst1q_f64(lb + 2, bb1);
+  sumsq2_tail(a, b, main, n, la, lb);
+  out2[0] = combine_lanes(la);
+  out2[1] = combine_lanes(lb);
+}
+
+void stress_terms_neon(const double* a, const double* b, std::size_t n,
+                       double* out2) {
+  float64x2_t nu0 = vdupq_n_f64(0.0), nu1 = vdupq_n_f64(0.0);
+  float64x2_t de0 = vdupq_n_f64(0.0), de1 = vdupq_n_f64(0.0);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const float64x2_t a0 = vld1q_f64(a + i);
+    const float64x2_t a1 = vld1q_f64(a + i + 2);
+    const float64x2_t d0 = vsubq_f64(a0, vld1q_f64(b + i));
+    const float64x2_t d1 = vsubq_f64(a1, vld1q_f64(b + i + 2));
+    nu0 = vaddq_f64(nu0, vmulq_f64(d0, d0));
+    nu1 = vaddq_f64(nu1, vmulq_f64(d1, d1));
+    de0 = vaddq_f64(de0, vmulq_f64(a0, a0));
+    de1 = vaddq_f64(de1, vmulq_f64(a1, a1));
+  }
+  double ln[kBlock], ld[kBlock];
+  vst1q_f64(ln, nu0);
+  vst1q_f64(ln + 2, nu1);
+  vst1q_f64(ld, de0);
+  vst1q_f64(ld + 2, de1);
+  stress_terms_tail(a, b, main, n, ln, ld);
+  out2[0] = combine_lanes(ln);
+  out2[1] = combine_lanes(ld);
+}
+
+/// Advances all four lanes one step; writes the four uniforms to out4.
+inline void xoshiro4_step_neon(uint64x2_t s[4][2], double* out4) noexcept {
+  for (int h = 0; h < 2; ++h) {
+    const uint64x2_t result = vaddq_u64(
+        rotl64_neon<23>(vaddq_u64(s[0][h], s[3][h])), s[0][h]);
+    const uint64x2_t t = vshlq_n_u64(s[1][h], 17);
+    s[2][h] = veorq_u64(s[2][h], s[0][h]);
+    s[3][h] = veorq_u64(s[3][h], s[1][h]);
+    s[1][h] = veorq_u64(s[1][h], s[2][h]);
+    s[0][h] = veorq_u64(s[0][h], s[3][h]);
+    s[2][h] = veorq_u64(s[2][h], t);
+    s[3][h] = rotl64_neon<45>(s[3][h]);
+    // (result >> 12) < 2^52, so the u64→f64 conversion is exact.
+    const float64x2_t exact = vcvtq_f64_u64(vshrq_n_u64(result, 12));
+    vst1q_f64(out4 + 2 * h, vmulq_f64(exact, vdupq_n_f64(0x1.0p-52)));
+  }
+}
+
+void xoshiro4_uniform_fill_neon(std::uint64_t* state, double* out,
+                                std::size_t n) {
+  uint64x2_t s[4][2];
+  for (int w = 0; w < 4; ++w) {
+    for (int h = 0; h < 2; ++h) {
+      s[w][h] = vld1q_u64(state + 4 * w + 2 * h);
+    }
+  }
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    xoshiro4_step_neon(s, out + i);
+  }
+  if (main < n) {
+    double last[kBlock];
+    xoshiro4_step_neon(s, last);
+    for (std::size_t i = main; i < n; ++i) out[i] = last[i - main];
+  }
+  for (int w = 0; w < 4; ++w) {
+    for (int h = 0; h < 2; ++h) {
+      vst1q_u64(state + 4 * w + 2 * h, s[w][h]);
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels& neon_kernels() noexcept {
+  static const Kernels table = {
+      Isa::kNeon,          prefix_sums_neon,   magnitude_neon,
+      fft_pass_neon,       sum_neon,           centered_moments_neon,
+      row_distances_neon,  guttman_row_neon,   sumsq2_neon,
+      stress_terms_neon,   xoshiro4_uniform_fill_neon,
+  };
+  return table;
+}
+
+}  // namespace cpw::simd::detail
+
+#endif  // CPW_SIMD_HAVE_NEON

@@ -1,0 +1,274 @@
+// Portable scalar backend — the canonical bit-exactness reference. Every
+// kernel here spells out the exact association order (4-lane blocked
+// reductions, blocked Kogge–Stone prefix) that the vector backends
+// reproduce with SIMD registers; the tail helpers at the bottom are shared
+// by all backends so leftover elements associate identically everywhere.
+
+#include <cmath>
+
+#include "backends.hpp"
+
+namespace cpw::simd::detail {
+
+namespace {
+
+void prefix_sums_scalar(const double* x, std::size_t n, double* sum,
+                        double* sumsq) {
+  sum[0] = 0.0;
+  sumsq[0] = 0.0;
+  double s = 0.0, q = 0.0;
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    // Kogge–Stone within the block: t = v + (v << 1), p = t + (t << 2),
+    // where the shifted-out lanes pass through untouched (vector backends
+    // blend them back rather than adding zero, so signed zeros survive).
+    const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+    const double t0 = x0, t1 = x0 + x1, t2 = x1 + x2, t3 = x2 + x3;
+    const double p0 = t0, p1 = t1, p2 = t0 + t2, p3 = t1 + t3;
+    sum[i + 1] = s + p0;
+    sum[i + 2] = s + p1;
+    sum[i + 3] = s + p2;
+    sum[i + 4] = s + p3;
+    s = sum[i + 4];
+
+    const double y0 = x0 * x0, y1 = x1 * x1, y2 = x2 * x2, y3 = x3 * x3;
+    const double u0 = y0, u1 = y0 + y1, u2 = y1 + y2, u3 = y2 + y3;
+    const double v0 = u0, v1 = u1, v2 = u0 + u2, v3 = u1 + u3;
+    sumsq[i + 1] = q + v0;
+    sumsq[i + 2] = q + v1;
+    sumsq[i + 3] = q + v2;
+    sumsq[i + 4] = q + v3;
+    q = sumsq[i + 4];
+  }
+  prefix_sums_tail(x, main, n, sum, sumsq, s, q);
+}
+
+void magnitude_scalar(const double* interleaved, std::size_t n, double* out) {
+  magnitude_tail(interleaved, 0, n, out);
+}
+
+void fft_pass_scalar(double* data, std::size_t n, std::size_t len,
+                     const double* twiddle) {
+  const std::size_t half = len / 2;
+  if (len == 2) {
+    // Unit twiddle: plain add/sub (canonical across backends — skipping the
+    // multiply keeps signed zeros identical everywhere).
+    for (std::size_t base = 0; base < n; base += 2) {
+      double* u = data + 2 * base;
+      double* v = u + 2;
+      const double ur = u[0], ui = u[1], vr = v[0], vi = v[1];
+      u[0] = ur + vr;
+      u[1] = ui + vi;
+      v[0] = ur - vr;
+      v[1] = ui - vi;
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += len) {
+    fft_butterflies_tail(data, base, half, twiddle, 0, half);
+  }
+}
+
+double sum_scalar(const double* x, std::size_t n) {
+  double acc[kBlock] = {0.0, 0.0, 0.0, 0.0};
+  sum_tail(x, 0, n, acc);
+  return combine_lanes(acc);
+}
+
+void centered_moments_scalar(const double* x, const double* y, std::size_t n,
+                             double mx, double my, double* out3) {
+  double axx[kBlock] = {}, axy[kBlock] = {}, ayy[kBlock] = {};
+  centered_moments_tail(x, y, 0, n, mx, my, axx, axy, ayy);
+  out3[0] = combine_lanes(axx);
+  out3[1] = combine_lanes(axy);
+  out3[2] = combine_lanes(ayy);
+}
+
+void row_distances_scalar(double xi, double yi, const double* x,
+                          const double* y, std::size_t m, double* dist) {
+  row_distances_tail(xi, yi, x, y, 0, m, dist);
+}
+
+void guttman_row_scalar(double xi, double yi, const double* x, const double* y,
+                        const double* dist, const double* disparity,
+                        std::size_t m, double* nx, double* ny, double* acc2) {
+  double accx[kBlock] = {}, accy[kBlock] = {};
+  guttman_row_tail(xi, yi, x, y, dist, disparity, 0, m, nx, ny, accx, accy);
+  acc2[0] = combine_lanes(accx);
+  acc2[1] = combine_lanes(accy);
+}
+
+void sumsq2_scalar(const double* a, const double* b, std::size_t n,
+                   double* out2) {
+  double acca[kBlock] = {}, accb[kBlock] = {};
+  sumsq2_tail(a, b, 0, n, acca, accb);
+  out2[0] = combine_lanes(acca);
+  out2[1] = combine_lanes(accb);
+}
+
+void stress_terms_scalar(const double* a, const double* b, std::size_t n,
+                         double* out2) {
+  double num[kBlock] = {}, den[kBlock] = {};
+  stress_terms_tail(a, b, 0, n, num, den);
+  out2[0] = combine_lanes(num);
+  out2[1] = combine_lanes(den);
+}
+
+void xoshiro4_uniform_fill_scalar(std::uint64_t* state, double* out,
+                                  std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t emit = n - i < kBlock ? n - i : kBlock;
+    xoshiro4_step_scalar(state, out + i, emit);
+    i += emit;
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept {
+  static const Kernels table = {
+      Isa::kScalar,          prefix_sums_scalar,   magnitude_scalar,
+      fft_pass_scalar,       sum_scalar,           centered_moments_scalar,
+      row_distances_scalar,  guttman_row_scalar,   sumsq2_scalar,
+      stress_terms_scalar,   xoshiro4_uniform_fill_scalar,
+  };
+  return table;
+}
+
+// ------------------------------------------------------ shared tail helpers
+
+void prefix_sums_tail(const double* x, std::size_t begin, std::size_t n,
+                      double* sum, double* sumsq, double s, double q) noexcept {
+  for (std::size_t i = begin; i < n; ++i) {
+    s += x[i];
+    q += x[i] * x[i];
+    sum[i + 1] = s;
+    sumsq[i + 1] = q;
+  }
+}
+
+void sum_tail(const double* x, std::size_t begin, std::size_t n,
+              double* acc) noexcept {
+  for (std::size_t i = begin; i < n; ++i) acc[i % kBlock] += x[i];
+}
+
+void centered_moments_tail(const double* x, const double* y, std::size_t begin,
+                           std::size_t n, double mx, double my, double* axx,
+                           double* axy, double* ayy) noexcept {
+  for (std::size_t i = begin; i < n; ++i) {
+    const std::size_t lane = i % kBlock;
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    axx[lane] += dx * dx;
+    axy[lane] += dx * dy;
+    ayy[lane] += dy * dy;
+  }
+}
+
+void row_distances_tail(double xi, double yi, const double* x, const double* y,
+                        std::size_t begin, std::size_t m,
+                        double* dist) noexcept {
+  for (std::size_t j = begin; j < m; ++j) {
+    const double dx = xi - x[j];
+    const double dy = yi - y[j];
+    dist[j] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+void guttman_row_tail(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t begin, std::size_t m, double* nx, double* ny,
+                      double* accx, double* accy) noexcept {
+  for (std::size_t j = begin; j < m; ++j) {
+    const std::size_t lane = j % kBlock;
+    const double ratio = dist[j] > 1e-12 ? disparity[j] / dist[j] : 0.0;
+    const double tx = ratio * (xi - x[j]);
+    const double ty = ratio * (yi - y[j]);
+    accx[lane] += tx;
+    accy[lane] += ty;
+    nx[j] -= tx;
+    ny[j] -= ty;
+  }
+}
+
+void sumsq2_tail(const double* a, const double* b, std::size_t begin,
+                 std::size_t n, double* acca, double* accb) noexcept {
+  for (std::size_t i = begin; i < n; ++i) {
+    const std::size_t lane = i % kBlock;
+    acca[lane] += a[i] * a[i];
+    accb[lane] += b[i] * b[i];
+  }
+}
+
+void stress_terms_tail(const double* a, const double* b, std::size_t begin,
+                       std::size_t n, double* num, double* den) noexcept {
+  for (std::size_t i = begin; i < n; ++i) {
+    const std::size_t lane = i % kBlock;
+    const double diff = a[i] - b[i];
+    num[lane] += diff * diff;
+    den[lane] += a[i] * a[i];
+  }
+}
+
+void magnitude_tail(const double* interleaved, std::size_t begin, std::size_t n,
+                    double* out) noexcept {
+  for (std::size_t i = begin; i < n; ++i) {
+    const double re = interleaved[2 * i];
+    const double im = interleaved[2 * i + 1];
+    out[i] = re * re + im * im;
+  }
+}
+
+void fft_butterflies_tail(double* data, std::size_t base, std::size_t half,
+                          const double* twiddle, std::size_t k_begin,
+                          std::size_t k_end) noexcept {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    double* u = data + 2 * (base + k);
+    double* v = data + 2 * (base + k + half);
+    const double wr = twiddle[2 * k];
+    const double wi = twiddle[2 * k + 1];
+    const double vr = v[0] * wr - v[1] * wi;
+    const double vi = v[0] * wi + v[1] * wr;
+    const double ur = u[0];
+    const double ui = u[1];
+    u[0] = ur + vr;
+    u[1] = ui + vi;
+    v[0] = ur - vr;
+    v[1] = ui - vi;
+  }
+}
+
+namespace {
+inline std::uint64_t rotl64(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+}  // namespace
+
+void xoshiro4_step_scalar(std::uint64_t* state, double* out,
+                          std::size_t emit) noexcept {
+  std::uint64_t results[kBlock];
+  for (std::size_t lane = 0; lane < kBlock; ++lane) {
+    std::uint64_t s0 = state[0 * kBlock + lane];
+    std::uint64_t s1 = state[1 * kBlock + lane];
+    std::uint64_t s2 = state[2 * kBlock + lane];
+    std::uint64_t s3 = state[3 * kBlock + lane];
+    results[lane] = rotl64(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl64(s3, 45);
+    state[0 * kBlock + lane] = s0;
+    state[1 * kBlock + lane] = s1;
+    state[2 * kBlock + lane] = s2;
+    state[3 * kBlock + lane] = s3;
+  }
+  for (std::size_t lane = 0; lane < emit; ++lane) {
+    out[lane] = static_cast<double>(results[lane] >> 12) * 0x1.0p-52;
+  }
+}
+
+}  // namespace cpw::simd::detail

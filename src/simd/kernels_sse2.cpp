@@ -1,0 +1,331 @@
+// SSE2 backend: two 128-bit registers emulate one canonical 4-lane block,
+// so every reduction and prefix associates exactly like the scalar
+// reference. addsub has no SSE2 encoding; the complex multiply flips the
+// sign of the even-lane product with an XOR (x − y ≡ x + (−y) in IEEE-754,
+// so the result is bit-identical to a subtraction).
+
+#if defined(CPW_SIMD_HAVE_SSE2)
+
+#include <emmintrin.h>
+
+#include "backends.hpp"
+
+namespace cpw::simd::detail {
+
+namespace {
+
+inline double lane1(__m128d v) noexcept {
+  return _mm_cvtsd_f64(_mm_unpackhi_pd(v, v));
+}
+
+void prefix_sums_sse2(const double* x, std::size_t n, double* sum,
+                      double* sumsq) {
+  sum[0] = 0.0;
+  sumsq[0] = 0.0;
+  __m128d carry_s = _mm_setzero_pd();
+  __m128d carry_q = _mm_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m128d a = _mm_loadu_pd(x + i);      // x0 x1
+    const __m128d b = _mm_loadu_pd(x + i + 2);  // x2 x3
+    // t = v + (v << 1): ta = [x0, x0+x1], tb = [x1+x2, x2+x3]. move_sd
+    // passes x0 through untouched so a signed zero keeps its sign.
+    const __m128d ta = _mm_move_sd(
+        _mm_add_pd(a, _mm_castsi128_pd(_mm_slli_si128(_mm_castpd_si128(a), 8))),
+        a);
+    const __m128d tb = _mm_add_pd(b, _mm_shuffle_pd(a, b, 1));
+    // p = t + (t << 2): pa = ta, pb = tb + ta.
+    const __m128d pb = _mm_add_pd(tb, ta);
+    const __m128d sa = _mm_add_pd(ta, carry_s);
+    const __m128d sb = _mm_add_pd(pb, carry_s);
+    _mm_storeu_pd(sum + i + 1, sa);
+    _mm_storeu_pd(sum + i + 3, sb);
+    carry_s = _mm_set1_pd(lane1(sb));
+
+    const __m128d a2 = _mm_mul_pd(a, a);
+    const __m128d b2 = _mm_mul_pd(b, b);
+    const __m128d ua = _mm_move_sd(
+        _mm_add_pd(a2,
+                   _mm_castsi128_pd(_mm_slli_si128(_mm_castpd_si128(a2), 8))),
+        a2);
+    const __m128d ub = _mm_add_pd(b2, _mm_shuffle_pd(a2, b2, 1));
+    const __m128d vb = _mm_add_pd(ub, ua);
+    const __m128d qa = _mm_add_pd(ua, carry_q);
+    const __m128d qb = _mm_add_pd(vb, carry_q);
+    _mm_storeu_pd(sumsq + i + 1, qa);
+    _mm_storeu_pd(sumsq + i + 3, qb);
+    carry_q = _mm_set1_pd(lane1(qb));
+  }
+  prefix_sums_tail(x, main, n, sum, sumsq, _mm_cvtsd_f64(carry_s),
+                   _mm_cvtsd_f64(carry_q));
+}
+
+void magnitude_sse2(const double* interleaved, std::size_t n, double* out) {
+  const std::size_t main = n - n % 2;
+  for (std::size_t i = 0; i < main; i += 2) {
+    const __m128d a = _mm_loadu_pd(interleaved + 2 * i);      // r0 i0
+    const __m128d b = _mm_loadu_pd(interleaved + 2 * i + 2);  // r1 i1
+    const __m128d a2 = _mm_mul_pd(a, a);
+    const __m128d b2 = _mm_mul_pd(b, b);
+    _mm_storeu_pd(out + i, _mm_add_pd(_mm_unpacklo_pd(a2, b2),
+                                      _mm_unpackhi_pd(a2, b2)));
+  }
+  magnitude_tail(interleaved, main, n, out);
+}
+
+/// Complex product v·w, one complex double per register.
+inline __m128d complex_mul(__m128d v, __m128d w) noexcept {
+  const __m128d wr = _mm_unpacklo_pd(w, w);
+  const __m128d wi = _mm_unpackhi_pd(w, w);
+  const __m128d vswap = _mm_shuffle_pd(v, v, 1);  // vi vr
+  const __m128d t2 = _mm_mul_pd(vswap, wi);       // vi·wi, vr·wi
+  const __m128d sign = _mm_set_pd(0.0, -0.0);     // negate even lane
+  return _mm_add_pd(_mm_mul_pd(v, wr), _mm_xor_pd(t2, sign));
+}
+
+void fft_pass_sse2(double* data, std::size_t n, std::size_t len,
+                   const double* twiddle) {
+  const std::size_t half = len / 2;
+  if (len == 2) {
+    for (std::size_t base = 0; base < n; base += 2) {
+      const __m128d u = _mm_loadu_pd(data + 2 * base);
+      const __m128d v = _mm_loadu_pd(data + 2 * base + 2);
+      _mm_storeu_pd(data + 2 * base, _mm_add_pd(u, v));
+      _mm_storeu_pd(data + 2 * base + 2, _mm_sub_pd(u, v));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += len) {
+    double* lo = data + 2 * base;
+    double* hi = lo + 2 * half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const __m128d u = _mm_loadu_pd(lo + 2 * k);
+      const __m128d w = _mm_loadu_pd(twiddle + 2 * k);
+      const __m128d v = complex_mul(_mm_loadu_pd(hi + 2 * k), w);
+      _mm_storeu_pd(lo + 2 * k, _mm_add_pd(u, v));
+      _mm_storeu_pd(hi + 2 * k, _mm_sub_pd(u, v));
+    }
+  }
+}
+
+double sum_sse2(const double* x, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    acc01 = _mm_add_pd(acc01, _mm_loadu_pd(x + i));
+    acc23 = _mm_add_pd(acc23, _mm_loadu_pd(x + i + 2));
+  }
+  alignas(16) double acc[kBlock];
+  _mm_store_pd(acc, acc01);
+  _mm_store_pd(acc + 2, acc23);
+  sum_tail(x, main, n, acc);
+  return combine_lanes(acc);
+}
+
+void centered_moments_sse2(const double* x, const double* y, std::size_t n,
+                           double mx, double my, double* out3) {
+  __m128d xx0 = _mm_setzero_pd(), xx1 = _mm_setzero_pd();
+  __m128d xy0 = _mm_setzero_pd(), xy1 = _mm_setzero_pd();
+  __m128d yy0 = _mm_setzero_pd(), yy1 = _mm_setzero_pd();
+  const __m128d mxv = _mm_set1_pd(mx);
+  const __m128d myv = _mm_set1_pd(my);
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m128d dxa = _mm_sub_pd(_mm_loadu_pd(x + i), mxv);
+    const __m128d dxb = _mm_sub_pd(_mm_loadu_pd(x + i + 2), mxv);
+    const __m128d dya = _mm_sub_pd(_mm_loadu_pd(y + i), myv);
+    const __m128d dyb = _mm_sub_pd(_mm_loadu_pd(y + i + 2), myv);
+    xx0 = _mm_add_pd(xx0, _mm_mul_pd(dxa, dxa));
+    xx1 = _mm_add_pd(xx1, _mm_mul_pd(dxb, dxb));
+    xy0 = _mm_add_pd(xy0, _mm_mul_pd(dxa, dya));
+    xy1 = _mm_add_pd(xy1, _mm_mul_pd(dxb, dyb));
+    yy0 = _mm_add_pd(yy0, _mm_mul_pd(dya, dya));
+    yy1 = _mm_add_pd(yy1, _mm_mul_pd(dyb, dyb));
+  }
+  alignas(16) double lxx[kBlock], lxy[kBlock], lyy[kBlock];
+  _mm_store_pd(lxx, xx0);
+  _mm_store_pd(lxx + 2, xx1);
+  _mm_store_pd(lxy, xy0);
+  _mm_store_pd(lxy + 2, xy1);
+  _mm_store_pd(lyy, yy0);
+  _mm_store_pd(lyy + 2, yy1);
+  centered_moments_tail(x, y, main, n, mx, my, lxx, lxy, lyy);
+  out3[0] = combine_lanes(lxx);
+  out3[1] = combine_lanes(lxy);
+  out3[2] = combine_lanes(lyy);
+}
+
+void row_distances_sse2(double xi, double yi, const double* x, const double* y,
+                        std::size_t m, double* dist) {
+  const __m128d xiv = _mm_set1_pd(xi);
+  const __m128d yiv = _mm_set1_pd(yi);
+  const std::size_t main = m - m % 2;
+  for (std::size_t j = 0; j < main; j += 2) {
+    const __m128d dx = _mm_sub_pd(xiv, _mm_loadu_pd(x + j));
+    const __m128d dy = _mm_sub_pd(yiv, _mm_loadu_pd(y + j));
+    const __m128d sq = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    _mm_storeu_pd(dist + j, _mm_sqrt_pd(sq));
+  }
+  row_distances_tail(xi, yi, x, y, main, m, dist);
+}
+
+void guttman_row_sse2(double xi, double yi, const double* x, const double* y,
+                      const double* dist, const double* disparity,
+                      std::size_t m, double* nx, double* ny, double* acc2) {
+  const __m128d xiv = _mm_set1_pd(xi);
+  const __m128d yiv = _mm_set1_pd(yi);
+  const __m128d eps = _mm_set1_pd(1e-12);
+  __m128d ax0 = _mm_setzero_pd(), ax1 = _mm_setzero_pd();
+  __m128d ay0 = _mm_setzero_pd(), ay1 = _mm_setzero_pd();
+  const std::size_t main = m - m % kBlock;
+  for (std::size_t j = 0; j < main; j += kBlock) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      const std::size_t o = j + 2 * h;
+      const __m128d d = _mm_loadu_pd(dist + o);
+      const __m128d mask = _mm_cmpgt_pd(d, eps);
+      const __m128d ratio =
+          _mm_and_pd(mask, _mm_div_pd(_mm_loadu_pd(disparity + o), d));
+      const __m128d tx =
+          _mm_mul_pd(ratio, _mm_sub_pd(xiv, _mm_loadu_pd(x + o)));
+      const __m128d ty =
+          _mm_mul_pd(ratio, _mm_sub_pd(yiv, _mm_loadu_pd(y + o)));
+      if (h == 0) {
+        ax0 = _mm_add_pd(ax0, tx);
+        ay0 = _mm_add_pd(ay0, ty);
+      } else {
+        ax1 = _mm_add_pd(ax1, tx);
+        ay1 = _mm_add_pd(ay1, ty);
+      }
+      _mm_storeu_pd(nx + o, _mm_sub_pd(_mm_loadu_pd(nx + o), tx));
+      _mm_storeu_pd(ny + o, _mm_sub_pd(_mm_loadu_pd(ny + o), ty));
+    }
+  }
+  alignas(16) double lx[kBlock], ly[kBlock];
+  _mm_store_pd(lx, ax0);
+  _mm_store_pd(lx + 2, ax1);
+  _mm_store_pd(ly, ay0);
+  _mm_store_pd(ly + 2, ay1);
+  guttman_row_tail(xi, yi, x, y, dist, disparity, main, m, nx, ny, lx, ly);
+  acc2[0] = combine_lanes(lx);
+  acc2[1] = combine_lanes(ly);
+}
+
+void sumsq2_sse2(const double* a, const double* b, std::size_t n,
+                 double* out2) {
+  __m128d aa0 = _mm_setzero_pd(), aa1 = _mm_setzero_pd();
+  __m128d bb0 = _mm_setzero_pd(), bb1 = _mm_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m128d a0 = _mm_loadu_pd(a + i);
+    const __m128d a1 = _mm_loadu_pd(a + i + 2);
+    const __m128d b0 = _mm_loadu_pd(b + i);
+    const __m128d b1 = _mm_loadu_pd(b + i + 2);
+    aa0 = _mm_add_pd(aa0, _mm_mul_pd(a0, a0));
+    aa1 = _mm_add_pd(aa1, _mm_mul_pd(a1, a1));
+    bb0 = _mm_add_pd(bb0, _mm_mul_pd(b0, b0));
+    bb1 = _mm_add_pd(bb1, _mm_mul_pd(b1, b1));
+  }
+  alignas(16) double la[kBlock], lb[kBlock];
+  _mm_store_pd(la, aa0);
+  _mm_store_pd(la + 2, aa1);
+  _mm_store_pd(lb, bb0);
+  _mm_store_pd(lb + 2, bb1);
+  sumsq2_tail(a, b, main, n, la, lb);
+  out2[0] = combine_lanes(la);
+  out2[1] = combine_lanes(lb);
+}
+
+void stress_terms_sse2(const double* a, const double* b, std::size_t n,
+                       double* out2) {
+  __m128d nu0 = _mm_setzero_pd(), nu1 = _mm_setzero_pd();
+  __m128d de0 = _mm_setzero_pd(), de1 = _mm_setzero_pd();
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    const __m128d a0 = _mm_loadu_pd(a + i);
+    const __m128d a1 = _mm_loadu_pd(a + i + 2);
+    const __m128d d0 = _mm_sub_pd(a0, _mm_loadu_pd(b + i));
+    const __m128d d1 = _mm_sub_pd(a1, _mm_loadu_pd(b + i + 2));
+    nu0 = _mm_add_pd(nu0, _mm_mul_pd(d0, d0));
+    nu1 = _mm_add_pd(nu1, _mm_mul_pd(d1, d1));
+    de0 = _mm_add_pd(de0, _mm_mul_pd(a0, a0));
+    de1 = _mm_add_pd(de1, _mm_mul_pd(a1, a1));
+  }
+  alignas(16) double ln[kBlock], ld[kBlock];
+  _mm_store_pd(ln, nu0);
+  _mm_store_pd(ln + 2, nu1);
+  _mm_store_pd(ld, de0);
+  _mm_store_pd(ld + 2, de1);
+  stress_terms_tail(a, b, main, n, ln, ld);
+  out2[0] = combine_lanes(ln);
+  out2[1] = combine_lanes(ld);
+}
+
+inline __m128i rotl64_sse2(__m128i v, int k) noexcept {
+  return _mm_or_si128(_mm_slli_epi64(v, k), _mm_srli_epi64(v, 64 - k));
+}
+
+inline __m128d u52_to_unit(__m128i mant) noexcept {
+  const __m128d biased = _mm_castsi128_pd(
+      _mm_or_si128(mant, _mm_set1_epi64x(0x4330000000000000LL)));
+  return _mm_mul_pd(_mm_sub_pd(biased, _mm_set1_pd(0x1.0p52)),
+                    _mm_set1_pd(0x1.0p-52));
+}
+
+/// Advances all four lanes one step; writes the four uniforms to out4.
+inline void xoshiro4_step_sse2(__m128i s[4][2], double* out4) noexcept {
+  for (int h = 0; h < 2; ++h) {
+    const __m128i result = _mm_add_epi64(
+        rotl64_sse2(_mm_add_epi64(s[0][h], s[3][h]), 23), s[0][h]);
+    const __m128i t = _mm_slli_epi64(s[1][h], 17);
+    s[2][h] = _mm_xor_si128(s[2][h], s[0][h]);
+    s[3][h] = _mm_xor_si128(s[3][h], s[1][h]);
+    s[1][h] = _mm_xor_si128(s[1][h], s[2][h]);
+    s[0][h] = _mm_xor_si128(s[0][h], s[3][h]);
+    s[2][h] = _mm_xor_si128(s[2][h], t);
+    s[3][h] = rotl64_sse2(s[3][h], 45);
+    _mm_storeu_pd(out4 + 2 * h, u52_to_unit(_mm_srli_epi64(result, 12)));
+  }
+}
+
+void xoshiro4_uniform_fill_sse2(std::uint64_t* state, double* out,
+                                std::size_t n) {
+  __m128i s[4][2];
+  for (int w = 0; w < 4; ++w) {
+    for (int h = 0; h < 2; ++h) {
+      s[w][h] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(state + 4 * w + 2 * h));
+    }
+  }
+  const std::size_t main = n - n % kBlock;
+  for (std::size_t i = 0; i < main; i += kBlock) {
+    xoshiro4_step_sse2(s, out + i);
+  }
+  if (main < n) {
+    double last[kBlock];
+    xoshiro4_step_sse2(s, last);
+    for (std::size_t i = main; i < n; ++i) out[i] = last[i - main];
+  }
+  for (int w = 0; w < 4; ++w) {
+    for (int h = 0; h < 2; ++h) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4 * w + 2 * h),
+                       s[w][h]);
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels& sse2_kernels() noexcept {
+  static const Kernels table = {
+      Isa::kSse2,          prefix_sums_sse2,   magnitude_sse2,
+      fft_pass_sse2,       sum_sse2,           centered_moments_sse2,
+      row_distances_sse2,  guttman_row_sse2,   sumsq2_sse2,
+      stress_terms_sse2,   xoshiro4_uniform_fill_sse2,
+  };
+  return table;
+}
+
+}  // namespace cpw::simd::detail
+
+#endif  // CPW_SIMD_HAVE_SSE2

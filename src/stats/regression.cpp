@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cpw/simd/simd.hpp"
 #include "cpw/stats/descriptive.hpp"
 #include "cpw/util/error.hpp"
 
@@ -11,16 +12,13 @@ LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
   CPW_REQUIRE(xs.size() == ys.size(), "ols needs equal-length samples");
   CPW_REQUIRE(xs.size() >= 2, "ols needs at least two points");
 
-  const double mx = mean(xs);
-  const double my = mean(ys);
-  double sxx = 0.0, sxy = 0.0, syy = 0.0;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double dx = xs[i] - mx;
-    const double dy = ys[i] - my;
-    sxx += dx * dx;
-    sxy += dx * dy;
-    syy += dy * dy;
-  }
+  const auto& kernels = simd::active();
+  const auto n = static_cast<double>(xs.size());
+  const double mx = kernels.sum(xs.data(), xs.size()) / n;
+  const double my = kernels.sum(ys.data(), ys.size()) / n;
+  double moments[3];
+  kernels.centered_moments(xs.data(), ys.data(), xs.size(), mx, my, moments);
+  const double sxx = moments[0], sxy = moments[1], syy = moments[2];
   CPW_REQUIRE(sxx > 0.0, "ols needs at least two distinct x values");
 
   LinearFit fit;

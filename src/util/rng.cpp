@@ -1,8 +1,35 @@
 #include "cpw/util/rng.hpp"
 
+#include <vector>
+
+#include "cpw/simd/simd.hpp"
 #include "cpw/util/error.hpp"
 
 namespace cpw {
+
+void BatchRng::uniform_fill(std::span<double> out) noexcept {
+  if (out.empty()) return;
+  simd::active().xoshiro4_uniform_fill(state_.data(), out.data(), out.size());
+}
+
+void BatchRng::normal_fill(std::span<double> out) noexcept {
+  // Box–Muller on batched uniforms. The uniform pairs are consumed from the
+  // front/back halves of one bulk draw so the transcendental loop runs over
+  // contiguous memory; u is shifted away from 0 (log) and the draw count is
+  // rounded up to keep the lane advance independent of out.size() parity.
+  if (out.empty()) return;
+  const std::size_t pairs = (out.size() + 1) / 2;
+  std::vector<double> u(2 * pairs);
+  uniform_fill(u);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const double u1 = u[p] > 0.0 ? u[p] : 0x1.0p-52;
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = kTwoPi * u[pairs + p];
+    out[2 * p] = radius * std::cos(angle);
+    if (2 * p + 1 < out.size()) out[2 * p + 1] = radius * std::sin(angle);
+  }
+}
 
 double normal_quantile(double p) {
   CPW_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1)");

@@ -18,43 +18,18 @@
 #include "cpw/swf/reader.hpp"
 #include "cpw/util/error.hpp"
 #include "cpw/util/fingerprint.hpp"
+#include "result_identity.hpp"
 
 namespace cpw {
 namespace {
 
 namespace fs = std::filesystem;
 
-std::vector<swf::Log> test_logs(std::size_t count, std::size_t jobs) {
-  const auto models = models::all_models(128);
-  std::vector<swf::Log> logs;
-  for (std::size_t i = 0; i < count; ++i) {
-    auto log = models[i % models.size()]->generate(jobs, 7 + i);
-    log.set_name("log" + std::to_string(i));
-    logs.push_back(std::move(log));
-  }
-  return logs;
-}
-
-std::string make_temp_dir(const std::string& tag) {
-  const std::string dir = ::testing::TempDir() + "/cpw_cache_" + tag + "_" +
-                          std::to_string(static_cast<long>(::getpid()));
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir;
-}
-
-/// Saves `count` generated logs as SWF files and returns their paths.
-std::vector<std::string> write_log_files(const std::string& dir,
-                                         std::size_t count, std::size_t jobs) {
-  const auto logs = test_logs(count, jobs);
-  std::vector<std::string> paths;
-  for (const auto& log : logs) {
-    const std::string path = dir + "/" + log.name() + ".swf";
-    swf::save_swf(path, log);
-    paths.push_back(path);
-  }
-  return paths;
-}
+using testutil::expect_estimates_identical;
+using testutil::expect_results_identical;
+using testutil::make_temp_dir;
+using testutil::test_logs;
+using testutil::write_log_files;
 
 /// The counters the cache tests assert deltas on. Reading through
 /// obs::counter() find-or-creates the cells, so a zero start is fine.
@@ -76,60 +51,6 @@ CounterState read_counters() {
   s.characterize = obs::counter("cpw_batch_characterize_total").value();
   s.hurst_estimates = obs::counter("cpw_batch_hurst_estimates_total").value();
   return s;
-}
-
-void expect_estimates_identical(const selfsim::HurstEstimate& a,
-                                const selfsim::HurstEstimate& b) {
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.hurst),
-            std::bit_cast<std::uint64_t>(b.hurst));
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.slope),
-            std::bit_cast<std::uint64_t>(b.slope));
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.r2),
-            std::bit_cast<std::uint64_t>(b.r2));
-  EXPECT_EQ(a.points.log_x, b.points.log_x);
-  EXPECT_EQ(a.points.log_y, b.points.log_y);
-}
-
-/// Bit-identity over everything a consumer of BatchResult reads: the
-/// analyses, the statuses, and the Co-plot map. (Wall-clock timings in the
-/// diagnostics legitimately differ between runs.)
-void expect_results_identical(const analysis::BatchResult& a,
-                              const analysis::BatchResult& b) {
-  ASSERT_EQ(a.logs.size(), b.logs.size());
-  for (std::size_t i = 0; i < a.logs.size(); ++i) {
-    EXPECT_EQ(a.logs[i].name, b.logs[i].name);
-    const auto& codes = workload::WorkloadStats::all_codes();
-    for (const std::string& code : codes) {
-      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.logs[i].stats.get(code)),
-                std::bit_cast<std::uint64_t>(b.logs[i].stats.get(code)))
-          << "log " << i << " variable " << code;
-    }
-    for (std::size_t attr = 0; attr < 4; ++attr) {
-      EXPECT_EQ(a.logs[i].hurst[attr].attribute, b.logs[i].hurst[attr].attribute);
-      EXPECT_EQ(a.logs[i].hurst[attr].estimated, b.logs[i].hurst[attr].estimated);
-      expect_estimates_identical(a.logs[i].hurst[attr].report.rs,
-                                 b.logs[i].hurst[attr].report.rs);
-      expect_estimates_identical(a.logs[i].hurst[attr].report.variance_time,
-                                 b.logs[i].hurst[attr].report.variance_time);
-      expect_estimates_identical(a.logs[i].hurst[attr].report.periodogram,
-                                 b.logs[i].hurst[attr].report.periodogram);
-    }
-    EXPECT_EQ(a.diagnostics.logs[i].status, b.diagnostics.logs[i].status);
-    EXPECT_EQ(a.diagnostics.logs[i].quarantine.total(),
-              b.diagnostics.logs[i].quarantine.total());
-  }
-  EXPECT_EQ(a.coplot_run, b.coplot_run);
-  EXPECT_EQ(a.coplot_members, b.coplot_members);
-  if (a.coplot_run && b.coplot_run) {
-    EXPECT_EQ(a.coplot.embedding.x, b.coplot.embedding.x);
-    EXPECT_EQ(a.coplot.embedding.y, b.coplot.embedding.y);
-    ASSERT_EQ(a.coplot.arrows.size(), b.coplot.arrows.size());
-    for (std::size_t k = 0; k < a.coplot.arrows.size(); ++k) {
-      EXPECT_EQ(a.coplot.arrows[k].name, b.coplot.arrows[k].name);
-      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.coplot.arrows[k].angle),
-                std::bit_cast<std::uint64_t>(b.coplot.arrows[k].angle));
-    }
-  }
 }
 
 /// A payload exercising the serializer's corners: negative zero, denormals,

@@ -1,0 +1,445 @@
+#include "cpw/simd/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/selfsim/fft.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/rng.hpp"
+#include "result_identity.hpp"
+
+namespace cpw {
+namespace {
+
+namespace fs = std::filesystem;
+using simd::Isa;
+using simd::Kernels;
+using simd::kBlock;
+
+/// Every backend compiled in AND supported by this machine.
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kNeon, Isa::kAvx2}) {
+    if (simd::kernels_for(isa) != nullptr) isas.push_back(isa);
+  }
+  return isas;
+}
+
+/// Sweep sizes: tiny tails around the 4-lane block width, powers of two,
+/// odd primes, and large sizes exercising many full blocks plus a tail.
+const std::vector<std::size_t>& sweep_sizes() {
+  static const std::vector<std::size_t> sizes = {
+      1, 2, 3, 4, 5, 7, 8, 9, 13, 31, 64, 127, 1009, 4096, 10000, 10007};
+  return sizes;
+}
+
+std::vector<double> test_vector(std::size_t n, std::uint64_t seed,
+                                double lo = -3.0, double hi = 5.0) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+#define EXPECT_BITS_EQ(a, b) \
+  EXPECT_PRED2([](auto x, auto y) { return bits_equal(x, y); }, a, b)
+
+/// Restores the dispatch the test found, whatever the test switched to.
+class DispatchGuard {
+ public:
+  DispatchGuard() : saved_(simd::active_isa()) {}
+  ~DispatchGuard() { simd::set_active(saved_); }
+
+ private:
+  Isa saved_;
+};
+
+// --------------------------------------------------------------- dispatch
+
+TEST(SimdDispatch, ScalarAlwaysAvailable) {
+  ASSERT_NE(simd::kernels_for(Isa::kScalar), nullptr);
+  EXPECT_EQ(simd::kernels_for(Isa::kScalar)->isa, Isa::kScalar);
+}
+
+TEST(SimdDispatch, ActiveTableMatchesReportedIsa) {
+  const Kernels& active = simd::active();
+  EXPECT_EQ(active.isa, simd::active_isa());
+  EXPECT_NE(active.prefix_sums, nullptr);
+  EXPECT_NE(active.xoshiro4_uniform_fill, nullptr);
+}
+
+TEST(SimdDispatch, SetActiveRoundTripsAndRejectsUnavailable) {
+  DispatchGuard guard;
+  for (Isa isa : available_isas()) {
+    EXPECT_TRUE(simd::set_active(isa));
+    EXPECT_EQ(simd::active_isa(), isa);
+  }
+  // At most one of AVX2/NEON exists on any one machine; the other must be
+  // rejected without changing the dispatch.
+  for (Isa isa : {Isa::kSse2, Isa::kNeon, Isa::kAvx2}) {
+    if (simd::kernels_for(isa) != nullptr) continue;
+    const Isa before = simd::active_isa();
+    EXPECT_FALSE(simd::set_active(isa));
+    EXPECT_EQ(simd::active_isa(), before);
+  }
+}
+
+TEST(SimdDispatch, GaugeReportsExactlyTheActivePath) {
+  DispatchGuard guard;
+  for (Isa isa : available_isas()) {
+    ASSERT_TRUE(simd::set_active(isa));
+    const obs::Snapshot snap = obs::registry().snapshot();
+    for (Isa path : {Isa::kScalar, Isa::kSse2, Isa::kNeon, Isa::kAvx2}) {
+      const auto* sample = snap.find("cpw_simd_dispatch",
+                                     {{"path", simd::isa_name(path)}});
+      ASSERT_NE(sample, nullptr) << simd::isa_name(path);
+      EXPECT_EQ(sample->value, path == isa ? 1.0 : 0.0)
+          << "active=" << simd::isa_name(isa)
+          << " path=" << simd::isa_name(path);
+    }
+  }
+}
+
+TEST(SimdDispatch, HonorsEnvOverrideAtStartup) {
+  // Meaningful in the forced-scalar CI job (CPW_SIMD=scalar ctest); skipped
+  // when the variable is unset. No set_active call precedes this check in
+  // this process: each gtest case runs in its own ctest invocation.
+  const char* env = std::getenv("CPW_SIMD");
+  if (env == nullptr) GTEST_SKIP() << "CPW_SIMD not set";
+  const std::string want{env};
+  if (want == "scalar") {
+    EXPECT_EQ(simd::active_isa(), Isa::kScalar);
+  } else if (want == "sse2" && simd::kernels_for(Isa::kSse2)) {
+    EXPECT_EQ(simd::active_isa(), Isa::kSse2);
+  } else if (want == "avx2" && simd::kernels_for(Isa::kAvx2)) {
+    EXPECT_EQ(simd::active_isa(), Isa::kAvx2);
+  } else if (want == "neon" && simd::kernels_for(Isa::kNeon)) {
+    EXPECT_EQ(simd::active_isa(), Isa::kNeon);
+  }
+}
+
+// ------------------------------------------------- kernel bit-exactness
+
+class SimdKernelSweep : public ::testing::TestWithParam<Isa> {
+ protected:
+  const Kernels& scalar() { return *simd::kernels_for(Isa::kScalar); }
+  const Kernels& vec() { return *simd::kernels_for(GetParam()); }
+};
+
+TEST_P(SimdKernelSweep, PrefixSumsMatchScalar) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto x = test_vector(n, 11 + n);
+    std::vector<double> s1(n + 1), q1(n + 1), s2(n + 1), q2(n + 1);
+    scalar().prefix_sums(x.data(), n, s1.data(), q1.data());
+    vec().prefix_sums(x.data(), n, s2.data(), q2.data());
+    EXPECT_BITS_EQ(s1, s2) << "n=" << n;
+    EXPECT_BITS_EQ(q1, q2) << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, PrefixSumsPreserveSignedZeros) {
+  const std::vector<double> x(13, -0.0);
+  std::vector<double> s1(14), q1(14), s2(14), q2(14);
+  scalar().prefix_sums(x.data(), x.size(), s1.data(), q1.data());
+  vec().prefix_sums(x.data(), x.size(), s2.data(), q2.data());
+  EXPECT_BITS_EQ(s1, s2);
+  EXPECT_BITS_EQ(q1, q2);
+}
+
+TEST_P(SimdKernelSweep, SumAndMomentsMatchScalar) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto x = test_vector(n, 23 + n);
+    const auto y = test_vector(n, 41 + n);
+    const double a = scalar().sum(x.data(), n);
+    const double b = vec().sum(x.data(), n);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+        << "n=" << n;
+    double m1[3], m2[3];
+    scalar().centered_moments(x.data(), y.data(), n, 0.5, -0.25, m1);
+    vec().centered_moments(x.data(), y.data(), n, 0.5, -0.25, m2);
+    EXPECT_BITS_EQ(std::span<const double>(m1), std::span<const double>(m2))
+        << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, MagnitudeMatchesScalar) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto interleaved = test_vector(2 * n, 59 + n);
+    std::vector<double> o1(n), o2(n);
+    scalar().magnitude(interleaved.data(), n, o1.data());
+    vec().magnitude(interleaved.data(), n, o2.data());
+    EXPECT_BITS_EQ(o1, o2) << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, FftPassesMatchScalar) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{64}, std::size_t{1024}}) {
+    auto d1 = test_vector(2 * n, 67 + n);
+    auto d2 = d1;
+    // A deliberately irregular twiddle table: the kernel must reproduce the
+    // scalar result for any factors, not just roots of unity.
+    std::vector<double> twiddle(n);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      twiddle[2 * k] = std::cos(0.37 * static_cast<double>(k) + 0.1);
+      twiddle[2 * k + 1] = std::sin(0.53 * static_cast<double>(k) - 0.2);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      scalar().fft_pass(d1.data(), n, len, twiddle.data());
+      vec().fft_pass(d2.data(), n, len, twiddle.data());
+      EXPECT_BITS_EQ(d1, d2) << "n=" << n << " len=" << len;
+    }
+  }
+}
+
+TEST_P(SimdKernelSweep, RowDistancesMatchScalar) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto x = test_vector(n, 71 + n);
+    const auto y = test_vector(n, 83 + n);
+    std::vector<double> o1(n), o2(n);
+    scalar().row_distances(1.5, -2.5, x.data(), y.data(), n, o1.data());
+    vec().row_distances(1.5, -2.5, x.data(), y.data(), n, o2.data());
+    EXPECT_BITS_EQ(o1, o2) << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, GuttmanRowMatchesScalarIncludingDegeneratePairs) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto x = test_vector(n, 89 + n);
+    const auto y = test_vector(n, 97 + n);
+    auto dist = test_vector(n, 101 + n, 1e-14, 4.0);
+    if (n > 2) dist[2] = 0.0;  // below the 1e-12 guard: ratio must be 0
+    const auto disparity = test_vector(n, 103 + n, 0.0, 4.0);
+    std::vector<double> nx1(n, 0.1), ny1(n, -0.2), nx2(n, 0.1), ny2(n, -0.2);
+    double a1[2], a2[2];
+    scalar().guttman_row(0.7, 0.3, x.data(), y.data(), dist.data(),
+                         disparity.data(), n, nx1.data(), ny1.data(), a1);
+    vec().guttman_row(0.7, 0.3, x.data(), y.data(), dist.data(),
+                      disparity.data(), n, nx2.data(), ny2.data(), a2);
+    EXPECT_BITS_EQ(std::span<const double>(a1), std::span<const double>(a2))
+        << "n=" << n;
+    EXPECT_BITS_EQ(nx1, nx2) << "n=" << n;
+    EXPECT_BITS_EQ(ny1, ny2) << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, SumsqAndStressTermsMatchScalar) {
+  for (const std::size_t n : sweep_sizes()) {
+    const auto a = test_vector(n, 107 + n);
+    const auto b = test_vector(n, 109 + n);
+    double o1[2], o2[2];
+    scalar().sumsq2(a.data(), b.data(), n, o1);
+    vec().sumsq2(a.data(), b.data(), n, o2);
+    EXPECT_BITS_EQ(std::span<const double>(o1), std::span<const double>(o2))
+        << "n=" << n;
+    scalar().stress_terms(a.data(), b.data(), n, o1);
+    vec().stress_terms(a.data(), b.data(), n, o2);
+    EXPECT_BITS_EQ(std::span<const double>(o1), std::span<const double>(o2))
+        << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelSweep, XoshiroFillMatchesScalarStreamAndState) {
+  for (const std::size_t n : sweep_sizes()) {
+    std::uint64_t st1[16], st2[16];
+    SplitMix64 mix(113 + n);
+    for (int i = 0; i < 16; ++i) st1[i] = st2[i] = mix.next();
+    std::vector<double> o1(n), o2(n);
+    scalar().xoshiro4_uniform_fill(st1, o1.data(), n);
+    vec().xoshiro4_uniform_fill(st2, o2.data(), n);
+    EXPECT_BITS_EQ(o1, o2) << "n=" << n;
+    EXPECT_EQ(std::memcmp(st1, st2, sizeof st1), 0)
+        << "lane state diverged at n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AvailableIsas, SimdKernelSweep,
+                         ::testing::ValuesIn(available_isas()),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return simd::isa_name(info.param);
+                         });
+
+// ----------------------------------------------------------- consumers
+
+TEST(BatchRngTest, BackendIndependentStreams) {
+  DispatchGuard guard;
+  // Same seed, same sequence of fill lengths -> identical bits on every
+  // backend, because all four lanes advance ceil(n/4) steps per call.
+  const std::vector<std::size_t> lengths = {7, 5, 1, 64, 13};
+  std::vector<std::vector<double>> runs;
+  for (Isa isa : available_isas()) {
+    ASSERT_TRUE(simd::set_active(isa));
+    BatchRng rng(2026);
+    std::vector<double> all;
+    for (const std::size_t n : lengths) {
+      std::vector<double> chunk(n);
+      rng.uniform_fill(chunk);
+      all.insert(all.end(), chunk.begin(), chunk.end());
+    }
+    runs.push_back(std::move(all));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_BITS_EQ(runs[0], runs[i]);
+  }
+}
+
+TEST(BatchRngTest, UniformsAreInUnitInterval) {
+  BatchRng rng(7);
+  std::vector<double> u(100001);
+  rng.uniform_fill(u);
+  for (const double v : u) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+  // 52-bit draws from healthy lanes: the sample mean of 1e5 uniforms sits
+  // within 5 sigma of 1/2.
+  double sum = 0.0;
+  for (const double v : u) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(u.size()), 0.5, 0.005);
+}
+
+TEST(BatchRngTest, NormalFillMomentsAndDeterminism) {
+  BatchRng rng(11);
+  std::vector<double> z(100000);
+  rng.normal_fill(z);
+  double sum = 0.0, sumsq = 0.0;
+  for (const double v : z) {
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / static_cast<double>(z.size());
+  const double var = sumsq / static_cast<double>(z.size()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+
+  BatchRng again(11);
+  std::vector<double> z2(100000);
+  again.normal_fill(z2);
+  EXPECT_BITS_EQ(z, z2);
+
+  // Odd-length fills advance the stream exactly like the rounded-up even
+  // fill, so trailing parity cannot fork a stream.
+  BatchRng odd(13), even(13);
+  std::vector<double> a(7), b(8);
+  odd.normal_fill(a);
+  even.normal_fill(b);
+  EXPECT_BITS_EQ(std::span<const double>(a),
+                 std::span<const double>(b).first(7));
+}
+
+// --------------------------------------------------- next_pow2 regression
+
+TEST(NextPow2, OverflowThrowsInsteadOfLoopingForever) {
+  // (SIZE_MAX >> 1) + 1 is the largest representable power of two; anything
+  // above it used to overflow p to zero and spin forever.
+  constexpr std::size_t kTop =
+      (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+  EXPECT_EQ(selfsim::next_pow2(kTop), kTop);
+  EXPECT_THROW(selfsim::next_pow2(kTop + 1), Error);
+  EXPECT_THROW(selfsim::next_pow2(std::numeric_limits<std::size_t>::max()),
+               Error);
+}
+
+TEST(NextPow2, SmallValuesUnchanged) {
+  EXPECT_EQ(selfsim::next_pow2(0), 1u);
+  EXPECT_EQ(selfsim::next_pow2(1), 1u);
+  EXPECT_EQ(selfsim::next_pow2(3), 4u);
+  EXPECT_EQ(selfsim::next_pow2(4096), 4096u);
+  EXPECT_EQ(selfsim::next_pow2(4097), 8192u);
+}
+
+// ------------------------------------- end-to-end: scalar vs native batch
+
+TEST(SimdBatch, ScalarAndNativeRunsAreByteIdentical) {
+  DispatchGuard guard;
+  const std::string log_dir = testutil::make_temp_dir("simd_logs");
+  const auto paths = testutil::write_log_files(log_dir, 4, 256);
+
+  analysis::BatchOptions options;
+  const std::string native_dir = testutil::make_temp_dir("simd_cache_native");
+  options.cache_dir = native_dir;
+  const auto native =
+      analysis::run_batch(std::span<const std::string>(paths), options);
+
+  ASSERT_TRUE(simd::set_active(Isa::kScalar));
+  const std::string scalar_dir = testutil::make_temp_dir("simd_cache_scalar");
+  options.cache_dir = scalar_dir;
+  const auto scalar =
+      analysis::run_batch(std::span<const std::string>(paths), options);
+
+  testutil::expect_results_identical(native, scalar);
+
+  // The cache entries written by the two runs must be byte-identical too:
+  // same keys (dispatch is not part of the key) and same serialized bytes.
+  auto entries = [](const std::string& dir) {
+    std::vector<fs::path> files;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (e.is_regular_file()) files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  };
+  const auto native_files = entries(native_dir);
+  const auto scalar_files = entries(scalar_dir);
+  ASSERT_FALSE(native_files.empty());
+  ASSERT_EQ(native_files.size(), scalar_files.size());
+  for (std::size_t i = 0; i < native_files.size(); ++i) {
+    EXPECT_EQ(native_files[i].lexically_relative(native_dir),
+              scalar_files[i].lexically_relative(scalar_dir));
+    std::ifstream a(native_files[i], std::ios::binary);
+    std::ifstream b(scalar_files[i], std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b) << native_files[i];
+  }
+}
+
+TEST(SimdBatch, GeneratedModelLogsAreBackendIndependent) {
+  DispatchGuard guard;
+  // Model generation itself consumes the batched RNG (interarrival gaps),
+  // so generated logs must not depend on the dispatch either.
+  ASSERT_TRUE(simd::set_active(Isa::kScalar));
+  const auto scalar_logs = testutil::test_logs(4, 128);
+  ASSERT_TRUE(simd::set_active(simd::kernels_for(Isa::kAvx2)   ? Isa::kAvx2
+                               : simd::kernels_for(Isa::kNeon) ? Isa::kNeon
+                               : simd::kernels_for(Isa::kSse2) ? Isa::kSse2
+                                                               : Isa::kScalar));
+  const auto native_logs = testutil::test_logs(4, 128);
+  ASSERT_EQ(scalar_logs.size(), native_logs.size());
+  for (std::size_t i = 0; i < scalar_logs.size(); ++i) {
+    const auto& a = scalar_logs[i].jobs();
+    const auto& b = native_logs[i].jobs();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a[j].submit_time),
+                std::bit_cast<std::uint64_t>(b[j].submit_time));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a[j].run_time),
+                std::bit_cast<std::uint64_t>(b[j].run_time));
+      EXPECT_EQ(a[j].processors, b[j].processors);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpw
