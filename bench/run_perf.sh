@@ -3,30 +3,35 @@
 # performance trajectory is tracked PR over PR (BENCH_PR1.json onward).
 #
 # Usage: bench/run_perf.sh [build-dir] [output-json]
-# Defaults: build directory ./build, output ./BENCH_PR6.json.
+# Defaults: build directory ./build, output ./BENCH_PR7.json.
 #
 # Environment:
-#   BENCH_SMOKE=1   fast smoke run (min_time=0.05s per benchmark) for CI.
+#   BENCH_SMOKE=1   fast smoke run (min_time=0.05s per benchmark, small
+#                   scale corpus) for CI.
 #
 # The record concatenates four google-benchmark runs — the analysis
 # kernels (tracked since PR 1), the SWF ingest suite (PR 2), the
 # analysis-cache suite with cold/warm batch timings (PR 5), and the
 # cpw::simd kernel suite with per-backend scalar-vs-vector curves (PR 6) —
 # plus the cpw::obs metrics snapshot accumulated during the analysis run
-# (PR 4), so every record carries the per-stage counters, the timing
-# histograms, and the cpw_simd_dispatch gauge that produced it. A schema
-# check validates the merged document before the script reports success.
+# (PR 4), and a "scale" section (PR 7) with measured peak-RSS for
+# materialized vs. windowed ingest of one generated log plus single-process
+# vs. 4-worker cpw-shard throughput over a generated corpus, including the
+# digest-identity bits the equivalence guarantee rests on. A schema check
+# validates the merged document before the script reports success.
 
 set -e
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR7.json}"
 ANALYSIS_BIN="$BUILD_DIR/bench/perf_analysis"
 INGEST_BIN="$BUILD_DIR/bench/perf_ingest"
 CACHE_BIN="$BUILD_DIR/bench/perf_cache"
 KERNELS_BIN="$BUILD_DIR/bench/perf_kernels"
+SHARD_BIN="$BUILD_DIR/tools/cpw_shard/cpw_shard"
 
-for BIN in "$ANALYSIS_BIN" "$INGEST_BIN" "$CACHE_BIN" "$KERNELS_BIN"; do
+for BIN in "$ANALYSIS_BIN" "$INGEST_BIN" "$CACHE_BIN" "$KERNELS_BIN" \
+           "$SHARD_BIN"; do
   if [ ! -x "$BIN" ]; then
     echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -75,6 +80,101 @@ fi
   --metrics_out="$OUT.kernel_metrics" \
   $SMOKE_ARGS
 
+# Scale section: peak RSS of materialized vs. windowed ingest on one
+# generated log, and single-process vs. 4-worker cpw-shard throughput over
+# a generated corpus. Every run is a separate process, so the greppable
+# `cpw_shard: <mode> elapsed_seconds=... jobs=... bytes=...
+# peak_rss_bytes=...` stderr summary is an honest per-configuration
+# measurement; the digest-identity bits record that the cheap
+# configurations produced bit-identical results.
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+  SCALE_LOG_JOBS=120000 SCALE_CORPUS_COUNT=16 SCALE_CORPUS_JOBS=1500
+else
+  SCALE_LOG_JOBS=1000000 SCALE_CORPUS_COUNT=64 SCALE_CORPUS_JOBS=4000
+fi
+SCALE_WINDOW_BYTES=8388608
+SCALE_DIR=$(mktemp -d)
+trap 'rm -rf "$SCALE_DIR"' EXIT
+
+# field <file> <key>: value of `key=value` in a cpw_shard summary line.
+field() {
+  sed -n "s/.*[ :]$2=\([0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+# rate <jobs> <elapsed>: jobs per second, one decimal.
+rate() {
+  awk "BEGIN { if ($2 > 0) printf \"%.1f\", $1 / $2; else printf \"0\" }"
+}
+
+"$SHARD_BIN" gen-log "$SCALE_DIR/scale.swf" "$SCALE_LOG_JOBS" --fat --seed 11 \
+  2>/dev/null
+"$SHARD_BIN" analyze "$SCALE_DIR/scale.swf" \
+  >"$SCALE_DIR/mat.digest" 2>"$SCALE_DIR/mat.err"
+"$SHARD_BIN" analyze --ingest windowed --window-bytes "$SCALE_WINDOW_BYTES" \
+  "$SCALE_DIR/scale.swf" >"$SCALE_DIR/win.digest" 2>"$SCALE_DIR/win.err"
+if cmp -s "$SCALE_DIR/mat.digest" "$SCALE_DIR/win.digest"; then
+  WINDOWED_IDENTICAL=1
+else
+  WINDOWED_IDENTICAL=0
+fi
+
+"$SHARD_BIN" gen-corpus "$SCALE_DIR/corpus" "$SCALE_CORPUS_COUNT" \
+  "$SCALE_CORPUS_JOBS" --seed 5 2>/dev/null
+"$SHARD_BIN" analyze --dir "$SCALE_DIR/corpus" \
+  >"$SCALE_DIR/sp.digest" 2>"$SCALE_DIR/sp.err"
+"$SHARD_BIN" run --dir "$SCALE_DIR/corpus" --cache "$SCALE_DIR/cache" \
+  --workers 4 >"$SCALE_DIR/shard.digest" 2>"$SCALE_DIR/shard.err"
+if cmp -s "$SCALE_DIR/sp.digest" "$SCALE_DIR/shard.digest"; then
+  SHARD_IDENTICAL=1
+else
+  SHARD_IDENTICAL=0
+fi
+
+MAT_ELAPSED=$(field "$SCALE_DIR/mat.err" elapsed_seconds)
+WIN_ELAPSED=$(field "$SCALE_DIR/win.err" elapsed_seconds)
+SP_ELAPSED=$(field "$SCALE_DIR/sp.err" elapsed_seconds)
+SHARD_ELAPSED=$(field "$SCALE_DIR/shard.err" elapsed_seconds)
+# Corpus job count comes from the single-process run: the shard driver's
+# own ingest counters only see what its merge pass re-decoded (cache hits
+# skip ingest), so they undercount the corpus.
+SP_JOBS=$(field "$SCALE_DIR/sp.err" jobs)
+cat >"$OUT.scale" <<SCALEEOF
+{
+  "single_log": {
+    "jobs": $(field "$SCALE_DIR/mat.err" jobs),
+    "bytes": $(field "$SCALE_DIR/mat.err" bytes),
+    "windowed_identical": $WINDOWED_IDENTICAL,
+    "materialized": {
+      "elapsed_seconds": $MAT_ELAPSED,
+      "jobs_per_second": $(rate "$SCALE_LOG_JOBS" "$MAT_ELAPSED"),
+      "peak_rss_bytes": $(field "$SCALE_DIR/mat.err" peak_rss_bytes)
+    },
+    "windowed": {
+      "window_bytes": $SCALE_WINDOW_BYTES,
+      "elapsed_seconds": $WIN_ELAPSED,
+      "jobs_per_second": $(rate "$SCALE_LOG_JOBS" "$WIN_ELAPSED"),
+      "peak_rss_bytes": $(field "$SCALE_DIR/win.err" peak_rss_bytes)
+    }
+  },
+  "shard": {
+    "files": $SCALE_CORPUS_COUNT,
+    "jobs": $SP_JOBS,
+    "bytes": $(field "$SCALE_DIR/sp.err" bytes),
+    "shard_identical": $SHARD_IDENTICAL,
+    "single_process": {
+      "elapsed_seconds": $SP_ELAPSED,
+      "jobs_per_second": $(rate "$SP_JOBS" "$SP_ELAPSED"),
+      "peak_rss_bytes": $(field "$SCALE_DIR/sp.err" peak_rss_bytes)
+    },
+    "workers_4": {
+      "workers": 4,
+      "elapsed_seconds": $SHARD_ELAPSED,
+      "jobs_per_second": $(rate "$SP_JOBS" "$SHARD_ELAPSED"),
+      "peak_rss_bytes": $(field "$SCALE_DIR/shard.err" peak_rss_bytes)
+    }
+  }
+}
+SCALEEOF
+
 # Merge the runs and the metrics snapshots into one document keyed by suite.
 {
   echo '{'
@@ -95,15 +195,19 @@ fi
   echo '  ,'
   echo '  "kernel_metrics":'
   sed 's/^/  /' "$OUT.kernel_metrics"
+  echo '  ,'
+  echo '  "scale":'
+  sed 's/^/  /' "$OUT.scale"
   echo '}'
 } > "$OUT"
 rm -f "$OUT.analysis" "$OUT.ingest" "$OUT.cache" "$OUT.kernels" \
-  "$OUT.metrics" "$OUT.kernel_metrics"
+  "$OUT.metrics" "$OUT.kernel_metrics" "$OUT.scale"
 
-# Schema check: the merged document must parse as JSON, carry all six
+# Schema check: the merged document must parse as JSON, carry all seven
 # sections, non-empty benchmark lists (with the cold/warm cache pair and
-# scalar-vs-vector kernel curves), a per-stage timing histogram, and a
-# cpw_simd_dispatch gauge naming the selected path.
+# scalar-vs-vector kernel curves), a per-stage timing histogram, a
+# cpw_simd_dispatch gauge naming the selected path, and a scale section
+# whose peak-RSS figures are real and whose equivalence bits are set.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT" <<'PYEOF'
 import json, sys
@@ -113,7 +217,7 @@ with open(path) as f:
     doc = json.load(f)
 
 for key in ("perf_analysis", "perf_ingest", "perf_cache", "perf_kernels",
-            "obs_metrics", "kernel_metrics"):
+            "obs_metrics", "kernel_metrics", "scale"):
     if key not in doc:
         sys.exit(f"schema check failed: missing top-level key {key!r}")
 for key in ("perf_analysis", "perf_ingest", "perf_cache", "perf_kernels"):
@@ -139,12 +243,30 @@ if len(dispatch) != 1:
     sys.exit("schema check failed: kernel_metrics must carry exactly one "
              "active cpw_simd_dispatch path")
 active = dict(dispatch[0].get("labels", {})).get("path", "?")
+scale = doc["scale"]
+single, shard = scale["single_log"], scale["shard"]
+if single.get("windowed_identical") != 1:
+    sys.exit("schema check failed: windowed ingest digest differed from "
+             "materialized")
+if shard.get("shard_identical") != 1:
+    sys.exit("schema check failed: cpw-shard merge digest differed from "
+             "single-process")
+for section, mode in ((single, "materialized"), (single, "windowed"),
+                      (shard, "single_process"), (shard, "workers_4")):
+    run = section[mode]
+    if not run.get("peak_rss_bytes", 0) > 0:
+        sys.exit(f"schema check failed: scale {mode} has no peak-RSS sample")
+    if not run.get("jobs_per_second", 0) > 0:
+        sys.exit(f"schema check failed: scale {mode} has no throughput")
 print(f"schema check ok: {len(doc['perf_analysis']['benchmarks'])} analysis + "
       f"{len(doc['perf_ingest']['benchmarks'])} ingest + "
       f"{len(doc['perf_cache']['benchmarks'])} cache + "
       f"{len(doc['perf_kernels']['benchmarks'])} kernel benchmarks "
       f"(backends: {', '.join(sorted(backends))}; dispatch: {active}), "
-      f"{len(names)} metric names")
+      f"{len(names)} metric names; scale: windowed peak RSS "
+      f"{single['windowed']['peak_rss_bytes']} vs materialized "
+      f"{single['materialized']['peak_rss_bytes']} on {single['jobs']} jobs, "
+      f"shard x4 {shard['workers_4']['jobs_per_second']} jobs/s")
 PYEOF
 else
   echo "warning: python3 not found, skipping schema check" >&2

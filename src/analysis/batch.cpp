@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "cpw/analysis/streaming.hpp"
 #include "cpw/cache/cache.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
@@ -74,6 +75,29 @@ void analyze_log(const swf::Log& log, const BatchOptions& options,
     analysis.hurst[a].attribute = attributes[a];
     auto& series = scratch.series[a];
     series = workload::attribute_series(log, attributes[a]);
+    if (series.size() >= selfsim::kMinHurstLength) {
+      analysis.hurst[a].estimated = true;
+      scratch.prefix[a] = selfsim::SeriesPrefix(series);
+    }
+  }
+}
+
+/// Wave-1 body for the windowed ingest path: takes the streaming
+/// analyzer's accumulated state instead of a materialized Log, but fills
+/// the identical analysis/scratch slots — bit for bit — that analyze_log
+/// fills from a decoded Log (StreamingAnalyzer::finish replicates
+/// characterize exactly; see cpw/analysis/streaming.hpp).
+void analyze_streamed(StreamingAnalyzer& analyzer, LogAnalysis& analysis,
+                      LogScratch& scratch) {
+  obs::counter("cpw_batch_characterize_total").add(1);
+  StreamedAnalysis streamed = analyzer.finish();
+  const auto attributes = workload::all_attributes();
+  analysis.name = streamed.stats.name;
+  analysis.stats = std::move(streamed.stats);
+  for (std::size_t a = 0; a < kAttributes; ++a) {
+    analysis.hurst[a].attribute = attributes[a];
+    auto& series = scratch.series[a];
+    series = std::move(streamed.series[a]);
     if (series.size() >= selfsim::kMinHurstLength) {
       analysis.hurst[a].estimated = true;
       scratch.prefix[a] = selfsim::SeriesPrefix(series);
@@ -261,6 +285,44 @@ BatchResult run_batch(std::span<const std::string> paths,
       [&](std::size_t i) {
         LogDiagnostics& slot = result.diagnostics.logs[i];
         slot.name = paths[i];
+
+        if (options.ingest == IngestMode::kWindowed) {
+          // Out-of-core path: never materialize the Job records. The
+          // windowed content fingerprint equals the whole-file one, so
+          // cache entries are shared with the materialized mode.
+          std::optional<StreamingAnalyzer> analyzer;
+          obs::Span ingest_span("ingest", paths[i]);
+          const bool ingested =
+              contain(slot, "ingest", LogStatus::kFailed, [&] {
+                stop.throw_if_stopped("batch ingest");
+                StreamAnalyzeOptions stream_options;
+                stream_options.reader = reader_options;
+                stream_options.window_bytes = options.ingest_window_bytes;
+                stream_options.machine_processors = options.machine_processors;
+                if (ctx.enabled()) {
+                  const std::uint64_t fp = swf::fingerprint_swf_windowed(
+                      paths[i], options.ingest_window_bytes);
+                  if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i],
+                                    slot)) {
+                    return;
+                  }
+                  stream_options.reader.fingerprint = false;  // already hashed
+                }
+                analyzer.emplace(stream_options);
+                analyzer->ingest(paths[i]);
+              });
+          slot.ingest_seconds = ingest_span.end();
+          if (!ingested || slot.cache_hit) return;
+          slot.quarantine = analyzer->quarantine();
+          if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
+          obs::Span analyze_span("analyze", paths[i]);
+          contain(slot, "analyze", LogStatus::kFailed, [&] {
+            analyze_streamed(*analyzer, result.logs[i], scratch[i]);
+          });
+          slot.analyze_seconds = analyze_span.end();
+          return;
+        }
+
         std::optional<swf::Log> log;
         obs::Span ingest_span("ingest", paths[i]);
         const bool ingested =

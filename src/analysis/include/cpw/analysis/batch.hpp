@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -16,6 +17,19 @@
 #include "cpw/workload/characterize.hpp"
 
 namespace cpw::analysis {
+
+/// How the file-path overload of run_batch turns bytes into per-log state.
+enum class IngestMode {
+  /// Decode the whole file into a swf::Log, then characterize it. Peak
+  /// memory is O(jobs in the largest in-flight log) at ~160 B/job.
+  kMaterialized,
+  /// Stream the file window by window (cpw::swf::stream_swf), keeping only
+  /// the four analysis series plus O(1) accumulators resident (~32 B/job)
+  /// and releasing consumed windows back to the OS. Results are
+  /// bit-identical to kMaterialized; choose it when logs outgrow memory
+  /// (10^8–10^9 jobs).
+  kWindowed,
+};
 
 /// Options for one batch run. Defaults reproduce the paper's pipeline: all
 /// 18 Table 1 variables, the three Table 3 estimators per attribute series,
@@ -46,6 +60,18 @@ struct BatchOptions {
   /// lines/jobs (recorded per log in the diagnostics) instead of failing
   /// the log.
   swf::ReaderOptions reader;
+
+  /// Ingest strategy for the file-path overload (the span overload takes
+  /// already-materialized logs and ignores it). Deliberately excluded from
+  /// the cache options fingerprint: both modes produce bit-identical
+  /// results, so cache entries written by one mode serve the other.
+  IngestMode ingest = IngestMode::kMaterialized;
+
+  /// Window size for IngestMode::kWindowed — the memory ceiling knob. Peak
+  /// per-worker transient memory is roughly one window of file bytes (plus
+  /// its decoded jobs) on top of the ~32 B/job resident series; smaller
+  /// windows trade decode-batching efficiency for a lower ceiling.
+  std::size_t ingest_window_bytes = std::size_t{32} << 20;
 
   /// Cooperative cancellation for the whole batch; polled between stages
   /// and inside the reader, the Hurst kernels, and the SSA descent. A

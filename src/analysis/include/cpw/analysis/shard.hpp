@@ -1,0 +1,118 @@
+#pragma once
+
+// cpw-shard — multi-process batch driver for corpora of thousands of logs.
+//
+// One process per worker, not one thread: a 10^9-job log is hours of
+// decode + estimation, and a corpus walk must survive a worker OOM-killed
+// or segfaulting halfway through a file. The coordination medium is the
+// content-addressed analysis cache (cpw::cache) — already concurrent-safe
+// across processes — plus a claim directory of O_CREAT|O_EXCL marker
+// files, so there is no IPC, no server, and no state that a dead worker
+// can corrupt:
+//
+//   1. The driver writes a manifest of the input files sorted by
+//      decreasing size (largest-first claiming is the work-stealing
+//      schedule: big files start early, small ones backfill stragglers).
+//   2. Each worker walks the manifest; for each line it tries to create
+//      `<claims>/<index>.claim` with O_CREAT|O_EXCL. Exactly one worker
+//      wins a file. The winner analyzes it with run_batch (Co-plot off),
+//      which stores the per-log result into the shared cache, then
+//      creates `<index>.done`.
+//   3. The driver waits for every worker, then runs a normal, warm
+//      run_batch over the ORIGINAL path order: every precomputed file is
+//      a cache hit, files lost to a killed worker recompute in-process,
+//      and the final Co-plot fits over all survivors. The cache's
+//      warm == cold bit-identity guarantee makes the merged BatchResult
+//      byte-identical to a single-process run_batch over the same paths.
+//
+// Each worker snapshots its metrics registry (including its
+// cpw_peak_rss_bytes gauge) to `<claims>/worker-<index>.metrics.json` on
+// clean exit, so per-worker throughput and memory are observable from the
+// driver side.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+
+namespace cpw::analysis {
+
+/// Options for one sharded corpus run.
+struct ShardOptions {
+  /// Per-log analysis options, shared verbatim by workers and the merge
+  /// pass. `cache_dir` must be non-empty — the cache IS the result
+  /// transport. `run_coplot` applies to the merge pass only (workers never
+  /// fit a map).
+  BatchOptions batch;
+
+  /// Number of worker processes to spawn.
+  std::size_t workers = 4;
+
+  /// Executable to spawn for workers — the cpw_shard binary itself (the
+  /// `worker` subcommand). Usually /proc/self/exe or argv[0].
+  std::string worker_command;
+
+  /// Claim/manifest/metrics directory. Empty derives
+  /// `<cache_dir>/shard`. Wiped and recreated at the start of every run.
+  std::string work_dir;
+
+  /// Test hook: worker 0 raises SIGKILL after analyzing this many files
+  /// (before writing the last done marker), simulating a worker dying
+  /// mid-run. 0 disables.
+  std::size_t abort_worker_after = 0;
+};
+
+/// Outcome of one spawned worker process.
+struct ShardWorkerStats {
+  pid_t pid = -1;
+  bool spawned = false;
+  /// Raw waitpid status; decode with WIFEXITED/WIFSIGNALED.
+  int raw_status = 0;
+  bool clean_exit = false;
+  /// Files this worker claimed (from the claim-file contents).
+  std::size_t files_claimed = 0;
+  /// Per-worker metrics snapshot path; empty if the worker never wrote one
+  /// (killed, or spawn failed).
+  std::string metrics_path;
+};
+
+/// Outcome of run_shard: the merged batch result plus the shard story.
+struct ShardResult {
+  /// Bit-identical to single-process run_batch(paths, options.batch).
+  BatchResult merged;
+  std::vector<ShardWorkerStats> workers;
+  std::size_t files_claimed = 0;  ///< claim markers present at merge time
+  std::size_t files_done = 0;     ///< done markers present at merge time
+  /// Driver-process peak RSS after the merge (getrusage), bytes.
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// Fans `paths` across worker processes and merges (see file comment).
+/// Throws cpw::Error(kInvalidArgument) on an empty cache_dir or
+/// worker_command, or zero workers; worker failures never throw — a shard
+/// run with every worker dead degrades to a single-process run_batch in
+/// the merge pass.
+ShardResult run_shard(std::span<const std::string> paths,
+                      const ShardOptions& options);
+
+/// Configuration of one worker process (parsed from the `worker`
+/// subcommand's flags by the cpw_shard tool).
+struct ShardWorkerConfig {
+  std::string manifest;    ///< manifest file written by the driver
+  std::string claims_dir;  ///< claim/done/metrics directory
+  BatchOptions batch;      ///< must match the driver's fingerprint-wise
+  std::size_t worker_index = 0;
+  std::size_t abort_after = 0;  ///< see ShardOptions::abort_worker_after
+};
+
+/// Worker main loop: claim, analyze into the shared cache, mark done.
+/// Returns a process exit code (0 on success, including "nothing left to
+/// claim").
+int run_shard_worker(const ShardWorkerConfig& config);
+
+}  // namespace cpw::analysis

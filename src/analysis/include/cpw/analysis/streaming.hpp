@@ -1,0 +1,134 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cpw/swf/reader.hpp"
+#include "cpw/swf/stream.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::analysis {
+
+/// Options for one out-of-core single-log analysis pass.
+struct StreamAnalyzeOptions {
+  swf::ReaderOptions reader;                    ///< per-window decode knobs
+  std::size_t window_bytes = std::size_t{32} << 20;
+  std::optional<double> machine_processors;     ///< override, as in BatchOptions
+  bool release_windows = true;
+  bool force_buffered = false;
+};
+
+/// What the streaming pass produces: exactly the per-log state the batch
+/// engine's analyze wave derives from a materialized Log, bit for bit.
+struct StreamedAnalysis {
+  workload::WorkloadStats stats;
+  /// The four Hurst attribute series in workload::all_attributes() order
+  /// (processors, runtime, total work, inter-arrival), in submit-sorted job
+  /// order — identical to workload::attribute_series on the decoded Log.
+  std::array<std::vector<double>, 4> series;
+  std::size_t jobs = 0;  ///< post-quarantine job count
+  std::uint64_t content_fingerprint = 0;  ///< 0 when reader.fingerprint off
+  std::size_t windows = 0;
+  bool memory_mapped = false;
+};
+
+/// Out-of-core replacement for decode-then-characterize: consumes an SWF
+/// file window by window (cpw::swf::stream_swf) and keeps only ~32 bytes
+/// per job resident — the four analysis series (submit, clamped runtime,
+/// clamped processors, total work) plus a CPU-time presence bitmap and the
+/// O(1) characterization accumulators — instead of the 160-byte Job
+/// records. finish() then reproduces workload::characterize bit for bit:
+/// the accumulators replicate Log::finalize()'s duration/max-processors
+/// scans exactly (min/max/adjacent-inversion counting are order-exact), the
+/// submit-sorted order is recovered through a stable index sort identical
+/// to finalize()'s stable_sort, and every floating-point reduction runs in
+/// the same order over the same values.
+///
+/// Two-phase by design: the batch engine wraps ingest() and finish() in its
+/// separate ingest/analyze containment stages, so a parse error and a
+/// characterize error land in the same stage slots as the materialized
+/// path. Use analyze_swf_streaming for the one-shot form.
+class StreamingAnalyzer {
+ public:
+  explicit StreamingAnalyzer(StreamAnalyzeOptions options)
+      : options_(std::move(options)) {}
+
+  /// Streams one file through the accumulators. Call once. Throws exactly
+  /// what the materialized reader would (ParseError with absolute line
+  /// numbers, CancelledError, IO errors).
+  void ingest(const std::string& path);
+
+  /// Exact quarantine counts of the streamed file (lenient policy).
+  [[nodiscard]] const swf::QuarantineReport& quarantine() const noexcept {
+    return stream_.quarantine;
+  }
+
+  /// Whole-file content fingerprint (0 when reader.fingerprint off).
+  [[nodiscard]] std::uint64_t content_fingerprint() const noexcept {
+    return stream_.content_fingerprint;
+  }
+
+  /// Post-quarantine job count absorbed so far.
+  [[nodiscard]] std::size_t jobs() const noexcept { return n_; }
+
+  /// Characterization + the four Hurst series. Consumes the accumulated
+  /// state; call once, after ingest(). Throws the same cpw::Error
+  /// preconditions as workload::characterize ("characterize needs at least
+  /// two jobs", "machine size unknown").
+  [[nodiscard]] StreamedAnalysis finish();
+
+  /// Stats-only variant: identical WorkloadStats bit for bit, but the
+  /// order summaries run destructively on the series themselves (freed one
+  /// by one, largest-transient-first) instead of on copies — peak memory
+  /// stays at the ~32 B/job ingest ceiling, which is what the ulimit-capped
+  /// CI job measures. Use finish() when the Hurst series are needed.
+  [[nodiscard]] workload::WorkloadStats finish_stats();
+
+ private:
+  void absorb(const swf::JobList& jobs);
+  void maybe_reserve(std::size_t bytes_consumed);
+  void apply_sort_permutation();
+  /// Shared prologue of the finish variants: machine size, header-derived
+  /// stats, submit-order recovery, and the load/count variables.
+  void finish_common(workload::WorkloadStats& stats);
+
+  StreamAnalyzeOptions options_;
+  std::string name_;
+  swf::StreamResult stream_;
+
+  // Resident per-job series, file order until finish() sorts them.
+  std::vector<double> submit_;
+  std::vector<double> runtime_;  ///< max(run_time, 0)
+  std::vector<double> procs_;   ///< max(processors, 0) as double
+  std::vector<double> work_;    ///< Job::total_work()
+  std::vector<bool> has_cpu_;   ///< cpu_time_avg >= 0
+
+  // One-shot capacity reservation from the first window's jobs-per-byte
+  // density (see maybe_reserve).
+  std::uint64_t total_bytes_hint_ = 0;
+  std::uint64_t consumed_bytes_ = 0;
+  bool reserved_ = false;
+
+  // O(1) accumulators replicating Log::finalize() + characterize's pass.
+  std::size_t n_ = 0;
+  std::size_t inversions_ = 0;  ///< adjacent submit inversions in file order
+  double last_submit_ = 0.0;
+  double start_ = 0.0;  ///< min submit (valid once n_ > 0)
+  double end_ = 0.0;    ///< max(submit + max(run, 0)); 0-init as finalize()
+  std::int64_t max_job_procs_ = 0;
+  std::unordered_set<std::int64_t> users_, executables_;
+  std::size_t with_cpu_ = 0, with_status_ = 0, completed_ = 0;
+};
+
+/// One-shot convenience: ingest + finish.
+StreamedAnalysis analyze_swf_streaming(const std::string& path,
+                                       const StreamAnalyzeOptions& options = {});
+
+}  // namespace cpw::analysis

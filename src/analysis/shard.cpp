@@ -1,0 +1,285 @@
+#include "cpw/analysis/shard.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/error.hpp"
+
+extern char** environ;
+
+namespace cpw::analysis {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shortest-round-trip decimal form: fingerprint-relevant doubles must
+/// survive the argv round trip bit for bit.
+std::string fmt_double(double v) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("0");
+}
+
+std::string claim_path(const std::string& dir, std::size_t index) {
+  return dir + "/" + std::to_string(index) + ".claim";
+}
+
+std::string done_path(const std::string& dir, std::size_t index) {
+  return dir + "/" + std::to_string(index) + ".done";
+}
+
+std::string metrics_path(const std::string& dir, std::size_t index) {
+  return dir + "/worker-" + std::to_string(index) + ".metrics.json";
+}
+
+/// Atomic existence marker. Returns false when another process already
+/// created it (EEXIST) — the claim race's losing branch.
+bool create_marker(const std::string& path, const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  if (!contents.empty()) {
+    // Marker content is advisory (worker attribution); a short write is
+    // not worth failing the claim over.
+    [[maybe_unused]] const ssize_t n =
+        ::write(fd, contents.data(), contents.size());
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Manifest codec: one absolute path per line, driver-sorted. SWF paths
+/// cannot contain newlines, which the driver validates on write.
+std::vector<std::string> read_manifest(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw Error("cannot open shard manifest: " + path, ErrorCode::kIo);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// The flags the `worker` subcommand needs to rebuild BatchOptions with an
+/// identical options fingerprint (plus the ingest knobs, which are not in
+/// the fingerprint but must match for like-for-like memory behavior).
+std::vector<std::string> worker_argv(const ShardOptions& options,
+                                     const std::string& manifest,
+                                     const std::string& work_dir,
+                                     std::size_t index) {
+  const BatchOptions& b = options.batch;
+  std::vector<std::string> argv{
+      options.worker_command,
+      "worker",
+      "--manifest", manifest,
+      "--claims", work_dir,
+      "--cache", b.cache_dir,
+      "--cache-max-bytes", std::to_string(b.cache_max_bytes),
+      "--worker-index", std::to_string(index),
+      "--ingest",
+      b.ingest == IngestMode::kWindowed ? "windowed" : "materialized",
+      "--window-bytes", std::to_string(b.ingest_window_bytes),
+      "--policy",
+      b.reader.policy == swf::DecodePolicy::kLenient ? "lenient" : "strict",
+      "--max-regression", fmt_double(b.reader.max_submit_regression),
+      "--sample-limit", std::to_string(b.reader.quarantine_sample_limit),
+      "--hurst-min-block", std::to_string(b.hurst.min_block),
+      "--hurst-max-fraction", fmt_double(b.hurst.max_block_fraction),
+      "--hurst-ppd", std::to_string(b.hurst.points_per_decade),
+      "--hurst-cutoff", fmt_double(b.hurst.periodogram_cutoff),
+  };
+  if (b.machine_processors) {
+    argv.push_back("--machine");
+    argv.push_back(fmt_double(*b.machine_processors));
+  }
+  if (index == 0 && options.abort_worker_after > 0) {
+    argv.push_back("--abort-after");
+    argv.push_back(std::to_string(options.abort_worker_after));
+  }
+  return argv;
+}
+
+}  // namespace
+
+int run_shard_worker(const ShardWorkerConfig& config) {
+  const std::vector<std::string> manifest = read_manifest(config.manifest);
+  BatchOptions batch = config.batch;
+  batch.run_coplot = false;  // workers only populate the cache
+
+  std::size_t processed = 0;
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    if (!create_marker(claim_path(config.claims_dir, i),
+                       std::to_string(config.worker_index) + "\n")) {
+      continue;  // another worker owns this file
+    }
+    obs::counter("cpw_shard_files_claimed_total").add(1);
+    // run_batch contains every per-file failure into its diagnostics; a
+    // file this worker cannot analyze stays cache-less and the merge pass
+    // recomputes (and re-contains) it.
+    const std::string path = manifest[i];
+    (void)run_batch(std::span<const std::string>(&path, 1), batch);
+    ++processed;
+    if (config.abort_after > 0 && processed >= config.abort_after) {
+      // Test hook: die the hard way — no done marker for this file, no
+      // metrics snapshot, claims left dangling — exactly what a worker
+      // OOM-kill looks like to the driver.
+      ::raise(SIGKILL);
+    }
+    create_marker(done_path(config.claims_dir, i), {});
+    obs::counter("cpw_shard_files_done_total").add(1);
+  }
+
+  obs::record_peak_rss();
+  const std::string json = obs::to_json(obs::registry().snapshot());
+  const std::string out = metrics_path(config.claims_dir, config.worker_index);
+  const std::string tmp = out + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    file << json << '\n';
+    if (!file.flush()) return 1;
+  }
+  std::error_code ec;
+  fs::rename(tmp, out, ec);
+  return ec ? 1 : 0;
+}
+
+ShardResult run_shard(std::span<const std::string> paths,
+                      const ShardOptions& options) {
+  CPW_REQUIRE(!options.batch.cache_dir.empty(),
+              "cpw-shard needs a cache directory (the result transport)");
+  CPW_REQUIRE(!options.worker_command.empty(),
+              "cpw-shard needs the worker executable path");
+  CPW_REQUIRE(options.workers >= 1, "cpw-shard needs at least one worker");
+
+  obs::counter("cpw_shard_runs_total").add(1);
+  obs::Span span("shard_run");
+
+  ShardResult result;
+  if (paths.empty()) {
+    result.merged = run_batch(paths, options.batch);
+    return result;
+  }
+
+  const std::string work_dir = options.work_dir.empty()
+                                   ? options.batch.cache_dir + "/shard"
+                                   : options.work_dir;
+  fs::remove_all(work_dir);
+  fs::create_directories(work_dir);
+
+  // Largest-first manifest: workers claim from the front, so the biggest
+  // files start immediately and small ones backfill — work stealing by
+  // file size with no scheduler process.
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uintmax_t> sizes(paths.size(), 0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(paths[i], ec);
+    sizes[i] = ec ? 0 : size;  // unreadable files sort last; merge contains
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&sizes](std::size_t a, std::size_t b) {
+                     return sizes[a] > sizes[b];
+                   });
+
+  const std::string manifest = work_dir + "/manifest.txt";
+  {
+    const std::string tmp = manifest + ".tmp";
+    std::ofstream file(tmp, std::ios::trunc);
+    for (std::size_t i : order) {
+      CPW_REQUIRE(paths[i].find('\n') == std::string::npos,
+                  "shard input path contains a newline");
+      file << paths[i] << '\n';
+    }
+    if (!file.flush()) {
+      throw Error("cannot write shard manifest: " + manifest, ErrorCode::kIo);
+    }
+    file.close();
+    fs::rename(tmp, manifest);
+  }
+
+  // Spawn the fleet. A spawn failure downgrades that slot to "never ran" —
+  // the merge pass absorbs its share of the work.
+  result.workers.resize(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    ShardWorkerStats& stats = result.workers[w];
+    stats.metrics_path = metrics_path(work_dir, w);
+    const std::vector<std::string> argv_storage =
+        worker_argv(options, manifest, work_dir, w);
+    std::vector<char*> argv;
+    argv.reserve(argv_storage.size() + 1);
+    for (const std::string& arg : argv_storage) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, options.worker_command.c_str(),
+                                 nullptr, nullptr, argv.data(), environ);
+    if (rc != 0) {
+      obs::counter("cpw_shard_worker_exits_total", {{"status", "spawn-failed"}})
+          .add(1);
+      continue;
+    }
+    stats.pid = pid;
+    stats.spawned = true;
+  }
+
+  for (ShardWorkerStats& stats : result.workers) {
+    if (!stats.spawned) continue;
+    int status = 0;
+    if (::waitpid(stats.pid, &status, 0) < 0) continue;
+    stats.raw_status = status;
+    stats.clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    obs::counter("cpw_shard_worker_exits_total",
+                 {{"status", stats.clean_exit ? "clean" : "died"}})
+        .add(1);
+  }
+
+  // Attribute claims and completions from the marker files.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream claim(claim_path(work_dir, i));
+    if (claim) {
+      ++result.files_claimed;
+      std::size_t owner = 0;
+      if (claim >> owner && owner < result.workers.size()) {
+        ++result.workers[owner].files_claimed;
+      }
+    }
+    if (fs::exists(done_path(work_dir, i))) ++result.files_done;
+  }
+  if (result.files_done < paths.size()) {
+    obs::counter("cpw_shard_files_recovered_total")
+        .add(paths.size() - result.files_done);
+  }
+
+  // Merge: a warm run over the ORIGINAL order. Precomputed files are cache
+  // hits; anything a dead worker left behind recomputes here. Bit-identity
+  // with single-process run_batch is the cache layer's warm == cold
+  // guarantee.
+  result.merged = run_batch(paths, options.batch);
+  result.peak_rss_bytes = obs::record_peak_rss();
+  return result;
+}
+
+}  // namespace cpw::analysis

@@ -1,0 +1,353 @@
+#include "cpw/analysis/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <system_error>
+#include <utility>
+
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
+#include "cpw/stats/descriptive.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::analysis {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Bounded-slack growth (9:8 plus a small floor) instead of the library's
+/// doubling: the series are the only O(n) state of the whole pass, and a 2x
+/// growth policy would put peak memory at ~2x the 32 B/job target at every
+/// reallocation of the largest array.
+template <typename T>
+void grow(std::vector<T>& v) {
+  if (v.size() == v.capacity()) {
+    v.reserve(v.size() + v.size() / 8 + 1024);
+  }
+}
+
+/// Gathers `values[perm[i]]` into a fresh vector, one array at a time so
+/// the transient cost is one series, not four.
+std::vector<double> gather(const std::vector<double>& values,
+                           const std::vector<std::size_t>& perm) {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = values[perm[i]];
+  return out;
+}
+
+}  // namespace
+
+void StreamingAnalyzer::ingest(const std::string& path) {
+  name_ = path;
+  {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    total_bytes_hint_ = ec ? 0 : static_cast<std::uint64_t>(bytes);
+  }
+  swf::StreamOptions stream_options;
+  stream_options.reader = options_.reader;
+  stream_options.window_bytes = options_.window_bytes;
+  stream_options.release_windows = options_.release_windows;
+  stream_options.force_buffered = options_.force_buffered;
+  stream_ = swf::stream_swf(path, stream_options,
+                            [this](const swf::StreamWindow& window) {
+                              absorb(*window.jobs);
+                              consumed_bytes_ += window.bytes;
+                              maybe_reserve(consumed_bytes_);
+                            });
+}
+
+void StreamingAnalyzer::maybe_reserve(std::size_t bytes_consumed) {
+  // After the first job-bearing window, project the final job count from
+  // the observed jobs-per-byte density and reserve each series once. This
+  // replaces the grow() slack ramp with a single allocation, so the peak
+  // never pays an old+new realloc transient — which matters under an
+  // RLIMIT_DATA cap, where reserved-but-untouched pages still count.
+  if (reserved_ || n_ == 0 || total_bytes_hint_ == 0) return;
+  reserved_ = true;
+  if (bytes_consumed == 0 || bytes_consumed >= total_bytes_hint_) return;
+  const double density =
+      static_cast<double>(n_) / static_cast<double>(bytes_consumed);
+  const auto estimate = static_cast<std::size_t>(
+      density * static_cast<double>(total_bytes_hint_) * 1.06) + 1024;
+  if (estimate <= submit_.capacity()) return;
+  submit_.reserve(estimate);
+  runtime_.reserve(estimate);
+  procs_.reserve(estimate);
+  work_.reserve(estimate);
+  has_cpu_.reserve(estimate);
+}
+
+void StreamingAnalyzer::absorb(const swf::JobList& jobs) {
+  for (const swf::Job& job : jobs) {
+    // Log::finalize()'s scans, replicated with order-exact reductions:
+    // adjacent inversion counting, min submit, max job end, max processors.
+    if (n_ > 0 && job.submit_time < last_submit_) ++inversions_;
+    last_submit_ = job.submit_time;
+    start_ = n_ == 0 ? job.submit_time : std::min(start_, job.submit_time);
+    end_ = std::max(end_, job.submit_time + std::max(job.run_time, 0.0));
+    max_job_procs_ = std::max(max_job_procs_, job.processors);
+
+    // characterize()'s per-job values, same expressions.
+    const double r = std::max(job.run_time, 0.0);
+    const double p =
+        static_cast<double>(std::max<std::int64_t>(job.processors, 0));
+    grow(submit_);
+    grow(runtime_);
+    grow(procs_);
+    grow(work_);
+    grow(has_cpu_);
+    submit_.push_back(job.submit_time);
+    runtime_.push_back(r);
+    procs_.push_back(p);
+    work_.push_back(job.total_work());
+    // For jobs with CPU times, total_work() == cpu_time_avg * p bit for
+    // bit, so the CPU-load numerator can reuse work_ plus this one bit
+    // instead of a fifth 8-byte series.
+    const bool has_cpu = job.cpu_time_avg >= 0.0;
+    has_cpu_.push_back(has_cpu);
+    if (has_cpu) ++with_cpu_;
+
+    if (job.user >= 0) users_.insert(job.user);
+    if (job.executable >= 0) executables_.insert(job.executable);
+    if (job.status >= 0) {
+      ++with_status_;
+      if (job.status == 1) ++completed_;
+    }
+    ++n_;
+  }
+}
+
+void StreamingAnalyzer::apply_sort_permutation() {
+  // The index sort is stable on equal submit times, so gathering through it
+  // reorders every series exactly as Log::finalize()'s stable_sort reorders
+  // the jobs themselves.
+  std::vector<std::size_t> perm(n_);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return submit_[a] < submit_[b];
+                   });
+  submit_ = gather(submit_, perm);
+  runtime_ = gather(runtime_, perm);
+  procs_ = gather(procs_, perm);
+  work_ = gather(work_, perm);
+  std::vector<bool> cpu(n_);
+  for (std::size_t i = 0; i < n_; ++i) cpu[i] = has_cpu_[perm[i]];
+  has_cpu_ = std::move(cpu);
+}
+
+void StreamingAnalyzer::finish_common(workload::WorkloadStats& stats) {
+  stats.name = name_;
+
+  // Log::max_processors(): MaxProcs header first, job scan as fallback —
+  // always evaluated (characterize's value_or is eager), so a corrupt
+  // header is swallow-counted even under a machine override.
+  const double log_machine = [this]() -> double {
+    const auto it = stream_.header.find("MaxProcs");
+    if (it != stream_.header.end()) {
+      try {
+        return static_cast<double>(std::stoll(it->second));
+      } catch (const std::exception&) {
+        obs::counter("cpw_swallowed_exceptions_total",
+                     {{"site", "log_max_procs_header"}})
+            .add(1);
+      }
+    }
+    return static_cast<double>(max_job_procs_);
+  }();
+  const double machine = options_.machine_processors.value_or(log_machine);
+  CPW_REQUIRE(machine > 0.0, "machine size unknown");
+  stats.machine_processors = machine;
+
+  const auto header_num = [this](const char* key) {
+    const auto it = stream_.header.find(key);
+    if (it == stream_.header.end() || it->second.empty()) return kNaN;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      obs::counter("cpw_swallowed_exceptions_total",
+                   {{"site", "characterize_header"}})
+          .add(1);
+      return kNaN;
+    }
+  };
+  stats.scheduler_flexibility = header_num("SchedulerFlexibility");
+  stats.allocation_flexibility = header_num("AllocationFlexibility");
+
+  if (inversions_ > 0) apply_sort_permutation();
+
+  // The load numerators sum in submit-sorted order with the accumulators
+  // characterize uses, so the floating-point results match exactly.
+  double node_seconds = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) node_seconds += runtime_[i] * procs_[i];
+  double cpu_node_seconds = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (has_cpu_[i]) cpu_node_seconds += work_[i];
+  }
+
+  const double duration = end_ - start_;
+  const double capacity = machine * duration;
+  stats.runtime_load = capacity > 0.0 ? node_seconds / capacity : kNaN;
+  if (with_cpu_ * 2 >= n_ && capacity > 0.0) {
+    stats.cpu_load = cpu_node_seconds / capacity;
+  } else {
+    stats.cpu_load = stats.runtime_load;
+  }
+
+  const double n = static_cast<double>(n_);
+  stats.norm_executables =
+      executables_.empty() ? kNaN
+                           : static_cast<double>(executables_.size()) / n;
+  stats.norm_users =
+      users_.empty() ? kNaN : static_cast<double>(users_.size()) / n;
+  stats.pct_completed = with_status_ == 0
+                            ? kNaN
+                            : static_cast<double>(completed_) /
+                                  static_cast<double>(with_status_);
+}
+
+StreamedAnalysis StreamingAnalyzer::finish() {
+  CPW_REQUIRE(n_ >= 2, "characterize needs at least two jobs");
+  obs::Span span("characterize", name_);
+
+  StreamedAnalysis out;
+  finish_common(out.stats);
+  const double machine = out.stats.machine_processors;
+
+  // Summaries run on copies in the same (submit-sorted) element order as
+  // characterize's throwaway vectors, so the destructive selection picks
+  // bit-identical order statistics; the originals stay intact as the Hurst
+  // series. One copy lives at a time.
+  {
+    std::vector<double> tmp = runtime_;
+    const auto s = stats::order_summary_inplace(tmp);
+    out.stats.runtime_median = s.median;
+    out.stats.runtime_interval = s.interval90;
+  }
+  {
+    std::vector<double> tmp = procs_;
+    const auto s = stats::order_summary_inplace(tmp);
+    out.stats.procs_median = s.median;
+    out.stats.procs_interval = s.interval90;
+  }
+  {
+    std::vector<double> norm_procs(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      norm_procs[i] = procs_[i] / machine * workload::kNormalizedMachine;
+    }
+    const auto s = stats::order_summary_inplace(norm_procs);
+    out.stats.norm_procs_median = s.median;
+    out.stats.norm_procs_interval = s.interval90;
+  }
+  {
+    std::vector<double> tmp = work_;
+    const auto s = stats::order_summary_inplace(tmp);
+    out.stats.work_median = s.median;
+    out.stats.work_interval = s.interval90;
+  }
+
+  // Inter-arrival series: forward-difference the sorted submit times in
+  // place (submit_ is dead after this).
+  std::vector<double> interarrival = std::move(submit_);
+  {
+    double prev = interarrival[0];
+    for (std::size_t i = 1; i < n_; ++i) {
+      const double cur = interarrival[i];
+      interarrival[i - 1] = cur - prev;
+      prev = cur;
+    }
+    interarrival.resize(n_ - 1);
+  }
+  {
+    std::vector<double> tmp = interarrival;
+    const auto s = stats::order_summary_inplace(tmp);
+    out.stats.interarrival_median = s.median;
+    out.stats.interarrival_interval = s.interval90;
+  }
+
+  // workload::all_attributes() order: procs, runtime, work, inter-arrival.
+  out.series[0] = std::move(procs_);
+  out.series[1] = std::move(runtime_);
+  out.series[2] = std::move(work_);
+  out.series[3] = std::move(interarrival);
+  out.jobs = n_;
+  out.content_fingerprint = stream_.content_fingerprint;
+  out.windows = stream_.windows;
+  out.memory_mapped = stream_.memory_mapped;
+  return out;
+}
+
+workload::WorkloadStats StreamingAnalyzer::finish_stats() {
+  CPW_REQUIRE(n_ >= 2, "characterize needs at least two jobs");
+  obs::Span span("characterize", name_);
+
+  workload::WorkloadStats stats;
+  finish_common(stats);
+  const double machine = stats.machine_processors;
+
+  // Same order statistics as finish(), but computed destructively on the
+  // series themselves and freed one by one, so peak memory never exceeds
+  // the ~32 B/job ingest ceiling. order_summary_inplace only permutes, and
+  // each series enters it in the same submit-sorted element order as
+  // finish()'s copies, so every median/interval is bit-identical.
+  {
+    const auto s = stats::order_summary_inplace(runtime_);
+    stats.runtime_median = s.median;
+    stats.runtime_interval = s.interval90;
+    runtime_ = std::vector<double>();
+  }
+  {
+    // Built before procs_ is permuted below: the normalization must see the
+    // submit-sorted order, and runtime_'s slot was freed first so this
+    // fresh array keeps the live total at four series.
+    std::vector<double> norm_procs(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      norm_procs[i] = procs_[i] / machine * workload::kNormalizedMachine;
+    }
+    const auto s = stats::order_summary_inplace(norm_procs);
+    stats.norm_procs_median = s.median;
+    stats.norm_procs_interval = s.interval90;
+  }
+  {
+    const auto s = stats::order_summary_inplace(procs_);
+    stats.procs_median = s.median;
+    stats.procs_interval = s.interval90;
+    procs_ = std::vector<double>();
+  }
+  {
+    const auto s = stats::order_summary_inplace(work_);
+    stats.work_median = s.median;
+    stats.work_interval = s.interval90;
+    work_ = std::vector<double>();
+  }
+  {
+    // Forward-difference the sorted submits in place, then select on the
+    // result directly.
+    double prev = submit_[0];
+    for (std::size_t i = 1; i < n_; ++i) {
+      const double cur = submit_[i];
+      submit_[i - 1] = cur - prev;
+      prev = cur;
+    }
+    submit_.resize(n_ - 1);
+    const auto s = stats::order_summary_inplace(submit_);
+    stats.interarrival_median = s.median;
+    stats.interarrival_interval = s.interval90;
+    submit_ = std::vector<double>();
+  }
+  has_cpu_ = std::vector<bool>();
+  return stats;
+}
+
+StreamedAnalysis analyze_swf_streaming(const std::string& path,
+                                       const StreamAnalyzeOptions& options) {
+  StreamingAnalyzer analyzer(options);
+  analyzer.ingest(path);
+  return analyzer.finish();
+}
+
+}  // namespace cpw::analysis

@@ -226,4 +226,11 @@ Gauge& gauge(std::string_view name, Labels labels = {});
 Histogram& histogram(std::string_view name, Labels labels = {},
                      std::span<const double> bounds = kDefaultTimeBuckets);
 
+/// Samples the process's lifetime peak resident set size (getrusage
+/// ru_maxrss) into the `cpw_peak_rss_bytes` gauge and returns it in bytes
+/// (0 where the platform has no getrusage). Call at measurement points —
+/// end of a batch, before writing a bench snapshot — so the bounded-memory
+/// claim of the windowed ingest is measured, not asserted.
+std::uint64_t record_peak_rss();
+
 }  // namespace cpw::obs

@@ -1,5 +1,9 @@
 #include "cpw/obs/metrics.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
@@ -220,6 +224,23 @@ Gauge& gauge(std::string_view name, Labels labels) {
 Histogram& histogram(std::string_view name, Labels labels,
                      std::span<const double> bounds) {
   return registry().histogram(name, std::move(labels), bounds);
+}
+
+std::uint64_t record_peak_rss() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes; Linux and the BSDs in kilobytes.
+  const auto bytes = static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  const auto bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  gauge("cpw_peak_rss_bytes").set(static_cast<double>(bytes));
+  return bytes;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace cpw::obs

@@ -130,6 +130,18 @@ HurstEstimate hurst_abs_moments(std::span<const double> series,
 HurstEstimate hurst_local_whittle(std::span<const double> series,
                                   const HurstOptions& options = {});
 
+/// Abry–Veitch wavelet estimator (Abry & Veitch 1998), the sixth estimator:
+/// a Haar discrete wavelet transform pyramid; at each octave j the mean
+/// detail-coefficient energy μ_j = mean_k d_{j,k}² of a process with
+/// spectral density ∼ |ω|^{−(2H−1)} near the origin scales as 2^{j(2H−1)},
+/// so H = (slope + 1)/2 from the OLS fit of log μ_j on log 2^j. The pyramid
+/// stops when the next octave would hold fewer than `min_block` detail
+/// coefficients. O(n) total work — the cheapest of the six — and, unlike
+/// the aggregation estimators, insensitive to polynomial trends up to the
+/// wavelet's vanishing moments (one, for Haar: level shifts).
+HurstEstimate hurst_wavelet(std::span<const double> series,
+                            const HurstOptions& options = {});
+
 /// Prefix-sharing overloads: `prefix` must have been built from `series`.
 /// The batch engine computes one prefix per (log, attribute) series and
 /// reuses it across estimators; the span overloads above build a throwaway

@@ -1,0 +1,63 @@
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "cpw/obs/span.hpp"
+#include "cpw/selfsim/hurst.hpp"
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::selfsim {
+
+HurstEstimate hurst_wavelet(std::span<const double> series,
+                            const HurstOptions& options) {
+  CPW_REQUIRE(series.size() >= kMinHurstLength,
+              "series too short for Hurst estimation");
+  options.stop.throw_if_stopped("hurst_wavelet");
+  obs::Span span("hurst_wavelet");
+
+  // Haar pyramid, in place over one scratch copy: each octave halves the
+  // approximation a_{j,k} = (a[2k] + a[2k+1])/√2 and spends its detail
+  // coefficients d_{j,k} = (a[2k] − a[2k+1])/√2 on the energy average
+  // immediately, so peak extra memory is one copy of the series. An odd
+  // tail sample at any octave is dropped, as in the standard DWT of a
+  // non-power-of-two length.
+  constexpr double kInvSqrt2 = 1.0 / std::numbers::sqrt2;
+  std::vector<double> approx(series.begin(), series.end());
+  LogLogPoints points;
+  const double log10_2 = std::log10(2.0);
+  for (std::size_t level = 1; approx.size() / 2 >= options.min_block;
+       ++level) {
+    options.stop.throw_if_stopped("hurst_wavelet");
+    const std::size_t half = approx.size() / 2;
+    double energy = 0.0;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double a = approx[2 * k];
+      const double b = approx[2 * k + 1];
+      const double d = (a - b) * kInvSqrt2;
+      energy += d * d;
+      approx[k] = (a + b) * kInvSqrt2;
+    }
+    approx.resize(half);
+    energy /= static_cast<double>(half);
+    if (energy <= 0.0) continue;  // constant octave: no log point
+    points.log_x.push_back(static_cast<double>(level) * log10_2);
+    points.log_y.push_back(std::log10(energy));
+  }
+
+  // log μ_j = c + (2H − 1) log 2^j  =>  H = (slope + 1)/2.
+  HurstEstimate est;
+  est.points = std::move(points);
+  if (est.points.log_x.size() < 2) {
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  const auto fit = stats::ols(est.points.log_x, est.points.log_y);
+  est.slope = fit.slope;
+  est.r2 = fit.r2;
+  est.hurst = 0.5 * fit.slope + 0.5;
+  return est;
+}
+
+}  // namespace cpw::selfsim

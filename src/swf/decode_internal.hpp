@@ -1,0 +1,100 @@
+#pragma once
+
+// Internal decode machinery shared by the one-shot buffer parser
+// (reader.cpp) and the windowed out-of-core reader (stream.cpp). Lives next
+// to the sources, not under include/: the types leak chunk-level detail
+// (per-chunk line accounting, buffer-local sample numbering) that the
+// public API deliberately hides.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cpw/swf/job.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/util/fingerprint.hpp"
+
+namespace cpw::swf::detail {
+
+/// Everything one chunk produces; spliced in chunk (= file) order.
+struct ChunkResult {
+  JobList jobs;
+  std::vector<std::pair<std::string, std::string>> header;
+  std::size_t lines = 0;  ///< lines consumed, counted like getline does
+  bool has_error = false;
+  std::size_t error_line = 0;  ///< 0-based line index *within* the chunk
+  std::string error_message;
+  // Lenient-policy extras. `job_lines[i]` is the 0-based chunk-local line
+  // job i came from, kept so the post-splice impossible-job filter can
+  // report exact absolute line numbers.
+  std::size_t malformed = 0;
+  std::vector<QuarantinedLine> quarantined;  ///< chunk-local lines, bounded
+  std::vector<std::size_t> job_lines;
+  bool cancelled = false;  ///< the stop token fired mid-chunk
+  /// Content digest of this chunk's raw bytes (ReaderOptions::fingerprint);
+  /// combined in chunk order after the splice so parallel decode yields the
+  /// same fingerprint as serial.
+  Fingerprint digest;
+};
+
+/// Decodes one chunk (no leading partial line; ends at a newline or EOF).
+void decode_chunk(std::string_view chunk, const ReaderOptions& options,
+                  ChunkResult& result);
+
+/// Newline-aligned chunk boundaries: strictly increasing offsets, each one
+/// (except 0) just past a '\n'.
+std::vector<std::size_t> chunk_starts(std::string_view text,
+                                      std::size_t chunk_bytes);
+
+/// One fully decoded, spliced buffer — the shared core of parse_swf_buffer
+/// and of each stream_swf window. Line numbers in `error_line`, `samples`,
+/// and `job_lines` are absolute: `first_line` (the 1-based line number of
+/// the buffer's first line) plus the buffer-local index.
+struct DecodedBuffer {
+  JobList jobs;  ///< file order; the impossible-job filter has NOT run yet
+  std::vector<std::pair<std::string, std::string>> header;  ///< file order
+  std::size_t lines = 0;
+  std::size_t chunks = 0;
+  Fingerprint digest;  ///< per-chunk digests combined in order
+  bool has_error = false;         ///< strict policy: first error in file order
+  std::size_t error_line = 0;     ///< absolute 1-based
+  std::string error_message;
+  bool cancelled = false;
+  // Lenient extras, absolute 1-based lines.
+  std::size_t malformed = 0;
+  std::vector<QuarantinedLine> samples;
+  std::vector<std::size_t> job_lines;
+};
+
+/// Chunked (parallel per `options.parallel`) decode of one buffer. Performs
+/// no I/O, throws nothing, and touches no obs counters — callers decide how
+/// errors, cancellation, and accounting surface.
+DecodedBuffer decode_swf_buffer(std::string_view text,
+                                const ReaderOptions& options,
+                                std::size_t first_line = 1);
+
+/// MaxProcs from the header map, 0 when absent or unparsable (the swallow
+/// is counted under site "reader_max_procs_header").
+std::int64_t parse_max_procs(const std::map<std::string, std::string>& header);
+
+/// Lenient stage 2: drop physically impossible jobs — negative runtimes
+/// that are not the SWF -1 "missing" sentinel, jobs wider than the MaxProcs
+/// header, and submit times that regress beyond the configured bound
+/// against the running maximum (corrupt timestamps). Runs serially over a
+/// file-order job list; `lines` holds each job's absolute 1-based source
+/// line for exact reporting. `running_max_submit` carries the submit-time
+/// high-water mark across calls so the windowed reader can apply the filter
+/// window by window and still match the whole-file pass (initialize it to
+/// -infinity for a fresh file).
+JobList quarantine_impossible_jobs(JobList jobs,
+                                   const std::vector<std::size_t>& lines,
+                                   std::int64_t max_procs,
+                                   const ReaderOptions& options,
+                                   QuarantineReport& report,
+                                   double& running_max_submit);
+
+}  // namespace cpw::swf::detail

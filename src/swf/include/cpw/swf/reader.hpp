@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -102,6 +103,13 @@ class MappedFile {
   explicit MappedFile(const std::string& path);
   ~MappedFile();
 
+  /// Mapping-only variant with no buffered fallback: nullopt when the
+  /// platform lacks mmap, the file is missing/empty/non-regular, or mmap
+  /// itself fails. The windowed reader uses this to pick its path — it
+  /// streams the non-mmap fallback itself instead of slurping the file.
+  [[nodiscard]] static std::optional<MappedFile> try_map(
+      const std::string& path);
+
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
   MappedFile(MappedFile&& other) noexcept;
@@ -114,6 +122,8 @@ class MappedFile {
   [[nodiscard]] bool mapped() const noexcept { return mapped_; }
 
  private:
+  MappedFile() = default;  ///< for try_map
+
   const char* data_ = nullptr;
   std::size_t size_ = 0;
   bool mapped_ = false;        ///< true: munmap on destruction

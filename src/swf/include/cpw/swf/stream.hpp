@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cpw/swf/job.hpp"
+#include "cpw/swf/reader.hpp"
+
+namespace cpw::swf {
+
+/// Tuning knobs for the windowed out-of-core reader.
+struct StreamOptions {
+  /// Decode policy, chunking, fingerprinting, and cancellation — the same
+  /// knobs the materialized reader takes, applied per window.
+  ReaderOptions reader;
+
+  /// Target bytes decoded (and resident) per window. Windows end at a
+  /// newline, so the effective window extends to the end of the line that
+  /// straddles the boundary; any value >= 1 works, including values smaller
+  /// than one line.
+  std::size_t window_bytes = std::size_t{32} << 20;
+
+  /// madvise(MADV_DONTNEED) fully consumed pages of the mapping after each
+  /// window, so the kernel can reclaim them and resident memory stays
+  /// O(window) instead of O(file). Ignored on the buffered path (which is
+  /// O(window) by construction).
+  bool release_windows = true;
+
+  /// Test hook: take the buffered streaming path even where mmap works.
+  bool force_buffered = false;
+};
+
+/// One decoded window handed to the sink, in file order. The job list has
+/// already been through the lenient impossible-job filter (with quarantine
+/// state carried across windows), so concatenating the windows' jobs yields
+/// exactly the job list the materialized reader would produce before
+/// Log::finalize() sorts it. Views into the struct are only valid during
+/// the sink call.
+struct StreamWindow {
+  const JobList* jobs = nullptr;   ///< surviving jobs, file order
+  std::size_t index = 0;           ///< 0-based window number
+  std::size_t first_line = 0;      ///< absolute 1-based line of window start
+  std::size_t lines = 0;           ///< lines in this window
+  std::size_t bytes = 0;           ///< raw bytes consumed by this window
+  /// Headers seen so far (this and all previous windows), SWF semantics
+  /// (later duplicate keys overwrite).
+  const std::map<std::string, std::string>* header = nullptr;
+};
+
+using WindowSink = std::function<void(const StreamWindow&)>;
+
+/// What a whole streamed pass produced, minus the jobs themselves.
+struct StreamResult {
+  std::map<std::string, std::string> header;
+  QuarantineReport quarantine;  ///< lenient policy only; exact counts
+  /// Split-invariant content fingerprint of the raw bytes — identical to
+  /// the materialized reader's Log::content_fingerprint() and to
+  /// fingerprint_bytes over the whole file. 0 when reader.fingerprint off.
+  std::uint64_t content_fingerprint = 0;
+  std::size_t total_lines = 0;
+  std::size_t total_jobs = 0;  ///< post-filter (jobs delivered to the sink)
+  std::size_t total_bytes = 0;
+  std::size_t windows = 0;
+  bool memory_mapped = false;  ///< which ingest path ran
+};
+
+/// Streams an SWF file through `sink` one bounded window at a time instead
+/// of materializing a Log: mmap + per-window chunked decode + page release
+/// where the platform allows, otherwise bounded buffered reads (never a
+/// whole-file slurp). Strict-policy parse errors and cancellation throw
+/// exactly like the materialized reader, with absolute line numbers.
+/// Resident memory is O(window_bytes) plus whatever the sink retains.
+StreamResult stream_swf(const std::string& path, const StreamOptions& options,
+                        const WindowSink& sink);
+
+/// Content fingerprint of a file in O(window) memory — the out-of-core
+/// equivalent of mapping the file and calling fingerprint_bytes on it.
+/// Throws cpw::Error when the file cannot be read.
+std::uint64_t fingerprint_swf_windowed(const std::string& path,
+                                       std::size_t window_bytes = std::size_t{32}
+                                                                  << 20,
+                                       bool force_buffered = false);
+
+}  // namespace cpw::swf

@@ -13,6 +13,7 @@
 #include "cpw/util/error.hpp"
 #include "cpw/util/fingerprint.hpp"
 #include "cpw/util/thread_pool.hpp"
+#include "decode_internal.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CPW_HAVE_MMAP 1
@@ -64,6 +65,33 @@ MappedFile::MappedFile(const std::string& path) {
   buffer_ = read_whole_file(path);
   data_ = buffer_.data();
   size_ = buffer_.size();
+}
+
+std::optional<MappedFile> MappedFile::try_map(const std::string& path) {
+#if CPW_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    const auto length = static_cast<std::size_t>(st.st_size);
+    void* mapping = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+      ::madvise(mapping, length, MADV_SEQUENTIAL);
+#endif
+      ::close(fd);
+      MappedFile file;
+      file.data_ = static_cast<const char*>(mapping);
+      file.size_ = length;
+      file.mapped_ = true;
+      return file;
+    }
+  }
+  ::close(fd);
+#else
+  (void)path;
+#endif
+  return std::nullopt;
 }
 
 MappedFile::~MappedFile() {
@@ -174,33 +202,12 @@ constexpr std::size_t kSwfFields = 18;
 /// Poll the cancellation token once per this many decoded lines.
 constexpr std::size_t kStopPollLines = 4096;
 
-/// Everything one chunk produces; spliced in chunk (= file) order.
-struct ChunkResult {
-  JobList jobs;
-  std::vector<std::pair<std::string, std::string>> header;
-  std::size_t lines = 0;  ///< lines consumed, counted like getline does
-  bool has_error = false;
-  std::size_t error_line = 0;  ///< 0-based line index *within* the chunk
-  std::string error_message;
-  // Lenient-policy extras. `job_lines[i]` is the 0-based chunk-local line
-  // job i came from, kept so the post-splice impossible-job filter can
-  // report exact absolute line numbers.
-  std::size_t malformed = 0;
-  std::vector<QuarantinedLine> quarantined;  ///< chunk-local lines, bounded
-  std::vector<std::size_t> job_lines;
-  bool cancelled = false;  ///< the stop token fired mid-chunk
-  /// Content digest of this chunk's raw bytes (ReaderOptions::fingerprint);
-  /// combined in chunk order after the splice so parallel decode yields the
-  /// same fingerprint as serial.
-  Fingerprint digest;
-};
-
 /// Decodes one line (no trailing '\n'; may end in '\r'). Returns false and
 /// fills `result`'s error fields on a malformed line. Under the lenient
 /// policy malformed lines are counted/sampled instead and decoding
 /// continues (always returns true).
 bool decode_line(std::string_view line, std::size_t line_index,
-                 const ReaderOptions& options, ChunkResult& result) {
+                 const ReaderOptions& options, detail::ChunkResult& result) {
   if (line.empty()) return true;
   if (line.front() == ';') {
     // Header comment: "; Key: Value".
@@ -280,6 +287,10 @@ bool decode_line(std::string_view line, std::size_t line_index,
   return true;
 }
 
+}  // namespace
+
+namespace detail {
+
 void decode_chunk(std::string_view chunk, const ReaderOptions& options,
                   ChunkResult& result) {
   // ~120 bytes per job line is typical; a mild over-reserve avoids regrowth.
@@ -309,8 +320,6 @@ void decode_chunk(std::string_view chunk, const ReaderOptions& options,
   }
 }
 
-/// Newline-aligned chunk boundaries: strictly increasing offsets, each one
-/// (except 0) just past a '\n'.
 std::vector<std::size_t> chunk_starts(std::string_view text,
                                       std::size_t chunk_bytes) {
   std::vector<std::size_t> starts{0};
@@ -329,14 +338,75 @@ std::vector<std::size_t> chunk_starts(std::string_view text,
   return starts;
 }
 
-}  // namespace
+DecodedBuffer decode_swf_buffer(std::string_view text,
+                                const ReaderOptions& options,
+                                std::size_t first_line) {
+  const bool lenient = options.policy == DecodePolicy::kLenient;
+  DecodedBuffer out;
+  const std::vector<std::size_t> starts = chunk_starts(text, options.chunk_bytes);
+  const std::size_t chunks = starts.size();
+  out.chunks = chunks;
+  std::vector<ChunkResult> results(chunks);
 
-namespace {
+  const auto decode_one = [&](std::size_t i) {
+    const std::size_t begin = starts[i];
+    const std::size_t end = i + 1 < chunks ? starts[i + 1] : text.size();
+    decode_chunk(text.substr(begin, end - begin), options, results[i]);
+  };
+  if (options.parallel && chunks > 1) {
+    parallel_for(chunks, decode_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < chunks; ++i) decode_one(i);
+  }
 
-/// MaxProcs from spliced header pairs, 0 when absent or unparsable.
-std::int64_t header_max_procs(const Log& log) {
-  const auto it = log.header().find("MaxProcs");
-  if (it == log.header().end()) return 0;
+  // First cancelled/erroring chunk in file order wins — the same outcome the
+  // serial decode would reach, with the same absolute 1-based line number
+  // (every chunk before it decoded fully, so the running total is exact).
+  std::size_t line = first_line;
+  std::size_t total_jobs = 0;
+  for (const ChunkResult& chunk : results) {
+    if (chunk.cancelled) {
+      out.cancelled = true;
+      return out;
+    }
+    if (chunk.has_error) {
+      out.has_error = true;
+      out.error_line = line + chunk.error_line;
+      out.error_message = chunk.error_message;
+      return out;
+    }
+    line += chunk.lines;
+    total_jobs += chunk.jobs.size();
+  }
+  out.lines = line - first_line;
+
+  out.jobs.reserve(total_jobs);
+  if (lenient) out.job_lines.reserve(total_jobs);
+  std::size_t chunk_first_line = first_line;
+  for (ChunkResult& chunk : results) {
+    if (options.fingerprint) out.digest.combine(chunk.digest);
+    out.jobs.insert(out.jobs.end(), chunk.jobs.begin(), chunk.jobs.end());
+    for (auto& pair : chunk.header) {
+      out.header.push_back(std::move(pair));
+    }
+    if (lenient) {
+      for (const std::size_t job_line : chunk.job_lines) {
+        out.job_lines.push_back(chunk_first_line + job_line);
+      }
+      out.malformed += chunk.malformed;
+      for (QuarantinedLine& entry : chunk.quarantined) {
+        entry.line += chunk_first_line;
+        out.samples.push_back(std::move(entry));
+      }
+    }
+    chunk_first_line += chunk.lines;
+  }
+  return out;
+}
+
+std::int64_t parse_max_procs(const std::map<std::string, std::string>& header) {
+  const auto it = header.find("MaxProcs");
+  if (it == header.end()) return 0;
   try {
     return std::stoll(it->second);
   } catch (const std::exception&) {
@@ -347,20 +417,14 @@ std::int64_t header_max_procs(const Log& log) {
   }
 }
 
-/// Lenient stage 2: drop physically impossible jobs — negative runtimes
-/// that are not the SWF -1 "missing" sentinel, jobs wider than the MaxProcs
-/// header, and submit times that regress beyond the configured bound
-/// against the running maximum (corrupt timestamps). Runs serially over the
-/// spliced file-order job list; `lines` holds each job's absolute 1-based
-/// source line for exact reporting.
 JobList quarantine_impossible_jobs(JobList jobs,
                                    const std::vector<std::size_t>& lines,
                                    std::int64_t max_procs,
                                    const ReaderOptions& options,
-                                   QuarantineReport& report) {
+                                   QuarantineReport& report,
+                                   double& running_max_submit) {
   JobList kept;
   kept.reserve(jobs.size());
-  double running_max_submit = -std::numeric_limits<double>::infinity();
   const bool bound_submit =
       options.max_submit_regression < std::numeric_limits<double>::infinity();
   auto sample = [&](std::size_t line, std::string reason) {
@@ -394,7 +458,7 @@ JobList quarantine_impossible_jobs(JobList jobs,
   return kept;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string QuarantineReport::summary() const {
   if (empty()) return {};
@@ -424,73 +488,36 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   const bool lenient = options.policy == DecodePolicy::kLenient;
   obs::Span span("swf_decode", name);
   options.stop.throw_if_stopped("SWF decode");
-  const std::vector<std::size_t> starts = chunk_starts(text, options.chunk_bytes);
-  const std::size_t chunks = starts.size();
-  std::vector<ChunkResult> results(chunks);
-
-  const auto decode_one = [&](std::size_t i) {
-    const std::size_t begin = starts[i];
-    const std::size_t end = i + 1 < chunks ? starts[i + 1] : text.size();
-    decode_chunk(text.substr(begin, end - begin), options, results[i]);
-  };
-  if (options.parallel && chunks > 1) {
-    parallel_for(chunks, decode_one, /*grain=*/1);
-  } else {
-    for (std::size_t i = 0; i < chunks; ++i) decode_one(i);
+  detail::DecodedBuffer decoded = detail::decode_swf_buffer(text, options);
+  if (decoded.cancelled) {
+    options.stop.throw_if_stopped("SWF decode");
+    throw CancelledError("SWF decode: stop requested");
   }
-
-  // First error in file order, with its absolute 1-based line number. Every
-  // chunk before the first erroring one decoded fully, so the running line
-  // total is exact where it matters. (Lenient chunks never set has_error.)
-  std::size_t first_line = 1;
-  std::size_t total_jobs = 0;
-  for (const ChunkResult& chunk : results) {
-    if (chunk.cancelled) {
-      options.stop.throw_if_stopped("SWF decode");
-      throw CancelledError("SWF decode: stop requested");
-    }
-    if (chunk.has_error) {
-      obs::counter("cpw_ingest_parse_errors_total").add(1);
-      throw ParseError(chunk.error_message, first_line + chunk.error_line);
-    }
-    first_line += chunk.lines;
-    total_jobs += chunk.jobs.size();
+  if (decoded.has_error) {
+    obs::counter("cpw_ingest_parse_errors_total").add(1);
+    throw ParseError(decoded.error_message, decoded.error_line);
   }
-  obs::counter("cpw_ingest_chunks_total").add(chunks);
-  obs::counter("cpw_ingest_lines_total").add(first_line - 1);
-  obs::counter("cpw_ingest_jobs_total").add(total_jobs);
+  obs::counter("cpw_ingest_chunks_total").add(decoded.chunks);
+  obs::counter("cpw_ingest_lines_total").add(decoded.lines);
+  obs::counter("cpw_ingest_jobs_total").add(decoded.jobs.size());
   obs::counter("cpw_ingest_bytes_total").add(text.size());
 
   Log log;
   log.set_name(name);
-  JobList jobs;
-  jobs.reserve(total_jobs);
-  std::vector<std::size_t> job_lines;  // absolute, lenient only
-  if (lenient) job_lines.reserve(total_jobs);
-  std::size_t chunk_first_line = 1;
-  Fingerprint digest;
-  for (ChunkResult& chunk : results) {
-    if (options.fingerprint) digest.combine(chunk.digest);
-    jobs.insert(jobs.end(), chunk.jobs.begin(), chunk.jobs.end());
-    for (auto& [key, value] : chunk.header) {
-      log.set_header(std::move(key), std::move(value));
-    }
-    if (lenient) {
-      for (const std::size_t line : chunk.job_lines) {
-        job_lines.push_back(chunk_first_line + line);
-      }
-      quarantine.malformed_lines += chunk.malformed;
-      for (QuarantinedLine& entry : chunk.quarantined) {
-        entry.line += chunk_first_line;
-        quarantine.samples.push_back(std::move(entry));
-      }
-      chunk_first_line += chunk.lines;
-    }
+  for (auto& [key, value] : decoded.header) {
+    log.set_header(std::move(key), std::move(value));
   }
+  JobList jobs = std::move(decoded.jobs);
   if (lenient) {
-    jobs = quarantine_impossible_jobs(std::move(jobs), job_lines,
-                                      header_max_procs(log), options,
-                                      quarantine);
+    quarantine.malformed_lines += decoded.malformed;
+    for (QuarantinedLine& entry : decoded.samples) {
+      quarantine.samples.push_back(std::move(entry));
+    }
+    double running_max_submit = -std::numeric_limits<double>::infinity();
+    jobs = detail::quarantine_impossible_jobs(
+        std::move(jobs), decoded.job_lines,
+        detail::parse_max_procs(log.header()), options, quarantine,
+        running_max_submit);
     // Samples arrive grouped by kind (malformed per chunk, then job-level);
     // present them in file order and re-apply the bound across the merge.
     std::sort(quarantine.samples.begin(), quarantine.samples.end(),
@@ -513,7 +540,9 @@ Log parse_swf_buffer(std::string_view text, const std::string& name,
   }
   log.assign_jobs(std::move(jobs));
   log.finalize();
-  if (options.fingerprint) log.set_content_fingerprint(digest.finalize());
+  if (options.fingerprint) {
+    log.set_content_fingerprint(decoded.digest.finalize());
+  }
   return log;
 }
 

@@ -1,0 +1,292 @@
+#include "cpw/swf/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cpw/obs/metrics.hpp"
+#include "cpw/obs/span.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/util/fingerprint.hpp"
+#include "decode_internal.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CPW_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace cpw::swf {
+
+namespace {
+
+/// Window sizes span from sub-page test windows to multi-GB logs consumed
+/// in one piece; power-of-~16 byte buckets keep the histogram readable.
+constexpr double kWindowByteBuckets[] = {
+    4096.0,     65536.0,     1048576.0,   4194304.0,
+    16777216.0, 67108864.0,  268435456.0, 1073741824.0};
+
+std::size_t page_size() noexcept {
+#if CPW_HAVE_MMAP
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<std::size_t>(page) : 0;
+#else
+  return 0;
+#endif
+}
+
+/// Releases the fully consumed page-aligned prefix [released, consumed) of a
+/// mapping back to the kernel. Returns the new released-up-to offset.
+std::size_t release_consumed(const char* data, std::size_t released,
+                             std::size_t consumed, std::size_t page) noexcept {
+#if CPW_HAVE_MMAP && defined(MADV_DONTNEED)
+  if (page == 0) return released;
+  const std::size_t upto = consumed - consumed % page;
+  if (upto > released) {
+    ::madvise(const_cast<char*>(data) + released, upto - released,
+              MADV_DONTNEED);
+    return upto;
+  }
+  return released;
+#else
+  (void)data;
+  (void)consumed;
+  (void)page;
+  return released;
+#endif
+}
+
+/// Decode/filter/fingerprint state carried across windows. Per window this
+/// reproduces exactly what parse_swf_buffer does per file: same chunked
+/// decode, same error/cancel precedence, same quarantine accounting with
+/// the submit-regression high-water mark threaded through, so the
+/// concatenation of all windows is bit-identical to the one-shot parse.
+class WindowConsumer {
+ public:
+  WindowConsumer(const StreamOptions& options, const WindowSink& sink,
+                 StreamResult& result)
+      : options_(options), sink_(sink), result_(result) {}
+
+  void consume(std::string_view text) {
+    detail::DecodedBuffer decoded =
+        detail::decode_swf_buffer(text, options_.reader, first_line_);
+    if (decoded.cancelled) {
+      options_.reader.stop.throw_if_stopped("SWF decode");
+      throw CancelledError("SWF decode: stop requested");
+    }
+    if (decoded.has_error) {
+      obs::counter("cpw_ingest_parse_errors_total").add(1);
+      throw ParseError(decoded.error_message, decoded.error_line);
+    }
+    obs::counter("cpw_ingest_chunks_total").add(decoded.chunks);
+    obs::counter("cpw_ingest_lines_total").add(decoded.lines);
+    obs::counter("cpw_ingest_jobs_total").add(decoded.jobs.size());
+    obs::counter("cpw_ingest_bytes_total").add(text.size());
+    obs::histogram("cpw_ingest_window_bytes", {}, kWindowByteBuckets)
+        .observe(static_cast<double>(text.size()));
+    if (options_.reader.fingerprint) digest_.combine(decoded.digest);
+    for (auto& [key, value] : decoded.header) {
+      result_.header[std::move(key)] = std::move(value);
+    }
+    jobs_ = std::move(decoded.jobs);
+    if (options_.reader.policy == DecodePolicy::kLenient) {
+      refresh_max_procs();
+      QuarantineReport window_report;
+      window_report.samples = std::move(decoded.samples);
+      jobs_ = detail::quarantine_impossible_jobs(
+          std::move(jobs_), decoded.job_lines, max_procs_, options_.reader,
+          window_report, running_max_submit_);
+      result_.quarantine.malformed_lines += decoded.malformed;
+      result_.quarantine.negative_runtime += window_report.negative_runtime;
+      result_.quarantine.over_machine_size += window_report.over_machine_size;
+      result_.quarantine.submit_regressions += window_report.submit_regressions;
+      // Window batches arrive in file order and never interleave, so a
+      // per-window sort plus bounded append yields exactly the materialized
+      // reader's global sort + truncate.
+      std::sort(window_report.samples.begin(), window_report.samples.end(),
+                [](const QuarantinedLine& a, const QuarantinedLine& b) {
+                  return a.line < b.line;
+                });
+      for (QuarantinedLine& entry : window_report.samples) {
+        if (result_.quarantine.samples.size() >=
+            options_.reader.quarantine_sample_limit) {
+          break;
+        }
+        result_.quarantine.samples.push_back(std::move(entry));
+      }
+    }
+
+    StreamWindow window;
+    window.jobs = &jobs_;
+    window.index = result_.windows;
+    window.first_line = first_line_;
+    window.lines = decoded.lines;
+    window.bytes = text.size();
+    window.header = &result_.header;
+    if (sink_) sink_(window);
+
+    ++result_.windows;
+    result_.total_lines += decoded.lines;
+    result_.total_jobs += jobs_.size();
+    result_.total_bytes += text.size();
+    first_line_ += decoded.lines;
+  }
+
+  void finish() {
+    if (options_.reader.fingerprint) {
+      result_.content_fingerprint = digest_.finalize();
+    }
+    if (options_.reader.policy == DecodePolicy::kLenient) {
+      auto count_kind = [](const char* kind, std::size_t n) {
+        if (n > 0) {
+          obs::counter("cpw_ingest_quarantined_lines_total", {{"kind", kind}})
+              .add(n);
+        }
+      };
+      count_kind("malformed", result_.quarantine.malformed_lines);
+      count_kind("negative_runtime", result_.quarantine.negative_runtime);
+      count_kind("over_machine_size", result_.quarantine.over_machine_size);
+      count_kind("submit_regression", result_.quarantine.submit_regressions);
+    }
+  }
+
+ private:
+  /// The impossible-job filter needs MaxProcs from the headers seen so far.
+  /// Re-parse only when the header text changes so an unparsable value is
+  /// swallow-counted once, like the materialized reader's single parse.
+  /// (A MaxProcs header appearing only *after* job lines is the one
+  /// documented divergence from the one-shot parse — valid SWF puts headers
+  /// first.)
+  void refresh_max_procs() {
+    const auto it = result_.header.find("MaxProcs");
+    if (it == result_.header.end()) {
+      max_procs_ = 0;
+      return;
+    }
+    if (have_max_procs_text_ && it->second == max_procs_text_) return;
+    max_procs_text_ = it->second;
+    have_max_procs_text_ = true;
+    max_procs_ = detail::parse_max_procs(result_.header);
+  }
+
+  const StreamOptions& options_;
+  const WindowSink& sink_;
+  StreamResult& result_;
+  JobList jobs_;  ///< reused across windows to amortize allocation
+  Fingerprint digest_;
+  std::size_t first_line_ = 1;
+  double running_max_submit_ = -std::numeric_limits<double>::infinity();
+  std::int64_t max_procs_ = 0;
+  std::string max_procs_text_;
+  bool have_max_procs_text_ = false;
+};
+
+}  // namespace
+
+StreamResult stream_swf(const std::string& path, const StreamOptions& options,
+                        const WindowSink& sink) {
+  obs::Span span("swf_decode", path);
+  options.reader.stop.throw_if_stopped("SWF decode");
+  StreamResult result;
+  WindowConsumer consumer(options, sink, result);
+  const std::size_t window = std::max<std::size_t>(options.window_bytes, 1);
+
+  std::optional<MappedFile> mapping;
+  if (!options.force_buffered) mapping = MappedFile::try_map(path);
+  if (mapping) {
+    result.memory_mapped = true;
+    obs::counter("cpw_swf_ingest_path_total", {{"mode", "mmap"}}).add(1);
+    const std::string_view text = mapping->view();
+    const char* data = text.data();
+    const std::size_t size = text.size();
+    const std::size_t page = page_size();
+    std::size_t released = 0;
+    std::size_t pos = 0;
+    while (pos < size) {
+      // Extend the window to the end of the line straddling the boundary;
+      // the final window takes whatever remains.
+      std::size_t end = size - pos <= window ? size : pos + window;
+      if (end < size) {
+        const auto* nl = static_cast<const char*>(
+            std::memchr(data + end - 1, '\n', size - (end - 1)));
+        end = nl != nullptr ? static_cast<std::size_t>(nl - data) + 1 : size;
+      }
+      consumer.consume(std::string_view(data + pos, end - pos));
+      pos = end;
+      if (options.release_windows) {
+        released = release_consumed(data, released, pos, page);
+      }
+    }
+  } else {
+    obs::counter("cpw_swf_ingest_path_total", {{"mode", "buffered"}}).add(1);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
+    std::string buffer;
+    std::vector<char> block(window);
+    bool eof = false;
+    while (true) {
+      // Fill until the buffer holds a full window ending in a newline (a
+      // line longer than the window keeps growing it) or the file ends.
+      while (!eof && (buffer.size() < window ||
+                      buffer.rfind('\n') == std::string::npos)) {
+        file.read(block.data(), static_cast<std::streamsize>(block.size()));
+        if (file.bad()) {
+          throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
+        }
+        buffer.append(block.data(), static_cast<std::size_t>(file.gcount()));
+        if (file.eof()) eof = true;
+      }
+      if (buffer.empty()) break;
+      const std::size_t consume =
+          eof ? buffer.size() : buffer.rfind('\n') + 1;
+      consumer.consume(std::string_view(buffer.data(), consume));
+      buffer.erase(0, consume);
+      if (eof && buffer.empty()) break;
+    }
+  }
+  consumer.finish();
+  return result;
+}
+
+std::uint64_t fingerprint_swf_windowed(const std::string& path,
+                                       std::size_t window_bytes,
+                                       bool force_buffered) {
+  const std::size_t window = std::max<std::size_t>(window_bytes, 1);
+  Fingerprint digest;
+  std::optional<MappedFile> mapping;
+  if (!force_buffered) mapping = MappedFile::try_map(path);
+  if (mapping) {
+    const std::string_view text = mapping->view();
+    const char* data = text.data();
+    const std::size_t size = text.size();
+    const std::size_t page = page_size();
+    std::size_t released = 0;
+    for (std::size_t pos = 0; pos < size;) {
+      const std::size_t end = size - pos <= window ? size : pos + window;
+      digest.update(std::string_view(data + pos, end - pos));
+      pos = end;
+      released = release_consumed(data, released, pos, page);
+    }
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
+    std::vector<char> block(window);
+    while (file) {
+      file.read(block.data(), static_cast<std::streamsize>(block.size()));
+      if (file.bad()) {
+        throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
+      }
+      const auto got = static_cast<std::size_t>(file.gcount());
+      if (got == 0) break;
+      digest.update(std::string_view(block.data(), got));
+    }
+  }
+  return digest.finalize();
+}
+
+}  // namespace cpw::swf

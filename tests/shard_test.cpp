@@ -1,0 +1,145 @@
+// cpw-shard multi-process driver: the merged BatchResult must be
+// bit-identical to single-process run_batch over the same corpus — with
+// every worker healthy, and with a worker SIGKILLed mid-run (containment +
+// cache re-serve). Workers are real spawned processes of the cpw_shard
+// binary (CPW_SHARD_BIN, injected by CMake).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/shard.hpp"
+#include "cpw/util/error.hpp"
+#include "result_identity.hpp"
+
+namespace cpw {
+namespace {
+
+namespace fs = std::filesystem;
+
+analysis::ShardOptions shard_options(const std::string& dir) {
+  analysis::ShardOptions options;
+  options.batch.cache_dir = dir + "/cache";
+  options.workers = 4;
+  options.worker_command = CPW_SHARD_BIN;
+  return options;
+}
+
+TEST(Shard, MergedResultIdenticalToSingleProcess) {
+  const std::string dir = testutil::make_temp_dir("shard_merge");
+  const auto paths = testutil::write_log_files(dir, 10, 2000);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  const analysis::ShardOptions options = shard_options(dir);
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  testutil::expect_results_identical(single, sharded.merged);
+  EXPECT_EQ(sharded.files_done, paths.size());
+  EXPECT_EQ(sharded.files_claimed, paths.size());
+  std::size_t clean = 0, claimed = 0;
+  for (const auto& worker : sharded.workers) {
+    EXPECT_TRUE(worker.spawned);
+    if (worker.clean_exit) ++clean;
+    claimed += worker.files_claimed;
+    if (worker.clean_exit) {
+      EXPECT_TRUE(fs::exists(worker.metrics_path)) << worker.metrics_path;
+    }
+  }
+  EXPECT_EQ(clean, options.workers);
+  EXPECT_EQ(claimed, paths.size());
+}
+
+TEST(Shard, KilledWorkerIsContainedAndCacheReServes) {
+  const std::string dir = testutil::make_temp_dir("shard_killed");
+  const auto paths = testutil::write_log_files(dir, 8, 2000);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  analysis::ShardOptions options = shard_options(dir);
+  // Worker 0 SIGKILLs itself after analyzing one file — after the cache
+  // store, before the done marker.
+  options.abort_worker_after = 1;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  // The dead worker is visible in the stats...
+  ASSERT_FALSE(sharded.workers.empty());
+  const analysis::ShardWorkerStats& victim = sharded.workers[0];
+  ASSERT_TRUE(victim.spawned);
+  EXPECT_FALSE(victim.clean_exit);
+  EXPECT_TRUE(WIFSIGNALED(victim.raw_status));
+  EXPECT_LT(sharded.files_done, paths.size());
+
+  // ...and invisible in the result: the merge pass recomputes (or
+  // cache-hits) whatever it left behind, bit for bit.
+  testutil::expect_results_identical(single, sharded.merged);
+
+  // The killed worker's analyzed-but-unmarked file was stored before the
+  // kill, so the merge pass re-serves it from the cache: at least one
+  // cache hit beyond the files marked done.
+  std::size_t hits = 0;
+  for (const auto& slot : sharded.merged.diagnostics.logs) {
+    if (slot.cache_hit) ++hits;
+  }
+  EXPECT_GT(hits, sharded.files_done);
+}
+
+TEST(Shard, WindowedIngestModeProducesSameMerge) {
+  const std::string dir = testutil::make_temp_dir("shard_windowed");
+  const auto paths = testutil::write_log_files(dir, 6, 2000);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.batch.ingest = analysis::IngestMode::kWindowed;
+  options.batch.ingest_window_bytes = 16384;
+  options.workers = 3;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+  testutil::expect_results_identical(single, sharded.merged);
+}
+
+TEST(Shard, RequiresCacheDirAndWorkerCommand) {
+  const std::string dir = testutil::make_temp_dir("shard_req");
+  const auto paths = testutil::write_log_files(dir, 1, 200);
+
+  analysis::ShardOptions no_cache;
+  no_cache.worker_command = CPW_SHARD_BIN;
+  EXPECT_THROW((void)analysis::run_shard(paths, no_cache), Error);
+
+  analysis::ShardOptions no_command;
+  no_command.batch.cache_dir = dir + "/cache";
+  EXPECT_THROW((void)analysis::run_shard(paths, no_command), Error);
+
+  analysis::ShardOptions no_workers = shard_options(dir);
+  no_workers.workers = 0;
+  EXPECT_THROW((void)analysis::run_shard(paths, no_workers), Error);
+}
+
+TEST(Shard, SpawnFailureDegradesToMergeRecompute) {
+  const std::string dir = testutil::make_temp_dir("shard_nospawn");
+  const auto paths = testutil::write_log_files(dir, 4, 1500);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.worker_command = dir + "/does-not-exist";
+  options.workers = 2;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+  for (const auto& worker : sharded.workers) {
+    EXPECT_FALSE(worker.spawned);
+  }
+  EXPECT_EQ(sharded.files_done, 0u);
+  testutil::expect_results_identical(single, sharded.merged);
+}
+
+}  // namespace
+}  // namespace cpw

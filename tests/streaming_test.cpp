@@ -1,0 +1,403 @@
+// Out-of-core windowed ingest: bit-identity with the materialized reader
+// and analyzer across window-size sweeps (including windows smaller than
+// one SWF line), both ingest paths (mmap and buffered), quarantine parity
+// on dirty input, and cache-entry byte identity between the two batch
+// ingest modes.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/streaming.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/swf/reader.hpp"
+#include "cpw/swf/stream.hpp"
+#include "cpw/util/fingerprint.hpp"
+#include "cpw/workload/characterize.hpp"
+#include "result_identity.hpp"
+
+namespace cpw {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One generated log saved to disk; ~85 bytes/line, a few hundred KB.
+std::string saved_log(const std::string& dir, std::size_t jobs) {
+  const auto paths = testutil::write_log_files(dir, 1, jobs);
+  return paths[0];
+}
+
+/// Hand-rolled dirty SWF: valid jobs interleaved with a malformed line, an
+/// over-machine-size job, and a negative-runtime job, so lenient decode
+/// quarantines a known set of lines.
+std::string dirty_log(const std::string& dir) {
+  const std::string path = dir + "/dirty.swf";
+  std::ofstream out(path);
+  out << "; MaxProcs: 64\n";
+  out << "; SchedulerFlexibility: 2\n";
+  for (int i = 1; i <= 200; ++i) {
+    const double submit = 10.0 * i;
+    if (i == 50) out << "garbage line that is not eighteen fields\n";
+    if (i == 90) {
+      // processors (field 5) > MaxProcs: quarantined as over-machine-size.
+      out << i << " " << submit << " 1 60 999 30 -1 -1 -1 -1 1 3 1 2 1 1 -1 -1\n";
+    }
+    if (i == 130) {
+      // run_time (field 4) negative but not the -1 sentinel.
+      out << i << " " << submit << " 1 -7 4 30 -1 -1 -1 -1 1 3 1 2 1 1 -1 -1\n";
+    }
+    out << i << " " << submit << " 1 " << (30 + i % 60) << " " << (1 + i % 8)
+        << " 25 -1 -1 -1 -1 1 " << (i % 5) << " 1 " << (i % 3)
+        << " 1 1 -1 -1\n";
+  }
+  out.flush();
+  return path;
+}
+
+void expect_jobs_equal(const swf::JobList& a, const swf::JobList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].submit_time),
+              std::bit_cast<std::uint64_t>(b[i].submit_time)) << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].run_time),
+              std::bit_cast<std::uint64_t>(b[i].run_time)) << i;
+    EXPECT_EQ(a[i].processors, b[i].processors) << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].cpu_time_avg),
+              std::bit_cast<std::uint64_t>(b[i].cpu_time_avg)) << i;
+    EXPECT_EQ(a[i].user, b[i].user) << i;
+    EXPECT_EQ(a[i].executable, b[i].executable) << i;
+    EXPECT_EQ(a[i].status, b[i].status) << i;
+  }
+}
+
+// --------------------------------------------------------- stream_swf layer
+
+TEST(StreamSwf, MatchesMaterializedAcrossWindowSizes) {
+  const std::string dir = testutil::make_temp_dir("stream_sweep");
+  const std::string path = saved_log(dir, 500);
+  const swf::Log log = swf::load_swf_fast(path);
+
+  // Includes windows far smaller than one ~85-byte SWF line.
+  for (const std::size_t window : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{64}, std::size_t{300},
+                                   std::size_t{4096}, std::size_t{1} << 20}) {
+    swf::StreamOptions options;
+    options.window_bytes = window;
+    swf::JobList jobs;
+    std::size_t window_count = 0;
+    const swf::StreamResult result =
+        swf::stream_swf(path, options, [&](const swf::StreamWindow& w) {
+          EXPECT_EQ(w.index, window_count);
+          ++window_count;
+          jobs.insert(jobs.end(), w.jobs->begin(), w.jobs->end());
+        });
+    EXPECT_EQ(result.windows, window_count) << "window=" << window;
+    EXPECT_EQ(result.total_jobs, log.jobs().size());
+    EXPECT_EQ(result.total_bytes, fs::file_size(path));
+    EXPECT_EQ(result.header, log.header());
+    EXPECT_EQ(result.content_fingerprint, log.content_fingerprint());
+    EXPECT_TRUE(result.quarantine.empty());
+    // Generated logs are submit-sorted on disk, so the streamed file-order
+    // concatenation equals the finalized (sorted) job list.
+    expect_jobs_equal(jobs, log.jobs());
+  }
+}
+
+TEST(StreamSwf, BufferedPathIdenticalToMmap) {
+  const std::string dir = testutil::make_temp_dir("stream_buffered");
+  const std::string path = saved_log(dir, 300);
+  const swf::Log log = swf::load_swf_fast(path);
+
+  swf::StreamOptions options;
+  options.window_bytes = 1024;
+  options.force_buffered = true;
+  swf::JobList jobs;
+  const swf::StreamResult result =
+      swf::stream_swf(path, options, [&](const swf::StreamWindow& w) {
+        jobs.insert(jobs.end(), w.jobs->begin(), w.jobs->end());
+      });
+  EXPECT_FALSE(result.memory_mapped);
+  EXPECT_EQ(result.content_fingerprint, log.content_fingerprint());
+  expect_jobs_equal(jobs, log.jobs());
+
+  options.force_buffered = false;
+  const swf::StreamResult mapped =
+      swf::stream_swf(path, options, [](const swf::StreamWindow&) {});
+  EXPECT_TRUE(mapped.memory_mapped);
+  EXPECT_EQ(mapped.content_fingerprint, result.content_fingerprint);
+  EXPECT_EQ(mapped.total_lines, result.total_lines);
+}
+
+TEST(StreamSwf, WindowedFingerprintEqualsWholeFile) {
+  const std::string dir = testutil::make_temp_dir("stream_fp");
+  const std::string path = saved_log(dir, 200);
+  const swf::MappedFile file(path);
+  const std::uint64_t whole = fingerprint_bytes(file.view());
+  for (const std::size_t window :
+       {std::size_t{1}, std::size_t{100}, std::size_t{1} << 16}) {
+    EXPECT_EQ(swf::fingerprint_swf_windowed(path, window), whole);
+    EXPECT_EQ(swf::fingerprint_swf_windowed(path, window,
+                                            /*force_buffered=*/true),
+              whole);
+  }
+}
+
+TEST(StreamSwf, LenientQuarantineParity) {
+  const std::string dir = testutil::make_temp_dir("stream_dirty");
+  const std::string path = dirty_log(dir);
+
+  swf::ReaderOptions reader;
+  reader.policy = swf::DecodePolicy::kLenient;
+  swf::QuarantineReport materialized;
+  const swf::Log log = swf::load_swf_fast(path, reader, materialized);
+  ASSERT_EQ(materialized.malformed_lines, 1u);
+  ASSERT_EQ(materialized.over_machine_size, 1u);
+  ASSERT_EQ(materialized.negative_runtime, 1u);
+
+  for (const std::size_t window :
+       {std::size_t{1}, std::size_t{50}, std::size_t{4096}}) {
+    swf::StreamOptions options;
+    options.reader = reader;
+    options.window_bytes = window;
+    swf::JobList jobs;
+    const swf::StreamResult result =
+        swf::stream_swf(path, options, [&](const swf::StreamWindow& w) {
+          jobs.insert(jobs.end(), w.jobs->begin(), w.jobs->end());
+        });
+    EXPECT_EQ(result.quarantine.malformed_lines,
+              materialized.malformed_lines) << "window=" << window;
+    EXPECT_EQ(result.quarantine.over_machine_size,
+              materialized.over_machine_size);
+    EXPECT_EQ(result.quarantine.negative_runtime,
+              materialized.negative_runtime);
+    EXPECT_EQ(result.quarantine.submit_regressions,
+              materialized.submit_regressions);
+    ASSERT_EQ(result.quarantine.samples.size(), materialized.samples.size());
+    for (std::size_t s = 0; s < materialized.samples.size(); ++s) {
+      EXPECT_EQ(result.quarantine.samples[s].line,
+                materialized.samples[s].line);
+      EXPECT_EQ(result.quarantine.samples[s].reason,
+                materialized.samples[s].reason);
+    }
+    expect_jobs_equal(jobs, log.jobs());
+  }
+}
+
+TEST(StreamSwf, StrictErrorReportsSameAbsoluteLine) {
+  const std::string dir = testutil::make_temp_dir("stream_strict");
+  const std::string path = dirty_log(dir);
+
+  std::size_t materialized_line = 0;
+  try {
+    (void)swf::load_swf_fast(path);
+    FAIL() << "strict decode should reject the dirty log";
+  } catch (const ParseError& error) {
+    materialized_line = error.line();
+  }
+  ASSERT_GT(materialized_line, 0u);
+
+  for (const std::size_t window : {std::size_t{1}, std::size_t{4096}}) {
+    swf::StreamOptions options;
+    options.window_bytes = window;
+    try {
+      swf::stream_swf(path, options, [](const swf::StreamWindow&) {});
+      FAIL() << "streamed strict decode should reject the dirty log";
+    } catch (const ParseError& error) {
+      EXPECT_EQ(error.line(), materialized_line) << "window=" << window;
+    }
+  }
+}
+
+// --------------------------------------------------- streaming analyzer
+
+TEST(StreamingAnalyzer, BitIdenticalToCharacterize) {
+  const std::string dir = testutil::make_temp_dir("stream_analyze");
+  const std::string path = saved_log(dir, 600);
+  const swf::Log log = swf::load_swf_fast(path);
+  const workload::WorkloadStats stats = workload::characterize(log);
+  const auto attributes = workload::all_attributes();
+
+  for (const std::size_t window :
+       {std::size_t{256}, std::size_t{4096}, std::size_t{1} << 20}) {
+    for (const bool buffered : {false, true}) {
+      analysis::StreamAnalyzeOptions options;
+      options.window_bytes = window;
+      options.force_buffered = buffered;
+      const analysis::StreamedAnalysis streamed =
+          analysis::analyze_swf_streaming(path, options);
+      EXPECT_EQ(streamed.jobs, log.jobs().size());
+      EXPECT_EQ(streamed.content_fingerprint, log.content_fingerprint());
+      for (const std::string& code : workload::WorkloadStats::all_codes()) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.stats.get(code)),
+                  std::bit_cast<std::uint64_t>(stats.get(code)))
+            << code << " window=" << window << " buffered=" << buffered;
+      }
+      for (std::size_t a = 0; a < 4; ++a) {
+        EXPECT_EQ(streamed.series[a],
+                  workload::attribute_series(log, attributes[a]))
+            << "attribute " << a;
+      }
+    }
+  }
+}
+
+TEST(StreamingAnalyzer, StatsOnlyFinisherBitIdentical) {
+  // finish_stats() destroys the series instead of copying them (the
+  // bounded-memory path the ulimit-capped CI job exercises); the order
+  // statistics must still match characterize bit for bit.
+  const std::string dir = testutil::make_temp_dir("stream_stats_only");
+  const std::string path = saved_log(dir, 500);
+  const swf::Log log = swf::load_swf_fast(path);
+  const workload::WorkloadStats stats = workload::characterize(log);
+
+  for (const std::size_t window : {std::size_t{512}, std::size_t{1} << 20}) {
+    analysis::StreamAnalyzeOptions options;
+    options.window_bytes = window;
+    analysis::StreamingAnalyzer analyzer(options);
+    analyzer.ingest(path);
+    EXPECT_EQ(analyzer.jobs(), log.jobs().size());
+    const workload::WorkloadStats streamed = analyzer.finish_stats();
+    for (const std::string& code : workload::WorkloadStats::all_codes()) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.get(code)),
+                std::bit_cast<std::uint64_t>(stats.get(code)))
+          << code << " window=" << window;
+    }
+  }
+}
+
+TEST(StreamingAnalyzer, DirtyLenientLogMatchesMaterialized) {
+  const std::string dir = testutil::make_temp_dir("stream_analyze_dirty");
+  const std::string path = dirty_log(dir);
+
+  swf::ReaderOptions reader;
+  reader.policy = swf::DecodePolicy::kLenient;
+  swf::QuarantineReport quarantine;
+  const swf::Log log = swf::load_swf_fast(path, reader, quarantine);
+  const workload::WorkloadStats stats = workload::characterize(log);
+
+  analysis::StreamAnalyzeOptions options;
+  options.reader = reader;
+  options.window_bytes = 512;
+  const analysis::StreamedAnalysis streamed =
+      analysis::analyze_swf_streaming(path, options);
+  EXPECT_EQ(streamed.jobs, log.jobs().size());
+  for (const std::string& code : workload::WorkloadStats::all_codes()) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.stats.get(code)),
+              std::bit_cast<std::uint64_t>(stats.get(code)))
+        << code;
+  }
+}
+
+// ----------------------------------------------------------- observability
+
+TEST(StreamSwf, RecordsIngestPathAndWindowMetrics) {
+  const std::string dir = testutil::make_temp_dir("stream_obs");
+  const std::string path = saved_log(dir, 100);
+
+  const auto counter_of = [](const char* name, const char* mode) {
+    const obs::Snapshot snap = obs::registry().snapshot();
+    const obs::MetricSample* sample =
+        snap.find(name, {{"mode", mode}});
+    return sample ? sample->value : 0.0;
+  };
+  const double mmap_before = counter_of("cpw_swf_ingest_path_total", "mmap");
+  const double buf_before =
+      counter_of("cpw_swf_ingest_path_total", "buffered");
+
+  swf::StreamOptions options;
+  options.window_bytes = 1024;
+  (void)swf::stream_swf(path, options, [](const swf::StreamWindow&) {});
+  options.force_buffered = true;
+  (void)swf::stream_swf(path, options, [](const swf::StreamWindow&) {});
+
+  EXPECT_EQ(counter_of("cpw_swf_ingest_path_total", "mmap"),
+            mmap_before + 1.0);
+  EXPECT_EQ(counter_of("cpw_swf_ingest_path_total", "buffered"),
+            buf_before + 1.0);
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const obs::MetricSample* windows = snap.find("cpw_ingest_window_bytes");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_EQ(windows->kind, obs::MetricKind::kHistogram);
+  EXPECT_GT(windows->count, 0u);
+}
+
+TEST(Obs, RecordPeakRssSetsGauge) {
+  const std::uint64_t bytes = obs::record_peak_rss();
+  EXPECT_GT(bytes, 0u);  // the test process certainly has resident pages
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const obs::MetricSample* gauge = snap.find("cpw_peak_rss_bytes");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, static_cast<double>(bytes));
+}
+
+// --------------------------------------------------------- batch ingest mode
+
+TEST(WindowedBatch, ResultsIdenticalToMaterialized) {
+  const std::string dir = testutil::make_temp_dir("windowed_batch");
+  const auto paths = testutil::write_log_files(dir, 5, 3000);
+
+  analysis::BatchOptions materialized;
+  const analysis::BatchResult base = analysis::run_batch(paths, materialized);
+
+  analysis::BatchOptions windowed = materialized;
+  windowed.ingest = analysis::IngestMode::kWindowed;
+  windowed.ingest_window_bytes = 8192;
+  const analysis::BatchResult result = analysis::run_batch(paths, windowed);
+
+  testutil::expect_results_identical(base, result);
+}
+
+TEST(WindowedBatch, SharesCacheEntriesWithMaterialized) {
+  const std::string dir = testutil::make_temp_dir("windowed_cache");
+  const auto paths = testutil::write_log_files(dir, 3, 2000);
+
+  // Cold materialized run populates cache A; a windowed run over the same
+  // cache must hit every entry (the modes share fingerprints).
+  analysis::BatchOptions materialized;
+  materialized.cache_dir = dir + "/cache_a";
+  const analysis::BatchResult cold =
+      analysis::run_batch(paths, materialized);
+
+  analysis::BatchOptions windowed = materialized;
+  windowed.ingest = analysis::IngestMode::kWindowed;
+  windowed.ingest_window_bytes = 4096;
+  const analysis::BatchResult warm = analysis::run_batch(paths, windowed);
+  for (const auto& slot : warm.diagnostics.logs) {
+    EXPECT_TRUE(slot.cache_hit) << slot.name;
+  }
+  testutil::expect_results_identical(cold, warm);
+
+  // And a cold windowed run writes byte-identical .cpwc entries.
+  analysis::BatchOptions windowed_cold = windowed;
+  windowed_cold.cache_dir = dir + "/cache_b";
+  (void)analysis::run_batch(paths, windowed_cold);
+
+  std::map<std::string, std::string> entries_a, entries_b;
+  const auto slurp_entries = [](const std::string& cache_dir,
+                                std::map<std::string, std::string>& out) {
+    for (const auto& entry : fs::directory_iterator(cache_dir)) {
+      if (entry.path().extension() != ".cpwc") continue;
+      std::ifstream file(entry.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+      out[entry.path().filename().string()] = std::move(bytes);
+    }
+  };
+  slurp_entries(materialized.cache_dir, entries_a);
+  slurp_entries(windowed_cold.cache_dir, entries_b);
+  ASSERT_FALSE(entries_a.empty());
+  ASSERT_EQ(entries_a.size(), entries_b.size());
+  for (const auto& [name, bytes] : entries_a) {
+    ASSERT_TRUE(entries_b.count(name)) << name;
+    EXPECT_EQ(bytes, entries_b[name]) << name;  // byte-identical entry
+  }
+}
+
+}  // namespace
+}  // namespace cpw

@@ -1,0 +1,566 @@
+// cpw_shard — corpus-scale driver around the batch pipeline.
+//
+// Subcommands:
+//
+//   gen-log <path> <jobs> [--seed N] [--model I] [--fat]
+//       One generated SWF log (feedstock for the out-of-core tests: pick
+//       enough jobs and the file dwarfs any memory cap). --fat widens every
+//       numeric field to long-mantissa doubles so file bytes dwarf the
+//       ~32 B/job resident state of the streaming characterizer.
+//
+//   characterize [flags] <log.swf>
+//       Stats-only digest of one log. With --ingest windowed this runs the
+//       streaming analyzer's destructive finisher (peak memory = ingest
+//       ceiling); materialized prints the same digest from decode-then-
+//       characterize. The ulimit-capped CI job diffs the two.
+//
+//   gen-corpus <dir> <count> <jobs> [--seed N]
+//       `count` generated logs of varying size under <dir> (size spread
+//       [jobs/2, 3*jobs/2), models rotated), named corpus-00000.swf ...
+//
+//   analyze [flags] <log.swf ...>
+//       Single-process run_batch over the files, result digest on stdout.
+//
+//   run --cache <dir> [flags] (--dir <corpus> | <log.swf ...>)
+//       Sharded run: fan the files across worker processes (analysis::
+//       run_shard), merge, print the SAME digest format on stdout — so
+//       `diff <(cpw_shard analyze ...) <(cpw_shard run ...)` is the
+//       equivalence check the CI shard smoke performs.
+//
+//   worker ...
+//       Internal: one worker process (spawned by `run`, never by hand).
+//
+// Shared flags for analyze/run: --ingest materialized|windowed,
+// --window-bytes N, --policy strict|lenient, --machine P, --cache DIR,
+// --metrics PATH (registry JSON dump). The digest prints every
+// per-log statistic and Hurst estimate as IEEE-754 bit patterns: two
+// invocations agree iff their results are bit-identical.
+
+#include <bit>
+#include <charconv>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/analysis/shard.hpp"
+#include "cpw/analysis/streaming.hpp"
+#include "cpw/models/model.hpp"
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace cpw;
+
+[[noreturn]] void usage(const char* detail) {
+  std::fprintf(stderr,
+               "cpw_shard: %s\n"
+               "usage: cpw_shard gen-log|gen-corpus|analyze|characterize|"
+               "run|worker ...\n"
+               "(see the comment at the top of tools/cpw_shard/main.cpp)\n",
+               detail);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) usage(flag);
+  return value;
+}
+
+double parse_f64(const std::string& text, const char* flag) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) usage(flag);
+  return value;
+}
+
+/// Pulls the value of flag i from argv, advancing i.
+std::string flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[i]);
+  return argv[++i];
+}
+
+std::string self_exe(const char* argv0) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) return std::string(buffer, static_cast<std::size_t>(n));
+  return argv0;
+}
+
+void print_hex(const char* key, double value) {
+  std::printf(" %s=%016" PRIx64, key, std::bit_cast<std::uint64_t>(value));
+}
+
+/// The equivalence digest: every per-log statistic, Hurst estimate, and
+/// Co-plot coordinate as bit patterns. Timings and diagnostics events are
+/// deliberately absent — they legitimately differ between runs.
+void print_digest(const analysis::BatchResult& result) {
+  const auto& codes = workload::WorkloadStats::all_codes();
+  for (std::size_t i = 0; i < result.logs.size(); ++i) {
+    const analysis::LogAnalysis& log = result.logs[i];
+    std::printf("log %s status=%d quarantined=%zu", log.name.c_str(),
+                static_cast<int>(result.diagnostics.logs[i].status),
+                result.diagnostics.logs[i].quarantine.total());
+    for (const std::string& code : codes) {
+      print_hex(code.c_str(), log.stats.get(code));
+    }
+    std::printf("\n");
+    for (const analysis::AttributeHurst& attr : log.hurst) {
+      std::printf("hurst %s %s estimated=%d", log.name.c_str(),
+                  workload::attribute_name(attr.attribute).c_str(),
+                  attr.estimated ? 1 : 0);
+      print_hex("rs", attr.report.rs.hurst);
+      print_hex("vt", attr.report.variance_time.hurst);
+      print_hex("pg", attr.report.periodogram.hurst);
+      std::printf("\n");
+    }
+  }
+  std::printf("coplot run=%d members=", result.coplot_run ? 1 : 0);
+  for (std::size_t m : result.coplot_members) std::printf("%zu,", m);
+  std::printf("\n");
+  if (result.coplot_run) {
+    std::printf("coplot-x");
+    for (double v : result.coplot.embedding.x) print_hex("", v);
+    std::printf("\ncoplot-y");
+    for (double v : result.coplot.embedding.y) print_hex("", v);
+    std::printf("\n");
+    for (const auto& arrow : result.coplot.arrows) {
+      std::printf("arrow %s", arrow.name.c_str());
+      print_hex("angle", arrow.angle);
+      std::printf("\n");
+    }
+  }
+}
+
+void write_metrics(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << obs::to_json(obs::registry().snapshot()) << '\n';
+  if (!out) std::fprintf(stderr, "cpw_shard: failed writing %s\n", path.c_str());
+}
+
+std::uint64_t counter_value(const char* name) {
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const obs::MetricSample* sample = snap.find(name);
+  return sample ? static_cast<std::uint64_t>(sample->value) : 0;
+}
+
+// ---------------------------------------------------------------- gen-log
+
+/// Widens every numeric field of the generated jobs to long-mantissa
+/// doubles, roughly doubling the bytes per SWF line. The ulimit-capped CI
+/// job needs file bytes to dwarf the ~32 B/job resident state, and model
+/// output is too terse for that (short integers, many -1 sentinels).
+void fatten(swf::Log& log) {
+  swf::JobList jobs = log.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    swf::Job& job = jobs[i];
+    job.submit_time += 0.123456789012345;  // constant shift: order preserved
+    if (job.run_time < 0.0) job.run_time = 0.0;
+    job.run_time = job.run_time * 1.0123456789012345 + 0.9876543210987654;
+    job.wait_time = job.run_time * 0.1234567890123456;
+    job.cpu_time_avg = job.run_time * 0.9876543210987654;
+    job.memory_avg = 1234.567890123456 + static_cast<double>(i) * 1e-3;
+    job.req_processors = job.processors;
+    job.req_time = job.run_time * 1.2345678901234567;
+    job.req_memory = job.memory_avg * 1.011223344556677;
+    job.think_time = 123.45678901234567;
+    job.preceding_job = i > 0 ? static_cast<std::int64_t>(i) : -1;
+    // Some models emit near-unique executable ids; real workloads have a
+    // bounded application population, and the distinct-id accumulator sets
+    // should stay O(population), not O(jobs).
+    job.executable = 1 + static_cast<std::int64_t>(i % 997);
+  }
+  swf::Log fat(log.name(), std::move(jobs));
+  for (const auto& [key, value] : log.header()) fat.set_header(key, value);
+  log = std::move(fat);
+}
+
+int cmd_gen_log(int argc, char** argv) {
+  std::string path;
+  std::uint64_t jobs = 0, seed = 7;
+  std::size_t model_index = 0;
+  bool fat = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      seed = parse_u64(flag_value(argc, argv, i), "--seed");
+    } else if (arg == "--model") {
+      model_index = parse_u64(flag_value(argc, argv, i), "--model");
+    } else if (arg == "--fat") {
+      fat = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else if (jobs == 0) {
+      jobs = parse_u64(arg, "<jobs>");
+    } else {
+      usage("gen-log takes one path and one job count");
+    }
+  }
+  if (path.empty() || jobs == 0) usage("gen-log <path> <jobs>");
+  const auto models = models::all_models(128);
+  auto log = models[model_index % models.size()]->generate(jobs, seed);
+  log.set_name(fs::path(path).stem().string());
+  if (fat) fatten(log);
+  swf::save_swf(path, log);
+  std::error_code ec;
+  std::fprintf(stderr, "cpw_shard: gen-log path=%s jobs=%" PRIu64
+               " bytes=%ju\n", path.c_str(), jobs,
+               static_cast<std::uintmax_t>(fs::file_size(path, ec)));
+  return 0;
+}
+
+// ------------------------------------------------------------- gen-corpus
+
+int cmd_gen_corpus(int argc, char** argv) {
+  std::string dir;
+  std::uint64_t count = 0, jobs = 0, seed = 7;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      seed = parse_u64(flag_value(argc, argv, i), "--seed");
+    } else if (dir.empty()) {
+      dir = arg;
+    } else if (count == 0) {
+      count = parse_u64(arg, "<count>");
+    } else if (jobs == 0) {
+      jobs = parse_u64(arg, "<jobs>");
+    } else {
+      usage("gen-corpus takes dir, count, jobs");
+    }
+  }
+  if (dir.empty() || count == 0 || jobs == 0) {
+    usage("gen-corpus <dir> <count> <jobs>");
+  }
+  fs::create_directories(dir);
+  const auto models = models::all_models(128);
+  std::uintmax_t total_bytes = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Size spread [jobs/2, 3*jobs/2): uneven files make largest-first
+    // claiming worth having.
+    const std::uint64_t n = jobs / 2 + (i * jobs) / count;
+    auto log = models[i % models.size()]->generate(n, seed + i);
+    char name[32];
+    std::snprintf(name, sizeof(name), "corpus-%05" PRIu64, i);
+    log.set_name(name);
+    const std::string path = dir + "/" + name + ".swf";
+    swf::save_swf(path, log);
+    std::error_code ec;
+    total_bytes += fs::file_size(path, ec);
+  }
+  std::fprintf(stderr,
+               "cpw_shard: gen-corpus dir=%s count=%" PRIu64 " bytes=%ju\n",
+               dir.c_str(), count, total_bytes);
+  return 0;
+}
+
+// ----------------------------------------------------- shared batch flags
+
+struct CommonFlags {
+  analysis::BatchOptions batch;
+  std::string metrics;
+  std::string corpus_dir;
+  std::vector<std::string> paths;
+  std::size_t workers = 4;
+  std::size_t abort_after = 0;
+  std::string work_dir;
+};
+
+/// Parses one flag shared by analyze/run; returns false if unrecognized.
+bool parse_common(const std::string& arg, int argc, char** argv, int& i,
+                  CommonFlags& flags) {
+  if (arg == "--ingest") {
+    const std::string mode = flag_value(argc, argv, i);
+    if (mode == "windowed") {
+      flags.batch.ingest = analysis::IngestMode::kWindowed;
+    } else if (mode == "materialized") {
+      flags.batch.ingest = analysis::IngestMode::kMaterialized;
+    } else {
+      usage("--ingest windowed|materialized");
+    }
+  } else if (arg == "--window-bytes") {
+    flags.batch.ingest_window_bytes =
+        parse_u64(flag_value(argc, argv, i), "--window-bytes");
+  } else if (arg == "--serial") {
+    // Serial chunk decode (bit-identical by contract). The parallel path's
+    // worker-thread stacks are private writable mappings that count toward
+    // RLIMIT_DATA, so the memory-capped CI job runs serial to keep its
+    // footprint machine-independent.
+    flags.batch.reader.parallel = false;
+  } else if (arg == "--policy") {
+    const std::string policy = flag_value(argc, argv, i);
+    if (policy == "lenient") {
+      flags.batch.reader.policy = swf::DecodePolicy::kLenient;
+    } else if (policy == "strict") {
+      flags.batch.reader.policy = swf::DecodePolicy::kStrict;
+    } else {
+      usage("--policy strict|lenient");
+    }
+  } else if (arg == "--machine") {
+    flags.batch.machine_processors =
+        parse_f64(flag_value(argc, argv, i), "--machine");
+  } else if (arg == "--cache") {
+    flags.batch.cache_dir = flag_value(argc, argv, i);
+  } else if (arg == "--cache-max-bytes") {
+    flags.batch.cache_max_bytes =
+        parse_u64(flag_value(argc, argv, i), "--cache-max-bytes");
+  } else if (arg == "--metrics") {
+    flags.metrics = flag_value(argc, argv, i);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// *.swf under dir, sorted by path for a deterministic "original order".
+std::vector<std::string> corpus_paths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".swf") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void print_summary(const char* mode, double elapsed,
+                   std::uint64_t peak_rss) {
+  // Greppable one-liner for run_perf.sh and the CI jobs.
+  std::fprintf(stderr,
+               "cpw_shard: %s elapsed_seconds=%.3f jobs=%" PRIu64
+               " bytes=%" PRIu64 " peak_rss_bytes=%" PRIu64 "\n",
+               mode, elapsed,
+               counter_value("cpw_ingest_jobs_total"),
+               counter_value("cpw_ingest_bytes_total"), peak_rss);
+}
+
+// ----------------------------------------------------------------- analyze
+
+int cmd_analyze(int argc, char** argv) {
+  CommonFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_common(arg, argc, argv, i, flags)) continue;
+    if (arg == "--dir") {
+      flags.corpus_dir = flag_value(argc, argv, i);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[i]);
+    } else {
+      flags.paths.push_back(arg);
+    }
+  }
+  if (!flags.corpus_dir.empty()) {
+    auto extra = corpus_paths(flags.corpus_dir);
+    flags.paths.insert(flags.paths.end(), extra.begin(), extra.end());
+  }
+  if (flags.paths.empty()) usage("analyze needs at least one log");
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::BatchResult result = run_batch(flags.paths, flags.batch);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::uint64_t peak = obs::record_peak_rss();
+  print_digest(result);
+  print_summary("analyze", elapsed, peak);
+  write_metrics(flags.metrics);
+  const std::size_t failed = result.diagnostics.failed_count();
+  return failed == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------- characterize
+
+int cmd_characterize(int argc, char** argv) {
+  // Stats-only characterization of ONE log. The windowed path runs the
+  // streaming analyzer's destructive finisher, whose peak memory is the
+  // ~32 B/job ingest ceiling — this is the subcommand the ulimit-capped CI
+  // job runs on a file several times larger than its RLIMIT_DATA cap. The
+  // materialized path prints the same digest from decode-then-characterize,
+  // so `diff` between the two is a bit-identity check.
+  CommonFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_common(arg, argc, argv, i, flags)) continue;
+    if (!arg.empty() && arg[0] == '-') usage(argv[i]);
+    flags.paths.push_back(arg);
+  }
+  if (flags.paths.size() != 1) usage("characterize takes exactly one log");
+  const std::string& path = flags.paths[0];
+
+  const auto start = std::chrono::steady_clock::now();
+  workload::WorkloadStats stats;
+  std::uint64_t fingerprint = 0;
+  std::size_t jobs = 0;
+  if (flags.batch.ingest == analysis::IngestMode::kWindowed) {
+    analysis::StreamAnalyzeOptions options;
+    options.reader = flags.batch.reader;
+    options.window_bytes = flags.batch.ingest_window_bytes;
+    options.machine_processors = flags.batch.machine_processors;
+    analysis::StreamingAnalyzer analyzer(options);
+    analyzer.ingest(path);
+    fingerprint = analyzer.content_fingerprint();
+    jobs = analyzer.jobs();
+    stats = analyzer.finish_stats();
+  } else {
+    const swf::Log log = swf::load_swf_fast(path, flags.batch.reader);
+    fingerprint = log.content_fingerprint();
+    jobs = log.size();
+    stats = workload::characterize(log, flags.batch.machine_processors);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::uint64_t peak = obs::record_peak_rss();
+
+  std::printf("stats %s jobs=%zu fingerprint=%016" PRIx64,
+              path.c_str(), jobs, fingerprint);
+  for (const std::string& code : workload::WorkloadStats::all_codes()) {
+    print_hex(code.c_str(), stats.get(code));
+  }
+  std::printf("\n");
+  print_summary("characterize", elapsed, peak);
+  write_metrics(flags.metrics);
+  return 0;
+}
+
+// --------------------------------------------------------------------- run
+
+int cmd_run(int argc, char** argv, const char* argv0) {
+  CommonFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_common(arg, argc, argv, i, flags)) continue;
+    if (arg == "--dir") {
+      flags.corpus_dir = flag_value(argc, argv, i);
+    } else if (arg == "--workers") {
+      flags.workers = parse_u64(flag_value(argc, argv, i), "--workers");
+    } else if (arg == "--abort-after") {
+      flags.abort_after = parse_u64(flag_value(argc, argv, i), "--abort-after");
+    } else if (arg == "--work-dir") {
+      flags.work_dir = flag_value(argc, argv, i);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[i]);
+    } else {
+      flags.paths.push_back(arg);
+    }
+  }
+  if (!flags.corpus_dir.empty()) {
+    auto extra = corpus_paths(flags.corpus_dir);
+    flags.paths.insert(flags.paths.end(), extra.begin(), extra.end());
+  }
+  if (flags.paths.empty()) usage("run needs at least one log");
+
+  analysis::ShardOptions options;
+  options.batch = flags.batch;
+  options.workers = flags.workers;
+  options.worker_command = self_exe(argv0);
+  options.work_dir = flags.work_dir;
+  options.abort_worker_after = flags.abort_after;
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::ShardResult result = run_shard(flags.paths, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  print_digest(result.merged);
+  for (std::size_t w = 0; w < result.workers.size(); ++w) {
+    const analysis::ShardWorkerStats& stats = result.workers[w];
+    std::fprintf(stderr,
+                 "cpw_shard: worker=%zu spawned=%d clean=%d claimed=%zu\n", w,
+                 stats.spawned ? 1 : 0, stats.clean_exit ? 1 : 0,
+                 stats.files_claimed);
+  }
+  std::fprintf(stderr, "cpw_shard: shard files=%zu done=%zu claimed=%zu\n",
+               flags.paths.size(), result.files_done, result.files_claimed);
+  print_summary("run", elapsed, result.peak_rss_bytes);
+  write_metrics(flags.metrics);
+  const std::size_t failed = result.merged.diagnostics.failed_count();
+  return failed == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------ worker
+
+int cmd_worker(int argc, char** argv) {
+  analysis::ShardWorkerConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    CommonFlags shim;
+    shim.batch = config.batch;
+    if (parse_common(arg, argc, argv, i, shim)) {
+      config.batch = shim.batch;
+      continue;
+    }
+    if (arg == "--manifest") {
+      config.manifest = flag_value(argc, argv, i);
+    } else if (arg == "--claims") {
+      config.claims_dir = flag_value(argc, argv, i);
+    } else if (arg == "--worker-index") {
+      config.worker_index =
+          parse_u64(flag_value(argc, argv, i), "--worker-index");
+    } else if (arg == "--abort-after") {
+      config.abort_after =
+          parse_u64(flag_value(argc, argv, i), "--abort-after");
+    } else if (arg == "--max-regression") {
+      config.batch.reader.max_submit_regression =
+          parse_f64(flag_value(argc, argv, i), "--max-regression");
+    } else if (arg == "--sample-limit") {
+      config.batch.reader.quarantine_sample_limit =
+          parse_u64(flag_value(argc, argv, i), "--sample-limit");
+    } else if (arg == "--hurst-min-block") {
+      config.batch.hurst.min_block =
+          parse_u64(flag_value(argc, argv, i), "--hurst-min-block");
+    } else if (arg == "--hurst-max-fraction") {
+      config.batch.hurst.max_block_fraction =
+          parse_f64(flag_value(argc, argv, i), "--hurst-max-fraction");
+    } else if (arg == "--hurst-ppd") {
+      config.batch.hurst.points_per_decade =
+          parse_u64(flag_value(argc, argv, i), "--hurst-ppd");
+    } else if (arg == "--hurst-cutoff") {
+      config.batch.hurst.periodogram_cutoff =
+          parse_f64(flag_value(argc, argv, i), "--hurst-cutoff");
+    } else {
+      usage(argv[i]);
+    }
+  }
+  if (config.manifest.empty() || config.claims_dir.empty() ||
+      config.batch.cache_dir.empty()) {
+    usage("worker needs --manifest, --claims, --cache");
+  }
+  return run_shard_worker(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string command = argv[1];
+  try {
+    if (command == "gen-log") return cmd_gen_log(argc, argv);
+    if (command == "gen-corpus") return cmd_gen_corpus(argc, argv);
+    if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "characterize") return cmd_characterize(argc, argv);
+    if (command == "run") return cmd_run(argc, argv, argv[0]);
+    if (command == "worker") return cmd_worker(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cpw_shard: %s\n", error.what());
+    return 1;
+  }
+  usage("unknown subcommand");
+}
