@@ -1,0 +1,83 @@
+// libFuzzer target for the CPW_FAULT spec parser. The spec arrives from an
+// environment variable, i.e. arbitrary untrusted bytes, and parse errors
+// must degrade (collect messages, keep the well-formed rules) rather than
+// crash or throw. Invariants checked per input:
+//
+//  - parse_spec never throws and never crashes on any byte sequence;
+//  - every kept rule is internally consistent: non-empty site, a real
+//    kind, a probability in [0, 1] or a count trigger (persistent implies
+//    trigger >= 1), and errno rules carry a positive errno;
+//  - parsing is deterministic: a second parse of the same bytes yields the
+//    same rule list and the same error count.
+//
+// evaluate() and set_spec() are deliberately NOT called here: fuzzed rules
+// include hang/abort kinds that execute at evaluation time, and set_spec
+// intentionally leaks the config it replaces (concurrent readers), which
+// LeakSanitizer would report on every input. Their contracts are covered
+// by fault_test.
+//
+// Build: cmake -DCPW_FUZZ=ON with clang, then
+//   ./build-fuzz/fuzz/fuzz_faultspec -max_len=512
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "cpw/fault/fault.hpp"
+
+namespace {
+
+bool rule_consistent(const cpw::fault::Rule& rule) {
+  using cpw::fault::Kind;
+  if (rule.site.empty()) return false;
+  switch (rule.kind) {
+    case Kind::kThrow:
+    case Kind::kShortWrite:
+    case Kind::kTornWrite:
+    case Kind::kHang:
+    case Kind::kAbort:
+      break;
+    case Kind::kErrno:
+      if (rule.error <= 0) return false;
+      break;
+    case Kind::kNone:
+      return false;  // a parsed rule always has a concrete kind
+  }
+  if (rule.probability >= 0.0) {
+    if (rule.probability > 1.0) return false;
+    // A probabilistic rule never also carries a count trigger.
+    if (rule.trigger != 0 || rule.persistent) return false;
+  } else if (rule.persistent && rule.trigger == 0) {
+    return false;  // '@N+' requires N >= 1
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view spec(reinterpret_cast<const char*>(data), size);
+
+  const cpw::fault::ParsedSpec first = cpw::fault::parse_spec(spec);
+  for (const cpw::fault::Rule& rule : first.rules) {
+    if (!rule_consistent(rule)) std::abort();
+  }
+
+  const cpw::fault::ParsedSpec second = cpw::fault::parse_spec(spec);
+  if (second.rules.size() != first.rules.size() ||
+      second.errors.size() != first.errors.size() ||
+      second.seed != first.seed) {
+    std::abort();
+  }
+  for (std::size_t i = 0; i < first.rules.size(); ++i) {
+    const cpw::fault::Rule& a = first.rules[i];
+    const cpw::fault::Rule& b = second.rules[i];
+    if (a.site != b.site || a.kind != b.kind || a.error != b.error ||
+        a.arg != b.arg || a.trigger != b.trigger ||
+        a.persistent != b.persistent || a.probability != b.probability) {
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -4,11 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <optional>
 #include <utility>
 
 #include "cpw/analysis/streaming.hpp"
 #include "cpw/cache/cache.hpp"
+#include "cpw/fault/fault.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/util/fingerprint.hpp"
@@ -38,7 +40,7 @@ struct LogScratch {
 };
 
 constexpr std::size_t kAttributes = 4;
-constexpr std::size_t kEstimators = 3;  // R/S, variance-time, periodogram
+constexpr std::size_t kEstimators = 4;  // R/S, variance-time, periodogram, wavelet
 
 void escalate(LogDiagnostics& slot, LogStatus to) {
   if (slot.status < to) slot.status = to;
@@ -145,8 +147,10 @@ struct CacheContext {
     content_fp.assign(count, 0);
     options_fp = options_fingerprint(options);
     try {
-      cache.emplace(
-          cache::CacheOptions{options.cache_dir, options.cache_max_bytes});
+      cache::CacheOptions cache_options;
+      cache_options.dir = options.cache_dir;
+      cache_options.max_bytes = options.cache_max_bytes;
+      cache.emplace(std::move(cache_options));
     } catch (...) {
       obs::counter("cpw_cache_disabled_total").add(1);
     }
@@ -275,6 +279,42 @@ BatchResult run_batch(std::span<const std::string> paths,
 
   CacheContext ctx(options, paths.size());
   std::vector<LogScratch> scratch(paths.size());
+
+  // Out-of-core per-log path: never materialize the Job records. The
+  // windowed content fingerprint equals the whole-file one, so cache
+  // entries are shared with the materialized mode. Shared between
+  // IngestMode::kWindowed and the memory-pressure downshift below.
+  const auto ingest_windowed = [&](std::size_t i, LogDiagnostics& slot) {
+    std::optional<StreamingAnalyzer> analyzer;
+    obs::Span ingest_span("ingest", paths[i]);
+    const bool ingested = contain(slot, "ingest", LogStatus::kFailed, [&] {
+      stop.throw_if_stopped("batch ingest");
+      StreamAnalyzeOptions stream_options;
+      stream_options.reader = reader_options;
+      stream_options.window_bytes = options.ingest_window_bytes;
+      stream_options.machine_processors = options.machine_processors;
+      if (ctx.enabled()) {
+        const std::uint64_t fp = swf::fingerprint_swf_windowed(
+            paths[i], options.ingest_window_bytes);
+        if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i], slot)) {
+          return;
+        }
+        stream_options.reader.fingerprint = false;  // already hashed
+      }
+      analyzer.emplace(stream_options);
+      analyzer->ingest(paths[i]);
+    });
+    slot.ingest_seconds = ingest_span.end();
+    if (!ingested || slot.cache_hit) return;
+    slot.quarantine = analyzer->quarantine();
+    if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
+    obs::Span analyze_span("analyze", paths[i]);
+    contain(slot, "analyze", LogStatus::kFailed, [&] {
+      analyze_streamed(*analyzer, result.logs[i], scratch[i]);
+    });
+    slot.analyze_seconds = analyze_span.end();
+  };
+
   // Ingest is part of the per-log task: while one worker analyzes an
   // already-decoded log, others are still mmap-decoding theirs, so ingest
   // overlaps analysis instead of forming a serial load phase. The decoded
@@ -287,67 +327,50 @@ BatchResult run_batch(std::span<const std::string> paths,
         slot.name = paths[i];
 
         if (options.ingest == IngestMode::kWindowed) {
-          // Out-of-core path: never materialize the Job records. The
-          // windowed content fingerprint equals the whole-file one, so
-          // cache entries are shared with the materialized mode.
-          std::optional<StreamingAnalyzer> analyzer;
-          obs::Span ingest_span("ingest", paths[i]);
-          const bool ingested =
-              contain(slot, "ingest", LogStatus::kFailed, [&] {
-                stop.throw_if_stopped("batch ingest");
-                StreamAnalyzeOptions stream_options;
-                stream_options.reader = reader_options;
-                stream_options.window_bytes = options.ingest_window_bytes;
-                stream_options.machine_processors = options.machine_processors;
-                if (ctx.enabled()) {
-                  const std::uint64_t fp = swf::fingerprint_swf_windowed(
-                      paths[i], options.ingest_window_bytes);
-                  if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i],
-                                    slot)) {
-                    return;
-                  }
-                  stream_options.reader.fingerprint = false;  // already hashed
-                }
-                analyzer.emplace(stream_options);
-                analyzer->ingest(paths[i]);
-              });
-          slot.ingest_seconds = ingest_span.end();
-          if (!ingested || slot.cache_hit) return;
-          slot.quarantine = analyzer->quarantine();
-          if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
-          obs::Span analyze_span("analyze", paths[i]);
-          contain(slot, "analyze", LogStatus::kFailed, [&] {
-            analyze_streamed(*analyzer, result.logs[i], scratch[i]);
-          });
-          slot.analyze_seconds = analyze_span.end();
+          ingest_windowed(i, slot);
           return;
         }
 
         std::optional<swf::Log> log;
+        bool downshift = false;
         obs::Span ingest_span("ingest", paths[i]);
         const bool ingested =
             contain(slot, "ingest", LogStatus::kFailed, [&] {
               stop.throw_if_stopped("batch ingest");
-              if (ctx.enabled()) {
-                // Hash the mapped bytes before decoding: on a cache hit the
-                // file is never parsed at all.
-                const swf::MappedFile file(paths[i]);
-                const std::uint64_t fp = fingerprint_bytes(file.view());
-                if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i],
-                                  slot)) {
-                  return;
+              try {
+                if (CPW_FAULT_POINT("batch.ingest")) throw std::bad_alloc();
+                if (ctx.enabled()) {
+                  // Hash the mapped bytes before decoding: on a cache hit
+                  // the file is never parsed at all.
+                  const swf::MappedFile file(paths[i]);
+                  const std::uint64_t fp = fingerprint_bytes(file.view());
+                  if (try_cache_hit(ctx, i, fp, paths[i], result.logs[i],
+                                    slot)) {
+                    return;
+                  }
+                  swf::ReaderOptions miss_options = reader_options;
+                  miss_options.fingerprint = false;  // bytes already hashed
+                  log.emplace(swf::parse_swf_buffer(file.view(), paths[i],
+                                                    miss_options,
+                                                    slot.quarantine));
+                } else {
+                  log.emplace(swf::load_swf_fast(paths[i], reader_options,
+                                                 slot.quarantine));
                 }
-                swf::ReaderOptions miss_options = reader_options;
-                miss_options.fingerprint = false;  // bytes already hashed
-                log.emplace(swf::parse_swf_buffer(file.view(), paths[i],
-                                                  miss_options,
-                                                  slot.quarantine));
-              } else {
-                log.emplace(swf::load_swf_fast(paths[i], reader_options,
-                                               slot.quarantine));
+              } catch (const std::bad_alloc&) {
+                // Memory pressure: drop the partial decode and retry this
+                // log out-of-core instead of failing it.
+                log.reset();
+                slot.quarantine = {};
+                downshift = true;
               }
             });
         slot.ingest_seconds = ingest_span.end();
+        if (downshift) {
+          obs::counter("cpw_batch_ingest_downshift_total").add(1);
+          ingest_windowed(i, slot);
+          return;
+        }
         if (!ingested || slot.cache_hit) return;
         if (!slot.quarantine.empty()) escalate(slot, LogStatus::kDegraded);
         obs::Span analyze_span("analyze", paths[i]);
@@ -455,7 +478,7 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
   if (stop.stop_possible()) hurst_options.stop = stop;
 
   // Wave 2 — per-(series, estimator) tasks over a flat index space; each
-  // task fills exactly one HurstEstimate slot. Twelve tasks share a log's
+  // task fills exactly one HurstEstimate slot. Sixteen tasks share a log's
   // diagnostics slot, so contained errors go into a flat-indexed side
   // array and merge serially afterwards (race-free and deterministic).
   const std::size_t total = count * kAttributes * kEstimators;
@@ -486,9 +509,13 @@ void finish_batch(BatchResult& result, std::vector<LogScratch>& scratch,
               slot.report.variance_time =
                   selfsim::hurst_variance_time(series, prefix, hurst_options);
               break;
-            default:
+            case 2:
               slot.report.periodogram =
                   selfsim::hurst_periodogram(series, hurst_options);
+              break;
+            default:
+              slot.report.wavelet =
+                  selfsim::hurst_wavelet(series, hurst_options);
               break;
           }
         } catch (...) {

@@ -18,17 +18,29 @@
 //      wins a file. The winner analyzes it with run_batch (Co-plot off),
 //      which stores the per-log result into the shared cache, then
 //      creates `<index>.done`.
-//   3. The driver waits for every worker, then runs a normal, warm
-//      run_batch over the ORIGINAL path order: every precomputed file is
-//      a cache hit, files lost to a killed worker recompute in-process,
-//      and the final Co-plot fits over all survivors. The cache's
-//      warm == cold bit-identity guarantee makes the merged BatchResult
-//      byte-identical to a single-process run_batch over the same paths.
+//   3. The driver SUPERVISES the fleet instead of block-waiting on it: a
+//      waitpid(WNOHANG) poll loop reaps exits as they happen, watches each
+//      worker's heartbeat file (`<claims>/worker-<index>.hb`, bumped once
+//      per manifest iteration), escalates a stalled worker SIGTERM → then
+//      SIGKILL after a grace period, and respawns uncleanly-dead slots
+//      with exponential backoff up to a per-slot restart budget. A dead
+//      worker's unfinished claims are released so its replacement (or a
+//      peer's replacement) re-claims them; a file that kills
+//      `poison_threshold` consecutive workers is quarantined — its claim
+//      is left in place, its path is reported in ShardResult::poisoned,
+//      and the merge runs over the survivors.
+//   4. The driver then runs a normal, warm run_batch over the ORIGINAL
+//      path order (minus quarantined files): every precomputed file is a
+//      cache hit, files lost to a dead worker recompute in-process, and
+//      the final Co-plot fits over all survivors. The cache's warm == cold
+//      bit-identity guarantee makes the merged BatchResult byte-identical
+//      to a single-process run_batch over the same paths.
 //
 // Each worker snapshots its metrics registry (including its
 // cpw_peak_rss_bytes gauge) to `<claims>/worker-<index>.metrics.json` on
 // clean exit, so per-worker throughput and memory are observable from the
-// driver side.
+// driver side. Supervision is observable too:
+// cpw_shard_{restarts,hung_killed,poisoned}_total.
 
 #include <sys/types.h>
 
@@ -61,21 +73,63 @@ struct ShardOptions {
   /// `<cache_dir>/shard`. Wiped and recreated at the start of every run.
   std::string work_dir;
 
+  /// Hung-worker deadline: a worker whose heartbeat file does not change
+  /// for this long gets SIGTERM, then SIGKILL after term_grace_seconds.
+  /// Heartbeats tick once per manifest iteration, so this must exceed the
+  /// worst single-file analysis time. 0 disables hang detection.
+  double hang_timeout_seconds = 0.0;
+
+  /// Grace between SIGTERM and SIGKILL for a hung worker.
+  double term_grace_seconds = 2.0;
+
+  /// How many times one worker slot may be respawned after an unclean
+  /// death (crash, signal, hang-kill). 0 restores fail-in-place: dangling
+  /// claims are left for the merge pass to recompute.
+  std::size_t restart_budget = 1;
+
+  /// A file whose claim owner dies uncleanly this many times in a row is
+  /// quarantined: reported in ShardResult::poisoned and excluded from the
+  /// merge instead of being allowed to kill the whole run.
+  std::size_t poison_threshold = 2;
+
+  /// Supervisor poll cadence (reap, heartbeat check, restarts).
+  double poll_interval_seconds = 0.05;
+
   /// Test hook: worker 0 raises SIGKILL after analyzing this many files
   /// (before writing the last done marker), simulating a worker dying
-  /// mid-run. 0 disables.
+  /// mid-run. Applies only to the slot's first incarnation, so a restarted
+  /// worker runs clean. 0 disables.
   std::size_t abort_worker_after = 0;
+
+  /// Test hook: worker 0's first incarnation ignores SIGTERM and hangs
+  /// without heartbeats after analyzing this many files, forcing the
+  /// supervisor through the full SIGTERM -> SIGKILL escalation. 0 disables.
+  std::size_t hang_worker_after = 0;
+
+  /// Test hook: any worker raises SIGKILL immediately after claiming a
+  /// path containing this substring — a deterministic poison file. Empty
+  /// disables.
+  std::string crash_worker_on_substring;
 };
 
-/// Outcome of one spawned worker process.
+/// Outcome of one worker slot (across every incarnation spawned into it).
 struct ShardWorkerStats {
+  /// Pid of the most recent incarnation.
   pid_t pid = -1;
   bool spawned = false;
-  /// Raw waitpid status; decode with WIFEXITED/WIFSIGNALED.
+  /// Raw waitpid status of the most recent incarnation; decode with
+  /// WIFEXITED/WIFSIGNALED.
   int raw_status = 0;
   bool clean_exit = false;
   /// Files this worker claimed (from the claim-file contents).
   std::size_t files_claimed = 0;
+  /// Times this slot was respawned after an unclean death.
+  std::size_t restarts = 0;
+  /// Incarnations of this slot SIGKILLed by the hung-worker escalation.
+  std::size_t hung_killed = 0;
+  /// First non-EINTR waitpid errno seen for this slot (0 = none); the slot
+  /// is treated as dead-without-status when this is set.
+  int wait_errno = 0;
   /// Per-worker metrics snapshot path; empty if the worker never wrote one
   /// (killed, or spawn failed).
   std::string metrics_path;
@@ -83,11 +137,20 @@ struct ShardWorkerStats {
 
 /// Outcome of run_shard: the merged batch result plus the shard story.
 struct ShardResult {
-  /// Bit-identical to single-process run_batch(paths, options.batch).
+  /// Bit-identical to single-process run_batch over the same paths minus
+  /// `poisoned` (identical to run_batch(paths, options.batch) when nothing
+  /// was quarantined).
   BatchResult merged;
   std::vector<ShardWorkerStats> workers;
   std::size_t files_claimed = 0;  ///< claim markers present at merge time
   std::size_t files_done = 0;     ///< done markers present at merge time
+  /// Quarantined input paths: each killed poison_threshold consecutive
+  /// workers and was excluded from the merge.
+  std::vector<std::string> poisoned;
+  /// Total worker restarts across all slots.
+  std::size_t restarts = 0;
+  /// Total hung incarnations SIGKILLed across all slots.
+  std::size_t hung_killed = 0;
   /// Driver-process peak RSS after the merge (getrusage), bytes.
   std::uint64_t peak_rss_bytes = 0;
 };
@@ -108,6 +171,9 @@ struct ShardWorkerConfig {
   BatchOptions batch;      ///< must match the driver's fingerprint-wise
   std::size_t worker_index = 0;
   std::size_t abort_after = 0;  ///< see ShardOptions::abort_worker_after
+  std::size_t hang_after = 0;   ///< see ShardOptions::hang_worker_after
+  /// See ShardOptions::crash_worker_on_substring.
+  std::string crash_on_substring;
 };
 
 /// Worker main loop: claim, analyze into the shared cache, mark done.

@@ -7,16 +7,23 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "cpw/fault/fault.hpp"
+#include "cpw/fault/retry.hpp"
 #include "cpw/obs/export.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
@@ -51,19 +58,72 @@ std::string metrics_path(const std::string& dir, std::size_t index) {
   return dir + "/worker-" + std::to_string(index) + ".metrics.json";
 }
 
+std::string heartbeat_path(const std::string& dir, std::size_t index) {
+  return dir + "/worker-" + std::to_string(index) + ".hb";
+}
+
 /// Atomic existence marker. Returns false when another process already
-/// created it (EEXIST) — the claim race's losing branch.
-bool create_marker(const std::string& path, const std::string& contents) {
-  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-  if (fd < 0) return false;
-  if (!contents.empty()) {
-    // Marker content is advisory (worker attribution); a short write is
-    // not worth failing the claim over.
-    [[maybe_unused]] const ssize_t n =
-        ::write(fd, contents.data(), contents.size());
+/// created it (EEXIST) — the claim race's losing branch, which fails
+/// immediately; transient errno (EINTR, fd exhaustion) retries under
+/// `retry` before giving up.
+bool create_marker(const std::string& path, const std::string& contents,
+                   const fault::RetryPolicy& retry = {}) {
+  bool created = false;
+  (void)retry.run("shard.claim", [&]() -> int {
+    if (const auto fault = CPW_FAULT_POINT("shard.claim")) {
+      return fault.error != 0 ? fault.error : EIO;
+    }
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return errno != 0 ? errno : EIO;
+    if (!contents.empty()) {
+      // Marker content is advisory (worker attribution); a short write is
+      // not worth failing the claim over.
+      [[maybe_unused]] const ssize_t n =
+          ::write(fd, contents.data(), contents.size());
+    }
+    ::close(fd);
+    created = true;
+    return 0;
+  });
+  return created;
+}
+
+/// Worker-side liveness signal: a counter bumped once per manifest
+/// iteration, watched by the driver's hung-worker deadline. Monotonic
+/// within one incarnation, so the decimal form never shrinks and a bare
+/// pwrite cannot leave a stale suffix.
+class HeartbeatWriter {
+ public:
+  explicit HeartbeatWriter(const std::string& path)
+      : fd_(::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                   0644)) {}
+  ~HeartbeatWriter() {
+    if (fd_ >= 0) ::close(fd_);
   }
-  ::close(fd);
-  return true;
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  void beat() noexcept {
+    if (fd_ < 0) return;
+    char buffer[24];
+    const int n = std::snprintf(buffer, sizeof(buffer), "%llu\n",
+                                static_cast<unsigned long long>(++seq_));
+    if (n > 0) {
+      [[maybe_unused]] const ssize_t written =
+          ::pwrite(fd_, buffer, static_cast<std::size_t>(n), 0);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+};
+
+std::uint64_t read_heartbeat(const std::string& path) {
+  std::ifstream file(path);
+  std::uint64_t value = 0;
+  file >> value;
+  return value;
 }
 
 /// Manifest codec: one absolute path per line, driver-sorted. SWF paths
@@ -83,11 +143,14 @@ std::vector<std::string> read_manifest(const std::string& path) {
 
 /// The flags the `worker` subcommand needs to rebuild BatchOptions with an
 /// identical options fingerprint (plus the ingest knobs, which are not in
-/// the fingerprint but must match for like-for-like memory behavior).
+/// the fingerprint but must match for like-for-like memory behavior). The
+/// abort/hang test hooks go only to worker 0's FIRST incarnation, so a
+/// restarted slot runs clean and the recovery path is what gets tested.
 std::vector<std::string> worker_argv(const ShardOptions& options,
                                      const std::string& manifest,
                                      const std::string& work_dir,
-                                     std::size_t index) {
+                                     std::size_t index,
+                                     bool first_incarnation) {
   const BatchOptions& b = options.batch;
   std::vector<std::string> argv{
       options.worker_command,
@@ -113,9 +176,17 @@ std::vector<std::string> worker_argv(const ShardOptions& options,
     argv.push_back("--machine");
     argv.push_back(fmt_double(*b.machine_processors));
   }
-  if (index == 0 && options.abort_worker_after > 0) {
+  if (first_incarnation && index == 0 && options.abort_worker_after > 0) {
     argv.push_back("--abort-after");
     argv.push_back(std::to_string(options.abort_worker_after));
+  }
+  if (first_incarnation && index == 0 && options.hang_worker_after > 0) {
+    argv.push_back("--hang-after");
+    argv.push_back(std::to_string(options.hang_worker_after));
+  }
+  if (!options.crash_worker_on_substring.empty()) {
+    argv.push_back("--crash-on");
+    argv.push_back(options.crash_worker_on_substring);
   }
   return argv;
 }
@@ -127,17 +198,33 @@ int run_shard_worker(const ShardWorkerConfig& config) {
   BatchOptions batch = config.batch;
   batch.run_coplot = false;  // workers only populate the cache
 
+  HeartbeatWriter heartbeat(
+      heartbeat_path(config.claims_dir, config.worker_index));
+  const fault::RetryPolicy claim_retry;
+
   std::size_t processed = 0;
   for (std::size_t i = 0; i < manifest.size(); ++i) {
+    heartbeat.beat();
     if (!create_marker(claim_path(config.claims_dir, i),
-                       std::to_string(config.worker_index) + "\n")) {
+                       std::to_string(config.worker_index) + "\n",
+                       claim_retry)) {
       continue;  // another worker owns this file
     }
     obs::counter("cpw_shard_files_claimed_total").add(1);
+    const std::string path = manifest[i];
+    if (!config.crash_on_substring.empty() &&
+        path.find(config.crash_on_substring) != std::string::npos) {
+      // Test hook: a deterministic poison file — die the instant it is
+      // claimed, every incarnation, driving the quarantine logic.
+      ::raise(SIGKILL);
+    }
+    // Fault site between claim and analysis — where a real worker wedges
+    // on a bad file (hang), dies to the OOM killer (abort), or trips an
+    // unrecoverable I/O error (throw).
+    (void)CPW_FAULT_POINT("shard.worker");
     // run_batch contains every per-file failure into its diagnostics; a
     // file this worker cannot analyze stays cache-less and the merge pass
     // recomputes (and re-contains) it.
-    const std::string path = manifest[i];
     (void)run_batch(std::span<const std::string>(&path, 1), batch);
     ++processed;
     if (config.abort_after > 0 && processed >= config.abort_after) {
@@ -146,8 +233,15 @@ int run_shard_worker(const ShardWorkerConfig& config) {
       // OOM-kill looks like to the driver.
       ::raise(SIGKILL);
     }
-    create_marker(done_path(config.claims_dir, i), {});
+    if (config.hang_after > 0 && processed >= config.hang_after) {
+      // Test hook: wedge without heartbeats and shrug off SIGTERM, forcing
+      // the supervisor through the full SIGTERM -> SIGKILL escalation.
+      ::signal(SIGTERM, SIG_IGN);
+      for (;;) ::pause();
+    }
+    create_marker(done_path(config.claims_dir, i), {}, claim_retry);
     obs::counter("cpw_shard_files_done_total").add(1);
+    heartbeat.beat();
   }
 
   obs::record_peak_rss();
@@ -203,14 +297,18 @@ ShardResult run_shard(std::span<const std::string> paths,
                      return sizes[a] > sizes[b];
                    });
 
+  std::vector<std::string> manifest_paths;
+  manifest_paths.reserve(paths.size());
+  for (std::size_t i : order) manifest_paths.push_back(paths[i]);
+
   const std::string manifest = work_dir + "/manifest.txt";
   {
     const std::string tmp = manifest + ".tmp";
     std::ofstream file(tmp, std::ios::trunc);
-    for (std::size_t i : order) {
-      CPW_REQUIRE(paths[i].find('\n') == std::string::npos,
+    for (const std::string& path : manifest_paths) {
+      CPW_REQUIRE(path.find('\n') == std::string::npos,
                   "shard input path contains a newline");
-      file << paths[i] << '\n';
+      file << path << '\n';
     }
     if (!file.flush()) {
       throw Error("cannot write shard manifest: " + manifest, ErrorCode::kIo);
@@ -219,14 +317,43 @@ ShardResult run_shard(std::span<const std::string> paths,
     fs::rename(tmp, manifest);
   }
 
-  // Spawn the fleet. A spawn failure downgrades that slot to "never ran" —
-  // the merge pass absorbs its share of the work.
+  // ------------------------------------------------------------ supervisor
+  //
+  // The driver polls instead of block-waiting: reap exits with
+  // waitpid(WNOHANG), watch heartbeats, escalate hung workers SIGTERM ->
+  // SIGKILL, respawn uncleanly-dead slots (with backoff, up to
+  // restart_budget each), and quarantine files that keep killing their
+  // claimants. See the header comment for the full story.
+
+  struct SlotState {
+    bool running = false;
+    bool term_sent = false;
+    bool kill_sent = false;
+    std::uint64_t last_beat = 0;
+    double last_change = 0.0;
+    double term_time = 0.0;
+    double restart_at = -1.0;  ///< >= 0: respawn pending at this time
+  };
+  std::vector<SlotState> slots(options.workers);
   result.workers.resize(options.workers);
-  for (std::size_t w = 0; w < options.workers; ++w) {
+  /// Unclean deaths attributed to each manifest position (a file is only
+  /// re-claimable after the dead owner's claim is released, so this counts
+  /// consecutive claimant kills).
+  std::vector<std::size_t> kill_counts(paths.size(), 0);
+  std::unordered_set<std::size_t> poisoned_index;
+
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto now_seconds = [&start_time] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time)
+        .count();
+  };
+
+  const auto spawn_slot = [&](std::size_t w, bool first_incarnation) {
     ShardWorkerStats& stats = result.workers[w];
     stats.metrics_path = metrics_path(work_dir, w);
     const std::vector<std::string> argv_storage =
-        worker_argv(options, manifest, work_dir, w);
+        worker_argv(options, manifest, work_dir, w, first_incarnation);
     std::vector<char*> argv;
     argv.reserve(argv_storage.size() + 1);
     for (const std::string& arg : argv_storage) {
@@ -237,24 +364,137 @@ ShardResult run_shard(std::span<const std::string> paths,
     const int rc = ::posix_spawn(&pid, options.worker_command.c_str(),
                                  nullptr, nullptr, argv.data(), environ);
     if (rc != 0) {
-      obs::counter("cpw_shard_worker_exits_total", {{"status", "spawn-failed"}})
+      obs::counter("cpw_shard_worker_exits_total",
+                   {{"status", "spawn-failed"}})
           .add(1);
-      continue;
+      return;
     }
     stats.pid = pid;
     stats.spawned = true;
+    SlotState& slot = slots[w];
+    slot.running = true;
+    slot.term_sent = false;
+    slot.kill_sent = false;
+    slot.last_beat = read_heartbeat(heartbeat_path(work_dir, w));
+    slot.last_change = now_seconds();
+  };
+
+  // An unclean death orphans whatever this slot had claimed but not
+  // finished. Release those claims for a replacement to re-claim — unless
+  // a file has now killed poison_threshold claimants in a row, in which
+  // case its claim stays (nobody re-claims it) and it is quarantined out
+  // of the merge. Then respawn the slot if its budget allows.
+  const auto handle_unclean = [&](std::size_t w) {
+    ShardWorkerStats& stats = result.workers[w];
+    const bool can_restart = stats.restarts < options.restart_budget;
+    for (std::size_t i = 0; i < manifest_paths.size(); ++i) {
+      if (poisoned_index.contains(i)) continue;
+      const std::string cpath = claim_path(work_dir, i);
+      std::size_t owner = manifest_paths.size();
+      {
+        std::ifstream claim(cpath);
+        if (!claim || !(claim >> owner) || owner != w) continue;
+      }
+      if (fs::exists(done_path(work_dir, i))) continue;
+      if (++kill_counts[i] >= options.poison_threshold) {
+        poisoned_index.insert(i);
+        obs::counter("cpw_shard_poisoned_total").add(1);
+      } else if (can_restart) {
+        std::error_code ec;
+        fs::remove(cpath, ec);
+      }
+      // Without a restart the dangling claim stays: only a fresh manifest
+      // walk could re-claim it, and none is coming — the merge pass
+      // recomputes the file in-process, as before supervision existed.
+    }
+    if (can_restart) {
+      ++stats.restarts;
+      ++result.restarts;
+      obs::counter("cpw_shard_restarts_total").add(1);
+      const double backoff =
+          0.1 * static_cast<double>(
+                    1ULL << std::min<std::size_t>(stats.restarts - 1, 6));
+      slots[w].restart_at = now_seconds() + backoff;
+    }
+  };
+
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    spawn_slot(w, /*first_incarnation=*/true);
   }
 
-  for (ShardWorkerStats& stats : result.workers) {
-    if (!stats.spawned) continue;
-    int status = 0;
-    if (::waitpid(stats.pid, &status, 0) < 0) continue;
-    stats.raw_status = status;
-    stats.clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    obs::counter("cpw_shard_worker_exits_total",
-                 {{"status", stats.clean_exit ? "clean" : "died"}})
-        .add(1);
+  while (true) {
+    const double now = now_seconds();
+    bool any_running = false;
+    bool any_pending = false;
+    for (std::size_t w = 0; w < options.workers; ++w) {
+      SlotState& slot = slots[w];
+      ShardWorkerStats& stats = result.workers[w];
+      if (slot.running) {
+        int status = 0;
+        pid_t reaped = -1;
+        do {
+          reaped = ::waitpid(stats.pid, &status, WNOHANG);
+        } while (reaped < 0 && errno == EINTR);
+        if (reaped < 0) {
+          // Anything but EINTR (ECHILD, EINVAL) means the exit status is
+          // unknowable. Record it and treat the slot as dead WITHOUT a
+          // restart: respawning while a live child may still hold claims
+          // risks two workers walking the manifest for one slot.
+          stats.wait_errno = errno;
+          slot.running = false;
+          obs::counter("cpw_shard_worker_exits_total",
+                       {{"status", "wait-failed"}})
+              .add(1);
+        } else if (reaped == stats.pid) {
+          slot.running = false;
+          stats.raw_status = status;
+          stats.clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          obs::counter("cpw_shard_worker_exits_total",
+                       {{"status", stats.clean_exit ? "clean" : "died"}})
+              .add(1);
+          if (!stats.clean_exit) handle_unclean(w);
+        } else if (options.hang_timeout_seconds > 0.0) {
+          const std::uint64_t beat =
+              read_heartbeat(heartbeat_path(work_dir, w));
+          if (beat != slot.last_beat) {
+            slot.last_beat = beat;
+            slot.last_change = now;
+          } else if (!slot.term_sent &&
+                     now - slot.last_change > options.hang_timeout_seconds) {
+            ::kill(stats.pid, SIGTERM);
+            slot.term_sent = true;
+            slot.term_time = now;
+          } else if (slot.term_sent && !slot.kill_sent &&
+                     now - slot.term_time > options.term_grace_seconds) {
+            // SIGTERM didn't take (blocked, ignored, or wedged in
+            // uninterruptible I/O) — escalate.
+            ::kill(stats.pid, SIGKILL);
+            slot.kill_sent = true;
+            ++stats.hung_killed;
+            ++result.hung_killed;
+            obs::counter("cpw_shard_hung_killed_total").add(1);
+          }
+        }
+      }
+      if (!slot.running && slot.restart_at >= 0.0) {
+        if (now >= slot.restart_at) {
+          slot.restart_at = -1.0;
+          spawn_slot(w, /*first_incarnation=*/false);
+        } else {
+          any_pending = true;
+        }
+      }
+      any_running = any_running || slot.running;
+    }
+    if (!any_running && !any_pending) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.poll_interval_seconds));
   }
+
+  for (std::size_t i : poisoned_index) {
+    result.poisoned.push_back(manifest_paths[i]);
+  }
+  std::sort(result.poisoned.begin(), result.poisoned.end());
 
   // Attribute claims and completions from the marker files.
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -268,16 +508,27 @@ ShardResult run_shard(std::span<const std::string> paths,
     }
     if (fs::exists(done_path(work_dir, i))) ++result.files_done;
   }
-  if (result.files_done < paths.size()) {
+  if (result.files_done + result.poisoned.size() < paths.size()) {
     obs::counter("cpw_shard_files_recovered_total")
-        .add(paths.size() - result.files_done);
+        .add(paths.size() - result.files_done - result.poisoned.size());
   }
 
-  // Merge: a warm run over the ORIGINAL order. Precomputed files are cache
-  // hits; anything a dead worker left behind recomputes here. Bit-identity
-  // with single-process run_batch is the cache layer's warm == cold
-  // guarantee.
-  result.merged = run_batch(paths, options.batch);
+  // Merge: a warm run over the ORIGINAL order, minus quarantined files.
+  // Precomputed files are cache hits; anything a dead worker left behind
+  // recomputes here. Bit-identity with single-process run_batch over the
+  // same surviving paths is the cache layer's warm == cold guarantee.
+  if (result.poisoned.empty()) {
+    result.merged = run_batch(paths, options.batch);
+  } else {
+    const std::unordered_set<std::string> poisoned_paths(
+        result.poisoned.begin(), result.poisoned.end());
+    std::vector<std::string> survivors;
+    survivors.reserve(paths.size() - result.poisoned.size());
+    for (const std::string& path : paths) {
+      if (!poisoned_paths.contains(path)) survivors.push_back(path);
+    }
+    result.merged = run_batch(survivors, options.batch);
+  }
   result.peak_rss_bytes = obs::record_peak_rss();
   return result;
 }

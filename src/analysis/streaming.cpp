@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <new>
 #include <numeric>
 #include <system_error>
 #include <utility>
 
+#include "cpw/fault/fault.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/stats/descriptive.hpp"
@@ -74,11 +76,19 @@ void StreamingAnalyzer::maybe_reserve(std::size_t bytes_consumed) {
   const auto estimate = static_cast<std::size_t>(
       density * static_cast<double>(total_bytes_hint_) * 1.06) + 1024;
   if (estimate <= submit_.capacity()) return;
-  submit_.reserve(estimate);
-  runtime_.reserve(estimate);
-  procs_.reserve(estimate);
-  work_.reserve(estimate);
-  has_cpu_.reserve(estimate);
+  try {
+    if (CPW_FAULT_POINT("analysis.reserve")) throw std::bad_alloc();
+    submit_.reserve(estimate);
+    runtime_.reserve(estimate);
+    procs_.reserve(estimate);
+    work_.reserve(estimate);
+    has_cpu_.reserve(estimate);
+  } catch (const std::bad_alloc&) {
+    // The projection was too ambitious for the memory actually available.
+    // push_back already committed whichever reserves succeeded; fall back
+    // to the grow() slack ramp for the rest of the file instead of dying.
+    obs::counter("cpw_streaming_reserve_fallback_total").add(1);
+  }
 }
 
 void StreamingAnalyzer::absorb(const swf::JobList& jobs) {

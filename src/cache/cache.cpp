@@ -1,17 +1,20 @@
 #include "cpw/cache/cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string_view>
 #include <system_error>
 #include <utility>
 #include <vector>
 
+#include "cpw/fault/fault.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/util/error.hpp"
@@ -81,14 +84,50 @@ bool is_entry_file(const fs::path& path) {
   return path.extension() == kEntrySuffix;
 }
 
+/// Writes all of `data` to `fd`, retrying interrupted writes in place.
+/// Returns 0 or the failing errno.
+int write_all(int fd, std::string_view data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + offset, data.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
 /// Reads a whole entry file; empty optional when it cannot be opened/read
-/// (concurrently evicted, permissions, ...).
-std::optional<std::string> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) return std::nullopt;
+/// (concurrently evicted, permissions, ...). Transient errno retries under
+/// `retry`; ENOENT — the common clean miss — fails immediately.
+std::optional<std::string> read_file(const fs::path& path,
+                                     const fault::RetryPolicy& retry) {
+  std::string bytes;
+  const bool ok = retry.run("cache.lookup.read", [&]() -> int {
+    bytes.clear();
+    if (const auto fault = CPW_FAULT_POINT("cache.lookup.read")) {
+      return fault.error != 0 ? fault.error : EIO;
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return errno != 0 ? errno : EIO;
+    char block[1 << 16];
+    while (true) {
+      const ssize_t n = ::read(fd, block, sizeof(block));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int error = errno != 0 ? errno : EIO;
+        ::close(fd);
+        return error;
+      }
+      if (n == 0) break;
+      bytes.append(block, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return 0;
+  });
+  if (!ok) return std::nullopt;
   return bytes;
 }
 
@@ -114,7 +153,7 @@ std::optional<CachedAnalysis> AnalysisCache::lookup(const CacheKey& key) {
   obs::Span span("cache_lookup");
   const fs::path path = fs::path(options_.dir) / entry_filename(key);
 
-  const std::optional<std::string> bytes = read_file(path);
+  const std::optional<std::string> bytes = read_file(path, options_.retry);
   if (!bytes) {
     obs::counter("cpw_cache_misses_total").add(1);
     return std::nullopt;
@@ -184,25 +223,78 @@ void AnalysisCache::store(const CacheKey& key, const CachedAnalysis& entry) {
   // same key) never collide, and rename() publishes atomically on POSIX.
   static std::atomic<std::uint64_t> sequence{0};
   const fs::path dir(options_.dir);
-  const fs::path tmp =
-      dir / ("tmp-" + std::to_string(static_cast<long>(::getpid())) + "-" +
-             std::to_string(sequence.fetch_add(1)) + ".part");
   const fs::path final_path = dir / entry_filename(key);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
+
+  // One publish attempt: temp write, fsync, atomic rename. Returns 0 or the
+  // failing errno; the temp file never outlives a failed attempt.
+  const auto attempt = [&]() -> int {
+    const fs::path tmp =
+        dir / ("tmp-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+               std::to_string(sequence.fetch_add(1)) + ".part");
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0) return errno != 0 ? errno : EIO;
+    const auto discard = [&](int error) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return error != 0 ? error : EIO;
+    };
+
+    std::string_view out = bytes;
+    bool torn = false;
+    if (const auto fault = CPW_FAULT_POINT("cache.store.write")) {
+      switch (fault.kind) {
+        case fault::Kind::kTornWrite:
+        case fault::Kind::kShortWrite: {
+          // Clip what reaches the disk. A torn write then *succeeds* — the
+          // crash happened after rename — publishing a truncated entry that
+          // lookup must classify as corrupt. A short write fails like a
+          // disk filling up mid-store.
+          const std::uint64_t keep =
+              fault.arg != 0 ? fault.arg : bytes.size() / 2;
+          out = out.substr(0, std::min<std::size_t>(keep, out.size()));
+          torn = fault.kind == fault::Kind::kTornWrite;
+          break;
+        }
+        default:
+          return discard(fault.error);
+      }
+    }
+    if (const int error = write_all(fd, out); error != 0) {
+      return discard(error);
+    }
+    if (!torn && out.size() != bytes.size()) return discard(ENOSPC);
+
+    if (const auto fault = CPW_FAULT_POINT("cache.store.fsync")) {
+      return discard(fault.error);
+    }
+    if (::fsync(fd) != 0) return discard(errno);
+    if (::close(fd) != 0) {
+      const int error = errno != 0 ? errno : EIO;
+      ::unlink(tmp.c_str());
+      return error;
+    }
+
+    if (const auto fault = CPW_FAULT_POINT("cache.store.rename")) {
+      ::unlink(tmp.c_str());
+      return fault.error != 0 ? fault.error : EIO;
+    }
+    if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+      const int error = errno != 0 ? errno : EIO;
+      ::unlink(tmp.c_str());
+      return error;
+    }
+    return 0;
+  };
+
+  try {
+    if (!options_.retry.run("cache.store", attempt)) {
       fail();
       return;
     }
-  }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
+  } catch (const std::exception&) {
+    // An injected throw (or any unexpected I/O exception) degrades to
+    // recompute, exactly like a failed attempt.
     fail();
     return;
   }

@@ -16,17 +16,25 @@
 // entry a clean miss.
 //
 // Durability rules:
-//   * store() serializes to a temp file in the cache directory and renames
-//     it into place — readers never observe a torn entry, and concurrent
-//     writers of the same key race benignly (last rename wins, both files
-//     are identical by construction).
+//   * store() serializes to a temp file in the cache directory, fsyncs, and
+//     renames it into place — readers never observe a torn entry, and
+//     concurrent writers of the same key race benignly (last rename wins,
+//     both files are identical by construction). Transient I/O failures
+//     (EINTR, EAGAIN, fd exhaustion) retry the whole publish under
+//     CacheOptions::retry before being swallowed into
+//     cpw_cache_store_errors_total.
 //   * lookup() treats *anything* wrong — missing file, short file, bad
 //     magic/version/key echo, checksum mismatch, truncated payload — as a
 //     miss, never an error. Corrupt entries are counted
-//     (cpw_cache_corrupt_total) and unlinked best-effort.
+//     (cpw_cache_corrupt_total) and unlinked best-effort. The entry read
+//     retries transient errno under the same policy; ENOENT stays an
+//     immediate clean miss.
 //   * A size-bounded LRU sweep after each store evicts oldest-used entries
 //     (hits refresh an entry's mtime) until the directory is back under
 //     max_bytes.
+//
+// Fault sites (CPW_FAULT builds): cache.store.write (errno / short-write /
+// torn-write), cache.store.fsync, cache.store.rename, cache.lookup.read.
 //
 // Metrics: cpw_cache_{hits,misses,corrupt,evictions,store_errors}_total and
 // the cpw_cache_bytes gauge; lookups and stores run under cache_lookup /
@@ -37,6 +45,7 @@
 #include <optional>
 #include <string>
 
+#include "cpw/fault/retry.hpp"
 #include "cpw/selfsim/hurst.hpp"
 #include "cpw/swf/reader.hpp"
 #include "cpw/workload/characterize.hpp"
@@ -45,7 +54,7 @@ namespace cpw::cache {
 
 /// Bumped whenever the entry layout or the meaning of any serialized field
 /// changes; old entries then miss by filename and by header check.
-inline constexpr std::uint32_t kSchemaVersion = 1;
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 struct CacheOptions {
   /// Cache directory; created (with parents) on construction.
@@ -54,6 +63,10 @@ struct CacheOptions {
   /// eviction. The bound is enforced after each store, so the directory can
   /// transiently exceed it by one entry.
   std::uint64_t max_bytes = std::uint64_t{256} << 20;
+  /// Retry policy for transient I/O failures in store/lookup. The defaults
+  /// (3 attempts, sub-millisecond jittered backoff) add no latency to the
+  /// happy path.
+  fault::RetryPolicy retry;
 };
 
 /// Content-addressed key of one entry. Both halves are 64-bit

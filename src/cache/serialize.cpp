@@ -211,6 +211,7 @@ std::string encode_payload(const CachedAnalysis& entry) {
     put_estimate(w, slot.report.rs);
     put_estimate(w, slot.report.variance_time);
     put_estimate(w, slot.report.periodogram);
+    put_estimate(w, slot.report.wavelet);
   }
   put_quarantine(w, entry.quarantine);
   return w.take();
@@ -227,6 +228,7 @@ CachedAnalysis decode_payload(std::string_view payload) {
     slot.report.rs = get_estimate(r);
     slot.report.variance_time = get_estimate(r);
     slot.report.periodogram = get_estimate(r);
+    slot.report.wavelet = get_estimate(r);
   }
   entry.quarantine = get_quarantine(r);
   r.expect_exhausted();

@@ -1,0 +1,305 @@
+#include "cpw/fault/fault.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "cpw/obs/metrics.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::fault {
+
+namespace {
+
+/// Small closed table of the errno names a spec may ask for; anything a
+/// site realistically simulates. Unknown names are a parse error.
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},       {"ENOMEM", ENOMEM}, {"ENOSPC", ENOSPC},
+    {"EINTR", EINTR},   {"EAGAIN", EAGAIN}, {"EACCES", EACCES},
+    {"EMFILE", EMFILE}, {"ENFILE", ENFILE}, {"EBUSY", EBUSY},
+    {"EEXIST", EEXIST}, {"ENOENT", ENOENT},
+};
+
+int errno_by_name(std::string_view name) {
+  for (const ErrnoName& entry : kErrnoNames) {
+    if (name == entry.name) return entry.value;
+  }
+  return -1;
+}
+
+/// splitmix64 — one deterministic draw per (seed, site, evaluation, rule).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Active configuration: an immutable rule list plus one atomic evaluation
+/// counter per distinct site. Replaced wholesale by set_spec (the old
+/// config is intentionally leaked — replacement is a test/startup event,
+/// and a concurrent evaluate() may still be reading it).
+struct Config {
+  std::vector<Rule> rules;
+  std::uint64_t seed = 0;
+  /// counters[i] counts evaluations of sites_[i]; sites are the distinct
+  /// rule sites in first-appearance order.
+  std::vector<std::string> sites;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counters;
+
+  explicit Config(ParsedSpec spec)
+      : rules(std::move(spec.rules)), seed(spec.seed) {
+    for (const Rule& rule : rules) {
+      bool known = false;
+      for (const std::string& site : sites) {
+        if (site == rule.site) known = true;
+      }
+      if (!known) sites.push_back(rule.site);
+    }
+    counters = std::make_unique<std::atomic<std::uint64_t>[]>(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) counters[i] = 0;
+  }
+};
+
+std::atomic<const Config*> g_config{nullptr};
+std::once_flag g_env_once;
+
+void install(ParsedSpec spec) {
+  g_config.store(new Config(std::move(spec)), std::memory_order_release);
+}
+
+const Config* config() {
+  std::call_once(g_env_once, [] {
+    if (g_config.load(std::memory_order_acquire) != nullptr) return;
+    const char* env = std::getenv("CPW_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    ParsedSpec spec = parse_spec(env);
+    if (!spec.errors.empty()) {
+      obs::counter("cpw_fault_spec_errors_total").add(spec.errors.size());
+    }
+    install(std::move(spec));
+  });
+  return g_config.load(std::memory_order_acquire);
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_f64(std::string_view text, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Parses one `site:kind[=arg][@trigger]` entry into `rule`; returns an
+/// error message on failure, empty on success.
+std::string parse_entry(std::string_view entry, Rule& rule) {
+  const std::size_t colon = entry.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return "missing ':' separator in '" + std::string(entry) + "'";
+  }
+  rule.site = std::string(entry.substr(0, colon));
+  std::string_view rest = entry.substr(colon + 1);
+
+  std::string_view trigger;
+  const std::size_t at = rest.rfind('@');
+  if (at != std::string_view::npos) {
+    trigger = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+  }
+
+  std::string_view arg;
+  const std::size_t eq = rest.find('=');
+  if (eq != std::string_view::npos) {
+    arg = rest.substr(eq + 1);
+    rest = rest.substr(0, eq);
+  }
+
+  if (rest == "fail" || rest == "throw") {
+    rule.kind = Kind::kThrow;
+  } else if (rest == "errno") {
+    rule.kind = Kind::kErrno;
+    rule.error = arg.empty() ? EIO : errno_by_name(arg);
+    if (rule.error < 0) {
+      return "unknown errno name '" + std::string(arg) + "'";
+    }
+    arg = {};
+  } else if (rest == "short-write") {
+    rule.kind = Kind::kShortWrite;
+  } else if (rest == "torn-write") {
+    rule.kind = Kind::kTornWrite;
+  } else if (rest == "hang") {
+    rule.kind = Kind::kHang;
+  } else if (rest == "abort") {
+    rule.kind = Kind::kAbort;
+  } else {
+    return "unknown fault kind '" + std::string(rest) + "'";
+  }
+
+  if (!arg.empty() && !parse_u64(arg, rule.arg)) {
+    return "bad argument '" + std::string(arg) + "'";
+  }
+
+  if (!trigger.empty()) {
+    if (trigger.front() == 'p') {
+      if (!parse_f64(trigger.substr(1), rule.probability) ||
+          rule.probability < 0.0 || rule.probability > 1.0) {
+        return "bad probability '" + std::string(trigger) + "'";
+      }
+    } else {
+      std::string_view count = trigger;
+      if (count.back() == '+') {
+        rule.persistent = true;
+        count = count.substr(0, count.size() - 1);
+      }
+      if (!parse_u64(count, rule.trigger) || rule.trigger == 0) {
+        return "bad trigger '" + std::string(trigger) + "'";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kThrow:
+      return "throw";
+    case Kind::kErrno:
+      return "errno";
+    case Kind::kShortWrite:
+      return "short-write";
+    case Kind::kTornWrite:
+      return "torn-write";
+    case Kind::kHang:
+      return "hang";
+    case Kind::kAbort:
+      return "abort";
+    case Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+ParsedSpec parse_spec(std::string_view spec) {
+  ParsedSpec parsed;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    if (entry.substr(0, 5) == "seed=") {
+      if (!parse_u64(entry.substr(5), parsed.seed)) {
+        parsed.errors.push_back("bad seed '" + std::string(entry) + "'");
+      }
+      continue;
+    }
+    Rule rule;
+    std::string error = parse_entry(entry, rule);
+    if (!error.empty()) {
+      parsed.errors.push_back(std::move(error));
+      continue;
+    }
+    parsed.rules.push_back(std::move(rule));
+  }
+  return parsed;
+}
+
+void set_spec(std::string_view spec) {
+  ParsedSpec parsed = parse_spec(spec);
+  if (!parsed.errors.empty()) {
+    throw Error("invalid CPW_FAULT spec: " + parsed.errors.front(),
+                ErrorCode::kInvalidArgument);
+  }
+  // Make sure the env path never overwrites an explicit set_spec later.
+  std::call_once(g_env_once, [] {});
+  install(std::move(parsed));
+}
+
+void reset() { set_spec({}); }
+
+bool active() noexcept {
+  const Config* cfg = config();
+  return cfg != nullptr && !cfg->rules.empty();
+}
+
+Injection evaluate(std::string_view site) {
+  const Config* cfg = config();
+  if (cfg == nullptr || cfg->rules.empty()) return {};
+
+  std::size_t site_index = cfg->sites.size();
+  for (std::size_t i = 0; i < cfg->sites.size(); ++i) {
+    if (cfg->sites[i] == site) {
+      site_index = i;
+      break;
+    }
+  }
+  if (site_index == cfg->sites.size()) return {};  // no rule names this site
+  const std::uint64_t count =
+      cfg->counters[site_index].fetch_add(1, std::memory_order_relaxed) + 1;
+
+  Injection fired;
+  for (std::size_t r = 0; r < cfg->rules.size(); ++r) {
+    const Rule& rule = cfg->rules[r];
+    if (rule.site != site) continue;
+    bool match = false;
+    if (rule.probability >= 0.0) {
+      const std::uint64_t draw = splitmix64(
+          cfg->seed ^ hash_site(site) ^ (count * 0x9e3779b97f4a7c15ULL) ^ r);
+      match = static_cast<double>(draw >> 11) * 0x1.0p-53 < rule.probability;
+    } else if (rule.trigger == 0) {
+      match = true;
+    } else {
+      match = rule.persistent ? count >= rule.trigger : count == rule.trigger;
+    }
+    if (!match) continue;
+    fired.kind = rule.kind;
+    fired.error = rule.error;
+    fired.arg = rule.arg;
+    break;
+  }
+  if (!fired) return fired;
+
+  obs::counter("cpw_fault_injected_total", {{"site", std::string(site)},
+                                            {"kind", kind_name(fired.kind)}})
+      .add(1);
+  switch (fired.kind) {
+    case Kind::kThrow:
+      throw Error("injected fault at " + std::string(site), ErrorCode::kIo);
+    case Kind::kHang: {
+      const std::uint64_t seconds = fired.arg != 0 ? fired.arg : 3600;
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      return fired;
+    }
+    case Kind::kAbort:
+      std::abort();
+    default:
+      return fired;
+  }
+}
+
+}  // namespace cpw::fault

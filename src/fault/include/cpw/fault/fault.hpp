@@ -1,0 +1,130 @@
+#pragma once
+
+// cpw::fault — deterministic fault injection for the I/O and process
+// boundaries of the pipeline.
+//
+// A fault *site* is a named point in production code where a failure a
+// server actually sees (torn write, short read, ENOMEM, hung worker) can be
+// injected on demand. Sites are spelled with the CPW_FAULT_POINT("name")
+// macro, which compiles to a constant empty Injection unless the build
+// defines CPW_FAULT_ENABLED=1 (CMake option CPW_FAULT=ON) — the default
+// build carries zero code at every site.
+//
+// Which sites fire is driven by a spec, read once from the CPW_FAULT
+// environment variable (or installed programmatically via set_spec):
+//
+//   spec    := entry { ',' entry }
+//   entry   := 'seed=' uint
+//            | site ':' kind [ '=' arg ] [ '@' trigger ]
+//   kind    := 'fail' | 'throw'        (throw cpw::Error(kIo) at the site)
+//            | 'errno'                 (arg = symbolic name, default EIO)
+//            | 'short-write'           (arg = bytes kept, default half)
+//            | 'torn-write'            (arg = bytes kept, default half)
+//            | 'hang'                  (arg = seconds, default 3600)
+//            | 'abort'                 (std::abort)
+//   trigger := uint                    (fire on exactly the Nth evaluation)
+//            | uint '+'                (fire on the Nth and every later one)
+//            | 'p' float               (fire with probability p, seeded PRNG)
+//
+// Example: CPW_FAULT='seed=7,cache.store.rename:fail@3,swf.mmap:errno=ENOMEM@1,shard.worker:hang=60@2'
+//
+// Every evaluation of a site increments that site's counter (shared by all
+// of its rules; rules are checked in spec order, first match fires). The
+// probabilistic trigger draws from a splitmix64 stream keyed by (seed,
+// site, evaluation count, rule index), so a given spec + seed fires at the
+// same evaluations in every process — deterministic chaos.
+//
+// Action kinds (throw / hang / abort) execute inside evaluate(); data kinds
+// (errno / short-write / torn-write) are returned as an Injection for the
+// call site to honor (set errno and fail the syscall, clip the buffer, ...).
+// Each fired injection counts cpw_fault_injected_total{site,kind}.
+//
+// The parser/evaluator library is always compiled (so the framework is
+// testable from the default build); only the production call sites are
+// macro-gated.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CPW_FAULT_ENABLED
+#define CPW_FAULT_ENABLED 0
+#endif
+
+namespace cpw::fault {
+
+enum class Kind : std::uint8_t {
+  kNone,        ///< no injection at this evaluation
+  kThrow,       ///< cpw::Error(kIo) thrown from evaluate()
+  kErrno,       ///< caller should fail the syscall with Injection::error
+  kShortWrite,  ///< caller keeps Injection::arg bytes and reports failure
+  kTornWrite,   ///< caller keeps Injection::arg bytes and reports success
+  kHang,        ///< evaluate() sleeps Injection::arg seconds, then returns
+  kAbort,       ///< std::abort() from evaluate()
+};
+
+/// Stable name for a Kind ("throw", "errno", ...), used as the metric label.
+[[nodiscard]] const char* kind_name(Kind kind) noexcept;
+
+/// What a site evaluation decided. Data kinds carry their argument; the
+/// action kinds already ran inside evaluate() by the time this is returned.
+struct Injection {
+  Kind kind = Kind::kNone;
+  int error = 0;          ///< errno value for kErrno
+  std::uint64_t arg = 0;  ///< bytes kept / seconds slept, 0 = kind default
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return kind != Kind::kNone;
+  }
+};
+
+/// One parsed spec entry.
+struct Rule {
+  std::string site;
+  Kind kind = Kind::kThrow;
+  int error = 0;
+  std::uint64_t arg = 0;
+  std::uint64_t trigger = 0;     ///< Nth evaluation; 0 = every evaluation
+  bool persistent = false;       ///< '@N+': Nth and every later evaluation
+  double probability = -1.0;     ///< '@pF'; < 0 = count-triggered
+};
+
+/// Parse outcome. `errors` collects one message per malformed entry;
+/// well-formed entries are kept regardless, so a typo'd env var degrades to
+/// the rules that did parse instead of disabling injection wholesale.
+struct ParsedSpec {
+  std::vector<Rule> rules;
+  std::uint64_t seed = 0;
+  std::vector<std::string> errors;
+};
+
+/// Parses a spec string. Never throws; malformed entries land in `errors`.
+[[nodiscard]] ParsedSpec parse_spec(std::string_view spec);
+
+/// Installs a spec, replacing the active one and resetting every site
+/// counter. Throws cpw::Error(kInvalidArgument) listing the first error if
+/// the spec has malformed entries — test/tool entry point, not the env path.
+void set_spec(std::string_view spec);
+
+/// Removes every rule (equivalent to set_spec("")).
+void reset();
+
+/// True when at least one rule is active (after lazy CPW_FAULT env init).
+[[nodiscard]] bool active() noexcept;
+
+/// Evaluates a site against the active spec. Increments the site's counter,
+/// fires the first matching rule (counting
+/// cpw_fault_injected_total{site,kind}), executes action kinds in place —
+/// kThrow throws cpw::Error(kIo), kHang sleeps, kAbort aborts — and returns
+/// the injection (empty when nothing fired). This is what CPW_FAULT_POINT
+/// expands to in fault-enabled builds; call it directly in tests.
+Injection evaluate(std::string_view site);
+
+}  // namespace cpw::fault
+
+#if CPW_FAULT_ENABLED
+#define CPW_FAULT_POINT(site) ::cpw::fault::evaluate(site)
+#else
+#define CPW_FAULT_POINT(site) (::cpw::fault::Injection{})
+#endif

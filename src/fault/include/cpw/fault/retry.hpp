@@ -1,0 +1,58 @@
+#pragma once
+
+// cpw::fault::RetryPolicy — bounded retry with jittered exponential backoff
+// for transient I/O failures, shared by the cache store/lookup paths and
+// the shard claim I/O.
+//
+// The policy retries only errno values that plausibly clear on their own
+// (EINTR, EAGAIN, resource exhaustion); a deterministic failure (ENOENT,
+// EACCES, EEXIST) returns immediately so a cache miss or a lost claim race
+// never pays a backoff sleep and never pollutes the retry metrics.
+// Transient retries count cpw_retry_attempts_total{site}; giving up after
+// the attempt budget counts cpw_retry_exhausted_total{site}.
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace cpw::fault {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  int max_attempts = 3;
+  /// First backoff sleep; each retry multiplies it, capped at max_delay_ms.
+  double initial_delay_ms = 0.5;
+  double multiplier = 4.0;
+  double max_delay_ms = 50.0;
+  /// Seed for the deterministic jitter stream (factor in [0.5, 1.5) per
+  /// sleep, keyed by seed, site, and attempt).
+  std::uint64_t jitter_seed = 0;
+
+  /// Errno values worth retrying: interruptions and transient resource
+  /// exhaustion. Everything else is deterministic and fails immediately.
+  [[nodiscard]] static bool transient(int error) noexcept;
+
+  /// Runs `op` (returning 0 on success, an errno value on failure) until it
+  /// succeeds, fails non-transiently, or the attempt budget runs out.
+  /// Returns true on success. `site` labels the retry metrics.
+  template <typename Op>
+  bool run(std::string_view site, Op&& op) const {
+    for (int attempt = 1;; ++attempt) {
+      const int error = op();
+      if (error == 0) return true;
+      if (!transient(error)) return false;
+      if (attempt >= max_attempts) {
+        exhausted(site);
+        return false;
+      }
+      backoff(site, attempt);
+    }
+  }
+
+ private:
+  /// Counts the retry and sleeps the jittered delay for attempt N (1-based).
+  void backoff(std::string_view site, int attempt) const;
+  static void exhausted(std::string_view site);
+};
+
+}  // namespace cpw::fault

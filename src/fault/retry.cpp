@@ -1,0 +1,74 @@
+#include "cpw/fault/retry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "cpw/obs/metrics.hpp"
+
+namespace cpw::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool RetryPolicy::transient(int error) noexcept {
+  switch (error) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ENFILE:
+    case EMFILE:
+    case ENOMEM:
+#if defined(ETIMEDOUT)
+    case ETIMEDOUT:
+#endif
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RetryPolicy::backoff(std::string_view site, int attempt) const {
+  obs::counter("cpw_retry_attempts_total", {{"site", std::string(site)}})
+      .add(1);
+  double delay = initial_delay_ms;
+  for (int i = 1; i < attempt; ++i) delay *= multiplier;
+  delay = std::min(delay, max_delay_ms);
+  const std::uint64_t draw = splitmix64(
+      jitter_seed ^ hash_site(site) ^ static_cast<std::uint64_t>(attempt));
+  const double jitter = 0.5 + static_cast<double>(draw >> 11) * 0x1.0p-53;
+  const auto sleep_us = static_cast<std::int64_t>(delay * jitter * 1000.0);
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+void RetryPolicy::exhausted(std::string_view site) {
+  obs::counter("cpw_retry_exhausted_total", {{"site", std::string(site)}})
+      .add(1);
+}
+
+}  // namespace cpw::fault

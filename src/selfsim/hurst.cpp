@@ -339,6 +339,7 @@ HurstReport hurst_all(std::span<const double> series,
   report.rs = hurst_rs(series, prefix, options);
   report.variance_time = hurst_variance_time(series, prefix, options);
   report.periodogram = hurst_periodogram(series, options);
+  report.wavelet = hurst_wavelet(series, options);
   return report;
 }
 

@@ -156,11 +156,14 @@ HurstEstimate hurst_abs_moments(std::span<const double> series,
                                 const SeriesPrefix& prefix,
                                 const HurstOptions& options);
 
-/// All three estimates of one series, in the paper's Table 3 column order.
+/// The paper's Table 3 estimates of one series, in column order, plus the
+/// wavelet estimator (the cheapest and most trend-robust of the six) so
+/// every cached analysis carries all four.
 struct HurstReport {
   HurstEstimate rs;
   HurstEstimate variance_time;
   HurstEstimate periodogram;
+  HurstEstimate wavelet;
 };
 
 HurstReport hurst_all(std::span<const double> series,

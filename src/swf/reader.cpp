@@ -8,6 +8,7 @@
 #include <limits>
 #include <utility>
 
+#include "cpw/fault/fault.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/util/error.hpp"
@@ -30,6 +31,11 @@ namespace cpw::swf {
 namespace {
 
 std::vector<char> read_whole_file(const std::string& path) {
+  if (const auto fault = CPW_FAULT_POINT("swf.read")) {
+    throw Error("cannot read SWF file: " + path + ": " +
+                    std::strerror(fault.error != 0 ? fault.error : EIO),
+                ErrorCode::kIo);
+  }
   std::ifstream file(path, std::ios::binary);
   if (!file) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
   std::vector<char> buffer((std::istreambuf_iterator<char>(file)),
@@ -45,6 +51,16 @@ MappedFile::MappedFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) throw Error("cannot open SWF file: " + path, ErrorCode::kIo);
   struct stat st{};
+  if (CPW_FAULT_POINT("swf.mmap")) {
+    // Injected mmap failure: degrade to the buffered read below, exactly as
+    // a real ENOMEM from the kernel would.
+    obs::counter("cpw_swf_mmap_fallback_total").add(1);
+    ::close(fd);
+    buffer_ = read_whole_file(path);
+    data_ = buffer_.data();
+    size_ = buffer_.size();
+    return;
+  }
   if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
     const auto length = static_cast<std::size_t>(st.st_size);
     void* mapping = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
@@ -69,6 +85,10 @@ MappedFile::MappedFile(const std::string& path) {
 
 std::optional<MappedFile> MappedFile::try_map(const std::string& path) {
 #if CPW_HAVE_MMAP
+  if (CPW_FAULT_POINT("swf.mmap")) {
+    obs::counter("cpw_swf_mmap_fallback_total").add(1);
+    return std::nullopt;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return std::nullopt;
   struct stat st{};

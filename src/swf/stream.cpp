@@ -1,6 +1,7 @@
 #include "cpw/swf/stream.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -9,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "cpw/fault/fault.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/obs/span.hpp"
 #include "cpw/util/error.hpp"
@@ -186,6 +188,17 @@ class WindowConsumer {
   bool have_max_procs_text_ = false;
 };
 
+/// Mid-ingest I/O fault site, evaluated once per window in both the mmap
+/// and buffered loops — models an EIO surfacing partway through a log.
+void maybe_inject_window_fault(const std::string& path) {
+  if (const auto fault = CPW_FAULT_POINT("swf.stream.window")) {
+    throw Error("SWF window read failed: " + path + ": " +
+                    std::strerror(fault.error != 0 ? fault.error : EIO),
+                ErrorCode::kIo);
+  }
+  (void)path;
+}
+
 }  // namespace
 
 StreamResult stream_swf(const std::string& path, const StreamOptions& options,
@@ -216,6 +229,7 @@ StreamResult stream_swf(const std::string& path, const StreamOptions& options,
             std::memchr(data + end - 1, '\n', size - (end - 1)));
         end = nl != nullptr ? static_cast<std::size_t>(nl - data) + 1 : size;
       }
+      maybe_inject_window_fault(path);
       consumer.consume(std::string_view(data + pos, end - pos));
       pos = end;
       if (options.release_windows) {
@@ -244,6 +258,7 @@ StreamResult stream_swf(const std::string& path, const StreamOptions& options,
       if (buffer.empty()) break;
       const std::size_t consume =
           eof ? buffer.size() : buffer.rfind('\n') + 1;
+      maybe_inject_window_fault(path);
       consumer.consume(std::string_view(buffer.data(), consume));
       buffer.erase(0, consume);
       if (eof && buffer.empty()) break;

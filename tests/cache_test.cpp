@@ -12,6 +12,7 @@
 
 #include "cpw/analysis/batch.hpp"
 #include "cpw/cache/cache.hpp"
+#include "cpw/fault/fault.hpp"
 #include "cpw/models/model.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/swf/log.hpp"
@@ -51,6 +52,15 @@ CounterState read_counters() {
   s.characterize = obs::counter("cpw_batch_characterize_total").value();
   s.hurst_estimates = obs::counter("cpw_batch_hurst_estimates_total").value();
   return s;
+}
+
+cache::CacheOptions cache_options(std::string dir, std::uint64_t max_bytes =
+                                                       std::uint64_t{256}
+                                                       << 20) {
+  cache::CacheOptions options;
+  options.dir = std::move(dir);
+  options.max_bytes = max_bytes;
+  return options;
 }
 
 /// A payload exercising the serializer's corners: negative zero, denormals,
@@ -190,7 +200,7 @@ TEST(PayloadCodec, EveryTruncationThrowsParseError) {
 // ------------------------------------------------------------ cache store
 
 TEST(AnalysisCache, StoreThenLookupHitsAndMissOnOtherKey) {
-  cache::AnalysisCache cache({make_temp_dir("hit")});
+  cache::AnalysisCache cache(cache_options(make_temp_dir("hit")));
   const cache::CacheKey key{0x1234, 0x5678};
 
   EXPECT_FALSE(cache.lookup(key).has_value());
@@ -207,7 +217,7 @@ TEST(AnalysisCache, StoreThenLookupHitsAndMissOnOtherKey) {
 
 TEST(AnalysisCache, CorruptEntryIsCountedMissAndUnlinked) {
   const std::string dir = make_temp_dir("corrupt");
-  cache::AnalysisCache cache({dir});
+  cache::AnalysisCache cache(cache_options(dir));
   const cache::CacheKey key{1, 2};
   cache.store(key, sample_entry());
   const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
@@ -235,7 +245,7 @@ TEST(AnalysisCache, CorruptEntryIsCountedMissAndUnlinked) {
 
 TEST(AnalysisCache, TruncatedEntryIsMiss) {
   const std::string dir = make_temp_dir("trunc");
-  cache::AnalysisCache cache({dir});
+  cache::AnalysisCache cache(cache_options(dir));
   const cache::CacheKey key{3, 4};
   cache.store(key, sample_entry());
   const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
@@ -245,7 +255,7 @@ TEST(AnalysisCache, TruncatedEntryIsMiss) {
 
 TEST(AnalysisCache, VersionMismatchIsMiss) {
   const std::string dir = make_temp_dir("version");
-  cache::AnalysisCache cache({dir});
+  cache::AnalysisCache cache(cache_options(dir));
   const cache::CacheKey key{5, 6};
   cache.store(key, sample_entry());
   const std::string path = dir + "/" + cache::AnalysisCache::entry_filename(key);
@@ -268,17 +278,133 @@ TEST(AnalysisCache, VersionMismatchIsMiss) {
             std::string::npos);
 }
 
+TEST(AnalysisCache, EveryFileTruncationIsCountedMissNeverError) {
+  // The on-disk sweep behind the torn-write guarantee: an entry file cut at
+  // ANY byte boundary — mid-magic, mid-header, mid-payload, mid-checksum —
+  // must come back as a counted miss from lookup(), never as an exception.
+  const std::string dir = make_temp_dir("sweep");
+  cache::AnalysisCache cache(cache_options(dir));
+  const cache::CacheKey key{7, 8};
+  cache.store(key, sample_entry());
+  const std::string path =
+      dir + "/" + cache::AnalysisCache::entry_filename(key);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 50u);
+
+  const CounterState before = read_counters();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    // Rewrite the (possibly unlinked) entry as a torn copy of length `len`.
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    ASSERT_NO_THROW({
+      EXPECT_FALSE(cache.lookup(key).has_value()) << "len=" << len;
+    }) << "len=" << len;
+  }
+  const CounterState after = read_counters();
+  EXPECT_EQ(after.misses - before.misses, bytes.size());
+
+  // The intact prefix of full length is the entry itself: still a hit.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(AnalysisCache, InjectedTornAndShortWritesNeverPoisonTheCache) {
+#if !CPW_FAULT_ENABLED
+  GTEST_SKIP() << "fault sites compiled out (build with -DCPW_FAULT=ON)";
+#else
+  const std::string dir = make_temp_dir("torn");
+  cache::AnalysisCache cache(cache_options(dir));
+  const std::string entry_name =
+      cache::AnalysisCache::entry_filename({0, 0});
+
+  // Torn write: the publish path clips the buffer but still renames the
+  // entry into place — a crash-consistent torn file. Lookup must treat it
+  // as a counted miss at every torn length tried, and a clean re-store must
+  // recover.
+  std::uint64_t next_key = 1;
+  for (const std::uint64_t keep :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{16},
+        std::uint64_t{64}, std::uint64_t{200}}) {
+    const cache::CacheKey key{next_key++, 0};
+    fault::set_spec("cache.store.write:torn-write=" + std::to_string(keep) +
+                    "@1");
+    cache.store(key, sample_entry());
+    fault::reset();
+    const CounterState before = read_counters();
+    ASSERT_NO_THROW({
+      EXPECT_FALSE(cache.lookup(key).has_value()) << "keep=" << keep;
+    }) << "keep=" << keep;
+    const CounterState after = read_counters();
+    EXPECT_EQ(after.misses - before.misses, 1u) << "keep=" << keep;
+    cache.store(key, sample_entry());
+    EXPECT_TRUE(cache.lookup(key).has_value()) << "keep=" << keep;
+  }
+
+  // Short write: the store detects the clipped write, fails, and never
+  // publishes — the entry file must not exist.
+  const cache::CacheKey key{next_key, 0};
+  fault::set_spec("cache.store.write:short-write=8@1");
+  cache.store(key, sample_entry());
+  fault::reset();
+  EXPECT_FALSE(
+      fs::exists(dir + "/" + cache::AnalysisCache::entry_filename(key)));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  (void)entry_name;
+#endif
+}
+
+TEST(AnalysisCache, PreviousSchemaVersionIsMiss) {
+  // Regression pin for the v1 -> v2 bump that folded the wavelet estimator
+  // into the cached HurstReport: a v1 header (3-estimator payload era) must
+  // read as a miss, never decode as if it had four estimates.
+  static_assert(cache::kSchemaVersion == 2,
+                "bump this test alongside the schema version");
+  const std::string dir = make_temp_dir("oldschema");
+  cache::AnalysisCache cache(cache_options(dir));
+  const cache::CacheKey key{9, 10};
+  cache.store(key, sample_entry());
+  const std::string path =
+      dir + "/" + cache::AnalysisCache::entry_filename(key);
+
+  // Patch the header version down to v1 in place (filename untouched) —
+  // the shape of an old entry surviving under a new file-naming collision.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t old_version = cache::kSchemaVersion - 1;
+    char bytes[4];
+    for (int i = 0; i < 4; ++i) {
+      bytes[i] = static_cast<char>((old_version >> (8 * i)) & 0xFF);
+    }
+    file.seekp(4).write(bytes, 4);
+  }
+  const CounterState before = read_counters();
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const CounterState after = read_counters();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+}
+
 TEST(AnalysisCache, LruEvictionKeepsNewestEntries) {
   const std::string dir = make_temp_dir("evict");
   const std::uint64_t entry_size = [&] {
-    cache::AnalysisCache sizing({dir});
+    cache::AnalysisCache sizing(cache_options(dir));
     sizing.store({0, 0}, sample_entry());
     return sizing.size_bytes();
   }();
   fs::remove_all(dir);
 
   // Budget for two entries; store four with strictly increasing mtimes.
-  cache::AnalysisCache cache({dir, entry_size * 2});
+  cache::AnalysisCache cache(cache_options(dir, entry_size * 2));
   const CounterState before = read_counters();
   const auto now = fs::file_time_type::clock::now();
   for (std::uint64_t k = 0; k < 4; ++k) {

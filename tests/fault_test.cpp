@@ -1,0 +1,298 @@
+// cpw::fault — spec grammar, trigger semantics, deterministic probabilistic
+// firing, injected-fault metrics, and the RetryPolicy transient/backoff
+// contract. The parser/evaluator library is compiled into every build, so
+// these tests run with or without CPW_FAULT=ON; only the production-site
+// macro test branches on the build flavor.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include "cpw/fault/fault.hpp"
+#include "cpw/fault/retry.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw {
+namespace {
+
+/// Installs a spec for one test and resets it on scope exit, so tests don't
+/// leak global fault state into each other.
+class SpecGuard {
+ public:
+  explicit SpecGuard(const std::string& spec) { fault::set_spec(spec); }
+  ~SpecGuard() { fault::reset(); }
+};
+
+std::uint64_t injected_count(const std::string& site, const char* kind) {
+  return obs::counter("cpw_fault_injected_total",
+                      {{"site", site}, {"kind", kind}})
+      .value();
+}
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const fault::ParsedSpec spec = fault::parse_spec(
+      "seed=42,cache.store.rename:fail@3,swf.mmap:errno=ENOMEM@1,"
+      "shard.worker:hang=60@2,a.b:short-write=7,c.d:torn-write@4+,"
+      "e.f:abort@p0.25");
+  EXPECT_TRUE(spec.errors.empty());
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.rules.size(), 6u);
+
+  EXPECT_EQ(spec.rules[0].site, "cache.store.rename");
+  EXPECT_EQ(spec.rules[0].kind, fault::Kind::kThrow);
+  EXPECT_EQ(spec.rules[0].trigger, 3u);
+  EXPECT_FALSE(spec.rules[0].persistent);
+
+  EXPECT_EQ(spec.rules[1].site, "swf.mmap");
+  EXPECT_EQ(spec.rules[1].kind, fault::Kind::kErrno);
+  EXPECT_EQ(spec.rules[1].error, ENOMEM);
+  EXPECT_EQ(spec.rules[1].trigger, 1u);
+
+  EXPECT_EQ(spec.rules[2].kind, fault::Kind::kHang);
+  EXPECT_EQ(spec.rules[2].arg, 60u);
+
+  EXPECT_EQ(spec.rules[3].kind, fault::Kind::kShortWrite);
+  EXPECT_EQ(spec.rules[3].arg, 7u);
+  EXPECT_EQ(spec.rules[3].trigger, 0u);  // every evaluation
+
+  EXPECT_EQ(spec.rules[4].kind, fault::Kind::kTornWrite);
+  EXPECT_EQ(spec.rules[4].trigger, 4u);
+  EXPECT_TRUE(spec.rules[4].persistent);
+
+  EXPECT_EQ(spec.rules[5].kind, fault::Kind::kAbort);
+  EXPECT_DOUBLE_EQ(spec.rules[5].probability, 0.25);
+}
+
+TEST(FaultSpec, ErrnoDefaultsToEIO) {
+  const fault::ParsedSpec spec = fault::parse_spec("x.y:errno");
+  ASSERT_EQ(spec.rules.size(), 1u);
+  EXPECT_EQ(spec.rules[0].error, EIO);
+}
+
+TEST(FaultSpec, MalformedEntriesDegradeToTheRulesThatParsed) {
+  const fault::ParsedSpec spec = fault::parse_spec(
+      "good.site:fail,nocolon,x:badkind,y:errno=EWHAT,z:fail@0,"
+      "w:fail@pnope,v:fail@p1.5,seed=notanum,other.site:errno@2");
+  ASSERT_EQ(spec.rules.size(), 2u);
+  EXPECT_EQ(spec.rules[0].site, "good.site");
+  EXPECT_EQ(spec.rules[1].site, "other.site");
+  EXPECT_EQ(spec.errors.size(), 7u);
+}
+
+TEST(FaultSpec, EmptySpecAndEmptyEntriesAreFine) {
+  EXPECT_TRUE(fault::parse_spec("").rules.empty());
+  EXPECT_TRUE(fault::parse_spec("").errors.empty());
+  const fault::ParsedSpec spec = fault::parse_spec(",a.b:fail,,");
+  EXPECT_EQ(spec.rules.size(), 1u);
+  EXPECT_TRUE(spec.errors.empty());
+}
+
+TEST(FaultSpec, SetSpecThrowsOnMalformed) {
+  try {
+    fault::set_spec("broken-entry-without-colon");
+    FAIL() << "set_spec accepted a malformed spec";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kInvalidArgument);
+  }
+  fault::reset();
+}
+
+TEST(FaultSpec, KindNamesAreStable) {
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kThrow), "throw");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kErrno), "errno");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kShortWrite), "short-write");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kTornWrite), "torn-write");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kHang), "hang");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kAbort), "abort");
+  EXPECT_STREQ(fault::kind_name(fault::Kind::kNone), "none");
+}
+
+TEST(FaultEvaluate, CountTriggerFiresExactlyOnNthEvaluation) {
+  SpecGuard guard("t.count:errno=ENOSPC@3");
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.count")));
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.count")));
+  const fault::Injection third = fault::evaluate("t.count");
+  ASSERT_TRUE(static_cast<bool>(third));
+  EXPECT_EQ(third.kind, fault::Kind::kErrno);
+  EXPECT_EQ(third.error, ENOSPC);
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.count")));
+}
+
+TEST(FaultEvaluate, PersistentTriggerFiresFromNthOnward) {
+  SpecGuard guard("t.persist:torn-write=5@2+");
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.persist")));
+  for (int i = 0; i < 3; ++i) {
+    const fault::Injection injection = fault::evaluate("t.persist");
+    ASSERT_TRUE(static_cast<bool>(injection)) << "evaluation " << (i + 2);
+    EXPECT_EQ(injection.kind, fault::Kind::kTornWrite);
+    EXPECT_EQ(injection.arg, 5u);
+  }
+}
+
+TEST(FaultEvaluate, FirstMatchingRuleWinsAndSitesAreIndependent) {
+  SpecGuard guard("t.a:errno=EACCES@1,t.a:errno=ENOENT@1,t.b:errno=EBUSY@1");
+  const fault::Injection a = fault::evaluate("t.a");
+  ASSERT_TRUE(static_cast<bool>(a));
+  EXPECT_EQ(a.error, EACCES);  // spec order, not last-wins
+  // t.b has its own counter: still on evaluation 1 despite t.a's history.
+  const fault::Injection b = fault::evaluate("t.b");
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b.error, EBUSY);
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.unlisted")));
+}
+
+TEST(FaultEvaluate, ThrowKindRaisesIoError) {
+  SpecGuard guard("t.throw:fail@1");
+  try {
+    (void)fault::evaluate("t.throw");
+    FAIL() << "throw-kind site did not throw";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(FaultEvaluate, ProbabilisticFiringIsDeterministicPerSeed) {
+  const auto pattern = [](const std::string& spec) {
+    fault::set_spec(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(static_cast<bool>(fault::evaluate("t.prob")));
+    }
+    fault::reset();
+    return fired;
+  };
+  const auto first = pattern("seed=9,t.prob:errno@p0.3");
+  const auto second = pattern("seed=9,t.prob:errno@p0.3");
+  EXPECT_EQ(first, second);  // set_spec resets counters: identical stream
+  const auto other_seed = pattern("seed=10,t.prob:errno@p0.3");
+  EXPECT_NE(first, other_seed);
+  std::size_t fires = 0;
+  for (const bool hit : first) fires += hit ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST(FaultEvaluate, FiredInjectionsCountTheLabeledMetric) {
+  const std::uint64_t before = injected_count("t.metric", "errno");
+  SpecGuard guard("t.metric:errno@2+");
+  (void)fault::evaluate("t.metric");  // no fire
+  (void)fault::evaluate("t.metric");  // fires
+  (void)fault::evaluate("t.metric");  // fires
+  EXPECT_EQ(injected_count("t.metric", "errno"), before + 2);
+}
+
+TEST(FaultEvaluate, InactiveWithoutRules) {
+  fault::reset();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(static_cast<bool>(fault::evaluate("t.anything")));
+  fault::set_spec("t.x:fail@99");
+  EXPECT_TRUE(fault::active());
+  fault::reset();
+}
+
+TEST(FaultMacro, SiteCompilesToTheBuildFlavor) {
+  SpecGuard guard("t.macro:errno=EIO@1");
+#if CPW_FAULT_ENABLED
+  // Fault build: the macro is a live evaluate() call.
+  EXPECT_TRUE(static_cast<bool>(CPW_FAULT_POINT("t.macro")));
+#else
+  // Default build: the macro is a constant empty Injection; the active
+  // spec cannot reach it.
+  EXPECT_FALSE(static_cast<bool>(CPW_FAULT_POINT("t.macro")));
+#endif
+}
+
+TEST(Retry, TransientClassification) {
+  EXPECT_TRUE(fault::RetryPolicy::transient(EINTR));
+  EXPECT_TRUE(fault::RetryPolicy::transient(EAGAIN));
+  EXPECT_TRUE(fault::RetryPolicy::transient(EBUSY));
+  EXPECT_TRUE(fault::RetryPolicy::transient(ENOMEM));
+  EXPECT_TRUE(fault::RetryPolicy::transient(EMFILE));
+  EXPECT_FALSE(fault::RetryPolicy::transient(ENOENT));
+  EXPECT_FALSE(fault::RetryPolicy::transient(EEXIST));
+  EXPECT_FALSE(fault::RetryPolicy::transient(EACCES));
+  EXPECT_FALSE(fault::RetryPolicy::transient(EIO));
+  EXPECT_FALSE(fault::RetryPolicy::transient(0));
+}
+
+fault::RetryPolicy fast_policy() {
+  fault::RetryPolicy policy;
+  policy.initial_delay_ms = 0.01;
+  policy.max_delay_ms = 0.05;
+  return policy;
+}
+
+TEST(Retry, TransientFailureRetriesToSuccessAndCountsAttempts) {
+  const std::uint64_t before =
+      obs::counter("cpw_retry_attempts_total", {{"site", "t.retry.ok"}})
+          .value();
+  int calls = 0;
+  const bool ok = fast_policy().run("t.retry.ok", [&] {
+    ++calls;
+    return calls < 3 ? EINTR : 0;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(
+      obs::counter("cpw_retry_attempts_total", {{"site", "t.retry.ok"}})
+          .value(),
+      before + 2);
+}
+
+TEST(Retry, NonTransientFailsImmediatelyWithoutMetrics) {
+  const std::uint64_t attempts_before =
+      obs::counter("cpw_retry_attempts_total", {{"site", "t.retry.hard"}})
+          .value();
+  const std::uint64_t exhausted_before =
+      obs::counter("cpw_retry_exhausted_total", {{"site", "t.retry.hard"}})
+          .value();
+  int calls = 0;
+  const bool ok = fast_policy().run("t.retry.hard", [&] {
+    ++calls;
+    return ENOENT;
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 1);  // a cache miss never pays a backoff sleep
+  EXPECT_EQ(
+      obs::counter("cpw_retry_attempts_total", {{"site", "t.retry.hard"}})
+          .value(),
+      attempts_before);
+  EXPECT_EQ(
+      obs::counter("cpw_retry_exhausted_total", {{"site", "t.retry.hard"}})
+          .value(),
+      exhausted_before);
+}
+
+TEST(Retry, ExhaustionCountsTheExhaustedMetric) {
+  const std::uint64_t before =
+      obs::counter("cpw_retry_exhausted_total", {{"site", "t.retry.gone"}})
+          .value();
+  int calls = 0;
+  const bool ok = fast_policy().run("t.retry.gone", [&] {
+    ++calls;
+    return EAGAIN;
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 3);  // max_attempts default
+  EXPECT_EQ(
+      obs::counter("cpw_retry_exhausted_total", {{"site", "t.retry.gone"}})
+          .value(),
+      before + 1);
+}
+
+TEST(Retry, SingleAttemptPolicyNeverSleeps) {
+  fault::RetryPolicy policy = fast_policy();
+  policy.max_attempts = 1;
+  int calls = 0;
+  EXPECT_FALSE(policy.run("t.retry.one", [&] {
+    ++calls;
+    return EINTR;
+  }));
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace cpw

@@ -91,6 +91,8 @@ inline void expect_results_identical(const analysis::BatchResult& a,
                                  b.logs[i].hurst[attr].report.variance_time);
       expect_estimates_identical(a.logs[i].hurst[attr].report.periodogram,
                                  b.logs[i].hurst[attr].report.periodogram);
+      expect_estimates_identical(a.logs[i].hurst[attr].report.wavelet,
+                                 b.logs[i].hurst[attr].report.wavelet);
     }
     EXPECT_EQ(a.diagnostics.logs[i].status, b.diagnostics.logs[i].status);
     EXPECT_EQ(a.diagnostics.logs[i].quarantine.total(),

@@ -8,6 +8,7 @@
 
 #include <sys/wait.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -65,8 +66,10 @@ TEST(Shard, KilledWorkerIsContainedAndCacheReServes) {
 
   analysis::ShardOptions options = shard_options(dir);
   // Worker 0 SIGKILLs itself after analyzing one file — after the cache
-  // store, before the done marker.
+  // store, before the done marker. Restart budget 0 keeps the slot dead so
+  // containment (not recovery) is what this test exercises.
   options.abort_worker_after = 1;
+  options.restart_budget = 0;
   const analysis::ShardResult sharded = analysis::run_shard(paths, options);
 
   // The dead worker is visible in the stats...
@@ -89,6 +92,89 @@ TEST(Shard, KilledWorkerIsContainedAndCacheReServes) {
     if (slot.cache_hit) ++hits;
   }
   EXPECT_GT(hits, sharded.files_done);
+}
+
+TEST(Shard, KilledWorkerSlotRestartsAndCompletes) {
+  const std::string dir = testutil::make_temp_dir("shard_restart");
+  const auto paths = testutil::write_log_files(dir, 8, 2000);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  analysis::ShardOptions options = shard_options(dir);
+  // Worker 0's first incarnation dies after one file; the default restart
+  // budget respawns the slot, which runs clean and helps finish the corpus.
+  options.abort_worker_after = 1;
+  options.restart_budget = 1;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  ASSERT_FALSE(sharded.workers.empty());
+  const analysis::ShardWorkerStats& victim = sharded.workers[0];
+  EXPECT_GE(victim.restarts, 1u);
+  EXPECT_TRUE(victim.clean_exit);  // the replacement incarnation exits 0
+  EXPECT_GE(sharded.restarts, 1u);
+  EXPECT_EQ(sharded.files_done, paths.size());
+  EXPECT_TRUE(sharded.poisoned.empty());
+  testutil::expect_results_identical(single, sharded.merged);
+}
+
+TEST(Shard, HungWorkerEscalatesToSigkill) {
+  const std::string dir = testutil::make_temp_dir("shard_hung");
+  const auto paths = testutil::write_log_files(dir, 6, 1500);
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.workers = 2;
+  // Worker 0 ignores SIGTERM and stops heartbeating after one file; the
+  // supervisor must walk the full SIGTERM -> grace -> SIGKILL escalation.
+  options.hang_worker_after = 1;
+  options.hang_timeout_seconds = 0.5;
+  options.term_grace_seconds = 0.25;
+  options.restart_budget = 0;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  ASSERT_FALSE(sharded.workers.empty());
+  const analysis::ShardWorkerStats& victim = sharded.workers[0];
+  ASSERT_TRUE(victim.spawned);
+  EXPECT_FALSE(victim.clean_exit);
+  ASSERT_TRUE(WIFSIGNALED(victim.raw_status));
+  EXPECT_EQ(WTERMSIG(victim.raw_status), SIGKILL);
+  EXPECT_GE(victim.hung_killed, 1u);
+  EXPECT_GE(sharded.hung_killed, 1u);
+  // Containment: the merge recomputes what the hung worker left behind.
+  testutil::expect_results_identical(single, sharded.merged);
+}
+
+TEST(Shard, PoisonFileQuarantinedAfterConsecutiveKills) {
+  const std::string dir = testutil::make_temp_dir("shard_poison");
+  auto paths = testutil::write_log_files(dir, 6, 1500);
+  // One file is "poison": every worker that claims it dies immediately.
+  const std::string poison = dir + "/poisonpill.swf";
+  std::filesystem::copy_file(paths[2], poison);
+  paths.push_back(poison);
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.workers = 2;
+  options.crash_worker_on_substring = "poisonpill";
+  options.restart_budget = 3;
+  options.poison_threshold = 2;
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  ASSERT_EQ(sharded.poisoned.size(), 1u);
+  EXPECT_EQ(sharded.poisoned[0], poison);
+  EXPECT_GE(sharded.restarts, 1u);
+
+  // The merge runs over the survivors and is identical to a single-process
+  // run over the same survivor set.
+  std::vector<std::string> survivors;
+  for (const auto& path : paths) {
+    if (path != poison) survivors.push_back(path);
+  }
+  const analysis::BatchResult single =
+      analysis::run_batch(survivors, analysis::BatchOptions{});
+  testutil::expect_results_identical(single, sharded.merged);
 }
 
 TEST(Shard, WindowedIngestModeProducesSameMerge) {

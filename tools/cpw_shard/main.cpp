@@ -128,6 +128,7 @@ void print_digest(const analysis::BatchResult& result) {
       print_hex("rs", attr.report.rs.hurst);
       print_hex("vt", attr.report.variance_time.hurst);
       print_hex("pg", attr.report.periodogram.hurst);
+      print_hex("wv", attr.report.wavelet.hurst);
       std::printf("\n");
     }
   }
@@ -280,6 +281,12 @@ struct CommonFlags {
   std::size_t workers = 4;
   std::size_t abort_after = 0;
   std::string work_dir;
+  double hang_timeout = 0.0;
+  double term_grace = 2.0;
+  std::size_t restart_budget = 1;
+  std::size_t poison_threshold = 2;
+  std::size_t hang_after = 0;
+  std::string crash_on;
 };
 
 /// Parses one flag shared by analyze/run; returns false if unrecognized.
@@ -455,6 +462,20 @@ int cmd_run(int argc, char** argv, const char* argv0) {
       flags.abort_after = parse_u64(flag_value(argc, argv, i), "--abort-after");
     } else if (arg == "--work-dir") {
       flags.work_dir = flag_value(argc, argv, i);
+    } else if (arg == "--hang-timeout") {
+      flags.hang_timeout = parse_f64(flag_value(argc, argv, i), "--hang-timeout");
+    } else if (arg == "--term-grace") {
+      flags.term_grace = parse_f64(flag_value(argc, argv, i), "--term-grace");
+    } else if (arg == "--restart-budget") {
+      flags.restart_budget =
+          parse_u64(flag_value(argc, argv, i), "--restart-budget");
+    } else if (arg == "--poison-threshold") {
+      flags.poison_threshold =
+          parse_u64(flag_value(argc, argv, i), "--poison-threshold");
+    } else if (arg == "--hang-after") {
+      flags.hang_after = parse_u64(flag_value(argc, argv, i), "--hang-after");
+    } else if (arg == "--crash-on") {
+      flags.crash_on = flag_value(argc, argv, i);
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[i]);
     } else {
@@ -473,6 +494,12 @@ int cmd_run(int argc, char** argv, const char* argv0) {
   options.worker_command = self_exe(argv0);
   options.work_dir = flags.work_dir;
   options.abort_worker_after = flags.abort_after;
+  options.hang_timeout_seconds = flags.hang_timeout;
+  options.term_grace_seconds = flags.term_grace;
+  options.restart_budget = flags.restart_budget;
+  options.poison_threshold = flags.poison_threshold;
+  options.hang_worker_after = flags.hang_after;
+  options.crash_worker_on_substring = flags.crash_on;
 
   const auto start = std::chrono::steady_clock::now();
   const analysis::ShardResult result = run_shard(flags.paths, options);
@@ -483,12 +510,19 @@ int cmd_run(int argc, char** argv, const char* argv0) {
   for (std::size_t w = 0; w < result.workers.size(); ++w) {
     const analysis::ShardWorkerStats& stats = result.workers[w];
     std::fprintf(stderr,
-                 "cpw_shard: worker=%zu spawned=%d clean=%d claimed=%zu\n", w,
-                 stats.spawned ? 1 : 0, stats.clean_exit ? 1 : 0,
-                 stats.files_claimed);
+                 "cpw_shard: worker=%zu spawned=%d clean=%d claimed=%zu"
+                 " restarts=%zu hung_killed=%zu\n",
+                 w, stats.spawned ? 1 : 0, stats.clean_exit ? 1 : 0,
+                 stats.files_claimed, stats.restarts, stats.hung_killed);
   }
-  std::fprintf(stderr, "cpw_shard: shard files=%zu done=%zu claimed=%zu\n",
-               flags.paths.size(), result.files_done, result.files_claimed);
+  std::fprintf(stderr,
+               "cpw_shard: shard files=%zu done=%zu claimed=%zu"
+               " restarts=%zu hung_killed=%zu poisoned=%zu\n",
+               flags.paths.size(), result.files_done, result.files_claimed,
+               result.restarts, result.hung_killed, result.poisoned.size());
+  for (const std::string& path : result.poisoned) {
+    std::fprintf(stderr, "cpw_shard: poisoned %s\n", path.c_str());
+  }
   print_summary("run", elapsed, result.peak_rss_bytes);
   write_metrics(flags.metrics);
   const std::size_t failed = result.merged.diagnostics.failed_count();
@@ -517,6 +551,10 @@ int cmd_worker(int argc, char** argv) {
     } else if (arg == "--abort-after") {
       config.abort_after =
           parse_u64(flag_value(argc, argv, i), "--abort-after");
+    } else if (arg == "--hang-after") {
+      config.hang_after = parse_u64(flag_value(argc, argv, i), "--hang-after");
+    } else if (arg == "--crash-on") {
+      config.crash_on_substring = flag_value(argc, argv, i);
     } else if (arg == "--max-regression") {
       config.batch.reader.max_submit_regression =
           parse_f64(flag_value(argc, argv, i), "--max-regression");
