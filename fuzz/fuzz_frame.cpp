@@ -1,0 +1,72 @@
+// libFuzzer harness for the cpwd wire-protocol decoder: arbitrary bytes,
+// fed in arbitrary-sized slices, must only ever produce complete frames or
+// a cleanly poisoned decoder — no crash, no over-read, no hang. Decoded
+// request payloads are additionally pushed through the PayloadReader
+// field parsers the daemon uses, so truncated-field handling is fuzzed
+// with the same inputs.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "cpw/serve/protocol.hpp"
+#include "cpw/util/error.hpp"
+
+namespace {
+
+/// Replays the daemon's per-message payload parsing; every outcome other
+/// than cpw::Error(kParse) escaping is fine.
+void parse_like_the_daemon(const cpw::serve::Frame& frame) {
+  using cpw::serve::MessageType;
+  using cpw::serve::PayloadReader;
+  try {
+    PayloadReader reader(frame.payload);
+    switch (frame.type) {
+      case MessageType::kSubmit: {
+        (void)reader.str();  // tenant
+        const std::uint8_t kind = reader.u8();
+        if (kind == 0) {
+          const std::uint32_t count = reader.u32();
+          for (std::uint32_t i = 0; i < count && !reader.exhausted(); ++i) {
+            (void)reader.str();
+          }
+        } else {
+          (void)reader.str();  // name
+          (void)reader.str();  // bytes
+        }
+        break;
+      }
+      case MessageType::kStatus:
+      case MessageType::kResult:
+      case MessageType::kCancel:
+        (void)reader.u64();
+        break;
+      default:
+        break;
+    }
+  } catch (const cpw::Error&) {
+    // malformed payload — the daemon answers kError; fine.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Small cap keeps the oversized-payload rejection reachable quickly.
+  cpw::serve::FrameDecoder decoder(/*max_payload_bytes=*/4096);
+
+  // First input byte steers the slice size, exercising reassembly of
+  // headers and payloads split at every offset.
+  const std::size_t step = size > 0 ? (data[0] % 7) + 1 : 1;
+  std::size_t offset = 0;
+  while (offset < size) {
+    const std::size_t chunk = std::min(step, size - offset);
+    if (!decoder.feed(data + offset, chunk)) break;
+    offset += chunk;
+  }
+
+  cpw::serve::Frame frame;
+  while (decoder.take(frame)) parse_like_the_daemon(frame);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "cpw/analysis/digest.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::analysis {
+
+namespace {
+
+void append_hex(std::string& out, const char* key, double value) {
+  char buffer[48];
+  const int n = std::snprintf(buffer, sizeof(buffer), " %s=%016" PRIx64, key,
+                              std::bit_cast<std::uint64_t>(value));
+  if (n > 0) out.append(buffer, static_cast<std::size_t>(n));
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buffer, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string digest(const BatchResult& result) {
+  std::string out;
+  out.reserve(result.logs.size() * 1024 + 256);
+  const auto& codes = workload::WorkloadStats::all_codes();
+  for (std::size_t i = 0; i < result.logs.size(); ++i) {
+    const LogAnalysis& log = result.logs[i];
+    append_fmt(out, "log %s status=%d quarantined=%zu", log.name.c_str(),
+               static_cast<int>(result.diagnostics.logs[i].status),
+               result.diagnostics.logs[i].quarantine.total());
+    for (const std::string& code : codes) {
+      append_hex(out, code.c_str(), log.stats.get(code));
+    }
+    out += '\n';
+    for (const AttributeHurst& attr : log.hurst) {
+      append_fmt(out, "hurst %s %s estimated=%d", log.name.c_str(),
+                 workload::attribute_name(attr.attribute).c_str(),
+                 attr.estimated ? 1 : 0);
+      append_hex(out, "rs", attr.report.rs.hurst);
+      append_hex(out, "vt", attr.report.variance_time.hurst);
+      append_hex(out, "pg", attr.report.periodogram.hurst);
+      append_hex(out, "wv", attr.report.wavelet.hurst);
+      out += '\n';
+    }
+  }
+  append_fmt(out, "coplot run=%d members=", result.coplot_run ? 1 : 0);
+  for (std::size_t m : result.coplot_members) append_fmt(out, "%zu,", m);
+  out += '\n';
+  if (result.coplot_run) {
+    out += "coplot-x";
+    for (double v : result.coplot.embedding.x) append_hex(out, "", v);
+    out += "\ncoplot-y";
+    for (double v : result.coplot.embedding.y) append_hex(out, "", v);
+    out += '\n';
+    for (const auto& arrow : result.coplot.arrows) {
+      append_fmt(out, "arrow %s", arrow.name.c_str());
+      append_hex(out, "angle", arrow.angle);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace cpw::analysis

@@ -1,0 +1,20 @@
+#pragma once
+
+// The equivalence digest: every per-log statistic, Hurst estimate, and
+// Co-plot coordinate of a BatchResult rendered as IEEE-754 bit patterns,
+// one line per record. Two runs agree iff their digests are byte-identical,
+// which turns "bit-identical results" into a `diff`. Shared by the
+// cpw_shard CLI (single-process vs sharded merge) and the cpwd daemon
+// (served result vs direct run_batch); timings and diagnostics events are
+// deliberately absent — they legitimately differ between runs.
+
+#include <string>
+
+#include "cpw/analysis/batch.hpp"
+
+namespace cpw::analysis {
+
+/// Renders `result` into the canonical digest text (see file comment).
+[[nodiscard]] std::string digest(const BatchResult& result);
+
+}  // namespace cpw::analysis

@@ -20,8 +20,11 @@
 //      creates `<index>.done`.
 //   3. The driver SUPERVISES the fleet instead of block-waiting on it: a
 //      waitpid(WNOHANG) poll loop reaps exits as they happen, watches each
-//      worker's heartbeat file (`<claims>/worker-<index>.hb`, bumped once
-//      per manifest iteration), escalates a stalled worker SIGTERM → then
+//      worker's heartbeat file (`<claims>/worker-<index>.<run-id>.hb`,
+//      bumped once per manifest iteration; the run id namespaces beats so a
+//      crashed supervisor's residue or a concurrent driver sharing the dir
+//      is never read as a live beat — stale `.hb` files are swept at
+//      startup), escalates a stalled worker SIGTERM → then
 //      SIGKILL after a grace period, and respawns uncleanly-dead slots
 //      with exponential backoff up to a per-slot restart budget. A dead
 //      worker's unfinished claims are released so its replacement (or a
@@ -137,6 +140,11 @@ struct ShardWorkerStats {
 
 /// Outcome of run_shard: the merged batch result plus the shard story.
 struct ShardResult {
+  /// Identifier of this driver run (pid + monotonic clock), namespacing the
+  /// per-worker heartbeat files so a crashed supervisor's residue — or a
+  /// concurrent driver sharing the work dir — can never be mistaken for a
+  /// live incarnation's beats.
+  std::string run_id;
   /// Bit-identical to single-process run_batch over the same paths minus
   /// `poisoned` (identical to run_batch(paths, options.batch) when nothing
   /// was quarantined).
@@ -170,6 +178,9 @@ struct ShardWorkerConfig {
   std::string claims_dir;  ///< claim/done/metrics directory
   BatchOptions batch;      ///< must match the driver's fingerprint-wise
   std::size_t worker_index = 0;
+  /// Driver run id (ShardResult::run_id) namespacing this worker's
+  /// heartbeat file; empty falls back to the un-namespaced legacy name.
+  std::string run_id;
   std::size_t abort_after = 0;  ///< see ShardOptions::abort_worker_after
   std::size_t hang_after = 0;   ///< see ShardOptions::hang_worker_after
   /// See ShardOptions::crash_worker_on_substring.

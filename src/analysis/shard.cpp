@@ -58,8 +58,45 @@ std::string metrics_path(const std::string& dir, std::size_t index) {
   return dir + "/worker-" + std::to_string(index) + ".metrics.json";
 }
 
-std::string heartbeat_path(const std::string& dir, std::size_t index) {
-  return dir + "/worker-" + std::to_string(index) + ".hb";
+/// Heartbeat file for one worker slot, namespaced by the driver run id: a
+/// crashed supervisor's residue (or a concurrent driver sharing the work
+/// dir) must never be readable as a fresh beat by a later run. An empty run
+/// id keeps the legacy un-namespaced name.
+std::string heartbeat_path(const std::string& dir, std::size_t index,
+                           const std::string& run_id) {
+  std::string path = dir + "/worker-" + std::to_string(index);
+  if (!run_id.empty()) path += "." + run_id;
+  return path + ".hb";
+}
+
+/// Unique-enough id for one driver run: pid plus monotonic-clock ticks.
+/// Distinct across a pid-reusing respawn and across concurrent drivers.
+std::string make_run_id() {
+  const auto ticks =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%ld-%llx",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(ticks));
+  return buffer;
+}
+
+/// Removes every heartbeat file in the work dir, whatever run id it carries.
+/// Runs before the first spawn, so anything matched is by definition stale
+/// (this run's beats do not exist yet). Best-effort: a sweep failure only
+/// costs disk bytes, never correctness, because reads are namespaced.
+void sweep_stale_heartbeats(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".hb") == 0 &&
+        name.compare(0, 7, "worker-") == 0) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
 }
 
 /// Atomic existence marker. Returns false when another process already
@@ -149,6 +186,7 @@ std::vector<std::string> read_manifest(const std::string& path) {
 std::vector<std::string> worker_argv(const ShardOptions& options,
                                      const std::string& manifest,
                                      const std::string& work_dir,
+                                     const std::string& run_id,
                                      std::size_t index,
                                      bool first_incarnation) {
   const BatchOptions& b = options.batch;
@@ -157,6 +195,7 @@ std::vector<std::string> worker_argv(const ShardOptions& options,
       "worker",
       "--manifest", manifest,
       "--claims", work_dir,
+      "--run-id", run_id,
       "--cache", b.cache_dir,
       "--cache-max-bytes", std::to_string(b.cache_max_bytes),
       "--worker-index", std::to_string(index),
@@ -199,7 +238,7 @@ int run_shard_worker(const ShardWorkerConfig& config) {
   batch.run_coplot = false;  // workers only populate the cache
 
   HeartbeatWriter heartbeat(
-      heartbeat_path(config.claims_dir, config.worker_index));
+      heartbeat_path(config.claims_dir, config.worker_index, config.run_id));
   const fault::RetryPolicy claim_retry;
 
   std::size_t processed = 0;
@@ -280,6 +319,11 @@ ShardResult run_shard(std::span<const std::string> paths,
                                    : options.work_dir;
   fs::remove_all(work_dir);
   fs::create_directories(work_dir);
+  result.run_id = make_run_id();
+  // remove_all above normally leaves nothing behind, but a reused work dir
+  // that survived a partial wipe (or a racing writer) may still carry old
+  // heartbeat files; they are stale by definition and must not linger.
+  sweep_stale_heartbeats(work_dir);
 
   // Largest-first manifest: workers claim from the front, so the biggest
   // files start immediately and small ones backfill — work stealing by
@@ -352,8 +396,8 @@ ShardResult run_shard(std::span<const std::string> paths,
   const auto spawn_slot = [&](std::size_t w, bool first_incarnation) {
     ShardWorkerStats& stats = result.workers[w];
     stats.metrics_path = metrics_path(work_dir, w);
-    const std::vector<std::string> argv_storage =
-        worker_argv(options, manifest, work_dir, w, first_incarnation);
+    const std::vector<std::string> argv_storage = worker_argv(
+        options, manifest, work_dir, result.run_id, w, first_incarnation);
     std::vector<char*> argv;
     argv.reserve(argv_storage.size() + 1);
     for (const std::string& arg : argv_storage) {
@@ -375,7 +419,7 @@ ShardResult run_shard(std::span<const std::string> paths,
     slot.running = true;
     slot.term_sent = false;
     slot.kill_sent = false;
-    slot.last_beat = read_heartbeat(heartbeat_path(work_dir, w));
+    slot.last_beat = read_heartbeat(heartbeat_path(work_dir, w, result.run_id));
     slot.last_change = now_seconds();
   };
 
@@ -455,7 +499,7 @@ ShardResult run_shard(std::span<const std::string> paths,
           if (!stats.clean_exit) handle_unclean(w);
         } else if (options.hang_timeout_seconds > 0.0) {
           const std::uint64_t beat =
-              read_heartbeat(heartbeat_path(work_dir, w));
+              read_heartbeat(heartbeat_path(work_dir, w, result.run_id));
           if (beat != slot.last_beat) {
             slot.last_beat = beat;
             slot.last_change = now;

@@ -86,6 +86,13 @@ void install(ParsedSpec spec) {
   g_config.store(new Config(std::move(spec)), std::memory_order_release);
 }
 
+// Read-once environment snapshot: the CPW_FAULT getenv happens exactly once
+// under call_once — concurrent first evaluations of any fault site block
+// until the spec is installed, so every site sees either no spec or the
+// complete one, never a half-parsed rule list. Later setenv() calls are
+// invisible; set_spec() is the programmatic path and fully thread-safe
+// against concurrent evaluate() calls (config pointers are immutable once
+// published and retired, not freed).
 const Config* config() {
   std::call_once(g_env_once, [] {
     if (g_config.load(std::memory_order_acquire) != nullptr) return;

@@ -14,6 +14,12 @@ namespace cpw::obs {
 
 namespace {
 
+// Read-once environment snapshot: CPW_OBS_DISABLED is consulted exactly
+// once, inside the C++11 thread-safe initialization of this magic static
+// (concurrent first callers block until the initializer finishes). Later
+// setenv() calls are deliberately invisible — a long-lived daemon must not
+// change observability behavior mid-flight because a child process tweaked
+// its environment; use set_enabled() for runtime toggling.
 std::atomic<bool>& enabled_flag() noexcept {
   static std::atomic<bool> flag{[]() noexcept {
     const char* env = std::getenv("CPW_OBS_DISABLED");

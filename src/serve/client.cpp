@@ -1,0 +1,209 @@
+#include "cpw/serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::serve {
+
+Client Client::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CPW_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+              "Unix socket path too long");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int error = errno;
+    if (fd >= 0) ::close(fd);
+    throw Error("cannot connect to cpwd at " + socket_path + ": " +
+                    std::strerror(error),
+                ErrorCode::kIo);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int error = errno;
+    if (fd >= 0) ::close(fd);
+    throw Error("cannot connect to cpwd on port " + std::to_string(port) +
+                    ": " + std::strerror(error),
+                ErrorCode::kIo);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::round_trip(MessageType type,
+                         const std::vector<std::uint8_t>& payload,
+                         MessageType expected_reply) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("cpwd send failed: ") + std::strerror(errno),
+                  ErrorCode::kIo);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  Frame reply;
+  while (!decoder_.take(reply)) {
+    std::uint8_t buffer[4096];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw Error("cpwd closed the connection mid-reply", ErrorCode::kIo);
+    }
+    if (!decoder_.feed(buffer, static_cast<std::size_t>(n))) {
+      throw Error("malformed reply from cpwd: " + decoder_.error(),
+                  ErrorCode::kParse);
+    }
+  }
+  if (reply.type == MessageType::kError) {
+    PayloadReader reader(reply.payload);
+    throw Error("cpwd: " + reader.str());
+  }
+  if (reply.type != expected_reply) {
+    throw Error("unexpected reply type " +
+                    std::to_string(static_cast<int>(reply.type)),
+                ErrorCode::kParse);
+  }
+  return reply;
+}
+
+SubmitReport Client::submit_paths(const std::string& tenant,
+                                  const std::vector<std::string>& paths) {
+  PayloadWriter payload;
+  payload.str(tenant);
+  payload.u8(0);
+  payload.u32(static_cast<std::uint32_t>(paths.size()));
+  for (const std::string& path : paths) payload.str(path);
+  const Frame reply = round_trip(MessageType::kSubmit, payload.bytes(),
+                                 MessageType::kSubmitReply);
+  PayloadReader reader(reply.payload);
+  SubmitReport out;
+  out.id = reader.u64();
+  out.windowed = reader.u8() != 0;
+  return out;
+}
+
+SubmitReport Client::submit_inline(const std::string& tenant,
+                                   const std::string& name,
+                                   const std::string& bytes) {
+  PayloadWriter payload;
+  payload.str(tenant);
+  payload.u8(1);
+  payload.str(name);
+  payload.str(bytes);
+  const Frame reply = round_trip(MessageType::kSubmit, payload.bytes(),
+                                 MessageType::kSubmitReply);
+  PayloadReader reader(reply.payload);
+  SubmitReport out;
+  out.id = reader.u64();
+  out.windowed = reader.u8() != 0;
+  return out;
+}
+
+RequestReport Client::status(std::uint64_t id) {
+  PayloadWriter payload;
+  payload.u64(id);
+  const Frame reply = round_trip(MessageType::kStatus, payload.bytes(),
+                                 MessageType::kStatusReply);
+  PayloadReader reader(reply.payload);
+  RequestReport out;
+  out.id = reader.u64();
+  out.status = static_cast<RequestStatus>(reader.u8());
+  out.error = reader.str();
+  return out;
+}
+
+RequestReport Client::result(std::uint64_t id) {
+  PayloadWriter payload;
+  payload.u64(id);
+  const Frame reply = round_trip(MessageType::kResult, payload.bytes(),
+                                 MessageType::kResultReply);
+  PayloadReader reader(reply.payload);
+  RequestReport out;
+  out.id = reader.u64();
+  out.status = static_cast<RequestStatus>(reader.u8());
+  out.digest = reader.str();
+  out.error = reader.str();
+  return out;
+}
+
+bool Client::cancel(std::uint64_t id) {
+  PayloadWriter payload;
+  payload.u64(id);
+  const Frame reply = round_trip(MessageType::kCancel, payload.bytes(),
+                                 MessageType::kCancelReply);
+  PayloadReader reader(reply.payload);
+  (void)reader.u64();
+  return reader.u8() != 0;
+}
+
+std::string Client::metrics() {
+  const Frame reply =
+      round_trip(MessageType::kMetrics, {}, MessageType::kMetricsReply);
+  PayloadReader reader(reply.payload);
+  return reader.str();
+}
+
+RequestReport Client::wait(std::uint64_t id, double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    const RequestReport report = status(id);
+    if (report.status != RequestStatus::kQueued &&
+        report.status != RequestStatus::kRunning) {
+      return result(id);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw Error("request " + std::to_string(id) + " still " +
+                      request_status_name(report.status) + " after " +
+                      std::to_string(timeout_seconds) + "s",
+                  ErrorCode::kDeadlineExceeded);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace cpw::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+// Blocking cpwd client — one connection, request/reply in lockstep.
+//
+// Shared by the cpwd CLI's client subcommands, the cpwd_bench load
+// generator, and the serve lifecycle tests, so all three speak the wire
+// protocol through exactly one implementation. Methods throw cpw::Error:
+// kIo for transport failures, kUnknown carrying the daemon's message when
+// the reply is a kError frame. Not thread-safe; one Client per thread.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpw/serve/protocol.hpp"
+#include "cpw/serve/queue.hpp"
+
+namespace cpw::serve {
+
+/// Poll-visible state of one request, as the daemon reported it.
+struct RequestReport {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kQueued;
+  std::string digest;  ///< non-empty only when status == kDone
+  std::string error;
+};
+
+struct SubmitReport {
+  std::uint64_t id = 0;
+  bool windowed = false;  ///< daemon demoted the request to windowed ingest
+};
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket. Throws cpw::Error(kIo) on failure.
+  static Client connect_unix(const std::string& socket_path);
+  /// Connects to 127.0.0.1:port. Throws cpw::Error(kIo) on failure.
+  static Client connect_tcp(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Submits server-side SWF file paths for analysis.
+  SubmitReport submit_paths(const std::string& tenant,
+                            const std::vector<std::string>& paths);
+  /// Submits one log as inline bytes; the daemon spools it to disk.
+  SubmitReport submit_inline(const std::string& tenant,
+                             const std::string& name,
+                             const std::string& bytes);
+
+  RequestReport status(std::uint64_t id);
+  /// Status plus the result digest once the request is done.
+  RequestReport result(std::uint64_t id);
+  /// True when the daemon knew the id (the request may already be past
+  /// cancelling — check status()).
+  bool cancel(std::uint64_t id);
+  /// Live metrics registry in Prometheus text format.
+  std::string metrics();
+
+  /// Polls status() until the request reaches a terminal state or
+  /// `timeout_seconds` elapses (throws cpw::Error(kDeadlineExceeded));
+  /// returns the final result() report.
+  RequestReport wait(std::uint64_t id, double timeout_seconds);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends one request frame and blocks for the matching reply; a kError
+  /// reply throws with the daemon's message.
+  Frame round_trip(MessageType type, const std::vector<std::uint8_t>& payload,
+                   MessageType expected_reply);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cpw::serve

@@ -1,0 +1,142 @@
+#pragma once
+
+// cpwd wire protocol — length-prefixed binary frames over a stream socket.
+//
+// Frame layout (all integers little-endian, independent of host order):
+//
+//   offset  size  field
+//        0     4  magic 0x44575043 ("CPWD")
+//        4     1  version (kProtocolVersion)
+//        5     1  message type (MessageType)
+//        6     2  reserved, must be 0
+//        8     4  payload length in bytes
+//       12     n  payload
+//
+// Payloads are flat sequences of u8 / u32 / u64 / string fields, where a
+// string is a u32 byte length followed by the bytes (no terminator).
+// PayloadWriter/PayloadReader implement exactly that; the per-message field
+// layouts are documented on the MessageType enumerators.
+//
+// FrameDecoder is the byte-stream side: feed() it whatever read() returned
+// and take() complete frames as they materialize. It is deliberately
+// incremental (a frame may arrive one byte at a time) and deliberately
+// paranoid (bad magic / version / reserved bits / oversized payloads poison
+// the decoder instead of desynchronizing it) — this is the parser the
+// fuzz_frame harness drives, so every malformed input must end in a clean
+// error, never a crash or an over-read.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpw::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44575043u;  // "CPWD" LE
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Default ceiling on one frame's payload; submits of inline log bytes are
+/// the only large payloads and 16 MiB of SWF text is ~10^5 jobs.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Request/reply discriminator. Replies set the high bit of the request
+/// they answer; kError may answer anything.
+enum class MessageType : std::uint8_t {
+  /// tenant:string, kind:u8 (0 = paths, 1 = inline bytes), then
+  /// kind 0: count:u32, count × path:string
+  /// kind 1: name:string, bytes:string (spooled server-side).
+  kSubmit = 1,
+  kStatus = 2,   ///< id:u64
+  kResult = 3,   ///< id:u64
+  kCancel = 4,   ///< id:u64
+  kMetrics = 5,  ///< empty payload
+
+  kSubmitReply = 0x81,   ///< id:u64, windowed:u8
+  kStatusReply = 0x82,   ///< id:u64, status:u8, error:string
+  kResultReply = 0x83,   ///< id:u64, status:u8, digest:string, error:string
+  kCancelReply = 0x84,   ///< id:u64, cancelled:u8
+  kMetricsReply = 0x85,  ///< text:string (Prometheus exposition format)
+  kError = 0xFF,         ///< message:string
+};
+
+/// True for the message types this protocol version defines.
+[[nodiscard]] bool valid_message_type(std::uint8_t raw) noexcept;
+
+/// One decoded frame: type plus raw payload bytes.
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes payload fields in declaration order.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void str(std::string_view value);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Deserializes payload fields in declaration order. Any truncated or
+/// oversized field throws cpw::Error(kParse) — reply handlers turn that
+/// into a kError frame, never a crash.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::string str();
+
+  /// True when every byte has been consumed (trailing garbage is a protocol
+  /// error the caller checks for).
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Renders a complete frame (header + payload) ready for write().
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    MessageType type, const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame parser over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload_bytes = kDefaultMaxFrameBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Consumes `size` bytes of stream input. Returns false once the stream
+  /// is poisoned (malformed header or oversized payload) — after that,
+  /// feed() ignores input and error() describes the first failure. The
+  /// connection handler's only correct response is to drop the peer.
+  bool feed(const std::uint8_t* data, std::size_t size);
+
+  /// Pops the oldest complete frame into `out`; false when none is pending.
+  bool take(Frame& out);
+
+  [[nodiscard]] bool poisoned() const noexcept { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  std::size_t max_payload_bytes_;
+  std::vector<std::uint8_t> buffer_;  ///< partial header + payload bytes
+  std::deque<Frame> ready_;
+  std::string error_;
+};
+
+}  // namespace cpw::serve

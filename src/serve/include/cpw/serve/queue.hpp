@@ -1,0 +1,129 @@
+#pragma once
+
+// cpwd admission control — per-tenant fair scheduling over batch requests.
+//
+// Each tenant owns a FIFO of queued request ids; executors pop in
+// round-robin order over the tenants that currently have work, so one
+// tenant streaming thousands of submits cannot starve another's first.
+// Admission is bounded twice per tenant: a queue-depth cap (submits beyond
+// it are rejected at the socket, backpressure instead of unbounded memory)
+// and a byte budget — a single request whose input files exceed the budget
+// is not rejected but demoted to IngestMode::kWindowed, which is exactly
+// the out-of-core path built for logs that outgrow memory.
+//
+// The queue owns every RequestState for the daemon's lifetime (results are
+// polled by id, so a finished request must outlive its connection). All
+// methods are thread-safe; pop() blocks until work arrives or close().
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpw/util/stop_token.hpp"
+
+namespace cpw::serve {
+
+/// Lifecycle of one submitted request.
+enum class RequestStatus : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+[[nodiscard]] const char* request_status_name(RequestStatus status) noexcept;
+
+/// Everything the daemon tracks about one submit, from admission to the
+/// digest. `stop` is the cancellation handle: cancel requests and the
+/// server's drain path fire it, the executor's run_batch polls it.
+struct RequestState {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::vector<std::string> paths;
+  /// Spooled inline-submit file to unlink when the request finishes.
+  std::string spool_path;
+  std::uint64_t input_bytes = 0;
+  /// True when input_bytes exceeded the tenant budget and the executor
+  /// will run the windowed (out-of-core) ingest.
+  bool windowed = false;
+  StopSource stop;
+
+  // Fields below are guarded by the owning AdmissionQueue's mutex.
+  RequestStatus status = RequestStatus::kQueued;
+  std::string error;
+  std::string digest;  ///< canonical result digest once status == kDone
+  std::chrono::steady_clock::time_point queued_at{};
+  std::chrono::steady_clock::time_point finished_at{};
+};
+
+/// Outcome of AdmissionQueue::submit.
+struct AdmitResult {
+  bool admitted = false;
+  std::uint64_t id = 0;
+  bool windowed = false;
+  std::string error;  ///< rejection reason when !admitted
+};
+
+class AdmissionQueue {
+ public:
+  /// `max_queued_per_tenant` bounds a tenant's queued (not running)
+  /// requests; `tenant_budget_bytes` is the windowed-ingest demotion
+  /// threshold (0 = never demote).
+  AdmissionQueue(std::size_t max_queued_per_tenant,
+                 std::uint64_t tenant_budget_bytes);
+
+  /// Admits a request or rejects it with a reason. `input_bytes` is the
+  /// total size of the request's input files (stat'ed by the caller).
+  AdmitResult submit(std::string tenant, std::vector<std::string> paths,
+                     std::string spool_path, std::uint64_t input_bytes);
+
+  /// Blocks for the next runnable request, fair across tenants; marks it
+  /// kRunning. Returns nullptr once close()d and drained.
+  std::shared_ptr<RequestState> pop();
+
+  /// Terminal transition from the executor. `digest` for kDone, `error`
+  /// for kFailed/kCancelled.
+  void finish(const std::shared_ptr<RequestState>& request,
+              RequestStatus status, std::string digest, std::string error);
+
+  /// Fires the request's stop token. A still-queued request is removed
+  /// from its tenant's FIFO and marked kCancelled immediately; a running
+  /// one keeps kRunning until its executor observes the token. False when
+  /// the id is unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Snapshot of one request's poll-visible state. False when unknown.
+  bool lookup(std::uint64_t id, RequestStatus& status, std::string& digest,
+              std::string& error) const;
+
+  /// Stops admission and wakes every pop()-blocked executor; queued
+  /// requests still drain unless cancel_queued.
+  void close(bool cancel_queued);
+
+  /// Queued (not running) requests across all tenants.
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  const std::size_t max_queued_per_tenant_;
+  const std::uint64_t tenant_budget_bytes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  bool closed_ = false;
+  std::uint64_t next_id_ = 1;
+  /// Ordered map: round-robin iteration order is deterministic.
+  std::map<std::string, std::deque<std::uint64_t>> tenant_queues_;
+  std::string next_tenant_;  ///< round-robin cursor (first tenant > this)
+  std::unordered_map<std::uint64_t, std::shared_ptr<RequestState>> requests_;
+};
+
+}  // namespace cpw::serve

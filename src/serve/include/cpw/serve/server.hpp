@@ -1,0 +1,137 @@
+#pragma once
+
+// cpwd server — the batch pipeline as a long-lived daemon.
+//
+// A Server listens on a Unix socket and/or a TCP port and serves two
+// protocols off the same listeners, sniffed from the first bytes of each
+// connection:
+//
+//   * the length-prefixed binary protocol (cpw/serve/protocol.hpp) for
+//     submit / status / result / cancel / metrics — one thread per
+//     connection, frames decoded incrementally, malformed streams answered
+//     with one kError frame and a close;
+//   * minimal HTTP/1.1 (a connection starting "GET ") exposing the live
+//     metrics registry at /metrics in Prometheus text format, so the
+//     daemon is scrapeable with nothing but curl.
+//
+// Analysis requests flow through the AdmissionQueue (per-tenant fairness,
+// queue-depth backpressure, byte-budget demotion to windowed ingest) into a
+// small pool of executor threads, each running analysis::run_batch with the
+// shared content-addressed cache, the request's StopToken, and the
+// configured deadline. The served result is the canonical equivalence
+// digest (cpw/analysis/digest.hpp) — byte-identical to what a direct
+// in-process run_batch over the same files digests to, which is the
+// property the serve-smoke CI job diffs.
+//
+// Fault surface: every accept/read/write syscall is a CPW_FAULT_POINT site
+// (serve.accept / serve.read / serve.write) honoring errno and short-write
+// injections, wrapped in the shared RetryPolicy so transient failures are
+// retried with backoff and deterministic chaos runs exercise the same
+// recovery paths a flaky network would. SIGPIPE is ignored process-wide at
+// start() (a dead peer must fail the write with EPIPE, not kill the
+// daemon) and sends carry MSG_NOSIGNAL as defense in depth.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/fault/retry.hpp"
+#include "cpw/serve/protocol.hpp"
+#include "cpw/serve/queue.hpp"
+
+namespace cpw::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string socket_path;
+  /// TCP port on 127.0.0.1; -1 disables, 0 binds an ephemeral port
+  /// (readable from Server::port() after start()).
+  int tcp_port = -1;
+
+  /// Analysis cache directory — required; the cache is the result store
+  /// that makes repeat submits of the same log a lookup instead of a run.
+  std::string cache_dir;
+  /// Base analysis options for every request (cache_dir / stop / deadline /
+  /// ingest are overridden per request).
+  analysis::BatchOptions batch;
+
+  /// Executor threads running run_batch. Requests are independent batch
+  /// runs sharing the global thread pool, so a small number suffices.
+  std::size_t executors = 2;
+
+  /// Per-tenant byte budget: a request whose input files total more than
+  /// this is demoted to IngestMode::kWindowed (0 = never demote).
+  std::uint64_t tenant_budget_bytes = std::uint64_t{256} << 20;
+  /// Per-tenant queued-request cap; submits beyond it are rejected.
+  std::size_t max_queued_per_tenant = 64;
+
+  /// Wall-clock budget per request, seconds (0 = none).
+  double request_deadline_seconds = 0.0;
+
+  /// Frame payload cap for the binary protocol.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Directory for spooled inline submits; empty derives
+  /// `<cache_dir>/spool`. Created at start(), spool files are unlinked as
+  /// their request finishes.
+  std::string spool_dir;
+
+  /// Retry policy for the socket fault sites.
+  fault::RetryPolicy retry;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners and spawns accept + executor threads. Throws
+  /// cpw::Error on an unusable configuration or bind failure.
+  void start();
+
+  /// Stops the daemon. `drain` waits for every queued and running request
+  /// to finish first (the SIGTERM path); otherwise queued requests are
+  /// cancelled and running ones get their stop tokens fired. Idempotent.
+  void stop(bool drain);
+
+  /// Bound TCP port (after start(); 0 when the TCP listener is off).
+  [[nodiscard]] int port() const noexcept { return tcp_port_; }
+
+  /// Queued requests right now (test/monitoring hook).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_->depth(); }
+
+ private:
+  void accept_loop(int listen_fd);
+  void connection_loop(int fd);
+  void executor_loop();
+  /// Dispatches one decoded frame; returns the encoded reply frame.
+  std::vector<std::uint8_t> handle_frame(const Frame& frame);
+  std::vector<std::uint8_t> handle_submit(const Frame& frame);
+  void serve_http(int fd, std::string initial);
+
+  ServerOptions options_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> spool_counter_{0};
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = 0;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> executor_threads_;
+
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;  ///< live peers, shutdown() at stop
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace cpw::serve

@@ -1,0 +1,158 @@
+#include "cpw/serve/protocol.hpp"
+
+#include <cstring>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::serve {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool valid_message_type(std::uint8_t raw) noexcept {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kSubmit:
+    case MessageType::kStatus:
+    case MessageType::kResult:
+    case MessageType::kCancel:
+    case MessageType::kMetrics:
+    case MessageType::kSubmitReply:
+    case MessageType::kStatusReply:
+    case MessageType::kResultReply:
+    case MessageType::kCancelReply:
+    case MessageType::kMetricsReply:
+    case MessageType::kError:
+      return true;
+  }
+  return false;
+}
+
+void PayloadWriter::u8(std::uint8_t value) { bytes_.push_back(value); }
+
+void PayloadWriter::u32(std::uint32_t value) { put_u32(bytes_, value); }
+
+void PayloadWriter::u64(std::uint64_t value) {
+  put_u32(bytes_, static_cast<std::uint32_t>(value));
+  put_u32(bytes_, static_cast<std::uint32_t>(value >> 32));
+}
+
+void PayloadWriter::str(std::string_view value) {
+  CPW_REQUIRE(value.size() <= UINT32_MAX, "string field too large");
+  put_u32(bytes_, static_cast<std::uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+std::uint8_t PayloadReader::u8() {
+  if (size_ - offset_ < 1) {
+    throw Error("payload truncated reading u8", ErrorCode::kParse);
+  }
+  return data_[offset_++];
+}
+
+std::uint32_t PayloadReader::u32() {
+  if (size_ - offset_ < 4) {
+    throw Error("payload truncated reading u32", ErrorCode::kParse);
+  }
+  const std::uint32_t value = get_u32(data_ + offset_);
+  offset_ += 4;
+  return value;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::string PayloadReader::str() {
+  const std::uint32_t length = u32();
+  if (size_ - offset_ < length) {
+    throw Error("payload truncated reading string of " +
+                    std::to_string(length) + " bytes",
+                ErrorCode::kParse);
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + offset_), length);
+  offset_ += length;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(
+    MessageType type, const std::vector<std::uint8_t>& payload) {
+  CPW_REQUIRE(payload.size() <= UINT32_MAX, "payload too large for a frame");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned()) return false;
+  buffer_.insert(buffer_.end(), data, data + size);
+  for (;;) {
+    if (buffer_.size() < kFrameHeaderBytes) return true;
+    const std::uint8_t* head = buffer_.data();
+    if (get_u32(head) != kFrameMagic) {
+      error_ = "bad frame magic";
+      break;
+    }
+    if (head[4] != kProtocolVersion) {
+      error_ = "unsupported protocol version " + std::to_string(head[4]);
+      break;
+    }
+    if (!valid_message_type(head[5])) {
+      error_ = "unknown message type " + std::to_string(head[5]);
+      break;
+    }
+    if (head[6] != 0 || head[7] != 0) {
+      error_ = "reserved header bytes set";
+      break;
+    }
+    const std::uint32_t payload_len = get_u32(head + 8);
+    if (payload_len > max_payload_bytes_) {
+      error_ = "payload of " + std::to_string(payload_len) +
+               " bytes exceeds the frame cap";
+      break;
+    }
+    const std::size_t total = kFrameHeaderBytes + payload_len;
+    if (buffer_.size() < total) return true;
+    Frame frame;
+    frame.type = static_cast<MessageType>(head[5]);
+    frame.payload.assign(buffer_.begin() + kFrameHeaderBytes,
+                         buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    ready_.push_back(std::move(frame));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  }
+  buffer_.clear();  // poisoned: drop the stream, keep frames already decoded
+  return false;
+}
+
+bool FrameDecoder::take(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace cpw::serve

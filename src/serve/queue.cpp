@@ -1,0 +1,187 @@
+#include "cpw/serve/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cpw/obs/metrics.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::serve {
+
+const char* request_status_name(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kRunning:
+      return "running";
+    case RequestStatus::kDone:
+      return "done";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t max_queued_per_tenant,
+                               std::uint64_t tenant_budget_bytes)
+    : max_queued_per_tenant_(max_queued_per_tenant),
+      tenant_budget_bytes_(tenant_budget_bytes) {}
+
+AdmitResult AdmissionQueue::submit(std::string tenant,
+                                   std::vector<std::string> paths,
+                                   std::string spool_path,
+                                   std::uint64_t input_bytes) {
+  AdmitResult out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    out.error = "daemon is shutting down";
+    return out;
+  }
+  if (tenant.empty()) {
+    out.error = "empty tenant name";
+    return out;
+  }
+  if (paths.empty()) {
+    out.error = "submit carries no input files";
+    return out;
+  }
+  auto& fifo = tenant_queues_[tenant];
+  if (fifo.size() >= max_queued_per_tenant_) {
+    out.error = "tenant '" + tenant + "' queue is full (" +
+                std::to_string(max_queued_per_tenant_) + " queued)";
+    obs::counter("cpwd_rejected_total", {{"reason", "queue-full"}}).add();
+    return out;
+  }
+  auto request = std::make_shared<RequestState>();
+  request->id = next_id_++;
+  request->tenant = std::move(tenant);
+  request->paths = std::move(paths);
+  request->spool_path = std::move(spool_path);
+  request->input_bytes = input_bytes;
+  request->windowed =
+      tenant_budget_bytes_ > 0 && input_bytes > tenant_budget_bytes_;
+  request->queued_at = std::chrono::steady_clock::now();
+  out.admitted = true;
+  out.id = request->id;
+  out.windowed = request->windowed;
+  fifo.push_back(request->id);
+  requests_.emplace(request->id, std::move(request));
+  obs::gauge("cpwd_queue_depth").add(1.0);
+  ready_.notify_one();
+  return out;
+}
+
+std::shared_ptr<RequestState> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Round-robin: first non-empty tenant strictly after the cursor, wrapping
+    // to the front. Cancel can leave empty FIFOs behind; skip and drop them.
+    for (int pass = 0; pass < 2; ++pass) {
+      auto begin = pass == 0 ? tenant_queues_.upper_bound(next_tenant_)
+                             : tenant_queues_.begin();
+      auto end = pass == 0 ? tenant_queues_.end()
+                           : tenant_queues_.upper_bound(next_tenant_);
+      for (auto it = begin; it != end;) {
+        if (it->second.empty()) {
+          it = tenant_queues_.erase(it);
+          continue;
+        }
+        const std::uint64_t id = it->second.front();
+        it->second.pop_front();
+        next_tenant_ = it->first;
+        auto found = requests_.find(id);
+        found->second->status = RequestStatus::kRunning;
+        obs::gauge("cpwd_queue_depth").add(-1.0);
+        return found->second;
+      }
+    }
+    if (closed_) return nullptr;
+    ready_.wait(lock);
+  }
+}
+
+void AdmissionQueue::finish(const std::shared_ptr<RequestState>& request,
+                            RequestStatus status, std::string digest,
+                            std::string error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  request->status = status;
+  request->digest = std::move(digest);
+  request->error = std::move(error);
+  request->finished_at = std::chrono::steady_clock::now();
+  obs::counter("cpwd_requests_finished_total",
+               {{"status", request_status_name(status)}})
+      .add();
+}
+
+bool AdmissionQueue::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = requests_.find(id);
+  if (found == requests_.end()) return false;
+  auto& request = *found->second;
+  request.stop.request_stop();
+  if (request.status == RequestStatus::kQueued) {
+    auto queue = tenant_queues_.find(request.tenant);
+    if (queue != tenant_queues_.end()) {
+      auto& fifo = queue->second;
+      auto slot = std::find(fifo.begin(), fifo.end(), id);
+      if (slot != fifo.end()) {
+        fifo.erase(slot);
+        obs::gauge("cpwd_queue_depth").add(-1.0);
+      }
+    }
+    request.status = RequestStatus::kCancelled;
+    request.error = "cancelled while queued";
+    request.finished_at = std::chrono::steady_clock::now();
+    obs::counter("cpwd_requests_finished_total", {{"status", "cancelled"}})
+        .add();
+  }
+  return true;
+}
+
+bool AdmissionQueue::lookup(std::uint64_t id, RequestStatus& status,
+                            std::string& digest, std::string& error) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = requests_.find(id);
+  if (found == requests_.end()) return false;
+  status = found->second->status;
+  digest = found->second->digest;
+  error = found->second->error;
+  return true;
+}
+
+void AdmissionQueue::close(bool cancel_queued) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  if (cancel_queued) {
+    // Fast stop: running requests keep kRunning until their executor
+    // observes the fired token; queued ones cancel in place below.
+    for (auto& [id, request] : requests_) {
+      if (request->status == RequestStatus::kRunning) {
+        request->stop.request_stop();
+      }
+    }
+    for (auto& [tenant, fifo] : tenant_queues_) {
+      for (const std::uint64_t id : fifo) {
+        auto& request = *requests_.find(id)->second;
+        request.stop.request_stop();
+        request.status = RequestStatus::kCancelled;
+        request.error = "cancelled at shutdown";
+        request.finished_at = std::chrono::steady_clock::now();
+        obs::gauge("cpwd_queue_depth").add(-1.0);
+      }
+      fifo.clear();
+    }
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [tenant, fifo] : tenant_queues_) total += fifo.size();
+  return total;
+}
+
+}  // namespace cpw::serve

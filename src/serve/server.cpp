@@ -1,0 +1,558 @@
+#include "cpw/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "cpw/analysis/digest.hpp"
+#include "cpw/fault/fault.hpp"
+#include "cpw/obs/export.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Applies a data-kind injection from a serve fault site: kErrno fails the
+/// pseudo-syscall with the injected errno; short/torn writes clip `size`
+/// (short reports failure via EIO, torn pretends success on the clipped
+/// size, which for a stream socket shows up as a peer-side truncated
+/// frame). Returns true when the injection replaced the real syscall.
+bool apply_injection(const fault::Injection& injection, std::size_t& size,
+                     int& error_out, bool& fake_success) {
+  switch (injection.kind) {
+    case fault::Kind::kErrno:
+      error_out = injection.error != 0 ? injection.error : EIO;
+      return true;
+    case fault::Kind::kShortWrite:
+      size = injection.arg != 0 ? std::min<std::size_t>(injection.arg, size)
+                                : size / 2;
+      error_out = EIO;
+      return true;
+    case fault::Kind::kTornWrite:
+      size = injection.arg != 0 ? std::min<std::size_t>(injection.arg, size)
+                                : size / 2;
+      fake_success = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Blocking full-buffer send with fault injection and transient retry.
+/// Returns false when the peer is gone or the retry budget ran out.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const fault::RetryPolicy& retry) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = -1;
+    const bool ok = retry.run("serve.write", [&]() -> int {
+      const std::size_t remaining = size - sent;
+      std::size_t chunk = remaining;
+      int injected_errno = 0;
+      bool fake_success = false;
+      if (apply_injection(CPW_FAULT_POINT("serve.write"), chunk,
+                          injected_errno, fake_success)) {
+        if (fake_success) {
+          // Torn write: only the clipped prefix reaches the wire, but the
+          // writer is told the whole chunk went out — the peer sees a
+          // truncated stream with no local error.
+          if (chunk > 0) (void)::send(fd, data + sent, chunk, MSG_NOSIGNAL);
+          n = static_cast<ssize_t>(remaining);
+          return 0;
+        }
+        if (chunk < remaining && chunk > 0) {
+          // Short write: the clipped prefix is transmitted for real before
+          // the failure, so the peer sees a torn stream AND the site
+          // reports it.
+          (void)::send(fd, data + sent, chunk, MSG_NOSIGNAL);
+        }
+        // Plain errno: nothing was written, exactly like a failed send —
+        // a transient retry may resend without duplicating wire bytes.
+        errno = injected_errno;
+        return injected_errno;
+      }
+      n = ::send(fd, data + sent, chunk, MSG_NOSIGNAL);
+      return n < 0 ? errno : 0;
+    });
+    if (!ok || n < 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of up to `size` bytes with fault injection and transient
+/// retry. Returns bytes read, 0 on orderly peer close, -1 on failure.
+ssize_t read_some(int fd, std::uint8_t* data, std::size_t size,
+                  const fault::RetryPolicy& retry) {
+  ssize_t n = -1;
+  const bool ok = retry.run("serve.read", [&]() -> int {
+    std::size_t chunk = size;
+    int injected_errno = 0;
+    bool fake_success = false;
+    if (apply_injection(CPW_FAULT_POINT("serve.read"), chunk, injected_errno,
+                        fake_success) &&
+        injected_errno != 0 && !fake_success) {
+      errno = injected_errno;
+      return injected_errno;
+    }
+    n = ::recv(fd, data, chunk, 0);
+    return n < 0 ? errno : 0;
+  });
+  if (!ok) return -1;
+  return n;
+}
+
+bool send_frame(int fd, const std::vector<std::uint8_t>& frame,
+                const fault::RetryPolicy& retry) {
+  return write_all(fd, frame.data(), frame.size(), retry);
+}
+
+std::vector<std::uint8_t> error_frame(const std::string& message) {
+  PayloadWriter payload;
+  payload.str(message);
+  return encode_frame(MessageType::kError, payload.bytes());
+}
+
+/// Inline-submit names become spool file names; keep them path-safe.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  return out.empty() ? std::string("log") : out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(/*drain=*/false); }
+
+void Server::start() {
+  CPW_REQUIRE(!options_.cache_dir.empty(),
+              "cpwd needs a cache directory — it is the result store");
+  CPW_REQUIRE(!options_.socket_path.empty() || options_.tcp_port >= 0,
+              "cpwd needs a Unix socket path and/or a TCP port");
+  CPW_REQUIRE(options_.executors > 0, "cpwd needs at least one executor");
+
+  // A peer that disappears between our read and write must surface as an
+  // EPIPE write error handled by the connection loop, not a process kill.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (options_.spool_dir.empty()) {
+    options_.spool_dir = options_.cache_dir + "/spool";
+  }
+  fs::create_directories(options_.spool_dir);
+
+  queue_ = std::make_unique<AdmissionQueue>(options_.max_queued_per_tenant,
+                                            options_.tenant_budget_bytes);
+
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    CPW_REQUIRE(options_.socket_path.size() < sizeof(addr.sun_path),
+                "Unix socket path too long");
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    ::unlink(options_.socket_path.c_str());
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0 ||
+        ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(unix_fd_, 64) != 0) {
+      const int error = errno;
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      unix_fd_ = -1;
+      throw Error("cannot listen on Unix socket " + options_.socket_path +
+                      ": " + std::strerror(error),
+                  ErrorCode::kIo);
+    }
+  }
+
+  if (options_.tcp_port >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int reuse = 1;
+    if (tcp_fd_ >= 0) {
+      ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    }
+    if (tcp_fd_ < 0 ||
+        ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(tcp_fd_, 64) != 0) {
+      const int error = errno;
+      if (tcp_fd_ >= 0) ::close(tcp_fd_);
+      tcp_fd_ = -1;
+      stop(false);
+      throw Error(std::string("cannot listen on TCP port: ") +
+                      std::strerror(error),
+                  ErrorCode::kIo);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true);
+  stopping_.store(false);
+  for (std::size_t i = 0; i < options_.executors; ++i) {
+    executor_threads_.emplace_back([this] { executor_loop(); });
+  }
+  if (unix_fd_ >= 0) {
+    accept_threads_.emplace_back([this, fd = unix_fd_] { accept_loop(fd); });
+  }
+  if (tcp_fd_ >= 0) {
+    accept_threads_.emplace_back([this, fd = tcp_fd_] { accept_loop(fd); });
+  }
+}
+
+void Server::stop(bool drain) {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  // 1. Stop accepting: closing the listener makes blocked accept() fail.
+  if (unix_fd_ >= 0) {
+    ::shutdown(unix_fd_, SHUT_RDWR);
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::shutdown(tcp_fd_, SHUT_RDWR);
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  for (auto& thread : accept_threads_) thread.join();
+  accept_threads_.clear();
+
+  // 2. Close admission. Drain lets queued + running requests finish (the
+  //    executors exit once pop() runs dry); fast stop cancels them.
+  queue_->close(/*cancel_queued=*/!drain);
+  for (auto& thread : executor_threads_) thread.join();
+  executor_threads_.clear();
+
+  // 3. Drop the peers: results already polled were served, anything later
+  //    would have been rejected anyway.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& thread : connection_threads_) thread.join();
+  connection_threads_.clear();
+
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+void Server::accept_loop(int listen_fd) {
+  while (running_.load()) {
+    int client_fd = -1;
+    const bool ok = options_.retry.run("serve.accept", [&]() -> int {
+      std::size_t unused = 0;
+      int injected_errno = 0;
+      bool fake_success = false;
+      if (apply_injection(CPW_FAULT_POINT("serve.accept"), unused,
+                          injected_errno, fake_success) &&
+          injected_errno != 0) {
+        errno = injected_errno;
+        return injected_errno;
+      }
+      client_fd = ::accept(listen_fd, nullptr, nullptr);
+      return client_fd < 0 ? errno : 0;
+    });
+    if (!ok || client_fd < 0) {
+      if (!running_.load()) return;  // listener closed by stop()
+      // Non-transient accept failure (EBADF after stop raced, ECONNABORTED,
+      // injected chaos): keep serving unless shutting down.
+      continue;
+    }
+    obs::counter("cpwd_connections_total").add();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(client_fd);
+    connection_threads_.emplace_back(
+        [this, client_fd] { connection_loop(client_fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  std::uint8_t buffer[4096];
+  FrameDecoder decoder(options_.max_frame_bytes);
+  bool sniffed = false;
+  std::string preface;
+
+  for (;;) {
+    const ssize_t n = read_some(fd, buffer, sizeof(buffer), options_.retry);
+    if (n <= 0) break;
+
+    if (!sniffed) {
+      preface.append(reinterpret_cast<const char*>(buffer),
+                     static_cast<std::size_t>(n));
+      if (preface.size() < 4 && preface == std::string("GET ", preface.size())) {
+        continue;  // too early to tell; keep collecting
+      }
+      sniffed = true;
+      if (preface.rfind("GET ", 0) == 0) {
+        serve_http(fd, std::move(preface));
+        break;
+      }
+      if (!decoder.feed(reinterpret_cast<const std::uint8_t*>(preface.data()),
+                        preface.size())) {
+        send_frame(fd, error_frame(decoder.error()), options_.retry);
+        break;
+      }
+      preface.clear();
+    } else {
+      if (!decoder.feed(buffer, static_cast<std::size_t>(n))) {
+        send_frame(fd, error_frame(decoder.error()), options_.retry);
+        break;
+      }
+    }
+
+    Frame frame;
+    bool peer_lost = false;
+    while (decoder.take(frame)) {
+      const std::vector<std::uint8_t> reply = handle_frame(frame);
+      if (!send_frame(fd, reply, options_.retry)) {
+        peer_lost = true;
+        break;
+      }
+    }
+    if (peer_lost || decoder.poisoned()) break;
+  }
+
+  // Deregister before close(): once the fd number is released the kernel
+  // may hand it to a concurrent accept, and stop() must never shutdown()
+  // a number that now names someone else's connection.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connection_fds_.begin(); it != connection_fds_.end();
+         ++it) {
+      if (*it == fd) {
+        connection_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void Server::serve_http(int fd, std::string request) {
+  // Read until the header terminator (we only care about the request line).
+  std::uint8_t buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = read_some(fd, buffer, sizeof(buffer), options_.retry);
+    if (n <= 0) return;
+    request.append(reinterpret_cast<const char*>(buffer),
+                   static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  std::string body;
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  if (line.rfind("GET /metrics", 0) == 0) {
+    obs::record_peak_rss();
+    body = obs::to_prometheus(obs::registry().snapshot());
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    obs::counter("cpwd_http_requests_total", {{"path", "/metrics"}}).add();
+  } else {
+    body = "cpwd: only GET /metrics is served over HTTP\n";
+    obs::counter("cpwd_http_requests_total", {{"path", "other"}}).add();
+  }
+
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" +
+                         body;
+  write_all(fd, reinterpret_cast<const std::uint8_t*>(response.data()),
+            response.size(), options_.retry);
+}
+
+std::vector<std::uint8_t> Server::handle_frame(const Frame& frame) {
+  obs::counter("cpwd_frames_total",
+               {{"type", std::to_string(static_cast<int>(frame.type))}})
+      .add();
+  try {
+    switch (frame.type) {
+      case MessageType::kSubmit:
+        return handle_submit(frame);
+      case MessageType::kStatus: {
+        PayloadReader reader(frame.payload);
+        const std::uint64_t id = reader.u64();
+        RequestStatus status{};
+        std::string digest;
+        std::string error;
+        if (!queue_->lookup(id, status, digest, error)) {
+          return error_frame("unknown request id " + std::to_string(id));
+        }
+        PayloadWriter reply;
+        reply.u64(id);
+        reply.u8(static_cast<std::uint8_t>(status));
+        reply.str(error);
+        return encode_frame(MessageType::kStatusReply, reply.bytes());
+      }
+      case MessageType::kResult: {
+        PayloadReader reader(frame.payload);
+        const std::uint64_t id = reader.u64();
+        RequestStatus status{};
+        std::string digest;
+        std::string error;
+        if (!queue_->lookup(id, status, digest, error)) {
+          return error_frame("unknown request id " + std::to_string(id));
+        }
+        PayloadWriter reply;
+        reply.u64(id);
+        reply.u8(static_cast<std::uint8_t>(status));
+        reply.str(status == RequestStatus::kDone ? digest : "");
+        reply.str(error);
+        return encode_frame(MessageType::kResultReply, reply.bytes());
+      }
+      case MessageType::kCancel: {
+        PayloadReader reader(frame.payload);
+        const std::uint64_t id = reader.u64();
+        const bool cancelled = queue_->cancel(id);
+        PayloadWriter reply;
+        reply.u64(id);
+        reply.u8(cancelled ? 1 : 0);
+        return encode_frame(MessageType::kCancelReply, reply.bytes());
+      }
+      case MessageType::kMetrics: {
+        obs::record_peak_rss();
+        PayloadWriter reply;
+        reply.str(obs::to_prometheus(obs::registry().snapshot()));
+        return encode_frame(MessageType::kMetricsReply, reply.bytes());
+      }
+      default:
+        return error_frame("frame type " +
+                           std::to_string(static_cast<int>(frame.type)) +
+                           " is not a request");
+    }
+  } catch (const std::exception& error) {
+    return error_frame(error.what());
+  }
+}
+
+std::vector<std::uint8_t> Server::handle_submit(const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::string tenant = reader.str();
+  const std::uint8_t kind = reader.u8();
+
+  std::vector<std::string> paths;
+  std::string spool_path;
+  if (kind == 0) {
+    const std::uint32_t count = reader.u32();
+    paths.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) paths.push_back(reader.str());
+  } else if (kind == 1) {
+    const std::string name = sanitize_name(reader.str());
+    const std::string bytes = reader.str();
+    const std::uint64_t serial = spool_counter_.fetch_add(1);
+    spool_path = options_.spool_dir + "/inline-" + std::to_string(serial) +
+                 "-" + name;
+    std::FILE* file = std::fopen(spool_path.c_str(), "wb");
+    if (file == nullptr) {
+      return error_frame("cannot spool inline submit: " +
+                         std::string(std::strerror(errno)));
+    }
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), file);
+    const bool flushed = std::fclose(file) == 0;
+    if (written != bytes.size() || !flushed) {
+      ::unlink(spool_path.c_str());
+      return error_frame("short write spooling inline submit");
+    }
+    paths.push_back(spool_path);
+  } else {
+    return error_frame("unknown submit kind " + std::to_string(kind));
+  }
+
+  std::uint64_t input_bytes = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (!ec) input_bytes += size;  // unreadable files fail their own slot
+  }
+
+  const AdmitResult admitted =
+      queue_->submit(tenant, std::move(paths), std::move(spool_path),
+                     input_bytes);
+  if (!admitted.admitted) return error_frame(admitted.error);
+  PayloadWriter reply;
+  reply.u64(admitted.id);
+  reply.u8(admitted.windowed ? 1 : 0);
+  return encode_frame(MessageType::kSubmitReply, reply.bytes());
+}
+
+void Server::executor_loop() {
+  while (auto request = queue_->pop()) {
+    const auto started = std::chrono::steady_clock::now();
+    RequestStatus status = RequestStatus::kDone;
+    std::string digest_text;
+    std::string error;
+    try {
+      analysis::BatchOptions batch = options_.batch;
+      batch.cache_dir = options_.cache_dir;
+      // Pre-combine cancel + deadline into one token (instead of passing
+      // deadline_seconds through) so the post-run should_stop() check below
+      // sees deadline expiry too, not just explicit cancels.
+      batch.stop = request->stop.token().with_deadline(
+          options_.request_deadline_seconds);
+      batch.deadline_seconds = 0.0;
+      if (request->windowed) batch.ingest = analysis::IngestMode::kWindowed;
+      const analysis::BatchResult result = analysis::run_batch(
+          std::span<const std::string>(request->paths), batch);
+      // run_batch contains cancellation into the diagnostics instead of
+      // throwing; a fired token means partial results we must not serve.
+      if (batch.stop.should_stop()) {
+        status = RequestStatus::kCancelled;
+        error = batch.stop.reason() == StopReason::kDeadline
+                    ? "deadline exceeded"
+                    : "cancelled";
+      } else {
+        digest_text = analysis::digest(result);
+      }
+    } catch (const std::exception& exception) {
+      status = RequestStatus::kFailed;
+      error = exception.what();
+    }
+    if (!request->spool_path.empty()) {
+      ::unlink(request->spool_path.c_str());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    obs::histogram("cpwd_request_seconds",
+                   {{"status", request_status_name(status)}})
+        .observe(seconds);
+    queue_->finish(request, status, std::move(digest_text), std::move(error));
+  }
+}
+
+}  // namespace cpw::serve

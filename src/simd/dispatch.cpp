@@ -84,6 +84,12 @@ const Kernels& initial_dispatch() {
   return *chosen;
 }
 
+// Read-once environment snapshot: initial_dispatch() — and with it the
+// CPW_SIMD getenv — runs exactly once inside this magic static's
+// thread-safe initialization, no matter how many threads race the first
+// kernel call. setenv() after that is invisible by design (dispatch must
+// stay stable for the life of the process); set_active() is the runtime
+// override.
 std::atomic<const Kernels*>& active_slot() noexcept {
   static std::atomic<const Kernels*> slot{&initial_dispatch()};
   return slot;

@@ -1,0 +1,541 @@
+// cpwd daemon lifecycle: the served digest must be byte-identical to a
+// direct in-process run_batch, under concurrent tenants sharing one cache,
+// across cancellation mid-flight, and for oversized submits demoted to the
+// windowed out-of-core ingest. The wire protocol must reject malformed
+// streams with an error frame, never a crash — the same decoder the
+// fuzz_frame harness drives. Servers here are in-process objects on Unix
+// sockets under TempDir; the CI serve-smoke job covers the spawned-binary
+// + SIGTERM path.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/analysis/batch.hpp"
+#include "cpw/analysis/digest.hpp"
+#include "cpw/fault/fault.hpp"
+#include "cpw/obs/metrics.hpp"
+#include "cpw/serve/client.hpp"
+#include "cpw/serve/protocol.hpp"
+#include "cpw/serve/queue.hpp"
+#include "cpw/serve/server.hpp"
+#include "cpw/simd/simd.hpp"
+#include "cpw/util/error.hpp"
+#include "result_identity.hpp"
+
+namespace cpw {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, PayloadRoundTrip) {
+  serve::PayloadWriter writer;
+  writer.u8(7);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.str("hello");
+  writer.str("");
+
+  serve::PayloadReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Protocol, ReaderThrowsOnTruncation) {
+  serve::PayloadWriter writer;
+  writer.u32(100);  // string length prefix promising 100 bytes that never come
+  serve::PayloadReader reader(writer.bytes());
+  EXPECT_THROW((void)reader.str(), Error);
+
+  serve::PayloadReader empty({});
+  EXPECT_THROW((void)empty.u64(), Error);
+}
+
+TEST(Protocol, DecoderReassemblesFramesFedByteByByte) {
+  serve::PayloadWriter payload;
+  payload.str("abc");
+  const auto frame1 =
+      serve::encode_frame(serve::MessageType::kStatus, payload.bytes());
+  const auto frame2 = serve::encode_frame(serve::MessageType::kMetrics, {});
+  std::vector<std::uint8_t> stream = frame1;
+  stream.insert(stream.end(), frame2.begin(), frame2.end());
+
+  serve::FrameDecoder decoder;
+  for (const std::uint8_t byte : stream) {
+    ASSERT_TRUE(decoder.feed(&byte, 1));
+  }
+  serve::Frame out;
+  ASSERT_TRUE(decoder.take(out));
+  EXPECT_EQ(out.type, serve::MessageType::kStatus);
+  EXPECT_EQ(out.payload, payload.bytes());
+  ASSERT_TRUE(decoder.take(out));
+  EXPECT_EQ(out.type, serve::MessageType::kMetrics);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_FALSE(decoder.take(out));
+}
+
+TEST(Protocol, DecoderPoisonsOnMalformedHeaders) {
+  const auto poisoned_by = [](std::vector<std::uint8_t> frame) {
+    serve::FrameDecoder decoder(1024);
+    decoder.feed(frame.data(), frame.size());
+    return decoder.poisoned();
+  };
+
+  auto good = serve::encode_frame(serve::MessageType::kMetrics, {});
+  EXPECT_FALSE(poisoned_by(good));
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_TRUE(poisoned_by(bad_magic));
+
+  auto bad_version = good;
+  bad_version[4] = 99;
+  EXPECT_TRUE(poisoned_by(bad_version));
+
+  auto bad_type = good;
+  bad_type[5] = 0x42;
+  EXPECT_TRUE(poisoned_by(bad_type));
+
+  auto reserved_set = good;
+  reserved_set[6] = 1;
+  EXPECT_TRUE(poisoned_by(reserved_set));
+
+  auto oversized = good;
+  oversized[8] = 0xFF;  // payload length 0x...FF > the 1024-byte cap
+  oversized[11] = 0x7F;
+  EXPECT_TRUE(poisoned_by(oversized));
+
+  // Poisoned decoders stay poisoned and ignore later (valid) input.
+  serve::FrameDecoder decoder(1024);
+  decoder.feed(bad_magic.data(), bad_magic.size());
+  ASSERT_TRUE(decoder.poisoned());
+  EXPECT_FALSE(decoder.feed(good.data(), good.size()));
+  serve::Frame out;
+  EXPECT_FALSE(decoder.take(out));
+}
+
+// ------------------------------------------------------------------- queue
+
+TEST(Queue, RoundRobinAlternatesAcrossTenants) {
+  serve::AdmissionQueue queue(16, 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.submit("alice", {"a" + std::to_string(i)}, "", 1)
+                    .admitted);
+    ASSERT_TRUE(
+        queue.submit("bob", {"b" + std::to_string(i)}, "", 1).admitted);
+  }
+  // alice queued all three before bob's first, yet pops must interleave.
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    auto request = queue.pop();
+    ASSERT_NE(request, nullptr);
+    order.push_back(request->tenant);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"alice", "bob", "alice", "bob",
+                                             "alice", "bob"}));
+}
+
+TEST(Queue, FullTenantQueueRejectsWithoutAffectingOthers) {
+  serve::AdmissionQueue queue(2, 0);
+  ASSERT_TRUE(queue.submit("alice", {"a"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("alice", {"b"}, "", 1).admitted);
+  const serve::AdmitResult rejected = queue.submit("alice", {"c"}, "", 1);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_NE(rejected.error.find("queue is full"), std::string::npos);
+  EXPECT_TRUE(queue.submit("bob", {"c"}, "", 1).admitted);
+}
+
+TEST(Queue, OverBudgetSubmitIsDemotedToWindowed) {
+  serve::AdmissionQueue queue(16, 1000);
+  const serve::AdmitResult small = queue.submit("t", {"small"}, "", 1000);
+  EXPECT_TRUE(small.admitted);
+  EXPECT_FALSE(small.windowed);
+  const serve::AdmitResult large = queue.submit("t", {"large"}, "", 1001);
+  EXPECT_TRUE(large.admitted);
+  EXPECT_TRUE(large.windowed);
+}
+
+TEST(Queue, CancelQueuedRemovesItBeforeExecution) {
+  serve::AdmissionQueue queue(16, 0);
+  const auto first = queue.submit("t", {"a"}, "", 1);
+  const auto second = queue.submit("t", {"b"}, "", 1);
+  ASSERT_TRUE(queue.cancel(second.id));
+
+  serve::RequestStatus status{};
+  std::string digest;
+  std::string error;
+  ASSERT_TRUE(queue.lookup(second.id, status, digest, error));
+  EXPECT_EQ(status, serve::RequestStatus::kCancelled);
+
+  auto request = queue.pop();
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->id, first.id);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_FALSE(queue.cancel(9999));
+}
+
+// ------------------------------------------------------------------ server
+
+struct ServerFixture {
+  std::string dir;
+  std::string socket_path;
+  serve::Server server;
+
+  explicit ServerFixture(const std::string& tag, serve::ServerOptions extra = {})
+      : dir(testutil::make_temp_dir("serve_" + tag)),
+        socket_path(dir + "/cpwd.sock"),
+        server([&] {
+          extra.socket_path = socket_path;
+          extra.cache_dir = dir + "/cache";
+          return std::move(extra);
+        }()) {
+    server.start();
+  }
+  ~ServerFixture() { server.stop(/*drain=*/false); }
+};
+
+TEST(Serve, ServedDigestIsByteIdenticalToDirectRunBatch) {
+  ServerFixture fixture("identity");
+  const auto paths = testutil::write_log_files(fixture.dir, 4, 800);
+
+  analysis::BatchOptions direct;
+  const std::string expected = analysis::digest(analysis::run_batch(paths, direct));
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  const serve::SubmitReport submitted = client.submit_paths("t", paths);
+  EXPECT_FALSE(submitted.windowed);
+  const serve::RequestReport report = client.wait(submitted.id, 60.0);
+  ASSERT_EQ(report.status, serve::RequestStatus::kDone) << report.error;
+  EXPECT_EQ(report.digest, expected);
+
+  // Warm resubmit: served from the shared cache, still byte-identical.
+  const serve::SubmitReport warm = client.submit_paths("t", paths);
+  const serve::RequestReport warm_report = client.wait(warm.id, 60.0);
+  ASSERT_EQ(warm_report.status, serve::RequestStatus::kDone);
+  EXPECT_EQ(warm_report.digest, expected);
+}
+
+TEST(Serve, ConcurrentTenantsShareTheCacheAndAgree) {
+  serve::ServerOptions options;
+  options.executors = 2;
+  ServerFixture fixture("tenants", std::move(options));
+  const auto paths = testutil::write_log_files(fixture.dir, 3, 800);
+
+  analysis::BatchOptions direct;
+  const std::string expected = analysis::digest(analysis::run_batch(paths, direct));
+
+  constexpr int kTenants = 4;
+  std::vector<std::string> digests(kTenants);
+  std::vector<std::string> errors(kTenants);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        serve::Client client =
+            serve::Client::connect_unix(fixture.socket_path);
+        const auto submitted =
+            client.submit_paths("tenant-" + std::to_string(t), paths);
+        const auto report = client.wait(submitted.id, 120.0);
+        if (report.status == serve::RequestStatus::kDone) {
+          digests[t] = report.digest;
+        } else {
+          errors[t] = report.error;
+        }
+      } catch (const std::exception& error) {
+        errors[t] = error.what();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(errors[t], "") << "tenant " << t;
+    EXPECT_EQ(digests[t], expected) << "tenant " << t;
+  }
+}
+
+TEST(Serve, OversizedSubmitRunsTheWindowedIngest) {
+  serve::ServerOptions options;
+  options.tenant_budget_bytes = 1;  // everything is over budget
+  ServerFixture fixture("windowed", std::move(options));
+  const auto paths = testutil::write_log_files(fixture.dir, 3, 800);
+
+  analysis::BatchOptions direct;
+  const std::string expected = analysis::digest(analysis::run_batch(paths, direct));
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  const serve::SubmitReport submitted = client.submit_paths("t", paths);
+  EXPECT_TRUE(submitted.windowed);
+  const serve::RequestReport report = client.wait(submitted.id, 120.0);
+  ASSERT_EQ(report.status, serve::RequestStatus::kDone) << report.error;
+  // Windowed ingest is bit-identical to materialized — served or direct.
+  EXPECT_EQ(report.digest, expected);
+}
+
+TEST(Serve, InlineSubmitSpoolsAnalyzesAndCleansUp) {
+  ServerFixture fixture("inline");
+  const auto paths = testutil::write_log_files(fixture.dir, 1, 500);
+  std::string bytes;
+  {
+    std::ifstream in(paths[0], std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  const auto submitted = client.submit_inline("t", "up/loaded log.swf", bytes);
+  const auto report = client.wait(submitted.id, 60.0);
+  ASSERT_EQ(report.status, serve::RequestStatus::kDone) << report.error;
+  EXPECT_FALSE(report.digest.empty());
+
+  // The spooled copy is gone once the request finished.
+  std::size_t spooled = 0;
+  for (const auto& entry : fs::directory_iterator(fixture.dir + "/cache/spool")) {
+    (void)entry;
+    ++spooled;
+  }
+  EXPECT_EQ(spooled, 0u);
+}
+
+TEST(Serve, CancelLeavesNoOrphanedStateAndDaemonKeepsServing) {
+  serve::ServerOptions options;
+  options.executors = 1;  // deterministic: B and C stay queued behind A
+  ServerFixture fixture("cancel", std::move(options));
+  const auto paths = testutil::write_log_files(fixture.dir, 6, 2000);
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  const auto a = client.submit_paths("t", paths);
+  const auto b = client.submit_paths("t", {paths[0]});
+  const auto c = client.submit_paths("t", {paths[1]});
+
+  // C is queued behind the running A — cancel removes it before execution.
+  ASSERT_TRUE(client.cancel(c.id));
+  const auto c_report = client.wait(c.id, 30.0);
+  EXPECT_EQ(c_report.status, serve::RequestStatus::kCancelled);
+  EXPECT_TRUE(c_report.digest.empty());
+
+  // Cancel A too — likely mid-analysis. Either the stop token interrupted
+  // it (cancelled, no digest served) or the run won the race (done); both
+  // are legal, orphaned state is not.
+  ASSERT_TRUE(client.cancel(a.id));
+  const auto a_report = client.wait(a.id, 120.0);
+  if (a_report.status == serve::RequestStatus::kCancelled) {
+    EXPECT_TRUE(a_report.digest.empty());
+  } else {
+    EXPECT_EQ(a_report.status, serve::RequestStatus::kDone);
+  }
+
+  // B was untouched and the daemon still serves new work.
+  const auto b_report = client.wait(b.id, 120.0);
+  EXPECT_EQ(b_report.status, serve::RequestStatus::kDone) << b_report.error;
+  const auto d = client.submit_paths("t", {paths[2]});
+  const auto d_report = client.wait(d.id, 120.0);
+  EXPECT_EQ(d_report.status, serve::RequestStatus::kDone) << d_report.error;
+  EXPECT_FALSE(client.cancel(424242));  // unknown id is reported, not fatal
+}
+
+TEST(Serve, MalformedStreamGetsErrorFrameThenClose) {
+  ServerFixture fixture("malformed");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, fixture.socket_path.c_str(),
+              fixture.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[] = "XYZWnot-a-frame-and-not-http-either-0123456789AB";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+
+  // The daemon answers with one kError frame and closes.
+  serve::FrameDecoder decoder;
+  serve::Frame frame;
+  bool got_error = false;
+  std::uint8_t buffer[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    ASSERT_TRUE(decoder.feed(buffer, static_cast<std::size_t>(n)));
+    if (decoder.take(frame)) {
+      got_error = frame.type == serve::MessageType::kError;
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_error);
+
+  // The daemon survived and serves the next well-formed connection.
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  EXPECT_FALSE(client.metrics().empty());
+}
+
+TEST(Serve, TruncatedPayloadInsideValidFrameGetsErrorFrame) {
+  ServerFixture fixture("truncated");
+  // A structurally valid frame whose submit payload lies about its fields.
+  std::vector<std::uint8_t> payload = {0x05, 0x00, 0x00, 0x00};  // tenant len 5, no bytes
+  const auto frame = serve::encode_frame(serve::MessageType::kSubmit, payload);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, fixture.socket_path.c_str(),
+              fixture.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_GT(::send(fd, frame.data(), frame.size(), 0), 0);
+
+  serve::FrameDecoder decoder;
+  serve::Frame reply;
+  std::uint8_t buffer[512];
+  bool got_reply = false;
+  while (!got_reply) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    ASSERT_TRUE(decoder.feed(buffer, static_cast<std::size_t>(n)));
+    got_reply = decoder.take(reply);
+  }
+  ::close(fd);
+  ASSERT_TRUE(got_reply);
+  EXPECT_EQ(reply.type, serve::MessageType::kError);
+}
+
+TEST(Serve, GracefulStopDrainsEveryAdmittedRequest) {
+  const std::string dir = testutil::make_temp_dir("serve_drain");
+  const auto paths = testutil::write_log_files(dir, 4, 800);
+  {
+    serve::ServerOptions options;
+    options.socket_path = dir + "/cpwd.sock";
+    options.cache_dir = dir + "/cache";
+    options.executors = 1;
+    serve::Server server(std::move(options));
+    server.start();
+
+    serve::Client client = serve::Client::connect_unix(dir + "/cpwd.sock");
+    for (const std::string& path : paths) {
+      (void)client.submit_paths("t", {path});
+    }
+    server.stop(/*drain=*/true);  // must block until all four finished
+  }
+  // Drain proof: every log was analyzed into the shared cache, so a direct
+  // warm run over the same paths is all cache hits.
+  analysis::BatchOptions warm;
+  warm.cache_dir = dir + "/cache";
+  const analysis::BatchResult result = analysis::run_batch(paths, warm);
+  for (const auto& log : result.diagnostics.logs) {
+    EXPECT_TRUE(log.cache_hit);
+  }
+}
+
+TEST(Serve, HttpMetricsScrape) {
+  serve::ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  ServerFixture fixture("http", std::move(options));
+  ASSERT_GT(fixture.server.port(), 0);
+
+  const auto http_get = [&](const std::string& target) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(fixture.server.port()));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request =
+        "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+    std::string response;
+    char buffer[2048];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("cpw_peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(metrics.find("Connection: close"), std::string::npos);
+
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(Serve, SubmitRejectionsCarryReasons) {
+  serve::ServerOptions options;
+  options.max_queued_per_tenant = 1;
+  options.executors = 1;
+  ServerFixture fixture("reject", std::move(options));
+  const auto paths = testutil::write_log_files(fixture.dir, 2, 2000);
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  EXPECT_THROW((void)client.submit_paths("t", {}), Error);  // no files
+
+  // Fill the single queue slot while the executor chews on the first
+  // submit, then the next one must bounce with the queue-full reason.
+  (void)client.submit_paths("t", paths);
+  (void)client.submit_paths("t", {paths[0]});
+  try {
+    (void)client.submit_paths("t", {paths[1]});
+    // Executor may have drained the slot already on a fast machine — fine.
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("queue is full"),
+              std::string::npos);
+  }
+}
+
+// ----------------------------------------------- env snapshot concurrency
+
+// Regression for the env-config TOCTOU audit: the CPW_OBS_DISABLED /
+// CPW_SIMD / CPW_FAULT environment reads are one-shot snapshots behind
+// thread-safe initialization. Hammering first-and-later use from many
+// threads must yield one consistent answer everywhere (under TSan this
+// also proves the reads are race-free).
+TEST(EnvSnapshot, ConcurrentReadsSeeOneConsistentSnapshot) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> obs_on{0};
+  std::atomic<int> fault_on{0};
+  std::vector<simd::Isa> isa(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (obs::enabled()) obs_on.fetch_add(1);
+        if (fault::active()) fault_on.fetch_add(1);
+        isa[t] = simd::active_isa();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // All-or-nothing: every read of a snapshot agrees with every other.
+  EXPECT_TRUE(obs_on.load() == 0 || obs_on.load() == kThreads * kIterations);
+  EXPECT_TRUE(fault_on.load() == 0 ||
+              fault_on.load() == kThreads * kIterations);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(isa[t], isa[0]);
+}
+
+}  // namespace
+}  // namespace cpw

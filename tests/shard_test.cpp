@@ -9,8 +9,10 @@
 #include <sys/wait.h>
 
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -207,6 +209,100 @@ TEST(Shard, RequiresCacheDirAndWorkerCommand) {
   analysis::ShardOptions no_workers = shard_options(dir);
   no_workers.workers = 0;
   EXPECT_THROW((void)analysis::run_shard(paths, no_workers), Error);
+}
+
+TEST(Shard, HeartbeatsAreNamespacedByRunId) {
+  const std::string dir = testutil::make_temp_dir("shard_runid");
+  const auto paths = testutil::write_log_files(dir, 4, 800);
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.workers = 2;
+  options.work_dir = dir + "/work";
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+
+  ASSERT_FALSE(sharded.run_id.empty());
+  // Every heartbeat file left behind carries this run's id in its name —
+  // `worker-<i>.<run-id>.hb` — so residue from a crashed supervisor (or a
+  // concurrent driver sharing the dir) can never be read as a live beat.
+  // The legacy un-namespaced `worker-<i>.hb` name must not appear.
+  std::size_t namespaced = 0;
+  for (const auto& entry : fs::directory_iterator(options.work_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".hb") == 0) {
+      EXPECT_NE(name.find("." + sharded.run_id + ".hb"), std::string::npos)
+          << name;
+      ++namespaced;
+    }
+  }
+  EXPECT_EQ(namespaced, options.workers);
+}
+
+TEST(Shard, WorkerIgnoresForeignRunIdHeartbeatResidue) {
+  // A stale heartbeat under a different run id sitting in the work dir is
+  // exactly the crashed-supervisor residue scenario: the new driver must
+  // never read it as its own worker's beat. run_shard wipes and sweeps the
+  // work dir, so seed the residue with hang detection on — if the driver
+  // consulted the stale (never-updating) file it would falsely kill the
+  // healthy worker or, worse, count a dead worker as beating.
+  const std::string dir = testutil::make_temp_dir("shard_stale_hb");
+  const auto paths = testutil::write_log_files(dir, 4, 800);
+
+  analysis::ShardOptions options = shard_options(dir);
+  options.workers = 1;
+  options.work_dir = dir + "/work";
+  options.hang_timeout_seconds = 30.0;
+  fs::create_directories(options.work_dir);
+  std::ofstream(options.work_dir + "/worker-0.hb") << "99999";
+  std::ofstream(options.work_dir + "/worker-0.dead-run-1234.hb") << "99999";
+
+  const analysis::BatchResult single =
+      analysis::run_batch(paths, analysis::BatchOptions{});
+  const analysis::ShardResult sharded = analysis::run_shard(paths, options);
+  EXPECT_EQ(sharded.hung_killed, 0u);
+  EXPECT_EQ(sharded.files_done, paths.size());
+  testutil::expect_results_identical(single, sharded.merged);
+  EXPECT_FALSE(fs::exists(options.work_dir + "/worker-0.dead-run-1234.hb"));
+}
+
+TEST(ShardCli, PartialPoisonedRunExitsWithDistinctCode) {
+  // Regression: a run whose merge succeeded over the survivors used to
+  // exit 0 even though poisoned files were quarantined out of the result.
+  // Exit 3 = "partial: poisoned" (0 = full success, 1 = failed logs).
+  const std::string dir = testutil::make_temp_dir("shard_cli_poison");
+  auto paths = testutil::write_log_files(dir, 5, 800);
+  const std::string poison = dir + "/poisonpill.swf";
+  fs::copy_file(paths[2], poison);
+  paths.push_back(poison);
+
+  std::string command = std::string(CPW_SHARD_BIN) + " run --cache " + dir +
+                        "/cache_cli --work-dir " + dir +
+                        "/work_cli --workers 2 --crash-on poisonpill"
+                        " --restart-budget 3 --poison-threshold 2";
+  for (const std::string& path : paths) command += " " + path;
+  command += " > " + dir + "/digest.txt 2> " + dir + "/stderr.txt";
+  const int raw = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(raw));
+  EXPECT_EQ(WEXITSTATUS(raw), 3);
+
+  // The poisoned path is reported on stderr for the operator.
+  std::ifstream stderr_file(dir + "/stderr.txt");
+  const std::string stderr_text(std::istreambuf_iterator<char>(stderr_file),
+                                std::istreambuf_iterator<char>{});
+  EXPECT_NE(stderr_text.find("cpw_shard: poisoned " + poison),
+            std::string::npos);
+}
+
+TEST(ShardCli, CleanRunExitsZero) {
+  const std::string dir = testutil::make_temp_dir("shard_cli_clean");
+  const auto paths = testutil::write_log_files(dir, 3, 800);
+  std::string command = std::string(CPW_SHARD_BIN) + " run --cache " + dir +
+                        "/cache_cli --work-dir " + dir +
+                        "/work_cli --workers 2";
+  for (const std::string& path : paths) command += " " + path;
+  command += " > /dev/null 2>&1";
+  const int raw = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(raw));
+  EXPECT_EQ(WEXITSTATUS(raw), 0);
 }
 
 TEST(Shard, SpawnFailureDegradesToMergeRecompute) {

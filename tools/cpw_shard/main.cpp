@@ -25,7 +25,10 @@
 //       Sharded run: fan the files across worker processes (analysis::
 //       run_shard), merge, print the SAME digest format on stdout — so
 //       `diff <(cpw_shard analyze ...) <(cpw_shard run ...)` is the
-//       equivalence check the CI shard smoke performs.
+//       equivalence check the CI shard smoke performs. Exit codes: 0 full
+//       success, 1 failed logs in the merged result, 3 partial — poisoned
+//       files were quarantined out of the merge (their paths are printed
+//       to stderr as `cpw_shard: poisoned <path>`).
 //
 //   worker ...
 //       Internal: one worker process (spawned by `run`, never by hand).
@@ -51,6 +54,7 @@
 #include <unistd.h>
 
 #include "cpw/analysis/batch.hpp"
+#include "cpw/analysis/digest.hpp"
 #include "cpw/analysis/shard.hpp"
 #include "cpw/analysis/streaming.hpp"
 #include "cpw/models/model.hpp"
@@ -107,46 +111,12 @@ void print_hex(const char* key, double value) {
   std::printf(" %s=%016" PRIx64, key, std::bit_cast<std::uint64_t>(value));
 }
 
-/// The equivalence digest: every per-log statistic, Hurst estimate, and
-/// Co-plot coordinate as bit patterns. Timings and diagnostics events are
-/// deliberately absent — they legitimately differ between runs.
+/// The equivalence digest (analysis::digest): shared with the cpwd daemon
+/// so `diff` between a served result and a direct run is the byte-identity
+/// check everywhere.
 void print_digest(const analysis::BatchResult& result) {
-  const auto& codes = workload::WorkloadStats::all_codes();
-  for (std::size_t i = 0; i < result.logs.size(); ++i) {
-    const analysis::LogAnalysis& log = result.logs[i];
-    std::printf("log %s status=%d quarantined=%zu", log.name.c_str(),
-                static_cast<int>(result.diagnostics.logs[i].status),
-                result.diagnostics.logs[i].quarantine.total());
-    for (const std::string& code : codes) {
-      print_hex(code.c_str(), log.stats.get(code));
-    }
-    std::printf("\n");
-    for (const analysis::AttributeHurst& attr : log.hurst) {
-      std::printf("hurst %s %s estimated=%d", log.name.c_str(),
-                  workload::attribute_name(attr.attribute).c_str(),
-                  attr.estimated ? 1 : 0);
-      print_hex("rs", attr.report.rs.hurst);
-      print_hex("vt", attr.report.variance_time.hurst);
-      print_hex("pg", attr.report.periodogram.hurst);
-      print_hex("wv", attr.report.wavelet.hurst);
-      std::printf("\n");
-    }
-  }
-  std::printf("coplot run=%d members=", result.coplot_run ? 1 : 0);
-  for (std::size_t m : result.coplot_members) std::printf("%zu,", m);
-  std::printf("\n");
-  if (result.coplot_run) {
-    std::printf("coplot-x");
-    for (double v : result.coplot.embedding.x) print_hex("", v);
-    std::printf("\ncoplot-y");
-    for (double v : result.coplot.embedding.y) print_hex("", v);
-    std::printf("\n");
-    for (const auto& arrow : result.coplot.arrows) {
-      std::printf("arrow %s", arrow.name.c_str());
-      print_hex("angle", arrow.angle);
-      std::printf("\n");
-    }
-  }
+  const std::string text = analysis::digest(result);
+  std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
 void write_metrics(const std::string& path) {
@@ -525,6 +495,11 @@ int cmd_run(int argc, char** argv, const char* argv0) {
   }
   print_summary("run", elapsed, result.peak_rss_bytes);
   write_metrics(flags.metrics);
+  // Poisoned files were excluded from the merge entirely, so they never
+  // show up in failed_count — without a distinct exit code a partial run
+  // would report success. 3 = "partial: poisoned" (2 is the usage exit);
+  // failed logs inside the merged result keep the plain failure code 1.
+  if (!result.poisoned.empty()) return 3;
   const std::size_t failed = result.merged.diagnostics.failed_count();
   return failed == 0 ? 0 : 1;
 }
@@ -548,6 +523,8 @@ int cmd_worker(int argc, char** argv) {
     } else if (arg == "--worker-index") {
       config.worker_index =
           parse_u64(flag_value(argc, argv, i), "--worker-index");
+    } else if (arg == "--run-id") {
+      config.run_id = flag_value(argc, argv, i);
     } else if (arg == "--abort-after") {
       config.abort_after =
           parse_u64(flag_value(argc, argv, i), "--abort-after");

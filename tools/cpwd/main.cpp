@@ -1,0 +1,283 @@
+// cpwd — the batch analysis pipeline as a long-lived daemon.
+//
+//   cpwd serve --cache DIR (--socket PATH | --port N) [flags]
+//       Run the daemon until SIGTERM/SIGINT, then drain gracefully: stop
+//       accepting, finish every queued and running request, exit 0. A
+//       second signal forces a fast stop (queued requests cancelled).
+//       Flags: --executors N, --tenant-budget-bytes N (inputs larger than
+//       this run the windowed out-of-core ingest), --max-queued N,
+//       --deadline SECONDS (per request), --spool DIR,
+//       --ready-fd FD (writes one byte once listening — lets a harness
+//       wait for startup without polling the socket).
+//
+//   cpwd submit --socket PATH|--port N --tenant NAME <log.swf ...>
+//       Client: submit server-visible paths, print the request id.
+//       --wait SECONDS blocks for the result digest on stdout (the same
+//       bytes `cpw_shard analyze` prints, so `diff` is the equivalence
+//       check); exit 0 done, 4 failed, 5 cancelled.
+//
+//   cpwd status|result|cancel --socket PATH|--port N <id>
+//   cpwd metrics --socket PATH|--port N
+//       Client one-shots against a running daemon.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/serve/client.hpp"
+#include "cpw/serve/server.hpp"
+#include "cpw/util/error.hpp"
+
+namespace {
+
+using namespace cpw;
+
+[[noreturn]] void usage(const std::string& detail) {
+  std::fprintf(stderr,
+               "cpwd: %s\n"
+               "usage:\n"
+               "  cpwd serve --cache DIR (--socket PATH | --port N)\n"
+               "       [--executors N] [--tenant-budget-bytes N]\n"
+               "       [--max-queued N] [--deadline S] [--spool DIR]\n"
+               "       [--ready-fd FD]\n"
+               "  cpwd submit (--socket PATH | --port N) --tenant NAME\n"
+               "       [--wait S] <log.swf ...>\n"
+               "  cpwd status|result|cancel (--socket PATH | --port N) <id>\n"
+               "  cpwd metrics (--socket PATH | --port N)\n",
+               detail.c_str());
+  std::exit(2);
+}
+
+std::string flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
+  return argv[++i];
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  try {
+    return std::stoull(text);
+  } catch (...) {
+    usage(std::string(flag) + " needs an unsigned integer, got " + text);
+  }
+}
+
+double parse_f64(const std::string& text, const char* flag) {
+  try {
+    return std::stod(text);
+  } catch (...) {
+    usage(std::string(flag) + " needs a number, got " + text);
+  }
+}
+
+// SIGTERM/SIGINT drain request, flipped from the handler. Second signal
+// escalates to a fast stop.
+std::atomic<int> g_signal_count{0};
+
+void on_signal(int) { g_signal_count.fetch_add(1); }
+
+struct Endpoint {
+  std::string socket_path;
+  int port = -1;
+};
+
+bool parse_endpoint(const std::string& arg, int argc, char** argv, int& i,
+                    Endpoint& endpoint) {
+  if (arg == "--socket") {
+    endpoint.socket_path = flag_value(argc, argv, i);
+    return true;
+  }
+  if (arg == "--port") {
+    endpoint.port = static_cast<int>(
+        parse_u64(flag_value(argc, argv, i), "--port"));
+    return true;
+  }
+  return false;
+}
+
+serve::Client connect(const Endpoint& endpoint) {
+  if (!endpoint.socket_path.empty()) {
+    return serve::Client::connect_unix(endpoint.socket_path);
+  }
+  if (endpoint.port >= 0) return serve::Client::connect_tcp(endpoint.port);
+  usage("client commands need --socket or --port");
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  int ready_fd = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache") {
+      options.cache_dir = flag_value(argc, argv, i);
+    } else if (arg == "--socket") {
+      options.socket_path = flag_value(argc, argv, i);
+    } else if (arg == "--port") {
+      options.tcp_port = static_cast<int>(
+          parse_u64(flag_value(argc, argv, i), "--port"));
+    } else if (arg == "--executors") {
+      options.executors = parse_u64(flag_value(argc, argv, i), "--executors");
+    } else if (arg == "--tenant-budget-bytes") {
+      options.tenant_budget_bytes =
+          parse_u64(flag_value(argc, argv, i), "--tenant-budget-bytes");
+    } else if (arg == "--max-queued") {
+      options.max_queued_per_tenant =
+          parse_u64(flag_value(argc, argv, i), "--max-queued");
+    } else if (arg == "--deadline") {
+      options.request_deadline_seconds =
+          parse_f64(flag_value(argc, argv, i), "--deadline");
+    } else if (arg == "--spool") {
+      options.spool_dir = flag_value(argc, argv, i);
+    } else if (arg == "--ready-fd") {
+      ready_fd = static_cast<int>(
+          parse_u64(flag_value(argc, argv, i), "--ready-fd"));
+    } else {
+      usage("unknown serve flag " + arg);
+    }
+  }
+  if (options.cache_dir.empty()) usage("serve needs --cache");
+  if (options.socket_path.empty() && options.tcp_port < 0) {
+    usage("serve needs --socket and/or --port");
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  serve::Server server(std::move(options));
+  server.start();
+  if (server.port() > 0) {
+    std::fprintf(stderr, "cpwd: listening on 127.0.0.1:%d\n", server.port());
+  }
+  if (ready_fd >= 0) {
+    const char byte = '1';
+    (void)!::write(ready_fd, &byte, 1);
+    ::close(ready_fd);
+  }
+
+  while (g_signal_count.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "cpwd: draining (%zu queued)\n", server.queue_depth());
+  // Drain in a helper thread so a second signal can still escalate: the
+  // graceful stop finishes every admitted request, which may take a while.
+  std::atomic<bool> drained{false};
+  std::thread drainer([&server, &drained] {
+    server.stop(/*drain=*/true);
+    drained.store(true);
+  });
+  while (!drained.load()) {
+    if (g_signal_count.load() >= 2) {
+      std::fprintf(stderr, "cpwd: forced stop\n");
+      std::_Exit(130);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  drainer.join();
+  std::fprintf(stderr, "cpwd: stopped\n");
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  Endpoint endpoint;
+  std::string tenant = "default";
+  double wait_seconds = -1.0;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_endpoint(arg, argc, argv, i, endpoint)) {
+    } else if (arg == "--tenant") {
+      tenant = flag_value(argc, argv, i);
+    } else if (arg == "--wait") {
+      wait_seconds = parse_f64(flag_value(argc, argv, i), "--wait");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown submit flag " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) usage("submit needs at least one log path");
+
+  serve::Client client = connect(endpoint);
+  const serve::SubmitReport submitted = client.submit_paths(tenant, paths);
+  std::fprintf(stderr, "cpwd: request %llu%s\n",
+               static_cast<unsigned long long>(submitted.id),
+               submitted.windowed ? " (windowed ingest)" : "");
+  if (wait_seconds < 0.0) {
+    std::printf("%llu\n", static_cast<unsigned long long>(submitted.id));
+    return 0;
+  }
+  const serve::RequestReport report = client.wait(submitted.id, wait_seconds);
+  if (report.status == serve::RequestStatus::kDone) {
+    std::fwrite(report.digest.data(), 1, report.digest.size(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "cpwd: request %llu %s: %s\n",
+               static_cast<unsigned long long>(report.id),
+               serve::request_status_name(report.status),
+               report.error.c_str());
+  return report.status == serve::RequestStatus::kFailed ? 4 : 5;
+}
+
+int cmd_query(int argc, char** argv, const std::string& command) {
+  Endpoint endpoint;
+  std::vector<std::string> operands;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_endpoint(arg, argc, argv, i, endpoint)) {
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown " + command + " flag " + arg);
+    } else {
+      operands.push_back(arg);
+    }
+  }
+  serve::Client client = connect(endpoint);
+  if (command == "metrics") {
+    const std::string text = client.metrics();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  if (operands.size() != 1) usage(command + " needs exactly one request id");
+  const std::uint64_t id = parse_u64(operands[0], command.c_str());
+  if (command == "cancel") {
+    const bool known = client.cancel(id);
+    std::printf("%s\n", known ? "cancelled" : "unknown");
+    return known ? 0 : 1;
+  }
+  const serve::RequestReport report =
+      command == "result" ? client.result(id) : client.status(id);
+  std::printf("%llu %s", static_cast<unsigned long long>(report.id),
+              serve::request_status_name(report.status));
+  if (!report.error.empty()) std::printf(" %s", report.error.c_str());
+  std::printf("\n");
+  if (command == "result" &&
+      report.status == serve::RequestStatus::kDone) {
+    std::fwrite(report.digest.data(), 1, report.digest.size(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string command = argv[1];
+  try {
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "submit") return cmd_submit(argc, argv);
+    if (command == "status" || command == "result" || command == "cancel" ||
+        command == "metrics") {
+      return cmd_query(argc, argv, command);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cpwd: %s\n", error.what());
+    return 1;
+  }
+  usage("unknown subcommand " + command);
+}

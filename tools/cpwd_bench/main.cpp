@@ -1,0 +1,217 @@
+// cpwd_bench — closed-loop load generator for the cpwd daemon.
+//
+//   cpwd_bench (--socket PATH | --port N) --corpus DIR
+//              [--tenants N] [--requests R] [--wait S] [--out FILE]
+//
+// Spawns one thread per tenant, each with its own connection, submitting R
+// requests back to back (request i analyzes corpus file i mod |corpus|)
+// and blocking for each result before the next submit — a closed loop, so
+// measured latency includes queueing behind the other tenants, which is
+// the fairness story the admission queue exists for. Reports wall-clock
+// throughput and the latency distribution (p50/p90/p99/max) as JSON on
+// stdout and into --out (the BENCH_PR9.json artifact). Exits non-zero if
+// any request failed or any served digest disagreed with the others for
+// the same file — a correctness cross-check riding along with the load.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpw/serve/client.hpp"
+#include "cpw/util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace cpw;
+
+[[noreturn]] void usage(const std::string& detail) {
+  std::fprintf(stderr,
+               "cpwd_bench: %s\n"
+               "usage: cpwd_bench (--socket PATH | --port N) --corpus DIR\n"
+               "       [--tenants N] [--requests R] [--wait S] [--out FILE]\n",
+               detail.c_str());
+  std::exit(2);
+}
+
+std::string flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
+  return argv[++i];
+}
+
+struct TenantOutcome {
+  std::vector<double> latencies;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::string first_error;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int port = -1;
+  std::string corpus_dir;
+  std::string out_path;
+  std::size_t tenants = 4;
+  std::size_t requests = 8;
+  double wait_seconds = 120.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      socket_path = flag_value(argc, argv, i);
+    } else if (arg == "--port") {
+      port = std::atoi(flag_value(argc, argv, i).c_str());
+    } else if (arg == "--corpus") {
+      corpus_dir = flag_value(argc, argv, i);
+    } else if (arg == "--tenants") {
+      tenants = static_cast<std::size_t>(
+          std::strtoull(flag_value(argc, argv, i).c_str(), nullptr, 10));
+    } else if (arg == "--requests") {
+      requests = static_cast<std::size_t>(
+          std::strtoull(flag_value(argc, argv, i).c_str(), nullptr, 10));
+    } else if (arg == "--wait") {
+      wait_seconds = std::atof(flag_value(argc, argv, i).c_str());
+    } else if (arg == "--out") {
+      out_path = flag_value(argc, argv, i);
+    } else {
+      usage("unknown flag " + arg);
+    }
+  }
+  if (corpus_dir.empty()) usage("--corpus is required");
+  if (socket_path.empty() && port < 0) usage("--socket or --port is required");
+  if (tenants == 0 || requests == 0) usage("--tenants/--requests must be > 0");
+
+  std::vector<std::string> corpus;
+  for (const auto& entry : fs::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() == ".swf") {
+      corpus.push_back(entry.path().string());
+    }
+  }
+  std::sort(corpus.begin(), corpus.end());
+  if (corpus.empty()) usage("no .swf files under " + corpus_dir);
+
+  std::vector<TenantOutcome> outcomes(tenants);
+  // file path -> first digest served for it; later disagreements are bugs.
+  std::map<std::string, std::string> reference;
+  std::mutex reference_mutex;
+  std::size_t digest_mismatches = 0;
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t] {
+      TenantOutcome& outcome = outcomes[t];
+      try {
+        serve::Client client =
+            !socket_path.empty() ? serve::Client::connect_unix(socket_path)
+                                 : serve::Client::connect_tcp(port);
+        const std::string tenant = "tenant-" + std::to_string(t);
+        for (std::size_t r = 0; r < requests; ++r) {
+          const std::string& path =
+              corpus[(t * requests + r) % corpus.size()];
+          const auto start = std::chrono::steady_clock::now();
+          const serve::SubmitReport submitted =
+              client.submit_paths(tenant, {path});
+          const serve::RequestReport report =
+              client.wait(submitted.id, wait_seconds);
+          const double latency =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          outcome.latencies.push_back(latency);
+          if (report.status == serve::RequestStatus::kDone) {
+            ++outcome.done;
+            std::lock_guard<std::mutex> lock(reference_mutex);
+            auto [it, inserted] = reference.emplace(path, report.digest);
+            if (!inserted && it->second != report.digest) {
+              ++digest_mismatches;
+            }
+          } else {
+            ++outcome.failed;
+            if (outcome.first_error.empty()) {
+              outcome.first_error = report.error;
+            }
+          }
+        }
+      } catch (const std::exception& error) {
+        ++outcome.failed;
+        if (outcome.first_error.empty()) outcome.first_error = error.what();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+
+  std::vector<double> latencies;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::string first_error;
+  for (const TenantOutcome& outcome : outcomes) {
+    latencies.insert(latencies.end(), outcome.latencies.begin(),
+                     outcome.latencies.end());
+    done += outcome.done;
+    failed += outcome.failed;
+    if (first_error.empty()) first_error = outcome.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(done) / wall_seconds : 0.0;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"schema\":\"cpwd-bench-v1\",\"tenants\":%zu,"
+      "\"requests_per_tenant\":%zu,\"corpus_files\":%zu,"
+      "\"done\":%zu,\"failed\":%zu,\"digest_mismatches\":%zu,"
+      "\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
+      "\"latency_seconds\":{\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,"
+      "\"max\":%.6f}}\n",
+      tenants, requests, corpus.size(), done, failed, digest_mismatches,
+      wall_seconds, throughput, percentile(latencies, 0.50),
+      percentile(latencies, 0.90), percentile(latencies, 0.99),
+      latencies.empty() ? 0.0 : latencies.back());
+  std::fputs(json, stdout);
+  if (!out_path.empty()) {
+    std::FILE* file = std::fopen(out_path.c_str(), "w");
+    if (file != nullptr) {
+      std::fputs(json, file);
+      std::fclose(file);
+    } else {
+      std::fprintf(stderr, "cpwd_bench: cannot write %s\n", out_path.c_str());
+    }
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "cpwd_bench: %zu requests failed (first: %s)\n",
+                 failed, first_error.c_str());
+    return 1;
+  }
+  if (digest_mismatches > 0) {
+    std::fprintf(stderr, "cpwd_bench: %zu digest mismatches\n",
+                 digest_mismatches);
+    return 1;
+  }
+  return 0;
+}
