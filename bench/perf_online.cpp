@@ -1,0 +1,182 @@
+// google-benchmark suite for cpw::online: KLL sketch updates, the
+// incremental Hurst tracker, per-job cost of the streaming characterizer
+// across window sizes (window-close latency is reported as a counter), and
+// the trajectory tracker's re-embed-and-align step as the map grows. These
+// numbers back the "Streaming & drift" EXPERIMENTS.md entry.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cpw/models/model.hpp"
+#include "cpw/online/characterizer.hpp"
+#include "cpw/online/trajectory.hpp"
+#include "cpw/selfsim/incremental.hpp"
+#include "cpw/stats/kll.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/rng.hpp"
+#include "cpw/workload/characterize.hpp"
+#include "cpw/workload/online_stats.hpp"
+
+namespace {
+
+using namespace cpw;
+
+const swf::Log& bench_log(std::size_t jobs) {
+  static const swf::Log log = [] {
+    const auto models = models::all_models(128);
+    return models[0]->generate(200000, 7);
+  }();
+  static swf::Log trimmed("trimmed", {});
+  if (jobs >= log.jobs().size()) return log;
+  swf::JobList slice(log.jobs().begin(),
+                     log.jobs().begin() + static_cast<long>(jobs));
+  trimmed = swf::Log("trimmed", std::move(slice));
+  return trimmed;
+}
+
+// ------------------------------------------------------------- KLL sketch
+
+void BM_KllUpdate(benchmark::State& state) {
+  Rng rng(42);
+  std::vector<double> values(1 << 16);
+  for (double& v : values) v = rng.uniform(0.0, 1e6);
+  std::size_t i = 0;
+  stats::KllSketch sketch;
+  for (auto _ : state) {
+    sketch.update(values[i++ & (values.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KllUpdate);
+
+void BM_KllQuantile(benchmark::State& state) {
+  Rng rng(7);
+  stats::KllSketch sketch;
+  for (std::size_t i = 0; i < 100000; ++i) sketch.update(rng.uniform(0.0, 1e6));
+  double q = 0.0;
+  for (auto _ : state) {
+    q += sketch.quantile(0.5) + sketch.quantile(0.95);
+  }
+  benchmark::DoNotOptimize(q);
+}
+BENCHMARK(BM_KllQuantile);
+
+// -------------------------------------------------------- incremental Hurst
+
+void BM_IncrementalHurstAppend(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values(1 << 16);
+  for (double& v : values) v = rng.normal();
+  selfsim::IncrementalHurst tracker;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tracker.append(values[i++ & (values.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IncrementalHurstAppend);
+
+void BM_IncrementalHurstEstimate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  selfsim::IncrementalHurst tracker;
+  for (std::size_t i = 0; i < n; ++i) tracker.append(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.rs());
+    benchmark::DoNotOptimize(tracker.variance_time());
+  }
+}
+BENCHMARK(BM_IncrementalHurstEstimate)->Arg(1 << 10)->Arg(1 << 14);
+
+// ------------------------------------------------- streaming characterizer
+
+/// Per-job cost of the full online pipeline: sketch updates + incremental
+/// Hurst + window close (stats finish) every `window` jobs. The
+/// "window_close_us" counter is the latency of one close, the number the
+/// docs quote.
+void BM_OnlineCharacterizerStream(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const swf::Log& log = bench_log(100000);
+  online::OnlineOptions options;
+  options.window_jobs = window;
+  options.stats.machine_processors = 128.0;
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    online::OnlineCharacterizer characterizer("bench", options);
+    for (const swf::Job& job : log.jobs()) {
+      characterizer.add(job);
+      while (auto closed = characterizer.poll()) ++windows;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(log.jobs().size()));
+  benchmark::DoNotOptimize(windows);
+}
+BENCHMARK(BM_OnlineCharacterizerStream)
+    ->Arg(1000)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+/// Latency of closing ONE window (finishing the pane's stats), isolated
+/// from the per-job feed — what a subscriber actually waits on.
+void BM_WindowCloseLatency(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const swf::Log& log = bench_log(window);
+  for (auto _ : state) {
+    workload::OnlineStatsAccumulator accumulator;
+    for (const swf::Job& job : log.jobs()) accumulator.add(job);
+    benchmark::DoNotOptimize(accumulator.finish("w", 128.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WindowCloseLatency)
+    ->Arg(1000)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------ trajectory tracker
+
+/// One TrajectoryTracker::add at a steady-state map size: re-embed
+/// (O(points²) MDS) + Procrustes alignment + drift checks.
+void BM_TrajectoryAdd(benchmark::State& state) {
+  const auto points = static_cast<std::size_t>(state.range(0));
+  const swf::Log& log = bench_log(100000);
+  online::OnlineOptions options;
+  options.window_jobs = 2000;
+  options.stats.machine_processors = 128.0;
+  online::OnlineCharacterizer characterizer("bench", options);
+  std::vector<workload::WorkloadStats> stats;
+  for (const swf::Job& job : log.jobs()) {
+    characterizer.add(job);
+    while (auto closed = characterizer.poll()) {
+      stats.push_back(closed->window);
+    }
+  }
+  online::TrajectoryOptions trajectory_options;
+  trajectory_options.max_points = points;
+  online::TrajectoryTracker tracker(trajectory_options);
+  std::uint64_t window = 0;
+  for (std::size_t i = 0; i < points && i < stats.size(); ++i) {
+    (void)tracker.add("bench", window++, stats[i % stats.size()]);
+  }
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const workload::WorkloadStats& next = stats[window % stats.size()];
+    events += tracker.add("bench", window, next).size();
+    ++window;
+  }
+  benchmark::DoNotOptimize(events);
+}
+BENCHMARK(BM_TrajectoryAdd)
+    ->Arg(16)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <optional>
@@ -23,6 +24,11 @@ struct StreamAnalyzeOptions {
   std::optional<double> machine_processors;     ///< override, as in BatchOptions
   bool release_windows = true;
   bool force_buffered = false;
+  /// Observer invoked once per post-quarantine job, in file order, during
+  /// ingest() — the online windowed characterization taps the stream here.
+  /// Note: headers (MaxProcs) are not yet available when this fires; the
+  /// observer must resolve machine size itself.
+  std::function<void(const swf::Job&)> on_job;
 };
 
 /// What the streaming pass produces: exactly the per-log state the batch

@@ -1,0 +1,48 @@
+#pragma once
+
+// One-shot "attach to a log" entry point: streams an SWF file through the
+// out-of-core StreamingAnalyzer while the online characterizer closes
+// windows off the same job stream (via StreamAnalyzeOptions::on_job) and a
+// TrajectoryTracker turns each closed window into an aligned Co-plot point
+// and possibly drift events. This is what the daemon's subscribe request
+// runs; the CLI `cpwd watch` and the drift-smoke CI job go through the
+// same function.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpw/analysis/streaming.hpp"
+#include "cpw/online/characterizer.hpp"
+#include "cpw/online/trajectory.hpp"
+
+namespace cpw::analysis {
+
+struct WatchOptions {
+  StreamAnalyzeOptions stream;
+  online::OnlineOptions online;
+  online::TrajectoryOptions trajectory;
+  /// Called after every closed window with its stats and any drift events
+  /// it raised (events may be empty; most windows are quiet).
+  std::function<void(const online::WindowStats&,
+                     std::span<const online::DriftEvent>)>
+      sink;
+  /// Close a final partial window over the tail jobs (>= 2) at EOF.
+  bool flush_tail = true;
+};
+
+struct WatchReport {
+  std::size_t jobs = 0;
+  std::size_t windows = 0;
+  std::vector<online::DriftEvent> events;  ///< all events, window order
+  /// Exact (non-sketch) batch characterization of the full file, when it
+  /// has at least two jobs — the convergence reference for the windows.
+  std::optional<workload::WorkloadStats> final_stats;
+};
+
+WatchReport watch_swf(const std::string& path,
+                      const WatchOptions& options = {});
+
+}  // namespace cpw::analysis

@@ -93,6 +93,7 @@ void StreamingAnalyzer::maybe_reserve(std::size_t bytes_consumed) {
 
 void StreamingAnalyzer::absorb(const swf::JobList& jobs) {
   for (const swf::Job& job : jobs) {
+    if (options_.on_job) options_.on_job(job);
     // Log::finalize()'s scans, replicated with order-exact reductions:
     // adjacent inversion counting, min submit, max job end, max processors.
     if (n_ > 0 && job.submit_time < last_submit_) ++inversions_;

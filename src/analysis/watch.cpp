@@ -1,0 +1,53 @@
+#include "cpw/analysis/watch.hpp"
+
+#include "cpw/obs/span.hpp"
+
+namespace cpw::analysis {
+
+WatchReport watch_swf(const std::string& path, const WatchOptions& options) {
+  obs::Span span("watch_swf", path);
+
+  online::OnlineOptions online_options = options.online;
+  // The stream-level machine override is the one batch callers set; let it
+  // flow through to the window characterization unless the caller pinned
+  // one there explicitly.
+  if (options.stream.machine_processors &&
+      !online_options.stats.machine_processors) {
+    online_options.stats.machine_processors =
+        options.stream.machine_processors;
+  }
+
+  online::OnlineCharacterizer characterizer(path, online_options);
+  online::TrajectoryTracker tracker(options.trajectory);
+  WatchReport report;
+
+  const auto drain = [&] {
+    while (auto window = characterizer.poll()) {
+      const auto events =
+          tracker.add(characterizer.name(), window->index, window->window);
+      report.events.insert(report.events.end(), events.begin(), events.end());
+      ++report.windows;
+      if (options.sink) options.sink(*window, events);
+    }
+  };
+
+  StreamAnalyzeOptions stream_options = options.stream;
+  stream_options.on_job = [&](const swf::Job& job) {
+    characterizer.add(job);
+    drain();
+  };
+
+  StreamingAnalyzer analyzer(stream_options);
+  analyzer.ingest(path);
+
+  if (options.flush_tail) {
+    characterizer.flush();
+    drain();
+  }
+
+  report.jobs = analyzer.jobs();
+  if (report.jobs >= 2) report.final_stats = analyzer.finish_stats();
+  return report;
+}
+
+}  // namespace cpw::analysis

@@ -154,4 +154,90 @@ double procrustes_align(const Embedding& target, Embedding& mobile,
   return std::sqrt(rss / static_cast<double>(n));
 }
 
+SimilarityTransform procrustes_fit(const Embedding& target,
+                                   const Embedding& mobile,
+                                   bool allow_reflection, bool allow_scaling) {
+  CPW_REQUIRE(target.size() == mobile.size(),
+              "procrustes needs equal-size configurations");
+  const std::size_t n = target.size();
+  CPW_REQUIRE(n >= 2, "procrustes needs at least two points");
+
+  SimilarityTransform out;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.target_cx += target.x[i];
+    out.target_cy += target.y[i];
+    out.mobile_cx += mobile.x[i];
+    out.mobile_cy += mobile.y[i];
+  }
+  out.target_cx *= inv_n;
+  out.target_cy *= inv_n;
+  out.mobile_cx *= inv_n;
+  out.mobile_cy *= inv_n;
+
+  double sxx = 0.0, sxy = 0.0, syx = 0.0, syy = 0.0, norm_m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tx = target.x[i] - out.target_cx;
+    const double ty = target.y[i] - out.target_cy;
+    const double mx = mobile.x[i] - out.mobile_cx;
+    const double my = mobile.y[i] - out.mobile_cy;
+    sxx += tx * mx;
+    sxy += tx * my;
+    syx += ty * mx;
+    syy += ty * my;
+    norm_m += mx * mx + my * my;
+  }
+
+  auto candidate = [&](bool reflect) {
+    const double a = reflect ? sxx - syy : sxx + syy;
+    const double b = reflect ? sxy + syx : syx - sxy;
+    const double angle = std::atan2(b, a);
+    const double gain = std::sqrt(a * a + b * b);
+    return std::pair<double, double>{angle, gain};
+  };
+
+  auto [angle, gain] = candidate(false);
+  bool reflect = false;
+  if (allow_reflection) {
+    const auto [angle_ref, gain_ref] = candidate(true);
+    if (gain_ref > gain) {
+      angle = angle_ref;
+      gain = gain_ref;
+      reflect = true;
+    }
+  }
+  out.angle = angle;
+  out.reflect = reflect;
+  out.scale = (allow_scaling && norm_m > 0.0) ? gain / norm_m : 1.0;
+
+  const double c = std::cos(out.angle);
+  const double s = std::sin(out.angle);
+  double rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double mx = mobile.x[i] - out.mobile_cx;
+    double my = mobile.y[i] - out.mobile_cy;
+    if (out.reflect) my = -my;
+    const double rx = out.scale * (c * mx - s * my);
+    const double ry = out.scale * (s * mx + c * my);
+    const double dx = (target.x[i] - out.target_cx) - rx;
+    const double dy = (target.y[i] - out.target_cy) - ry;
+    rss += dx * dx + dy * dy;
+  }
+  out.residual = std::sqrt(rss * inv_n);
+  return out;
+}
+
+void apply_transform(const SimilarityTransform& transform,
+                     Embedding& embedding) {
+  const double c = std::cos(transform.angle);
+  const double s = std::sin(transform.angle);
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    double mx = embedding.x[i] - transform.mobile_cx;
+    double my = embedding.y[i] - transform.mobile_cy;
+    if (transform.reflect) my = -my;
+    embedding.x[i] = transform.target_cx + transform.scale * (c * mx - s * my);
+    embedding.y[i] = transform.target_cy + transform.scale * (s * mx + c * my);
+  }
+}
+
 }  // namespace cpw::mds

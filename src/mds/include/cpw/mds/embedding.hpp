@@ -49,4 +49,30 @@ double stress1(std::span<const double> distances,
 double procrustes_align(const Embedding& target, Embedding& mobile,
                         bool allow_reflection = true, bool allow_scaling = true);
 
+/// The similarity transform found by a Procrustes fit, as a reusable value:
+/// p' = target_centroid + scale · R(angle) · F · (p − mobile_centroid),
+/// where F negates y when `reflect`. The trajectory tracker fits on the
+/// observation points common to two successive Co-plot runs and then maps
+/// the FULL new embedding (including points the previous run never saw), so
+/// fit and application must be separable — procrustes_align fuses them.
+struct SimilarityTransform {
+  double target_cx = 0.0, target_cy = 0.0;
+  double mobile_cx = 0.0, mobile_cy = 0.0;
+  double angle = 0.0;
+  double scale = 1.0;
+  bool reflect = false;
+  double residual = 0.0;  ///< RMS distance after alignment, on the fit points
+};
+
+/// Fits the transform mapping `mobile` onto `target` (same math as
+/// procrustes_align, nothing mutated). Requires equal sizes >= 2.
+SimilarityTransform procrustes_fit(const Embedding& target,
+                                   const Embedding& mobile,
+                                   bool allow_reflection = true,
+                                   bool allow_scaling = true);
+
+/// Applies a fitted transform to every point of `embedding` in place.
+void apply_transform(const SimilarityTransform& transform,
+                     Embedding& embedding);
+
 }  // namespace cpw::mds

@@ -1,0 +1,161 @@
+#include "cpw/online/characterizer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::online {
+
+namespace {
+
+std::array<selfsim::IncrementalHurst, 4> make_trackers(
+    const OnlineOptions& options) {
+  const auto make = [&] {
+    return selfsim::IncrementalHurst(options.hurst,
+                                     options.hurst_max_samples);
+  };
+  return {make(), make(), make(), make()};
+}
+
+}  // namespace
+
+OnlineCharacterizer::OnlineCharacterizer(std::string name,
+                                         OnlineOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      pane_jobs_(options.slide_jobs == 0 ? options.window_jobs
+                                         : options.slide_jobs),
+      panes_per_window_(options.window_jobs / std::max<std::size_t>(
+                                                  pane_jobs_, 1)),
+      current_pane_(options.stats),
+      cumulative_(options.stats),
+      hurst_(make_trackers(options)) {
+  CPW_REQUIRE(options_.window_jobs >= 2, "window_jobs must be at least 2");
+  CPW_REQUIRE(pane_jobs_ >= 1 && pane_jobs_ <= options_.window_jobs &&
+                  options_.window_jobs % pane_jobs_ == 0,
+              "slide_jobs must divide window_jobs");
+}
+
+void OnlineCharacterizer::add(const swf::Job& job) {
+  if (options_.track_hurst) {
+    const double r = std::max(job.run_time, 0.0);
+    const double p =
+        static_cast<double>(std::max<std::int64_t>(job.processors, 0));
+    hurst_[0].append(p);                 // kProcessors
+    hurst_[1].append(r);                 // kRuntime
+    hurst_[2].append(job.total_work());  // kTotalWork
+    if (total_jobs_ > 0) {               // kInterArrival has length n-1
+      hurst_[3].append(std::max(job.submit_time - last_submit_, 0.0));
+    }
+  }
+  last_submit_ = job.submit_time;
+
+  cumulative_.add(job);
+  current_pane_.add(job);
+  ++current_pane_jobs_;
+  ++total_jobs_;
+
+  if (current_pane_jobs_ == pane_jobs_) {
+    panes_.push_back(std::exchange(current_pane_,
+                                   workload::OnlineStatsAccumulator(
+                                       options_.stats)));
+    current_pane_jobs_ = 0;
+    if (panes_.size() == panes_per_window_) {
+      close_window();
+      panes_.pop_front();
+    }
+  }
+}
+
+double OnlineCharacterizer::machine() const {
+  if (options_.stats.machine_processors) {
+    return *options_.stats.machine_processors;
+  }
+  return static_cast<double>(cumulative_.max_job_processors());
+}
+
+void OnlineCharacterizer::close_window() {
+  WindowStats out;
+  out.index = windows_closed_;
+  out.jobs = 0;
+  for (const auto& pane : panes_) out.jobs += pane.jobs();
+  out.first_job = total_jobs_ - out.jobs;
+
+  const double resolved = machine();
+  if (panes_.size() == 1) {
+    out.window = panes_.front().finish(name_, resolved);
+  } else {
+    workload::OnlineStatsAccumulator merged(options_.stats);
+    for (const auto& pane : panes_) merged.merge(pane);
+    out.window = merged.finish(name_, resolved);
+  }
+  out.cumulative = cumulative_.finish(name_, resolved);
+
+  if (options_.track_hurst) {
+    const auto attrs = workload::all_attributes();
+    for (std::size_t i = 0; i < hurst_.size(); ++i) {
+      out.hurst[i].attribute = attrs[i];
+      out.hurst[i].rs = hurst_[i].rs();
+      out.hurst[i].variance_time = hurst_[i].variance_time();
+    }
+    out.hurst_estimated = hurst_[0].ready();
+  }
+
+  ++windows_closed_;
+  closed_.push_back(std::move(out));
+}
+
+void OnlineCharacterizer::flush() {
+  // Tail = any full panes not yet part of a closed window, plus the
+  // partial pane. Merge them; report when at least two jobs remain.
+  workload::OnlineStatsAccumulator merged(options_.stats);
+  for (const auto& pane : panes_) merged.merge(pane);
+  merged.merge(current_pane_);
+  if (merged.jobs() < 2) return;
+
+  WindowStats out;
+  out.index = windows_closed_;
+  out.jobs = merged.jobs();
+  out.first_job = total_jobs_ - out.jobs;
+  const double resolved = machine();
+  out.window = merged.finish(name_, resolved);
+  out.cumulative = cumulative_.finish(name_, resolved);
+  if (options_.track_hurst) {
+    const auto attrs = workload::all_attributes();
+    for (std::size_t i = 0; i < hurst_.size(); ++i) {
+      out.hurst[i].attribute = attrs[i];
+      out.hurst[i].rs = hurst_[i].rs();
+      out.hurst[i].variance_time = hurst_[i].variance_time();
+    }
+    out.hurst_estimated = hurst_[0].ready();
+  }
+  ++windows_closed_;
+  closed_.push_back(std::move(out));
+
+  panes_.clear();
+  current_pane_ = workload::OnlineStatsAccumulator(options_.stats);
+  current_pane_jobs_ = 0;
+}
+
+std::optional<WindowStats> OnlineCharacterizer::poll() {
+  if (closed_.empty()) return std::nullopt;
+  WindowStats out = std::move(closed_.front());
+  closed_.pop_front();
+  return out;
+}
+
+workload::WorkloadStats OnlineCharacterizer::cumulative_stats() const {
+  return cumulative_.finish(name_, machine());
+}
+
+const selfsim::IncrementalHurst& OnlineCharacterizer::hurst_tracker(
+    workload::Attribute attribute) const {
+  const auto attrs = workload::all_attributes();
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == attribute) return hurst_[i];
+  }
+  throw Error("unknown attribute", ErrorCode::kInvalidArgument);
+}
+
+}  // namespace cpw::online

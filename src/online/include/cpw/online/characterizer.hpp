@@ -1,0 +1,113 @@
+#pragma once
+
+// Window lifecycle for online characterization: jobs stream in one at a
+// time, and every closed window yields the Table 1 variables twice — over
+// the window alone and over the whole stream so far — plus incrementally
+// maintained R/S and variance-time Hurst estimates of the four attribute
+// series. Tumbling windows are the default; a `slide_jobs` hop turns them
+// into sliding windows assembled by merging tumbling panes (the standard
+// pane decomposition: each pane is one OnlineStatsAccumulator, a window is
+// the merge of window_jobs / slide_jobs consecutive panes).
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "cpw/selfsim/incremental.hpp"
+#include "cpw/workload/online_stats.hpp"
+
+namespace cpw::online {
+
+struct OnlineOptions {
+  /// Jobs per window. Windows close on job count, not wall time — the
+  /// paper's time-slicing is length-based too (§6), and count keeps the
+  /// sketch error uniform across windows.
+  std::size_t window_jobs = 1024;
+  /// Hop between window starts; 0 (or == window_jobs) means tumbling.
+  /// Must divide window_jobs.
+  std::size_t slide_jobs = 0;
+  workload::OnlineStatsOptions stats;
+  selfsim::HurstOptions hurst;
+  /// Incremental Hurst tracking of the cumulative attribute series; off
+  /// saves ~4 running series plus O(new blocks) per job.
+  bool track_hurst = true;
+  std::size_t hurst_max_samples = std::size_t{1} << 20;
+};
+
+/// Incremental R/S + variance-time estimates of one attribute series.
+struct AttributeDrift {
+  workload::Attribute attribute = workload::Attribute::kProcessors;
+  selfsim::HurstEstimate rs;
+  selfsim::HurstEstimate variance_time;
+};
+
+/// Everything reported when one window closes.
+struct WindowStats {
+  std::size_t index = 0;      ///< 0-based window sequence number
+  std::size_t first_job = 0;  ///< stream index of the window's first job
+  std::size_t jobs = 0;
+  workload::WorkloadStats window;      ///< this window alone
+  workload::WorkloadStats cumulative;  ///< the whole stream so far
+  std::array<AttributeDrift, 4> hurst;
+  bool hurst_estimated = false;  ///< false until kMinHurstLength samples
+};
+
+class OnlineCharacterizer {
+ public:
+  explicit OnlineCharacterizer(std::string name, OnlineOptions options = {});
+
+  /// Feeds one job, in arrival order. Closed windows queue up for poll().
+  void add(const swf::Job& job);
+
+  /// Next closed window, oldest first.
+  [[nodiscard]] std::optional<WindowStats> poll();
+
+  /// Closes a final partial window over the un-reported tail (needs >= 2
+  /// tail jobs; fewer are silently left unreported).
+  void flush();
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return total_jobs_; }
+  [[nodiscard]] std::size_t windows_closed() const noexcept {
+    return windows_closed_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Machine size every window resolves against: the options override when
+  /// set, else the largest job seen so far — shared across windows so the
+  /// normalized-parallelism variables stay comparable between them.
+  [[nodiscard]] double machine() const;
+
+  /// Table 1 variables over everything streamed so far (needs >= 2 jobs).
+  [[nodiscard]] workload::WorkloadStats cumulative_stats() const;
+
+  [[nodiscard]] const workload::OnlineStatsAccumulator& cumulative()
+      const noexcept {
+    return cumulative_;
+  }
+  [[nodiscard]] const selfsim::IncrementalHurst& hurst_tracker(
+      workload::Attribute attribute) const;
+
+ private:
+  void close_window();
+
+  std::string name_;
+  OnlineOptions options_;
+  std::size_t pane_jobs_;  ///< resolved pane size (slide, or window)
+  std::size_t panes_per_window_;
+
+  std::size_t total_jobs_ = 0;
+  std::size_t windows_closed_ = 0;
+
+  workload::OnlineStatsAccumulator current_pane_;
+  std::size_t current_pane_jobs_ = 0;
+  std::deque<workload::OnlineStatsAccumulator> panes_;
+  workload::OnlineStatsAccumulator cumulative_;
+
+  std::array<selfsim::IncrementalHurst, 4> hurst_;
+  double last_submit_ = 0.0;  ///< for the cumulative inter-arrival series
+
+  std::deque<WindowStats> closed_;
+};
+
+}  // namespace cpw::online

@@ -1,0 +1,141 @@
+#pragma once
+
+// Live Co-plot trajectories: every closed window becomes one observation
+// (workload, window) in a rolling Co-plot, re-embedded after each arrival
+// and Procrustes-aligned to the previous map on their common points so the
+// axes cannot flip or spin between windows. Each workload's path through
+// the aligned embedding space is recorded, and two kinds of drift events
+// fire:
+//
+//   "jump"       — a workload's new point steps much farther than its own
+//                  trailing steps. Co-plot variables are z-normalized, so
+//                  sampling noise alone spreads a stationary stream across
+//                  the whole map — absolute step size carries no signal,
+//                  but the ratio of the new step to the workload's trailing
+//                  median step does: a regime change compresses the old
+//                  windows into one cluster and lands the new point far
+//                  outside it.
+//   "alienation" — the coefficient of alienation spikes AND crosses the
+//                  paper's Θ < 0.15 quality bar: the 2-D summary abruptly
+//                  stopped fitting the data.
+//
+// Events are counted in cpw_drift_events_total{workload,kind}.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::online {
+
+struct TrajectoryOptions {
+  TrajectoryOptions() {
+    // Classical MDS: deterministic and restart-free, so successive maps
+    // differ only through the data — the right default for change
+    // detection (an SSA restart landing in another local optimum would
+    // read as drift).
+    coplot.embedding_method = coplot::EmbeddingMethod::kClassical;
+  }
+
+  coplot::Options coplot;
+  /// Variable codes to embed; empty means all 18 Table 1 codes. Codes
+  /// that are NaN for any observation or constant across all of them are
+  /// dropped per re-embedding.
+  std::vector<std::string> codes;
+  /// Minimum usable codes to attempt an embedding at all.
+  std::size_t min_variables = 4;
+  /// Jump drift: fires when the workload's newest step (in the current
+  /// aligned map) exceeds this multiple of its trailing median step. The
+  /// trailing median is floored at 5% of the map's RMS radius so an
+  /// all-identical history cannot turn numeric dust into an alarm.
+  double jump_threshold = 4.0;
+  /// Alienation drift: fires when the coefficient of alienation rises by
+  /// more than this between consecutive maps...
+  double alienation_spike = 0.10;
+  /// ...AND ends above this absolute level (the paper's Θ < 0.15 bar).
+  /// The early maps' alienation settles upward from ~0 as points
+  /// accumulate; that rise is convergence, not drift.
+  double alienation_bad_fit = 0.15;
+  /// No alienation events until the map holds this many points. The
+  /// coefficient is estimated from n(n-1)/2 dissimilarities, and below
+  /// ~66 pairs (n = 12) consecutive noise maps swing it by more than the
+  /// spike threshold.
+  std::size_t alienation_min_points = 12;
+  /// No jump events until a workload has this many embedded windows (the
+  /// first maps are too unstable to alarm on, and the trailing-median
+  /// baseline needs at least min_windows - 1 prior steps).
+  std::size_t min_windows = 3;
+  /// Observation cap; the oldest windows are evicted beyond it, keeping
+  /// each re-embedding O(max_points²) regardless of stream length.
+  std::size_t max_points = 96;
+};
+
+struct DriftEvent {
+  std::uint64_t window = 0;
+  std::string workload;
+  std::string kind;  ///< "jump" or "alienation"
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+struct TrajectoryPoint {
+  std::string workload;
+  std::uint64_t window = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class TrajectoryTracker {
+ public:
+  explicit TrajectoryTracker(TrajectoryOptions options = {});
+
+  /// Adds one closed window's stats, re-embeds, aligns, and returns any
+  /// drift events raised by this arrival (also counted in the obs
+  /// registry). Before enough observations/variables exist to embed,
+  /// returns empty.
+  std::vector<DriftEvent> add(const std::string& workload,
+                              std::uint64_t window,
+                              const workload::WorkloadStats& stats);
+
+  /// Aligned coordinates of every currently tracked observation, in
+  /// insertion order.
+  [[nodiscard]] const std::vector<TrajectoryPoint>& path() const noexcept {
+    return path_;
+  }
+
+  /// Latest Co-plot run (embedding coordinates are aligned in `path()`,
+  /// not here). Empty until the first successful embedding.
+  [[nodiscard]] const std::optional<coplot::Result>& last() const noexcept {
+    return last_;
+  }
+
+  [[nodiscard]] double alienation() const noexcept { return alienation_; }
+  [[nodiscard]] std::size_t points() const noexcept { return obs_.size(); }
+  [[nodiscard]] std::size_t embeddings() const noexcept { return embeddings_; }
+
+ private:
+  struct Observation {
+    std::string workload;
+    std::uint64_t window = 0;
+    workload::WorkloadStats stats;
+  };
+
+  TrajectoryOptions options_;
+  std::deque<Observation> obs_;
+  std::vector<TrajectoryPoint> path_;  ///< aligned, insertion order
+  std::optional<coplot::Result> last_;
+  double alienation_ = 1.0;
+  bool have_alienation_ = false;
+  std::size_t embeddings_ = 0;
+  /// Aligned coordinates from the previous embedding, keyed by
+  /// (workload, window) — the anchor set for the next Procrustes fit.
+  std::map<std::pair<std::string, std::uint64_t>, std::pair<double, double>>
+      aligned_;
+};
+
+}  // namespace cpw::online

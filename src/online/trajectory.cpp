@@ -1,0 +1,190 @@
+#include "cpw/online/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpw/obs/metrics.hpp"
+
+namespace cpw::online {
+
+namespace {
+
+std::string observation_label(const std::string& workload,
+                              std::uint64_t window) {
+  return workload + "#" + std::to_string(window);
+}
+
+/// RMS distance of the map's points from their centroid — the scale every
+/// jump distance is normalized by.
+double rms_radius(const mds::Embedding& embedding) {
+  const std::size_t n = embedding.size();
+  if (n == 0) return 0.0;
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cx += embedding.x[i];
+    cy += embedding.y[i];
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = embedding.x[i] - cx;
+    const double dy = embedding.y[i] - cy;
+    ss += dx * dx + dy * dy;
+  }
+  return std::sqrt(ss / static_cast<double>(n));
+}
+
+}  // namespace
+
+TrajectoryTracker::TrajectoryTracker(TrajectoryOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<DriftEvent> TrajectoryTracker::add(
+    const std::string& workload, std::uint64_t window,
+    const workload::WorkloadStats& stats) {
+  obs_.push_back({workload, window, stats});
+  while (obs_.size() > options_.max_points) {
+    const auto& evicted = obs_.front();
+    aligned_.erase({evicted.workload, evicted.window});
+    obs_.pop_front();
+  }
+
+  std::vector<DriftEvent> events;
+  if (obs_.size() < 3) return events;
+
+  // Usable codes: finite for every observation and non-constant across
+  // them (a constant column z-normalizes to zeros and carries no map
+  // information; for a single stream MP/SF/AL are constants).
+  const std::vector<std::string>& candidates =
+      options_.codes.empty() ? workload::WorkloadStats::all_codes()
+                             : options_.codes;
+  std::vector<std::string> codes;
+  for (const auto& code : candidates) {
+    bool usable = true;
+    bool constant = true;
+    const double first = obs_.front().stats.get(code);
+    for (const auto& o : obs_) {
+      const double v = o.stats.get(code);
+      if (!std::isfinite(v)) {
+        usable = false;
+        break;
+      }
+      if (v != first) constant = false;
+    }
+    if (usable && !constant) codes.push_back(code);
+  }
+  if (codes.size() < options_.min_variables) return events;
+
+  coplot::Dataset dataset;
+  dataset.variable_names = codes;
+  dataset.values = Matrix(obs_.size(), codes.size());
+  for (std::size_t i = 0; i < obs_.size(); ++i) {
+    dataset.observation_names.push_back(
+        observation_label(obs_[i].workload, obs_[i].window));
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      dataset.values(i, j) = obs_[i].stats.get(codes[j]);
+    }
+  }
+
+  coplot::Result result = coplot::analyze(dataset, options_.coplot);
+  mds::Embedding aligned_map = result.embedding;
+
+  // Anchor the new map to the previous one on the observations both maps
+  // contain, then carry every point (including the brand-new one) through
+  // the same similarity transform. Without this, an MDS sign flip between
+  // windows would register as a giant spurious jump.
+  if (!aligned_.empty()) {
+    mds::Embedding prev_common, new_common;
+    for (std::size_t i = 0; i < obs_.size(); ++i) {
+      const auto it = aligned_.find({obs_[i].workload, obs_[i].window});
+      if (it == aligned_.end()) continue;
+      prev_common.x.push_back(it->second.first);
+      prev_common.y.push_back(it->second.second);
+      new_common.x.push_back(result.embedding.x[i]);
+      new_common.y.push_back(result.embedding.y[i]);
+    }
+    if (prev_common.size() >= 2) {
+      const auto fit = mds::procrustes_fit(prev_common, new_common,
+                                           /*allow_reflection=*/true,
+                                           /*allow_scaling=*/false);
+      mds::apply_transform(fit, aligned_map);
+    }
+  }
+
+  aligned_.clear();
+  path_.clear();
+  for (std::size_t i = 0; i < obs_.size(); ++i) {
+    aligned_[{obs_[i].workload, obs_[i].window}] = {aligned_map.x[i],
+                                                    aligned_map.y[i]};
+    path_.push_back({obs_[i].workload, obs_[i].window, aligned_map.x[i],
+                     aligned_map.y[i]});
+  }
+
+  // Jump drift: the workload's newest step against its own trailing steps,
+  // every position read from the CURRENT aligned map so the comparison is
+  // within one coordinate frame. Absolute step size is meaningless here —
+  // z-normalization spreads even a stationary stream's sampling noise
+  // across the whole map — but a regime change compresses the pre-change
+  // windows into one cluster and lands the new point far outside it, so
+  // the new step becomes a large multiple of the trailing median step.
+  std::vector<std::pair<std::uint64_t, std::size_t>> mine;
+  for (std::size_t i = 0; i < obs_.size(); ++i) {
+    if (obs_[i].workload == workload) mine.emplace_back(obs_[i].window, i);
+  }
+  std::sort(mine.begin(), mine.end());
+  if (mine.size() >= options_.min_windows + 1) {
+    std::vector<double> steps;
+    steps.reserve(mine.size() - 1);
+    for (std::size_t i = 1; i < mine.size(); ++i) {
+      const std::size_t a = mine[i - 1].second;
+      const std::size_t b = mine[i].second;
+      const double dx = aligned_map.x[b] - aligned_map.x[a];
+      const double dy = aligned_map.y[b] - aligned_map.y[a];
+      steps.push_back(std::sqrt(dx * dx + dy * dy));
+    }
+    const double current = steps.back();
+    std::vector<double> trailing(steps.begin(), steps.end() - 1);
+    std::nth_element(trailing.begin(),
+                     trailing.begin() + trailing.size() / 2, trailing.end());
+    const double median = trailing[trailing.size() / 2];
+    // Floor at 5% of the map scale: a history of near-identical windows
+    // has a near-zero median step, and dividing by it would turn numeric
+    // dust into an alarm.
+    const double floor = 0.05 * rms_radius(aligned_map);
+    const double baseline = std::max(median, floor);
+    if (baseline > 0.0) {
+      const double ratio = current / baseline;
+      if (ratio > options_.jump_threshold) {
+        events.push_back(
+            {window, workload, "jump", ratio, options_.jump_threshold});
+      }
+    }
+  }
+
+  // Alienation drift: the 2-D summary abruptly fits worse, ending past the
+  // paper's Θ < 0.15 quality bar. The absolute gate matters because early
+  // maps settle upward from alienation ~0 as points accumulate — that rise
+  // is convergence, not drift.
+  if (have_alienation_ && obs_.size() >= options_.alienation_min_points) {
+    const double delta = result.alienation - alienation_;
+    if (delta > options_.alienation_spike &&
+        result.alienation > options_.alienation_bad_fit) {
+      events.push_back({window, workload, "alienation", delta,
+                        options_.alienation_spike});
+    }
+  }
+  alienation_ = result.alienation;
+  have_alienation_ = true;
+  last_ = std::move(result);
+  ++embeddings_;
+
+  for (const auto& event : events) {
+    obs::counter("cpw_drift_events_total",
+                 {{"workload", event.workload}, {"kind", event.kind}})
+        .add(1);
+  }
+  return events;
+}
+
+}  // namespace cpw::online

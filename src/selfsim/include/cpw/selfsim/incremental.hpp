@@ -1,0 +1,93 @@
+#pragma once
+
+// Incremental R/S and variance-time Hurst estimation for the online
+// characterization path (cpw::online). The batch estimators rescan the
+// whole series per call; this tracker appends jobs as they arrive and
+// memoizes per-block-size partial sums, so querying after each closed
+// window costs O(new blocks) instead of O(n · levels).
+//
+// Correctness contract (asserted in tests): querying the tracker is
+// bit-identical to calling the prefix-sharing batch overloads
+// `hurst_rs(series, tracker.prefix(), options)` /
+// `hurst_variance_time(series, tracker.prefix(), options)` on the full
+// appended series — the tracker performs the same per-block additions in
+// the same order, just spread over time. Note the tracker's prefix is a
+// plain sequential running sum; the SIMD blocked prefix used by the batch
+// engine associates additions differently and is not append-stable, so
+// tracker estimates agree with the fully batch path only to rounding
+// (~1e-6 relative), which the tests also pin.
+
+#include <cstddef>
+#include <map>
+#include <span>
+
+#include "cpw/selfsim/hurst.hpp"
+
+namespace cpw::selfsim {
+
+class IncrementalHurst {
+ public:
+  explicit IncrementalHurst(HurstOptions options = {},
+                            std::size_t max_samples = std::size_t{1} << 20);
+
+  /// Appends one value / a batch of values and extends every memoized
+  /// block-size accumulator over the newly completed blocks. Appends past
+  /// `max_samples` are dropped (the estimate saturates; see `dropped()`).
+  void append(double value);
+  void append(std::span<const double> values);
+
+  /// R/S (pox) estimate over everything appended so far. Below
+  /// `kMinHurstLength` samples, returns a NaN-backed estimate with empty
+  /// diagnostic points instead of throwing — an online window simply has
+  /// no estimate yet.
+  [[nodiscard]] HurstEstimate rs() const;
+
+  /// Variance-time estimate; same length convention as `rs()`.
+  [[nodiscard]] HurstEstimate variance_time() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return series_.size(); }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool ready() const noexcept {
+    return series_.size() >= kMinHurstLength;
+  }
+
+  /// The appended series and its sequential running-sum prefix, exposed so
+  /// callers (tests, diagnostics) can feed the prefix-sharing batch
+  /// estimators and check bit-identity.
+  [[nodiscard]] std::span<const double> series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] const SeriesPrefix& prefix() const noexcept { return prefix_; }
+
+  [[nodiscard]] const HurstOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Per-block-size R/S state: `total`/`used` mirror average_rs's
+  /// accumulators, frozen mid-scan at `blocks` processed blocks.
+  struct RsAccum {
+    std::size_t blocks = 0;
+    double total = 0.0;
+    std::size_t used = 0;
+  };
+  /// Per-aggregation-level variance-time state: Σ block-mean and
+  /// Σ block-mean² over the first `blocks` blocks.
+  struct VtAccum {
+    std::size_t blocks = 0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+  };
+
+  void extend_accumulators();
+
+  HurstOptions options_;
+  std::size_t max_samples_;
+  std::size_t dropped_ = 0;
+  std::vector<double> series_;
+  SeriesPrefix prefix_;  ///< sequential running sums, appended in step
+  std::map<std::size_t, RsAccum> rs_;
+  std::map<std::size_t, VtAccum> vt_;
+};
+
+}  // namespace cpw::selfsim

@@ -1,0 +1,156 @@
+#include "cpw/selfsim/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpw/stats/regression.hpp"
+#include "cpw/util/error.hpp"
+
+namespace cpw::selfsim {
+
+namespace {
+
+/// Same mapping as the batch estimators' from_points helper: fewer than two
+/// log-log points yields a NaN estimate, otherwise H = offset + scale·slope.
+HurstEstimate assemble(LogLogPoints points, double scale, double offset) {
+  HurstEstimate est;
+  est.points = std::move(points);
+  if (est.points.log_x.size() < 2) {
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  const auto fit = stats::ols(est.points.log_x, est.points.log_y);
+  est.slope = fit.slope;
+  est.r2 = fit.r2;
+  est.hurst = offset + scale * fit.slope;
+  return est;
+}
+
+std::vector<std::size_t> rs_sizes(std::size_t n, const HurstOptions& options) {
+  const auto max_block = static_cast<std::size_t>(
+      options.max_block_fraction * static_cast<double>(n));
+  return log_spaced_sizes(options.min_block,
+                          std::max(max_block, options.min_block),
+                          options.points_per_decade);
+}
+
+std::vector<std::size_t> vt_sizes(std::size_t n, const HurstOptions& options) {
+  return log_spaced_sizes(1, std::max<std::size_t>(n / 16, 2),
+                          options.points_per_decade);
+}
+
+}  // namespace
+
+IncrementalHurst::IncrementalHurst(HurstOptions options,
+                                   std::size_t max_samples)
+    : options_(std::move(options)), max_samples_(max_samples) {
+  CPW_REQUIRE(max_samples_ >= kMinHurstLength,
+              "IncrementalHurst max_samples below minimum series length");
+  prefix_.sum.push_back(0.0);
+  prefix_.sumsq.push_back(0.0);
+}
+
+void IncrementalHurst::append(double value) {
+  append(std::span<const double>(&value, 1));
+}
+
+void IncrementalHurst::append(std::span<const double> values) {
+  for (const double v : values) {
+    if (series_.size() >= max_samples_) {
+      ++dropped_;
+      continue;
+    }
+    series_.push_back(v);
+    prefix_.sum.push_back(prefix_.sum.back() + v);
+    prefix_.sumsq.push_back(prefix_.sumsq.back() + v * v);
+  }
+  extend_accumulators();
+}
+
+void IncrementalHurst::extend_accumulators() {
+  const std::size_t n = series_.size();
+  if (n == 0) return;
+
+  // The size lists only ever gain entries as n grows (geometric sequence
+  // from a fixed minimum, clamped at the top), so extending every size in
+  // the current lists covers all memoized state.
+  for (const std::size_t block : rs_sizes(n, options_)) {
+    options_.stop.throw_if_stopped("incremental_hurst_rs");
+    auto& acc = rs_[block];
+    const std::size_t blocks = n / block;
+    // Same per-block scan as average_rs, in the same block order, so the
+    // running total is bit-identical to the batch accumulation.
+    for (std::size_t b = acc.blocks; b < blocks; ++b) {
+      const std::size_t begin = b * block;
+      const double mean = prefix_.mean(begin, begin + block);
+      const double sd = std::sqrt(prefix_.variance(begin, begin + block));
+      if (sd > 0.0) {
+        double w = 0.0, w_min = 0.0, w_max = 0.0;
+        for (std::size_t i = begin; i < begin + block; ++i) {
+          w += series_[i] - mean;
+          w_min = std::min(w_min, w);
+          w_max = std::max(w_max, w);
+        }
+        acc.total += (w_max - w_min) / sd;
+        ++acc.used;
+      }
+    }
+    acc.blocks = blocks;
+  }
+
+  for (const std::size_t m : vt_sizes(n, options_)) {
+    options_.stop.throw_if_stopped("incremental_hurst_vt");
+    auto& acc = vt_[m];
+    const std::size_t blocks = n / m;
+    for (std::size_t b = acc.blocks; b < blocks; ++b) {
+      const double bm = prefix_.mean(b * m, (b + 1) * m);
+      acc.s1 += bm;
+      acc.s2 += bm * bm;
+    }
+    acc.blocks = blocks;
+  }
+}
+
+HurstEstimate IncrementalHurst::rs() const {
+  if (!ready()) {
+    HurstEstimate est;
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  LogLogPoints points;
+  for (const std::size_t block : rs_sizes(series_.size(), options_)) {
+    const auto it = rs_.find(block);
+    if (it == rs_.end()) continue;
+    const auto& acc = it->second;
+    const double avg =
+        acc.used == 0 ? 0.0 : acc.total / static_cast<double>(acc.used);
+    if (avg <= 0.0) continue;
+    points.log_x.push_back(std::log10(static_cast<double>(block)));
+    points.log_y.push_back(std::log10(avg));
+  }
+  return assemble(std::move(points), 1.0, 0.0);
+}
+
+HurstEstimate IncrementalHurst::variance_time() const {
+  if (!ready()) {
+    HurstEstimate est;
+    est.hurst = std::numeric_limits<double>::quiet_NaN();
+    return est;
+  }
+  LogLogPoints points;
+  for (const std::size_t m : vt_sizes(series_.size(), options_)) {
+    const auto it = vt_.find(m);
+    if (it == vt_.end()) continue;
+    const auto& acc = it->second;
+    if (acc.blocks < 2) continue;
+    const double inv = 1.0 / static_cast<double>(acc.blocks);
+    const double var = acc.s2 * inv - (acc.s1 * inv) * (acc.s1 * inv);
+    if (var <= 0.0) continue;
+    points.log_x.push_back(std::log10(static_cast<double>(m)));
+    points.log_y.push_back(std::log10(var));
+  }
+  return assemble(std::move(points), 0.5, 1.0);
+}
+
+}  // namespace cpw::selfsim

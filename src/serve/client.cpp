@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -138,6 +139,51 @@ SubmitReport Client::submit_inline(const std::string& tenant,
   SubmitReport out;
   out.id = reader.u64();
   out.windowed = reader.u8() != 0;
+  return out;
+}
+
+SubmitReport Client::subscribe(const std::string& tenant,
+                               const std::vector<std::string>& paths,
+                               std::uint32_t window_jobs) {
+  PayloadWriter payload;
+  payload.str(tenant);
+  payload.u32(static_cast<std::uint32_t>(paths.size()));
+  for (const std::string& path : paths) payload.str(path);
+  payload.u32(window_jobs);
+  const Frame reply = round_trip(MessageType::kSubscribe, payload.bytes(),
+                                 MessageType::kSubscribeReply);
+  PayloadReader reader(reply.payload);
+  SubmitReport out;
+  out.id = reader.u64();
+  out.windowed = reader.u8() != 0;
+  return out;
+}
+
+PollReport Client::poll(std::uint64_t id, std::uint64_t after,
+                        std::uint32_t max) {
+  PayloadWriter payload;
+  payload.u64(id);
+  payload.u64(after);
+  payload.u32(max);
+  const Frame reply = round_trip(MessageType::kPoll, payload.bytes(),
+                                 MessageType::kPollReply);
+  PayloadReader reader(reply.payload);
+  PollReport out;
+  out.id = reader.u64();
+  out.status = static_cast<RequestStatus>(reader.u8());
+  out.error = reader.str();
+  out.next = reader.u64();
+  const std::uint32_t count = reader.u32();
+  out.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    online::DriftEvent event;
+    event.window = reader.u64();
+    event.workload = reader.str();
+    event.kind = reader.str();
+    event.value = std::bit_cast<double>(reader.u64());
+    event.threshold = std::bit_cast<double>(reader.u64());
+    out.events.push_back(std::move(event));
+  }
   return out;
 }
 

@@ -30,6 +30,15 @@ struct SubmitReport {
   bool windowed = false;  ///< daemon demoted the request to windowed ingest
 };
 
+/// One kPollReply: drift events past the cursor plus the request's state.
+struct PollReport {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kQueued;
+  std::string error;
+  std::uint64_t next = 0;  ///< cursor to pass as `after` on the next poll
+  std::vector<online::DriftEvent> events;
+};
+
 class Client {
  public:
   /// Connects to a Unix-domain socket. Throws cpw::Error(kIo) on failure.
@@ -50,6 +59,17 @@ class Client {
   SubmitReport submit_inline(const std::string& tenant,
                              const std::string& name,
                              const std::string& bytes);
+
+  /// Subscribes to online windowed characterization of server-side SWF
+  /// paths; drift events stream back through poll(). window_jobs = 0 uses
+  /// the daemon's default tumbling-window size.
+  SubmitReport subscribe(const std::string& tenant,
+                         const std::vector<std::string>& paths,
+                         std::uint32_t window_jobs = 0);
+  /// Fetches drift events with index >= `after` (at most `max`; 0 = daemon
+  /// default). The stream is drained when the status is terminal and the
+  /// reply carries no events.
+  PollReport poll(std::uint64_t id, std::uint64_t after, std::uint32_t max = 0);
 
   RequestReport status(std::uint64_t id);
   /// Status plus the result digest once the request is done.

@@ -53,12 +53,29 @@ enum class MessageType : std::uint8_t {
   kResult = 3,   ///< id:u64
   kCancel = 4,   ///< id:u64
   kMetrics = 5,  ///< empty payload
+  /// tenant:string, count:u32, count × path:string, window_jobs:u32
+  /// (0 = server default). Admits a watch request: the paths are streamed
+  /// through the online windowed characterization and drift events are
+  /// buffered on the request for kPoll.
+  kSubscribe = 6,
+  /// id:u64, after:u64 (resume cursor; 0 from the start), max:u32
+  /// (event cap per reply, 0 = server default).
+  kPoll = 7,
 
   kSubmitReply = 0x81,   ///< id:u64, windowed:u8
   kStatusReply = 0x82,   ///< id:u64, status:u8, error:string
   kResultReply = 0x83,   ///< id:u64, status:u8, digest:string, error:string
   kCancelReply = 0x84,   ///< id:u64, cancelled:u8
   kMetricsReply = 0x85,  ///< text:string (Prometheus exposition format)
+  /// id:u64, windowed:u8 (the subscription admits like a submit; windowed
+  /// demotion applies identically).
+  kSubscribeReply = 0x86,
+  /// id:u64, status:u8 (RequestStatus), error:string, next:u64 (cursor to
+  /// pass as `after` on the next poll), count:u32, then count ×
+  /// { window:u64, workload:string, kind:string, value:u64 (double bits),
+  ///   threshold:u64 (double bits) }. Terminal status + count 0 means the
+  /// stream is drained.
+  kPollReply = 0x87,
   kError = 0xFF,         ///< message:string
 };
 

@@ -23,10 +23,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cpw/online/trajectory.hpp"
 #include "cpw/util/stop_token.hpp"
 
 namespace cpw::serve {
@@ -55,12 +57,18 @@ struct RequestState {
   /// True when input_bytes exceeded the tenant budget and the executor
   /// will run the windowed (out-of-core) ingest.
   bool windowed = false;
+  /// Watch subscription: the executor runs the online windowed
+  /// characterization and appends drift events for kPoll instead of
+  /// producing a digest.
+  bool watch = false;
+  std::uint32_t window_jobs = 0;  ///< subscription window size; 0 = default
   StopSource stop;
 
   // Fields below are guarded by the owning AdmissionQueue's mutex.
   RequestStatus status = RequestStatus::kQueued;
   std::string error;
   std::string digest;  ///< canonical result digest once status == kDone
+  std::vector<online::DriftEvent> events;  ///< watch requests only
   std::chrono::steady_clock::time_point queued_at{};
   std::chrono::steady_clock::time_point finished_at{};
 };
@@ -85,6 +93,23 @@ class AdmissionQueue {
   /// total size of the request's input files (stat'ed by the caller).
   AdmitResult submit(std::string tenant, std::vector<std::string> paths,
                      std::string spool_path, std::uint64_t input_bytes);
+
+  /// Watch variant of submit: same admission rules (queue-depth cap,
+  /// windowed demotion), but the request is flagged as a subscription and
+  /// carries the tumbling-window size (0 = server default).
+  AdmitResult subscribe(std::string tenant, std::vector<std::string> paths,
+                        std::uint64_t input_bytes, std::uint32_t window_jobs);
+
+  /// Appends drift events from a watch executor; poll_events exposes them.
+  void append_events(const std::shared_ptr<RequestState>& request,
+                     std::span<const online::DriftEvent> events);
+
+  /// Copies up to `max` events with index >= `after` into `out` and
+  /// reports the cursor to pass as `after` next time, plus the request's
+  /// current status/error. False when the id is unknown.
+  bool poll_events(std::uint64_t id, std::uint64_t after, std::uint32_t max,
+                   std::vector<online::DriftEvent>& out, std::uint64_t& next,
+                   RequestStatus& status, std::string& error) const;
 
   /// Blocks for the next runnable request, fair across tenants; marks it
   /// kRunning. Returns nullptr once close()d and drained.
@@ -113,6 +138,10 @@ class AdmissionQueue {
   [[nodiscard]] std::size_t depth() const;
 
  private:
+  AdmitResult admit(std::string tenant, std::vector<std::string> paths,
+                    std::string spool_path, std::uint64_t input_bytes,
+                    bool watch, std::uint32_t window_jobs);
+
   const std::size_t max_queued_per_tenant_;
   const std::uint64_t tenant_budget_bytes_;
 

@@ -84,6 +84,12 @@ struct ServerOptions {
 
   /// Retry policy for the socket fault sites.
   fault::RetryPolicy retry;
+
+  /// Default tumbling-window size for kSubscribe requests that pass
+  /// window_jobs = 0.
+  std::uint32_t watch_window_jobs = 1024;
+  /// Default per-reply event cap for kPoll requests that pass max = 0.
+  std::uint32_t poll_max_events = 64;
 };
 
 class Server {
@@ -115,6 +121,13 @@ class Server {
   /// Dispatches one decoded frame; returns the encoded reply frame.
   std::vector<std::uint8_t> handle_frame(const Frame& frame);
   std::vector<std::uint8_t> handle_submit(const Frame& frame);
+  std::vector<std::uint8_t> handle_subscribe(const Frame& frame);
+  std::vector<std::uint8_t> handle_poll(const Frame& frame);
+  /// Watch-request executor body: online windowed characterization with
+  /// drift events appended to the request as they fire.
+  void run_watch(const std::shared_ptr<RequestState>& request,
+                 RequestStatus& status, std::string& digest_text,
+                 std::string& error);
   void serve_http(int fd, std::string initial);
 
   ServerOptions options_;

@@ -31,11 +31,15 @@ bool valid_message_type(std::uint8_t raw) noexcept {
     case MessageType::kResult:
     case MessageType::kCancel:
     case MessageType::kMetrics:
+    case MessageType::kSubscribe:
+    case MessageType::kPoll:
     case MessageType::kSubmitReply:
     case MessageType::kStatusReply:
     case MessageType::kResultReply:
     case MessageType::kCancelReply:
     case MessageType::kMetricsReply:
+    case MessageType::kSubscribeReply:
+    case MessageType::kPollReply:
     case MessageType::kError:
       return true;
   }

@@ -33,6 +33,23 @@ AdmitResult AdmissionQueue::submit(std::string tenant,
                                    std::vector<std::string> paths,
                                    std::string spool_path,
                                    std::uint64_t input_bytes) {
+  return admit(std::move(tenant), std::move(paths), std::move(spool_path),
+               input_bytes, /*watch=*/false, /*window_jobs=*/0);
+}
+
+AdmitResult AdmissionQueue::subscribe(std::string tenant,
+                                      std::vector<std::string> paths,
+                                      std::uint64_t input_bytes,
+                                      std::uint32_t window_jobs) {
+  return admit(std::move(tenant), std::move(paths), /*spool_path=*/{},
+               input_bytes, /*watch=*/true, window_jobs);
+}
+
+AdmitResult AdmissionQueue::admit(std::string tenant,
+                                  std::vector<std::string> paths,
+                                  std::string spool_path,
+                                  std::uint64_t input_bytes, bool watch,
+                                  std::uint32_t window_jobs) {
   AdmitResult out;
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) {
@@ -62,6 +79,8 @@ AdmitResult AdmissionQueue::submit(std::string tenant,
   request->input_bytes = input_bytes;
   request->windowed =
       tenant_budget_bytes_ > 0 && input_bytes > tenant_budget_bytes_;
+  request->watch = watch;
+  request->window_jobs = window_jobs;
   request->queued_at = std::chrono::steady_clock::now();
   out.admitted = true;
   out.id = request->id;
@@ -113,6 +132,36 @@ void AdmissionQueue::finish(const std::shared_ptr<RequestState>& request,
   obs::counter("cpwd_requests_finished_total",
                {{"status", request_status_name(status)}})
       .add();
+}
+
+void AdmissionQueue::append_events(
+    const std::shared_ptr<RequestState>& request,
+    std::span<const online::DriftEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  request->events.insert(request->events.end(), events.begin(), events.end());
+}
+
+bool AdmissionQueue::poll_events(std::uint64_t id, std::uint64_t after,
+                                 std::uint32_t max,
+                                 std::vector<online::DriftEvent>& out,
+                                 std::uint64_t& next, RequestStatus& status,
+                                 std::string& error) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = requests_.find(id);
+  if (found == requests_.end()) return false;
+  const auto& request = *found->second;
+  status = request.status;
+  error = request.error;
+  out.clear();
+  const std::uint64_t total = request.events.size();
+  std::uint64_t cursor = std::min(after, total);
+  while (cursor < total && out.size() < max) {
+    out.push_back(request.events[cursor]);
+    ++cursor;
+  }
+  next = cursor;
+  return true;
 }
 
 bool AdmissionQueue::cancel(std::uint64_t id) {

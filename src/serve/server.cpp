@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -16,6 +17,7 @@
 #include <utility>
 
 #include "cpw/analysis/digest.hpp"
+#include "cpw/analysis/watch.hpp"
 #include "cpw/fault/fault.hpp"
 #include "cpw/obs/export.hpp"
 #include "cpw/obs/metrics.hpp"
@@ -448,6 +450,10 @@ std::vector<std::uint8_t> Server::handle_frame(const Frame& frame) {
         reply.str(obs::to_prometheus(obs::registry().snapshot()));
         return encode_frame(MessageType::kMetricsReply, reply.bytes());
       }
+      case MessageType::kSubscribe:
+        return handle_subscribe(frame);
+      case MessageType::kPoll:
+        return handle_poll(frame);
       default:
         return error_frame("frame type " +
                            std::to_string(static_cast<int>(frame.type)) +
@@ -509,6 +515,100 @@ std::vector<std::uint8_t> Server::handle_submit(const Frame& frame) {
   return encode_frame(MessageType::kSubmitReply, reply.bytes());
 }
 
+std::vector<std::uint8_t> Server::handle_subscribe(const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::string tenant = reader.str();
+  const std::uint32_t count = reader.u32();
+  std::vector<std::string> paths;
+  paths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) paths.push_back(reader.str());
+  const std::uint32_t window_jobs = reader.u32();
+
+  std::uint64_t input_bytes = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (!ec) input_bytes += size;
+  }
+
+  const AdmitResult admitted = queue_->subscribe(
+      tenant, std::move(paths), input_bytes,
+      window_jobs != 0 ? window_jobs : options_.watch_window_jobs);
+  if (!admitted.admitted) return error_frame(admitted.error);
+  PayloadWriter reply;
+  reply.u64(admitted.id);
+  reply.u8(admitted.windowed ? 1 : 0);
+  return encode_frame(MessageType::kSubscribeReply, reply.bytes());
+}
+
+std::vector<std::uint8_t> Server::handle_poll(const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  const std::uint64_t id = reader.u64();
+  const std::uint64_t after = reader.u64();
+  const std::uint32_t raw_max = reader.u32();
+  const std::uint32_t max = raw_max != 0 ? raw_max : options_.poll_max_events;
+
+  std::vector<online::DriftEvent> events;
+  std::uint64_t next = 0;
+  RequestStatus status{};
+  std::string error;
+  if (!queue_->poll_events(id, after, max, events, next, status, error)) {
+    return error_frame("unknown request id " + std::to_string(id));
+  }
+  PayloadWriter reply;
+  reply.u64(id);
+  reply.u8(static_cast<std::uint8_t>(status));
+  reply.str(error);
+  reply.u64(next);
+  reply.u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& event : events) {
+    reply.u64(event.window);
+    reply.str(event.workload);
+    reply.str(event.kind);
+    reply.u64(std::bit_cast<std::uint64_t>(event.value));
+    reply.u64(std::bit_cast<std::uint64_t>(event.threshold));
+  }
+  return encode_frame(MessageType::kPollReply, reply.bytes());
+}
+
+void Server::run_watch(const std::shared_ptr<RequestState>& request,
+                       RequestStatus& status, std::string& digest_text,
+                       std::string& error) {
+  analysis::WatchOptions watch;
+  watch.stream.machine_processors = options_.batch.machine_processors;
+  watch.stream.reader.stop = request->stop.token().with_deadline(
+      options_.request_deadline_seconds);
+  watch.online.window_jobs =
+      request->window_jobs != 0 ? request->window_jobs
+                                : options_.watch_window_jobs;
+  watch.sink = [&](const online::WindowStats&,
+                   std::span<const online::DriftEvent> events) {
+    queue_->append_events(request, events);
+  };
+
+  std::size_t total_jobs = 0;
+  std::size_t total_windows = 0;
+  std::size_t total_events = 0;
+  for (const std::string& path : request->paths) {
+    const analysis::WatchReport report = analysis::watch_swf(path, watch);
+    total_jobs += report.jobs;
+    total_windows += report.windows;
+    total_events += report.events.size();
+  }
+  if (watch.stream.reader.stop.should_stop()) {
+    status = RequestStatus::kCancelled;
+    error = watch.stream.reader.stop.reason() == StopReason::kDeadline
+                ? "deadline exceeded"
+                : "cancelled";
+    return;
+  }
+  obs::counter("cpwd_watch_windows_total")
+      .add(static_cast<double>(total_windows));
+  digest_text = "watch jobs=" + std::to_string(total_jobs) +
+                " windows=" + std::to_string(total_windows) +
+                " events=" + std::to_string(total_events);
+}
+
 void Server::executor_loop() {
   while (auto request = queue_->pop()) {
     const auto started = std::chrono::steady_clock::now();
@@ -516,6 +616,19 @@ void Server::executor_loop() {
     std::string digest_text;
     std::string error;
     try {
+      if (request->watch) {
+        run_watch(request, status, digest_text, error);
+        const double watch_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        obs::histogram("cpwd_request_seconds",
+                       {{"status", request_status_name(status)}})
+            .observe(watch_seconds);
+        queue_->finish(request, status, std::move(digest_text),
+                       std::move(error));
+        continue;
+      }
       analysis::BatchOptions batch = options_.batch;
       batch.cache_dir = options_.cache_dir;
       // Pre-combine cancel + deadline into one token (instead of passing

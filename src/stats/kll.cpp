@@ -1,0 +1,185 @@
+#include "cpw/stats/kll.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::stats {
+
+namespace {
+
+/// SplitMix64 step — one 64-bit mix per compaction coin.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Compactor shrink rate c = 2/3 (the KLL paper's choice; capacities decay
+/// geometrically below the top level).
+constexpr double kShrink = 2.0 / 3.0;
+
+constexpr std::size_t kMinLevelCapacity = 8;
+
+}  // namespace
+
+KllSketch::KllSketch(std::uint16_t k, std::uint64_t seed)
+    : k_(k), coin_state_(seed) {
+  CPW_REQUIRE(k_ >= 8, "KLL k must be at least 8");
+  levels_.emplace_back();
+}
+
+std::size_t KllSketch::level_capacity(std::size_t level) const noexcept {
+  // Top level holds k items; each level below shrinks by c.
+  const std::size_t depth = levels_.size() - 1 - level;
+  double cap = static_cast<double>(k_);
+  for (std::size_t i = 0; i < depth; ++i) cap *= kShrink;
+  const auto rounded = static_cast<std::size_t>(std::ceil(cap));
+  return std::max(rounded, kMinLevelCapacity);
+}
+
+std::size_t KllSketch::capacity_budget() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    total += level_capacity(h);
+  }
+  return total;
+}
+
+void KllSketch::update(double value) {
+  CPW_REQUIRE(!std::isnan(value), "KLL sketch cannot rank NaN");
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  levels_[0].push_back(value);
+  if (retained() > capacity_budget()) compress();
+}
+
+std::size_t KllSketch::retained() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+bool KllSketch::coin() { return (mix64(coin_state_) & 1u) != 0; }
+
+void KllSketch::compress() {
+  // Compact the lowest over-full level; one pass usually suffices, but a
+  // promotion can overfill the level above, so loop until within budget.
+  while (retained() > capacity_budget()) {
+    std::size_t target = levels_.size();
+    for (std::size_t h = 0; h < levels_.size(); ++h) {
+      if (levels_[h].size() >= level_capacity(h)) {
+        target = h;
+        break;
+      }
+    }
+    if (target == levels_.size()) {
+      // Nothing individually over capacity (rounding slack): compact the
+      // largest level instead so progress is guaranteed.
+      std::size_t biggest = 0;
+      for (std::size_t h = 1; h < levels_.size(); ++h) {
+        if (levels_[h].size() > levels_[biggest].size()) biggest = h;
+      }
+      target = biggest;
+      if (levels_[target].size() < 2) return;  // cannot compact further
+    }
+    // Grow the pyramid before taking level references: emplace_back can
+    // reallocate levels_ and would dangle them.
+    if (target + 1 == levels_.size()) levels_.emplace_back();
+    auto& level = levels_[target];
+    std::sort(level.begin(), level.end());
+    // An odd item stays behind at this level so every promoted item
+    // represents exactly one discarded neighbor.
+    double leftover = 0.0;
+    bool has_leftover = false;
+    if (level.size() % 2 == 1) {
+      has_leftover = true;
+      leftover = level.back();
+      level.pop_back();
+    }
+    const std::size_t offset = coin() ? 1 : 0;
+    auto& above = levels_[target + 1];
+    for (std::size_t i = offset; i < level.size(); i += 2) {
+      above.push_back(level[i]);
+    }
+    level.clear();
+    if (has_leftover) level.push_back(leftover);
+  }
+}
+
+void KllSketch::merge(const KllSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (std::size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  if (retained() > capacity_budget()) compress();
+}
+
+double KllSketch::min() const {
+  CPW_REQUIRE(n_ > 0, "quantile of empty sketch");
+  return min_;
+}
+
+double KllSketch::max() const {
+  CPW_REQUIRE(n_ > 0, "quantile of empty sketch");
+  return max_;
+}
+
+double KllSketch::quantile(double q) const {
+  CPW_REQUIRE(n_ > 0, "quantile of empty sketch");
+  CPW_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Gather (value, weight) pairs, sort by value, walk the cumulative
+  // weight to the target rank. Retained counts are a few hundred items, so
+  // the sort is negligible next to one window close.
+  std::vector<std::pair<double, std::uint64_t>> items;
+  items.reserve(retained());
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    const std::uint64_t weight = std::uint64_t{1} << h;
+    for (const double v : levels_[h]) items.emplace_back(v, weight);
+  }
+  std::sort(items.begin(), items.end());
+
+  const double target = q * static_cast<double>(n_);
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : items) {
+    cumulative += static_cast<double>(weight);
+    if (cumulative >= target) return value;
+  }
+  return max_;
+}
+
+double KllSketch::normalized_rank_error() const noexcept {
+  return 2.296 / std::pow(static_cast<double>(k_), 0.9433);
+}
+
+void KllSketch::reset() {
+  n_ = 0;
+  min_ = max_ = 0.0;
+  levels_.clear();
+  levels_.emplace_back();
+}
+
+}  // namespace cpw::stats

@@ -1,0 +1,116 @@
+#pragma once
+
+// Sketch-backed single-pass accumulation of the Table 1 characterization
+// variables, for the online windowed path. `characterize()` buffers five
+// per-job vectors and runs destructive nth_element selections at the end;
+// this accumulator keeps O(k) state per attribute (KLL sketches, see
+// cpw/stats/kll.hpp) plus exact scalar accumulators, so a window can close
+// in O(retained · log retained) without ever materializing the job series.
+//
+// Equivalence contract (asserted in tests): over the same job sequence the
+// exact fields (MP, SF, AL, RL, CL, E, U, C) are bit-identical to
+// `characterize()` — the accumulator performs the same additions in the
+// same order — and every order-statistic field (Rm/Ri, Pm/Pi, Nm/Ni,
+// Cm/Ci, Im/Ii) is within the sketch's documented normalized rank-error
+// bound of the exact value.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "cpw/stats/kll.hpp"
+#include "cpw/swf/job.hpp"
+#include "cpw/workload/characterize.hpp"
+
+namespace cpw::workload {
+
+struct OnlineStatsOptions {
+  std::uint16_t sketch_k = stats::KllSketch::kDefaultK;
+  std::uint64_t sketch_seed = 0x9e3779b97f4a7c15ull;
+  /// Machine size; when absent, finish() falls back to the largest job
+  /// seen (streams have no MaxProcs header at accumulation time).
+  std::optional<double> machine_processors;
+  /// Environment facts (paper variables 2–3); NaN = unknown, matching
+  /// characterize()'s missing-header convention.
+  double scheduler_flexibility = std::numeric_limits<double>::quiet_NaN();
+  double allocation_flexibility = std::numeric_limits<double>::quiet_NaN();
+};
+
+class OnlineStatsAccumulator {
+ public:
+  explicit OnlineStatsAccumulator(OnlineStatsOptions options = {});
+
+  /// Folds one job in, in arrival order. Inter-arrival gaps are the
+  /// successive submit-time differences; an out-of-order submit clamps the
+  /// gap to 0 and is counted in `submit_inversions()`.
+  void add(const swf::Job& job);
+
+  /// Folds a whole accumulated pane in (sliding windows assembled from
+  /// tumbling panes). The boundary inter-arrival gap between this
+  /// accumulator's last submit and `other`'s first is accounted for.
+  void merge(const OnlineStatsAccumulator& other);
+
+  /// Resolves the Table 1 variables. Machine size: `machine` argument,
+  /// else the options override, else the largest job seen. Requires at
+  /// least two jobs (same precondition as characterize()).
+  [[nodiscard]] WorkloadStats finish(const std::string& name,
+                                     std::optional<double> machine = {}) const;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] bool empty() const noexcept { return jobs_ == 0; }
+  [[nodiscard]] std::size_t submit_inversions() const noexcept {
+    return submit_inversions_;
+  }
+  [[nodiscard]] std::int64_t max_job_processors() const noexcept {
+    return max_procs_;
+  }
+  [[nodiscard]] double first_submit() const noexcept { return first_submit_; }
+  [[nodiscard]] double last_submit() const noexcept { return last_submit_; }
+
+  /// Two-sided normalized rank-error bound of the order-statistic fields.
+  [[nodiscard]] double sketch_error() const noexcept {
+    return runtime_.normalized_rank_error();
+  }
+
+  [[nodiscard]] const stats::KllSketch& runtime_sketch() const noexcept {
+    return runtime_;
+  }
+  [[nodiscard]] const stats::KllSketch& procs_sketch() const noexcept {
+    return procs_;
+  }
+  [[nodiscard]] const stats::KllSketch& work_sketch() const noexcept {
+    return work_;
+  }
+  [[nodiscard]] const stats::KllSketch& interarrival_sketch() const noexcept {
+    return interarrival_;
+  }
+
+  void reset();
+
+ private:
+  OnlineStatsOptions options_;
+
+  std::size_t jobs_ = 0;
+  std::size_t submit_inversions_ = 0;
+  double first_submit_ = 0.0;
+  double last_submit_ = 0.0;
+  double max_end_ = 0.0;  ///< max(submit + max(run, 0)) — duration's far edge
+  std::int64_t max_procs_ = 0;
+
+  double node_seconds_ = 0.0;
+  double cpu_node_seconds_ = 0.0;
+  std::size_t with_cpu_ = 0;
+  std::size_t with_status_ = 0;
+  std::size_t completed_ = 0;
+  std::unordered_set<std::int64_t> users_;
+  std::unordered_set<std::int64_t> executables_;
+
+  stats::KllSketch runtime_;
+  stats::KllSketch procs_;  ///< Nm/Ni derive from this (linear transform)
+  stats::KllSketch work_;
+  stats::KllSketch interarrival_;
+};
+
+}  // namespace cpw::workload

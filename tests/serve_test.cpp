@@ -14,11 +14,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -190,6 +195,168 @@ TEST(Queue, CancelQueuedRemovesItBeforeExecution) {
   EXPECT_EQ(request->id, first.id);
   EXPECT_EQ(queue.depth(), 0u);
   EXPECT_FALSE(queue.cancel(9999));
+}
+
+TEST(Queue, PopOrderStaysFairAcrossTenantErasure) {
+  // Audit regression: the round-robin cursor is a tenant NAME, not an
+  // iterator, so a tenant map entry vanishing (drained or cancelled) must
+  // not skip or double-serve its neighbours. alice:2, bob:1, carol:2 —
+  // bob's FIFO empties mid-rotation.
+  serve::AdmissionQueue queue(16, 0);
+  ASSERT_TRUE(queue.submit("alice", {"a1"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("alice", {"a2"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("bob", {"b1"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("carol", {"c1"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("carol", {"c2"}, "", 1).admitted);
+  std::vector<std::string> order;
+  for (int i = 0; i < 5; ++i) {
+    auto request = queue.pop();
+    ASSERT_NE(request, nullptr);
+    order.push_back(request->tenant);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"alice", "bob", "carol", "alice",
+                                             "carol"}));
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(Queue, CancelledTenantDoesNotDisturbRotation) {
+  // The cursor sits ON bob when bob's whole queue is cancelled away; the
+  // next pop must advance to carol, then wrap to alice — never block, never
+  // serve alice twice in a row.
+  serve::AdmissionQueue queue(16, 0);
+  ASSERT_TRUE(queue.submit("alice", {"a1"}, "", 1).admitted);
+  ASSERT_TRUE(queue.submit("alice", {"a2"}, "", 1).admitted);
+  const auto b1 = queue.submit("bob", {"b1"}, "", 1);
+  const auto b2 = queue.submit("bob", {"b2"}, "", 1);
+  ASSERT_TRUE(queue.submit("carol", {"c1"}, "", 1).admitted);
+
+  EXPECT_EQ(queue.pop()->tenant, "alice");
+  EXPECT_EQ(queue.pop()->tenant, "bob");  // cursor now on bob
+  ASSERT_TRUE(queue.cancel(b2.id));       // bob's FIFO is now empty
+  EXPECT_EQ(queue.pop()->tenant, "carol");
+  EXPECT_EQ(queue.pop()->tenant, "alice");
+  EXPECT_EQ(queue.depth(), 0u);
+  // b1 ran, b2 cancelled — both still answer lookups.
+  serve::RequestStatus status{};
+  std::string digest, error;
+  ASSERT_TRUE(queue.lookup(b1.id, status, digest, error));
+  EXPECT_EQ(status, serve::RequestStatus::kRunning);
+  ASSERT_TRUE(queue.lookup(b2.id, status, digest, error));
+  EXPECT_EQ(status, serve::RequestStatus::kCancelled);
+}
+
+/// Independent model of the documented pop contract: ordered tenants, a
+/// name cursor, pop takes the front of the first non-empty FIFO strictly
+/// after the cursor (wrapping), cancel deletes the id wherever it sits.
+struct ReferenceFairQueue {
+  std::map<std::string, std::deque<std::uint64_t>> queues;
+  std::string cursor;
+
+  void submit(const std::string& tenant, std::uint64_t id) {
+    queues[tenant].push_back(id);
+  }
+  void cancel(std::uint64_t id) {
+    for (auto it = queues.begin(); it != queues.end(); ++it) {
+      auto slot = std::find(it->second.begin(), it->second.end(), id);
+      if (slot == it->second.end()) continue;
+      it->second.erase(slot);
+      if (it->second.empty()) queues.erase(it);
+      return;
+    }
+  }
+  bool empty() const { return queues.empty(); }
+  std::uint64_t pop() {
+    auto it = queues.upper_bound(cursor);
+    if (it == queues.end()) it = queues.begin();
+    cursor = it->first;
+    const std::uint64_t id = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) queues.erase(it);
+    return id;
+  }
+};
+
+TEST(Queue, RandomizedPopOrderMatchesReferenceModel) {
+  // Seeded interleaving of submits, cancels, and pops across five tenants;
+  // every popped id must match the reference model exactly, so any cursor
+  // drift introduced around tenant erasure shows up as a first-divergence.
+  serve::AdmissionQueue queue(1000, 0);
+  ReferenceFairQueue reference;
+  std::mt19937_64 rng(20260809);
+  const std::vector<std::string> tenants = {"ada", "bix", "cyd", "dot", "eli"};
+  std::vector<std::uint64_t> cancellable;
+  int serial = 0;
+  for (int op = 0; op < 600; ++op) {
+    const std::uint64_t roll = rng() % 10;
+    if (roll < 5) {  // submit
+      const std::string& tenant = tenants[rng() % tenants.size()];
+      const auto admitted =
+          queue.submit(tenant, {"p" + std::to_string(serial++)}, "", 1);
+      ASSERT_TRUE(admitted.admitted);
+      reference.submit(tenant, admitted.id);
+      cancellable.push_back(admitted.id);
+    } else if (roll < 7) {  // cancel a random still-queued id
+      if (cancellable.empty()) continue;
+      const std::size_t pick = rng() % cancellable.size();
+      const std::uint64_t id = cancellable[pick];
+      cancellable.erase(cancellable.begin() + static_cast<long>(pick));
+      ASSERT_TRUE(queue.cancel(id));
+      reference.cancel(id);
+    } else {  // pop (only when the model proves pop cannot block)
+      if (reference.empty()) continue;
+      const std::uint64_t expected = reference.pop();
+      auto request = queue.pop();
+      ASSERT_NE(request, nullptr);
+      ASSERT_EQ(request->id, expected) << "diverged at op " << op;
+      std::erase(cancellable, expected);
+    }
+  }
+  while (!reference.empty()) {
+    ASSERT_EQ(queue.pop()->id, reference.pop());
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(Queue, PollEventsCursorAndDrain) {
+  serve::AdmissionQueue queue(16, 0);
+  const auto admitted = queue.subscribe("t", {"w.swf"}, 1, 500);
+  ASSERT_TRUE(admitted.admitted);
+  auto request = queue.pop();
+  ASSERT_NE(request, nullptr);
+  EXPECT_TRUE(request->watch);
+  EXPECT_EQ(request->window_jobs, 500u);
+
+  const std::vector<online::DriftEvent> batch = {
+      {6, "w", "jump", 15.9, 4.0},
+      {9, "w", "alienation", 0.2, 0.1},
+      {11, "w", "jump", 5.0, 4.0},
+  };
+  queue.append_events(request, batch);
+
+  std::vector<online::DriftEvent> out;
+  std::uint64_t next = 0;
+  serve::RequestStatus status{};
+  std::string error;
+  // Page of 2, then the remainder from the returned cursor.
+  ASSERT_TRUE(queue.poll_events(admitted.id, 0, 2, out, next, status, error));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].window, 6u);
+  EXPECT_EQ(out[0].kind, "jump");
+  EXPECT_EQ(next, 2u);
+  ASSERT_TRUE(queue.poll_events(admitted.id, next, 100, out, next, status,
+                                error));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].window, 11u);
+  EXPECT_EQ(next, 3u);
+
+  queue.finish(request, serve::RequestStatus::kDone, "watch", "");
+  // Terminal status + an empty page past the cursor = the drain condition
+  // clients use to stop polling.
+  ASSERT_TRUE(queue.poll_events(admitted.id, next, 100, out, next, status,
+                                error));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(status, serve::RequestStatus::kDone);
+  EXPECT_FALSE(queue.poll_events(9999, 0, 1, out, next, status, error));
 }
 
 // ------------------------------------------------------------------ server
@@ -504,6 +671,82 @@ TEST(Serve, SubmitRejectionsCarryReasons) {
     EXPECT_NE(std::string(error.what()).find("queue is full"),
               std::string::npos);
   }
+}
+
+// --------------------------------------------------------- watch requests
+
+/// Two regimes spliced at the halfway job: model 0 then model 2, the tail's
+/// submits shifted to continue the head's arrival stream — the same
+/// construction the CI drift-smoke job drives through `cpw_shard gen-log`.
+std::string write_two_regime_log(const std::string& dir) {
+  const auto models = models::all_models(128);
+  auto log = models[0]->generate(6000, 7);
+  swf::JobList jobs = log.jobs();
+  auto tail_log = models[2]->generate(6000, 8);
+  const double head_end = jobs.back().submit_time;
+  const double tail_start = tail_log.jobs().front().submit_time;
+  for (swf::Job job : tail_log.jobs()) {
+    job.submit_time += head_end - tail_start;
+    jobs.push_back(job);
+  }
+  swf::Log spliced("two-regime", std::move(jobs));
+  for (const auto& [key, value] : log.header()) spliced.set_header(key, value);
+  const std::string path = dir + "/two-regime.swf";
+  swf::save_swf(path, spliced);
+  return path;
+}
+
+TEST(Serve, SubscribeStreamsDriftEventsForRegimeChange) {
+  ServerFixture fixture("watch");
+  const std::string path = write_two_regime_log(fixture.dir);
+
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  const serve::SubmitReport subscribed =
+      client.subscribe("t", {path}, /*window_jobs=*/1000);
+  EXPECT_FALSE(subscribed.windowed);
+
+  // Drain the subscription: poll with the returned cursor until the
+  // request is terminal AND a poll past the cursor comes back empty.
+  std::vector<online::DriftEvent> events;
+  std::uint64_t cursor = 0;
+  serve::PollReport reply;
+  for (int spins = 0; spins < 600; ++spins) {
+    reply = client.poll(subscribed.id, cursor);
+    cursor = reply.next;
+    events.insert(events.end(), reply.events.begin(), reply.events.end());
+    const bool terminal = reply.status == serve::RequestStatus::kDone ||
+                          reply.status == serve::RequestStatus::kFailed ||
+                          reply.status == serve::RequestStatus::kCancelled;
+    if (terminal && reply.events.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_EQ(reply.status, serve::RequestStatus::kDone) << reply.error;
+
+  // The regime switch sits at job 6000 = window 6; the jump must land
+  // exactly there and nowhere else (the single-regime halves are quiet).
+  ASSERT_EQ(events.size(), 1u) << [&] {
+    std::string got;
+    for (const auto& event : events) {
+      got += event.kind + "@" + std::to_string(event.window) + " ";
+    }
+    return got;
+  }();
+  EXPECT_EQ(events[0].kind, "jump");
+  EXPECT_EQ(events[0].window, 6u);
+  EXPECT_GT(events[0].value, events[0].threshold);
+  EXPECT_EQ(events[0].threshold, online::TrajectoryOptions{}.jump_threshold);
+
+  // The terminal result() digest summarizes the watch.
+  const serve::RequestReport report = client.result(subscribed.id);
+  EXPECT_NE(report.digest.find("windows=12"), std::string::npos)
+      << report.digest;
+  EXPECT_NE(report.digest.find("events=1"), std::string::npos);
+}
+
+TEST(Serve, PollUnknownIdGetsErrorFrame) {
+  ServerFixture fixture("pollerr");
+  serve::Client client = serve::Client::connect_unix(fixture.socket_path);
+  EXPECT_THROW((void)client.poll(424242, 0), Error);
 }
 
 // ----------------------------------------------- env snapshot concurrency

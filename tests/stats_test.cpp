@@ -77,6 +77,30 @@ TEST(Quantile, RejectsBadArguments) {
   EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
 }
 
+TEST(Quantile, SortedSmallNMatchesType7ByHand) {
+  // quantile_sorted backs the cpwd_bench latency percentiles; pin the
+  // small-n behaviour against hand-computed type-7 values, where the
+  // interpolation h = q(n-1) actually bites.
+  const std::vector<double> one{42.0};
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(one, q), 42.0);
+  }
+  const std::vector<double> four{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(four, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(four, 1.0), 40.0);
+  // h = 0.5 * 3 = 1.5 -> halfway between x[1] and x[2].
+  EXPECT_DOUBLE_EQ(quantile_sorted(four, 0.5), 25.0);
+  // h = 0.9 * 3 = 2.7 -> x[2] + 0.7 * (x[3] - x[2]).
+  EXPECT_DOUBLE_EQ(quantile_sorted(four, 0.9), 37.0);
+  // h = 0.99 * 3 = 2.97 -> x[2] + 0.97 * (x[3] - x[2]).
+  EXPECT_DOUBLE_EQ(quantile_sorted(four, 0.99), 39.7);
+  // Agrees with the sorting wrapper on the same data.
+  const std::vector<double> shuffled{30.0, 10.0, 40.0, 20.0};
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(four, q), quantile(shuffled, q));
+  }
+}
+
 TEST(Intervals, Interval90OfUniformGrid) {
   std::vector<double> xs(101);
   for (int i = 0; i <= 100; ++i) xs[static_cast<std::size_t>(i)] = i;

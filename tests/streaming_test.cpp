@@ -271,6 +271,58 @@ TEST(StreamingAnalyzer, StatsOnlyFinisherBitIdentical) {
   }
 }
 
+TEST(StreamingAnalyzer, DegenerateInputsBehaveLikeCharacterize) {
+  // Bugfix sweep: the streaming finisher must agree with the batch path on
+  // inputs at the edge of meaninglessness — not crash, not silently return
+  // half-initialized stats. A 0-job and a 1-job log are refused by both
+  // sides; an all-sentinel log (every runtime/cpu/status unknown) is
+  // characterized identically by both.
+  const std::string dir = testutil::make_temp_dir("stream_degenerate");
+
+  const auto write_log = [&](const std::string& name, std::size_t jobs,
+                             bool sentinel_runtime) {
+    const std::string path = dir + "/" + name + ".swf";
+    std::ofstream out(path);
+    out << "; MaxProcs: 64\n";
+    for (std::size_t i = 1; i <= jobs; ++i) {
+      if (sentinel_runtime) {
+        out << i << " " << 10.0 * static_cast<double>(i)
+            << " 1 -1 4 -1 -1 -1 -1 -1 -1 3 1 2 1 1 -1 -1\n";
+      } else {
+        out << i << " " << 10.0 * static_cast<double>(i)
+            << " 1 60 4 30 -1 -1 -1 -1 1 3 1 2 1 1 -1 -1\n";
+      }
+    }
+    out.flush();
+    return path;
+  };
+
+  for (const std::size_t jobs : {std::size_t{0}, std::size_t{1}}) {
+    const std::string path =
+        write_log("n" + std::to_string(jobs), jobs, false);
+    const swf::Log log = swf::load_swf_fast(path);
+    ASSERT_EQ(log.jobs().size(), jobs);
+    EXPECT_THROW((void)workload::characterize(log), Error);
+    analysis::StreamingAnalyzer analyzer({});
+    analyzer.ingest(path);
+    EXPECT_EQ(analyzer.jobs(), jobs);
+    EXPECT_THROW((void)analyzer.finish_stats(), Error);
+  }
+
+  const std::string path = write_log("sentinel", 50, true);
+  const swf::Log log = swf::load_swf_fast(path);
+  ASSERT_EQ(log.jobs().size(), 50u);
+  const workload::WorkloadStats stats = workload::characterize(log);
+  analysis::StreamingAnalyzer analyzer({});
+  analyzer.ingest(path);
+  const workload::WorkloadStats streamed = analyzer.finish_stats();
+  for (const std::string& code : workload::WorkloadStats::all_codes()) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.get(code)),
+              std::bit_cast<std::uint64_t>(stats.get(code)))
+        << code;
+  }
+}
+
 TEST(StreamingAnalyzer, DirtyLenientLogMatchesMaterialized) {
   const std::string dir = testutil::make_temp_dir("stream_analyze_dirty");
   const std::string path = dirty_log(dir);

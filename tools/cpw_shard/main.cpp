@@ -3,10 +3,21 @@
 // Subcommands:
 //
 //   gen-log <path> <jobs> [--seed N] [--model I] [--fat]
+//           [--switch-model J --switch-at F]
 //       One generated SWF log (feedstock for the out-of-core tests: pick
 //       enough jobs and the file dwarfs any memory cap). --fat widens every
 //       numeric field to long-mantissa doubles so file bytes dwarf the
 //       ~32 B/job resident state of the streaming characterizer.
+//       --switch-model J makes a two-regime log: the first F fraction of
+//       jobs (default 0.5) comes from --model I, the rest from model J with
+//       a different seed, submit times shifted to continue — the known-
+//       boundary input for the drift-smoke CI job.
+//
+//   drift <log.swf> [--window-jobs N] [--jump T] [--min-windows K]
+//       Replay one log through the online characterizer's tumbling windows,
+//       re-embed each closed window into the Co-plot trajectory and print
+//       every drift event as `cpw_shard: drift-event window=...` plus a
+//       summary line — the CI drift smoke greps these.
 //
 //   characterize [flags] <log.swf>
 //       Stats-only digest of one log. With --ingest windowed this runs the
@@ -59,6 +70,8 @@
 #include "cpw/analysis/streaming.hpp"
 #include "cpw/models/model.hpp"
 #include "cpw/obs/export.hpp"
+#include "cpw/online/characterizer.hpp"
+#include "cpw/online/trajectory.hpp"
 #include "cpw/obs/metrics.hpp"
 #include "cpw/swf/log.hpp"
 #include "cpw/workload/characterize.hpp"
@@ -72,7 +85,7 @@ using namespace cpw;
   std::fprintf(stderr,
                "cpw_shard: %s\n"
                "usage: cpw_shard gen-log|gen-corpus|analyze|characterize|"
-               "run|worker ...\n"
+               "drift|run|worker ...\n"
                "(see the comment at the top of tools/cpw_shard/main.cpp)\n",
                detail);
   std::exit(2);
@@ -168,12 +181,20 @@ int cmd_gen_log(int argc, char** argv) {
   std::uint64_t jobs = 0, seed = 7;
   std::size_t model_index = 0;
   bool fat = false;
+  bool two_regime = false;
+  std::size_t switch_model = 0;
+  double switch_at = 0.5;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed") {
       seed = parse_u64(flag_value(argc, argv, i), "--seed");
     } else if (arg == "--model") {
       model_index = parse_u64(flag_value(argc, argv, i), "--model");
+    } else if (arg == "--switch-model") {
+      two_regime = true;
+      switch_model = parse_u64(flag_value(argc, argv, i), "--switch-model");
+    } else if (arg == "--switch-at") {
+      switch_at = parse_f64(flag_value(argc, argv, i), "--switch-at");
     } else if (arg == "--fat") {
       fat = true;
     } else if (path.empty()) {
@@ -185,8 +206,38 @@ int cmd_gen_log(int argc, char** argv) {
     }
   }
   if (path.empty() || jobs == 0) usage("gen-log <path> <jobs>");
+  if (switch_at <= 0.0 || switch_at >= 1.0) usage("--switch-at needs (0,1)");
   const auto models = models::all_models(128);
-  auto log = models[model_index % models.size()]->generate(jobs, seed);
+  auto log = models[model_index % models.size()]->generate(
+      two_regime ? static_cast<std::uint64_t>(
+                       static_cast<double>(jobs) * switch_at)
+                 : jobs,
+      seed);
+  if (two_regime) {
+    // Second regime: a different model (different seed too, so the regimes
+    // never share a stream), its submit times shifted to continue right
+    // after the first regime's last arrival. The job index of the splice is
+    // printed so the smoke test knows which window must flag drift.
+    swf::JobList head = log.jobs();
+    const std::uint64_t tail_jobs = jobs - head.size();
+    if (tail_jobs == 0) usage("--switch-at leaves the second regime empty");
+    auto tail_log =
+        models[switch_model % models.size()]->generate(tail_jobs, seed + 1);
+    swf::JobList tail = tail_log.jobs();
+    const double head_end = head.empty() ? 0.0 : head.back().submit_time;
+    const double tail_start = tail.empty() ? 0.0 : tail.front().submit_time;
+    std::fprintf(stderr, "cpw_shard: gen-log switch_at_job=%zu\n",
+                 head.size());
+    for (swf::Job& job : tail) {
+      job.submit_time += head_end - tail_start;
+      head.push_back(job);
+    }
+    swf::Log spliced(log.name(), std::move(head));
+    for (const auto& [key, value] : log.header()) {
+      spliced.set_header(key, value);
+    }
+    log = std::move(spliced);
+  }
   log.set_name(fs::path(path).stem().string());
   if (fat) fatten(log);
   swf::save_swf(path, log);
@@ -417,6 +468,78 @@ int cmd_characterize(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------------- drift
+
+int cmd_drift(int argc, char** argv) {
+  std::string path;
+  std::size_t window_jobs = 1000;
+  double jump = online::TrajectoryOptions{}.jump_threshold;
+  std::size_t min_windows = online::TrajectoryOptions{}.min_windows;
+  bool verbose = false;
+  swf::ReaderOptions reader;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--window-jobs") {
+      window_jobs = parse_u64(flag_value(argc, argv, i), "--window-jobs");
+    } else if (arg == "--jump") {
+      jump = parse_f64(flag_value(argc, argv, i), "--jump");
+    } else if (arg == "--min-windows") {
+      min_windows = parse_u64(flag_value(argc, argv, i), "--min-windows");
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage("drift takes exactly one log");
+    }
+  }
+  if (path.empty()) usage("drift <log.swf>");
+
+  const swf::Log log = swf::load_swf_fast(path, reader);
+  online::OnlineOptions options;
+  options.window_jobs = window_jobs;
+  const double machine = log.max_processors();
+  if (machine > 0.0) options.stats.machine_processors = machine;
+  online::OnlineCharacterizer characterizer(log.name(), options);
+  online::TrajectoryOptions trajectory_options;
+  trajectory_options.jump_threshold = jump;
+  trajectory_options.min_windows = min_windows;
+  online::TrajectoryTracker tracker(trajectory_options);
+
+  std::size_t windows = 0, events_total = 0;
+  const auto drain = [&] {
+    while (auto window = characterizer.poll()) {
+      ++windows;
+      const auto events =
+          tracker.add(log.name(), window->index, window->window);
+      if (verbose) {
+        std::fprintf(stderr,
+                     "cpw_shard: window index=%zu jobs=%zu alienation=%.4f\n",
+                     window->index, window->jobs, tracker.alienation());
+      }
+      for (const online::DriftEvent& event : events) {
+        ++events_total;
+        std::printf("cpw_shard: drift-event window=%" PRIu64
+                    " workload=%s kind=%s value=%.6f threshold=%.6f\n",
+                    event.window, event.workload.c_str(), event.kind.c_str(),
+                    event.value, event.threshold);
+      }
+    }
+  };
+  for (const swf::Job& job : log.jobs()) {
+    characterizer.add(job);
+    drain();
+  }
+  // The tail partial window is deliberately NOT flushed: it is smaller than
+  // the rest, so its sketch quantiles sit on a different sample size and a
+  // spurious jump there would read as drift at end-of-log.
+  std::printf("cpw_shard: drift windows=%zu events=%zu alienation=%.4f\n",
+              windows, events_total, tracker.alienation());
+  return 0;
+}
+
 // --------------------------------------------------------------------- run
 
 int cmd_run(int argc, char** argv, const char* argv0) {
@@ -571,6 +694,7 @@ int main(int argc, char** argv) {
     if (command == "gen-corpus") return cmd_gen_corpus(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "characterize") return cmd_characterize(argc, argv);
+    if (command == "drift") return cmd_drift(argc, argv);
     if (command == "run") return cmd_run(argc, argv, argv[0]);
     if (command == "worker") return cmd_worker(argc, argv);
   } catch (const std::exception& error) {

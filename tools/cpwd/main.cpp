@@ -16,6 +16,13 @@
 //       bytes `cpw_shard analyze` prints, so `diff` is the equivalence
 //       check); exit 0 done, 4 failed, 5 cancelled.
 //
+//   cpwd watch --socket PATH|--port N --tenant NAME <log.swf ...>
+//       Client: subscribe to online windowed characterization and stream
+//       drift events to stdout as `drift window=... workload=... kind=...`
+//       lines until the subscription reaches a terminal state and drains.
+//       Flags: --window-jobs N (tumbling-window size, 0 = server default),
+//       --poll-interval S.
+//
 //   cpwd status|result|cancel --socket PATH|--port N <id>
 //   cpwd metrics --socket PATH|--port N
 //       Client one-shots against a running daemon.
@@ -50,6 +57,8 @@ using namespace cpw;
                "       [--ready-fd FD]\n"
                "  cpwd submit (--socket PATH | --port N) --tenant NAME\n"
                "       [--wait S] <log.swf ...>\n"
+               "  cpwd watch (--socket PATH | --port N) --tenant NAME\n"
+               "       [--window-jobs N] [--poll-interval S] <log.swf ...>\n"
                "  cpwd status|result|cancel (--socket PATH | --port N) <id>\n"
                "  cpwd metrics (--socket PATH | --port N)\n",
                detail.c_str());
@@ -225,6 +234,72 @@ int cmd_submit(int argc, char** argv) {
   return report.status == serve::RequestStatus::kFailed ? 4 : 5;
 }
 
+int cmd_watch(int argc, char** argv) {
+  Endpoint endpoint;
+  std::string tenant = "default";
+  std::uint32_t window_jobs = 0;
+  double poll_interval = 0.05;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_endpoint(arg, argc, argv, i, endpoint)) {
+    } else if (arg == "--tenant") {
+      tenant = flag_value(argc, argv, i);
+    } else if (arg == "--window-jobs") {
+      window_jobs = static_cast<std::uint32_t>(
+          parse_u64(flag_value(argc, argv, i), "--window-jobs"));
+    } else if (arg == "--poll-interval") {
+      poll_interval = parse_f64(flag_value(argc, argv, i), "--poll-interval");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown watch flag " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) usage("watch needs at least one log path");
+
+  serve::Client client = connect(endpoint);
+  const serve::SubmitReport subscribed =
+      client.subscribe(tenant, paths, window_jobs);
+  std::fprintf(stderr, "cpwd: subscription %llu\n",
+               static_cast<unsigned long long>(subscribed.id));
+
+  // Poll until the subscription is terminal AND the event stream is
+  // drained — events appended just before the terminal transition must
+  // still be printed.
+  std::uint64_t cursor = 0;
+  std::size_t total_events = 0;
+  for (;;) {
+    const serve::PollReport report = client.poll(subscribed.id, cursor);
+    for (const auto& event : report.events) {
+      std::printf("drift window=%llu workload=%s kind=%s value=%.6f "
+                  "threshold=%.6f\n",
+                  static_cast<unsigned long long>(event.window),
+                  event.workload.c_str(), event.kind.c_str(), event.value,
+                  event.threshold);
+    }
+    total_events += report.events.size();
+    cursor = report.next;
+    const bool terminal = report.status != serve::RequestStatus::kQueued &&
+                          report.status != serve::RequestStatus::kRunning;
+    if (terminal && report.events.empty()) {
+      std::fflush(stdout);
+      std::fprintf(stderr, "cpwd: watch %s, %zu drift events\n",
+                   serve::request_status_name(report.status), total_events);
+      if (report.status == serve::RequestStatus::kDone) return 0;
+      if (!report.error.empty()) {
+        std::fprintf(stderr, "cpwd: %s\n", report.error.c_str());
+      }
+      return report.status == serve::RequestStatus::kFailed ? 4 : 5;
+    }
+    if (report.events.empty()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(poll_interval)));
+    }
+  }
+}
+
 int cmd_query(int argc, char** argv, const std::string& command) {
   Endpoint endpoint;
   std::vector<std::string> operands;
@@ -271,6 +346,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "submit") return cmd_submit(argc, argv);
+    if (command == "watch") return cmd_watch(argc, argv);
     if (command == "status" || command == "result" || command == "cancel" ||
         command == "metrics") {
       return cmd_query(argc, argv, command);

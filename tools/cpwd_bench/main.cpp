@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cpw/serve/client.hpp"
+#include "cpw/stats/descriptive.hpp"
 #include "cpw/util/error.hpp"
 
 namespace {
@@ -54,13 +55,12 @@ struct TenantOutcome {
   std::string first_error;
 };
 
-double percentile(std::vector<double>& sorted, double q) {
+// Latency percentiles go through the shared type-7 estimator instead of a
+// private reimplementation; the only local concern is the empty run (e.g.
+// every request failed), which reports 0.0 rather than throwing.
+double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return stats::quantile_sorted(sorted, q);
 }
 
 }  // namespace
